@@ -1,0 +1,188 @@
+// Command porcupine synthesizes vectorized homomorphic-encryption
+// kernels from the bundled kernel suite, prints the optimized Quill
+// program, and optionally emits SEAL C++ or runs the kernel on the
+// pure-Go BFV backend.
+//
+// Usage:
+//
+//	porcupine -kernel gx [-seal] [-run] [-preset PN4096] [-timeout 5m] [-seed 1]
+//	porcupine -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"porcupine"
+	"porcupine/internal/backend"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "porcupine:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		kernel  = flag.String("kernel", "", "kernel to compile (see -list)")
+		list    = flag.Bool("list", false, "list available kernels")
+		seal    = flag.Bool("seal", false, "emit SEAL C++ for the synthesized kernel")
+		runIt   = flag.Bool("run", false, "execute on the BFV backend with a random input and check the result")
+		preset  = flag.String("preset", "PN4096", "BFV parameter preset for -run (PN2048, PN4096, PN8192)")
+		timeout = flag.Duration("timeout", 20*time.Minute, "synthesis time budget")
+		seed    = flag.Int64("seed", 1, "synthesis random seed")
+		quick   = flag.Bool("quick", false, "stop after the initial (component-minimal) solution")
+		infer   = flag.Bool("infer", false, "derive the sketch automatically from the specification instead of using the built-in one")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range porcupine.Kernels() {
+			fmt.Println(name)
+		}
+		return nil
+	}
+	if *kernel == "" {
+		flag.Usage()
+		return fmt.Errorf("no kernel given")
+	}
+
+	opts := porcupine.Options{Timeout: *timeout, Seed: *seed, SkipOptimize: *quick}
+	fmt.Printf("synthesizing %s ...\n", *kernel)
+	var compiled *porcupine.Compiled
+	var err error
+	if *infer {
+		compiled, err = compileInferred(*kernel, opts)
+	} else {
+		compiled, err = compileAny(*kernel, opts)
+	}
+	if err != nil {
+		return err
+	}
+	if compiled.Result != nil {
+		r := compiled.Result
+		fmt.Printf("initial solution: L=%d cost=%.0f in %v\n", r.L, r.InitialCost, r.InitialTime.Round(time.Millisecond))
+		fmt.Printf("final solution:   cost=%.0f in %v (optimal within sketch: %v, %d examples)\n",
+			r.FinalCost, r.TotalTime.Round(time.Millisecond), r.Optimal, r.Examples)
+	}
+	fmt.Printf("\n%s\n", compiled.Lowered)
+	fmt.Printf("instructions=%d depth=%d multiplicative-depth=%d\n",
+		compiled.Lowered.InstructionCount(), compiled.Lowered.Depth(), compiled.Lowered.MultDepth())
+
+	if *seal {
+		src, err := compiled.EmitSEAL()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n// ---- SEAL C++ ----\n%s", src)
+	}
+
+	if *runIt {
+		return runOnBFV(compiled, *preset, *seed)
+	}
+	return nil
+}
+
+// compileInferred synthesizes from an automatically inferred sketch.
+func compileInferred(name string, opts porcupine.Options) (*porcupine.Compiled, error) {
+	spec := porcupine.KernelSpec(name)
+	if spec == nil {
+		return nil, fmt.Errorf("unknown kernel %q", name)
+	}
+	sk, err := porcupine.InferSketch(spec)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("inferred sketch: %d components, rotations %v, L in [%d,%d]\n",
+		len(sk.Components), sk.Rotations, sk.MinL, sk.MaxL)
+	res, err := porcupine.Compile(spec, sk, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &porcupine.Compiled{Name: name, Spec: spec, Result: res, Lowered: res.Lowered}, nil
+}
+
+// compileAny compiles direct kernels via synthesis and multi-step
+// kernels via suite composition.
+func compileAny(name string, opts porcupine.Options) (*porcupine.Compiled, error) {
+	switch name {
+	case "sobel", "harris":
+		suite, err := compileSuiteFor(name, opts)
+		if err != nil {
+			return nil, err
+		}
+		return suite, nil
+	default:
+		return porcupine.CompileKernel(name, opts)
+	}
+}
+
+func compileSuiteFor(name string, opts porcupine.Options) (*porcupine.Compiled, error) {
+	gx, err := porcupine.CompileKernel("gx", opts)
+	if err != nil {
+		return nil, err
+	}
+	gy, err := porcupine.CompileKernel("gy", opts)
+	if err != nil {
+		return nil, err
+	}
+	var lowered *porcupine.Lowered
+	switch name {
+	case "sobel":
+		lowered, err = porcupine.ComposeSobel(gx.Result.Program, gy.Result.Program)
+	case "harris":
+		blur, berr := porcupine.CompileKernel("box-blur", opts)
+		if berr != nil {
+			return nil, berr
+		}
+		lowered, err = porcupine.ComposeHarris(gx.Result.Program, gy.Result.Program, blur.Result.Program)
+	}
+	if err != nil {
+		return nil, err
+	}
+	spec := porcupine.KernelSpec(name)
+	ok, err := spec.CheckLowered(lowered)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("composed %s failed verification", name)
+	}
+	return &porcupine.Compiled{Name: name, Spec: spec, Lowered: lowered}, nil
+}
+
+func runOnBFV(c *porcupine.Compiled, preset string, seed int64) error {
+	fmt.Printf("\nrunning on BFV preset %s ...\n", preset)
+	rt, err := backend.NewRuntime(preset, c.Lowered)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	assign := make([]uint64, c.Spec.NumVars)
+	for i := range assign {
+		assign[i] = rng.Uint64() % 64
+	}
+	ex := c.Spec.NewExample(assign)
+	cts := make([]*porcupine.Ciphertext, len(ex.CtIn))
+	for i, v := range ex.CtIn {
+		if cts[i], err = rt.EncryptVec(v); err != nil {
+			return err
+		}
+	}
+	out, dur, err := rt.TimedRun(c.Lowered, cts, ex.PtIn)
+	if err != nil {
+		return err
+	}
+	got := rt.DecryptVec(out, c.Spec.VecLen)
+	if !c.Spec.Matches(got, ex) {
+		return fmt.Errorf("BFV output disagrees with the plaintext reference")
+	}
+	fmt.Printf("ok: decrypted output matches the reference (latency %v, noise budget %.0f bits)\n",
+		dur.Round(time.Microsecond), rt.NoiseBudget(out))
+	return nil
+}

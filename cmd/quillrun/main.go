@@ -1,0 +1,149 @@
+// Command quillrun parses a textual lowered Quill program and executes
+// it — on the abstract interpreter by default, or on the pure-Go BFV
+// backend with -he — printing the output slots.
+//
+// Usage:
+//
+//	quillrun -program kernel.quill -in "1,2,3,4" [-pt "5,6,7,8"] [-he] [-preset PN4096] [-slots 8]
+//
+// The program file format is the one printed by the compiler, e.g.:
+//
+//	vec 8
+//	ct-inputs 1
+//	pt-inputs 0
+//	c1 = (rot-ct c0 4)
+//	c2 = (add-ct-ct c0 c1)
+//	out c2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"porcupine"
+	"porcupine/internal/backend"
+	"porcupine/internal/quill"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quillrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		progPath = flag.String("program", "", "path to a lowered Quill program")
+		inFlag   = flag.String("in", "", "comma-separated ciphertext input vectors, ';' between inputs")
+		ptFlag   = flag.String("pt", "", "comma-separated plaintext input vectors, ';' between inputs")
+		he       = flag.Bool("he", false, "execute on the BFV backend instead of the abstract interpreter")
+		preset   = flag.String("preset", "PN4096", "BFV parameter preset for -he")
+		slots    = flag.Int("slots", 0, "number of output slots to print (default: all)")
+	)
+	flag.Parse()
+	if *progPath == "" {
+		flag.Usage()
+		return fmt.Errorf("no program given")
+	}
+	src, err := os.ReadFile(*progPath)
+	if err != nil {
+		return err
+	}
+	prog, err := porcupine.ParseLowered(string(src))
+	if err != nil {
+		return err
+	}
+	ctIn, err := parseVecs(*inFlag, prog.NumCtInputs, prog.VecLen)
+	if err != nil {
+		return fmt.Errorf("parsing -in: %w", err)
+	}
+	ptIn, err := parseVecs(*ptFlag, prog.NumPtInputs, prog.VecLen)
+	if err != nil {
+		return fmt.Errorf("parsing -pt: %w", err)
+	}
+	n := prog.VecLen
+	if *slots > 0 && *slots < n {
+		n = *slots
+	}
+
+	if !*he {
+		out, err := quill.RunLowered(prog, quill.ConcreteSem{}, ctIn, ptIn)
+		if err != nil {
+			return err
+		}
+		fmt.Println(formatVec(out[:n]))
+		return nil
+	}
+
+	rt, err := backend.NewRuntime(*preset, prog)
+	if err != nil {
+		return err
+	}
+	cts := make([]*porcupine.Ciphertext, len(ctIn))
+	for i, v := range ctIn {
+		if cts[i], err = rt.EncryptVec(v); err != nil {
+			return err
+		}
+	}
+	out, dur, err := rt.TimedRun(prog, cts, ptIn)
+	if err != nil {
+		return err
+	}
+	fmt.Println(formatVec(rt.DecryptVec(out, n)))
+	fmt.Fprintf(os.Stderr, "latency %v, noise budget %.0f bits\n",
+		dur.Round(time.Microsecond), rt.NoiseBudget(out))
+	return nil
+}
+
+// parseVecs parses "1,2,3;4,5,6" into count vectors padded to vecLen.
+func parseVecs(s string, count, vecLen int) ([]quill.Vec, error) {
+	if count == 0 {
+		if strings.TrimSpace(s) != "" {
+			return nil, fmt.Errorf("program takes no such inputs")
+		}
+		return nil, nil
+	}
+	parts := strings.Split(s, ";")
+	if strings.TrimSpace(s) == "" || len(parts) != count {
+		return nil, fmt.Errorf("want %d vectors separated by ';'", count)
+	}
+	out := make([]quill.Vec, count)
+	for i, p := range parts {
+		vec := make(quill.Vec, vecLen)
+		for j, f := range strings.Split(p, ",") {
+			if j >= vecLen {
+				return nil, fmt.Errorf("vector %d longer than %d slots", i, vecLen)
+			}
+			v, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+			if err != nil {
+				return nil, err
+			}
+			m := v % int64(quill.Modulus)
+			if m < 0 {
+				m += int64(quill.Modulus)
+			}
+			vec[j] = uint64(m)
+		}
+		out[i] = vec
+	}
+	return out, nil
+}
+
+func formatVec(v quill.Vec) string {
+	parts := make([]string, len(v))
+	half := quill.Modulus / 2
+	for i, x := range v {
+		// Print centered representatives for readability.
+		if x > half {
+			parts[i] = strconv.FormatInt(int64(x)-int64(quill.Modulus), 10)
+		} else {
+			parts[i] = strconv.FormatUint(x, 10)
+		}
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,116 @@
+// Private ML inference: linear and polynomial regression over
+// encrypted features — the machine-learning building blocks the paper
+// motivates (§7.1). The models' predictions are computed server-side
+// without decrypting the features; the polynomial-regression kernel
+// demonstrates the factorization optimization Porcupine discovers
+// ((a·x+b)·x+c, one fewer ciphertext multiplication than a·x²+b·x+c).
+//
+//	go run ./examples/mlinference
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"porcupine"
+)
+
+func main() {
+	opts := porcupine.Options{Timeout: 10 * time.Minute, Seed: 1}
+
+	linearRegression(opts)
+	polynomialRegression(opts)
+}
+
+// linearRegression scores a batch of two-feature samples against a
+// plaintext model: y = w0·x0 + w1·x1 + b.
+func linearRegression(opts porcupine.Options) {
+	fmt.Println("=== linear regression (encrypted features, plaintext model) ===")
+	compiled, err := porcupine.CompileKernel("linear-regression", opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("synthesized kernel (%d instructions):\n%s\n",
+		compiled.Lowered.InstructionCount(), compiled.Lowered)
+
+	rt, err := porcupine.NewRuntime("PN4096", compiled.Lowered)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Four samples packed [x0 x1 x0 x1 ...].
+	features := porcupine.Vec{3, 7, 1, 2, 5, 5, 8, 0}
+	weights := porcupine.Vec{2, 3, 2, 3, 2, 3, 2, 3} // w0=2, w1=3 replicated
+	bias := porcupine.Vec{10, 0, 10, 0, 10, 0, 10, 0}
+
+	ct, err := rt.EncryptVec(features)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, dur, err := rt.TimedRun(compiled.Lowered, []*porcupine.Ciphertext{ct},
+		[]porcupine.Vec{weights, bias})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dec := rt.DecryptVec(out, 8)
+	fmt.Printf("HE latency %v\n", dur.Round(time.Microsecond))
+	for s := 0; s < 4; s++ {
+		x0, x1 := features[2*s], features[2*s+1]
+		want := 2*x0 + 3*x1 + 10
+		fmt.Printf("sample %d: y = %d (expected %d)\n", s, dec[2*s], want)
+		if dec[2*s] != want {
+			log.Fatal("mismatch!")
+		}
+	}
+	fmt.Println()
+}
+
+// polynomialRegression evaluates y = a·x² + b·x + c with encrypted
+// features AND encrypted coefficients (model privacy).
+func polynomialRegression(opts porcupine.Options) {
+	fmt.Println("=== polynomial regression (encrypted features and model) ===")
+	compiled, err := porcupine.CompileKernel("polynomial-regression", opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	muls := 0
+	for _, in := range compiled.Lowered.Instrs {
+		if in.Op.String() == "mul-ct-ct" {
+			muls++
+		}
+	}
+	fmt.Printf("synthesized kernel uses %d ciphertext multiplications (direct form: 3):\n%s\n",
+		muls, compiled.Lowered)
+
+	rt, err := porcupine.NewRuntime("PN4096", compiled.Lowered)
+	if err != nil {
+		log.Fatal(err)
+	}
+	x := porcupine.Vec{1, 2, 3, 4, 5, 6, 7, 8}
+	a := porcupine.Vec{2, 2, 2, 2, 2, 2, 2, 2}
+	b := porcupine.Vec{3, 3, 3, 3, 3, 3, 3, 3}
+	c := porcupine.Vec{1, 1, 1, 1, 1, 1, 1, 1}
+
+	cts := make([]*porcupine.Ciphertext, 3)
+	for i, v := range []porcupine.Vec{x, a, b} {
+		var err error
+		if cts[i], err = rt.EncryptVec(v); err != nil {
+			log.Fatal(err)
+		}
+	}
+	out, dur, err := rt.TimedRun(compiled.Lowered, cts, []porcupine.Vec{c})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dec := rt.DecryptVec(out, 8)
+	fmt.Printf("HE latency %v, noise budget %.0f bits\n",
+		dur.Round(time.Microsecond), rt.NoiseBudget(out))
+	for i := range x {
+		want := 2*x[i]*x[i] + 3*x[i] + 1
+		fmt.Printf("x=%d: y = %d (expected %d)\n", x[i], dec[i], want)
+		if dec[i] != want {
+			log.Fatal("mismatch!")
+		}
+	}
+	fmt.Println("ok")
+}

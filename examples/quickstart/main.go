@@ -1,0 +1,67 @@
+// Quickstart: the paper's Figure 2 walkthrough, end to end.
+//
+// A client packs a vector into one ciphertext and sends it to a
+// server. Porcupine synthesizes the server's HE dot-product kernel
+// from the plaintext specification, the kernel runs on real BFV
+// ciphertexts, and the client decrypts the single-slot result.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"porcupine"
+)
+
+func main() {
+	// 1. Compile: spec + sketch -> verified, optimized HE kernel.
+	fmt.Println("synthesizing the dot-product kernel...")
+	compiled, err := porcupine.CompileKernel("dot-product", porcupine.Options{
+		Timeout: 5 * time.Minute,
+		Seed:    1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := compiled.Result
+	fmt.Printf("found in %v (L=%d components, cost %.0f -> %.0f):\n\n%s\n",
+		res.TotalTime.Round(time.Millisecond), res.L, res.InitialCost, res.FinalCost,
+		compiled.Lowered)
+
+	// 2. Client side: encrypt the private vector under a fresh key.
+	rt, err := porcupine.NewRuntime("PN4096", compiled.Lowered)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clientVec := porcupine.Vec{3, 1, 4, 1, 5, 9, 2, 6}
+	serverVec := porcupine.Vec{2, 7, 1, 8, 2, 8, 1, 8}
+	ct, err := rt.EncryptVec(clientVec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("client vector (encrypted): %v\n", clientVec)
+	fmt.Printf("server vector (plaintext): %v\n", serverVec)
+
+	// 3. Server side: run the synthesized kernel on the ciphertext.
+	out, dur, err := rt.TimedRun(compiled.Lowered, []*porcupine.Ciphertext{ct}, []porcupine.Vec{serverVec})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Client side: decrypt. Slot 0 holds the inner product.
+	dec := rt.DecryptVec(out, 8)
+	var want uint64
+	for i := range clientVec {
+		want += clientVec[i] * serverVec[i]
+	}
+	fmt.Printf("\nHE latency: %v, remaining noise budget: %.0f bits\n",
+		dur.Round(time.Microsecond), rt.NoiseBudget(out))
+	fmt.Printf("decrypted slot 0: %d (expected %d)\n", dec[0], want)
+	if dec[0] != want {
+		log.Fatal("mismatch!")
+	}
+	fmt.Println("ok")
+}

@@ -1,0 +1,294 @@
+// Package backend executes lowered Quill programs on the real BFV
+// implementation (internal/bfv) — the role SEAL plays in the paper —
+// and profiles per-instruction latencies to fit the Quill cost model.
+package backend
+
+import (
+	"fmt"
+	"time"
+
+	"porcupine/internal/bfv"
+	"porcupine/internal/quill"
+)
+
+// Runtime bundles the BFV context needed to run programs: parameters,
+// keys, encoder, and evaluator.
+type Runtime struct {
+	Params  *bfv.Parameters
+	Encoder *bfv.Encoder
+	Enc     *bfv.Encryptor
+	Dec     *bfv.Decryptor
+	Eval    *bfv.Evaluator
+	sk      *bfv.SecretKey
+}
+
+// NewRuntime generates fresh keys for the preset and prepares Galois
+// keys for every rotation amount used by the given programs.
+func NewRuntime(preset string, programs ...*quill.Lowered) (*Runtime, error) {
+	params, err := bfv.NewParametersFromPreset(preset)
+	if err != nil {
+		return nil, err
+	}
+	encoder, err := bfv.NewEncoder(params)
+	if err != nil {
+		return nil, err
+	}
+	kg := bfv.NewKeyGenerator(params)
+	return newRuntime(params, encoder, kg, programs)
+}
+
+// NewTestRuntime is NewRuntime with deterministic randomness for tests
+// and benchmarks.
+func NewTestRuntime(preset string, seed int64, programs ...*quill.Lowered) (*Runtime, error) {
+	params, err := bfv.NewParametersFromPreset(preset)
+	if err != nil {
+		return nil, err
+	}
+	encoder, err := bfv.NewEncoder(params)
+	if err != nil {
+		return nil, err
+	}
+	kg := bfv.NewTestKeyGenerator(params, seed)
+	return newRuntime(params, encoder, kg, programs)
+}
+
+func newRuntime(params *bfv.Parameters, encoder *bfv.Encoder, kg *bfv.KeyGenerator, programs []*quill.Lowered) (*Runtime, error) {
+	sk, err := kg.GenSecretKey()
+	if err != nil {
+		return nil, err
+	}
+	pk, err := kg.GenPublicKey(sk)
+	if err != nil {
+		return nil, err
+	}
+	rlk, err := kg.GenRelinearizationKey(sk)
+	if err != nil {
+		return nil, err
+	}
+	steps := RotationSteps(programs...)
+	gks, err := kg.GenGaloisKeys(sk, steps)
+	if err != nil {
+		return nil, err
+	}
+	return &Runtime{
+		Params:  params,
+		Encoder: encoder,
+		Enc:     bfv.NewEncryptor(params, pk),
+		Dec:     bfv.NewDecryptor(params, sk),
+		Eval:    bfv.NewEvaluator(params, rlk, gks),
+		sk:      sk,
+	}, nil
+}
+
+// RotationSteps collects the distinct rotation amounts of the
+// programs (for Galois key generation).
+func RotationSteps(programs ...*quill.Lowered) []int {
+	seen := map[int]bool{}
+	var steps []int
+	for _, p := range programs {
+		if p == nil {
+			continue
+		}
+		for _, in := range p.Instrs {
+			if in.Op == quill.OpRotCt && !seen[in.Rot] {
+				seen[in.Rot] = true
+				steps = append(steps, in.Rot)
+			}
+		}
+	}
+	return steps
+}
+
+// EncryptVec encodes and encrypts an abstract Quill vector. The
+// program vector (length VecLen) occupies the first slots of the HE
+// row; remaining slots are zero, so the small signed rotations of
+// lowered programs behave identically to the abstract machine.
+func (rt *Runtime) EncryptVec(v quill.Vec) (*bfv.Ciphertext, error) {
+	if len(v) > rt.Params.SlotCount() {
+		return nil, fmt.Errorf("backend: vector of %d slots exceeds row size %d", len(v), rt.Params.SlotCount())
+	}
+	pt, err := rt.Encoder.EncodeNew(v)
+	if err != nil {
+		return nil, err
+	}
+	return rt.Enc.Encrypt(pt)
+}
+
+// DecryptVec decrypts and returns the first vecLen slots.
+func (rt *Runtime) DecryptVec(ct *bfv.Ciphertext, vecLen int) quill.Vec {
+	full := rt.Encoder.Decode(rt.Dec.Decrypt(ct))
+	return quill.Vec(full[:vecLen])
+}
+
+// NoiseBudget reports the remaining invariant noise budget of ct in
+// bits.
+func (rt *Runtime) NoiseBudget(ct *bfv.Ciphertext) float64 {
+	return rt.Dec.NoiseBudget(ct)
+}
+
+// Run executes a lowered program on encrypted inputs and plaintext
+// vectors, returning the output ciphertext.
+func (rt *Runtime) Run(l *quill.Lowered, ctIn []*bfv.Ciphertext, ptIn []quill.Vec) (*bfv.Ciphertext, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ctIn) != l.NumCtInputs || len(ptIn) != l.NumPtInputs {
+		return nil, fmt.Errorf("backend: got %d ct / %d pt inputs, want %d / %d",
+			len(ctIn), len(ptIn), l.NumCtInputs, l.NumPtInputs)
+	}
+	pts := make([]*bfv.Plaintext, len(ptIn))
+	for i, v := range ptIn {
+		pt, err := rt.Encoder.EncodeNew(v)
+		if err != nil {
+			return nil, err
+		}
+		pts[i] = pt
+	}
+	vals := make([]*bfv.Ciphertext, l.NumValues())
+	copy(vals, ctIn)
+	for _, in := range l.Instrs {
+		out, err := rt.step(l, in, vals, pts)
+		if err != nil {
+			return nil, fmt.Errorf("backend: %s: %w", in, err)
+		}
+		vals[in.Dst] = out
+	}
+	return vals[l.Output], nil
+}
+
+func (rt *Runtime) step(l *quill.Lowered, in quill.LInstr, vals []*bfv.Ciphertext, pts []*bfv.Plaintext) (*bfv.Ciphertext, error) {
+	a := vals[in.A]
+	switch in.Op {
+	case quill.OpRotCt:
+		return rt.Eval.RotateRows(a, in.Rot)
+	case quill.OpRelin:
+		return rt.Eval.Relinearize(a)
+	case quill.OpAddCtCt:
+		return rt.Eval.Add(a, vals[in.B]), nil
+	case quill.OpSubCtCt:
+		return rt.Eval.Sub(a, vals[in.B]), nil
+	case quill.OpMulCtCt:
+		return rt.Eval.Mul(a, vals[in.B])
+	case quill.OpAddCtPt, quill.OpSubCtPt, quill.OpMulCtPt:
+		pt, err := rt.operandPlaintext(l, in, pts)
+		if err != nil {
+			return nil, err
+		}
+		switch in.Op {
+		case quill.OpAddCtPt:
+			return rt.Eval.AddPlain(a, pt), nil
+		case quill.OpSubCtPt:
+			return rt.Eval.SubPlain(a, pt), nil
+		default:
+			return rt.Eval.MulPlain(a, pt), nil
+		}
+	}
+	return nil, fmt.Errorf("unknown opcode %v", in.Op)
+}
+
+func (rt *Runtime) operandPlaintext(l *quill.Lowered, in quill.LInstr, pts []*bfv.Plaintext) (*bfv.Plaintext, error) {
+	if in.P.Input >= 0 {
+		return pts[in.P.Input], nil
+	}
+	vec := quill.ConcreteSem{}.FromConst(in.P.Const, l.VecLen)
+	return rt.Encoder.EncodeNew(vec)
+}
+
+// TimedRun executes the program and returns the output plus the wall
+// time spent in HE instructions (encoding of inputs excluded), the
+// quantity Figure 4 compares.
+func (rt *Runtime) TimedRun(l *quill.Lowered, ctIn []*bfv.Ciphertext, ptIn []quill.Vec) (*bfv.Ciphertext, time.Duration, error) {
+	pts := make([]*bfv.Plaintext, len(ptIn))
+	for i, v := range ptIn {
+		pt, err := rt.Encoder.EncodeNew(v)
+		if err != nil {
+			return nil, 0, err
+		}
+		pts[i] = pt
+	}
+	vals := make([]*bfv.Ciphertext, l.NumValues())
+	copy(vals, ctIn)
+	start := time.Now()
+	for _, in := range l.Instrs {
+		out, err := rt.step(l, in, vals, pts)
+		if err != nil {
+			return nil, 0, fmt.Errorf("backend: %s: %w", in, err)
+		}
+		vals[in.Dst] = out
+	}
+	return vals[l.Output], time.Since(start), nil
+}
+
+// ProfileCostModel measures per-instruction latencies of this runtime
+// (median of reps runs each) and returns a Quill cost model, the
+// analogue of the paper's SEAL profiling (§4.2).
+func (rt *Runtime) ProfileCostModel(reps int) (*quill.CostModel, error) {
+	if reps < 1 {
+		reps = 3
+	}
+	n := rt.Params.SlotCount()
+	vec := make(quill.Vec, n)
+	for i := range vec {
+		vec[i] = uint64(i % 251)
+	}
+	ct, err := rt.EncryptVec(vec)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := rt.Encoder.EncodeNew(vec)
+	if err != nil {
+		return nil, err
+	}
+	ct2, err := rt.EncryptVec(vec)
+	if err != nil {
+		return nil, err
+	}
+	ctD2, err := rt.Eval.Mul(ct, ct2)
+	if err != nil {
+		return nil, err
+	}
+
+	// A rotation key for step 1 must exist; generate on demand is not
+	// possible here (no secret key access by design), so callers must
+	// include at least one program using rotation, or we skip rotation
+	// profiling and keep the default.
+	cm := quill.DefaultCostModel()
+	measure := func(f func() error) (float64, error) {
+		best := time.Duration(1<<62 - 1)
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			if err := f(); err != nil {
+				return 0, err
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return float64(best.Microseconds()), nil
+	}
+
+	lat := map[quill.Op]func() error{
+		quill.OpAddCtCt: func() error { rt.Eval.Add(ct, ct2); return nil },
+		quill.OpSubCtCt: func() error { rt.Eval.Sub(ct, ct2); return nil },
+		quill.OpAddCtPt: func() error { rt.Eval.AddPlain(ct, pt); return nil },
+		quill.OpSubCtPt: func() error { rt.Eval.SubPlain(ct, pt); return nil },
+		quill.OpMulCtPt: func() error { rt.Eval.MulPlain(ct, pt); return nil },
+		quill.OpMulCtCt: func() error { _, err := rt.Eval.Mul(ct, ct2); return err },
+		quill.OpRelin:   func() error { _, err := rt.Eval.Relinearize(ctD2); return err },
+	}
+	for op, f := range lat {
+		v, err := measure(f)
+		if err != nil {
+			return nil, fmt.Errorf("backend: profiling %v: %w", op, err)
+		}
+		cm.Latency[op] = v
+	}
+	if _, err := rt.Eval.RotateRows(ct, 1); err == nil {
+		v, err := measure(func() error { _, err := rt.Eval.RotateRows(ct, 1); return err })
+		if err != nil {
+			return nil, err
+		}
+		cm.Latency[quill.OpRotCt] = v
+	}
+	return cm, nil
+}

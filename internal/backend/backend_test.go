@@ -1,0 +1,187 @@
+package backend
+
+import (
+	"math/rand"
+	"testing"
+
+	"porcupine/internal/baseline"
+	"porcupine/internal/bfv"
+	"porcupine/internal/kernels"
+	"porcupine/internal/quill"
+)
+
+func encryptAll(t *testing.T, rt *Runtime, vecs []quill.Vec) []*bfv.Ciphertext {
+	t.Helper()
+	out := make([]*bfv.Ciphertext, len(vecs))
+	for i, v := range vecs {
+		ct, err := rt.EncryptVec(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = ct
+	}
+	return out
+}
+
+// TestBaselinesOnBFV is the end-to-end integration test: every
+// baseline kernel, lowered and executed on real BFV ciphertexts, must
+// decrypt to the plaintext reference result on its cared slots.
+func TestBaselinesOnBFV(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, spec := range kernels.All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			l, err := baseline.Lowered(spec.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt, err := NewTestRuntime("PN2048", 7, l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assign := make([]uint64, spec.NumVars)
+			for i := range assign {
+				assign[i] = rng.Uint64() % 256
+			}
+			ex := spec.NewExample(assign)
+			cts := encryptAll(t, rt, ex.CtIn)
+			out, err := rt.Run(l, cts, ex.PtIn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b := rt.NoiseBudget(out); b <= 0 {
+				t.Fatalf("noise budget exhausted (%.1f bits)", b)
+			}
+			got := rt.DecryptVec(out, spec.VecLen)
+			if !spec.Matches(got, ex) {
+				t.Errorf("%s: BFV output disagrees with reference", spec.Name)
+			}
+		})
+	}
+}
+
+// TestMultiStepKernelsOnBFV runs the composed Sobel and Harris
+// pipelines end to end on the deeper PN8192-equivalent test preset.
+func TestMultiStepKernelsOnBFV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-step BFV execution is slow")
+	}
+	rng := rand.New(rand.NewSource(2))
+	for _, name := range []string{"sobel", "harris"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			spec := kernels.ByName(name)
+			l, err := baseline.Lowered(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt, err := NewTestRuntime("PN8192", 9, l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assign := make([]uint64, spec.NumVars)
+			for i := range assign {
+				assign[i] = rng.Uint64() % 16
+			}
+			ex := spec.NewExample(assign)
+			cts := encryptAll(t, rt, ex.CtIn)
+			out, err := rt.Run(l, cts, ex.PtIn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b := rt.NoiseBudget(out); b <= 0 {
+				t.Fatalf("noise budget exhausted (%.1f bits)", b)
+			}
+			got := rt.DecryptVec(out, spec.VecLen)
+			if !spec.Matches(got, ex) {
+				t.Errorf("%s: BFV output disagrees with reference", name)
+			}
+		})
+	}
+}
+
+func TestRunInputValidation(t *testing.T) {
+	l, err := baseline.Lowered("box-blur")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewTestRuntime("PN2048", 7, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(l, nil, nil); err == nil {
+		t.Error("missing inputs should fail")
+	}
+	big := make(quill.Vec, rt.Params.SlotCount()+1)
+	if _, err := rt.EncryptVec(big); err == nil {
+		t.Error("oversized vector should fail")
+	}
+}
+
+func TestRotationSteps(t *testing.T) {
+	l, err := baseline.Lowered("gx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := RotationSteps(l, nil)
+	if len(steps) != 6 {
+		t.Errorf("gx should need 6 rotation keys, got %v", steps)
+	}
+}
+
+func TestTimedRunAndNoise(t *testing.T) {
+	l, err := baseline.Lowered("dot-product")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewTestRuntime("PN2048", 7, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := kernels.DotProduct()
+	ex := spec.RandomExample(rand.New(rand.NewSource(3)))
+	cts := encryptAll(t, rt, ex.CtIn)
+	out, dur, err := rt.TimedRun(l, cts, ex.PtIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dur <= 0 {
+		t.Error("timed run reported non-positive duration")
+	}
+	got := rt.DecryptVec(out, spec.VecLen)
+	if !spec.Matches(got, ex) {
+		t.Error("timed run output wrong")
+	}
+}
+
+func TestProfileCostModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiling is slow")
+	}
+	l, err := baseline.Lowered("gx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewTestRuntime("PN2048", 7, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := rt.ProfileCostModel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The profiled model must preserve the orderings the synthesis
+	// objective relies on: ct-ct multiply and rotation are far more
+	// expensive than addition.
+	if cm.Latency[quill.OpMulCtCt] <= cm.Latency[quill.OpAddCtCt] {
+		t.Error("mul should cost more than add")
+	}
+	if cm.Latency[quill.OpRotCt] <= cm.Latency[quill.OpAddCtCt] {
+		t.Error("rotate should cost more than add")
+	}
+	for op, v := range cm.Latency {
+		if v < 0 {
+			t.Errorf("negative latency for %v", op)
+		}
+	}
+}

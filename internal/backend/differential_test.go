@@ -1,0 +1,137 @@
+package backend
+
+import (
+	"math/rand"
+	"testing"
+
+	"porcupine/internal/bfv"
+	"porcupine/internal/quill"
+)
+
+// randomLowered builds a random valid lowered program over the full
+// HE row (VecLen == slot count), so abstract rotation semantics and
+// BFV row rotation coincide exactly, wrap-around included.
+func randomLowered(rng *rand.Rand, vecLen int, steps []int) *quill.Lowered {
+	l := &quill.Lowered{
+		VecLen:      vecLen,
+		NumCtInputs: 1 + rng.Intn(2),
+		NumPtInputs: rng.Intn(2),
+	}
+	next := l.NumCtInputs
+	muls := 0
+	n := 3 + rng.Intn(5)
+	for i := 0; i < n; i++ {
+		pick := func() int { return rng.Intn(next) }
+		var in quill.LInstr
+		switch rng.Intn(7) {
+		case 0:
+			in = quill.LInstr{Op: quill.OpRotCt, A: pick(), Rot: steps[rng.Intn(len(steps))]}
+		case 1:
+			in = quill.LInstr{Op: quill.OpAddCtCt, A: pick(), B: pick()}
+		case 2:
+			in = quill.LInstr{Op: quill.OpSubCtCt, A: pick(), B: pick()}
+		case 3:
+			// Cap ct-ct multiplies to keep noise within PN2048 budget.
+			if muls >= 2 {
+				in = quill.LInstr{Op: quill.OpAddCtCt, A: pick(), B: pick()}
+			} else {
+				muls++
+				a := pick()
+				in = quill.LInstr{Op: quill.OpMulCtCt, A: a, B: pick()}
+				l.Instrs = append(l.Instrs, quill.LInstr{Op: in.Op, Dst: next, A: in.A, B: in.B})
+				next++
+				in = quill.LInstr{Op: quill.OpRelin, A: next - 1}
+			}
+		case 4:
+			in = quill.LInstr{Op: quill.OpMulCtPt, A: pick(), P: quill.PtRef{Input: -1, Const: []int64{int64(rng.Intn(9) - 4)}}}
+		case 5:
+			if l.NumPtInputs > 0 {
+				in = quill.LInstr{Op: quill.OpAddCtPt, A: pick(), P: quill.PtRef{Input: rng.Intn(l.NumPtInputs)}}
+			} else {
+				in = quill.LInstr{Op: quill.OpAddCtPt, A: pick(), P: quill.PtRef{Input: -1, Const: []int64{7}}}
+			}
+		default:
+			in = quill.LInstr{Op: quill.OpSubCtPt, A: pick(), P: quill.PtRef{Input: -1, Const: []int64{-3}}}
+		}
+		in.Dst = next
+		l.Instrs = append(l.Instrs, in)
+		next++
+	}
+	l.Output = next - 1
+	return l
+}
+
+// TestDifferentialInterpreterVsBFV runs random programs through the
+// abstract Quill interpreter and the real BFV backend and requires
+// identical outputs on every slot. This exercises the full semantic
+// stack: encoder layout, rotation direction, tensor-product scaling,
+// relinearization, and plaintext lifting.
+func TestDifferentialInterpreterVsBFV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential fuzzing is slow")
+	}
+	params, err := bfv.NewParametersFromPreset("PN2048")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecLen := params.SlotCount() // 1024: identical wrap semantics
+	steps := []int{1, -1, 2, -3, 5, 17, -64, 511}
+
+	// One runtime with keys for all candidate rotations.
+	keyProg := &quill.Lowered{VecLen: vecLen, NumCtInputs: 1}
+	next := 1
+	for _, s := range steps {
+		keyProg.Instrs = append(keyProg.Instrs, quill.LInstr{Op: quill.OpRotCt, Dst: next, A: 0, Rot: s})
+		next++
+	}
+	keyProg.Output = next - 1
+	rt, err := NewTestRuntime("PN2048", 11, keyProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 8; trial++ {
+		l := randomLowered(rng, vecLen, steps)
+		if err := l.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid program: %v", trial, err)
+		}
+		ctIn := make([]quill.Vec, l.NumCtInputs)
+		cts := make([]*bfv.Ciphertext, l.NumCtInputs)
+		for i := range ctIn {
+			v := make(quill.Vec, vecLen)
+			for j := range v {
+				v[j] = rng.Uint64() % 64
+			}
+			ctIn[i] = v
+			if cts[i], err = rt.EncryptVec(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ptIn := make([]quill.Vec, l.NumPtInputs)
+		for i := range ptIn {
+			v := make(quill.Vec, vecLen)
+			for j := range v {
+				v[j] = rng.Uint64() % 64
+			}
+			ptIn[i] = v
+		}
+		want, err := quill.RunLowered(l, quill.ConcreteSem{}, ctIn, ptIn)
+		if err != nil {
+			t.Fatalf("trial %d: interpreter: %v", trial, err)
+		}
+		out, err := rt.Run(l, cts, ptIn)
+		if err != nil {
+			t.Fatalf("trial %d: backend: %v\n%s", trial, err, l)
+		}
+		if b := rt.NoiseBudget(out); b <= 0 {
+			t.Fatalf("trial %d: noise budget exhausted", trial)
+		}
+		got := rt.DecryptVec(out, vecLen)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("trial %d: slot %d: BFV %d != interpreter %d\n%s", trial, j, got[j], want[j], l)
+			}
+		}
+	}
+}

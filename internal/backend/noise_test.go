@@ -1,0 +1,144 @@
+package backend
+
+import (
+	"math/rand"
+	"testing"
+
+	"porcupine/internal/baseline"
+	"porcupine/internal/bfv"
+	"porcupine/internal/kernels"
+	"porcupine/internal/quill"
+)
+
+func noiseParamsFor(p *bfv.Parameters) quill.NoiseParams {
+	maxPrime := 0.0
+	for _, q := range p.QPrimes {
+		b := float64(bitsOf(q))
+		if b > maxPrime {
+			maxPrime = b
+		}
+	}
+	return quill.NoiseParams{
+		N:           p.N,
+		LogQ:        float64(p.LogQ()),
+		LogMaxPrime: maxPrime,
+		NumPrimes:   len(p.QPrimes),
+		T:           p.T,
+	}
+}
+
+func bitsOf(x uint64) int {
+	n := 0
+	for x > 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// TestNoiseEstimateAgainstBFV calibrates the static estimator against
+// measured budgets: the prediction must be conservative (predicted
+// budget ≤ measured + slack) and within a reasonable window, and the
+// predicted ranking across kernels must match the measured ranking for
+// clearly separated cases.
+func TestNoiseEstimateAgainstBFV(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	type obs struct {
+		name                string
+		predicted, measured float64
+	}
+	var all []obs
+	for _, name := range []string{"box-blur", "gx", "dot-product", "l2-distance", "polynomial-regression"} {
+		spec := kernels.ByName(name)
+		l, err := baseline.Lowered(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := NewTestRuntime("PN2048", 7, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assign := make([]uint64, spec.NumVars)
+		for i := range assign {
+			assign[i] = rng.Uint64() % 64
+		}
+		ex := spec.NewExample(assign)
+		cts := encryptAll(t, rt, ex.CtIn)
+		out, err := rt.Run(l, cts, ex.PtIn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		measured := rt.NoiseBudget(out)
+		est, err := quill.EstimateNoise(l, noiseParamsFor(rt.Params))
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, obs{name, est.Budget, measured})
+	}
+	for _, o := range all {
+		t.Logf("%-24s predicted %6.1f measured %6.1f", o.name, o.predicted, o.measured)
+		// Conservative: never promise more budget than measured + 6
+		// bits of modeling slack.
+		if o.predicted > o.measured+6 {
+			t.Errorf("%s: estimator overpromises: predicted %.1f, measured %.1f", o.name, o.predicted, o.measured)
+		}
+		// Useful: within 40 bits of reality.
+		if o.measured-o.predicted > 40 {
+			t.Errorf("%s: estimator too pessimistic: predicted %.1f, measured %.1f", o.name, o.predicted, o.measured)
+		}
+	}
+	// Multiplication-free kernels must be predicted (and measured) to
+	// retain more budget than multiplication-heavy ones.
+	byName := map[string]obs{}
+	for _, o := range all {
+		byName[o.name] = o
+	}
+	if byName["box-blur"].predicted <= byName["polynomial-regression"].predicted {
+		t.Error("predicted ranking wrong: box blur should retain more budget than polynomial regression")
+	}
+	if byName["box-blur"].measured <= byName["polynomial-regression"].measured {
+		t.Error("measured ranking contradicts expectation; calibration baseline invalid")
+	}
+}
+
+func TestFitsParams(t *testing.T) {
+	l, err := baseline.Lowered("polynomial-regression")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2048, err := bfv.NewParametersFromPreset("PN2048")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := quill.FitsParams(l, noiseParamsFor(p2048), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("polynomial regression should fit PN2048")
+	}
+	// A tiny hypothetical modulus must be rejected.
+	tiny := noiseParamsFor(p2048)
+	tiny.LogQ = 40
+	ok, err = quill.FitsParams(l, tiny, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("depth-2 kernel cannot fit a 40-bit modulus")
+	}
+}
+
+func TestEstimateNoiseErrors(t *testing.T) {
+	l, err := baseline.Lowered("box-blur")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := quill.EstimateNoise(l, quill.NoiseParams{}); err == nil {
+		t.Error("empty params should fail")
+	}
+	bad := &quill.Lowered{VecLen: 7, NumCtInputs: 1}
+	if _, err := quill.EstimateNoise(bad, quill.NoiseParams{N: 2048, LogQ: 100, T: 65537}); err == nil {
+		t.Error("invalid program should fail")
+	}
+}

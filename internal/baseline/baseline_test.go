@@ -1,0 +1,126 @@
+package baseline
+
+import (
+	"testing"
+
+	"porcupine/internal/kernels"
+	"porcupine/internal/quill"
+)
+
+// TestBaselinesMatchSpecs verifies every hand-written baseline against
+// its kernel specification by exact symbolic comparison — the same
+// check the synthesis engine's verifier performs.
+func TestBaselinesMatchSpecs(t *testing.T) {
+	for _, spec := range kernels.All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			prog, ok := Programs()[spec.Name]
+			if !ok {
+				t.Fatalf("no baseline for %s", spec.Name)
+			}
+			okSym, err := spec.CheckProgram(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !okSym {
+				t.Errorf("baseline %s does not implement its spec:\n%s", spec.Name, prog)
+			}
+		})
+	}
+}
+
+func TestMultiStepBaselinesMatchSpecs(t *testing.T) {
+	for _, name := range []string{"sobel", "harris"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			spec := kernels.ByName(name)
+			l, err := Lowered(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Validate(); err != nil {
+				t.Fatalf("%s invalid: %v", name, err)
+			}
+			ok, err := spec.CheckLowered(l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Errorf("%s baseline does not implement its spec", name)
+			}
+		})
+	}
+}
+
+// TestBaselineTable2Counts pins the lowered instruction counts and
+// depths of the hand-written baselines (paper Table 2, "Baseline"
+// columns; see EXPERIMENTS.md for the accounting differences — we
+// count relinearization explicitly).
+func TestBaselineTable2Counts(t *testing.T) {
+	want := map[string]struct{ instrs, depth int }{
+		"box-blur":              {6, 3},
+		"dot-product":           {7, 7},
+		"hamming-distance":      {7, 7},
+		"l2-distance":           {9, 9},
+		"linear-regression":     {4, 4},
+		"polynomial-regression": {8, 6},
+		"gx":                    {12, 4},
+		"gy":                    {12, 4},
+		"roberts-cross":         {10, 5},
+	}
+	for name, w := range want {
+		l, err := Lowered(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := l.InstructionCount(); got != w.instrs {
+			t.Errorf("%s: %d instructions, want %d\n%s", name, got, w.instrs, l)
+		}
+		if got := l.Depth(); got != w.depth {
+			t.Errorf("%s: depth %d, want %d", name, got, w.depth)
+		}
+	}
+}
+
+func TestMultiStepBaselineCounts(t *testing.T) {
+	sobel, err := Lowered("sobel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 + 12 + 2 squarings (mul+relin) + add = 29 (paper: 31).
+	if got := sobel.InstructionCount(); got != 29 {
+		t.Errorf("sobel baseline: %d instructions, want 29", got)
+	}
+	harris, err := Lowered("harris")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12+12 gradients, 6 tensor products, 18 blurs, 10 response = 58
+	// (paper: 59).
+	if got := harris.InstructionCount(); got != 58 {
+		t.Errorf("harris baseline: %d instructions, want 58", got)
+	}
+	if harris.MultDepth() < 2 {
+		t.Error("harris should have multiplicative depth >= 2")
+	}
+}
+
+func TestLoweredUnknownKernel(t *testing.T) {
+	if _, err := Lowered("nope"); err == nil {
+		t.Error("unknown kernel should fail")
+	}
+}
+
+func TestBaselineDepthStyle(t *testing.T) {
+	// The baselines follow depth minimization: for box blur all
+	// rotations must be at level 1.
+	l, err := Lowered("box-blur")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range l.Instrs {
+		if in.Op == quill.OpRotCt && in.A != 0 {
+			t.Errorf("baseline box blur rotates an intermediate value:\n%s", l)
+		}
+	}
+}

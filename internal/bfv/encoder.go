@@ -1,0 +1,147 @@
+package bfv
+
+import (
+	"fmt"
+
+	"porcupine/internal/mathutil"
+	"porcupine/internal/ring"
+)
+
+// Encoder maps vectors of integers modulo t to plaintext polynomials
+// using BFV batching: the CRT decomposition of Z_t[X]/(X^N+1) into N
+// one-dimensional slots. Slots are arranged as two rows of N/2; this
+// repository exposes row 0 as "the vector" and RotateRows as the
+// circular rotation, matching the Quill abstract machine.
+type Encoder struct {
+	params   *Parameters
+	ptRing   *ring.Ring // degree-N ring with the single prime t
+	indexMap []int      // slot index -> coefficient position (bit-reversed NTT layout)
+	inverse  []int      // coefficient position -> slot index
+}
+
+// NewEncoder builds the batching tables for the parameter set.
+func NewEncoder(params *Parameters) (*Encoder, error) {
+	ptRing, err := ring.NewRing(params.N, []uint64{params.T})
+	if err != nil {
+		return nil, fmt.Errorf("bfv: plaintext ring: %w", err)
+	}
+	n := params.N
+	logN, err := mathutil.Log2(n)
+	if err != nil {
+		return nil, err
+	}
+	m := uint64(2 * n)
+	rowSize := n / 2
+	indexMap := make([]int, n)
+	pos := uint64(1)
+	gen := uint64(3)
+	for i := 0; i < rowSize; i++ {
+		idx1 := (pos - 1) >> 1
+		idx2 := (m - pos - 1) >> 1
+		indexMap[i] = int(mathutil.BitReverse(idx1, logN))
+		indexMap[i+rowSize] = int(mathutil.BitReverse(idx2, logN))
+		pos = pos * gen % m
+	}
+	inverse := make([]int, n)
+	for slot, coeff := range indexMap {
+		inverse[coeff] = slot
+	}
+	return &Encoder{params: params, ptRing: ptRing, indexMap: indexMap, inverse: inverse}, nil
+}
+
+// SlotCount returns the length of the vector exposed by Encode (one
+// batching row).
+func (e *Encoder) SlotCount() int { return e.params.N / 2 }
+
+// Encode packs values (length ≤ SlotCount, remaining slots zero) into
+// pt. Values must already be reduced modulo t; use EncodeInt for
+// signed inputs.
+func (e *Encoder) Encode(values []uint64, pt *Plaintext) error {
+	rowSize := e.params.N / 2
+	if len(values) > rowSize {
+		return fmt.Errorf("bfv: %d values exceed slot count %d", len(values), rowSize)
+	}
+	t := e.params.T
+	buf := pt.Coeffs
+	clear(buf)
+	for i, v := range values {
+		if v >= t {
+			return fmt.Errorf("bfv: value %d at index %d not reduced mod t=%d", v, i, t)
+		}
+		buf[e.indexMap[i]] = v
+	}
+	// buf currently holds slot values in the NTT evaluation layout;
+	// an inverse NTT yields the coefficient form.
+	p := &ring.Poly{Coeffs: [][]uint64{buf}}
+	e.ptRing.INTT(p)
+	return nil
+}
+
+// EncodeInt packs signed values, reducing them into [0, t).
+func (e *Encoder) EncodeInt(values []int64, pt *Plaintext) error {
+	t := int64(e.params.T)
+	u := make([]uint64, len(values))
+	for i, v := range values {
+		r := v % t
+		if r < 0 {
+			r += t
+		}
+		u[i] = uint64(r)
+	}
+	return e.Encode(u, pt)
+}
+
+// EncodeNew is Encode into a freshly allocated plaintext.
+func (e *Encoder) EncodeNew(values []uint64) (*Plaintext, error) {
+	pt := e.params.NewPlaintext()
+	if err := e.Encode(values, pt); err != nil {
+		return nil, err
+	}
+	return pt, nil
+}
+
+// Decode unpacks the first SlotCount slots (row 0) of pt.
+func (e *Encoder) Decode(pt *Plaintext) []uint64 {
+	n := e.params.N
+	buf := make([]uint64, n)
+	copy(buf, pt.Coeffs)
+	p := &ring.Poly{Coeffs: [][]uint64{buf}}
+	e.ptRing.NTT(p)
+	rowSize := n / 2
+	out := make([]uint64, rowSize)
+	for i := 0; i < rowSize; i++ {
+		out[i] = buf[e.indexMap[i]]
+	}
+	return out
+}
+
+// DecodeInt decodes slot values into centered signed representatives
+// in (-t/2, t/2].
+func (e *Encoder) DecodeInt(pt *Plaintext) []int64 {
+	u := e.Decode(pt)
+	t := e.params.T
+	half := t / 2
+	out := make([]int64, len(u))
+	for i, v := range u {
+		if v > half {
+			out[i] = int64(v) - int64(t)
+		} else {
+			out[i] = int64(v)
+		}
+	}
+	return out
+}
+
+// DecodeFull unpacks both batching rows (N slots).
+func (e *Encoder) DecodeFull(pt *Plaintext) []uint64 {
+	n := e.params.N
+	buf := make([]uint64, n)
+	copy(buf, pt.Coeffs)
+	p := &ring.Poly{Coeffs: [][]uint64{buf}}
+	e.ptRing.NTT(p)
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		out[i] = buf[e.indexMap[i]]
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package bfv
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDecodeFullBothRows(t *testing.T) {
+	tc := newTestContext(t, nil)
+	v := []uint64{10, 20, 30}
+	pt, err := tc.enc.EncodeNew(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := tc.enc.DecodeFull(pt)
+	if len(full) != tc.params.N {
+		t.Fatalf("full decode length %d", len(full))
+	}
+	if full[0] != 10 || full[1] != 20 || full[2] != 30 {
+		t.Error("row 0 wrong")
+	}
+	// Row 1 is zero for row-0-only encodings.
+	row := tc.params.N / 2
+	for i := row; i < row+8; i++ {
+		if full[i] != 0 {
+			t.Errorf("row 1 slot %d = %d, want 0", i-row, full[i])
+		}
+	}
+}
+
+func TestEncodeDecodeAllSlotsSet(t *testing.T) {
+	tc := newTestContext(t, nil)
+	rng := rand.New(rand.NewSource(10))
+	v := randVec(rng, tc.enc.SlotCount(), tc.params.T)
+	pt, err := tc.enc.EncodeNew(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tc.enc.Decode(pt)
+	for i := range v {
+		if got[i] != v[i] {
+			t.Fatalf("slot %d mismatch", i)
+		}
+	}
+}
+
+func TestRotationWrapsAroundRow(t *testing.T) {
+	// Left rotation by 1 brings slot 0's value to the last slot — the
+	// circular semantics Quill's abstract machine assumes.
+	tc := newTestContext(t, []int{1})
+	slots := tc.enc.SlotCount()
+	v := make([]uint64, slots)
+	v[0] = 42
+	ct := tc.encryptVec(t, v)
+	rot, err := tc.ev.RotateRows(ct, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tc.decryptVec(rot)
+	if got[slots-1] != 42 {
+		t.Errorf("slot %d = %d, want 42 (wraparound)", slots-1, got[slots-1])
+	}
+	if got[0] != 0 {
+		t.Error("slot 0 should have rotated away")
+	}
+}
+
+func TestRotationComposition(t *testing.T) {
+	tc := newTestContext(t, []int{1, 2, 3})
+	v := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	ct := tc.encryptVec(t, v)
+	r1, err := tc.ev.RotateRows(ct, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r12, err := tc.ev.RotateRows(r1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := tc.ev.RotateRows(ct, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tc.decryptVec(r12)
+	b := tc.decryptVec(r3)
+	for i := 0; i < 8; i++ {
+		if a[i] != b[i] {
+			t.Fatalf("rot(rot(x,1),2) != rot(x,3) at slot %d", i)
+		}
+	}
+}
+
+func TestMixedDegreeAddition(t *testing.T) {
+	tc := newTestContext(t, nil)
+	a := tc.encryptVec(t, []uint64{3, 4})
+	b := tc.encryptVec(t, []uint64{10, 20})
+	sq, err := tc.ev.Mul(a, a) // degree 2: {9, 16}
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := tc.ev.Add(sq, b) // degree 2 + degree 1
+	if sum.Degree() != 2 {
+		t.Fatalf("degree = %d", sum.Degree())
+	}
+	got := tc.decryptVec(sum)
+	if got[0] != 19 || got[1] != 36 {
+		t.Errorf("got %v, want [19 36]", got[:2])
+	}
+	diff := tc.ev.Sub(b, sq) // degree 1 - degree 2
+	got = tc.decryptVec(diff)
+	if got[0] != 1 || got[1] != 4 {
+		t.Errorf("sub mixed degrees: got %v, want [1 4]", got[:2])
+	}
+}
+
+func TestEncryptZeroVector(t *testing.T) {
+	tc := newTestContext(t, nil)
+	ct := tc.encryptVec(t, []uint64{})
+	got := tc.decryptVec(ct)
+	for i := 0; i < 16; i++ {
+		if got[i] != 0 {
+			t.Fatal("empty encryption should decrypt to zeros")
+		}
+	}
+	if b := tc.dec.NoiseBudget(ct); b <= 0 {
+		t.Error("fresh zero ciphertext has no budget")
+	}
+}

@@ -1,0 +1,175 @@
+package bfv
+
+import (
+	"math"
+	"math/big"
+
+	"porcupine/internal/mathutil"
+	"porcupine/internal/ring"
+)
+
+// Encryptor encrypts plaintexts under a public key.
+type Encryptor struct {
+	params  *Parameters
+	pk      *PublicKey
+	sampler *ring.Sampler
+}
+
+// NewEncryptor returns an encryptor using secure randomness.
+func NewEncryptor(params *Parameters, pk *PublicKey) *Encryptor {
+	return &Encryptor{params: params, pk: pk, sampler: ring.NewSampler(params.ringQ)}
+}
+
+// NewTestEncryptor returns a deterministic encryptor for tests.
+func NewTestEncryptor(params *Parameters, pk *PublicKey, seed int64) *Encryptor {
+	return &Encryptor{params: params, pk: pk, sampler: ring.NewTestSampler(params.ringQ, seed)}
+}
+
+// deltaTimesPlaintext writes Δ·m (lifted to R_Q) into dst.
+func deltaTimesPlaintext(params *Parameters, dst *ring.Poly, pt *Plaintext) {
+	r := params.ringQ
+	for i, p := range r.Primes {
+		d := params.deltaQi[i]
+		di := dst.Coeffs[i]
+		for j, m := range pt.Coeffs {
+			di[j] = mathutil.MulMod(m%p, d, p)
+		}
+	}
+}
+
+// Encrypt encrypts pt into a fresh degree-1 ciphertext:
+// (c0, c1) = (p0·u + e0 + Δ·m, p1·u + e1).
+func (enc *Encryptor) Encrypt(pt *Plaintext) (*Ciphertext, error) {
+	r := enc.params.ringQ
+	u := r.NewPoly()
+	if err := enc.sampler.Ternary(u); err != nil {
+		return nil, err
+	}
+	e0 := r.NewPoly()
+	if err := enc.sampler.Error(e0); err != nil {
+		return nil, err
+	}
+	e1 := r.NewPoly()
+	if err := enc.sampler.Error(e1); err != nil {
+		return nil, err
+	}
+	r.NTT(u)
+	c0 := r.NewPoly()
+	c1 := r.NewPoly()
+	r.MulCoeffs(c0, enc.pk.P0Ntt, u)
+	r.MulCoeffs(c1, enc.pk.P1Ntt, u)
+	r.INTT(c0)
+	r.INTT(c1)
+	r.Add(c0, c0, e0)
+	r.Add(c1, c1, e1)
+	dm := r.NewPoly()
+	deltaTimesPlaintext(enc.params, dm, pt)
+	r.Add(c0, c0, dm)
+	return &Ciphertext{Value: []*ring.Poly{c0, c1}}, nil
+}
+
+// Decryptor decrypts ciphertexts with the secret key and measures
+// their remaining noise budget.
+type Decryptor struct {
+	params *Parameters
+	sk     *SecretKey
+}
+
+// NewDecryptor returns a decryptor for sk.
+func NewDecryptor(params *Parameters, sk *SecretKey) *Decryptor {
+	return &Decryptor{params: params, sk: sk}
+}
+
+// phase computes c0 + c1·s + c2·s² + ... in the coefficient domain.
+func (dec *Decryptor) phase(ct *Ciphertext) *ring.Poly {
+	r := dec.params.ringQ
+	acc := r.Copy(ct.Value[0])
+	if len(ct.Value) == 1 {
+		return acc
+	}
+	sPow := r.Copy(dec.sk.SNtt)
+	tmp := r.NewPoly()
+	for d := 1; d < len(ct.Value); d++ {
+		r.CopyInto(tmp, ct.Value[d])
+		r.NTT(tmp)
+		r.MulCoeffs(tmp, tmp, sPow)
+		r.INTT(tmp)
+		r.Add(acc, acc, tmp)
+		if d+1 < len(ct.Value) {
+			r.MulCoeffs(sPow, sPow, dec.sk.SNtt)
+		}
+	}
+	return acc
+}
+
+// Decrypt recovers the plaintext: m_j = round(t·v_j / Q) mod t where
+// v = c0 + c1·s (+ higher powers for unrelinearized ciphertexts).
+func (dec *Decryptor) Decrypt(ct *Ciphertext) *Plaintext {
+	r := dec.params.ringQ
+	v := dec.phase(ct)
+	pt := dec.params.NewPlaintext()
+	t := new(big.Int).SetUint64(dec.params.T)
+	q := dec.params.q
+	halfQ := new(big.Int).Rsh(q, 1)
+	var x, num big.Int
+	for j := 0; j < dec.params.N; j++ {
+		r.CoeffBigCentered(&x, v, j)
+		// round(t·x/Q) with round-half-up for positive, symmetric for
+		// negative (rounding direction at exact .5 is irrelevant since
+		// noise < Δ/2 guarantees a unique nearest integer).
+		num.Mul(t, &x)
+		if num.Sign() >= 0 {
+			num.Add(&num, halfQ)
+		} else {
+			num.Sub(&num, halfQ)
+		}
+		num.Quo(&num, q)
+		num.Mod(&num, t)
+		pt.Coeffs[j] = num.Uint64()
+	}
+	return pt
+}
+
+// NoiseBudget returns the invariant noise budget of ct in bits:
+// log2(Q / (2·max_j |t·v_j mod Q|_centered)). Decryption is correct
+// while the budget is positive. Returns 0 when the budget is
+// exhausted.
+func (dec *Decryptor) NoiseBudget(ct *Ciphertext) float64 {
+	r := dec.params.ringQ
+	v := dec.phase(ct)
+	t := new(big.Int).SetUint64(dec.params.T)
+	q := dec.params.q
+	halfQ := new(big.Int).Rsh(q, 1)
+	var x, num, rem big.Int
+	maxNorm := new(big.Int)
+	for j := 0; j < dec.params.N; j++ {
+		r.CoeffBigCentered(&x, v, j)
+		num.Mul(t, &x)
+		// Centered remainder of t·x modulo Q.
+		rem.Mod(&num, q)
+		if rem.Cmp(halfQ) > 0 {
+			rem.Sub(&rem, q)
+		}
+		rem.Abs(&rem)
+		if rem.Cmp(maxNorm) > 0 {
+			maxNorm.Set(&rem)
+		}
+	}
+	if maxNorm.Sign() == 0 {
+		maxNorm.SetInt64(1)
+	}
+	budget := bigLog2(q) - bigLog2(maxNorm) - 1
+	if budget < 0 {
+		return 0
+	}
+	return budget
+}
+
+// bigLog2 returns log2(x) for positive x.
+func bigLog2(x *big.Int) float64 {
+	f := new(big.Float).SetInt(x)
+	mant := new(big.Float)
+	exp := f.MantExp(mant)
+	m, _ := mant.Float64()
+	return float64(exp) + math.Log2(m)
+}

@@ -1,0 +1,284 @@
+package bfv
+
+import (
+	"fmt"
+	"math/big"
+
+	"porcupine/internal/ring"
+)
+
+// Evaluator performs homomorphic operations on ciphertexts. It holds
+// the evaluation keys (relinearization and Galois) it was constructed
+// with; operations requiring an absent key return an error.
+type Evaluator struct {
+	params *Parameters
+	rlk    *RelinearizationKey
+	gks    *GaloisKeys
+}
+
+// NewEvaluator builds an evaluator. rlk and gks may be nil when
+// multiplication or rotation respectively is not needed.
+func NewEvaluator(params *Parameters, rlk *RelinearizationKey, gks *GaloisKeys) *Evaluator {
+	return &Evaluator{params: params, rlk: rlk, gks: gks}
+}
+
+func (ev *Evaluator) checkDegree(op string, ct *Ciphertext, max int) error {
+	if ct.Degree() > max {
+		return fmt.Errorf("bfv: %s: ciphertext degree %d exceeds %d", op, ct.Degree(), max)
+	}
+	return nil
+}
+
+// Add returns a + b (element-wise over slots). Operands of different
+// degree are aligned by treating missing polynomials as zero.
+func (ev *Evaluator) Add(a, b *Ciphertext) *Ciphertext {
+	r := ev.params.ringQ
+	hi, lo := a, b
+	if len(b.Value) > len(a.Value) {
+		hi, lo = b, a
+	}
+	out := ev.params.NewCiphertext(hi.Degree())
+	for i := range hi.Value {
+		if i < len(lo.Value) {
+			r.Add(out.Value[i], hi.Value[i], lo.Value[i])
+		} else {
+			r.CopyInto(out.Value[i], hi.Value[i])
+		}
+	}
+	return out
+}
+
+// Sub returns a - b.
+func (ev *Evaluator) Sub(a, b *Ciphertext) *Ciphertext {
+	r := ev.params.ringQ
+	deg := a.Degree()
+	if b.Degree() > deg {
+		deg = b.Degree()
+	}
+	out := ev.params.NewCiphertext(deg)
+	for i := range out.Value {
+		switch {
+		case i < len(a.Value) && i < len(b.Value):
+			r.Sub(out.Value[i], a.Value[i], b.Value[i])
+		case i < len(a.Value):
+			r.CopyInto(out.Value[i], a.Value[i])
+		default:
+			r.Neg(out.Value[i], b.Value[i])
+		}
+	}
+	return out
+}
+
+// Neg returns -a.
+func (ev *Evaluator) Neg(a *Ciphertext) *Ciphertext {
+	r := ev.params.ringQ
+	out := ev.params.NewCiphertext(a.Degree())
+	for i := range a.Value {
+		r.Neg(out.Value[i], a.Value[i])
+	}
+	return out
+}
+
+// AddPlain returns ct + pt: Δ·m is added to the degree-0 component.
+func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	r := ev.params.ringQ
+	out := ev.params.CopyCiphertext(ct)
+	dm := r.NewPoly()
+	deltaTimesPlaintext(ev.params, dm, pt)
+	r.Add(out.Value[0], out.Value[0], dm)
+	return out
+}
+
+// SubPlain returns ct - pt.
+func (ev *Evaluator) SubPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	r := ev.params.ringQ
+	out := ev.params.CopyCiphertext(ct)
+	dm := r.NewPoly()
+	deltaTimesPlaintext(ev.params, dm, pt)
+	r.Sub(out.Value[0], out.Value[0], dm)
+	return out
+}
+
+// PlainSub returns pt - ct.
+func (ev *Evaluator) PlainSub(pt *Plaintext, ct *Ciphertext) *Ciphertext {
+	return ev.Neg(ev.SubPlain(ct, pt))
+}
+
+// MulPlain returns ct · pt (element-wise SIMD product with a plaintext
+// vector). The plaintext is lifted without Δ-scaling, so the result
+// still encrypts Δ·(m_ct ⊙ m_pt).
+func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	r := ev.params.ringQ
+	m := r.NewPoly()
+	coeffs := make([]int64, len(pt.Coeffs))
+	for j, c := range pt.Coeffs {
+		coeffs[j] = int64(c)
+	}
+	r.SetSmall(m, coeffs)
+	r.NTT(m)
+	out := ev.params.NewCiphertext(ct.Degree())
+	tmp := r.NewPoly()
+	for i := range ct.Value {
+		r.CopyInto(tmp, ct.Value[i])
+		r.NTT(tmp)
+		r.MulCoeffs(tmp, tmp, m)
+		r.INTT(tmp)
+		r.CopyInto(out.Value[i], tmp)
+	}
+	return out
+}
+
+// Mul returns the degree-2 tensor product of two degree-1 ciphertexts,
+// computed exactly over the integers in the extended RNS basis and
+// scaled by t/Q with correct rounding. Use Relinearize (or MulRelin)
+// to return to degree 1.
+func (ev *Evaluator) Mul(a, b *Ciphertext) (*Ciphertext, error) {
+	if err := ev.checkDegree("Mul", a, 1); err != nil {
+		return nil, err
+	}
+	if err := ev.checkDegree("Mul", b, 1); err != nil {
+		return nil, err
+	}
+	rq := ev.params.ringQ
+	rx := ev.params.ringExt
+
+	// Lift the four input polynomials into the extended basis using
+	// centered representatives.
+	lift := func(p *ring.Poly) *ring.Poly {
+		out := rx.NewPoly()
+		var x big.Int
+		for j := 0; j < ev.params.N; j++ {
+			rq.CoeffBigCentered(&x, p, j)
+			rx.SetCoeffBig(out, j, &x)
+		}
+		return out
+	}
+	a0, a1 := lift(a.Value[0]), lift(a.Value[1])
+	b0, b1 := lift(b.Value[0]), lift(b.Value[1])
+	rx.NTT(a0)
+	rx.NTT(a1)
+	rx.NTT(b0)
+	rx.NTT(b1)
+
+	e0, e1, e2 := rx.NewPoly(), rx.NewPoly(), rx.NewPoly()
+	rx.MulCoeffs(e0, a0, b0)
+	rx.MulCoeffs(e1, a0, b1)
+	rx.MulCoeffsAndAdd(e1, a1, b0)
+	rx.MulCoeffs(e2, a1, b1)
+	rx.INTT(e0)
+	rx.INTT(e1)
+	rx.INTT(e2)
+
+	// Scale each coefficient by t/Q with rounding, landing back in R_Q.
+	out := ev.params.NewCiphertext(2)
+	t := new(big.Int).SetUint64(ev.params.T)
+	q := ev.params.q
+	halfQ := new(big.Int).Rsh(q, 1)
+	var x, num big.Int
+	for i, e := range []*ring.Poly{e0, e1, e2} {
+		dst := out.Value[i]
+		for j := 0; j < ev.params.N; j++ {
+			rx.CoeffBigCentered(&x, e, j)
+			num.Mul(t, &x)
+			if num.Sign() >= 0 {
+				num.Add(&num, halfQ)
+			} else {
+				num.Sub(&num, halfQ)
+			}
+			num.Quo(&num, q)
+			rq.SetCoeffBig(dst, j, &num)
+		}
+	}
+	return out, nil
+}
+
+// keySwitch computes (Σ_i d_i·b_i, Σ_i d_i·a_i) where d_i is the i-th
+// RNS digit of d (its residues mod p_i, lifted). This moves a term
+// d·s' to the (constant, s) basis given a switching key for s'.
+func (ev *Evaluator) keySwitch(d *ring.Poly, key *switchingKey) (*ring.Poly, *ring.Poly) {
+	r := ev.params.ringQ
+	out0, out1 := r.NewPoly(), r.NewPoly()
+	digit := r.NewPoly()
+	for i := range r.Primes {
+		// Lift digit i: every prime component holds d mod p_i.
+		src := d.Coeffs[i]
+		for l, pl := range r.Primes {
+			dl := digit.Coeffs[l]
+			for j, v := range src {
+				dl[j] = v % pl
+			}
+		}
+		r.NTT(digit)
+		r.MulCoeffsAndAdd(out0, digit, key.B[i])
+		r.MulCoeffsAndAdd(out1, digit, key.A[i])
+	}
+	r.INTT(out0)
+	r.INTT(out1)
+	return out0, out1
+}
+
+// Relinearize reduces a degree-2 ciphertext to degree 1 using the
+// relinearization key.
+func (ev *Evaluator) Relinearize(ct *Ciphertext) (*Ciphertext, error) {
+	if ct.Degree() == 1 {
+		return ev.params.CopyCiphertext(ct), nil
+	}
+	if ct.Degree() != 2 {
+		return nil, fmt.Errorf("bfv: Relinearize: unsupported degree %d", ct.Degree())
+	}
+	if ev.rlk == nil {
+		return nil, fmt.Errorf("bfv: Relinearize: no relinearization key")
+	}
+	r := ev.params.ringQ
+	f0, f1 := ev.keySwitch(ct.Value[2], ev.rlk.key)
+	out := ev.params.NewCiphertext(1)
+	r.Add(out.Value[0], ct.Value[0], f0)
+	r.Add(out.Value[1], ct.Value[1], f1)
+	return out, nil
+}
+
+// MulRelin multiplies and immediately relinearizes.
+func (ev *Evaluator) MulRelin(a, b *Ciphertext) (*Ciphertext, error) {
+	c, err := ev.Mul(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return ev.Relinearize(c)
+}
+
+// RotateRows rotates the batching rows left by k slots (right for
+// negative k) using the corresponding Galois key.
+func (ev *Evaluator) RotateRows(ct *Ciphertext, k int) (*Ciphertext, error) {
+	if err := ev.checkDegree("RotateRows", ct, 1); err != nil {
+		return nil, err
+	}
+	r := ev.params.ringQ
+	g := r.GaloisElementForRotation(k)
+	if g == 1 {
+		return ev.params.CopyCiphertext(ct), nil
+	}
+	return ev.applyGalois(ct, g)
+}
+
+// RotateColumns swaps the two batching rows.
+func (ev *Evaluator) RotateColumns(ct *Ciphertext) (*Ciphertext, error) {
+	if err := ev.checkDegree("RotateColumns", ct, 1); err != nil {
+		return nil, err
+	}
+	return ev.applyGalois(ct, ev.params.ringQ.GaloisElementRowSwap())
+}
+
+func (ev *Evaluator) applyGalois(ct *Ciphertext, g uint64) (*Ciphertext, error) {
+	if ev.gks == nil || !ev.gks.has(g) {
+		return nil, fmt.Errorf("bfv: no Galois key for element %d", g)
+	}
+	r := ev.params.ringQ
+	c0g, c1g := r.NewPoly(), r.NewPoly()
+	r.Automorphism(c0g, ct.Value[0], g)
+	r.Automorphism(c1g, ct.Value[1], g)
+	f0, f1 := ev.keySwitch(c1g, ev.gks.keys[g])
+	out := ev.params.NewCiphertext(1)
+	r.Add(out.Value[0], c0g, f0)
+	r.CopyInto(out.Value[1], f1)
+	return out, nil
+}

@@ -1,0 +1,216 @@
+// Package bfv implements the Brakerski/Fan-Vercauteren homomorphic
+// encryption scheme over the ring R_Q = Z_Q[X]/(X^N+1): batching
+// encoder, key generation (secret, public, relinearization and Galois
+// keys), encryption, decryption, and the homomorphic evaluator with
+// SIMD add/sub/multiply and slot rotation.
+//
+// It plays the role Microsoft SEAL v3.5 plays in the Porcupine paper:
+// the concrete cryptographic backend that lowered Quill kernels
+// execute on. Ciphertext multiplication is textbook-exact: the tensor
+// product is computed over the integers in an extended RNS basis and
+// scaled by t/Q with correct rounding via CRT reconstruction.
+package bfv
+
+import (
+	"fmt"
+	"math/big"
+
+	"porcupine/internal/mathutil"
+	"porcupine/internal/ring"
+)
+
+// PlaintextModulus is the plaintext modulus t used throughout this
+// repository. 65537 is a Fermat prime with t ≡ 1 (mod 2N) for every
+// N ≤ 32768, so batching is available at all supported ring degrees.
+const PlaintextModulus uint64 = 65537
+
+// Parameters bundles a BFV parameter set with all precomputed tables.
+type Parameters struct {
+	N int    // ring degree (power of two)
+	T uint64 // plaintext modulus, prime, ≡ 1 mod 2N
+
+	QPrimes []uint64 // RNS basis of the ciphertext modulus Q
+
+	ringQ   *ring.Ring // R_Q
+	ringExt *ring.Ring // extended basis for exact tensor products
+	extLen  int        // number of primes in the extended basis
+
+	q       *big.Int // Q = ∏ QPrimes
+	delta   *big.Int // Δ = floor(Q/t)
+	deltaQi []uint64 // Δ mod p_i
+
+	secure bool // true when the preset meets the 128-bit HE standard
+	name   string
+}
+
+// presetSpec describes a named parameter preset.
+type presetSpec struct {
+	name   string
+	n      int
+	qBits  int
+	qCount int
+	secure bool
+}
+
+var presets = map[string]presetSpec{
+	// PN2048 is for unit tests only: small and fast, NOT 128-bit secure
+	// (Q is far above the standard bound for N=2048; it exists to give
+	// tests multiplicative depth ≥ 2 at low cost).
+	"PN2048": {name: "PN2048", n: 2048, qBits: 40, qCount: 3, secure: false},
+	// PN4096: Q ≈ 108 bits ≤ the HE-standard 109-bit bound for N=4096.
+	"PN4096": {name: "PN4096", n: 4096, qBits: 36, qCount: 3, secure: true},
+	// PN8192: Q ≈ 215 bits ≤ the HE-standard 218-bit bound for N=8192.
+	"PN8192": {name: "PN8192", n: 8192, qBits: 43, qCount: 5, secure: true},
+}
+
+// NewParametersFromPreset builds one of the named presets: PN2048
+// (tests only), PN4096 (128-bit secure, multiplicative depth ≈ 2) or
+// PN8192 (128-bit secure, multiplicative depth ≈ 5).
+func NewParametersFromPreset(name string) (*Parameters, error) {
+	spec, ok := presets[name]
+	if !ok {
+		return nil, fmt.Errorf("bfv: unknown preset %q", name)
+	}
+	p, err := NewParameters(spec.n, spec.qBits, spec.qCount)
+	if err != nil {
+		return nil, err
+	}
+	p.secure = spec.secure
+	p.name = spec.name
+	return p, nil
+}
+
+// NewParameters constructs a BFV parameter set with ring degree n and a
+// ciphertext modulus of qCount primes of qBits bits each. The plaintext
+// modulus is fixed to PlaintextModulus.
+func NewParameters(n, qBits, qCount int) (*Parameters, error) {
+	if n < 16 || n > 32768 {
+		return nil, fmt.Errorf("bfv: ring degree %d out of supported range [16, 32768]", n)
+	}
+	qPrimes, err := mathutil.GenerateNTTPrimes(qBits, n, qCount)
+	if err != nil {
+		return nil, fmt.Errorf("bfv: generating ciphertext primes: %w", err)
+	}
+	return newParameters(n, qPrimes)
+}
+
+func newParameters(n int, qPrimes []uint64) (*Parameters, error) {
+	p := &Parameters{N: n, T: PlaintextModulus, QPrimes: qPrimes, name: "custom"}
+	var err error
+	p.ringQ, err = ring.NewRing(n, qPrimes)
+	if err != nil {
+		return nil, err
+	}
+
+	p.q = new(big.Int).Set(p.ringQ.Modulus())
+	p.delta = new(big.Int).Div(p.q, new(big.Int).SetUint64(p.T))
+	p.deltaQi = make([]uint64, len(qPrimes))
+	var tmp, pb big.Int
+	for i, pr := range qPrimes {
+		pb.SetUint64(pr)
+		tmp.Mod(p.delta, &pb)
+		p.deltaQi[i] = tmp.Uint64()
+	}
+
+	// Extended basis for exact tensor products: Q primes plus enough
+	// 52-bit auxiliary primes so that ∏ext > 4·N·Q² (margin over the
+	// N·Q²/2 bound on centered tensor coefficients).
+	bound := new(big.Int).Mul(p.q, p.q)
+	bound.Mul(bound, big.NewInt(int64(4*n)))
+	auxNeed := 0
+	prod := new(big.Int).Set(p.q)
+	for prod.Cmp(bound) <= 0 {
+		auxNeed++
+		prod.Mul(prod, new(big.Int).Lsh(big.NewInt(1), 51))
+	}
+	aux, err := mathutil.GenerateNTTPrimes(52, n, auxNeed+2)
+	if err != nil {
+		return nil, fmt.Errorf("bfv: generating auxiliary primes: %w", err)
+	}
+	extPrimes := append([]uint64(nil), qPrimes...)
+	inQ := make(map[uint64]bool, len(qPrimes))
+	for _, q := range qPrimes {
+		inQ[q] = true
+	}
+	added := 0
+	for _, a := range aux {
+		if added == auxNeed {
+			break
+		}
+		if !inQ[a] {
+			extPrimes = append(extPrimes, a)
+			added++
+		}
+	}
+	if added < auxNeed {
+		return nil, fmt.Errorf("bfv: could not assemble extended basis (%d/%d aux primes)", added, auxNeed)
+	}
+	p.ringExt, err = ring.NewRing(n, extPrimes)
+	if err != nil {
+		return nil, err
+	}
+	p.extLen = len(extPrimes)
+	return p, nil
+}
+
+// RingQ returns the ciphertext ring R_Q.
+func (p *Parameters) RingQ() *ring.Ring { return p.ringQ }
+
+// Q returns the ciphertext modulus as a big integer (do not modify).
+func (p *Parameters) Q() *big.Int { return p.q }
+
+// Delta returns Δ = floor(Q/t) (do not modify).
+func (p *Parameters) Delta() *big.Int { return p.delta }
+
+// SlotCount returns the number of SIMD slots exposed to Quill programs:
+// one batching row of N/2 slots, rotated circularly by RotateRows.
+func (p *Parameters) SlotCount() int { return p.N / 2 }
+
+// Secure reports whether the preset satisfies the 128-bit
+// HomomorphicEncryption.org standard parameter table.
+func (p *Parameters) Secure() bool { return p.secure }
+
+// Name returns the preset name ("custom" for NewParameters).
+func (p *Parameters) Name() string { return p.name }
+
+// LogQ returns the bit size of the ciphertext modulus.
+func (p *Parameters) LogQ() int { return p.q.BitLen() }
+
+// Plaintext is a degree-N polynomial with coefficients modulo t.
+// Obtain one from Encoder.EncodeNew or NewPlaintext.
+type Plaintext struct {
+	Coeffs []uint64
+}
+
+// NewPlaintext allocates a zero plaintext for the parameter set.
+func (p *Parameters) NewPlaintext() *Plaintext {
+	return &Plaintext{Coeffs: make([]uint64, p.N)}
+}
+
+// Ciphertext is a BFV ciphertext: a vector of polynomials in R_Q.
+// A fresh ciphertext has two polynomials; multiplication without
+// relinearization yields three.
+type Ciphertext struct {
+	Value []*ring.Poly
+}
+
+// Degree returns len(Value) - 1.
+func (ct *Ciphertext) Degree() int { return len(ct.Value) - 1 }
+
+// NewCiphertext allocates a zero ciphertext of the given degree.
+func (p *Parameters) NewCiphertext(degree int) *Ciphertext {
+	v := make([]*ring.Poly, degree+1)
+	for i := range v {
+		v[i] = p.ringQ.NewPoly()
+	}
+	return &Ciphertext{Value: v}
+}
+
+// CopyCiphertext returns a deep copy of ct.
+func (p *Parameters) CopyCiphertext(ct *Ciphertext) *Ciphertext {
+	out := &Ciphertext{Value: make([]*ring.Poly, len(ct.Value))}
+	for i, v := range ct.Value {
+		out.Value[i] = p.ringQ.Copy(v)
+	}
+	return out
+}

@@ -1,0 +1,338 @@
+package bfv
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"porcupine/internal/ring"
+)
+
+// Binary serialization for the BFV objects a client and server
+// exchange: parameters, plaintexts, ciphertexts, and the public
+// evaluation keys. The format is versioned little-endian:
+//
+//	magic "PBFV" | version u8 | tag u8 | payload
+//
+// Secret keys are deliberately not serializable here: in the
+// deployment model of the paper (Figure 1) the secret key never leaves
+// the client process.
+
+const (
+	serialMagic   = "PBFV"
+	serialVersion = 1
+)
+
+const (
+	tagParams byte = iota + 1
+	tagPlaintext
+	tagCiphertext
+	tagPublicKey
+	tagRelinKey
+	tagGaloisKeys
+)
+
+type writer struct{ buf []byte }
+
+func (w *writer) u8(v byte)    { w.buf = append(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *writer) u64s(v []uint64) {
+	w.u32(uint32(len(v)))
+	for _, x := range v {
+		w.u64(x)
+	}
+}
+
+func (w *writer) poly(p *ring.Poly) {
+	w.u32(uint32(len(p.Coeffs)))
+	for _, c := range p.Coeffs {
+		w.u64s(c)
+	}
+}
+
+func newWriter(tag byte) *writer {
+	w := &writer{}
+	w.buf = append(w.buf, serialMagic...)
+	w.u8(serialVersion)
+	w.u8(tag)
+	return w
+}
+
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func newReader(data []byte, wantTag byte) *reader {
+	r := &reader{buf: data}
+	if len(data) < 6 || string(data[:4]) != serialMagic {
+		r.err = fmt.Errorf("bfv: bad magic")
+		return r
+	}
+	if data[4] != serialVersion {
+		r.err = fmt.Errorf("bfv: unsupported serialization version %d", data[4])
+		return r
+	}
+	if data[5] != wantTag {
+		r.err = fmt.Errorf("bfv: wrong object tag %d (want %d)", data[5], wantTag)
+		return r
+	}
+	r.off = 6
+	return r
+}
+
+func (r *reader) u8() byte {
+	if r.err != nil || r.off+1 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) u64s() []uint64 {
+	n := r.u32()
+	if r.err != nil || r.off+8*int(n) > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.u64()
+	}
+	return out
+}
+
+func (r *reader) poly(ringQ *ring.Ring) *ring.Poly {
+	n := r.u32()
+	if r.err != nil {
+		return nil
+	}
+	if int(n) != len(ringQ.Primes) {
+		r.err = fmt.Errorf("bfv: poly has %d prime components, parameters have %d", n, len(ringQ.Primes))
+		return nil
+	}
+	p := ringQ.NewPoly()
+	for i := 0; i < int(n); i++ {
+		c := r.u64s()
+		if r.err != nil {
+			return nil
+		}
+		if len(c) != ringQ.N {
+			r.err = fmt.Errorf("bfv: poly component has %d coefficients, want %d", len(c), ringQ.N)
+			return nil
+		}
+		copy(p.Coeffs[i], c)
+	}
+	return p
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("bfv: truncated serialization")
+	}
+}
+
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("bfv: %d trailing bytes", len(r.buf)-r.off)
+	}
+	return nil
+}
+
+// MarshalBinary encodes the parameter set (degree and RNS basis; the
+// plaintext modulus is the package constant).
+func (p *Parameters) MarshalBinary() ([]byte, error) {
+	w := newWriter(tagParams)
+	w.u32(uint32(p.N))
+	w.u64s(p.QPrimes)
+	return w.buf, nil
+}
+
+// UnmarshalParameters reconstructs a parameter set (with all derived
+// tables) from MarshalBinary output.
+func UnmarshalParameters(data []byte) (*Parameters, error) {
+	r := newReader(data, tagParams)
+	n := r.u32()
+	primes := r.u64s()
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return newParameters(int(n), primes)
+}
+
+// MarshalBinary encodes a plaintext.
+func (pt *Plaintext) MarshalBinary() ([]byte, error) {
+	w := newWriter(tagPlaintext)
+	w.u64s(pt.Coeffs)
+	return w.buf, nil
+}
+
+// UnmarshalPlaintext decodes a plaintext for this parameter set.
+func (p *Parameters) UnmarshalPlaintext(data []byte) (*Plaintext, error) {
+	r := newReader(data, tagPlaintext)
+	coeffs := r.u64s()
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	if len(coeffs) != p.N {
+		return nil, fmt.Errorf("bfv: plaintext has %d coefficients, want %d", len(coeffs), p.N)
+	}
+	return &Plaintext{Coeffs: coeffs}, nil
+}
+
+// MarshalBinary encodes a ciphertext of any degree.
+func (ct *Ciphertext) MarshalBinary() ([]byte, error) {
+	w := newWriter(tagCiphertext)
+	w.u32(uint32(len(ct.Value)))
+	for _, v := range ct.Value {
+		w.poly(v)
+	}
+	return w.buf, nil
+}
+
+// UnmarshalCiphertext decodes a ciphertext for this parameter set.
+func (p *Parameters) UnmarshalCiphertext(data []byte) (*Ciphertext, error) {
+	r := newReader(data, tagCiphertext)
+	n := r.u32()
+	if r.err == nil && (n < 1 || n > 8) {
+		return nil, fmt.Errorf("bfv: implausible ciphertext size %d", n)
+	}
+	ct := &Ciphertext{}
+	for i := 0; i < int(n); i++ {
+		ct.Value = append(ct.Value, r.poly(p.ringQ))
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return ct, nil
+}
+
+// MarshalBinary encodes a public key.
+func (pk *PublicKey) MarshalBinary() ([]byte, error) {
+	w := newWriter(tagPublicKey)
+	w.poly(pk.P0Ntt)
+	w.poly(pk.P1Ntt)
+	return w.buf, nil
+}
+
+// UnmarshalPublicKey decodes a public key for this parameter set.
+func (p *Parameters) UnmarshalPublicKey(data []byte) (*PublicKey, error) {
+	r := newReader(data, tagPublicKey)
+	pk := &PublicKey{P0Ntt: r.poly(p.ringQ), P1Ntt: r.poly(p.ringQ)}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return pk, nil
+}
+
+func marshalSwitchingKey(w *writer, k *switchingKey) {
+	w.u32(uint32(len(k.B)))
+	for i := range k.B {
+		w.poly(k.B[i])
+		w.poly(k.A[i])
+	}
+}
+
+func (r *reader) switchingKey(ringQ *ring.Ring) *switchingKey {
+	n := r.u32()
+	if r.err != nil {
+		return nil
+	}
+	if int(n) != len(ringQ.Primes) {
+		r.err = fmt.Errorf("bfv: switching key has %d digits, want %d", n, len(ringQ.Primes))
+		return nil
+	}
+	k := &switchingKey{}
+	for i := 0; i < int(n); i++ {
+		k.B = append(k.B, r.poly(ringQ))
+		k.A = append(k.A, r.poly(ringQ))
+	}
+	return k
+}
+
+// MarshalBinary encodes a relinearization key.
+func (rk *RelinearizationKey) MarshalBinary() ([]byte, error) {
+	w := newWriter(tagRelinKey)
+	marshalSwitchingKey(w, rk.key)
+	return w.buf, nil
+}
+
+// UnmarshalRelinearizationKey decodes a relinearization key.
+func (p *Parameters) UnmarshalRelinearizationKey(data []byte) (*RelinearizationKey, error) {
+	r := newReader(data, tagRelinKey)
+	k := r.switchingKey(p.ringQ)
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return &RelinearizationKey{key: k}, nil
+}
+
+// MarshalBinary encodes a Galois key set.
+func (gk *GaloisKeys) MarshalBinary() ([]byte, error) {
+	w := newWriter(tagGaloisKeys)
+	w.u32(uint32(len(gk.keys)))
+	// Deterministic order.
+	var elems []uint64
+	for g := range gk.keys {
+		elems = append(elems, g)
+	}
+	sortU64(elems)
+	for _, g := range elems {
+		w.u64(g)
+		marshalSwitchingKey(w, gk.keys[g])
+	}
+	return w.buf, nil
+}
+
+// UnmarshalGaloisKeys decodes a Galois key set.
+func (p *Parameters) UnmarshalGaloisKeys(data []byte) (*GaloisKeys, error) {
+	r := newReader(data, tagGaloisKeys)
+	n := r.u32()
+	gk := &GaloisKeys{keys: map[uint64]*switchingKey{}}
+	for i := 0; i < int(n); i++ {
+		g := r.u64()
+		k := r.switchingKey(p.ringQ)
+		if r.err != nil {
+			break
+		}
+		gk.keys[g] = k
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return gk, nil
+}
+
+func sortU64(v []uint64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package bfv
+
+import (
+	"testing"
+)
+
+func TestParametersSerializationRoundTrip(t *testing.T) {
+	tc := newTestContext(t, nil)
+	data, err := tc.params.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := UnmarshalParameters(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.N != tc.params.N || len(restored.QPrimes) != len(tc.params.QPrimes) {
+		t.Error("parameters round trip lost data")
+	}
+	for i := range restored.QPrimes {
+		if restored.QPrimes[i] != tc.params.QPrimes[i] {
+			t.Error("prime basis mismatch")
+		}
+	}
+	if restored.Q().Cmp(tc.params.Q()) != 0 {
+		t.Error("derived modulus mismatch")
+	}
+}
+
+func TestCiphertextSerializationRoundTrip(t *testing.T) {
+	tc := newTestContext(t, []int{1})
+	v := []uint64{11, 22, 33, 44}
+	ct := tc.encryptVec(t, v)
+	data, err := ct.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := tc.params.UnmarshalCiphertext(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tc.decryptVec(restored)
+	for i := range v {
+		if got[i] != v[i] {
+			t.Fatalf("slot %d: %d != %d", i, got[i], v[i])
+		}
+	}
+	// The restored ciphertext is fully functional: rotate it.
+	rot, err := tc.ev.RotateRows(restored, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.decryptVec(rot)[0] != v[1] {
+		t.Error("restored ciphertext broken after rotation")
+	}
+}
+
+func TestDegree2CiphertextSerialization(t *testing.T) {
+	tc := newTestContext(t, nil)
+	ct := tc.encryptVec(t, []uint64{5})
+	d2, err := tc.ev.Mul(ct, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := d2.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := tc.params.UnmarshalCiphertext(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Degree() != 2 {
+		t.Fatalf("degree = %d, want 2", restored.Degree())
+	}
+	if tc.decryptVec(restored)[0] != 25 {
+		t.Error("degree-2 round trip wrong")
+	}
+}
+
+func TestPlaintextSerializationRoundTrip(t *testing.T) {
+	tc := newTestContext(t, nil)
+	pt, err := tc.enc.EncodeNew([]uint64{7, 8, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := pt.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := tc.params.UnmarshalPlaintext(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := tc.enc.Decode(restored)
+	if dec[0] != 7 || dec[1] != 8 || dec[2] != 9 {
+		t.Error("plaintext round trip wrong")
+	}
+}
+
+func TestEvaluationKeySerializationRoundTrip(t *testing.T) {
+	tc := newTestContext(t, []int{1, 2})
+
+	pkData, err := tc.pk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk, err := tc.params.UnmarshalPublicKey(pkData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rlkData, err := tc.rlk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rlk, err := tc.params.UnmarshalRelinearizationKey(rlkData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gkData, err := tc.gks.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gks, err := tc.params.UnmarshalGaloisKeys(gkData)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A full pipeline with only deserialized key material.
+	enc := NewTestEncryptor(tc.params, pk, 99)
+	ev := NewEvaluator(tc.params, rlk, gks)
+	pt, err := tc.enc.EncodeNew([]uint64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := enc.Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq, err := ev.MulRelin(ct, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rot, err := ev.RotateRows(sq, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tc.decryptVec(rot)
+	if got[0] != 16 { // (slot 1 of squared vector) = 4²
+		t.Errorf("pipeline with deserialized keys: got %d, want 16", got[0])
+	}
+}
+
+func TestSerializationRejectsCorruption(t *testing.T) {
+	tc := newTestContext(t, nil)
+	ct := tc.encryptVec(t, []uint64{1})
+	data, err := ct.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("XXXX"), data[4:]...),
+		"bad ver":   append([]byte("PBFV\x09"), data[5:]...),
+		"wrong tag": append([]byte("PBFV\x01\x01"), data[6:]...),
+		"truncated": data[:len(data)/2],
+		"trailing":  append(append([]byte{}, data...), 0),
+	}
+	for name, d := range cases {
+		if _, err := tc.params.UnmarshalCiphertext(d); err == nil {
+			t.Errorf("%s: corruption not detected", name)
+		}
+	}
+	if _, err := UnmarshalParameters(data); err == nil {
+		t.Error("ciphertext bytes accepted as parameters")
+	}
+}

@@ -1,0 +1,114 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"porcupine/internal/baseline"
+	"porcupine/internal/quill"
+)
+
+func TestEmitSEALGx(t *testing.T) {
+	l, err := baseline.Lowered("gx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := EmitSEAL(l, Options{FuncName: "gx"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Ciphertext gx(",
+		"evaluator.rotate_rows(",
+		"evaluator.sub(",
+		"evaluator.add(",
+		"const Ciphertext &ct0",
+		"gal_keys",
+		"return c",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated code missing %q:\n%s", want, src)
+		}
+	}
+	// Six rotations for the unseparated baseline.
+	if got := strings.Count(src, "rotate_rows"); got != 6 {
+		t.Errorf("expected 6 rotate_rows, got %d", got)
+	}
+}
+
+func TestEmitSEALPlaintextOps(t *testing.T) {
+	l, err := baseline.Lowered("linear-regression")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := EmitSEAL(l, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"multiply_plain",
+		"add_plain",
+		"const Plaintext &pt0",
+		"const Plaintext &pt1",
+		"Ciphertext kernel(",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated code missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestEmitSEALRelinAndConstants(t *testing.T) {
+	p := &quill.Program{
+		VecLen:      8,
+		NumCtInputs: 1,
+		Instrs: []quill.Instr{
+			{Op: quill.OpMulCtCt, A: quill.CtRef{ID: 0}, B: quill.CtRef{ID: 0}},
+			{Op: quill.OpMulCtPt, A: quill.CtRef{ID: 1}, P: quill.PtRef{Input: -1, Const: []int64{-2}}},
+		},
+		Output: 2,
+	}
+	l, err := quill.Lower(p, quill.DefaultLowerOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := EmitSEAL(l, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "relinearize") {
+		t.Error("missing relinearize call")
+	}
+	// -2 mod 65537 = 65535.
+	if !strings.Contains(src, "65535") {
+		t.Errorf("signed constant not normalized:\n%s", src)
+	}
+	if !strings.Contains(src, "encoder.encode(std::vector<uint64_t>(encoder.slot_count(), 65535)") {
+		t.Errorf("broadcast constant encoding missing:\n%s", src)
+	}
+}
+
+func TestEmitSEALInvalidProgram(t *testing.T) {
+	l := &quill.Lowered{VecLen: 7, NumCtInputs: 1}
+	if _, err := EmitSEAL(l, Options{}); err == nil {
+		t.Error("invalid program should fail")
+	}
+}
+
+func TestEmitSEALDeterministic(t *testing.T) {
+	l, err := baseline.Lowered("box-blur")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := EmitSEAL(l, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EmitSEAL(l, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("codegen is not deterministic")
+	}
+}

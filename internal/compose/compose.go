@@ -1,0 +1,132 @@
+// Package compose implements the paper's multi-step synthesis (§6.3):
+// large applications are partitioned at natural break points, each
+// segment is synthesized (or hand-written) independently, and the
+// lowered segments are stitched into one pipeline. Sobel and Harris —
+// the paper's two multi-step workloads — are built here from gradient
+// and blur building blocks.
+package compose
+
+import (
+	"fmt"
+
+	"porcupine/internal/kernels"
+	"porcupine/internal/quill"
+)
+
+// Sobel builds the squared-gradient-magnitude pipeline Gx² + Gy² from
+// any pair of gradient programs (baseline or synthesized).
+func Sobel(gx, gy *quill.Program) (*quill.Lowered, error) {
+	lgx, err := quill.Lower(gx, quill.DefaultLowerOptions())
+	if err != nil {
+		return nil, err
+	}
+	lgy, err := quill.Lower(gy, quill.DefaultLowerOptions())
+	if err != nil {
+		return nil, err
+	}
+	comb, err := quill.Concat(lgx, lgy, []int{0})
+	if err != nil {
+		return nil, err
+	}
+	gxOut := lgx.Output
+	gyOut := comb.Output
+	b := builder{l: comb}
+	sq1 := b.mulRelin(gxOut, gxOut)
+	sq2 := b.mulRelin(gyOut, gyOut)
+	b.l.Output = b.add(quill.OpAddCtCt, sq1, sq2)
+	if err := b.l.Validate(); err != nil {
+		return nil, fmt.Errorf("compose: sobel: %w", err)
+	}
+	return b.l, nil
+}
+
+// Harris builds the integerized Harris corner response
+// 16·det(M) − trace(M)² from gradient and box-blur programs
+// (see kernels.Harris for the specification).
+func Harris(gx, gy, blur *quill.Program) (*quill.Lowered, error) {
+	lgx, err := quill.Lower(gx, quill.DefaultLowerOptions())
+	if err != nil {
+		return nil, err
+	}
+	lgy, err := quill.Lower(gy, quill.DefaultLowerOptions())
+	if err != nil {
+		return nil, err
+	}
+	lblur, err := quill.Lower(blur, quill.DefaultLowerOptions())
+	if err != nil {
+		return nil, err
+	}
+	comb, err := quill.Concat(lgx, lgy, []int{0})
+	if err != nil {
+		return nil, err
+	}
+	gxOut := lgx.Output
+	gyOut := comb.Output
+	b := builder{l: comb}
+
+	ixx := b.mulRelin(gxOut, gxOut)
+	iyy := b.mulRelin(gyOut, gyOut)
+	ixy := b.mulRelin(gxOut, gyOut)
+
+	sxx, err := b.concat(lblur, ixx)
+	if err != nil {
+		return nil, err
+	}
+	syy, err := b.concat(lblur, iyy)
+	if err != nil {
+		return nil, err
+	}
+	sxy, err := b.concat(lblur, ixy)
+	if err != nil {
+		return nil, err
+	}
+
+	d1 := b.mulRelin(sxx, syy)
+	d2 := b.mulRelin(sxy, sxy)
+	det := b.add(quill.OpSubCtCt, d1, d2)
+	tr := b.add(quill.OpAddCtCt, sxx, syy)
+	tr2 := b.mulRelin(tr, tr)
+	det16 := b.mulConst(det, kernels.HarrisK16)
+	b.l.Output = b.add(quill.OpSubCtCt, det16, tr2)
+	if err := b.l.Validate(); err != nil {
+		return nil, fmt.Errorf("compose: harris: %w", err)
+	}
+	return b.l, nil
+}
+
+// builder appends instructions to a lowered program with sequential
+// SSA ids.
+type builder struct {
+	l *quill.Lowered
+}
+
+func (b *builder) append(in quill.LInstr) int {
+	in.Dst = b.l.NumValues()
+	b.l.Instrs = append(b.l.Instrs, in)
+	return in.Dst
+}
+
+func (b *builder) add(op quill.Op, x, y int) int {
+	return b.append(quill.LInstr{Op: op, A: x, B: y})
+}
+
+func (b *builder) mulRelin(x, y int) int {
+	m := b.append(quill.LInstr{Op: quill.OpMulCtCt, A: x, B: y})
+	return b.append(quill.LInstr{Op: quill.OpRelin, A: m})
+}
+
+func (b *builder) mulConst(x int, c int64) int {
+	return b.append(quill.LInstr{Op: quill.OpMulCtPt, A: x,
+		P: quill.PtRef{Input: -1, Const: []int64{c}}})
+}
+
+// concat splices seg after the current program, feeding value src as
+// its single ciphertext input, and returns the new output id.
+func (b *builder) concat(seg *quill.Lowered, src int) (int, error) {
+	comb, err := quill.Concat(b.l, seg, []int{src})
+	if err != nil {
+		return 0, err
+	}
+	b.l = comb
+	return comb.Output, nil
+}

@@ -1,0 +1,175 @@
+// Package core wires the Porcupine pipeline together (Figure 3):
+// kernel specification + sketch → synthesis engine → verified Quill
+// program → lowering (rotation CSE, relinearization insertion) → SEAL
+// code generation / BFV execution. It also implements the multi-step
+// compilation of Sobel and Harris from independently synthesized
+// segments (§6.3) and the suite driver used by the benchmark harness.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"porcupine/internal/baseline"
+	"porcupine/internal/codegen"
+	"porcupine/internal/compose"
+	"porcupine/internal/kernels"
+	"porcupine/internal/quill"
+	"porcupine/internal/synth"
+)
+
+// DirectKernels lists the nine directly synthesized kernels in the
+// paper's Table 3 order.
+func DirectKernels() []string {
+	var names []string
+	for _, s := range kernels.All() {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
+// MultiStepKernels lists the §6.3 composed workloads.
+func MultiStepKernels() []string { return []string{"sobel", "harris"} }
+
+// AllKernels lists every workload of the evaluation (Figure 4 order).
+func AllKernels() []string { return append(DirectKernels(), MultiStepKernels()...) }
+
+// Compiled is the outcome of compiling one kernel.
+type Compiled struct {
+	Name    string
+	Spec    *kernels.Spec
+	Result  *synth.Result  // nil for multi-step pipelines
+	Lowered *quill.Lowered // the executable artifact
+}
+
+// CompileKernel synthesizes a directly synthesized kernel with its
+// default sketch and verifies the result.
+func CompileKernel(name string, opts synth.Options) (*Compiled, error) {
+	spec := kernels.ByName(name)
+	if spec == nil {
+		return nil, fmt.Errorf("core: unknown kernel %q", name)
+	}
+	res, err := synth.SynthesizeKernel(name, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: synthesizing %s: %w", name, err)
+	}
+	ok, err := spec.CheckLowered(res.Lowered)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("core: %s: lowered program failed final verification", name)
+	}
+	return &Compiled{Name: name, Spec: spec, Result: res, Lowered: res.Lowered}, nil
+}
+
+// Suite holds compiled artifacts for a set of kernels.
+type Suite struct {
+	Kernels map[string]*Compiled
+}
+
+// CompileSuite compiles the named kernels (nil = all nine direct
+// kernels plus sobel and harris). Multi-step kernels are composed from
+// the synthesized gx, gy and box-blur segments, which are compiled on
+// demand if not already requested.
+func CompileSuite(names []string, opts synth.Options) (*Suite, error) {
+	if names == nil {
+		names = AllKernels()
+	}
+	s := &Suite{Kernels: map[string]*Compiled{}}
+	needMulti := false
+	for _, n := range names {
+		if n == "sobel" || n == "harris" {
+			needMulti = true
+			continue
+		}
+		c, err := CompileKernel(n, opts)
+		if err != nil {
+			return nil, err
+		}
+		s.Kernels[n] = c
+	}
+	if needMulti {
+		for _, dep := range []string{"gx", "gy", "box-blur"} {
+			if _, ok := s.Kernels[dep]; !ok {
+				c, err := CompileKernel(dep, opts)
+				if err != nil {
+					return nil, err
+				}
+				s.Kernels[dep] = c
+			}
+		}
+	}
+	for _, n := range names {
+		switch n {
+		case "sobel":
+			c, err := composeMulti(n, s)
+			if err != nil {
+				return nil, err
+			}
+			s.Kernels[n] = c
+		case "harris":
+			c, err := composeMulti(n, s)
+			if err != nil {
+				return nil, err
+			}
+			s.Kernels[n] = c
+		}
+	}
+	return s, nil
+}
+
+func composeMulti(name string, s *Suite) (*Compiled, error) {
+	gx := s.Kernels["gx"].Result.Program
+	gy := s.Kernels["gy"].Result.Program
+	var l *quill.Lowered
+	var err error
+	switch name {
+	case "sobel":
+		l, err = compose.Sobel(gx, gy)
+	case "harris":
+		l, err = compose.Harris(gx, gy, s.Kernels["box-blur"].Result.Program)
+	default:
+		return nil, fmt.Errorf("core: unknown multi-step kernel %q", name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	spec := kernels.ByName(name)
+	ok, err := spec.CheckLowered(l)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("core: composed %s failed verification", name)
+	}
+	return &Compiled{Name: name, Spec: spec, Lowered: l}, nil
+}
+
+// BaselineLowered returns the hand-written baseline for any kernel.
+func BaselineLowered(name string) (*quill.Lowered, error) {
+	return baseline.Lowered(name)
+}
+
+// EmitSEAL generates SEAL C++ for a compiled kernel.
+func (c *Compiled) EmitSEAL() (string, error) {
+	return codegen.EmitSEAL(c.Lowered, codegen.Options{FuncName: cIdent(c.Name)})
+}
+
+func cIdent(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		if r == '-' {
+			r = '_'
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}
+
+// DefaultSynthOptions returns the options used by the benchmark
+// harness: a generous paper-style timeout and a fixed seed for
+// reproducibility.
+func DefaultSynthOptions() synth.Options {
+	return synth.Options{Timeout: 20 * time.Minute, Seed: 1}
+}

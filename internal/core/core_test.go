@@ -1,0 +1,98 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"porcupine/internal/synth"
+)
+
+func fastOpts() synth.Options {
+	return synth.Options{Seed: 1, Timeout: 5 * time.Minute}
+}
+
+func TestKernelLists(t *testing.T) {
+	if len(DirectKernels()) != 9 {
+		t.Errorf("direct kernels = %d, want 9", len(DirectKernels()))
+	}
+	if len(MultiStepKernels()) != 2 {
+		t.Error("multi-step kernels wrong")
+	}
+	if len(AllKernels()) != 11 {
+		t.Error("all kernels wrong")
+	}
+}
+
+func TestCompileKernel(t *testing.T) {
+	c, err := CompileKernel("box-blur", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "box-blur" || c.Result == nil || c.Lowered == nil {
+		t.Error("compiled kernel incomplete")
+	}
+	if c.Lowered.InstructionCount() != 4 {
+		t.Errorf("box blur instructions = %d", c.Lowered.InstructionCount())
+	}
+	if _, err := CompileKernel("nope", fastOpts()); err == nil {
+		t.Error("unknown kernel should fail")
+	}
+}
+
+func TestCompileSuiteWithMultiStep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite compilation synthesizes gx/gy")
+	}
+	s, err := CompileSuite([]string{"sobel"}, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dependencies compiled on demand.
+	for _, dep := range []string{"gx", "gy", "box-blur", "sobel"} {
+		if s.Kernels[dep] == nil {
+			t.Errorf("suite missing %s", dep)
+		}
+	}
+	sobel := s.Kernels["sobel"]
+	if sobel.Result != nil {
+		t.Error("multi-step kernel should not carry a direct synthesis result")
+	}
+	base, err := BaselineLowered("sobel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sobel.Lowered.InstructionCount() >= base.InstructionCount() {
+		t.Errorf("synthesized sobel (%d instrs) should beat baseline (%d)",
+			sobel.Lowered.InstructionCount(), base.InstructionCount())
+	}
+}
+
+func TestEmitSEALFromCompiled(t *testing.T) {
+	c, err := CompileKernel("linear-regression", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := c.EmitSEAL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "Ciphertext linear_regression(") {
+		t.Errorf("function name not sanitized:\n%s", src)
+	}
+}
+
+func TestBaselineLoweredAll(t *testing.T) {
+	for _, name := range AllKernels() {
+		if _, err := BaselineLowered(name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestDefaultSynthOptions(t *testing.T) {
+	opts := DefaultSynthOptions()
+	if opts.Timeout != 20*time.Minute {
+		t.Error("default timeout should match the paper's 20 minutes")
+	}
+}

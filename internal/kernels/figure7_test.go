@@ -1,0 +1,52 @@
+package kernels
+
+import (
+	"testing"
+
+	"porcupine/internal/quill"
+)
+
+// TestFigure7Walkthrough replays the paper's Figure 7: the packed 5×5
+// image, the synthesized Gx schedule, and the tracked value in the
+// target slot after every instruction.
+func TestFigure7Walkthrough(t *testing.T) {
+	img := func(r, c int) uint64 { return uint64(10*r + c + 1) }
+	c0 := make(quill.Vec, ImgVecLen)
+	for r := 0; r < ImgH; r++ {
+		for c := 0; c < ImgW; c++ {
+			c0[imgIdx(r, c)] = img(r, c)
+		}
+	}
+	sem := quill.ConcreteSem{}
+	// C1 = rot(C0, -5); C2 = C0 + C1: vertical pair sums.
+	c2 := sem.Add(c0, sem.Rot(c0, -5))
+	slot := imgIdx(2, 2) // the figure's tracked center pixel
+	if want := img(1, 2) + img(2, 2); c2[slot] != want {
+		t.Fatalf("C2 tracked value = %d, want %d (x[r-1,c] + x[r,c])", c2[slot], want)
+	}
+	// C3 = rot(C2, 5); C4 = C2 + C3: full [1 2 1] vertical smoothing.
+	c4 := sem.Add(c2, sem.Rot(c2, 5))
+	if want := img(1, 2) + 2*img(2, 2) + img(3, 2); c4[slot] != want {
+		t.Fatalf("C4 tracked value = %d, want %d (vertical [1 2 1])", c4[slot], want)
+	}
+	// C5 = rot(C4, 1); C6 = rot(C4, -1); Gx = C5 - C6.
+	gx := sem.Sub(sem.Rot(c4, 1), sem.Rot(c4, -1))
+	var want int64
+	for dr := -1; dr <= 1; dr++ {
+		for dc := -1; dc <= 1; dc++ {
+			want += GxFilter[dr+1][dc+1] * int64(img(2+dr, 2+dc))
+		}
+	}
+	wantU := uint64((want%65537 + 65537) % 65537)
+	if gx[slot] != wantU {
+		t.Fatalf("Gx tracked value = %d, want %d", gx[slot], wantU)
+	}
+	// And the whole vector agrees with the Gx spec on all cared slots.
+	spec := Gx()
+	assign := make([]uint64, spec.NumVars)
+	copy(assign, c0[:ImgH*ImgW])
+	ex := spec.NewExample(assign)
+	if !spec.Matches(gx, ex) {
+		t.Error("figure-7 schedule does not implement the Gx spec")
+	}
+}

@@ -1,0 +1,203 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+
+	"porcupine/internal/quill"
+	"porcupine/internal/symbolic"
+)
+
+func TestAllSpecsWellFormed(t *testing.T) {
+	specs := All()
+	if len(specs) != 9 {
+		t.Fatalf("expected 9 directly synthesized kernels, got %d", len(specs))
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if seen[s.Name] {
+			t.Errorf("duplicate kernel name %s", s.Name)
+		}
+		seen[s.Name] = true
+		if len(s.Out) != len(s.OutSlots) {
+			t.Errorf("%s: %d outputs for %d slots", s.Name, len(s.Out), len(s.OutSlots))
+		}
+		if s.NumVars == 0 {
+			t.Errorf("%s: no input variables", s.Name)
+		}
+		for _, p := range s.Out {
+			if p.MaxVar() >= s.NumVars {
+				t.Errorf("%s: output references variable beyond NumVars", s.Name)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"box-blur", "gx", "sobel", "harris"} {
+		if ByName(name) == nil {
+			t.Errorf("ByName(%q) = nil", name)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Error("unknown name should return nil")
+	}
+}
+
+func TestLayoutHelpers(t *testing.T) {
+	p := Packed(4)
+	if p.NumElems() != 4 || p.SlotOf[3] != 3 {
+		t.Error("Packed wrong")
+	}
+	s := Strided(3, 2, 1)
+	if s.SlotOf[0] != 1 || s.SlotOf[2] != 5 {
+		t.Error("Strided wrong")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	ref := func(ct, pt [][]*symbolic.Poly) []*symbolic.Poly {
+		return []*symbolic.Poly{symbolic.Zero()}
+	}
+	if _, err := Build("x", 7, []Layout{Packed(1)}, nil, []int{0}, ref); err == nil {
+		t.Error("bad vec length should fail")
+	}
+	if _, err := Build("x", 8, []Layout{Packed(9)}, nil, []int{0}, ref); err == nil {
+		t.Error("slot out of range should fail")
+	}
+	if _, err := Build("x", 8, []Layout{Packed(1)}, nil, []int{9}, ref); err == nil {
+		t.Error("output slot out of range should fail")
+	}
+	if _, err := Build("x", 8, []Layout{Packed(1)}, nil, []int{0, 1}, ref); err == nil {
+		t.Error("output arity mismatch should fail")
+	}
+	if _, err := Build("x", 8, nil, []Layout{Packed(9)}, []int{0}, ref); err == nil {
+		t.Error("pt slot out of range should fail")
+	}
+}
+
+func TestDotProductSpecSemantics(t *testing.T) {
+	s := DotProduct()
+	rng := rand.New(rand.NewSource(1))
+	ex := s.RandomExample(rng)
+	// The expected output is the inner product of the materialized
+	// vectors.
+	var want uint64
+	for i := 0; i < DotN; i++ {
+		want = (want + ex.CtIn[0][i]*ex.PtIn[0][i]) % symbolic.Modulus
+	}
+	if ex.Want[0] != want {
+		t.Errorf("dot product expectation %d, want %d", ex.Want[0], want)
+	}
+}
+
+func TestHammingSpecOnBinaryInputs(t *testing.T) {
+	s := HammingDistance()
+	assign := []uint64{1, 0, 1, 1 /* a */, 1, 1, 0, 1 /* b */}
+	ex := s.NewExample(assign)
+	if ex.Want[0] != 2 {
+		t.Errorf("hamming([1011],[1101]) = %d, want 2", ex.Want[0])
+	}
+}
+
+func TestMatchesChecksOnlyCaredSlots(t *testing.T) {
+	s := DotProduct()
+	rng := rand.New(rand.NewSource(2))
+	ex := s.RandomExample(rng)
+	out := make(quill.Vec, s.VecLen)
+	out[0] = ex.Want[0]
+	for i := 1; i < s.VecLen; i++ {
+		out[i] = 12345 // garbage in don't-care slots
+	}
+	if !s.Matches(out, ex) {
+		t.Error("garbage in don't-care slots should be accepted")
+	}
+	out[0]++
+	if s.Matches(out, ex) {
+		t.Error("wrong cared slot should be rejected")
+	}
+}
+
+func TestVerifySymbolicCounterexample(t *testing.T) {
+	s := BoxBlur()
+	// The identity program is not a box blur; the verifier must return
+	// a nonzero difference polynomial usable as a counterexample.
+	out := s.SymCtInput(0)
+	ok, diff := s.VerifySymbolic(out)
+	if ok {
+		t.Fatal("identity accepted as box blur")
+	}
+	if diff == nil || diff.IsZero() {
+		t.Fatal("no difference polynomial")
+	}
+	rng := rand.New(rand.NewSource(3))
+	w := diff.FindWitness(s.NumVars, rng, 50)
+	if w == nil {
+		t.Fatal("no witness for nonzero difference")
+	}
+	ex := s.NewExample(w)
+	// The witness must distinguish: identity output != expected.
+	idOut := ex.CtIn[0]
+	if s.Matches(idOut, ex) {
+		t.Error("counterexample does not distinguish identity from box blur")
+	}
+}
+
+func TestSpecExampleConsistentWithSymbolic(t *testing.T) {
+	// For every kernel: evaluating the symbolic outputs at a random
+	// example's assignment reproduces Example.Want.
+	rng := rand.New(rand.NewSource(4))
+	specs := append(All(), Sobel(), Harris())
+	for _, s := range specs {
+		ex := s.RandomExample(rng)
+		for i, p := range s.Out {
+			if got := p.Eval(ex.Assign); got != ex.Want[i] {
+				t.Errorf("%s: output %d inconsistent", s.Name, i)
+			}
+		}
+	}
+}
+
+func TestImageSpecsHaveInteriorOutputs(t *testing.T) {
+	for _, s := range []*Spec{Gx(), Gy()} {
+		if len(s.OutSlots) != 9 {
+			t.Errorf("%s: %d cared outputs, want 9 interior pixels", s.Name, len(s.OutSlots))
+		}
+	}
+	if n := len(BoxBlur().OutSlots); n != 16 {
+		t.Errorf("box blur cared outputs = %d, want 16", n)
+	}
+	if n := len(Harris().OutSlots); n != 4 {
+		t.Errorf("harris cared outputs = %d, want 4", n)
+	}
+}
+
+func TestGxSpecValue(t *testing.T) {
+	s := Gx()
+	// Deterministic small image.
+	assign := make([]uint64, s.NumVars)
+	img := [5][5]int64{
+		{1, 2, 3, 4, 5},
+		{6, 7, 8, 9, 10},
+		{11, 12, 13, 14, 15},
+		{16, 17, 18, 19, 20},
+		{21, 22, 23, 24, 25},
+	}
+	for r := 0; r < 5; r++ {
+		for c := 0; c < 5; c++ {
+			assign[r*5+c] = uint64(img[r][c])
+		}
+	}
+	ex := s.NewExample(assign)
+	// At (1,1): Σ img[r+dr][c+dc]*gx = standard Sobel-x response = 8.
+	var want int64
+	for dr := -1; dr <= 1; dr++ {
+		for dc := -1; dc <= 1; dc++ {
+			want += img[1+dr][1+dc] * GxFilter[dr+1][dc+1]
+		}
+	}
+	wantU := uint64((want%65537 + 65537) % 65537)
+	if ex.Want[0] != wantU {
+		t.Errorf("Gx(1,1) = %d, want %d", ex.Want[0], wantU)
+	}
+}

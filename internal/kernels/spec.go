@@ -1,0 +1,257 @@
+// Package kernels defines the kernel specifications evaluated in the
+// Porcupine paper (§7.1, Table 3): a reference implementation plus a
+// data layout for each workload. Reference implementations are plain
+// Go functions over symbolic values; executing them once "lifts" the
+// kernel to a symbolic input-output specification, exactly as Rosette
+// lifts the paper's Racket references (§4.3). Data layouts assign
+// logical elements to ciphertext/plaintext vector slots and mark which
+// output slots are cared about (all other slots are don't-care).
+package kernels
+
+import (
+	"fmt"
+	"math/rand"
+
+	"porcupine/internal/quill"
+	"porcupine/internal/symbolic"
+)
+
+// Layout places the logical elements of one input into vector slots:
+// element e lives in slot SlotOf[e]; all other slots are zero padding.
+type Layout struct {
+	SlotOf []int
+}
+
+// NumElems returns the number of logical elements.
+func (l Layout) NumElems() int { return len(l.SlotOf) }
+
+// Packed returns the dense layout: element e in slot e.
+func Packed(n int) Layout {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return Layout{SlotOf: s}
+}
+
+// Strided returns element e in slot e*stride+offset.
+func Strided(n, stride, offset int) Layout {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i*stride + offset
+	}
+	return Layout{SlotOf: s}
+}
+
+// Spec is a complete kernel specification: layouts plus the lifted
+// symbolic input-output relation.
+type Spec struct {
+	Name   string
+	VecLen int
+
+	Ct []Layout // ciphertext input layouts
+	Pt []Layout // plaintext input layouts
+
+	// OutSlots lists the cared output slots; Out[i] is the polynomial
+	// the synthesized kernel must compute in slot OutSlots[i]. All
+	// other slots are unconstrained (garbage), per the paper's data
+	// layout semantics.
+	OutSlots []int
+	Out      []*symbolic.Poly
+
+	// NumVars is the total number of symbolic input variables
+	// (ciphertext elements first, then plaintext elements).
+	NumVars int
+
+	// varBase[i] is the first variable index of input i, ciphertext
+	// inputs followed by plaintext inputs.
+	varBase []int
+}
+
+// RefFunc is a reference implementation: it receives the logical
+// elements of each ciphertext and plaintext input and returns the
+// logical output elements. It must be straight-line polynomial code
+// (no data-dependent control flow), mirroring the paper's restriction.
+type RefFunc func(ct, pt [][]*symbolic.Poly) []*symbolic.Poly
+
+// Build lifts a reference implementation into a Spec.
+func Build(name string, vecLen int, ct, pt []Layout, outSlots []int, ref RefFunc) (*Spec, error) {
+	if vecLen <= 0 || vecLen&(vecLen-1) != 0 {
+		return nil, fmt.Errorf("kernels: %s: vector length %d not a power of two", name, vecLen)
+	}
+	s := &Spec{Name: name, VecLen: vecLen, Ct: ct, Pt: pt, OutSlots: outSlots}
+	var ctElems, ptElems [][]*symbolic.Poly
+	v := 0
+	for _, l := range ct {
+		s.varBase = append(s.varBase, v)
+		elems := make([]*symbolic.Poly, l.NumElems())
+		for e := range elems {
+			if l.SlotOf[e] < 0 || l.SlotOf[e] >= vecLen {
+				return nil, fmt.Errorf("kernels: %s: slot %d out of range", name, l.SlotOf[e])
+			}
+			elems[e] = symbolic.Var(v)
+			v++
+		}
+		ctElems = append(ctElems, elems)
+	}
+	for _, l := range pt {
+		s.varBase = append(s.varBase, v)
+		elems := make([]*symbolic.Poly, l.NumElems())
+		for e := range elems {
+			if l.SlotOf[e] < 0 || l.SlotOf[e] >= vecLen {
+				return nil, fmt.Errorf("kernels: %s: slot %d out of range", name, l.SlotOf[e])
+			}
+			elems[e] = symbolic.Var(v)
+			v++
+		}
+		ptElems = append(ptElems, elems)
+	}
+	s.NumVars = v
+	s.Out = ref(ctElems, ptElems)
+	if len(s.Out) != len(outSlots) {
+		return nil, fmt.Errorf("kernels: %s: reference produced %d outputs for %d cared slots", name, len(s.Out), len(outSlots))
+	}
+	for _, slot := range outSlots {
+		if slot < 0 || slot >= vecLen {
+			return nil, fmt.Errorf("kernels: %s: output slot %d out of range", name, slot)
+		}
+	}
+	return s, nil
+}
+
+// MustBuild is Build, panicking on error (all layouts here are static).
+func MustBuild(name string, vecLen int, ct, pt []Layout, outSlots []int, ref RefFunc) *Spec {
+	s, err := Build(name, vecLen, ct, pt, outSlots, ref)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// SymCtInput returns ciphertext input i as a symbolic slot vector
+// (padding slots are the zero polynomial).
+func (s *Spec) SymCtInput(i int) quill.SymVec {
+	return s.symInput(s.Ct[i], s.varBase[i])
+}
+
+// SymPtInput returns plaintext input i as a symbolic slot vector.
+func (s *Spec) SymPtInput(i int) quill.SymVec {
+	return s.symInput(s.Pt[i], s.varBase[len(s.Ct)+i])
+}
+
+func (s *Spec) symInput(l Layout, base int) quill.SymVec {
+	vec := quill.ZeroSymVec(s.VecLen)
+	for e, slot := range l.SlotOf {
+		vec[slot] = symbolic.Var(base + e)
+	}
+	return vec
+}
+
+// Example is one concrete input-output pair for CEGIS.
+type Example struct {
+	Assign []uint64    // variable assignment
+	CtIn   []quill.Vec // ciphertext input vectors
+	PtIn   []quill.Vec // plaintext input vectors
+	Want   []uint64    // expected value per cared output slot
+}
+
+// NewExample materializes the example for a given variable assignment.
+func (s *Spec) NewExample(assign []uint64) *Example {
+	ex := &Example{Assign: assign}
+	for i, l := range s.Ct {
+		vec := make(quill.Vec, s.VecLen)
+		for e, slot := range l.SlotOf {
+			vec[slot] = assign[s.varBase[i]+e] % symbolic.Modulus
+		}
+		ex.CtIn = append(ex.CtIn, vec)
+	}
+	for i, l := range s.Pt {
+		vec := make(quill.Vec, s.VecLen)
+		base := s.varBase[len(s.Ct)+i]
+		for e, slot := range l.SlotOf {
+			vec[slot] = assign[base+e] % symbolic.Modulus
+		}
+		ex.PtIn = append(ex.PtIn, vec)
+	}
+	ex.Want = make([]uint64, len(s.Out))
+	for i, p := range s.Out {
+		ex.Want[i] = p.Eval(assign)
+	}
+	return ex
+}
+
+// RandomExample draws a uniform example (paper Algorithm 1 line 6).
+func (s *Spec) RandomExample(rng *rand.Rand) *Example {
+	assign := make([]uint64, s.NumVars)
+	for i := range assign {
+		assign[i] = rng.Uint64() % symbolic.Modulus
+	}
+	return s.NewExample(assign)
+}
+
+// Matches reports whether a program output vector satisfies the
+// example on the cared slots.
+func (s *Spec) Matches(out quill.Vec, ex *Example) bool {
+	for i, slot := range s.OutSlots {
+		if out[slot] != ex.Want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// VerifySymbolic checks a symbolic output vector against the spec on
+// the cared slots. On mismatch it returns the (nonzero) difference
+// polynomial of the first differing slot for counterexample
+// generation.
+func (s *Spec) VerifySymbolic(out quill.SymVec) (bool, *symbolic.Poly) {
+	for i, slot := range s.OutSlots {
+		if !out[slot].Equal(s.Out[i]) {
+			return false, out[slot].Sub(s.Out[i])
+		}
+	}
+	return true, nil
+}
+
+// CheckProgram runs a local-rotate program symbolically against the
+// spec and reports whether it implements the kernel for all inputs.
+func (s *Spec) CheckProgram(p *quill.Program) (bool, error) {
+	if p.NumCtInputs != len(s.Ct) || p.NumPtInputs != len(s.Pt) || p.VecLen != s.VecLen {
+		return false, fmt.Errorf("kernels: %s: program shape mismatch", s.Name)
+	}
+	ctIn := make([]quill.SymVec, len(s.Ct))
+	for i := range ctIn {
+		ctIn[i] = s.SymCtInput(i)
+	}
+	ptIn := make([]quill.SymVec, len(s.Pt))
+	for i := range ptIn {
+		ptIn[i] = s.SymPtInput(i)
+	}
+	out, err := quill.Run(p, quill.SymbolicSem{}, ctIn, ptIn)
+	if err != nil {
+		return false, err
+	}
+	ok, _ := s.VerifySymbolic(out)
+	return ok, nil
+}
+
+// CheckLowered is CheckProgram for lowered programs.
+func (s *Spec) CheckLowered(l *quill.Lowered) (bool, error) {
+	if l.NumCtInputs != len(s.Ct) || l.NumPtInputs != len(s.Pt) || l.VecLen != s.VecLen {
+		return false, fmt.Errorf("kernels: %s: program shape mismatch", s.Name)
+	}
+	ctIn := make([]quill.SymVec, len(s.Ct))
+	for i := range ctIn {
+		ctIn[i] = s.SymCtInput(i)
+	}
+	ptIn := make([]quill.SymVec, len(s.Pt))
+	for i := range ptIn {
+		ptIn[i] = s.SymPtInput(i)
+	}
+	out, err := quill.RunLowered(l, quill.SymbolicSem{}, ctIn, ptIn)
+	if err != nil {
+		return false, err
+	}
+	ok, _ := s.VerifySymbolic(out)
+	return ok, nil
+}

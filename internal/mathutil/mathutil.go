@@ -1,0 +1,318 @@
+// Package mathutil provides the modular-arithmetic primitives shared by
+// the ring, bfv and symbolic packages: word-sized modular operations,
+// NTT-friendly prime generation, primitive roots of unity, and CRT
+// helpers.
+//
+// All moduli handled here fit in a single uint64 and are < 2^62 so that
+// lazy sums of two residues never overflow.
+package mathutil
+
+import (
+	"fmt"
+	"math/big"
+	"math/bits"
+)
+
+// MaxModulusBits is the largest modulus size (in bits) supported by the
+// single-word arithmetic in this package.
+const MaxModulusBits = 61
+
+// AddMod returns (a + b) mod m. Requires a, b < m < 2^63.
+func AddMod(a, b, m uint64) uint64 {
+	s := a + b
+	if s >= m {
+		s -= m
+	}
+	return s
+}
+
+// SubMod returns (a - b) mod m. Requires a, b < m.
+func SubMod(a, b, m uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return a + m - b
+}
+
+// NegMod returns (-a) mod m. Requires a < m.
+func NegMod(a, m uint64) uint64 {
+	if a == 0 {
+		return 0
+	}
+	return m - a
+}
+
+// MulMod returns (a * b) mod m using a 128-bit intermediate.
+// Requires a, b < m < 2^63.
+func MulMod(a, b, m uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi, lo, m)
+	return rem
+}
+
+// PowMod returns a^e mod m by square-and-multiply.
+func PowMod(a, e, m uint64) uint64 {
+	if m == 1 {
+		return 0
+	}
+	result := uint64(1)
+	a %= m
+	for e > 0 {
+		if e&1 == 1 {
+			result = MulMod(result, a, m)
+		}
+		a = MulMod(a, a, m)
+		e >>= 1
+	}
+	return result
+}
+
+// InvMod returns a^-1 mod m, or an error when gcd(a, m) != 1.
+// Implemented with the extended Euclidean algorithm so it is correct
+// for composite moduli as well.
+func InvMod(a, m uint64) (uint64, error) {
+	a %= m
+	if a == 0 {
+		return 0, fmt.Errorf("mathutil: no inverse of 0 mod %d", m)
+	}
+	// Signed Bezout coefficients; m < 2^62 so int64 arithmetic with the
+	// standard iteration stays in range.
+	var t0, t1 int64 = 0, 1
+	var r0, r1 = m, a
+	for r1 != 0 {
+		q := r0 / r1
+		t0, t1 = t1, t0-int64(q)*t1
+		r0, r1 = r1, r0-q*r1
+	}
+	if r0 != 1 {
+		return 0, fmt.Errorf("mathutil: %d is not invertible mod %d (gcd=%d)", a, m, r0)
+	}
+	if t0 < 0 {
+		t0 += int64(m)
+	}
+	return uint64(t0), nil
+}
+
+// IsPrime reports whether n is prime. Deterministic Miller-Rabin with a
+// witness set valid for all n < 2^64.
+func IsPrime(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if n == p {
+			return true
+		}
+		if n%p == 0 {
+			return false
+		}
+	}
+	d := n - 1
+	r := 0
+	for d&1 == 0 {
+		d >>= 1
+		r++
+	}
+	// Sinclair's deterministic witness set for n < 2^64.
+	for _, a := range []uint64{2, 325, 9375, 28178, 450775, 9780504, 1795265022} {
+		if !millerRabinWitness(n, a, d, r) {
+			return false
+		}
+	}
+	return true
+}
+
+func millerRabinWitness(n, a, d uint64, r int) bool {
+	a %= n
+	if a == 0 {
+		return true
+	}
+	x := PowMod(a, d, n)
+	if x == 1 || x == n-1 {
+		return true
+	}
+	for i := 0; i < r-1; i++ {
+		x = MulMod(x, x, n)
+		if x == n-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// GenerateNTTPrimes returns count distinct primes p with p ≡ 1 (mod 2N)
+// and of approximately the requested bit size, searching downward from
+// 2^bits. Such primes admit a primitive 2N-th root of unity, as required
+// by the negacyclic NTT.
+func GenerateNTTPrimes(bitSize, n, count int) ([]uint64, error) {
+	if bitSize < 4 || bitSize > MaxModulusBits {
+		return nil, fmt.Errorf("mathutil: prime bit size %d out of range [4,%d]", bitSize, MaxModulusBits)
+	}
+	if n <= 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("mathutil: ring degree %d is not a power of two", n)
+	}
+	step := uint64(2 * n)
+	// Largest candidate ≡ 1 mod 2N below 2^bitSize.
+	candidate := (uint64(1)<<uint(bitSize) - 1) / step * step
+	primes := make([]uint64, 0, count)
+	for candidate > uint64(1)<<uint(bitSize-1) {
+		if IsPrime(candidate + 1) {
+			primes = append(primes, candidate+1)
+			if len(primes) == count {
+				return primes, nil
+			}
+		}
+		candidate -= step
+	}
+	return nil, fmt.Errorf("mathutil: found only %d/%d NTT primes of %d bits for N=%d", len(primes), count, bitSize, n)
+}
+
+// PrimitiveRoot returns a generator of the multiplicative group Z_p^*.
+func PrimitiveRoot(p uint64) (uint64, error) {
+	if !IsPrime(p) {
+		return 0, fmt.Errorf("mathutil: %d is not prime", p)
+	}
+	factors := factorize(p - 1)
+	for g := uint64(2); g < p; g++ {
+		ok := true
+		for _, f := range factors {
+			if PowMod(g, (p-1)/f, p) == 1 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return g, nil
+		}
+	}
+	return 0, fmt.Errorf("mathutil: no primitive root mod %d", p)
+}
+
+// PrimitiveNthRoot returns an element of multiplicative order exactly n
+// in Z_p^*. Requires n | p-1.
+func PrimitiveNthRoot(n, p uint64) (uint64, error) {
+	if (p-1)%n != 0 {
+		return 0, fmt.Errorf("mathutil: %d does not divide p-1 for p=%d", n, p)
+	}
+	g, err := PrimitiveRoot(p)
+	if err != nil {
+		return 0, err
+	}
+	root := PowMod(g, (p-1)/n, p)
+	// Order is exactly n because g is a generator.
+	return root, nil
+}
+
+// factorize returns the distinct prime factors of n by trial division
+// (n is p-1 for a word-sized prime; its factors are small enough in
+// practice for the parameter sizes used here).
+func factorize(n uint64) []uint64 {
+	var factors []uint64
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13} {
+		if n%p == 0 {
+			factors = append(factors, p)
+			for n%p == 0 {
+				n /= p
+			}
+		}
+	}
+	for f := uint64(17); f*f <= n; f += 2 {
+		if n%f == 0 {
+			factors = append(factors, f)
+			for n%f == 0 {
+				n /= f
+			}
+		}
+	}
+	if n > 1 {
+		factors = append(factors, n)
+	}
+	return factors
+}
+
+// BitReverse returns the bit-reversal of x within logN bits.
+func BitReverse(x uint64, logN int) uint64 {
+	return bits.Reverse64(x) >> (64 - uint(logN))
+}
+
+// Log2 returns log2(n) for a power of two n, or an error otherwise.
+func Log2(n int) (int, error) {
+	if n <= 0 || n&(n-1) != 0 {
+		return 0, fmt.Errorf("mathutil: %d is not a positive power of two", n)
+	}
+	return bits.TrailingZeros64(uint64(n)), nil
+}
+
+// CRTReconstructor reconstructs big integers from residues modulo a
+// fixed set of pairwise-coprime word-sized primes. Reconstruction
+// yields the unique representative in [0, Q) where Q = ∏ primes.
+type CRTReconstructor struct {
+	primes []uint64
+	Q      *big.Int
+	qi     []*big.Int // Q / p_i
+	inv    []uint64   // (Q/p_i)^-1 mod p_i
+	half   *big.Int   // Q/2, for centered lifts
+}
+
+// NewCRTReconstructor builds the precomputed tables for the prime set.
+func NewCRTReconstructor(primes []uint64) (*CRTReconstructor, error) {
+	if len(primes) == 0 {
+		return nil, fmt.Errorf("mathutil: empty prime set")
+	}
+	c := &CRTReconstructor{primes: append([]uint64(nil), primes...), Q: big.NewInt(1)}
+	for _, p := range primes {
+		c.Q.Mul(c.Q, new(big.Int).SetUint64(p))
+	}
+	c.qi = make([]*big.Int, len(primes))
+	c.inv = make([]uint64, len(primes))
+	for i, p := range primes {
+		c.qi[i] = new(big.Int).Div(c.Q, new(big.Int).SetUint64(p))
+		r := new(big.Int).Mod(c.qi[i], new(big.Int).SetUint64(p)).Uint64()
+		inv, err := InvMod(r, p)
+		if err != nil {
+			return nil, fmt.Errorf("mathutil: primes not coprime: %w", err)
+		}
+		c.inv[i] = inv
+	}
+	c.half = new(big.Int).Rsh(c.Q, 1)
+	return c, nil
+}
+
+// Modulus returns Q = ∏ primes.
+func (c *CRTReconstructor) Modulus() *big.Int { return c.Q }
+
+// Reconstruct sets dst to the unique x in [0, Q) with x ≡ residues[i]
+// (mod primes[i]) and returns dst.
+func (c *CRTReconstructor) Reconstruct(dst *big.Int, residues []uint64) *big.Int {
+	dst.SetUint64(0)
+	var term big.Int
+	for i, p := range c.primes {
+		v := MulMod(residues[i]%p, c.inv[i], p)
+		term.SetUint64(v)
+		term.Mul(&term, c.qi[i])
+		dst.Add(dst, &term)
+	}
+	return dst.Mod(dst, c.Q)
+}
+
+// ReconstructCentered sets dst to the representative of the residues in
+// (-Q/2, Q/2] and returns dst.
+func (c *CRTReconstructor) ReconstructCentered(dst *big.Int, residues []uint64) *big.Int {
+	c.Reconstruct(dst, residues)
+	if dst.Cmp(c.half) > 0 {
+		dst.Sub(dst, c.Q)
+	}
+	return dst
+}
+
+// Residues decomposes x (any sign) into its residues modulo each prime,
+// writing them into out.
+func (c *CRTReconstructor) Residues(x *big.Int, out []uint64) {
+	var tmp big.Int
+	var pb big.Int
+	for i, p := range c.primes {
+		pb.SetUint64(p)
+		tmp.Mod(x, &pb)
+		out[i] = tmp.Uint64()
+	}
+}

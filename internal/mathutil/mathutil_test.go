@@ -1,0 +1,218 @@
+package mathutil
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddSubNegMod(t *testing.T) {
+	const m = 65537
+	cases := []struct{ a, b, sum, diff uint64 }{
+		{0, 0, 0, 0},
+		{1, 2, 3, 65536},
+		{65536, 1, 0, 65535},
+		{65536, 65536, 65535, 0},
+	}
+	for _, c := range cases {
+		if got := AddMod(c.a, c.b, m); got != c.sum {
+			t.Errorf("AddMod(%d,%d) = %d, want %d", c.a, c.b, got, c.sum)
+		}
+		if got := SubMod(c.a, c.b, m); got != c.diff {
+			t.Errorf("SubMod(%d,%d) = %d, want %d", c.a, c.b, got, c.diff)
+		}
+	}
+	if NegMod(0, m) != 0 || NegMod(1, m) != m-1 {
+		t.Error("NegMod wrong on boundary values")
+	}
+}
+
+func TestMulModAgainstBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	moduli := []uint64{65537, (1 << 61) - 1, 1152921504606830593}
+	for _, m := range moduli {
+		mb := new(big.Int).SetUint64(m)
+		for i := 0; i < 200; i++ {
+			a := rng.Uint64() % m
+			b := rng.Uint64() % m
+			want := new(big.Int).Mul(new(big.Int).SetUint64(a), new(big.Int).SetUint64(b))
+			want.Mod(want, mb)
+			if got := MulMod(a, b, m); got != want.Uint64() {
+				t.Fatalf("MulMod(%d,%d,%d) = %d, want %s", a, b, m, got, want)
+			}
+		}
+	}
+}
+
+func TestPowInvMod(t *testing.T) {
+	const p = 65537
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		a := rng.Uint64()%(p-1) + 1
+		inv, err := InvMod(a, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if MulMod(a, inv, p) != 1 {
+			t.Fatalf("InvMod(%d): a*inv != 1", a)
+		}
+	}
+	if _, err := InvMod(0, p); err == nil {
+		t.Error("InvMod(0) should fail")
+	}
+	if PowMod(3, 0, p) != 1 {
+		t.Error("a^0 != 1")
+	}
+	if PowMod(3, p-1, p) != 1 {
+		t.Error("Fermat's little theorem violated")
+	}
+}
+
+func TestIsPrime(t *testing.T) {
+	primes := []uint64{2, 3, 5, 7, 65537, 12289, 40961, (1 << 61) - 1}
+	for _, p := range primes {
+		if !IsPrime(p) {
+			t.Errorf("IsPrime(%d) = false, want true", p)
+		}
+	}
+	composites := []uint64{0, 1, 4, 65536, 65535, 1 << 61, 6700417 * 2}
+	for _, c := range composites {
+		if IsPrime(c) {
+			t.Errorf("IsPrime(%d) = true, want false", c)
+		}
+	}
+}
+
+func TestGenerateNTTPrimes(t *testing.T) {
+	for _, n := range []int{1024, 2048, 4096, 8192} {
+		primes, err := GenerateNTTPrimes(45, n, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[uint64]bool{}
+		for _, p := range primes {
+			if !IsPrime(p) {
+				t.Errorf("%d not prime", p)
+			}
+			if (p-1)%uint64(2*n) != 0 {
+				t.Errorf("%d not ≡ 1 mod 2N for N=%d", p, n)
+			}
+			if seen[p] {
+				t.Errorf("duplicate prime %d", p)
+			}
+			seen[p] = true
+			if p>>44 == 0 || p>>45 != 0 {
+				t.Errorf("prime %d not 45 bits", p)
+			}
+		}
+	}
+	if _, err := GenerateNTTPrimes(45, 1000, 1); err == nil {
+		t.Error("non-power-of-two N should fail")
+	}
+	if _, err := GenerateNTTPrimes(63, 1024, 1); err == nil {
+		t.Error("oversized bit size should fail")
+	}
+}
+
+func TestPrimitiveNthRoot(t *testing.T) {
+	const p = 65537
+	for _, n := range []uint64{2, 4, 256, 4096, 65536} {
+		root, err := PrimitiveNthRoot(n, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if PowMod(root, n, p) != 1 {
+			t.Errorf("root^n != 1 for n=%d", n)
+		}
+		if n > 1 && PowMod(root, n/2, p) == 1 {
+			t.Errorf("root has order < n for n=%d", n)
+		}
+	}
+	if _, err := PrimitiveNthRoot(3, p); err == nil {
+		t.Error("n not dividing p-1 should fail")
+	}
+}
+
+func TestBitReverse(t *testing.T) {
+	if BitReverse(1, 3) != 4 || BitReverse(3, 3) != 6 || BitReverse(0, 3) != 0 {
+		t.Error("BitReverse wrong")
+	}
+	// Property: involution.
+	f := func(x uint8) bool {
+		v := uint64(x)
+		return BitReverse(BitReverse(v, 8), 8) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLog2(t *testing.T) {
+	if v, err := Log2(4096); err != nil || v != 12 {
+		t.Errorf("Log2(4096) = %d, %v", v, err)
+	}
+	for _, bad := range []int{0, -4, 3, 12} {
+		if _, err := Log2(bad); err == nil {
+			t.Errorf("Log2(%d) should fail", bad)
+		}
+	}
+}
+
+func TestCRTReconstructRoundTrip(t *testing.T) {
+	primes, err := GenerateNTTPrimes(40, 1024, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crt, err := NewCRTReconstructor(primes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	res := make([]uint64, len(primes))
+	var x big.Int
+	for i := 0; i < 100; i++ {
+		want := new(big.Int).Rand(rng, crt.Modulus())
+		crt.Residues(want, res)
+		crt.Reconstruct(&x, res)
+		if x.Cmp(want) != 0 {
+			t.Fatalf("round trip failed: got %s want %s", &x, want)
+		}
+	}
+}
+
+func TestCRTReconstructCentered(t *testing.T) {
+	primes, err := GenerateNTTPrimes(40, 1024, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crt, err := NewCRTReconstructor(primes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := make([]uint64, len(primes))
+	var x big.Int
+	// -5 should reconstruct to -5 centered.
+	minus5 := big.NewInt(-5)
+	crt.Residues(minus5, res)
+	crt.ReconstructCentered(&x, res)
+	if x.Cmp(minus5) != 0 {
+		t.Fatalf("centered reconstruct of -5 = %s", &x)
+	}
+	// Q-1 ≡ -1.
+	qm1 := new(big.Int).Sub(crt.Modulus(), big.NewInt(1))
+	crt.Residues(qm1, res)
+	crt.ReconstructCentered(&x, res)
+	if x.Int64() != -1 {
+		t.Fatalf("centered reconstruct of Q-1 = %s, want -1", &x)
+	}
+}
+
+func TestNewCRTReconstructorErrors(t *testing.T) {
+	if _, err := NewCRTReconstructor(nil); err == nil {
+		t.Error("empty prime set should fail")
+	}
+	if _, err := NewCRTReconstructor([]uint64{6, 9}); err == nil {
+		t.Error("non-coprime set should fail")
+	}
+}

@@ -1,0 +1,56 @@
+package quill
+
+// CostModel assigns a latency (in microseconds) to each lowered
+// instruction. The defaults below were profiled from the BFV backend
+// in internal/backend on the PN4096 preset (the same way the paper
+// profiles SEAL, §4.2); backend.ProfileCostModel re-measures live.
+type CostModel struct {
+	Latency map[Op]float64
+}
+
+// DefaultCostModel returns the statically profiled model. The relative
+// ordering is what matters for synthesis: ct-ct multiply and rotation
+// (both key-switch-bound) are an order of magnitude more expensive than
+// additions, with plaintext ops in between — the same shape SEAL has.
+func DefaultCostModel() *CostModel {
+	return &CostModel{Latency: map[Op]float64{
+		OpAddCtCt: 90,
+		OpSubCtCt: 90,
+		OpAddCtPt: 60,
+		OpSubCtPt: 60,
+		OpMulCtPt: 1600,
+		OpMulCtCt: 21000,
+		OpRotCt:   6200,
+		OpRelin:   6000,
+	}}
+}
+
+// InstrLatency returns the modeled latency of a lowered instruction.
+func (cm *CostModel) InstrLatency(op Op) float64 { return cm.Latency[op] }
+
+// ProgramLatency returns the summed latency of a lowered program.
+func (cm *CostModel) ProgramLatency(l *Lowered) float64 {
+	var sum float64
+	for _, in := range l.Instrs {
+		sum += cm.Latency[in.Op]
+	}
+	return sum
+}
+
+// Cost implements the paper's §5.2 objective for lowered programs:
+// cost(p) = latency(p) × (1 + multdepth(p)). Multiplicative depth
+// penalizes high-noise programs, which would force larger HE
+// parameters and slower instructions.
+func (cm *CostModel) Cost(l *Lowered) float64 {
+	return cm.ProgramLatency(l) * float64(1+l.MultDepth())
+}
+
+// CostProgram lowers a local-rotate program (with the paper's default
+// lowering) and returns its cost.
+func (cm *CostModel) CostProgram(p *Program) (float64, error) {
+	l, err := Lower(p, DefaultLowerOptions())
+	if err != nil {
+		return 0, err
+	}
+	return cm.Cost(l), nil
+}

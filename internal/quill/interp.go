@@ -1,0 +1,244 @@
+package quill
+
+import (
+	"fmt"
+
+	"porcupine/internal/mathutil"
+	"porcupine/internal/symbolic"
+)
+
+// Semantics abstracts the value domain the interpreter runs over, so
+// the same programs execute concretely (vectors over Z_t, used for
+// CEGIS examples) and symbolically (vectors of polynomials, used for
+// verification). Implementations must be side-effect free.
+type Semantics[T any] interface {
+	Add(a, b T) T
+	Sub(a, b T) T
+	Mul(a, b T) T
+	Rot(a T, k int) T // circular left rotation by k slots
+	FromConst(c []int64, vecLen int) T
+}
+
+// Run interprets a local-rotate program over the given semantics.
+func Run[T any](p *Program, sem Semantics[T], ctIn, ptIn []T) (T, error) {
+	var zero T
+	if err := p.Validate(); err != nil {
+		return zero, err
+	}
+	if len(ctIn) != p.NumCtInputs || len(ptIn) != p.NumPtInputs {
+		return zero, fmt.Errorf("quill: Run got %d ct / %d pt inputs, want %d / %d",
+			len(ctIn), len(ptIn), p.NumCtInputs, p.NumPtInputs)
+	}
+	vals := make([]T, 0, p.NumValues())
+	vals = append(vals, ctIn...)
+	resolve := func(r CtRef) T {
+		v := vals[r.ID]
+		if r.Rot != 0 {
+			v = sem.Rot(v, r.Rot)
+		}
+		return v
+	}
+	for _, in := range p.Instrs {
+		a := resolve(in.A)
+		var b T
+		if in.Op.IsCtCt() {
+			b = resolve(in.B)
+		} else if in.P.Input >= 0 {
+			b = ptIn[in.P.Input]
+		} else {
+			b = sem.FromConst(in.P.Const, p.VecLen)
+		}
+		var out T
+		switch in.Op {
+		case OpAddCtCt, OpAddCtPt:
+			out = sem.Add(a, b)
+		case OpSubCtCt, OpSubCtPt:
+			out = sem.Sub(a, b)
+		case OpMulCtCt, OpMulCtPt:
+			out = sem.Mul(a, b)
+		default:
+			return zero, fmt.Errorf("quill: Run: unexpected opcode %v", in.Op)
+		}
+		vals = append(vals, out)
+	}
+	return vals[p.Output], nil
+}
+
+// RunLowered interprets a lowered program over the given semantics.
+// Relinearization is a semantic no-op in the abstract machine.
+func RunLowered[T any](l *Lowered, sem Semantics[T], ctIn, ptIn []T) (T, error) {
+	var zero T
+	if err := l.Validate(); err != nil {
+		return zero, err
+	}
+	if len(ctIn) != l.NumCtInputs || len(ptIn) != l.NumPtInputs {
+		return zero, fmt.Errorf("quill: RunLowered got %d ct / %d pt inputs, want %d / %d",
+			len(ctIn), len(ptIn), l.NumCtInputs, l.NumPtInputs)
+	}
+	vals := make([]T, l.NumValues())
+	copy(vals, ctIn)
+	for _, in := range l.Instrs {
+		a := vals[in.A]
+		switch in.Op {
+		case OpRotCt:
+			vals[in.Dst] = sem.Rot(a, in.Rot)
+		case OpRelin:
+			vals[in.Dst] = a
+		case OpAddCtCt:
+			vals[in.Dst] = sem.Add(a, vals[in.B])
+		case OpSubCtCt:
+			vals[in.Dst] = sem.Sub(a, vals[in.B])
+		case OpMulCtCt:
+			vals[in.Dst] = sem.Mul(a, vals[in.B])
+		case OpAddCtPt, OpSubCtPt, OpMulCtPt:
+			var b T
+			if in.P.Input >= 0 {
+				b = ptIn[in.P.Input]
+			} else {
+				b = sem.FromConst(in.P.Const, l.VecLen)
+			}
+			switch in.Op {
+			case OpAddCtPt:
+				vals[in.Dst] = sem.Add(a, b)
+			case OpSubCtPt:
+				vals[in.Dst] = sem.Sub(a, b)
+			default:
+				vals[in.Dst] = sem.Mul(a, b)
+			}
+		default:
+			return zero, fmt.Errorf("quill: RunLowered: unknown opcode %v", in.Op)
+		}
+	}
+	return vals[l.Output], nil
+}
+
+// Vec is a concrete slot vector over Z_t.
+type Vec []uint64
+
+// ConcreteSem implements Semantics over Vec.
+type ConcreteSem struct{}
+
+// Add returns the element-wise sum mod t.
+func (ConcreteSem) Add(a, b Vec) Vec {
+	out := make(Vec, len(a))
+	for i := range a {
+		out[i] = mathutil.AddMod(a[i], b[i], Modulus)
+	}
+	return out
+}
+
+// Sub returns the element-wise difference mod t.
+func (ConcreteSem) Sub(a, b Vec) Vec {
+	out := make(Vec, len(a))
+	for i := range a {
+		out[i] = mathutil.SubMod(a[i], b[i], Modulus)
+	}
+	return out
+}
+
+// Mul returns the element-wise product mod t.
+func (ConcreteSem) Mul(a, b Vec) Vec {
+	out := make(Vec, len(a))
+	for i := range a {
+		out[i] = mathutil.MulMod(a[i], b[i], Modulus)
+	}
+	return out
+}
+
+// Rot returns a rotated left by k (slot i receives a[(i+k) mod n]).
+func (ConcreteSem) Rot(a Vec, k int) Vec {
+	n := len(a)
+	out := make(Vec, n)
+	for i := range a {
+		out[i] = a[((i+k)%n+n)%n]
+	}
+	return out
+}
+
+// FromConst materializes a constant vector: a single value is
+// broadcast; otherwise the constant must have vecLen entries.
+func (ConcreteSem) FromConst(c []int64, vecLen int) Vec {
+	out := make(Vec, vecLen)
+	t := int64(Modulus)
+	get := func(i int) int64 {
+		if len(c) == 1 {
+			return c[0]
+		}
+		return c[i]
+	}
+	for i := range out {
+		v := get(i) % t
+		if v < 0 {
+			v += t
+		}
+		out[i] = uint64(v)
+	}
+	return out
+}
+
+// SymVec is a symbolic slot vector: one polynomial per slot.
+type SymVec []*symbolic.Poly
+
+// SymbolicSem implements Semantics over SymVec.
+type SymbolicSem struct{}
+
+// Add returns the element-wise polynomial sum.
+func (SymbolicSem) Add(a, b SymVec) SymVec {
+	out := make(SymVec, len(a))
+	for i := range a {
+		out[i] = a[i].Add(b[i])
+	}
+	return out
+}
+
+// Sub returns the element-wise polynomial difference.
+func (SymbolicSem) Sub(a, b SymVec) SymVec {
+	out := make(SymVec, len(a))
+	for i := range a {
+		out[i] = a[i].Sub(b[i])
+	}
+	return out
+}
+
+// Mul returns the element-wise polynomial product.
+func (SymbolicSem) Mul(a, b SymVec) SymVec {
+	out := make(SymVec, len(a))
+	for i := range a {
+		out[i] = a[i].Mul(b[i])
+	}
+	return out
+}
+
+// Rot rotates the vector left by k.
+func (SymbolicSem) Rot(a SymVec, k int) SymVec {
+	n := len(a)
+	out := make(SymVec, n)
+	for i := range a {
+		out[i] = a[((i+k)%n+n)%n]
+	}
+	return out
+}
+
+// FromConst materializes a constant symbolic vector.
+func (SymbolicSem) FromConst(c []int64, vecLen int) SymVec {
+	out := make(SymVec, vecLen)
+	get := func(i int) int64 {
+		if len(c) == 1 {
+			return c[0]
+		}
+		return c[i]
+	}
+	for i := range out {
+		out[i] = symbolic.Const(get(i))
+	}
+	return out
+}
+
+// ZeroSymVec returns a vector of zero polynomials.
+func ZeroSymVec(n int) SymVec {
+	out := make(SymVec, n)
+	for i := range out {
+		out[i] = symbolic.Zero()
+	}
+	return out
+}

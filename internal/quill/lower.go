@@ -1,0 +1,236 @@
+package quill
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LInstr is one instruction of a lowered program: the explicit SEAL
+// instruction stream. Dst is the SSA id defined by the instruction.
+type LInstr struct {
+	Op  Op
+	Dst int
+	A   int // ciphertext operand
+	B   int // second ciphertext operand (ct-ct ops)
+	Rot int // rotation amount (OpRotCt)
+	P   PtRef
+}
+
+func (in LInstr) String() string {
+	switch {
+	case in.Op == OpRotCt:
+		return fmt.Sprintf("c%d = (rot-ct c%d %d)", in.Dst, in.A, in.Rot)
+	case in.Op == OpRelin:
+		return fmt.Sprintf("c%d = (relin c%d)", in.Dst, in.A)
+	case in.Op.IsCtCt():
+		return fmt.Sprintf("c%d = (%s c%d c%d)", in.Dst, in.Op, in.A, in.B)
+	default:
+		return fmt.Sprintf("c%d = (%s c%d %s)", in.Dst, in.Op, in.A, in.P)
+	}
+}
+
+// Lowered is a Quill program in explicit-instruction form.
+type Lowered struct {
+	VecLen      int
+	NumCtInputs int
+	NumPtInputs int
+	Instrs      []LInstr
+	Output      int
+}
+
+// NumValues returns the number of SSA values (inputs + results).
+func (l *Lowered) NumValues() int { return l.NumCtInputs + len(l.Instrs) }
+
+// String renders the lowered program.
+func (l *Lowered) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; lowered quill program: vec=%d ct-inputs=%d pt-inputs=%d\n", l.VecLen, l.NumCtInputs, l.NumPtInputs)
+	for _, in := range l.Instrs {
+		b.WriteString(in.String())
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "out c%d\n", l.Output)
+	return b.String()
+}
+
+// InstructionCount returns the number of instructions — the quantity
+// reported in the paper's Table 2.
+func (l *Lowered) InstructionCount() int { return len(l.Instrs) }
+
+// Depth returns the longest def-use path through the instruction DAG
+// (inputs have depth 0) — the "Depth" column of Table 2.
+func (l *Lowered) Depth() int {
+	depth := make([]int, l.NumValues())
+	max := 0
+	for _, in := range l.Instrs {
+		d := depth[in.A]
+		if in.Op.IsCtCt() && depth[in.B] > d {
+			d = depth[in.B]
+		}
+		d++
+		depth[in.Dst] = d
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MultDepth returns the multiplicative depth of the output value.
+func (l *Lowered) MultDepth() int {
+	depth := make([]int, l.NumValues())
+	for _, in := range l.Instrs {
+		d := depth[in.A]
+		if in.Op.IsCtCt() && depth[in.B] > d {
+			d = depth[in.B]
+		}
+		if in.Op == OpMulCtCt || in.Op == OpMulCtPt {
+			d++
+		}
+		depth[in.Dst] = d
+	}
+	return depth[l.Output]
+}
+
+// Validate checks SSA well-formedness of the lowered program.
+func (l *Lowered) Validate() error {
+	if l.VecLen <= 0 || l.VecLen&(l.VecLen-1) != 0 {
+		return fmt.Errorf("quill: vector length %d is not a positive power of two", l.VecLen)
+	}
+	next := l.NumCtInputs
+	for i, in := range l.Instrs {
+		if in.Dst != next {
+			return fmt.Errorf("quill: lowered instr %d defines c%d, want c%d", i, in.Dst, next)
+		}
+		if in.A < 0 || in.A >= next {
+			return fmt.Errorf("quill: lowered instr %d references undefined c%d", i, in.A)
+		}
+		if in.Op.IsCtCt() && (in.B < 0 || in.B >= next) {
+			return fmt.Errorf("quill: lowered instr %d references undefined c%d", i, in.B)
+		}
+		if in.Op.IsCtPt() && (in.P.Input < -1 || in.P.Input >= l.NumPtInputs) {
+			return fmt.Errorf("quill: lowered instr %d references undefined plaintext p%d", i, in.P.Input)
+		}
+		next++
+	}
+	if l.Output < 0 || l.Output >= next {
+		return fmt.Errorf("quill: output c%d undefined", l.Output)
+	}
+	return nil
+}
+
+// LowerOptions controls lowering.
+type LowerOptions struct {
+	// InsertRelin inserts a relinearization after every ct-ct multiply,
+	// as the paper's code generation does (§5.3). Default true via
+	// DefaultLowerOptions.
+	InsertRelin bool
+}
+
+// DefaultLowerOptions matches the paper's code generation.
+func DefaultLowerOptions() LowerOptions { return LowerOptions{InsertRelin: true} }
+
+// Lower converts a local-rotate program to explicit instruction form:
+// each distinct (value, rotation) operand pair becomes one rot-ct
+// instruction (common rotations are shared, which is how the paper
+// counts, e.g., the synthesized Gx kernel at 7 instructions), and
+// relinearization is inserted after ct-ct multiplies when requested.
+func Lower(p *Program, opts LowerOptions) (*Lowered, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	l := &Lowered{VecLen: p.VecLen, NumCtInputs: p.NumCtInputs, NumPtInputs: p.NumPtInputs}
+	// remap[sketch id] = lowered id of the same value.
+	remap := make([]int, p.NumValues())
+	for i := 0; i < p.NumCtInputs; i++ {
+		remap[i] = i
+	}
+	next := p.NumCtInputs
+	type rotKey struct{ id, rot int }
+	rotCache := map[rotKey]int{}
+
+	resolve := func(r CtRef) int {
+		base := remap[r.ID]
+		if r.Rot == 0 {
+			return base
+		}
+		key := rotKey{base, r.Rot}
+		if id, ok := rotCache[key]; ok {
+			return id
+		}
+		l.Instrs = append(l.Instrs, LInstr{Op: OpRotCt, Dst: next, A: base, Rot: r.Rot})
+		rotCache[key] = next
+		next++
+		return next - 1
+	}
+
+	for i, in := range p.Instrs {
+		var li LInstr
+		li.Op = in.Op
+		li.A = resolve(in.A)
+		if in.Op.IsCtCt() {
+			li.B = resolve(in.B)
+		} else {
+			li.P = in.P
+		}
+		li.Dst = next
+		l.Instrs = append(l.Instrs, li)
+		next++
+		if in.Op == OpMulCtCt && opts.InsertRelin {
+			l.Instrs = append(l.Instrs, LInstr{Op: OpRelin, Dst: next, A: next - 1})
+			next++
+		}
+		remap[p.NumCtInputs+i] = next - 1
+	}
+	l.Output = remap[p.Output]
+	return l, nil
+}
+
+// Concat appends program b after program a, feeding selected outputs of
+// a into b's ciphertext inputs. inputMap[i] gives, for each ciphertext
+// input i of b, the SSA id in a's value space to substitute. Plaintext
+// inputs of b are appended after a's plaintext inputs. This implements
+// the paper's multi-step synthesis composition (§6.3): large pipelines
+// like Sobel and Harris are stitched from independently synthesized
+// kernels.
+func Concat(a *Lowered, b *Lowered, inputMap []int) (*Lowered, error) {
+	if len(inputMap) != b.NumCtInputs {
+		return nil, fmt.Errorf("quill: Concat input map has %d entries, want %d", len(inputMap), b.NumCtInputs)
+	}
+	if a.VecLen != b.VecLen {
+		return nil, fmt.Errorf("quill: Concat vector lengths differ (%d vs %d)", a.VecLen, b.VecLen)
+	}
+	for _, id := range inputMap {
+		if id < 0 || id >= a.NumValues() {
+			return nil, fmt.Errorf("quill: Concat input map references undefined value c%d", id)
+		}
+	}
+	out := &Lowered{
+		VecLen:      a.VecLen,
+		NumCtInputs: a.NumCtInputs,
+		NumPtInputs: a.NumPtInputs + b.NumPtInputs,
+		Instrs:      append([]LInstr(nil), a.Instrs...),
+		Output:      a.Output,
+	}
+	offset := a.NumValues() - b.NumCtInputs
+	mapID := func(id int) int {
+		if id < b.NumCtInputs {
+			return inputMap[id]
+		}
+		return id + offset
+	}
+	for _, in := range b.Instrs {
+		ni := in
+		ni.Dst = mapID(in.Dst)
+		ni.A = mapID(in.A)
+		if in.Op.IsCtCt() {
+			ni.B = mapID(in.B)
+		}
+		if in.Op.IsCtPt() && in.P.Input >= 0 {
+			ni.P.Input = in.P.Input + a.NumPtInputs
+		}
+		out.Instrs = append(out.Instrs, ni)
+	}
+	out.Output = mapID(b.Output)
+	return out, nil
+}

@@ -1,0 +1,90 @@
+package quill
+
+import "testing"
+
+func testNoiseParams() NoiseParams {
+	return NoiseParams{N: 4096, LogQ: 108, LogMaxPrime: 36, NumPrimes: 3, T: 65537}
+}
+
+func TestEstimateNoiseGrowthRules(t *testing.T) {
+	np := testNoiseParams()
+	mk := func(instrs ...LInstr) *Lowered {
+		return &Lowered{VecLen: 8, NumCtInputs: 2, Instrs: instrs,
+			Output: 1 + len(instrs)}
+	}
+	fresh, err := EstimateNoise(&Lowered{VecLen: 8, NumCtInputs: 1, Instrs: []LInstr{
+		{Op: OpAddCtPt, Dst: 1, A: 0, P: PtRef{Input: -1, Const: []int64{1}}},
+	}, Output: 1}, np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add, err := EstimateNoise(mk(LInstr{Op: OpAddCtCt, Dst: 2, A: 0, B: 1}), np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mul, err := EstimateNoise(mk(
+		LInstr{Op: OpMulCtCt, Dst: 2, A: 0, B: 1},
+		LInstr{Op: OpRelin, Dst: 3, A: 2},
+	), np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rot, err := EstimateNoise(mk(LInstr{Op: OpRotCt, Dst: 2, A: 0, Rot: 1}), np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Key-switch-bearing ops (rotation, relinearized multiply) sit on
+	// the key-switch noise floor, far above plain additions.
+	if mul.OutputBits < rot.OutputBits {
+		t.Errorf("relinearized multiply (%.1f bits) below rotation (%.1f)", mul.OutputBits, rot.OutputBits)
+	}
+	if rot.OutputBits <= add.OutputBits {
+		t.Errorf("rotation (%.1f bits) should exceed addition (%.1f)", rot.OutputBits, add.OutputBits)
+	}
+	if add.OutputBits <= fresh.OutputBits {
+		t.Error("addition should add noise over fresh")
+	}
+	if mul.Budget >= fresh.Budget {
+		t.Error("multiplication should consume budget")
+	}
+}
+
+func TestEstimateNoiseDepthScaling(t *testing.T) {
+	np := testNoiseParams()
+	// Chain of k squarings: noise bits grow monotonically and the
+	// budget (clamped at zero) is exhausted within the depth the
+	// PN4096-sized modulus supports.
+	prevBits := 0.0
+	l := &Lowered{VecLen: 8, NumCtInputs: 1}
+	cur := 0
+	var lastBudget float64
+	for depth := 1; depth <= 6; depth++ {
+		m := len(l.Instrs)
+		l.Instrs = append(l.Instrs,
+			LInstr{Op: OpMulCtCt, Dst: 1 + m, A: cur, B: cur},
+			LInstr{Op: OpRelin, Dst: 2 + m, A: 1 + m},
+		)
+		cur = 2 + m
+		l.Output = cur
+		est, err := EstimateNoise(l, np)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.OutputBits <= prevBits {
+			t.Errorf("depth %d: noise %.1f bits did not grow from %.1f", depth, est.OutputBits, prevBits)
+		}
+		prevBits = est.OutputBits
+		lastBudget = est.Budget
+	}
+	if lastBudget != 0 {
+		t.Errorf("depth-6 chain should exhaust a 108-bit modulus (budget %.1f)", lastBudget)
+	}
+	// A depth-1 multiply must fit PN4096 per the model.
+	one := &Lowered{VecLen: 8, NumCtInputs: 1, Instrs: []LInstr{
+		{Op: OpMulCtCt, Dst: 1, A: 0, B: 0},
+		{Op: OpRelin, Dst: 2, A: 1},
+	}, Output: 2}
+	if ok, err := FitsParams(one, np, 0); err != nil || !ok {
+		t.Errorf("single multiply should fit PN4096 (err %v)", err)
+	}
+}

@@ -1,0 +1,200 @@
+package quill
+
+import (
+	"fmt"
+	"sort"
+)
+
+// OptimizeLowered applies semantics-preserving cleanups to a lowered
+// program and returns the optimized copy:
+//
+//   - global common-subexpression elimination (two instructions with
+//     the same opcode and operands compute the same value — this fires
+//     across segment boundaries of multi-step pipelines, where the
+//     per-segment lowering of Concat cannot share rotations);
+//   - dead-code elimination (instructions whose value cannot reach the
+//     output);
+//   - rotation-of-rotation folding (rot(rot(x, a), b) = rot(x, a+b)),
+//     which can appear after stitching segments.
+//
+// The paper's single-kernel lowering already shares rotations (§4.4);
+// this pass extends that guarantee to composed programs, an extension
+// beyond the paper's §6.3 multi-step synthesis.
+func OptimizeLowered(l *Lowered) (*Lowered, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	cur := l
+	for {
+		next, changed, err := optimizeOnce(cur)
+		if err != nil {
+			return nil, err
+		}
+		if !changed {
+			return next, nil
+		}
+		cur = next
+	}
+}
+
+// cseKey canonicalizes an instruction for value numbering.
+type cseKey struct {
+	op         Op
+	a, b, rot  int
+	ptInput    int
+	constShape string
+}
+
+func keyOf(in LInstr, resolve func(int) int) cseKey {
+	k := cseKey{op: in.Op, a: resolve(in.A), ptInput: -2}
+	switch {
+	case in.Op == OpRotCt:
+		k.rot = in.Rot
+	case in.Op == OpRelin:
+	case in.Op.IsCtCt():
+		k.b = resolve(in.B)
+		// Commutative normalization.
+		if (in.Op == OpAddCtCt || in.Op == OpMulCtCt) && k.b < k.a {
+			k.a, k.b = k.b, k.a
+		}
+	default:
+		k.ptInput = in.P.Input
+		if in.P.Input < 0 {
+			k.constShape = fmt.Sprint(in.P.Const)
+		}
+	}
+	return k
+}
+
+func optimizeOnce(l *Lowered) (*Lowered, bool, error) {
+	changed := false
+
+	// Pass 1: value numbering with rotation folding. canon[id] maps
+	// every SSA id to its canonical representative.
+	canon := make([]int, l.NumValues())
+	for i := range canon {
+		canon[i] = i
+	}
+	resolve := func(id int) int { return canon[id] }
+
+	// rotProv records, for canonical rotation results, their source and
+	// amount, enabling rot-of-rot folding.
+	type rotSrc struct{ src, amt int }
+	rotProv := map[int]rotSrc{}
+
+	seen := map[cseKey]int{}
+	kept := make([]LInstr, 0, len(l.Instrs))
+	keptDst := make([]int, 0, len(l.Instrs))
+
+	for _, in := range l.Instrs {
+		ni := in
+		ni.A = resolve(in.A)
+		if in.Op.IsCtCt() {
+			ni.B = resolve(in.B)
+		}
+		// Fold rot(rot(x,a),b) -> rot(x,a+b) and rot by 0 -> identity.
+		if ni.Op == OpRotCt {
+			if prov, ok := rotProv[ni.A]; ok {
+				ni.A = prov.src
+				ni.Rot = normRot(prov.amt+ni.Rot, l.VecLen)
+				changed = true
+			}
+			if normRot(ni.Rot, l.VecLen) == 0 {
+				canon[in.Dst] = ni.A
+				changed = true
+				continue
+			}
+			ni.Rot = normRot(ni.Rot, l.VecLen)
+		}
+		k := keyOf(ni, func(id int) int { return id })
+		if prev, ok := seen[k]; ok {
+			canon[in.Dst] = prev
+			changed = true
+			continue
+		}
+		seen[k] = in.Dst
+		canon[in.Dst] = in.Dst
+		if ni.Op == OpRotCt {
+			rotProv[in.Dst] = rotSrc{src: ni.A, amt: ni.Rot}
+		}
+		kept = append(kept, ni)
+		keptDst = append(keptDst, in.Dst)
+	}
+
+	output := resolve(l.Output)
+
+	// Pass 2: dead-code elimination by backwards reachability.
+	live := map[int]bool{output: true}
+	for i := len(kept) - 1; i >= 0; i-- {
+		if !live[keptDst[i]] {
+			continue
+		}
+		in := kept[i]
+		live[in.A] = true
+		if in.Op.IsCtCt() {
+			live[in.B] = true
+		}
+	}
+
+	// Pass 3: renumber to dense sequential SSA ids.
+	remap := map[int]int{}
+	for i := 0; i < l.NumCtInputs; i++ {
+		remap[i] = i
+	}
+	var liveIdx []int
+	for i, dst := range keptDst {
+		if live[dst] {
+			liveIdx = append(liveIdx, i)
+		} else {
+			changed = true
+		}
+	}
+	sort.Ints(liveIdx)
+	out := &Lowered{
+		VecLen:      l.VecLen,
+		NumCtInputs: l.NumCtInputs,
+		NumPtInputs: l.NumPtInputs,
+	}
+	next := l.NumCtInputs
+	for _, i := range liveIdx {
+		in := kept[i]
+		na, ok := remap[in.A]
+		if !ok {
+			return nil, false, fmt.Errorf("quill: optimize: operand c%d not yet defined", in.A)
+		}
+		in.A = na
+		if in.Op.IsCtCt() {
+			nb, ok := remap[in.B]
+			if !ok {
+				return nil, false, fmt.Errorf("quill: optimize: operand c%d not yet defined", in.B)
+			}
+			in.B = nb
+		}
+		remap[keptDst[i]] = next
+		in.Dst = next
+		next++
+		out.Instrs = append(out.Instrs, in)
+	}
+	no, ok := remap[output]
+	if !ok {
+		return nil, false, fmt.Errorf("quill: optimize: output value lost")
+	}
+	out.Output = no
+	if err := out.Validate(); err != nil {
+		return nil, false, fmt.Errorf("quill: optimize produced invalid program: %w", err)
+	}
+	return out, changed, nil
+}
+
+// normRot maps a rotation amount into (-n, n) preserving semantics and
+// canonicalizing to the smallest absolute value.
+func normRot(r, n int) int {
+	r %= n
+	if r > n/2 {
+		r -= n
+	}
+	if r < -n/2 {
+		r += n
+	}
+	return r
+}

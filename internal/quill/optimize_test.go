@@ -1,0 +1,198 @@
+package quill
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOptimizeCSE(t *testing.T) {
+	// Two identical rotations and a redundant commutative add.
+	l := &Lowered{
+		VecLen: 8, NumCtInputs: 2,
+		Instrs: []LInstr{
+			{Op: OpRotCt, Dst: 2, A: 0, Rot: 1},
+			{Op: OpRotCt, Dst: 3, A: 0, Rot: 1}, // duplicate rotation
+			{Op: OpAddCtCt, Dst: 4, A: 2, B: 1}, // c2+c1
+			{Op: OpAddCtCt, Dst: 5, A: 1, B: 3}, // c1+c3 == c1+c2 (commuted duplicate)
+			{Op: OpMulCtCt, Dst: 6, A: 4, B: 5}, // square after CSE
+		},
+		Output: 6,
+	}
+	opt, err := OptimizeLowered(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := opt.InstructionCount(); got != 3 {
+		t.Errorf("optimized to %d instructions, want 3\n%s", got, opt)
+	}
+	// Semantics preserved.
+	in := []Vec{{1, 2, 3, 4, 5, 6, 7, 8}, {8, 7, 6, 5, 4, 3, 2, 1}}
+	want, err := RunLowered(l, ConcreteSem{}, in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunLowered(opt, ConcreteSem{}, in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("slot %d: %d != %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOptimizeDCE(t *testing.T) {
+	l := &Lowered{
+		VecLen: 8, NumCtInputs: 1,
+		Instrs: []LInstr{
+			{Op: OpAddCtCt, Dst: 1, A: 0, B: 0},
+			{Op: OpRotCt, Dst: 2, A: 1, Rot: 2}, // dead
+			{Op: OpAddCtCt, Dst: 3, A: 1, B: 1},
+		},
+		Output: 3,
+	}
+	opt, err := OptimizeLowered(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := opt.InstructionCount(); got != 2 {
+		t.Errorf("dead rotation not removed: %d instructions\n%s", got, opt)
+	}
+}
+
+func TestOptimizeRotationFolding(t *testing.T) {
+	l := &Lowered{
+		VecLen: 8, NumCtInputs: 1,
+		Instrs: []LInstr{
+			{Op: OpRotCt, Dst: 1, A: 0, Rot: 3},
+			{Op: OpRotCt, Dst: 2, A: 1, Rot: 2}, // rot-of-rot: fold to rot 5 -> -3
+			{Op: OpAddCtCt, Dst: 3, A: 2, B: 0},
+		},
+		Output: 3,
+	}
+	opt, err := OptimizeLowered(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rotCount := 0
+	for _, in := range opt.Instrs {
+		if in.Op == OpRotCt {
+			rotCount++
+			if in.A != 0 {
+				t.Error("folded rotation should source from the input")
+			}
+		}
+	}
+	if rotCount != 1 {
+		t.Errorf("expected a single folded rotation, got %d\n%s", rotCount, opt)
+	}
+	in := []Vec{{10, 20, 30, 40, 50, 60, 70, 80}}
+	want, _ := RunLowered(l, ConcreteSem{}, in, nil)
+	got, _ := RunLowered(opt, ConcreteSem{}, in, nil)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("folding changed semantics at slot %d", i)
+		}
+	}
+}
+
+func TestOptimizeRotZeroIdentity(t *testing.T) {
+	l := &Lowered{
+		VecLen: 8, NumCtInputs: 1,
+		Instrs: []LInstr{
+			{Op: OpRotCt, Dst: 1, A: 0, Rot: 8}, // full cycle = identity
+			{Op: OpAddCtCt, Dst: 2, A: 1, B: 0},
+		},
+		Output: 2,
+	}
+	// Rot by VecLen is out of Validate's range, so build via folding:
+	l.Instrs[0].Rot = 4
+	l.Instrs = append(l.Instrs[:1],
+		LInstr{Op: OpRotCt, Dst: 2, A: 1, Rot: 4}, // rot(rot(x,4),4) = x
+		LInstr{Op: OpAddCtCt, Dst: 3, A: 2, B: 0},
+	)
+	l.Output = 3
+	opt, err := OptimizeLowered(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range opt.Instrs {
+		if in.Op == OpRotCt {
+			t.Errorf("identity rotation survived:\n%s", opt)
+		}
+	}
+	in := []Vec{{1, 2, 3, 4, 5, 6, 7, 8}}
+	want, _ := RunLowered(l, ConcreteSem{}, in, nil)
+	got, _ := RunLowered(opt, ConcreteSem{}, in, nil)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatal("identity elimination changed semantics")
+		}
+	}
+}
+
+// TestOptimizePreservesSemanticsProperty checks on random programs
+// that optimization never changes observable behavior and never grows
+// the program.
+func TestOptimizePreservesSemanticsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProgram(rng)
+		l, err := Lower(p, DefaultLowerOptions())
+		if err != nil {
+			return false
+		}
+		opt, err := OptimizeLowered(l)
+		if err != nil {
+			return false
+		}
+		if opt.InstructionCount() > l.InstructionCount() {
+			return false
+		}
+		ctIn := make([]Vec, p.NumCtInputs)
+		for i := range ctIn {
+			ctIn[i] = randomVec(rng, p.VecLen)
+		}
+		ptIn := make([]Vec, p.NumPtInputs)
+		for i := range ptIn {
+			ptIn[i] = randomVec(rng, p.VecLen)
+		}
+		want, err := RunLowered(l, ConcreteSem{}, ctIn, ptIn)
+		if err != nil {
+			return false
+		}
+		got, err := RunLowered(opt, ConcreteSem{}, ctIn, ptIn)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimizeInvalidInput(t *testing.T) {
+	bad := &Lowered{VecLen: 7, NumCtInputs: 1}
+	if _, err := OptimizeLowered(bad); err == nil {
+		t.Error("invalid program should fail")
+	}
+}
+
+func TestNormRot(t *testing.T) {
+	cases := []struct{ r, n, want int }{
+		{0, 8, 0}, {8, 8, 0}, {9, 8, 1}, {-9, 8, -1}, {5, 8, -3}, {-5, 8, 3}, {4, 8, 4},
+	}
+	for _, c := range cases {
+		if got := normRot(c.r, c.n); got != c.want {
+			t.Errorf("normRot(%d,%d) = %d, want %d", c.r, c.n, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package quill
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseLowered parses the textual lowered-program format emitted by
+// Lowered.String (and accepted by cmd/quillrun):
+//
+//	; comments and blank lines are ignored
+//	vec 32            (optional header; defaults may also come first)
+//	ct-inputs 1
+//	pt-inputs 0
+//	c1 = (rot-ct c0 5)
+//	c2 = (add-ct-ct c0 c1)
+//	c3 = (mul-ct-pt c2 [2])
+//	out c2
+//
+// Headers may be omitted when a "; lowered quill program:" comment line
+// of the printer is present.
+func ParseLowered(src string) (*Lowered, error) {
+	l := &Lowered{VecLen: 0, NumCtInputs: -1, NumPtInputs: 0, Output: -1}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ";") {
+			// The printer embeds the header in its comment line.
+			if strings.Contains(line, "lowered quill program:") {
+				for _, f := range strings.Fields(line) {
+					if v, ok := strings.CutPrefix(f, "vec="); ok {
+						l.VecLen, _ = strconv.Atoi(v)
+					}
+					if v, ok := strings.CutPrefix(f, "ct-inputs="); ok {
+						l.NumCtInputs, _ = strconv.Atoi(v)
+					}
+					if v, ok := strings.CutPrefix(f, "pt-inputs="); ok {
+						l.NumPtInputs, _ = strconv.Atoi(v)
+					}
+				}
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "vec":
+			if len(fields) != 2 {
+				return nil, parseErr(lineNo, "vec wants one argument")
+			}
+			l.VecLen, _ = strconv.Atoi(fields[1])
+		case "ct-inputs":
+			if len(fields) != 2 {
+				return nil, parseErr(lineNo, "ct-inputs wants one argument")
+			}
+			l.NumCtInputs, _ = strconv.Atoi(fields[1])
+		case "pt-inputs":
+			if len(fields) != 2 {
+				return nil, parseErr(lineNo, "pt-inputs wants one argument")
+			}
+			l.NumPtInputs, _ = strconv.Atoi(fields[1])
+		case "out":
+			if len(fields) != 2 {
+				return nil, parseErr(lineNo, "out wants one argument")
+			}
+			id, err := parseValueID(fields[1])
+			if err != nil {
+				return nil, parseErr(lineNo, err.Error())
+			}
+			l.Output = id
+		default:
+			in, err := parseLInstr(line)
+			if err != nil {
+				return nil, parseErr(lineNo, err.Error())
+			}
+			l.Instrs = append(l.Instrs, in)
+		}
+	}
+	if l.NumCtInputs < 0 {
+		return nil, fmt.Errorf("quill: parse: missing ct-inputs header")
+	}
+	if l.VecLen == 0 {
+		return nil, fmt.Errorf("quill: parse: missing vec header")
+	}
+	if l.Output < 0 {
+		if len(l.Instrs) == 0 {
+			return nil, fmt.Errorf("quill: parse: empty program")
+		}
+		l.Output = l.Instrs[len(l.Instrs)-1].Dst
+	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func parseErr(lineNo int, msg string) error {
+	return fmt.Errorf("quill: parse line %d: %s", lineNo+1, msg)
+}
+
+func parseValueID(s string) (int, error) {
+	rest, ok := strings.CutPrefix(s, "c")
+	if !ok {
+		return 0, fmt.Errorf("expected value id like c3, got %q", s)
+	}
+	id, err := strconv.Atoi(rest)
+	if err != nil || id < 0 {
+		return 0, fmt.Errorf("bad value id %q", s)
+	}
+	return id, nil
+}
+
+// parseLInstr parses "cD = (op args...)".
+func parseLInstr(line string) (LInstr, error) {
+	var in LInstr
+	lhs, rhs, ok := strings.Cut(line, "=")
+	if !ok {
+		return in, fmt.Errorf("expected assignment, got %q", line)
+	}
+	dst, err := parseValueID(strings.TrimSpace(lhs))
+	if err != nil {
+		return in, err
+	}
+	in.Dst = dst
+	rhs = strings.TrimSpace(rhs)
+	rhs = strings.TrimPrefix(rhs, "(")
+	rhs = strings.TrimSuffix(rhs, ")")
+	fields := strings.Fields(rhs)
+	if len(fields) == 0 {
+		return in, fmt.Errorf("empty instruction body")
+	}
+	var op Op = -1
+	for o, name := range opNames {
+		if name == fields[0] {
+			op = o
+			break
+		}
+	}
+	if op == -1 {
+		return in, fmt.Errorf("unknown opcode %q", fields[0])
+	}
+	in.Op = op
+	if len(fields) < 2 {
+		return in, fmt.Errorf("opcode %s wants operands", op)
+	}
+	if in.A, err = parseValueID(fields[1]); err != nil {
+		return in, err
+	}
+	switch {
+	case op == OpRelin:
+		if len(fields) != 2 {
+			return in, fmt.Errorf("relin wants one operand")
+		}
+	case op == OpRotCt:
+		if len(fields) != 3 {
+			return in, fmt.Errorf("rot-ct wants an operand and an amount")
+		}
+		if in.Rot, err = strconv.Atoi(fields[2]); err != nil {
+			return in, fmt.Errorf("bad rotation %q", fields[2])
+		}
+	case op.IsCtCt():
+		if len(fields) != 3 {
+			return in, fmt.Errorf("%s wants two operands", op)
+		}
+		if in.B, err = parseValueID(fields[2]); err != nil {
+			return in, err
+		}
+	default: // ct-pt
+		rest := strings.TrimSpace(strings.TrimPrefix(rhs, fields[0]))
+		rest = strings.TrimSpace(strings.TrimPrefix(rest, fields[1]))
+		if in.P, err = parsePtRef(rest); err != nil {
+			return in, err
+		}
+	}
+	return in, nil
+}
+
+func parsePtRef(s string) (PtRef, error) {
+	s = strings.TrimSpace(s)
+	if rest, ok := strings.CutPrefix(s, "p"); ok && !strings.HasPrefix(s, "[") {
+		idx, err := strconv.Atoi(rest)
+		if err != nil || idx < 0 {
+			return PtRef{}, fmt.Errorf("bad plaintext ref %q", s)
+		}
+		return PtRef{Input: idx}, nil
+	}
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return PtRef{}, fmt.Errorf("bad plaintext operand %q", s)
+	}
+	body := strings.TrimSuffix(strings.TrimPrefix(s, "["), "]")
+	var consts []int64
+	for _, f := range strings.Fields(body) {
+		if f == "..." {
+			continue
+		}
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return PtRef{}, fmt.Errorf("bad constant %q", f)
+		}
+		consts = append(consts, v)
+	}
+	if len(consts) == 0 {
+		return PtRef{}, fmt.Errorf("empty constant vector")
+	}
+	return PtRef{Input: -1, Const: consts}, nil
+}

@@ -1,0 +1,212 @@
+// Package quill implements the Quill DSL from the Porcupine paper: a
+// behavioral model of vectorized BFV homomorphic encryption. Quill
+// programs are straight-line SSA sequences of SIMD instructions over
+// circular vectors of Z_t values, with metadata tracking each
+// ciphertext's multiplicative depth (the noise model) and a latency
+// cost model profiled from the BFV backend.
+//
+// Programs exist in two forms:
+//
+//   - Program: the sketch-level "local rotate" form, in which rotations
+//     are operands of arithmetic instructions rather than instructions
+//     (paper §4.4). This is what the synthesis engine searches over.
+//   - Lowered: the explicit instruction list matching the SEAL
+//     instruction set, with rotations materialized (and CSE'd) and
+//     relinearization inserted after ciphertext-ciphertext multiplies.
+//     Instruction counts, depths, and latencies reported in the paper's
+//     Table 2 and Figure 4 are properties of this form.
+package quill
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Modulus is the plaintext modulus of the abstract machine (matches
+// bfv.PlaintextModulus and symbolic.Modulus).
+const Modulus uint64 = 65537
+
+// Op enumerates the Quill instruction set (paper Table 1). RotCt and
+// Relin appear only in lowered programs.
+type Op int
+
+const (
+	OpAddCtCt Op = iota // add two ciphertexts
+	OpSubCtCt           // subtract two ciphertexts
+	OpMulCtCt           // multiply two ciphertexts
+	OpAddCtPt           // add plaintext to ciphertext
+	OpSubCtPt           // subtract plaintext from ciphertext
+	OpMulCtPt           // multiply ciphertext by plaintext
+	OpRotCt             // rotate ciphertext slots left (lowered only)
+	OpRelin             // relinearize after ct-ct multiply (lowered only)
+)
+
+var opNames = map[Op]string{
+	OpAddCtCt: "add-ct-ct",
+	OpSubCtCt: "sub-ct-ct",
+	OpMulCtCt: "mul-ct-ct",
+	OpAddCtPt: "add-ct-pt",
+	OpSubCtPt: "sub-ct-pt",
+	OpMulCtPt: "mul-ct-pt",
+	OpRotCt:   "rot-ct",
+	OpRelin:   "relin",
+}
+
+// String returns the mnemonic of the opcode.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// IsCtCt reports whether the op takes two ciphertext operands.
+func (o Op) IsCtCt() bool { return o == OpAddCtCt || o == OpSubCtCt || o == OpMulCtCt }
+
+// IsCtPt reports whether the op takes a ciphertext and a plaintext.
+func (o Op) IsCtPt() bool { return o == OpAddCtPt || o == OpSubCtPt || o == OpMulCtPt }
+
+// IsArith reports whether the op is a sketch-level arithmetic
+// component (everything except RotCt and Relin).
+func (o Op) IsArith() bool { return o.IsCtCt() || o.IsCtPt() }
+
+// CtRef references a ciphertext value with an optional local rotation:
+// the value with SSA id ID, rotated left by Rot slots before use.
+// IDs 0..NumCtInputs-1 are the ciphertext inputs; subsequent ids are
+// instruction results in order.
+type CtRef struct {
+	ID  int
+	Rot int
+}
+
+func (r CtRef) String() string {
+	if r.Rot == 0 {
+		return fmt.Sprintf("c%d", r.ID)
+	}
+	return fmt.Sprintf("(rot c%d %d)", r.ID, r.Rot)
+}
+
+// PtRef references a plaintext operand: either a plaintext input
+// (Input ≥ 0) or an inline constant vector replicated across slots
+// when len(Const) == 1, or per-slot when len(Const) == VecLen.
+type PtRef struct {
+	Input int     // plaintext input index, or -1 for a constant
+	Const []int64 // constant vector (Input == -1)
+}
+
+func (p PtRef) String() string {
+	if p.Input >= 0 {
+		return fmt.Sprintf("p%d", p.Input)
+	}
+	if len(p.Const) == 1 {
+		return fmt.Sprintf("[%d ...]", p.Const[0])
+	}
+	parts := make([]string, len(p.Const))
+	for i, c := range p.Const {
+		parts[i] = fmt.Sprintf("%d", c)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// Instr is one sketch-level arithmetic component. For ct-ct ops A and
+// B are used; for ct-pt ops A and P are used (plaintext operands are
+// never rotated, matching the paper: the server can pre-rotate its own
+// data for free).
+type Instr struct {
+	Op Op
+	A  CtRef
+	B  CtRef
+	P  PtRef
+}
+
+// Program is a straight-line Quill program in local-rotate form.
+type Program struct {
+	VecLen      int // abstract vector length (power of two)
+	NumCtInputs int
+	NumPtInputs int
+	Instrs      []Instr
+	Output      int // SSA id of the result (defaults to the last value)
+}
+
+// NumValues returns the number of SSA values (inputs + results).
+func (p *Program) NumValues() int { return p.NumCtInputs + len(p.Instrs) }
+
+// Validate checks SSA well-formedness: operand ids precede their use,
+// rotations are in range, plaintext references are in range, and the
+// output id exists.
+func (p *Program) Validate() error {
+	if p.VecLen <= 0 || p.VecLen&(p.VecLen-1) != 0 {
+		return fmt.Errorf("quill: vector length %d is not a positive power of two", p.VecLen)
+	}
+	if p.NumCtInputs < 1 {
+		return fmt.Errorf("quill: program needs at least one ciphertext input")
+	}
+	checkRef := func(i int, r CtRef) error {
+		if r.ID < 0 || r.ID >= p.NumCtInputs+i {
+			return fmt.Errorf("quill: instr %d references undefined value c%d", i, r.ID)
+		}
+		if r.Rot <= -p.VecLen || r.Rot >= p.VecLen {
+			return fmt.Errorf("quill: instr %d rotation %d out of range", i, r.Rot)
+		}
+		return nil
+	}
+	for i, in := range p.Instrs {
+		if !in.Op.IsArith() {
+			return fmt.Errorf("quill: instr %d: opcode %v not allowed in local-rotate form", i, in.Op)
+		}
+		if err := checkRef(i, in.A); err != nil {
+			return err
+		}
+		if in.Op.IsCtCt() {
+			if err := checkRef(i, in.B); err != nil {
+				return err
+			}
+		} else {
+			if in.P.Input < -1 || in.P.Input >= p.NumPtInputs {
+				return fmt.Errorf("quill: instr %d references undefined plaintext p%d", i, in.P.Input)
+			}
+			if in.P.Input == -1 && len(in.P.Const) != 1 && len(in.P.Const) != p.VecLen {
+				return fmt.Errorf("quill: instr %d constant length %d (want 1 or %d)", i, len(in.P.Const), p.VecLen)
+			}
+		}
+	}
+	if p.Output < 0 || p.Output >= p.NumValues() {
+		return fmt.Errorf("quill: output id c%d undefined", p.Output)
+	}
+	return nil
+}
+
+// String renders the program in the paper's textual style.
+func (p *Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; quill program: vec=%d ct-inputs=%d pt-inputs=%d\n", p.VecLen, p.NumCtInputs, p.NumPtInputs)
+	for i, in := range p.Instrs {
+		id := p.NumCtInputs + i
+		if in.Op.IsCtCt() {
+			fmt.Fprintf(&b, "c%d = (%s %s %s)\n", id, in.Op, in.A, in.B)
+		} else {
+			fmt.Fprintf(&b, "c%d = (%s %s %s)\n", id, in.Op, in.A, in.P)
+		}
+	}
+	fmt.Fprintf(&b, "out c%d\n", p.Output)
+	return b.String()
+}
+
+// MultDepth returns the multiplicative depth of the program output
+// under the paper's Table-1 noise model: ciphertext inputs start at
+// depth 0; mul-ct-ct and mul-ct-pt increment the max operand depth;
+// add, sub and rotate propagate it unchanged.
+func (p *Program) MultDepth() int {
+	depth := make([]int, p.NumValues())
+	for i, in := range p.Instrs {
+		d := depth[in.A.ID]
+		if in.Op.IsCtCt() && depth[in.B.ID] > d {
+			d = depth[in.B.ID]
+		}
+		if in.Op == OpMulCtCt || in.Op == OpMulCtPt {
+			d++
+		}
+		depth[p.NumCtInputs+i] = d
+	}
+	return depth[p.Output]
+}

@@ -1,0 +1,495 @@
+package quill
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"porcupine/internal/symbolic"
+)
+
+// gxProgram is the paper's synthesized Gx kernel (§4.4 solution):
+//
+//	c1 = (add-ct-ct (rot-ct c0 -5) c0)
+//	c2 = (add-ct-ct (rot-ct c1 5) c1)
+//	c3 = (sub-ct-ct (rot-ct c2 1) (rot-ct c2 -1))
+func gxProgram() *Program {
+	return &Program{
+		VecLen:      64,
+		NumCtInputs: 1,
+		Instrs: []Instr{
+			{Op: OpAddCtCt, A: CtRef{ID: 0, Rot: -5}, B: CtRef{ID: 0}},
+			{Op: OpAddCtCt, A: CtRef{ID: 1, Rot: 5}, B: CtRef{ID: 1}},
+			{Op: OpSubCtCt, A: CtRef{ID: 2, Rot: 1}, B: CtRef{ID: 2, Rot: -1}},
+		},
+		Output: 3,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := gxProgram()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := gxProgram()
+	bad.Instrs[0].A.ID = 5
+	if err := bad.Validate(); err == nil {
+		t.Error("forward reference should fail")
+	}
+	bad = gxProgram()
+	bad.VecLen = 60
+	if err := bad.Validate(); err == nil {
+		t.Error("non-power-of-two vector should fail")
+	}
+	bad = gxProgram()
+	bad.Output = 9
+	if err := bad.Validate(); err == nil {
+		t.Error("undefined output should fail")
+	}
+	bad = gxProgram()
+	bad.Instrs[0].A.Rot = 64
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range rotation should fail")
+	}
+	bad = gxProgram()
+	bad.Instrs[0].Op = OpRotCt
+	if err := bad.Validate(); err == nil {
+		t.Error("rot-ct in local-rotate form should fail")
+	}
+	bad = gxProgram()
+	bad.NumCtInputs = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero ct inputs should fail")
+	}
+	bad = gxProgram()
+	bad.Instrs[0] = Instr{Op: OpMulCtPt, A: CtRef{ID: 0}, P: PtRef{Input: 2}}
+	if err := bad.Validate(); err == nil {
+		t.Error("undefined plaintext input should fail")
+	}
+	bad = gxProgram()
+	bad.Instrs[0] = Instr{Op: OpMulCtPt, A: CtRef{ID: 0}, P: PtRef{Input: -1, Const: []int64{1, 2}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("bad constant length should fail")
+	}
+}
+
+func TestLowerGxMatchesPaperCounts(t *testing.T) {
+	// Paper Table 2: synthesized Gx has 7 instructions and depth 6
+	// (3 arithmetic components + 4 shared rotations).
+	l, err := Lower(gxProgram(), DefaultLowerOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.InstructionCount(); got != 7 {
+		t.Errorf("Gx instruction count = %d, want 7\n%s", got, l)
+	}
+	if got := l.Depth(); got != 6 {
+		t.Errorf("Gx depth = %d, want 6\n%s", got, l)
+	}
+	if got := l.MultDepth(); got != 0 {
+		t.Errorf("Gx mult depth = %d, want 0", got)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowerSharesRotations(t *testing.T) {
+	// The same (value, rotation) pair used twice must lower to one
+	// rot-ct instruction.
+	p := &Program{
+		VecLen:      8,
+		NumCtInputs: 1,
+		Instrs: []Instr{
+			{Op: OpAddCtCt, A: CtRef{ID: 0, Rot: 1}, B: CtRef{ID: 0}},
+			{Op: OpSubCtCt, A: CtRef{ID: 0, Rot: 1}, B: CtRef{ID: 1}},
+		},
+		Output: 2,
+	}
+	l, err := Lower(p, DefaultLowerOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rotCount := 0
+	for _, in := range l.Instrs {
+		if in.Op == OpRotCt {
+			rotCount++
+		}
+	}
+	if rotCount != 1 {
+		t.Errorf("rotation not shared: %d rot-ct instructions\n%s", rotCount, l)
+	}
+}
+
+func TestLowerInsertsRelin(t *testing.T) {
+	p := &Program{
+		VecLen:      8,
+		NumCtInputs: 2,
+		Instrs:      []Instr{{Op: OpMulCtCt, A: CtRef{ID: 0}, B: CtRef{ID: 1}}},
+		Output:      2,
+	}
+	l, err := Lower(p, DefaultLowerOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Instrs) != 2 || l.Instrs[1].Op != OpRelin {
+		t.Fatalf("expected mul+relin, got\n%s", l)
+	}
+	if l.Output != l.Instrs[1].Dst {
+		t.Error("output should be the relinearized value")
+	}
+	l2, err := Lower(p, LowerOptions{InsertRelin: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l2.Instrs) != 1 {
+		t.Error("relin inserted despite being disabled")
+	}
+	if l.MultDepth() != 1 || l2.MultDepth() != 1 {
+		t.Error("mult depth of single multiply should be 1")
+	}
+}
+
+func TestRunConcrete(t *testing.T) {
+	// Gx on a 5x5 image packed row-major: output slot (r,c) (interior)
+	// should be the x-gradient sum.
+	img := make(Vec, 64)
+	vals := [5][5]uint64{}
+	rng := rand.New(rand.NewSource(1))
+	for r := 0; r < 5; r++ {
+		for c := 0; c < 5; c++ {
+			v := rng.Uint64() % 100
+			vals[r][c] = v
+			img[r*5+c] = v
+		}
+	}
+	out, err := Run(gxProgram(), ConcreteSem{}, []Vec{img}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Standard Sobel x-gradient, centered: the paper's synthesized
+	// program computes out[r,c] = Σ img[r+dr][c+dc]·filter[dr+1][dc+1].
+	filter := [3][3]int64{{-1, 0, 1}, {-2, 0, 2}, {-1, 0, 1}}
+	for r := 1; r < 4; r++ {
+		for c := 1; c < 4; c++ {
+			var want int64
+			for kh := 0; kh < 3; kh++ {
+				for kw := 0; kw < 3; kw++ {
+					want += int64(vals[r+kh-1][c+kw-1]) * filter[kh][kw]
+				}
+			}
+			wantMod := uint64(((want % int64(Modulus)) + int64(Modulus))) % Modulus
+			got := out[r*5+c]
+			if got != wantMod {
+				t.Errorf("slot (%d,%d): got %d want %d", r, c, got, wantMod)
+			}
+		}
+	}
+}
+
+func TestRunLoweredAgreesWithRun(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProgram(rng)
+		ctIn := make([]Vec, p.NumCtInputs)
+		for i := range ctIn {
+			ctIn[i] = randomVec(rng, p.VecLen)
+		}
+		ptIn := make([]Vec, p.NumPtInputs)
+		for i := range ptIn {
+			ptIn[i] = randomVec(rng, p.VecLen)
+		}
+		want, err := Run(p, ConcreteSem{}, ctIn, ptIn)
+		if err != nil {
+			return false
+		}
+		l, err := Lower(p, DefaultLowerOptions())
+		if err != nil {
+			return false
+		}
+		got, err := RunLowered(l, ConcreteSem{}, ctIn, ptIn)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSymbolicAgreesWithConcrete(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProgram(rng)
+		// Symbolic inputs: variable per (input, slot).
+		varIdx := 0
+		ctSym := make([]SymVec, p.NumCtInputs)
+		for i := range ctSym {
+			ctSym[i] = make(SymVec, p.VecLen)
+			for j := range ctSym[i] {
+				ctSym[i][j] = symbolic.Var(varIdx)
+				varIdx++
+			}
+		}
+		ptSym := make([]SymVec, p.NumPtInputs)
+		for i := range ptSym {
+			ptSym[i] = make(SymVec, p.VecLen)
+			for j := range ptSym[i] {
+				ptSym[i][j] = symbolic.Var(varIdx)
+				varIdx++
+			}
+		}
+		symOut, err := Run(p, SymbolicSem{}, ctSym, ptSym)
+		if err != nil {
+			return false
+		}
+		// Concrete assignment.
+		assign := make([]uint64, varIdx)
+		for i := range assign {
+			assign[i] = rng.Uint64() % Modulus
+		}
+		ctIn := make([]Vec, p.NumCtInputs)
+		k := 0
+		for i := range ctIn {
+			ctIn[i] = make(Vec, p.VecLen)
+			for j := range ctIn[i] {
+				ctIn[i][j] = assign[k]
+				k++
+			}
+		}
+		ptIn := make([]Vec, p.NumPtInputs)
+		for i := range ptIn {
+			ptIn[i] = make(Vec, p.VecLen)
+			for j := range ptIn[i] {
+				ptIn[i][j] = assign[k]
+				k++
+			}
+		}
+		concOut, err := Run(p, ConcreteSem{}, ctIn, ptIn)
+		if err != nil {
+			return false
+		}
+		for j := range concOut {
+			if symOut[j].Eval(assign) != concOut[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomProgram builds a small random valid local-rotate program.
+func randomProgram(rng *rand.Rand) *Program {
+	p := &Program{
+		VecLen:      16,
+		NumCtInputs: 1 + rng.Intn(2),
+		NumPtInputs: rng.Intn(2),
+	}
+	nInstr := 1 + rng.Intn(5)
+	for i := 0; i < nInstr; i++ {
+		avail := p.NumCtInputs + i
+		ref := func() CtRef {
+			return CtRef{ID: rng.Intn(avail), Rot: rng.Intn(9) - 4}
+		}
+		var in Instr
+		switch rng.Intn(6) {
+		case 0:
+			in = Instr{Op: OpAddCtCt, A: ref(), B: ref()}
+		case 1:
+			in = Instr{Op: OpSubCtCt, A: ref(), B: ref()}
+		case 2:
+			in = Instr{Op: OpMulCtCt, A: ref(), B: ref()}
+		case 3, 4:
+			pt := PtRef{Input: -1, Const: []int64{int64(rng.Intn(7) - 3)}}
+			if p.NumPtInputs > 0 && rng.Intn(2) == 0 {
+				pt = PtRef{Input: rng.Intn(p.NumPtInputs)}
+			}
+			in = Instr{Op: OpMulCtPt, A: ref(), P: pt}
+		default:
+			pt := PtRef{Input: -1, Const: []int64{int64(rng.Intn(7) - 3)}}
+			if p.NumPtInputs > 0 && rng.Intn(2) == 0 {
+				pt = PtRef{Input: rng.Intn(p.NumPtInputs)}
+			}
+			in = Instr{Op: OpAddCtPt, A: ref(), P: pt}
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+	p.Output = p.NumValues() - 1
+	return p
+}
+
+func randomVec(rng *rand.Rand, n int) Vec {
+	v := make(Vec, n)
+	for i := range v {
+		v[i] = rng.Uint64() % Modulus
+	}
+	return v
+}
+
+func TestMultDepth(t *testing.T) {
+	p := &Program{
+		VecLen:      8,
+		NumCtInputs: 2,
+		Instrs: []Instr{
+			{Op: OpMulCtCt, A: CtRef{ID: 0}, B: CtRef{ID: 1}},                        // depth 1
+			{Op: OpAddCtCt, A: CtRef{ID: 2}, B: CtRef{ID: 0}},                        // depth 1
+			{Op: OpMulCtPt, A: CtRef{ID: 3}, P: PtRef{Input: -1, Const: []int64{2}}}, // depth 2
+		},
+		Output: 4,
+	}
+	if d := p.MultDepth(); d != 2 {
+		t.Errorf("mult depth = %d, want 2", d)
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	cm := DefaultCostModel()
+	l, err := Lower(gxProgram(), DefaultLowerOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := cm.ProgramLatency(l)
+	want := 4*cm.Latency[OpRotCt] + 2*cm.Latency[OpAddCtCt] + cm.Latency[OpSubCtCt]
+	if lat != want {
+		t.Errorf("latency = %v, want %v", lat, want)
+	}
+	if cm.Cost(l) != lat {
+		t.Errorf("cost of depth-0 program should equal latency")
+	}
+	// A program with one multiply doubles the cost factor.
+	p := &Program{VecLen: 8, NumCtInputs: 2,
+		Instrs: []Instr{{Op: OpMulCtCt, A: CtRef{ID: 0}, B: CtRef{ID: 1}}}, Output: 2}
+	lm, _ := Lower(p, DefaultLowerOptions())
+	wantCost := (cm.Latency[OpMulCtCt] + cm.Latency[OpRelin]) * 2
+	if cm.Cost(lm) != wantCost {
+		t.Errorf("cost = %v, want %v", cm.Cost(lm), wantCost)
+	}
+	if c, err := cm.CostProgram(p); err != nil || c != wantCost {
+		t.Errorf("CostProgram = %v, %v", c, err)
+	}
+}
+
+func TestParseLoweredRoundTrip(t *testing.T) {
+	l, err := Lower(gxProgram(), DefaultLowerOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseLowered(l.String())
+	if err != nil {
+		t.Fatalf("parse failed: %v\nsource:\n%s", err, l)
+	}
+	if parsed.String() != l.String() {
+		t.Errorf("round trip mismatch:\n%s\nvs\n%s", parsed, l)
+	}
+}
+
+func TestParseLoweredExplicitHeaders(t *testing.T) {
+	src := `
+vec 8
+ct-inputs 1
+pt-inputs 1
+c1 = (rot-ct c0 2)
+c2 = (add-ct-ct c0 c1)
+c3 = (mul-ct-pt c2 p0)
+c4 = (mul-ct-pt c3 [3])
+out c4
+`
+	l, err := ParseLowered(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.VecLen != 8 || l.NumCtInputs != 1 || l.NumPtInputs != 1 {
+		t.Errorf("headers parsed wrong: %+v", l)
+	}
+	if len(l.Instrs) != 4 {
+		t.Errorf("got %d instrs", len(l.Instrs))
+	}
+	if l.Instrs[2].P.Input != 0 {
+		t.Error("plaintext input ref parsed wrong")
+	}
+	if l.Instrs[3].P.Input != -1 || l.Instrs[3].P.Const[0] != 3 {
+		t.Error("constant parsed wrong")
+	}
+	got, err := RunLowered(l, ConcreteSem{}, []Vec{{1, 2, 3, 4, 5, 6, 7, 8}}, []Vec{{2, 2, 2, 2, 2, 2, 2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c2[i] = in[i] + in[i+2]; c4[i] = c2[i]*2*3.
+	if got[0] != (1+3)*6 {
+		t.Errorf("execution wrong: got %d", got[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"vec 8\nct-inputs 1\n", // empty program
+		"vec 8\nct-inputs 1\nc1 = (bogus c0)\nout c1", // unknown op
+		"vec 8\nct-inputs 1\nc1 = rot-ct\nout c1",     // malformed
+		"vec 8\nct-inputs 1\nc2 = (rot-ct c0 1)",      // dst not sequential
+		"ct-inputs 1\nc1 = (rot-ct c0 1)",             // missing vec
+		"vec 8\nc1 = (rot-ct c0 1)",                   // missing ct-inputs
+		"vec 8\nct-inputs 1\nc1 = (mul-ct-pt c0 [])\nout c1",
+		"vec 8\nct-inputs 1\nc1 = (rot-ct c0 x)\nout c1",
+	}
+	for _, src := range cases {
+		if _, err := ParseLowered(src); err == nil {
+			t.Errorf("expected parse error for %q", src)
+		}
+	}
+}
+
+func TestConcat(t *testing.T) {
+	// a: c1 = c0 + c0; b: square its single input.
+	a := &Lowered{VecLen: 8, NumCtInputs: 1, Instrs: []LInstr{
+		{Op: OpAddCtCt, Dst: 1, A: 0, B: 0},
+	}, Output: 1}
+	b := &Lowered{VecLen: 8, NumCtInputs: 1, NumPtInputs: 1, Instrs: []LInstr{
+		{Op: OpMulCtCt, Dst: 1, A: 0, B: 0},
+		{Op: OpAddCtPt, Dst: 2, A: 1, P: PtRef{Input: 0}},
+	}, Output: 2}
+	combined, err := Concat(a, b, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := combined.Validate(); err != nil {
+		t.Fatalf("%v\n%s", err, combined)
+	}
+	in := Vec{3, 0, 0, 0, 0, 0, 0, 0}
+	pt := Vec{5, 5, 5, 5, 5, 5, 5, 5}
+	out, err := RunLowered(combined, ConcreteSem{}, []Vec{in}, []Vec{pt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != (3+3)*(3+3)+5 {
+		t.Errorf("concat result = %d, want 41", out[0])
+	}
+	if _, err := Concat(a, b, []int{7}); err == nil {
+		t.Error("bad input map should fail")
+	}
+	if _, err := Concat(a, b, nil); err == nil {
+		t.Error("short input map should fail")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpAddCtCt.String() != "add-ct-ct" || OpRelin.String() != "relin" {
+		t.Error("op names wrong")
+	}
+	if Op(99).String() != "op(99)" {
+		t.Error("unknown op rendering wrong")
+	}
+	if !strings.Contains(gxProgram().String(), "sub-ct-ct") {
+		t.Error("program printer missing instruction")
+	}
+}

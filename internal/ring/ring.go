@@ -1,0 +1,402 @@
+// Package ring implements arithmetic in the quotient ring
+// R_Q = Z_Q[X]/(X^N + 1) for a power-of-two degree N and a modulus Q
+// given as a product of word-sized NTT-friendly primes (an RNS basis).
+//
+// Polynomials are stored in residue-number-system form: one []uint64
+// coefficient vector per prime. All per-prime operations use the
+// negacyclic number-theoretic transform so multiplication is O(N log N).
+//
+// This package is the arithmetic substrate for the BFV implementation
+// in internal/bfv; it corresponds to the polynomial layer of the SEAL
+// library used by the paper.
+package ring
+
+import (
+	"fmt"
+	"math/big"
+	"math/bits"
+
+	"porcupine/internal/mathutil"
+)
+
+// Ring holds the precomputed tables for R_Q with a fixed degree and
+// RNS prime basis.
+type Ring struct {
+	N      int
+	LogN   int
+	Primes []uint64
+
+	tables []*nttTable
+	crt    *mathutil.CRTReconstructor
+}
+
+// nttTable holds per-prime negacyclic NTT twiddle factors in
+// bit-reversed order, following the Harvey/SEAL layout. Shoup
+// precomputations (floor(w·2^64/p)) accelerate the butterfly
+// multiplications.
+type nttTable struct {
+	p         uint64
+	psiRev    []uint64 // powers of psi (2N-th root) in bit-reversed order
+	psiRevS   []uint64 // Shoup companions of psiRev
+	ipsiRev   []uint64 // powers of psi^-1 in bit-reversed order
+	ipsiRevS  []uint64 // Shoup companions of ipsiRev
+	nInv      uint64   // N^-1 mod p
+	nInvShoup uint64
+	psi       uint64
+}
+
+// shoupPrecomp returns floor(w * 2^64 / p). Requires w < p.
+func shoupPrecomp(w, p uint64) uint64 {
+	quo, _ := bits.Div64(w, 0, p)
+	return quo
+}
+
+// shoupMul returns (a * w) mod p given wS = shoupPrecomp(w, p).
+// Requires p < 2^63.
+func shoupMul(a, w, wS, p uint64) uint64 {
+	q, _ := bits.Mul64(a, wS)
+	r := a*w - q*p
+	if r >= p {
+		r -= p
+	}
+	return r
+}
+
+// NewRing constructs R_Q for the given degree and prime basis. The
+// degree must be a power of two and every prime must satisfy
+// p ≡ 1 (mod 2N).
+func NewRing(n int, primes []uint64) (*Ring, error) {
+	logN, err := mathutil.Log2(n)
+	if err != nil {
+		return nil, fmt.Errorf("ring: %w", err)
+	}
+	if len(primes) == 0 {
+		return nil, fmt.Errorf("ring: empty prime basis")
+	}
+	r := &Ring{N: n, LogN: logN, Primes: append([]uint64(nil), primes...)}
+	r.tables = make([]*nttTable, len(primes))
+	for i, p := range primes {
+		tbl, err := newNTTTable(n, logN, p)
+		if err != nil {
+			return nil, err
+		}
+		r.tables[i] = tbl
+	}
+	r.crt, err = mathutil.NewCRTReconstructor(primes)
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func newNTTTable(n, logN int, p uint64) (*nttTable, error) {
+	if !mathutil.IsPrime(p) {
+		return nil, fmt.Errorf("ring: modulus %d is not prime", p)
+	}
+	if (p-1)%uint64(2*n) != 0 {
+		return nil, fmt.Errorf("ring: prime %d is not ≡ 1 mod 2N (N=%d)", p, n)
+	}
+	psi, err := mathutil.PrimitiveNthRoot(uint64(2*n), p)
+	if err != nil {
+		return nil, err
+	}
+	ipsi, err := mathutil.InvMod(psi, p)
+	if err != nil {
+		return nil, err
+	}
+	nInv, err := mathutil.InvMod(uint64(n), p)
+	if err != nil {
+		return nil, err
+	}
+	tbl := &nttTable{p: p, nInv: nInv, nInvShoup: shoupPrecomp(nInv, p), psi: psi}
+	tbl.psiRev = make([]uint64, n)
+	tbl.psiRevS = make([]uint64, n)
+	tbl.ipsiRev = make([]uint64, n)
+	tbl.ipsiRevS = make([]uint64, n)
+	fw, iw := uint64(1), uint64(1)
+	for i := 0; i < n; i++ {
+		j := mathutil.BitReverse(uint64(i), logN)
+		tbl.psiRev[j] = fw
+		tbl.psiRevS[j] = shoupPrecomp(fw, p)
+		tbl.ipsiRev[j] = iw
+		tbl.ipsiRevS[j] = shoupPrecomp(iw, p)
+		fw = mathutil.MulMod(fw, psi, p)
+		iw = mathutil.MulMod(iw, ipsi, p)
+	}
+	return tbl, nil
+}
+
+// Poly is a polynomial in R_Q stored as per-prime coefficient vectors.
+// Coeffs[i][j] is the j-th coefficient modulo Primes[i]. A Poly may be
+// in the coefficient domain or the NTT (evaluation) domain; the domain
+// is tracked by the caller (the bfv package keeps everything in the
+// coefficient domain at API boundaries).
+type Poly struct {
+	Coeffs [][]uint64
+}
+
+// NewPoly allocates a zero polynomial for the ring.
+func (r *Ring) NewPoly() *Poly {
+	c := make([][]uint64, len(r.Primes))
+	backing := make([]uint64, len(r.Primes)*r.N)
+	for i := range c {
+		c[i], backing = backing[:r.N:r.N], backing[r.N:]
+	}
+	return &Poly{Coeffs: c}
+}
+
+// Copy returns a deep copy of p.
+func (r *Ring) Copy(p *Poly) *Poly {
+	q := r.NewPoly()
+	for i := range p.Coeffs {
+		copy(q.Coeffs[i], p.Coeffs[i])
+	}
+	return q
+}
+
+// CopyInto copies src into dst.
+func (r *Ring) CopyInto(dst, src *Poly) {
+	for i := range src.Coeffs {
+		copy(dst.Coeffs[i], src.Coeffs[i])
+	}
+}
+
+// Zero clears p in place.
+func (r *Ring) Zero(p *Poly) {
+	for i := range p.Coeffs {
+		clear(p.Coeffs[i])
+	}
+}
+
+// Equal reports whether a and b have identical coefficients.
+func (r *Ring) Equal(a, b *Poly) bool {
+	for i := range a.Coeffs {
+		for j := range a.Coeffs[i] {
+			if a.Coeffs[i][j] != b.Coeffs[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Add sets dst = a + b. dst may alias a or b.
+func (r *Ring) Add(dst, a, b *Poly) {
+	for i, p := range r.Primes {
+		ai, bi, di := a.Coeffs[i], b.Coeffs[i], dst.Coeffs[i]
+		for j := range di {
+			di[j] = mathutil.AddMod(ai[j], bi[j], p)
+		}
+	}
+}
+
+// Sub sets dst = a - b. dst may alias a or b.
+func (r *Ring) Sub(dst, a, b *Poly) {
+	for i, p := range r.Primes {
+		ai, bi, di := a.Coeffs[i], b.Coeffs[i], dst.Coeffs[i]
+		for j := range di {
+			di[j] = mathutil.SubMod(ai[j], bi[j], p)
+		}
+	}
+}
+
+// Neg sets dst = -a.
+func (r *Ring) Neg(dst, a *Poly) {
+	for i, p := range r.Primes {
+		ai, di := a.Coeffs[i], dst.Coeffs[i]
+		for j := range di {
+			di[j] = mathutil.NegMod(ai[j], p)
+		}
+	}
+}
+
+// MulScalar sets dst = a * s for a word-sized scalar s.
+func (r *Ring) MulScalar(dst, a *Poly, s uint64) {
+	for i, p := range r.Primes {
+		sp := s % p
+		ai, di := a.Coeffs[i], dst.Coeffs[i]
+		for j := range di {
+			di[j] = mathutil.MulMod(ai[j], sp, p)
+		}
+	}
+}
+
+// MulScalarBig sets dst = a * s for an arbitrary-precision scalar s.
+func (r *Ring) MulScalarBig(dst, a *Poly, s *big.Int) {
+	var tmp, pb big.Int
+	for i, p := range r.Primes {
+		pb.SetUint64(p)
+		tmp.Mod(s, &pb)
+		sp := tmp.Uint64()
+		ai, di := a.Coeffs[i], dst.Coeffs[i]
+		for j := range di {
+			di[j] = mathutil.MulMod(ai[j], sp, p)
+		}
+	}
+}
+
+// NTT transforms p in place, coefficient domain → evaluation domain.
+func (r *Ring) NTT(p *Poly) {
+	for i, tbl := range r.tables {
+		nttForward(p.Coeffs[i], tbl)
+	}
+}
+
+// INTT transforms p in place, evaluation domain → coefficient domain.
+func (r *Ring) INTT(p *Poly) {
+	for i, tbl := range r.tables {
+		nttInverse(p.Coeffs[i], tbl)
+	}
+}
+
+// MulCoeffs sets dst = a ⊙ b where both operands are in the NTT domain
+// (pointwise product).
+func (r *Ring) MulCoeffs(dst, a, b *Poly) {
+	for i, p := range r.Primes {
+		ai, bi, di := a.Coeffs[i], b.Coeffs[i], dst.Coeffs[i]
+		for j := range di {
+			di[j] = mathutil.MulMod(ai[j], bi[j], p)
+		}
+	}
+}
+
+// MulCoeffsAndAdd sets dst += a ⊙ b in the NTT domain.
+func (r *Ring) MulCoeffsAndAdd(dst, a, b *Poly) {
+	for i, p := range r.Primes {
+		ai, bi, di := a.Coeffs[i], b.Coeffs[i], dst.Coeffs[i]
+		for j := range di {
+			di[j] = mathutil.AddMod(di[j], mathutil.MulMod(ai[j], bi[j], p), p)
+		}
+	}
+}
+
+// MulPoly sets dst = a * b for operands in the coefficient domain,
+// leaving the result in the coefficient domain. a and b are not
+// modified; dst must not alias them.
+func (r *Ring) MulPoly(dst, a, b *Poly) {
+	ta := r.Copy(a)
+	tb := r.Copy(b)
+	r.NTT(ta)
+	r.NTT(tb)
+	r.MulCoeffs(dst, ta, tb)
+	r.INTT(dst)
+}
+
+// nttForward is the Cooley-Tukey negacyclic forward NTT (Harvey's
+// bit-reversed twiddle layout, as in SEAL and Lattigo).
+func nttForward(a []uint64, tbl *nttTable) {
+	p := tbl.p
+	n := len(a)
+	t := n
+	for m := 1; m < n; m <<= 1 {
+		t >>= 1
+		for i := 0; i < m; i++ {
+			j1 := 2 * i * t
+			j2 := j1 + t
+			w, wS := tbl.psiRev[m+i], tbl.psiRevS[m+i]
+			for j := j1; j < j2; j++ {
+				u := a[j]
+				v := shoupMul(a[j+t], w, wS, p)
+				a[j] = mathutil.AddMod(u, v, p)
+				a[j+t] = mathutil.SubMod(u, v, p)
+			}
+		}
+	}
+}
+
+// nttInverse is the Gentleman-Sande negacyclic inverse NTT.
+func nttInverse(a []uint64, tbl *nttTable) {
+	p := tbl.p
+	n := len(a)
+	t := 1
+	for m := n; m > 1; m >>= 1 {
+		j1 := 0
+		h := m >> 1
+		for i := 0; i < h; i++ {
+			j2 := j1 + t
+			w, wS := tbl.ipsiRev[h+i], tbl.ipsiRevS[h+i]
+			for j := j1; j < j2; j++ {
+				u := a[j]
+				v := a[j+t]
+				a[j] = mathutil.AddMod(u, v, p)
+				a[j+t] = shoupMul(mathutil.SubMod(u, v, p), w, wS, p)
+			}
+			j1 += 2 * t
+		}
+		t <<= 1
+	}
+	for j := range a {
+		a[j] = shoupMul(a[j], tbl.nInv, tbl.nInvShoup, p)
+	}
+}
+
+// Automorphism applies the Galois automorphism X → X^g to src (in the
+// coefficient domain), writing into dst. g must be odd (a unit mod 2N).
+// dst must not alias src.
+func (r *Ring) Automorphism(dst, src *Poly, g uint64) {
+	n := uint64(r.N)
+	mask := 2*n - 1
+	for i := range r.Primes {
+		si, di := src.Coeffs[i], dst.Coeffs[i]
+		p := r.Primes[i]
+		for j := uint64(0); j < n; j++ {
+			k := (j * g) & mask // index of X^(j*g) mod X^2N - 1
+			v := si[j]
+			if k >= n {
+				// X^k = -X^(k-N) in R.
+				k -= n
+				v = mathutil.NegMod(v, p)
+			}
+			di[k] = v
+		}
+	}
+}
+
+// GaloisElementForRotation returns the Galois element g = 3^k mod 2N
+// implementing a rotation of the batched slot rows by k positions
+// (left rotation for positive k), following the SEAL convention.
+func (r *Ring) GaloisElementForRotation(k int) uint64 {
+	m := uint64(2 * r.N)
+	rowSize := r.N / 2
+	// Normalize k into [0, rowSize).
+	k %= rowSize
+	if k < 0 {
+		k += rowSize
+	}
+	g := uint64(1)
+	for i := 0; i < k; i++ {
+		g = (g * 3) % m
+	}
+	return g
+}
+
+// GaloisElementRowSwap returns the Galois element 2N-1 that swaps the
+// two batching rows.
+func (r *Ring) GaloisElementRowSwap() uint64 { return uint64(2*r.N) - 1 }
+
+// CRT returns the reconstructor for the ring's prime basis.
+func (r *Ring) CRT() *mathutil.CRTReconstructor { return r.crt }
+
+// Modulus returns Q = ∏ primes as a big integer (caller must not
+// modify the returned value).
+func (r *Ring) Modulus() *big.Int { return r.crt.Modulus() }
+
+// SetCoeffBig sets coefficient j of p to x mod Q (x may be negative).
+func (r *Ring) SetCoeffBig(p *Poly, j int, x *big.Int) {
+	var tmp, pb big.Int
+	for i, pr := range r.Primes {
+		pb.SetUint64(pr)
+		tmp.Mod(x, &pb)
+		p.Coeffs[i][j] = tmp.Uint64()
+	}
+}
+
+// CoeffBigCentered reconstructs coefficient j of p into dst as the
+// centered representative in (-Q/2, Q/2].
+func (r *Ring) CoeffBigCentered(dst *big.Int, p *Poly, j int) *big.Int {
+	res := make([]uint64, len(r.Primes))
+	for i := range r.Primes {
+		res[i] = p.Coeffs[i][j]
+	}
+	return r.crt.ReconstructCentered(dst, res)
+}

@@ -1,0 +1,157 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"porcupine/internal/mathutil"
+)
+
+// TestNTTIsLinear: NTT(a+b) == NTT(a)+NTT(b) and NTT(c·a) == c·NTT(a).
+func TestNTTIsLinear(t *testing.T) {
+	r := testRing(t, 64, 2)
+	f := func(seed int64, scalar uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randPoly(r, rng), randPoly(r, rng)
+		sum := r.NewPoly()
+		r.Add(sum, a, b)
+		r.NTT(sum)
+		na, nb := r.Copy(a), r.Copy(b)
+		r.NTT(na)
+		r.NTT(nb)
+		nsum := r.NewPoly()
+		r.Add(nsum, na, nb)
+		if !r.Equal(sum, nsum) {
+			return false
+		}
+		s := uint64(scalar)
+		scaled := r.NewPoly()
+		r.MulScalar(scaled, a, s)
+		r.NTT(scaled)
+		nscaled := r.NewPoly()
+		r.MulScalar(nscaled, na, s)
+		return r.Equal(scaled, nscaled)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMulPolyRingLaws: multiplication is commutative, associative and
+// distributes over addition.
+func TestMulPolyRingLaws(t *testing.T) {
+	r := testRing(t, 32, 1)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10; i++ {
+		a, b, c := randPoly(r, rng), randPoly(r, rng), randPoly(r, rng)
+		ab, ba := r.NewPoly(), r.NewPoly()
+		r.MulPoly(ab, a, b)
+		r.MulPoly(ba, b, a)
+		if !r.Equal(ab, ba) {
+			t.Fatal("multiplication not commutative")
+		}
+		abc1, abc2, bc := r.NewPoly(), r.NewPoly(), r.NewPoly()
+		r.MulPoly(abc1, ab, c)
+		r.MulPoly(bc, b, c)
+		r.MulPoly(abc2, a, bc)
+		if !r.Equal(abc1, abc2) {
+			t.Fatal("multiplication not associative")
+		}
+		sum, aSum, prodSum := r.NewPoly(), r.NewPoly(), r.NewPoly()
+		r.Add(sum, b, c)
+		r.MulPoly(aSum, a, sum)
+		ac := r.NewPoly()
+		r.MulPoly(ac, a, c)
+		r.Add(prodSum, ab, ac)
+		if !r.Equal(aSum, prodSum) {
+			t.Fatal("distributivity fails")
+		}
+	}
+}
+
+// TestMulByXShifts: multiplying by X rotates coefficients negacyclically.
+func TestMulByXShifts(t *testing.T) {
+	r := testRing(t, 16, 1)
+	a := r.NewPoly()
+	r.SetSmall(a, []int64{1, 2, 3})
+	x := r.NewPoly()
+	x.Coeffs[0][1] = 1 // the monomial X
+	prod := r.NewPoly()
+	r.MulPoly(prod, a, x)
+	// X·(1 + 2X + 3X²) = X + 2X² + 3X³.
+	want := r.NewPoly()
+	r.SetSmall(want, []int64{0, 1, 2, 3})
+	if !r.Equal(prod, want) {
+		t.Error("multiplication by X wrong")
+	}
+	// X^16 == -1: multiply X^15 by X.
+	x15 := r.NewPoly()
+	x15.Coeffs[0][15] = 1
+	r.MulPoly(prod, x15, x)
+	wantNeg := r.NewPoly()
+	r.SetSmall(wantNeg, []int64{-1})
+	if !r.Equal(prod, wantNeg) {
+		t.Error("negacyclic wraparound wrong: X^16 != -1")
+	}
+}
+
+// TestMulCoeffsAndAdd accumulates correctly.
+func TestMulCoeffsAndAdd(t *testing.T) {
+	r := testRing(t, 32, 2)
+	rng := rand.New(rand.NewSource(8))
+	a, b := randPoly(r, rng), randPoly(r, rng)
+	acc := r.NewPoly()
+	r.MulCoeffs(acc, a, b)
+	r.MulCoeffsAndAdd(acc, a, b)
+	twice := r.NewPoly()
+	r.MulCoeffs(twice, a, b)
+	r.Add(twice, twice, twice)
+	if !r.Equal(acc, twice) {
+		t.Error("MulCoeffsAndAdd wrong")
+	}
+}
+
+// TestAutomorphismOrder: the rotation generator 3 has order N/2 in
+// Z_2N^* / {±1}, so N/2 successive applications are the identity.
+func TestAutomorphismOrder(t *testing.T) {
+	r := testRing(t, 32, 1)
+	rng := rand.New(rand.NewSource(9))
+	p := randPoly(r, rng)
+	cur := r.Copy(p)
+	next := r.NewPoly()
+	for i := 0; i < r.N/2; i++ {
+		r.Automorphism(next, cur, 3)
+		cur, next = next, cur
+	}
+	if !r.Equal(cur, p) {
+		t.Error("3^(N/2) automorphism should be the identity")
+	}
+}
+
+// TestUniformSamplerIsReproducible with the same seed.
+func TestUniformSamplerIsReproducible(t *testing.T) {
+	r := testRing(t, 32, 1)
+	p1, p2 := r.NewPoly(), r.NewPoly()
+	if err := NewTestSampler(r, 3).Uniform(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewTestSampler(r, 3).Uniform(p2); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Equal(p1, p2) {
+		t.Error("test sampler not deterministic")
+	}
+}
+
+func TestShoupMulMatchesMulMod(t *testing.T) {
+	p := uint64(1152921504606830593)
+	f := func(a, w uint64) bool {
+		a %= p
+		w %= p
+		return shoupMul(a, w, shoupPrecomp(w, p), p) == mathutil.MulMod(a, w, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

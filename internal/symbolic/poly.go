@@ -1,0 +1,310 @@
+// Package symbolic implements exact symbolic evaluation for Quill
+// programs and kernel specifications: sparse multivariate polynomials
+// over Z_t. Every Quill operator (+, −, ×, rotate) and every reference
+// kernel is polynomial in the input slots, so two programs are
+// equivalent for all inputs iff their canonical per-slot polynomials
+// agree. This replaces the paper's Rosette/SMT verification queries
+// with an exact, complete check, and yields CEGIS counterexamples by
+// Schwartz–Zippel sampling of the (nonzero) difference polynomial.
+package symbolic
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"porcupine/internal/mathutil"
+)
+
+// Modulus is the coefficient field, matching the BFV plaintext modulus.
+const Modulus uint64 = 65537
+
+// monomial is a canonical encoding of a power product: a sorted list of
+// (variable, exponent) pairs serialized to a comparable string key.
+type monomial string
+
+// makeMonomial builds the canonical key from exponents keyed by
+// variable index.
+func makeMonomial(exps map[int]int) monomial {
+	if len(exps) == 0 {
+		return ""
+	}
+	vars := make([]int, 0, len(exps))
+	for v, e := range exps {
+		if e != 0 {
+			vars = append(vars, v)
+		}
+	}
+	sort.Ints(vars)
+	var b strings.Builder
+	for _, v := range vars {
+		fmt.Fprintf(&b, "x%d^%d.", v, exps[v])
+	}
+	return monomial(b.String())
+}
+
+// parseMonomial inverts makeMonomial.
+func parseMonomial(m monomial) map[int]int {
+	exps := map[int]int{}
+	if m == "" {
+		return exps
+	}
+	for _, part := range strings.Split(strings.TrimSuffix(string(m), "."), ".") {
+		var v, e int
+		fmt.Sscanf(part, "x%d^%d", &v, &e)
+		exps[v] = e
+	}
+	return exps
+}
+
+func mulMonomials(a, b monomial) monomial {
+	if a == "" {
+		return b
+	}
+	if b == "" {
+		return a
+	}
+	ea := parseMonomial(a)
+	for v, e := range parseMonomial(b) {
+		ea[v] += e
+	}
+	return makeMonomial(ea)
+}
+
+// Poly is a sparse multivariate polynomial over Z_t in variables x0,
+// x1, .... The zero polynomial has no terms. Polys are immutable:
+// operations return new values.
+type Poly struct {
+	terms map[monomial]uint64
+}
+
+// Zero returns the zero polynomial.
+func Zero() *Poly { return &Poly{terms: map[monomial]uint64{}} }
+
+// Const returns the constant polynomial c mod t (c may be negative).
+func Const(c int64) *Poly {
+	t := int64(Modulus)
+	r := c % t
+	if r < 0 {
+		r += t
+	}
+	p := Zero()
+	if r != 0 {
+		p.terms[""] = uint64(r)
+	}
+	return p
+}
+
+// Var returns the polynomial x_i.
+func Var(i int) *Poly {
+	p := Zero()
+	p.terms[makeMonomial(map[int]int{i: 1})] = 1
+	return p
+}
+
+// IsZero reports whether p is the zero polynomial.
+func (p *Poly) IsZero() bool { return len(p.terms) == 0 }
+
+// NumTerms returns the number of nonzero terms.
+func (p *Poly) NumTerms() int { return len(p.terms) }
+
+// Clone returns a deep copy.
+func (p *Poly) Clone() *Poly {
+	q := Zero()
+	for m, c := range p.terms {
+		q.terms[m] = c
+	}
+	return q
+}
+
+// Add returns p + q.
+func (p *Poly) Add(q *Poly) *Poly {
+	r := p.Clone()
+	for m, c := range q.terms {
+		nc := mathutil.AddMod(r.terms[m], c, Modulus)
+		if nc == 0 {
+			delete(r.terms, m)
+		} else {
+			r.terms[m] = nc
+		}
+	}
+	return r
+}
+
+// Sub returns p - q.
+func (p *Poly) Sub(q *Poly) *Poly {
+	r := p.Clone()
+	for m, c := range q.terms {
+		nc := mathutil.SubMod(r.terms[m], c, Modulus)
+		if nc == 0 {
+			delete(r.terms, m)
+		} else {
+			r.terms[m] = nc
+		}
+	}
+	return r
+}
+
+// Neg returns -p.
+func (p *Poly) Neg() *Poly {
+	r := Zero()
+	for m, c := range p.terms {
+		r.terms[m] = mathutil.NegMod(c, Modulus)
+	}
+	return r
+}
+
+// Mul returns p · q.
+func (p *Poly) Mul(q *Poly) *Poly {
+	r := Zero()
+	for ma, ca := range p.terms {
+		for mb, cb := range q.terms {
+			m := mulMonomials(ma, mb)
+			c := mathutil.MulMod(ca, cb, Modulus)
+			nc := mathutil.AddMod(r.terms[m], c, Modulus)
+			if nc == 0 {
+				delete(r.terms, m)
+			} else {
+				r.terms[m] = nc
+			}
+		}
+	}
+	return r
+}
+
+// ScalarMul returns c·p for a signed scalar c.
+func (p *Poly) ScalarMul(c int64) *Poly {
+	return p.Mul(Const(c))
+}
+
+// Equal reports whether p and q are identical polynomials (hence equal
+// as functions Z_t^k → Z_t for the prime modulus t, since total degree
+// in each variable stays far below t in all our programs).
+func (p *Poly) Equal(q *Poly) bool {
+	if len(p.terms) != len(q.terms) {
+		return false
+	}
+	for m, c := range p.terms {
+		if q.terms[m] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// Eval evaluates p at the assignment vars (indexed by variable).
+// Missing variables evaluate as zero.
+func (p *Poly) Eval(vars []uint64) uint64 {
+	var sum uint64
+	for m, c := range p.terms {
+		term := c
+		for v, e := range parseMonomial(m) {
+			var x uint64
+			if v < len(vars) {
+				x = vars[v] % Modulus
+			}
+			term = mathutil.MulMod(term, mathutil.PowMod(x, uint64(e), Modulus), Modulus)
+		}
+		sum = mathutil.AddMod(sum, term, Modulus)
+	}
+	return sum
+}
+
+// MaxVar returns the largest variable index appearing in p, or -1.
+func (p *Poly) MaxVar() int {
+	max := -1
+	for m := range p.terms {
+		for v := range parseMonomial(m) {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	return max
+}
+
+// Degree returns the total degree of p (0 for constants and the zero
+// polynomial).
+func (p *Poly) Degree() int {
+	max := 0
+	for m := range p.terms {
+		d := 0
+		for _, e := range parseMonomial(m) {
+			d += e
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// String renders p deterministically for debugging and golden tests.
+func (p *Poly) String() string {
+	if p.IsZero() {
+		return "0"
+	}
+	keys := make([]string, 0, len(p.terms))
+	for m := range p.terms {
+		keys = append(keys, string(m))
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(" + ")
+		}
+		c := p.terms[monomial(k)]
+		if k == "" {
+			fmt.Fprintf(&b, "%d", c)
+			continue
+		}
+		if c != 1 {
+			fmt.Fprintf(&b, "%d*", c)
+		}
+		b.WriteString(strings.TrimSuffix(k, "."))
+	}
+	return b.String()
+}
+
+// Term is one monomial of a polynomial in exploded form, for clients
+// that analyze polynomial structure (e.g. sketch inference).
+type Term struct {
+	Coeff uint64
+	Exps  map[int]int // variable -> exponent
+}
+
+// Terms returns the monomials of p in a deterministic order.
+func Terms(p *Poly) []Term {
+	keys := make([]string, 0, len(p.terms))
+	for m := range p.terms {
+		keys = append(keys, string(m))
+	}
+	sort.Strings(keys)
+	out := make([]Term, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, Term{Coeff: p.terms[monomial(k)], Exps: parseMonomial(monomial(k))})
+	}
+	return out
+}
+
+// FindWitness searches for an assignment of numVars variables where p
+// evaluates to a nonzero value, using up to attempts random samples
+// (Schwartz–Zippel: each sample succeeds with probability
+// ≥ 1 - deg/t). Returns nil when p is zero or no witness was found.
+func (p *Poly) FindWitness(numVars int, rng *rand.Rand, attempts int) []uint64 {
+	if p.IsZero() {
+		return nil
+	}
+	for i := 0; i < attempts; i++ {
+		assign := make([]uint64, numVars)
+		for j := range assign {
+			assign[j] = rng.Uint64() % Modulus
+		}
+		if p.Eval(assign) != 0 {
+			return assign
+		}
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+package symbolic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstAndVar(t *testing.T) {
+	if !Const(0).IsZero() {
+		t.Error("Const(0) should be zero")
+	}
+	if Const(5).String() != "5" {
+		t.Errorf("Const(5) = %s", Const(5))
+	}
+	if Const(-1).Eval(nil) != Modulus-1 {
+		t.Error("Const(-1) wrong")
+	}
+	x := Var(3)
+	if x.Eval([]uint64{0, 0, 0, 7}) != 7 {
+		t.Error("Var eval wrong")
+	}
+	if x.MaxVar() != 3 {
+		t.Error("MaxVar wrong")
+	}
+	if Zero().MaxVar() != -1 {
+		t.Error("MaxVar of zero should be -1")
+	}
+}
+
+func TestRingLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	randomPoly := func() *Poly {
+		p := Zero()
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			term := Const(int64(rng.Intn(100) - 50))
+			for j := 0; j < rng.Intn(3); j++ {
+				term = term.Mul(Var(rng.Intn(4)))
+			}
+			p = p.Add(term)
+		}
+		return p
+	}
+	for i := 0; i < 50; i++ {
+		a, b, c := randomPoly(), randomPoly(), randomPoly()
+		if !a.Add(b).Equal(b.Add(a)) {
+			t.Fatal("addition not commutative")
+		}
+		if !a.Mul(b).Equal(b.Mul(a)) {
+			t.Fatal("multiplication not commutative")
+		}
+		if !a.Mul(b.Add(c)).Equal(a.Mul(b).Add(a.Mul(c))) {
+			t.Fatal("distributivity fails")
+		}
+		if !a.Sub(a).IsZero() {
+			t.Fatal("a - a != 0")
+		}
+		if !a.Add(a.Neg()).IsZero() {
+			t.Fatal("a + (-a) != 0")
+		}
+		if !a.Mul(Const(1)).Equal(a) {
+			t.Fatal("a * 1 != a")
+		}
+		if !a.Mul(Zero()).IsZero() {
+			t.Fatal("a * 0 != 0")
+		}
+	}
+}
+
+func TestEvalHomomorphism(t *testing.T) {
+	// Evaluation commutes with the ring operations.
+	f := func(x0, x1 uint16, c int8) bool {
+		assign := []uint64{uint64(x0), uint64(x1)}
+		a := Var(0).Mul(Var(1)).Add(Const(int64(c)))
+		b := Var(0).Sub(Var(1))
+		sum := a.Add(b)
+		prod := a.Mul(b)
+		ea, eb := a.Eval(assign), b.Eval(assign)
+		okSum := sum.Eval(assign) == (ea+eb)%Modulus
+		okProd := prod.Eval(assign) == ea*eb%Modulus
+		return okSum && okProd
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScalarMulAndDegree(t *testing.T) {
+	p := Var(0).Mul(Var(0)).Add(Var(1)) // x0^2 + x1
+	if p.Degree() != 2 {
+		t.Errorf("degree = %d", p.Degree())
+	}
+	q := p.ScalarMul(2)
+	want := p.Add(p)
+	if !q.Equal(want) {
+		t.Error("2p != p+p")
+	}
+	if Zero().Degree() != 0 || Const(3).Degree() != 0 {
+		t.Error("constant degree should be 0")
+	}
+}
+
+func TestEqualDistinguishes(t *testing.T) {
+	a := Var(0).Add(Var(1))
+	b := Var(0).Mul(Var(1))
+	if a.Equal(b) {
+		t.Error("x0+x1 == x0*x1?")
+	}
+	// (x+1)^2 == x^2 + 2x + 1 canonically.
+	x := Var(0)
+	lhs := x.Add(Const(1)).Mul(x.Add(Const(1)))
+	rhs := x.Mul(x).Add(x.ScalarMul(2)).Add(Const(1))
+	if !lhs.Equal(rhs) {
+		t.Errorf("(x+1)^2 != x^2+2x+1: %s vs %s", lhs, rhs)
+	}
+}
+
+func TestFindWitness(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if Zero().FindWitness(3, rng, 10) != nil {
+		t.Error("zero polynomial should have no witness")
+	}
+	p := Var(0).Sub(Var(1))
+	w := p.FindWitness(2, rng, 20)
+	if w == nil {
+		t.Fatal("no witness for x0 - x1")
+	}
+	if p.Eval(w) == 0 {
+		t.Error("witness does not distinguish")
+	}
+	// A polynomial nonzero only on a thin set still gets found thanks
+	// to the prime field: x0^(t-1) is 1 almost everywhere.
+	c := Const(7)
+	if c.FindWitness(0, rng, 1) == nil {
+		t.Error("constant 7 should have an immediate witness")
+	}
+}
+
+func TestStringDeterministic(t *testing.T) {
+	p := Var(1).Add(Var(0)).Add(Const(3))
+	if p.String() != q().String() {
+		t.Errorf("non-deterministic rendering: %s", p)
+	}
+}
+
+func q() *Poly { return Const(3).Add(Var(0)).Add(Var(1)) }
+
+func TestNumTermsAndClone(t *testing.T) {
+	p := Var(0).Add(Const(2))
+	if p.NumTerms() != 2 {
+		t.Errorf("terms = %d", p.NumTerms())
+	}
+	c := p.Clone()
+	c = c.Add(Var(1))
+	if p.NumTerms() != 2 {
+		t.Error("Clone not independent")
+	}
+	if c.NumTerms() != 3 {
+		t.Error("mutated clone wrong")
+	}
+}

@@ -1,0 +1,323 @@
+package synth
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"time"
+
+	"porcupine/internal/kernels"
+	"porcupine/internal/quill"
+)
+
+// ErrUnsat is returned when no program within the sketch implements
+// the specification (the sketch is too restrictive, Algorithm 1 line
+// 12).
+var ErrUnsat = errors.New("synth: sketch contains no program implementing the specification")
+
+// ErrTimeout is returned when the time budget expires before an
+// initial solution is found.
+var ErrTimeout = errors.New("synth: timed out before finding an initial solution")
+
+// Options configures a synthesis run.
+type Options struct {
+	// CostModel used for the §5.2 objective. Defaults to
+	// quill.DefaultCostModel.
+	CostModel *quill.CostModel
+	// Timeout bounds the whole run (initial synthesis + optimization).
+	// On expiry the best solution so far is returned with
+	// Result.Optimal == false, mirroring the paper's 20-minute policy.
+	// Zero means no limit.
+	Timeout time.Duration
+	// Seed makes runs reproducible.
+	Seed int64
+	// InitialExamples is the number of random CEGIS examples to start
+	// with (default 2; the paper starts with 1 — a second example
+	// sharpens observational-equivalence pruning at negligible cost).
+	InitialExamples int
+	// SkipOptimize stops after the initial (component-minimal)
+	// solution, the paper's early-termination option (§7.4).
+	SkipOptimize bool
+	// ExplicitRotation switches to the §7.4 ablation sketch style:
+	// rotations are sketch components (separate instructions counted
+	// in L) instead of operand holes.
+	ExplicitRotation bool
+	// MaxVisited caps the deduplication table size (entries per slot
+	// level); 0 means the default of 4M. When full, search continues
+	// without recording (correct, just slower).
+	MaxVisited int
+	// Parallelism is the number of worker goroutines exploring
+	// top-level search branches (default: GOMAXPROCS). With more than
+	// one worker, which of several equally valid solutions is found
+	// first is scheduling-dependent; set 1 for fully deterministic
+	// runs. Optimality proofs and costs are unaffected.
+	Parallelism int
+}
+
+// Result reports a synthesis run in the shape of the paper's Table 3.
+type Result struct {
+	Program        *quill.Program // best verified program
+	Lowered        *quill.Lowered
+	InitialProgram *quill.Program // first verified solution (minimal L)
+	L              int            // number of sketch components used
+	Examples       int            // CEGIS examples consumed
+	InitialCost    float64
+	FinalCost      float64
+	InitialTime    time.Duration
+	TotalTime      time.Duration
+	Optimal        bool  // search space exhausted below FinalCost
+	Nodes          int64 // DFS nodes explored (diagnostic)
+}
+
+// value is one SSA value during search: its evaluation on every CEGIS
+// example (flattened), metadata for pruning, and provenance.
+type value struct {
+	data  []uint64
+	hash  uint64
+	depth int // multiplicative depth
+	uses  int
+	rotOf int // explicit-rotation mode: source value id, else -1
+	rot   int // explicit-rotation mode: rotation amount
+}
+
+type rotPair struct{ id, rot int }
+
+// engine carries the state of one Synthesize call.
+type engine struct {
+	spec *kernels.Spec
+	sk   *Sketch
+	opts Options
+	cm   *quill.CostModel
+	rng  *rand.Rand
+
+	examples []*kernels.Example
+
+	// Flattened per-example data, rebuilt whenever an example is added.
+	inputData [][]uint64 // per ct input
+	ptData    [][]uint64 // per component (ct-pt components only)
+	flatLen   int
+
+	rotations []int // sorted allowed nonzero rotations
+
+	deadline time.Time
+	hasDL    bool
+	nodes    int64
+
+	minCompLat float64
+	rotLat     float64
+}
+
+func (e *engine) timedOut() bool {
+	return e.hasDL && time.Now().After(e.deadline)
+}
+
+// Synthesize runs the full CEGIS + optimization pipeline of Algorithm
+// 1 for the given kernel specification and sketch.
+func Synthesize(spec *kernels.Spec, sk *Sketch, opts Options) (*Result, error) {
+	if err := sk.Validate(spec); err != nil {
+		return nil, err
+	}
+	if opts.CostModel == nil {
+		opts.CostModel = quill.DefaultCostModel()
+	}
+	if opts.InitialExamples <= 0 {
+		opts.InitialExamples = 2
+	}
+	if opts.MaxVisited <= 0 {
+		opts.MaxVisited = 4 << 20
+	}
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	e := &engine{
+		spec: spec,
+		sk:   sk,
+		opts: opts,
+		cm:   opts.CostModel,
+		rng:  rand.New(rand.NewSource(opts.Seed)),
+	}
+	e.rotations = append([]int(nil), sk.Rotations...)
+	sort.Ints(e.rotations)
+	if opts.Timeout > 0 {
+		e.deadline = time.Now().Add(opts.Timeout)
+		e.hasDL = true
+	}
+	e.minCompLat = math.Inf(1)
+	for _, c := range sk.Components {
+		lat := e.cm.InstrLatency(c.Op)
+		if c.Op == quill.OpMulCtCt {
+			lat += e.cm.InstrLatency(quill.OpRelin)
+		}
+		if lat < e.minCompLat {
+			e.minCompLat = lat
+		}
+	}
+	e.rotLat = e.cm.InstrLatency(quill.OpRotCt)
+
+	for i := 0; i < opts.InitialExamples; i++ {
+		e.examples = append(e.examples, spec.RandomExample(e.rng))
+	}
+	e.rebuildData()
+
+	start := time.Now()
+
+	// Phase 1 (§5.1): find the component-minimal initial solution.
+	var initial *quill.Program
+	var initialL int
+searchL:
+	for L := sk.MinL; L <= sk.MaxL; L++ {
+		for {
+			if e.timedOut() {
+				return nil, ErrTimeout
+			}
+			sol, complete := e.search(L, math.Inf(1))
+			if sol == nil {
+				if !complete {
+					return nil, ErrTimeout
+				}
+				continue searchL // unsat at this L: grow the sketch
+			}
+			ok, cex, err := e.verify(sol)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				initial = sol
+				initialL = L
+				break searchL
+			}
+			e.addExample(cex)
+		}
+	}
+	if initial == nil {
+		return nil, ErrUnsat
+	}
+
+	initialCost, err := e.cm.CostProgram(initial)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Program:        initial,
+		InitialProgram: initial,
+		L:              initialL,
+		InitialCost:    initialCost,
+		FinalCost:      initialCost,
+		InitialTime:    time.Since(start),
+	}
+
+	// Phase 2 (§5.2): minimize cost within sketch_L by re-issuing the
+	// query with a decreasing cost bound until unsat (optimal) or
+	// timeout.
+	if !opts.SkipOptimize {
+		best := initial
+		bestCost := initialCost
+		for {
+			if e.timedOut() {
+				break
+			}
+			sol, complete := e.search(initialL, bestCost)
+			if sol == nil {
+				if complete {
+					res.Optimal = true
+				}
+				break
+			}
+			ok, cex, err := e.verify(sol)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				e.addExample(cex)
+				continue
+			}
+			c, err := e.cm.CostProgram(sol)
+			if err != nil {
+				return nil, err
+			}
+			if c < bestCost {
+				best, bestCost = sol, c
+			}
+		}
+		res.Program = best
+		res.FinalCost = bestCost
+	} else {
+		res.Optimal = false
+	}
+
+	res.Examples = len(e.examples)
+	res.TotalTime = time.Since(start)
+	res.Nodes = e.nodes
+	lowered, err := quill.Lower(res.Program, quill.DefaultLowerOptions())
+	if err != nil {
+		return nil, err
+	}
+	res.Lowered = lowered
+	return res, nil
+}
+
+// addExample extends the CEGIS example set with a counterexample
+// assignment.
+func (e *engine) addExample(assign []uint64) {
+	e.examples = append(e.examples, e.spec.NewExample(assign))
+	e.rebuildData()
+}
+
+// rebuildData refreshes the flattened input and plaintext-operand
+// vectors after the example set changes.
+func (e *engine) rebuildData() {
+	n := e.spec.VecLen
+	e.flatLen = n * len(e.examples)
+	e.inputData = make([][]uint64, len(e.spec.Ct))
+	for i := range e.spec.Ct {
+		flat := make([]uint64, 0, e.flatLen)
+		for _, ex := range e.examples {
+			flat = append(flat, ex.CtIn[i]...)
+		}
+		e.inputData[i] = flat
+	}
+	e.ptData = make([][]uint64, len(e.sk.Components))
+	for ci, comp := range e.sk.Components {
+		if !comp.Op.IsCtPt() {
+			continue
+		}
+		flat := make([]uint64, 0, e.flatLen)
+		for _, ex := range e.examples {
+			if comp.P.Input >= 0 {
+				flat = append(flat, ex.PtIn[comp.P.Input]...)
+			} else {
+				flat = append(flat, quill.ConcreteSem{}.FromConst(comp.P.Const, n)...)
+			}
+		}
+		e.ptData[ci] = flat
+	}
+}
+
+// verify checks a candidate for all inputs by exact symbolic
+// comparison; on failure it returns a distinguishing input assignment.
+func (e *engine) verify(p *quill.Program) (bool, []uint64, error) {
+	ctIn := make([]quill.SymVec, len(e.spec.Ct))
+	for i := range ctIn {
+		ctIn[i] = e.spec.SymCtInput(i)
+	}
+	ptIn := make([]quill.SymVec, len(e.spec.Pt))
+	for i := range ptIn {
+		ptIn[i] = e.spec.SymPtInput(i)
+	}
+	out, err := quill.Run(p, quill.SymbolicSem{}, ctIn, ptIn)
+	if err != nil {
+		return false, nil, err
+	}
+	ok, diff := e.spec.VerifySymbolic(out)
+	if ok {
+		return true, nil, nil
+	}
+	w := diff.FindWitness(e.spec.NumVars, e.rng, 1000)
+	if w == nil {
+		return false, nil, fmt.Errorf("synth: nonzero difference polynomial has no witness (degree %d)", diff.Degree())
+	}
+	return false, w, nil
+}

@@ -1,0 +1,101 @@
+package synth
+
+import (
+	"testing"
+	"time"
+
+	"porcupine/internal/kernels"
+	"porcupine/internal/quill"
+)
+
+func TestTinyTimeoutReturnsErrTimeout(t *testing.T) {
+	opts := Options{Seed: 1, Timeout: time.Nanosecond}
+	_, err := SynthesizeKernel("gx", opts)
+	if err != ErrTimeout {
+		t.Errorf("want ErrTimeout, got %v", err)
+	}
+}
+
+func TestTinyVisitedTableStillCorrect(t *testing.T) {
+	// A degenerate dedup table must not affect correctness, only
+	// speed.
+	opts := Options{Seed: 1, Timeout: 2 * time.Minute, MaxVisited: 4}
+	res, err := SynthesizeKernel("box-blur", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lowered.InstructionCount() != 4 {
+		t.Errorf("instructions = %d", res.Lowered.InstructionCount())
+	}
+}
+
+func TestSingleInitialExample(t *testing.T) {
+	// The paper's configuration: one random starting example. CEGIS
+	// must still converge (possibly via counterexamples).
+	opts := Options{Seed: 5, Timeout: 2 * time.Minute, InitialExamples: 1}
+	res, err := SynthesizeKernel("hamming-distance", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := kernels.ByName("hamming-distance")
+	ok, err := spec.CheckProgram(res.Program)
+	if err != nil || !ok {
+		t.Errorf("single-example CEGIS produced a wrong program: %v", err)
+	}
+	if res.Examples < 1 {
+		t.Error("example accounting wrong")
+	}
+}
+
+func TestResultMetadata(t *testing.T) {
+	opts := Options{Seed: 1, Timeout: 2 * time.Minute}
+	res, err := SynthesizeKernel("linear-regression", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes <= 0 {
+		t.Error("node accounting missing")
+	}
+	if res.TotalTime < res.InitialTime {
+		t.Error("total time < initial time")
+	}
+	if res.L < 1 {
+		t.Error("L missing")
+	}
+	if res.InitialProgram == nil || res.Lowered == nil {
+		t.Error("programs missing")
+	}
+	if err := res.Program.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCostModelDrivesChoice(t *testing.T) {
+	// With a cost model making ct-ct multiply free and rotation
+	// astronomically expensive, the engine must still return correct
+	// programs; cost only ranks them.
+	cm := quill.DefaultCostModel()
+	cm.Latency[quill.OpRotCt] = 1e9
+	opts := Options{Seed: 1, Timeout: 2 * time.Minute, CostModel: cm}
+	res, err := SynthesizeKernel("box-blur", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := kernels.ByName("box-blur")
+	ok, err := spec.CheckProgram(res.Program)
+	if err != nil || !ok {
+		t.Errorf("program invalid under custom cost model: %v", err)
+	}
+}
+
+func TestMaxLTooSmallIsUnsat(t *testing.T) {
+	spec := kernels.ByName("box-blur")
+	sk, err := DefaultSketch("box-blur")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk.MinL, sk.MaxL = 1, 1 // box blur needs 2 components
+	if _, err := Synthesize(spec, sk, Options{Seed: 1, Timeout: time.Minute}); err != ErrUnsat {
+		t.Errorf("want ErrUnsat, got %v", err)
+	}
+}

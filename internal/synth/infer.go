@@ -1,0 +1,297 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+
+	"porcupine/internal/kernels"
+	"porcupine/internal/quill"
+	"porcupine/internal/symbolic"
+)
+
+// InferSketch derives a local-rotate sketch directly from a kernel
+// specification, automating the one manual input Porcupine requires
+// (§4.4 notes sketch writing is "relatively simple" because the
+// components can be extracted from the specification — this function
+// performs that extraction):
+//
+//   - component multiset: ct-ct multiply when any output polynomial has
+//     degree ≥ 2 in ciphertext variables; subtract when coefficients
+//     are negative (> t/2); multiply-by-constant for small repeated
+//     coefficient magnitudes; ct-pt components per referenced
+//     plaintext input; add always;
+//   - rotation restriction: the slot displacements between input
+//     elements and the cared outputs that reference them, collapsed to
+//     the power-of-two tree restriction when the kernel is a
+//     single-slot reduction (§6.1);
+//   - operand kinds: rotation holes on add/subtract, plain holes on
+//     multiplies, matching the paper's sketches.
+//
+// The inferred sketch describes a superset of the hand-written ones,
+// so synthesis from it is complete but can be slower.
+func InferSketch(spec *kernels.Spec) (*Sketch, error) {
+	if len(spec.Out) == 0 {
+		return nil, fmt.Errorf("synth: InferSketch: spec has no outputs")
+	}
+	// Classify variables: ciphertext inputs own the first variables.
+	numCtVars := 0
+	for _, l := range spec.Ct {
+		numCtVars += l.NumElems()
+	}
+	// ptOwner[v] = plaintext input index owning variable v, or -1.
+	ptOwner := make([]int, spec.NumVars)
+	for v := range ptOwner {
+		ptOwner[v] = -1
+	}
+	base := numCtVars
+	for i, l := range spec.Pt {
+		for e := 0; e < l.NumElems(); e++ {
+			ptOwner[base+e] = i
+		}
+		base += l.NumElems()
+	}
+	// varSlot[v] = slot of a ciphertext variable.
+	varSlot := make([]int, numCtVars)
+	vi := 0
+	for _, l := range spec.Ct {
+		for _, slot := range l.SlotOf {
+			varSlot[vi] = slot
+			vi++
+		}
+	}
+
+	var (
+		needMulCC  bool
+		needSub    bool
+		ptMulUsed  = map[int]bool{}
+		ptAddUsed  = map[int]bool{}
+		constMuls  = map[int64]bool{}
+		offsets    = map[int]bool{}
+		allOffsets []int
+	)
+	half := symbolic.Modulus / 2
+
+	for outIdx, p := range spec.Out {
+		outSlot := spec.OutSlots[outIdx]
+		for _, term := range symbolic.Terms(p) {
+			ctDeg := 0
+			ptInputs := map[int]bool{}
+			for v, e := range term.Exps {
+				if v < numCtVars {
+					ctDeg += e
+					off := varSlot[v] - outSlot
+					if !offsets[off] {
+						offsets[off] = true
+						allOffsets = append(allOffsets, off)
+					}
+				} else {
+					ptInputs[ptOwner[v]] = true
+				}
+			}
+			if ctDeg >= 2 {
+				needMulCC = true
+			}
+			coeff := term.Coeff
+			if coeff > half {
+				needSub = true
+				coeff = symbolic.Modulus - coeff
+			}
+			// Constant-multiply components are inferred only from
+			// linear terms: a coefficient on a degree-2 monomial (like
+			// the -2ab cross term of a square) arises from the
+			// multiplication itself, not from an explicit scale.
+			if coeff >= 2 && coeff <= 16 && ctDeg == 1 {
+				constMuls[int64(coeff)] = true
+			}
+			switch {
+			case ctDeg >= 1 && len(ptInputs) > 0:
+				for pi := range ptInputs {
+					ptMulUsed[pi] = true
+				}
+			case ctDeg == 0 && len(ptInputs) > 0:
+				for pi := range ptInputs {
+					ptAddUsed[pi] = true
+				}
+			}
+		}
+	}
+
+	rotations := inferRotations(spec, allOffsets)
+
+	rotKind := KindCt
+	if len(rotations) > 0 {
+		rotKind = KindCtRot
+	}
+	// Single-slot reductions fold with add(rotated, plain) and do any
+	// subtraction element-wise before reducing, so the rotation hole
+	// is only needed on one add operand — the same shape the paper's
+	// reduction sketches use. Stencils keep symmetric rotation holes.
+	reduction := len(spec.OutSlots) == 1
+	var comps []Component
+	if reduction {
+		comps = append(comps, Component{Op: quill.OpAddCtCt, A: rotKind, B: KindCt})
+		if needSub {
+			comps = append(comps, Component{Op: quill.OpSubCtCt, A: KindCt, B: KindCt})
+		}
+	} else {
+		comps = append(comps, Component{Op: quill.OpAddCtCt, A: rotKind, B: rotKind})
+		if needSub {
+			comps = append(comps, Component{Op: quill.OpSubCtCt, A: rotKind, B: rotKind})
+		}
+	}
+	if needMulCC {
+		comps = append(comps, Component{Op: quill.OpMulCtCt, A: KindCt, B: KindCt})
+	}
+	for c := range constMuls {
+		comps = append(comps, Component{Op: quill.OpMulCtPt, A: KindCt,
+			P: quill.PtRef{Input: -1, Const: []int64{c}}})
+	}
+	var ptMul, ptAdd []int
+	for pi := range ptMulUsed {
+		ptMul = append(ptMul, pi)
+	}
+	for pi := range ptAddUsed {
+		ptAdd = append(ptAdd, pi)
+	}
+	sort.Ints(ptMul)
+	sort.Ints(ptAdd)
+	for _, pi := range ptMul {
+		comps = append(comps, Component{Op: quill.OpMulCtPt, A: KindCt, P: quill.PtRef{Input: pi}})
+	}
+	for _, pi := range ptAdd {
+		comps = append(comps, Component{Op: quill.OpAddCtPt, A: KindCt, P: quill.PtRef{Input: pi}})
+	}
+
+	minL := inferMinL(spec, len(allOffsets), needMulCC, needSub, len(ptMul) > 0)
+	return &Sketch{
+		Components: comps,
+		Rotations:  rotations,
+		MinL:       minL,
+		MaxL:       minL + 5,
+	}, nil
+}
+
+// inferMinL estimates the smallest plausible component count, so
+// iterative deepening skips sizes whose (expensive) unsat proofs are
+// foregone conclusions. For single-slot reductions over n
+// contributions at least log2(n) combining operations are needed, plus
+// one per required operator class. This is a heuristic starting point:
+// callers wanting a guaranteed component-minimal result can reset MinL
+// to 1.
+func inferMinL(spec *kernels.Spec, numOffsets int, needMul, needSub, needPtMul bool) int {
+	minL := 1
+	if len(spec.OutSlots) == 1 {
+		// Reduction: log2(contributing slots) combining steps plus one
+		// component per required operator class. numOffsets counts the
+		// distinct contributing slots (zero offset included).
+		if numOffsets < 1 {
+			numOffsets = 1
+		}
+		minL = ceilLog2(numOffsets)
+		if needMul {
+			minL++
+		}
+		if needSub {
+			minL++
+		}
+		if needPtMul {
+			minL++
+		}
+	} else {
+		// Stencil / element-wise: each component at most doubles the
+		// number of monomials per slot (conservatively capped — ct-ct
+		// multiplies can merge many monomials at once).
+		maxTerms := 1
+		for _, p := range spec.Out {
+			if n := p.NumTerms(); n > maxTerms {
+				maxTerms = n
+			}
+		}
+		minL = ceilLog2(maxTerms)
+		if minL > 3 {
+			minL = 3
+		}
+	}
+	if minL < 1 {
+		minL = 1
+	}
+	return minL
+}
+
+func ceilLog2(n int) int {
+	l := 0
+	for (1 << l) < n {
+		l++
+	}
+	return l
+}
+
+// inferRotations turns the observed input→output slot displacements
+// into a rotation restriction. A single-slot output whose offsets form
+// a dense prefix is recognized as an internal reduction and collapsed
+// to the §6.1 power-of-two tree restriction. For multi-output
+// (stencil-like) kernels the set is closed under one-step sums within
+// the observed radius: a separable implementation reaches window
+// elements through intermediate offsets that need not carry data
+// dependencies themselves (e.g. Gx's zero middle column still rotates
+// by ±5).
+func inferRotations(spec *kernels.Spec, offsets []int) []int {
+	var nonzero []int
+	for _, o := range offsets {
+		if o != 0 {
+			nonzero = append(nonzero, o)
+		}
+	}
+	sort.Ints(nonzero)
+	if len(nonzero) == 0 {
+		return nil
+	}
+	if len(spec.OutSlots) == 1 {
+		dense := true
+		for i, o := range nonzero {
+			if o != i+1 {
+				dense = false
+				break
+			}
+		}
+		if dense {
+			n := len(nonzero) + 1
+			if n&(n-1) == 0 {
+				return TreeReductionRotations(n)
+			}
+		}
+		return nonzero
+	}
+	// One-step sum closure bounded by the observed radius.
+	radius := 0
+	for _, o := range nonzero {
+		if a := abs(o); a > radius {
+			radius = a
+		}
+	}
+	in := map[int]bool{}
+	for _, o := range nonzero {
+		in[o] = true
+	}
+	for _, a := range nonzero {
+		for _, b := range nonzero {
+			s := a + b
+			if s != 0 && abs(s) <= radius {
+				in[s] = true
+			}
+		}
+	}
+	var out []int
+	for o := range in {
+		out = append(out, o)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,167 @@
+package synth
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"porcupine/internal/kernels"
+	"porcupine/internal/quill"
+)
+
+func TestInferSketchBoxBlur(t *testing.T) {
+	sk, err := InferSketch(kernels.BoxBlur())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The window offsets {1, 5, 6} must be present; the sum closure may
+	// add intermediate offsets (e.g. 2 = 1+1) within the radius.
+	have := map[int]bool{}
+	for _, r := range sk.Rotations {
+		have[r] = true
+	}
+	for _, r := range []int{1, 5, 6} {
+		if !have[r] {
+			t.Errorf("inferred rotations %v missing %d", sk.Rotations, r)
+		}
+	}
+	for _, c := range sk.Components {
+		if c.Op == quill.OpMulCtCt {
+			t.Error("box blur needs no ct-ct multiply")
+		}
+		if c.Op == quill.OpSubCtCt {
+			t.Error("box blur needs no subtraction")
+		}
+	}
+}
+
+func TestInferSketchDotProductDetectsReduction(t *testing.T) {
+	sk, err := InferSketch(kernels.DotProduct())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rots := append([]int(nil), sk.Rotations...)
+	sort.Ints(rots)
+	if len(rots) != 3 || rots[0] != 1 || rots[1] != 2 || rots[2] != 4 {
+		t.Errorf("reduction not detected: rotations = %v, want tree [1 2 4]", rots)
+	}
+	foundMulPt := false
+	for _, c := range sk.Components {
+		if c.Op == quill.OpMulCtPt && c.P.Input == 0 {
+			foundMulPt = true
+		}
+	}
+	if !foundMulPt {
+		t.Error("plaintext multiply component not inferred")
+	}
+}
+
+func TestInferSketchGxComponents(t *testing.T) {
+	sk, err := InferSketch(kernels.Gx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hasSub, hasMul2 bool
+	for _, c := range sk.Components {
+		if c.Op == quill.OpSubCtCt {
+			hasSub = true
+		}
+		if c.Op == quill.OpMulCtPt && c.P.Input == -1 && len(c.P.Const) == 1 && c.P.Const[0] == 2 {
+			hasMul2 = true
+		}
+		if c.Op == quill.OpMulCtCt {
+			t.Error("gx is linear; no ct-ct multiply expected")
+		}
+	}
+	if !hasSub {
+		t.Error("negative coefficients should infer a subtract component")
+	}
+	if !hasMul2 {
+		t.Error("coefficient 2 should infer a multiply-by-2 component (the paper's sketch has it)")
+	}
+	// The data dependencies give {±1, ±4, ±6}; the sum closure must
+	// also recover ±5 (needed by the separable solution).
+	want := map[int]bool{}
+	for _, r := range sk.Rotations {
+		want[r] = true
+	}
+	for _, r := range []int{1, -1, 4, -4, 5, -5, 6, -6} {
+		if !want[r] {
+			t.Errorf("rotation %d missing from inferred set %v", r, sk.Rotations)
+		}
+	}
+}
+
+func TestInferSketchHammingNoConstMul(t *testing.T) {
+	sk, err := InferSketch(kernels.HammingDistance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range sk.Components {
+		if c.Op == quill.OpMulCtPt && c.P.Input == -1 {
+			t.Errorf("square cross-term wrongly inferred a constant multiply: %+v", c)
+		}
+	}
+}
+
+func TestInferSketchPolynomialRegression(t *testing.T) {
+	sk, err := InferSketch(kernels.PolynomialRegression())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sk.Rotations) != 0 {
+		t.Errorf("element-wise kernel inferred rotations %v", sk.Rotations)
+	}
+	var hasMulCC, hasAddPt bool
+	for _, c := range sk.Components {
+		if c.Op == quill.OpMulCtCt {
+			hasMulCC = true
+		}
+		if c.Op == quill.OpAddCtPt && c.P.Input == 0 {
+			hasAddPt = true
+		}
+	}
+	if !hasMulCC || !hasAddPt {
+		t.Errorf("components incomplete: %+v", sk.Components)
+	}
+}
+
+// TestInferredSketchesSynthesize runs the full pipeline from inferred
+// sketches on the fast kernels: inference must preserve completeness.
+func TestInferredSketchesSynthesize(t *testing.T) {
+	names := []string{"box-blur", "dot-product", "hamming-distance", "linear-regression", "polynomial-regression"}
+	if !testing.Short() {
+		names = append(names, "l2-distance")
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			spec := kernels.ByName(name)
+			sk, err := InferSketch(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Inferred sketches are supersets of the hand-written ones
+			// (both operands rotatable), so the search space is larger;
+			// l2-distance needs several minutes of budget.
+			opts := Options{Seed: 1, Timeout: 12 * time.Minute, SkipOptimize: true}
+			res, err := Synthesize(spec, sk, opts)
+			if err != nil {
+				t.Fatalf("synthesis from inferred sketch: %v", err)
+			}
+			ok, err := spec.CheckProgram(res.Program)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Error("program from inferred sketch fails verification")
+			}
+		})
+	}
+}
+
+func TestInferSketchEmptySpec(t *testing.T) {
+	if _, err := InferSketch(&kernels.Spec{}); err == nil {
+		t.Error("empty spec should fail")
+	}
+}

@@ -1,0 +1,748 @@
+package synth
+
+import (
+	"math"
+	"sync/atomic"
+
+	"porcupine/internal/mathutil"
+	"porcupine/internal/quill"
+)
+
+// search looks for one program with exactly L components that is
+// consistent with every CEGIS example and (when bounded) has lowered
+// cost strictly below costBound. It returns (nil, true) when the space
+// is exhausted (a genuine unsat) and (nil, false) on timeout.
+//
+// With Parallelism > 1 the top-level branches (first-component
+// choices) are explored by a worker pool; each worker owns its search
+// state and deduplication tables, and the first solution found aborts
+// the others.
+func (e *engine) search(L int, costBound float64) (*quill.Program, bool) {
+	if e.opts.Parallelism > 1 {
+		return e.searchParallel(L, costBound)
+	}
+	s := e.newSearcher(L, costBound)
+	found := s.dfs(0)
+	e.nodes += s.nodes
+	if found {
+		return s.result, true
+	}
+	return nil, !s.timedOut
+}
+
+// cand identifies one top-level search branch for the parallel
+// scheduler.
+type cand struct {
+	isRot                bool
+	ci                   int
+	aID, aRot, bID, bRot int
+	rotID, rot           int
+}
+
+// searchParallel fans the first component slot out over workers.
+func (e *engine) searchParallel(L int, costBound float64) (*quill.Program, bool) {
+	// Enumerate top-level branches with a capturing searcher.
+	capt := e.newSearcher(L, costBound)
+	var cands []cand
+	capt.capture = &cands
+	capt.dfs(0)
+	capt.capture = nil
+
+	var stop atomic.Bool
+	type outcome struct {
+		prog     *quill.Program
+		timedOut bool
+		nodes    int64
+	}
+	work := make(chan cand, len(cands))
+	for _, c := range cands {
+		work <- c
+	}
+	close(work)
+	results := make(chan outcome, e.opts.Parallelism)
+	for w := 0; w < e.opts.Parallelism; w++ {
+		go func() {
+			var out outcome
+			for c := range work {
+				if stop.Load() {
+					break
+				}
+				s := e.newSearcher(L, costBound)
+				s.stop = &stop
+				if s.exploreCandidate(c) {
+					out.prog = s.result
+					out.nodes += s.nodes
+					stop.Store(true)
+					break
+				}
+				out.nodes += s.nodes
+				if s.timedOut && !stop.Load() {
+					out.timedOut = true
+				}
+			}
+			results <- out
+		}()
+	}
+	var prog *quill.Program
+	complete := true
+	for w := 0; w < e.opts.Parallelism; w++ {
+		out := <-results
+		e.nodes += out.nodes
+		if out.prog != nil && prog == nil {
+			prog = out.prog
+		}
+		if out.timedOut {
+			complete = false
+		}
+	}
+	if prog != nil {
+		return prog, true
+	}
+	return nil, complete
+}
+
+// exploreCandidate replays a captured top-level branch in this
+// worker's searcher and explores its subtree.
+func (s *searcher) exploreCandidate(c cand) bool {
+	last := s.L == 1
+	if c.isRot {
+		return s.considerRot(0, c.rotID, c.rot)
+	}
+	comp := &s.e.sk.Components[c.ci]
+	aData := s.operandData(c.aID, c.aRot)
+	if comp.Op.IsCtCt() {
+		bData := s.operandData(c.bID, c.bRot)
+		applyOp(comp.Op, aData, bData, s.scratch)
+	} else {
+		applyOp(comp.Op, aData, s.e.ptData[c.ci], s.scratch)
+	}
+	return s.consider(0, last, c.ci, c.aID, c.aRot, c.bID, c.bRot)
+}
+
+// newSearcher builds a fresh search state over the current examples.
+func (e *engine) newSearcher(L int, costBound float64) *searcher {
+	s := &searcher{
+		e:           e,
+		L:           L,
+		costBound:   costBound,
+		bounded:     !math.IsInf(costBound, 1),
+		visited:     make([]map[uint64]float64, L),
+		rotCache:    map[rotPair][]uint64{},
+		rotPairs:    map[rotPair]int{},
+		scratch:     make([]uint64, e.flatLen),
+		rotWithZero: append([]int{0}, e.rotations...),
+	}
+	for i := range s.visited {
+		s.visited[i] = map[uint64]float64{}
+	}
+	for i, data := range e.inputData {
+		s.vals = append(s.vals, &value{data: data, hash: hashData(data), rotOf: -1})
+		s.progID = append(s.progID, i)
+	}
+	for exi, ex := range e.examples {
+		for i, slot := range e.spec.OutSlots {
+			s.matchPos = append(s.matchPos, exi*e.spec.VecLen+slot)
+			s.matchWant = append(s.matchWant, ex.Want[i])
+		}
+	}
+	return s
+}
+
+// pushRec records exactly what a push changed, so pop is trivially
+// symmetric.
+type pushRec struct {
+	isRot      bool
+	aID, aRot  int
+	bID, bRot  int // bID < 0 for non-ct-ct
+	rotOf, rot int // explicit rotation values
+	lat        float64
+}
+
+// searcher holds the mutable DFS state for one search call.
+type searcher struct {
+	e         *engine
+	L         int
+	costBound float64
+	bounded   bool
+
+	vals   []*value
+	progID []int // program SSA id per value (-1 for rotation values)
+
+	instrs []quill.Instr // resolved instruction per arithmetic value
+	recs   []pushRec
+
+	visited  []map[uint64]float64
+	rotCache map[rotPair][]uint64
+	rotPairs map[rotPair]int
+
+	arithLat  float64
+	numArith  int
+	unused    int // computed values without uses
+	depthsMax []int
+
+	matchPos  []int
+	matchWant []uint64
+
+	scratch     []uint64
+	rotWithZero []int
+
+	result   *quill.Program
+	timedOut bool
+	ticks    int
+	nodes    int64
+
+	// capture, when set, records top-level branches instead of
+	// exploring them (used by the parallel scheduler).
+	capture *[]cand
+	// stop is the shared abort flag of a parallel search.
+	stop *atomic.Bool
+}
+
+func (s *searcher) maxDepth() int {
+	if len(s.depthsMax) == 0 {
+		return 0
+	}
+	return s.depthsMax[len(s.depthsMax)-1]
+}
+
+// operandData returns value id rotated left by rot, cached per live id.
+func (s *searcher) operandData(id, rot int) []uint64 {
+	if rot == 0 {
+		return s.vals[id].data
+	}
+	key := rotPair{id, rot}
+	if d, ok := s.rotCache[key]; ok {
+		return d
+	}
+	d := rotateFlat(s.vals[id].data, s.e.spec.VecLen, rot)
+	s.rotCache[key] = d
+	return d
+}
+
+// dfs fills component slot `slot`; returns true when a solution was
+// committed to s.result.
+func (s *searcher) dfs(slot int) bool {
+	if s.timedOut {
+		return false
+	}
+	s.ticks++
+	if s.ticks&1023 == 0 {
+		if s.e.timedOut() || (s.stop != nil && s.stop.Load()) {
+			s.timedOut = true
+			return false
+		}
+	}
+	last := slot == s.L-1
+
+	// Explicit-rotation ablation: rotations are components. They can
+	// never be the final component (the matched output is always an
+	// arithmetic result).
+	if s.e.opts.ExplicitRotation && !last {
+		nVals := len(s.vals)
+		for id := 0; id < nVals; id++ {
+			if s.vals[id].rotOf >= 0 {
+				continue // no nested rotations (paper §4.4)
+			}
+			for _, r := range s.e.rotations {
+				if s.considerRot(slot, id, r) {
+					return true
+				}
+				if s.timedOut {
+					return false
+				}
+			}
+		}
+	}
+
+	for ci := range s.e.sk.Components {
+		comp := &s.e.sk.Components[ci]
+		aRots := s.rotChoices(comp.A)
+		nVals := len(s.vals)
+		if comp.Op.IsCtCt() {
+			bRots := s.rotChoices(comp.B)
+			// Commutative symmetry breaking (§6.2) is only sound when
+			// both operand holes have the same kind; otherwise the
+			// mirrored candidate may not be expressible.
+			commutative := (comp.Op == quill.OpAddCtCt || comp.Op == quill.OpMulCtCt) && comp.A == comp.B
+			for aID := 0; aID < nVals; aID++ {
+				for _, aRot := range aRots {
+					aData := s.operandData(aID, aRot)
+					for bID := 0; bID < nVals; bID++ {
+						for _, bRot := range bRots {
+							if commutative && (bID < aID || (bID == aID && bRot < aRot)) {
+								continue // symmetry breaking §6.2
+							}
+							if aID == bID && aRot == bRot && comp.Op == quill.OpSubCtCt {
+								continue // x - x = 0
+							}
+							bData := s.operandData(bID, bRot)
+							applyOp(comp.Op, aData, bData, s.scratch)
+							if s.consider(slot, last, ci, aID, aRot, bID, bRot) {
+								return true
+							}
+							if s.timedOut {
+								return false
+							}
+							// Deeper recursion may have repopulated the
+							// cache; re-resolve aData in case the map
+							// entry was dropped and recreated.
+							aData = s.operandData(aID, aRot)
+						}
+					}
+				}
+			}
+		} else {
+			for aID := 0; aID < nVals; aID++ {
+				for _, aRot := range aRots {
+					aData := s.operandData(aID, aRot)
+					applyOp(comp.Op, aData, s.e.ptData[ci], s.scratch)
+					if s.consider(slot, last, ci, aID, aRot, -1, 0) {
+						return true
+					}
+					if s.timedOut {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// rotChoices returns the rotation options for an operand kind.
+func (s *searcher) rotChoices(k OperandKind) []int {
+	if k == KindCtRot && !s.e.opts.ExplicitRotation {
+		return s.rotWithZero
+	}
+	return s.rotWithZero[:1]
+}
+
+// consider evaluates the candidate result sitting in s.scratch.
+func (s *searcher) consider(slot int, last bool, ci, aID, aRot, bID, bRot int) bool {
+	if s.capture != nil {
+		*s.capture = append(*s.capture, cand{ci: ci, aID: aID, aRot: aRot, bID: bID, bRot: bRot})
+		return false
+	}
+	s.nodes++
+	comp := &s.e.sk.Components[ci]
+	res := s.scratch
+
+	if last {
+		return s.considerLast(ci, aID, aRot, bID, bRot, res)
+	}
+
+	// Zero results are never useful in a minimal program.
+	if isZero(res) {
+		return false
+	}
+	h := hashData(res)
+	newDepth := s.resultDepth(comp.Op, aID, bID)
+	// Duplicate pruning: a value equal (on all examples) to an existing
+	// value with ≤ depth is redundant — later instructions can
+	// reference the original instead.
+	for _, v := range s.vals {
+		if v.hash == h && v.depth <= newDepth && equalData(v.data, res) {
+			return false
+		}
+	}
+
+	// Dead-value bound: every non-output value must eventually be
+	// consumed; m remaining instructions can absorb at most m+1
+	// currently unused values.
+	m := s.L - slot - 1
+	unusedAfter := s.unused + 1
+	if s.vals[aID].uses == 0 && s.isComputed(aID) {
+		unusedAfter--
+	}
+	if bID >= 0 && bID != aID && s.vals[bID].uses == 0 && s.isComputed(bID) {
+		unusedAfter--
+	}
+	if unusedAfter > m+1 {
+		return false
+	}
+
+	s.pushArith(ci, aID, aRot, bID, bRot, res, h, newDepth)
+	if s.pruneByBoundOrVisited(slot) {
+		s.pop()
+		return false
+	}
+	if s.dfs(slot + 1) {
+		return true
+	}
+	s.pop()
+	return false
+}
+
+// considerLast handles the final component: the result must match the
+// specification's cared slots on every example, consume all unused
+// values, and (when bounded) beat the cost bound.
+func (s *searcher) considerLast(ci, aID, aRot, bID, bRot int, res []uint64) bool {
+	for i, pos := range s.matchPos {
+		if res[pos] != s.matchWant[i] {
+			return false
+		}
+	}
+	need := s.unused
+	if s.vals[aID].uses == 0 && s.isComputed(aID) {
+		need--
+	}
+	if bID >= 0 && bID != aID && s.vals[bID].uses == 0 && s.isComputed(bID) {
+		need--
+	}
+	if need > 0 {
+		return false
+	}
+	prog := s.buildProgram(ci, aID, aRot, bID, bRot)
+	if prog == nil {
+		return false
+	}
+	if s.bounded {
+		c, err := s.e.cm.CostProgram(prog)
+		if err != nil || c >= s.costBound {
+			return false
+		}
+	}
+	s.result = prog
+	return true
+}
+
+// considerRot handles rotation components in explicit-rotation mode.
+func (s *searcher) considerRot(slot, id, rot int) bool {
+	if s.capture != nil {
+		*s.capture = append(*s.capture, cand{isRot: true, rotID: id, rot: rot})
+		return false
+	}
+	s.nodes++
+	res := rotateFlat(s.vals[id].data, s.e.spec.VecLen, rot)
+	h := hashData(res)
+	depth := s.vals[id].depth
+	for _, v := range s.vals {
+		if v.hash == h && v.depth <= depth && equalData(v.data, res) {
+			return false
+		}
+	}
+	m := s.L - slot - 1
+	unusedAfter := s.unused + 1
+	if s.vals[id].uses == 0 && s.isComputed(id) {
+		unusedAfter--
+	}
+	if unusedAfter > m+1 {
+		return false
+	}
+	s.pushRot(id, rot, res, h, depth)
+	if s.pruneByBoundOrVisited(slot) {
+		s.pop()
+		return false
+	}
+	if s.dfs(slot + 1) {
+		return true
+	}
+	s.pop()
+	return false
+}
+
+func (s *searcher) isComputed(id int) bool { return id >= len(s.e.inputData) }
+
+func (s *searcher) resultDepth(op quill.Op, aID, bID int) int {
+	d := s.vals[aID].depth
+	if bID >= 0 && s.vals[bID].depth > d {
+		d = s.vals[bID].depth
+	}
+	if op == quill.OpMulCtCt || op == quill.OpMulCtPt {
+		d++
+	}
+	return d
+}
+
+func (s *searcher) markUse(id int) {
+	s.vals[id].uses++
+	if s.vals[id].uses == 1 && s.isComputed(id) {
+		s.unused--
+	}
+}
+
+func (s *searcher) unmarkUse(id int) {
+	s.vals[id].uses--
+	if s.vals[id].uses == 0 && s.isComputed(id) {
+		s.unused++
+	}
+}
+
+// pushArith commits an arithmetic value.
+func (s *searcher) pushArith(ci, aID, aRot, bID, bRot int, res []uint64, h uint64, depth int) {
+	comp := &s.e.sk.Components[ci]
+	data := make([]uint64, len(res))
+	copy(data, res)
+	v := &value{data: data, hash: h, depth: depth, rotOf: -1}
+
+	rec := pushRec{aID: aID, aRot: aRot, bID: bID, bRot: bRot}
+	if aRot != 0 {
+		s.addRotPair(aID, aRot)
+	}
+	if bID >= 0 && bRot != 0 {
+		s.addRotPair(bID, bRot)
+	}
+	s.markUse(aID)
+	if bID >= 0 {
+		s.markUse(bID)
+	}
+	s.unused++ // the new value is unused
+	s.vals = append(s.vals, v)
+
+	lat := s.e.cm.InstrLatency(comp.Op)
+	if comp.Op == quill.OpMulCtCt {
+		lat += s.e.cm.InstrLatency(quill.OpRelin)
+	}
+	rec.lat = lat
+	s.arithLat += lat
+
+	in := quill.Instr{Op: comp.Op}
+	in.A = quill.CtRef{ID: s.refProgID(aID), Rot: s.refRot(aID, aRot)}
+	if comp.Op.IsCtCt() {
+		in.B = quill.CtRef{ID: s.refProgID(bID), Rot: s.refRot(bID, bRot)}
+	} else {
+		in.P = comp.P
+	}
+	s.instrs = append(s.instrs, in)
+	s.progID = append(s.progID, len(s.e.inputData)+s.numArith)
+	s.numArith++
+
+	s.recs = append(s.recs, rec)
+	s.pushDepth(depth)
+}
+
+// pushRot commits an explicit rotation value.
+func (s *searcher) pushRot(id, rot int, res []uint64, h uint64, depth int) {
+	v := &value{data: res, hash: h, depth: depth, rotOf: id, rot: rot}
+	s.addRotPair(id, rot)
+	s.markUse(id)
+	s.unused++
+	s.vals = append(s.vals, v)
+	s.progID = append(s.progID, -1)
+	s.recs = append(s.recs, pushRec{isRot: true, rotOf: id, rot: rot})
+	s.pushDepth(depth)
+}
+
+func (s *searcher) pushDepth(depth int) {
+	md := depth
+	if prev := s.maxDepth(); prev > md {
+		md = prev
+	}
+	s.depthsMax = append(s.depthsMax, md)
+}
+
+// pop undoes the most recent push using its record.
+func (s *searcher) pop() {
+	id := len(s.vals) - 1
+	rec := s.recs[len(s.recs)-1]
+	s.recs = s.recs[:len(s.recs)-1]
+
+	// Invalidate rotation-cache entries of the removed value.
+	for _, r := range s.e.rotations {
+		delete(s.rotCache, rotPair{id, r})
+	}
+
+	if rec.isRot {
+		s.dropRotPair(rec.rotOf, rec.rot)
+		s.unmarkUse(rec.rotOf)
+	} else {
+		if rec.aRot != 0 {
+			s.dropRotPair(rec.aID, rec.aRot)
+		}
+		if rec.bID >= 0 && rec.bRot != 0 {
+			s.dropRotPair(rec.bID, rec.bRot)
+		}
+		s.unmarkUse(rec.aID)
+		if rec.bID >= 0 {
+			s.unmarkUse(rec.bID)
+		}
+		s.arithLat -= rec.lat
+		s.instrs = s.instrs[:len(s.instrs)-1]
+		s.numArith--
+	}
+	s.unused--
+	s.vals = s.vals[:id]
+	s.progID = s.progID[:id]
+	s.depthsMax = s.depthsMax[:len(s.depthsMax)-1]
+}
+
+// refProgID resolves a value id to a program SSA id, looking through
+// rotation values.
+func (s *searcher) refProgID(id int) int {
+	if s.vals[id].rotOf >= 0 {
+		return s.progID[s.vals[id].rotOf]
+	}
+	return s.progID[id]
+}
+
+// refRot resolves the effective operand rotation: explicit rotation
+// values contribute their amount.
+func (s *searcher) refRot(id, rot int) int {
+	if s.vals[id].rotOf >= 0 {
+		return s.vals[id].rot
+	}
+	return rot
+}
+
+// addRotPair/dropRotPair maintain the multiset of distinct rotation
+// instructions the lowered program will need (for the cost bound).
+// Keys are canonicalized to the underlying non-rotation source value.
+func (s *searcher) addRotPair(id, rot int) {
+	s.rotPairs[rotPair{s.canonicalRotSrc(id), rot}]++
+}
+
+func (s *searcher) dropRotPair(id, rot int) {
+	key := rotPair{s.canonicalRotSrc(id), rot}
+	if s.rotPairs[key]--; s.rotPairs[key] == 0 {
+		delete(s.rotPairs, key)
+	}
+}
+
+func (s *searcher) canonicalRotSrc(id int) int {
+	if s.vals[id].rotOf >= 0 {
+		return s.vals[id].rotOf
+	}
+	return id
+}
+
+// pruneByBoundOrVisited applies the branch-and-bound lower bound and
+// the observational-equivalence visited table. Called immediately
+// after a push that filled slot `slot`.
+func (s *searcher) pruneByBoundOrVisited(slot int) bool {
+	lbLat := s.arithLat + s.e.rotLat*float64(len(s.rotPairs))
+	if s.bounded {
+		remaining := float64(s.L-slot-1) * s.e.minCompLat
+		lb := (lbLat + remaining) * float64(1+s.maxDepth())
+		if lb >= s.costBound {
+			return true
+		}
+	}
+	key := s.stateKey()
+	m := s.visited[slot]
+	if prev, ok := m[key]; ok && prev <= lbLat {
+		return true
+	}
+	if len(m) < s.e.opts.MaxVisited {
+		m[key] = lbLat
+	}
+	return false
+}
+
+// stateKey is an order-independent fingerprint of the current value
+// multiset (data, depth, used-bit, rotation provenance) plus the
+// rotation-pair set, so permutations of independent instructions
+// collapse to one state.
+func (s *searcher) stateKey() uint64 {
+	var key uint64
+	for _, v := range s.vals {
+		h := mix(v.hash, uint64(v.depth)+1)
+		if v.uses > 0 {
+			h = mix(h, 0x9e3779b97f4a7c15)
+		}
+		if v.rotOf >= 0 {
+			h = mix(h, uint64(uint32(v.rot))+s.vals[v.rotOf].hash)
+		}
+		key += h // commutative combine
+	}
+	for p := range s.rotPairs {
+		key += mix(s.vals[p.id].hash, uint64(uint32(p.rot))*0x85ebca6b)
+	}
+	return key
+}
+
+// buildProgram assembles the final Program from the committed
+// instructions plus the pending last instruction.
+func (s *searcher) buildProgram(ci, aID, aRot, bID, bRot int) *quill.Program {
+	comp := &s.e.sk.Components[ci]
+	in := quill.Instr{Op: comp.Op}
+	in.A = quill.CtRef{ID: s.refProgID(aID), Rot: s.refRot(aID, aRot)}
+	if comp.Op.IsCtCt() {
+		in.B = quill.CtRef{ID: s.refProgID(bID), Rot: s.refRot(bID, bRot)}
+	} else {
+		in.P = comp.P
+	}
+	instrs := append(append([]quill.Instr(nil), s.instrs...), in)
+	p := &quill.Program{
+		VecLen:      s.e.spec.VecLen,
+		NumCtInputs: len(s.e.spec.Ct),
+		NumPtInputs: len(s.e.spec.Pt),
+		Instrs:      instrs,
+		Output:      len(s.e.spec.Ct) + len(instrs) - 1,
+	}
+	if p.Validate() != nil {
+		return nil
+	}
+	return p
+}
+
+// --- flat-vector helpers ---
+
+// rotateFlat rotates each VecLen-sized segment left by rot.
+func rotateFlat(data []uint64, vecLen, rot int) []uint64 {
+	out := make([]uint64, len(data))
+	n := vecLen
+	for base := 0; base < len(data); base += n {
+		for i := 0; i < n; i++ {
+			out[base+i] = data[base+((i+rot)%n+n)%n]
+		}
+	}
+	return out
+}
+
+// applyOp computes dst = a op b element-wise mod t.
+func applyOp(op quill.Op, a, b, dst []uint64) {
+	const t = quill.Modulus
+	switch op {
+	case quill.OpAddCtCt, quill.OpAddCtPt:
+		for i := range dst {
+			dst[i] = mathutil.AddMod(a[i], b[i], t)
+		}
+	case quill.OpSubCtCt, quill.OpSubCtPt:
+		for i := range dst {
+			dst[i] = mathutil.SubMod(a[i], b[i], t)
+		}
+	default: // multiplies
+		for i := range dst {
+			dst[i] = mathutil.MulMod(a[i], b[i], t)
+		}
+	}
+}
+
+func isZero(d []uint64) bool {
+	for _, v := range d {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func equalData(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// hashData is FNV-1a over the words.
+func hashData(d []uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range d {
+		h ^= v
+		h *= 1099511628211
+	}
+	return h
+}
+
+func mix(a, b uint64) uint64 {
+	x := a ^ (b + 0x9e3779b97f4a7c15 + (a << 6) + (a >> 2))
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}

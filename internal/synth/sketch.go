@@ -1,0 +1,121 @@
+// Package synth implements Porcupine's synthesis engine (paper §5):
+// a counter-example guided inductive synthesis (CEGIS) loop around an
+// enumerative solver that completes local-rotate sketches, followed by
+// a branch-and-bound optimization phase that minimizes the paper's
+// cost function latency × (1 + multiplicative depth).
+//
+// Where the paper compiles synthesis queries to SMT (Rosette +
+// Boolector), this implementation searches hole assignments directly
+// with aggressive pruning: observational-equivalence deduplication of
+// value states on the CEGIS example set, commutative-operand symmetry
+// breaking, dead-value bounds, duplicate-value elimination, and the
+// paper's §6.1 rotation restrictions. Verification is exact: candidate
+// and specification are compared as canonical per-slot polynomials
+// over Z_t (see internal/symbolic), and counterexamples are drawn from
+// the nonzero difference polynomial.
+package synth
+
+import (
+	"fmt"
+
+	"porcupine/internal/kernels"
+	"porcupine/internal/quill"
+)
+
+// OperandKind says whether a ciphertext operand hole may carry a
+// rotation (the paper's ??ct-r) or not (??ct).
+type OperandKind int
+
+const (
+	// KindCt is a plain ciphertext hole: any prior value, unrotated.
+	KindCt OperandKind = iota
+	// KindCtRot is a ciphertext-rotation hole: any prior value rotated
+	// by any allowed amount (including 0).
+	KindCtRot
+)
+
+// Component is one arithmetic instruction template available to the
+// sketch (the paper's component multiset, §4.4). For ct-ct opcodes A
+// and B describe the operand holes; for ct-pt opcodes A describes the
+// ciphertext hole and P the (fixed) plaintext operand.
+type Component struct {
+	Op quill.Op
+	A  OperandKind
+	B  OperandKind
+	P  quill.PtRef
+}
+
+// Sketch is the synthesis-guiding template: the component multiset, the
+// allowed rotation amounts, and the range of program sizes to explore
+// (iterative deepening on L, §5.1).
+type Sketch struct {
+	Components []Component
+	// Rotations is the set of allowed nonzero rotation amounts for
+	// ??ct-r holes (signed: negative = right rotation). Restricting it
+	// is the paper's §6.1 optimization (sliding-window or tree
+	// reduction patterns).
+	Rotations []int
+	MinL      int
+	MaxL      int
+}
+
+// Validate checks the sketch against a spec.
+func (sk *Sketch) Validate(spec *kernels.Spec) error {
+	if len(sk.Components) == 0 {
+		return fmt.Errorf("synth: sketch has no components")
+	}
+	if sk.MinL < 1 || sk.MaxL < sk.MinL {
+		return fmt.Errorf("synth: bad L range [%d, %d]", sk.MinL, sk.MaxL)
+	}
+	for i, c := range sk.Components {
+		if !c.Op.IsArith() {
+			return fmt.Errorf("synth: component %d has non-arithmetic opcode %v", i, c.Op)
+		}
+		if c.Op.IsCtPt() {
+			if c.P.Input >= len(spec.Pt) {
+				return fmt.Errorf("synth: component %d references plaintext p%d (spec has %d)", i, c.P.Input, len(spec.Pt))
+			}
+			if c.P.Input < 0 && len(c.P.Const) != 1 && len(c.P.Const) != spec.VecLen {
+				return fmt.Errorf("synth: component %d constant has bad length %d", i, len(c.P.Const))
+			}
+		}
+	}
+	for _, r := range sk.Rotations {
+		if r == 0 || r <= -spec.VecLen || r >= spec.VecLen {
+			return fmt.Errorf("synth: bad rotation amount %d", r)
+		}
+	}
+	return nil
+}
+
+// SlidingWindowRotations returns the §6.1 rotation restriction for an
+// h×w sliding-window kernel over an image of width imgW: the nonzero
+// slot offsets of the window elements relative to the anchor. Centered
+// windows (odd h, w — e.g. 3×3 stencils) anchor at the middle element;
+// uncentered windows (e.g. the 2×2 box blur and Roberts cross) anchor
+// at the top-left element.
+func SlidingWindowRotations(h, w, imgW int) []int {
+	r0, c0 := 0, 0
+	if h%2 == 1 && w%2 == 1 {
+		r0, c0 = h/2, w/2
+	}
+	var out []int
+	for dr := -r0; dr < h-r0; dr++ {
+		for dc := -c0; dc < w-c0; dc++ {
+			if off := dr*imgW + dc; off != 0 {
+				out = append(out, off)
+			}
+		}
+	}
+	return out
+}
+
+// TreeReductionRotations returns the power-of-two restriction for
+// internal reductions over n packed elements (§6.1).
+func TreeReductionRotations(n int) []int {
+	var out []int
+	for k := n / 2; k >= 1; k /= 2 {
+		out = append(out, k)
+	}
+	return out
+}

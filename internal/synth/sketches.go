@@ -1,0 +1,102 @@
+package synth
+
+import (
+	"fmt"
+
+	"porcupine/internal/kernels"
+	"porcupine/internal/quill"
+)
+
+// DefaultSketch returns the local-rotate sketch a Porcupine user would
+// write for each of the nine directly synthesized kernels (§4.4): the
+// arithmetic components extracted from the reference implementation,
+// the §6.1 rotation restriction matching the kernel's structure
+// (sliding window for stencils, power-of-two tree for reductions), and
+// the iterative-deepening range for L.
+func DefaultSketch(name string) (*Sketch, error) {
+	addRR := Component{Op: quill.OpAddCtCt, A: KindCtRot, B: KindCtRot}
+	subRR := Component{Op: quill.OpSubCtCt, A: KindCtRot, B: KindCtRot}
+	addRC := Component{Op: quill.OpAddCtCt, A: KindCtRot, B: KindCt}
+	addCC := Component{Op: quill.OpAddCtCt, A: KindCt, B: KindCt}
+	subCC := Component{Op: quill.OpSubCtCt, A: KindCt, B: KindCt}
+	mulCC := Component{Op: quill.OpMulCtCt, A: KindCt, B: KindCt}
+
+	switch name {
+	case "box-blur":
+		return &Sketch{
+			Components: []Component{addRR},
+			Rotations:  SlidingWindowRotations(2, 2, kernels.ImgW),
+			MinL:       1, MaxL: 4,
+		}, nil
+
+	case "gx", "gy":
+		// The paper's Gx sketch: add, subtract, and multiply-by-2
+		// components with ciphertext-rotation holes (§4.4).
+		mul2 := Component{Op: quill.OpMulCtPt, A: KindCt, P: quill.PtRef{Input: -1, Const: []int64{2}}}
+		return &Sketch{
+			Components: []Component{addRR, subRR, mul2},
+			Rotations:  SlidingWindowRotations(3, 3, kernels.ImgW),
+			MinL:       2, MaxL: 5,
+		}, nil
+
+	case "roberts-cross":
+		return &Sketch{
+			Components: []Component{subRR, mulCC, addCC},
+			Rotations:  SlidingWindowRotations(2, 2, kernels.ImgW),
+			MinL:       3, MaxL: 6,
+		}, nil
+
+	case "dot-product":
+		mulPt := Component{Op: quill.OpMulCtPt, A: KindCt, P: quill.PtRef{Input: 0}}
+		return &Sketch{
+			Components: []Component{mulPt, addRC},
+			Rotations:  TreeReductionRotations(kernels.DotN),
+			MinL:       3, MaxL: 5,
+		}, nil
+
+	case "hamming-distance":
+		return &Sketch{
+			Components: []Component{subCC, mulCC, addRC},
+			Rotations:  TreeReductionRotations(kernels.HammingN),
+			MinL:       3, MaxL: 5,
+		}, nil
+
+	case "l2-distance":
+		return &Sketch{
+			Components: []Component{subCC, mulCC, addRC},
+			Rotations:  TreeReductionRotations(kernels.L2N),
+			MinL:       4, MaxL: 6,
+		}, nil
+
+	case "linear-regression":
+		mulW := Component{Op: quill.OpMulCtPt, A: KindCt, P: quill.PtRef{Input: 0}}
+		addB := Component{Op: quill.OpAddCtPt, A: KindCt, P: quill.PtRef{Input: 1}}
+		return &Sketch{
+			Components: []Component{mulW, addB, addRC},
+			Rotations:  []int{1},
+			MinL:       2, MaxL: 4,
+		}, nil
+
+	case "polynomial-regression":
+		addC := Component{Op: quill.OpAddCtPt, A: KindCt, P: quill.PtRef{Input: 0}}
+		return &Sketch{
+			Components: []Component{mulCC, addCC, addC},
+			MinL:       3, MaxL: 6,
+		}, nil
+	}
+	return nil, fmt.Errorf("synth: no default sketch for kernel %q", name)
+}
+
+// SynthesizeKernel runs synthesis for a named kernel with its default
+// sketch.
+func SynthesizeKernel(name string, opts Options) (*Result, error) {
+	spec := kernels.ByName(name)
+	if spec == nil {
+		return nil, fmt.Errorf("synth: unknown kernel %q", name)
+	}
+	sk, err := DefaultSketch(name)
+	if err != nil {
+		return nil, err
+	}
+	return Synthesize(spec, sk, opts)
+}

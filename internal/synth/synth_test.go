@@ -1,0 +1,333 @@
+package synth
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"porcupine/internal/baseline"
+	"porcupine/internal/kernels"
+	"porcupine/internal/quill"
+)
+
+func testOpts() Options {
+	return Options{Seed: 1, Timeout: 90 * time.Second}
+}
+
+// synthAndCheck synthesizes a kernel and verifies the result
+// symbolically against its spec.
+func synthAndCheck(t *testing.T, name string, opts Options) *Result {
+	t.Helper()
+	res, err := SynthesizeKernel(name, opts)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	spec := kernels.ByName(name)
+	ok, err := spec.CheckProgram(res.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("%s: synthesized program fails verification:\n%s", name, res.Program)
+	}
+	okInit, err := spec.CheckProgram(res.InitialProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !okInit {
+		t.Fatalf("%s: initial program fails verification", name)
+	}
+	if res.FinalCost > res.InitialCost {
+		t.Errorf("%s: optimization increased cost %.0f -> %.0f", name, res.InitialCost, res.FinalCost)
+	}
+	return res
+}
+
+func TestSynthesizeBoxBlur(t *testing.T) {
+	res := synthAndCheck(t, "box-blur", testOpts())
+	// Paper Table 2: synthesized box blur has 4 instructions (the
+	// separable two-step form) vs the baseline's 6.
+	if got := res.Lowered.InstructionCount(); got != 4 {
+		t.Errorf("box blur: %d instructions, want 4\n%s", got, res.Lowered)
+	}
+	if res.L != 2 {
+		t.Errorf("box blur: L = %d, want 2", res.L)
+	}
+	if !res.Optimal {
+		t.Error("box blur optimization should exhaust the space")
+	}
+}
+
+func TestSynthesizeLinearRegression(t *testing.T) {
+	res := synthAndCheck(t, "linear-regression", testOpts())
+	if got := res.Lowered.InstructionCount(); got != 4 {
+		t.Errorf("linear regression: %d instructions, want 4\n%s", got, res.Lowered)
+	}
+}
+
+func TestSynthesizeDotProduct(t *testing.T) {
+	res := synthAndCheck(t, "dot-product", testOpts())
+	// mul + 3 rotate-adds = 7 lowered instructions (Table 2).
+	if got := res.Lowered.InstructionCount(); got != 7 {
+		t.Errorf("dot product: %d instructions, want 7\n%s", got, res.Lowered)
+	}
+	if res.Lowered.MultDepth() != 1 {
+		t.Errorf("dot product mult depth = %d", res.Lowered.MultDepth())
+	}
+}
+
+func TestSynthesizeHamming(t *testing.T) {
+	res := synthAndCheck(t, "hamming-distance", testOpts())
+	if got := res.Lowered.InstructionCount(); got != 7 {
+		t.Errorf("hamming: %d instructions, want 7 (6 + explicit relin)\n%s", got, res.Lowered)
+	}
+}
+
+func TestSynthesizeGx(t *testing.T) {
+	if testing.Short() {
+		t.Skip("gx synthesis takes tens of seconds")
+	}
+	opts := testOpts()
+	opts.Timeout = 5 * time.Minute
+	res := synthAndCheck(t, "gx", opts)
+	// Paper: 7 instructions (3 components + 4 rotations), beating the
+	// 12-instruction baseline by discovering separability.
+	if got := res.Lowered.InstructionCount(); got > 8 {
+		t.Errorf("gx: %d instructions, expected ≤ 8 (paper: 7)\n%s", got, res.Lowered)
+	}
+	base, _ := baseline.Lowered("gx")
+	if res.Lowered.InstructionCount() >= base.InstructionCount() {
+		t.Errorf("gx synthesized (%d instrs) should beat baseline (%d)",
+			res.Lowered.InstructionCount(), base.InstructionCount())
+	}
+}
+
+func TestSynthesizePolynomialRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("polynomial regression synthesis is slow")
+	}
+	opts := testOpts()
+	opts.Timeout = 5 * time.Minute
+	res := synthAndCheck(t, "polynomial-regression", opts)
+	// The factorization (a·x+b)·x+c uses two ct-ct multiplies instead
+	// of the baseline's three (paper §7.2's algebraic optimization).
+	muls := 0
+	for _, in := range res.Lowered.Instrs {
+		if in.Op == quill.OpMulCtCt {
+			muls++
+		}
+	}
+	if muls != 2 {
+		t.Errorf("polynomial regression uses %d ct-ct multiplies, want 2 (factored form)\n%s", muls, res.Lowered)
+	}
+}
+
+func TestSynthesizeL2Distance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("l2 synthesis takes a few seconds")
+	}
+	opts := testOpts()
+	opts.Timeout = 5 * time.Minute
+	res := synthAndCheck(t, "l2-distance", opts)
+	// Paper Table 2: 9 instructions, depth 9, parity with baseline.
+	if got := res.Lowered.InstructionCount(); got != 9 {
+		t.Errorf("l2: %d instructions, want 9\n%s", got, res.Lowered)
+	}
+	if got := res.Lowered.Depth(); got != 9 {
+		t.Errorf("l2: depth %d, want 9", got)
+	}
+}
+
+func TestSynthesizeGy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("gy synthesis takes a few seconds")
+	}
+	opts := testOpts()
+	opts.Timeout = 5 * time.Minute
+	res := synthAndCheck(t, "gy", opts)
+	if got := res.Lowered.InstructionCount(); got > 8 {
+		t.Errorf("gy: %d instructions, expected ≤ 8 (paper: 7)\n%s", got, res.Lowered)
+	}
+}
+
+func TestSynthesizeRobertsCross(t *testing.T) {
+	if testing.Short() {
+		t.Skip("roberts cross is the heaviest search (~15s initial)")
+	}
+	opts := testOpts()
+	opts.Timeout = 10 * time.Minute
+	opts.SkipOptimize = true // the optimality proof alone takes minutes
+	res := synthAndCheck(t, "roberts-cross", opts)
+	// Paper Table 2: 10 instructions, depth 5, parity with baseline.
+	if got := res.Lowered.InstructionCount(); got != 10 {
+		t.Errorf("roberts: %d instructions, want 10\n%s", got, res.Lowered)
+	}
+	if got := res.Lowered.Depth(); got != 5 {
+		t.Errorf("roberts: depth %d, want 5", got)
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	// The parallel scheduler must agree with the sequential search on
+	// satisfiability and optimal cost.
+	for _, name := range []string{"box-blur", "linear-regression", "hamming-distance"} {
+		seq := testOpts()
+		seq.Parallelism = 1
+		par := testOpts()
+		par.Parallelism = 8
+		rSeq, err := SynthesizeKernel(name, seq)
+		if err != nil {
+			t.Fatalf("%s seq: %v", name, err)
+		}
+		rPar, err := SynthesizeKernel(name, par)
+		if err != nil {
+			t.Fatalf("%s par: %v", name, err)
+		}
+		if rSeq.FinalCost != rPar.FinalCost {
+			t.Errorf("%s: optimal cost differs: seq %.0f vs par %.0f", name, rSeq.FinalCost, rPar.FinalCost)
+		}
+		if rSeq.L != rPar.L {
+			t.Errorf("%s: minimal L differs: %d vs %d", name, rSeq.L, rPar.L)
+		}
+		if !rSeq.Optimal || !rPar.Optimal {
+			t.Errorf("%s: both searches should prove optimality", name)
+		}
+	}
+}
+
+func TestSynthesisUnsat(t *testing.T) {
+	// A sketch with only additions cannot implement hamming distance.
+	spec := kernels.HammingDistance()
+	sk := &Sketch{
+		Components: []Component{{Op: quill.OpAddCtCt, A: KindCtRot, B: KindCtRot}},
+		Rotations:  []int{1, 2},
+		MinL:       1, MaxL: 3,
+	}
+	_, err := Synthesize(spec, sk, testOpts())
+	if err != ErrUnsat {
+		t.Errorf("expected ErrUnsat, got %v", err)
+	}
+}
+
+func TestSketchValidate(t *testing.T) {
+	spec := kernels.BoxBlur()
+	bad := &Sketch{MinL: 1, MaxL: 2}
+	if err := bad.Validate(spec); err == nil {
+		t.Error("empty components should fail")
+	}
+	bad = &Sketch{
+		Components: []Component{{Op: quill.OpRotCt}},
+		MinL:       1, MaxL: 1,
+	}
+	if err := bad.Validate(spec); err == nil {
+		t.Error("non-arith component should fail")
+	}
+	bad = &Sketch{
+		Components: []Component{{Op: quill.OpAddCtCt}},
+		MinL:       2, MaxL: 1,
+	}
+	if err := bad.Validate(spec); err == nil {
+		t.Error("bad L range should fail")
+	}
+	bad = &Sketch{
+		Components: []Component{{Op: quill.OpMulCtPt, P: quill.PtRef{Input: 3}}},
+		MinL:       1, MaxL: 1,
+	}
+	if err := bad.Validate(spec); err == nil {
+		t.Error("out-of-range plaintext should fail")
+	}
+	bad = &Sketch{
+		Components: []Component{{Op: quill.OpAddCtCt}},
+		Rotations:  []int{0},
+		MinL:       1, MaxL: 1,
+	}
+	if err := bad.Validate(spec); err == nil {
+		t.Error("zero rotation in set should fail")
+	}
+}
+
+func TestRotationRestrictionHelpers(t *testing.T) {
+	tr := TreeReductionRotations(8)
+	sort.Ints(tr)
+	if len(tr) != 3 || tr[0] != 1 || tr[1] != 2 || tr[2] != 4 {
+		t.Errorf("tree rotations = %v", tr)
+	}
+	sw := SlidingWindowRotations(2, 2, 5)
+	sort.Ints(sw)
+	if len(sw) != 3 || sw[0] != 1 || sw[1] != 5 || sw[2] != 6 {
+		t.Errorf("2x2 window rotations = %v", sw)
+	}
+	cw := SlidingWindowRotations(3, 3, 5)
+	if len(cw) != 8 {
+		t.Errorf("3x3 window should have 8 offsets, got %v", cw)
+	}
+	want := map[int]bool{-6: true, -5: true, -4: true, -1: true, 1: true, 4: true, 5: true, 6: true}
+	for _, r := range cw {
+		if !want[r] {
+			t.Errorf("unexpected 3x3 rotation %d", r)
+		}
+	}
+}
+
+func TestDefaultSketchUnknown(t *testing.T) {
+	if _, err := DefaultSketch("nope"); err == nil {
+		t.Error("unknown kernel sketch should fail")
+	}
+	if _, err := SynthesizeKernel("nope", testOpts()); err == nil {
+		t.Error("unknown kernel should fail")
+	}
+}
+
+func TestSkipOptimize(t *testing.T) {
+	opts := testOpts()
+	opts.SkipOptimize = true
+	res := synthAndCheck(t, "box-blur", opts)
+	if res.Optimal {
+		t.Error("SkipOptimize result must not claim optimality")
+	}
+	if res.InitialCost != res.FinalCost {
+		t.Error("SkipOptimize should keep the initial cost")
+	}
+}
+
+func TestSynthesisDeterministic(t *testing.T) {
+	// With Parallelism = 1 the whole run is deterministic for a fixed
+	// seed (with workers, equally-optimal solutions may differ).
+	opts := testOpts()
+	opts.Parallelism = 1
+	a := synthAndCheck(t, "box-blur", opts)
+	b := synthAndCheck(t, "box-blur", opts)
+	if a.Program.String() != b.Program.String() {
+		t.Error("same seed should give the same program")
+	}
+}
+
+func TestExplicitRotationAblation(t *testing.T) {
+	// §7.4: the explicit-rotation sketch searches a larger space but
+	// must find an equivalent box blur. L now counts rotations too.
+	spec := kernels.BoxBlur()
+	sk, err := DefaultSketch("box-blur")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk.MinL = 2
+	sk.MaxL = 6
+	opts := testOpts()
+	opts.ExplicitRotation = true
+	opts.SkipOptimize = true
+	opts.Timeout = 5 * time.Minute
+	res, err := Synthesize(spec, sk, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := spec.CheckProgram(res.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("explicit-rotation result fails verification:\n%s", res.Program)
+	}
+	if res.L < 4 {
+		t.Errorf("explicit-rotation L = %d, expected ≥ 4 (rotations count as components)", res.L)
+	}
+}

@@ -1,0 +1,180 @@
+// Package porcupine is a synthesizing compiler for vectorized
+// homomorphic encryption — a complete Go reproduction of "Porcupine: A
+// Synthesizing Compiler for Vectorized Homomorphic Encryption" (Cowan
+// et al., PLDI 2021).
+//
+// Given a kernel specification (a plaintext reference implementation
+// plus a data layout) and a sketch (an instruction-template with
+// holes), Porcupine synthesizes a verified BFV kernel in the Quill
+// DSL, optimizes it under the latency × (1 + multiplicative-depth)
+// cost model, and either executes it on the bundled pure-Go BFV
+// implementation or emits SEAL C++ for it.
+//
+// Quick start:
+//
+//	res, err := porcupine.CompileKernel("box-blur", porcupine.Options{
+//		Timeout: time.Minute,
+//	})
+//	// res.Lowered is the optimized HE kernel:
+//	fmt.Print(res.Lowered)
+//
+// Run it on real ciphertexts:
+//
+//	rt, _ := porcupine.NewRuntime("PN4096", res.Lowered)
+//	ct, _ := rt.EncryptVec(input)
+//	out, _ := rt.Run(res.Lowered, []*porcupine.Ciphertext{ct}, nil)
+//	fmt.Println(rt.DecryptVec(out, 32))
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every table and figure.
+package porcupine
+
+import (
+	"porcupine/internal/backend"
+	"porcupine/internal/baseline"
+	"porcupine/internal/bfv"
+	"porcupine/internal/codegen"
+	"porcupine/internal/compose"
+	"porcupine/internal/core"
+	"porcupine/internal/kernels"
+	"porcupine/internal/quill"
+	"porcupine/internal/synth"
+)
+
+// Core program representations (Quill DSL).
+type (
+	// Program is a Quill program in local-rotate form (rotations as
+	// operands of arithmetic instructions).
+	Program = quill.Program
+	// Lowered is a Quill program in explicit instruction form (the
+	// SEAL instruction stream).
+	Lowered = quill.Lowered
+	// Instr is a local-rotate instruction.
+	Instr = quill.Instr
+	// CtRef is a (value, rotation) operand reference.
+	CtRef = quill.CtRef
+	// PtRef is a plaintext operand reference.
+	PtRef = quill.PtRef
+	// CostModel maps instructions to latencies for the §5.2 objective.
+	CostModel = quill.CostModel
+	// Vec is a concrete slot vector over Z_t.
+	Vec = quill.Vec
+)
+
+// Specification and synthesis types.
+type (
+	// Spec is a kernel specification: reference semantics + layout.
+	Spec = kernels.Spec
+	// Layout assigns logical elements to vector slots.
+	Layout = kernels.Layout
+	// Sketch guides the synthesis engine (components + rotations + L).
+	Sketch = synth.Sketch
+	// Component is one instruction template in a sketch.
+	Component = synth.Component
+	// Options configures a synthesis run.
+	Options = synth.Options
+	// Result reports a synthesis run (Table 3 shape).
+	Result = synth.Result
+	// Compiled is a fully compiled kernel (program + metadata).
+	Compiled = core.Compiled
+)
+
+// BFV runtime types.
+type (
+	// Runtime executes lowered programs on the pure-Go BFV backend.
+	Runtime = backend.Runtime
+	// Ciphertext is a BFV ciphertext.
+	Ciphertext = bfv.Ciphertext
+	// Parameters is a BFV parameter set.
+	Parameters = bfv.Parameters
+)
+
+// Quill opcodes, re-exported for sketch construction.
+const (
+	OpAddCtCt = quill.OpAddCtCt
+	OpSubCtCt = quill.OpSubCtCt
+	OpMulCtCt = quill.OpMulCtCt
+	OpAddCtPt = quill.OpAddCtPt
+	OpSubCtPt = quill.OpSubCtPt
+	OpMulCtPt = quill.OpMulCtPt
+	OpRotCt   = quill.OpRotCt
+	OpRelin   = quill.OpRelin
+)
+
+// Operand-hole kinds for sketch components.
+const (
+	KindCt    = synth.KindCt
+	KindCtRot = synth.KindCtRot
+)
+
+// ErrUnsat is returned when the sketch contains no implementation of
+// the specification.
+var ErrUnsat = synth.ErrUnsat
+
+// InferSketch derives a sketch automatically from a specification
+// (component extraction + rotation restriction inference), an
+// extension of the paper's manual sketch-writing workflow.
+func InferSketch(spec *Spec) (*Sketch, error) { return synth.InferSketch(spec) }
+
+// OptimizeLowered applies global CSE, dead-code elimination and
+// rotation folding to a lowered program (useful after multi-step
+// composition).
+func OptimizeLowered(l *Lowered) (*Lowered, error) { return quill.OptimizeLowered(l) }
+
+// Kernels returns the names of every workload in the paper's
+// evaluation: nine directly synthesized kernels plus the multi-step
+// sobel and harris.
+func Kernels() []string { return core.AllKernels() }
+
+// KernelSpec returns the specification of a named kernel, or nil.
+func KernelSpec(name string) *Spec { return kernels.ByName(name) }
+
+// DefaultSketch returns the sketch a Porcupine user would write for a
+// directly synthesized kernel.
+func DefaultSketch(name string) (*Sketch, error) { return synth.DefaultSketch(name) }
+
+// Compile synthesizes a verified, optimized HE kernel from a
+// specification and sketch (the paper's Figure 3 pipeline).
+func Compile(spec *Spec, sk *Sketch, opts Options) (*Result, error) {
+	return synth.Synthesize(spec, sk, opts)
+}
+
+// CompileKernel compiles a named kernel with its default sketch and
+// verifies the lowered result.
+func CompileKernel(name string, opts Options) (*Compiled, error) {
+	return core.CompileKernel(name, opts)
+}
+
+// Baseline returns the hand-written depth-minimized baseline for a
+// kernel (the paper's comparison target).
+func Baseline(name string) (*Lowered, error) { return baseline.Lowered(name) }
+
+// ComposeSobel stitches a Sobel pipeline (Gx² + Gy²) from two gradient
+// programs via multi-step synthesis (§6.3).
+func ComposeSobel(gx, gy *Program) (*Lowered, error) { return compose.Sobel(gx, gy) }
+
+// ComposeHarris stitches the integerized Harris corner response from
+// gradient and blur programs.
+func ComposeHarris(gx, gy, blur *Program) (*Lowered, error) {
+	return compose.Harris(gx, gy, blur)
+}
+
+// EmitSEAL generates SEAL v3.5 C++ source for a lowered program.
+func EmitSEAL(l *Lowered, funcName string) (string, error) {
+	return codegen.EmitSEAL(l, codegen.Options{FuncName: funcName})
+}
+
+// NewRuntime builds a BFV runtime for one of the parameter presets
+// ("PN2048" test-only, "PN4096" and "PN8192" 128-bit secure), with
+// Galois keys covering the rotations of the given programs.
+func NewRuntime(preset string, programs ...*Lowered) (*Runtime, error) {
+	return backend.NewRuntime(preset, programs...)
+}
+
+// ParseLowered parses the textual lowered-program format (see
+// Lowered.String).
+func ParseLowered(src string) (*Lowered, error) { return quill.ParseLowered(src) }
+
+// DefaultCostModel returns the statically profiled instruction-latency
+// model used by the synthesis objective.
+func DefaultCostModel() *CostModel { return quill.DefaultCostModel() }

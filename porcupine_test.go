@@ -1,0 +1,161 @@
+package porcupine_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"porcupine"
+)
+
+func apiOpts() porcupine.Options {
+	return porcupine.Options{Seed: 1, Timeout: 5 * time.Minute}
+}
+
+func TestPublicKernelList(t *testing.T) {
+	names := porcupine.Kernels()
+	if len(names) != 11 {
+		t.Fatalf("Kernels() = %d entries, want 11", len(names))
+	}
+	for _, n := range names {
+		if n == "sobel" || n == "harris" {
+			continue
+		}
+		if porcupine.KernelSpec(n) == nil {
+			t.Errorf("KernelSpec(%q) = nil", n)
+		}
+		if _, err := porcupine.DefaultSketch(n); err != nil {
+			t.Errorf("DefaultSketch(%q): %v", n, err)
+		}
+		if _, err := porcupine.Baseline(n); err != nil {
+			t.Errorf("Baseline(%q): %v", n, err)
+		}
+	}
+}
+
+func TestPublicCompileAndRun(t *testing.T) {
+	c, err := porcupine.CompileKernel("hamming-distance", apiOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := porcupine.NewRuntime("PN2048", c.Lowered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := porcupine.Vec{1, 0, 1, 1}
+	b := porcupine.Vec{1, 1, 0, 1}
+	cta, err := rt.EncryptVec(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctb, err := rt.EncryptVec(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := rt.Run(c.Lowered, []*porcupine.Ciphertext{cta, ctb}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.DecryptVec(out, 4)[0]; got != 2 {
+		t.Errorf("hamming([1011],[1101]) = %d, want 2", got)
+	}
+}
+
+func TestPublicCustomSketch(t *testing.T) {
+	// A user-built sketch through the public API only.
+	spec := porcupine.KernelSpec("box-blur")
+	sk := &porcupine.Sketch{
+		Components: []porcupine.Component{{
+			Op: porcupine.OpAddCtCt,
+			A:  porcupine.KindCtRot,
+			B:  porcupine.KindCtRot,
+		}},
+		Rotations: []int{1, 5, 6},
+		MinL:      2, MaxL: 3,
+	}
+	res, err := porcupine.Compile(spec, sk, apiOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lowered.InstructionCount() != 4 {
+		t.Errorf("custom sketch result = %d instructions", res.Lowered.InstructionCount())
+	}
+}
+
+func TestPublicInferSketch(t *testing.T) {
+	spec := porcupine.KernelSpec("dot-product")
+	sk, err := porcupine.InferSketch(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := porcupine.Compile(spec, sk, apiOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := spec.CheckProgram(res.Program)
+	if err != nil || !ok {
+		t.Errorf("inferred-sketch program invalid: %v", err)
+	}
+}
+
+func TestPublicOptimizeLowered(t *testing.T) {
+	base, err := porcupine.Baseline("gx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := porcupine.OptimizeLowered(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.InstructionCount() > base.InstructionCount() {
+		t.Error("optimization grew the program")
+	}
+}
+
+func TestPublicEmitSEALAndParse(t *testing.T) {
+	base, err := porcupine.Baseline("gx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := porcupine.EmitSEAL(base, "gx_base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "gx_base") {
+		t.Error("function name missing in generated SEAL code")
+	}
+	parsed, err := porcupine.ParseLowered(base.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.InstructionCount() != base.InstructionCount() {
+		t.Error("parse round trip changed instruction count")
+	}
+}
+
+func TestPublicErrUnsat(t *testing.T) {
+	spec := porcupine.KernelSpec("hamming-distance")
+	sk := &porcupine.Sketch{
+		Components: []porcupine.Component{{Op: 0 /* add-ct-ct */, A: 1, B: 1}},
+		Rotations:  []int{1, 2},
+		MinL:       1, MaxL: 2,
+	}
+	if _, err := porcupine.Compile(spec, sk, apiOpts()); err != porcupine.ErrUnsat {
+		t.Errorf("want ErrUnsat, got %v", err)
+	}
+}
+
+// ExampleCompileKernel demonstrates the one-call compile path.
+func ExampleCompileKernel() {
+	c, err := porcupine.CompileKernel("box-blur", porcupine.Options{Seed: 1, Timeout: time.Minute})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("instructions:", c.Lowered.InstructionCount())
+	fmt.Println("multiplicative depth:", c.Lowered.MultDepth())
+	// Output:
+	// instructions: 4
+	// multiplicative depth: 0
+}
