@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build vet test test-short bench bench-figure4 bench-ops
+
+all: vet build test-short
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# benchstat-friendly: 5 repetitions of every paper benchmark. Pipe two
+# runs through benchstat to compare changes:
+#   make bench > old.txt; ...change...; make bench > new.txt
+#   benchstat old.txt new.txt
+bench:
+	$(GO) test -short -run '^$$' -bench . -benchtime 3x -count 5 -timeout 5400s .
+
+# Figure 4 HE-latency rows only.
+bench-figure4:
+	$(GO) test -short -run '^$$' -bench BenchmarkFigure4 -benchtime 3x -count 5 -timeout 5400s .
+
+# Evaluator op-level microbenchmarks (Mul / MulRelin / Rotate).
+bench-ops:
+	$(GO) test -run '^$$' -bench BenchmarkEvaluator -benchtime 5x -count 5 -timeout 1200s ./internal/bfv/

@@ -1,0 +1,3 @@
+module porcupine
+
+go 1.24

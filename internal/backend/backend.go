@@ -144,44 +144,98 @@ func (rt *Runtime) Run(l *quill.Lowered, ctIn []*bfv.Ciphertext, ptIn []quill.Ve
 		}
 		pts[i] = pt
 	}
+	return rt.execute(l, ctIn, pts)
+}
+
+// execute runs the instruction list over a fresh value table, returning
+// dead intermediate ciphertexts to the ring buffer pool as soon as
+// their last use has passed so long programs run in near-constant
+// memory.
+func (rt *Runtime) execute(l *quill.Lowered, ctIn []*bfv.Ciphertext, pts []*bfv.Plaintext) (*bfv.Ciphertext, error) {
 	vals := make([]*bfv.Ciphertext, l.NumValues())
 	copy(vals, ctIn)
-	for _, in := range l.Instrs {
+	last := lastUses(l)
+	for idx, in := range l.Instrs {
 		out, err := rt.step(l, in, vals, pts)
 		if err != nil {
 			return nil, fmt.Errorf("backend: %s: %w", in, err)
 		}
+		rt.recycleDead(l, vals, last, idx, in)
 		vals[in.Dst] = out
 	}
 	return vals[l.Output], nil
+}
+
+// lastUses returns, per value id, the index of the last instruction
+// reading it (-1 when never read).
+func lastUses(l *quill.Lowered) []int {
+	last := make([]int, l.NumValues())
+	for i := range last {
+		last[i] = -1
+	}
+	for idx, in := range l.Instrs {
+		last[in.A] = idx
+		if in.Op.IsCtCt() {
+			last[in.B] = idx
+		}
+	}
+	return last
+}
+
+// recycleDead returns the operands of instruction idx to the buffer
+// pool when this was their last use. Program inputs and the output are
+// never recycled (the caller owns them). Value slots are SSA (step
+// always allocates fresh ciphertexts), so a dead non-input slot is the
+// unique owner of its polynomials.
+func (rt *Runtime) recycleDead(l *quill.Lowered, vals []*bfv.Ciphertext, last []int, idx int, in quill.LInstr) {
+	ids := [2]int{in.A, in.A}
+	if in.Op.IsCtCt() {
+		ids[1] = in.B
+	}
+	for _, id := range ids {
+		if id < l.NumCtInputs || id == l.Output || last[id] != idx || vals[id] == nil {
+			continue
+		}
+		rt.Params.RecycleCiphertext(vals[id])
+		vals[id] = nil
+	}
 }
 
 func (rt *Runtime) step(l *quill.Lowered, in quill.LInstr, vals []*bfv.Ciphertext, pts []*bfv.Plaintext) (*bfv.Ciphertext, error) {
 	a := vals[in.A]
 	switch in.Op {
 	case quill.OpRotCt:
-		return rt.Eval.RotateRows(a, in.Rot)
+		out := rt.Params.NewCiphertextUninit(1)
+		return out, rt.Eval.RotateRowsInto(out, a, in.Rot)
 	case quill.OpRelin:
-		return rt.Eval.Relinearize(a)
+		out := rt.Params.NewCiphertextUninit(1)
+		return out, rt.Eval.RelinearizeInto(out, a)
 	case quill.OpAddCtCt:
-		return rt.Eval.Add(a, vals[in.B]), nil
+		out := rt.Params.NewCiphertextUninit(1)
+		rt.Eval.AddInto(out, a, vals[in.B])
+		return out, nil
 	case quill.OpSubCtCt:
-		return rt.Eval.Sub(a, vals[in.B]), nil
+		out := rt.Params.NewCiphertextUninit(1)
+		rt.Eval.SubInto(out, a, vals[in.B])
+		return out, nil
 	case quill.OpMulCtCt:
-		return rt.Eval.Mul(a, vals[in.B])
+		out := rt.Params.NewCiphertextUninit(2)
+		return out, rt.Eval.MulInto(out, a, vals[in.B])
 	case quill.OpAddCtPt, quill.OpSubCtPt, quill.OpMulCtPt:
 		pt, err := rt.operandPlaintext(l, in, pts)
 		if err != nil {
 			return nil, err
 		}
+		out := rt.Params.NewCiphertextUninit(a.Degree())
 		switch in.Op {
 		case quill.OpAddCtPt:
-			return rt.Eval.AddPlain(a, pt), nil
+			rt.Eval.AddPlainInto(out, a, pt)
 		case quill.OpSubCtPt:
-			return rt.Eval.SubPlain(a, pt), nil
+			rt.Eval.SubPlainInto(out, a, pt)
 		default:
-			return rt.Eval.MulPlain(a, pt), nil
+			rt.Eval.MulPlainInto(out, a, pt)
 		}
+		return out, nil
 	}
 	return nil, fmt.Errorf("unknown opcode %v", in.Op)
 }
@@ -206,17 +260,12 @@ func (rt *Runtime) TimedRun(l *quill.Lowered, ctIn []*bfv.Ciphertext, ptIn []qui
 		}
 		pts[i] = pt
 	}
-	vals := make([]*bfv.Ciphertext, l.NumValues())
-	copy(vals, ctIn)
 	start := time.Now()
-	for _, in := range l.Instrs {
-		out, err := rt.step(l, in, vals, pts)
-		if err != nil {
-			return nil, 0, fmt.Errorf("backend: %s: %w", in, err)
-		}
-		vals[in.Dst] = out
+	out, err := rt.execute(l, ctIn, pts)
+	if err != nil {
+		return nil, 0, err
 	}
-	return vals[l.Output], time.Since(start), nil
+	return out, time.Since(start), nil
 }
 
 // ProfileCostModel measures per-instruction latencies of this runtime

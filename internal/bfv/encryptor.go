@@ -25,14 +25,18 @@ func NewTestEncryptor(params *Parameters, pk *PublicKey, seed int64) *Encryptor 
 	return &Encryptor{params: params, pk: pk, sampler: ring.NewTestSampler(params.ringQ, seed)}
 }
 
-// deltaTimesPlaintext writes Δ·m (lifted to R_Q) into dst.
+// deltaTimesPlaintext writes Δ·m (lifted to R_Q) into dst. The
+// multiplicand Δ mod p_i is fixed per prime, so a Shoup constant
+// (which accepts an arbitrary 64-bit cofactor) replaces the
+// division-based MulMod.
 func deltaTimesPlaintext(params *Parameters, dst *ring.Poly, pt *Plaintext) {
 	r := params.ringQ
 	for i, p := range r.Primes {
 		d := params.deltaQi[i]
+		dS := mathutil.ShoupPrecomp(d, p)
 		di := dst.Coeffs[i]
 		for j, m := range pt.Coeffs {
-			di[j] = mathutil.MulMod(m%p, d, p)
+			di[j] = mathutil.ShoupMul(m, d, dS, p)
 		}
 	}
 }
@@ -41,28 +45,32 @@ func deltaTimesPlaintext(params *Parameters, dst *ring.Poly, pt *Plaintext) {
 // (c0, c1) = (p0·u + e0 + Δ·m, p1·u + e1).
 func (enc *Encryptor) Encrypt(pt *Plaintext) (*Ciphertext, error) {
 	r := enc.params.ringQ
-	u := r.NewPoly()
+	u := r.GetPolyNoZero()
+	defer r.PutPoly(u)
 	if err := enc.sampler.Ternary(u); err != nil {
 		return nil, err
 	}
-	e0 := r.NewPoly()
+	e0 := r.GetPolyNoZero()
+	defer r.PutPoly(e0)
 	if err := enc.sampler.Error(e0); err != nil {
 		return nil, err
 	}
-	e1 := r.NewPoly()
+	e1 := r.GetPolyNoZero()
+	defer r.PutPoly(e1)
 	if err := enc.sampler.Error(e1); err != nil {
 		return nil, err
 	}
 	r.NTT(u)
-	c0 := r.NewPoly()
-	c1 := r.NewPoly()
+	c0 := r.GetPolyNoZero()
+	c1 := r.GetPolyNoZero()
 	r.MulCoeffs(c0, enc.pk.P0Ntt, u)
 	r.MulCoeffs(c1, enc.pk.P1Ntt, u)
 	r.INTT(c0)
 	r.INTT(c1)
 	r.Add(c0, c0, e0)
 	r.Add(c1, c1, e1)
-	dm := r.NewPoly()
+	dm := r.GetPolyNoZero()
+	defer r.PutPoly(dm)
 	deltaTimesPlaintext(enc.params, dm, pt)
 	r.Add(c0, c0, dm)
 	return &Ciphertext{Value: []*ring.Poly{c0, c1}}, nil

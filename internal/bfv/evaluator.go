@@ -10,10 +10,24 @@ import (
 // Evaluator performs homomorphic operations on ciphertexts. It holds
 // the evaluation keys (relinearization and Galois) it was constructed
 // with; operations requiring an absent key return an error.
+//
+// Every operation has an allocating form (Add, Mul, ...) and an
+// in-place form (AddInto, MulInto, ...) that writes into a
+// caller-provided ciphertext, resizing it as needed. The in-place
+// forms are alias-safe: dst may be one of the operands. Scratch
+// polynomials come from the ring buffer pools, so steady-state
+// evaluation performs no large allocations.
+//
+// Ciphertext multiplication runs on a pure-RNS hot path: centered
+// lifting into the extended basis and the t/Q rounding rescale are
+// word-sized mixed-radix conversions (ring.BasisExtender), with no
+// per-coefficient math/big arithmetic. The textbook big.Int path is
+// retained behind SetBigIntReference for differential testing.
 type Evaluator struct {
-	params *Parameters
-	rlk    *RelinearizationKey
-	gks    *GaloisKeys
+	params    *Parameters
+	rlk       *RelinearizationKey
+	gks       *GaloisKeys
+	useBigRef bool
 }
 
 // NewEvaluator builds an evaluator. rlk and gks may be nil when
@@ -22,6 +36,12 @@ func NewEvaluator(params *Parameters, rlk *RelinearizationKey, gks *GaloisKeys) 
 	return &Evaluator{params: params, rlk: rlk, gks: gks}
 }
 
+// SetBigIntReference toggles the retained big.Int CRT reference
+// implementation of Mul. It exists so tests can prove the pure-RNS
+// path bit-identical to the textbook computation; production code
+// should leave it off.
+func (ev *Evaluator) SetBigIntReference(on bool) { ev.useBigRef = on }
+
 func (ev *Evaluator) checkDegree(op string, ct *Ciphertext, max int) error {
 	if ct.Degree() > max {
 		return fmt.Errorf("bfv: %s: ciphertext degree %d exceeds %d", op, ct.Degree(), max)
@@ -29,103 +49,190 @@ func (ev *Evaluator) checkDegree(op string, ct *Ciphertext, max int) error {
 	return nil
 }
 
+// resize adjusts ct to the given degree. New polynomials come from
+// the ring pool and hold stale coefficients — every caller fully
+// overwrites all rows up to the new degree before reading them.
+// Truncated polynomials go back to the pool.
+func (ev *Evaluator) resize(ct *Ciphertext, degree int) {
+	r := ev.params.ringQ
+	for len(ct.Value) < degree+1 {
+		ct.Value = append(ct.Value, r.GetPolyNoZero())
+	}
+	for _, p := range ct.Value[degree+1:] {
+		r.PutPoly(p)
+	}
+	ct.Value = ct.Value[:degree+1]
+}
+
+// copyCiphertextInto copies src's polynomials into dst, resizing dst
+// to src's degree. Rows already sharing a polynomial (dst aliasing
+// src) are left untouched.
+func (ev *Evaluator) copyCiphertextInto(dst, src *Ciphertext) {
+	r := ev.params.ringQ
+	srcV := src.Value
+	ev.resize(dst, len(srcV)-1)
+	for i := range srcV {
+		if dst.Value[i] != srcV[i] {
+			r.CopyInto(dst.Value[i], srcV[i])
+		}
+	}
+}
+
 // Add returns a + b (element-wise over slots). Operands of different
 // degree are aligned by treating missing polynomials as zero.
 func (ev *Evaluator) Add(a, b *Ciphertext) *Ciphertext {
+	deg := max(a.Degree(), b.Degree())
+	out := ev.params.NewCiphertextUninit(deg)
+	ev.AddInto(out, a, b)
+	return out
+}
+
+// AddInto sets dst = a + b. dst may alias a or b.
+func (ev *Evaluator) AddInto(dst, a, b *Ciphertext) {
 	r := ev.params.ringQ
 	hi, lo := a, b
 	if len(b.Value) > len(a.Value) {
 		hi, lo = b, a
 	}
-	out := ev.params.NewCiphertext(hi.Degree())
-	for i := range hi.Value {
-		if i < len(lo.Value) {
-			r.Add(out.Value[i], hi.Value[i], lo.Value[i])
-		} else {
-			r.CopyInto(out.Value[i], hi.Value[i])
+	hiV, loV := hi.Value, lo.Value // capture before resize mutates an alias
+	ev.resize(dst, len(hiV)-1)
+	for i := range hiV {
+		switch {
+		case i < len(loV):
+			r.Add(dst.Value[i], hiV[i], loV[i])
+		case dst.Value[i] != hiV[i]:
+			r.CopyInto(dst.Value[i], hiV[i])
 		}
 	}
-	return out
 }
 
 // Sub returns a - b.
 func (ev *Evaluator) Sub(a, b *Ciphertext) *Ciphertext {
+	deg := max(a.Degree(), b.Degree())
+	out := ev.params.NewCiphertextUninit(deg)
+	ev.SubInto(out, a, b)
+	return out
+}
+
+// SubInto sets dst = a - b. dst may alias a or b.
+func (ev *Evaluator) SubInto(dst, a, b *Ciphertext) {
 	r := ev.params.ringQ
-	deg := a.Degree()
-	if b.Degree() > deg {
-		deg = b.Degree()
-	}
-	out := ev.params.NewCiphertext(deg)
-	for i := range out.Value {
+	aV, bV := a.Value, b.Value
+	deg := max(len(aV), len(bV)) - 1
+	ev.resize(dst, deg)
+	for i := 0; i <= deg; i++ {
 		switch {
-		case i < len(a.Value) && i < len(b.Value):
-			r.Sub(out.Value[i], a.Value[i], b.Value[i])
-		case i < len(a.Value):
-			r.CopyInto(out.Value[i], a.Value[i])
+		case i < len(aV) && i < len(bV):
+			r.Sub(dst.Value[i], aV[i], bV[i])
+		case i < len(aV):
+			if dst.Value[i] != aV[i] {
+				r.CopyInto(dst.Value[i], aV[i])
+			}
 		default:
-			r.Neg(out.Value[i], b.Value[i])
+			r.Neg(dst.Value[i], bV[i])
 		}
 	}
-	return out
 }
 
 // Neg returns -a.
 func (ev *Evaluator) Neg(a *Ciphertext) *Ciphertext {
-	r := ev.params.ringQ
-	out := ev.params.NewCiphertext(a.Degree())
-	for i := range a.Value {
-		r.Neg(out.Value[i], a.Value[i])
-	}
+	out := ev.params.NewCiphertextUninit(a.Degree())
+	ev.NegInto(out, a)
 	return out
+}
+
+// NegInto sets dst = -a. dst may alias a.
+func (ev *Evaluator) NegInto(dst, a *Ciphertext) {
+	r := ev.params.ringQ
+	aV := a.Value
+	ev.resize(dst, len(aV)-1)
+	for i := range aV {
+		r.Neg(dst.Value[i], aV[i])
+	}
 }
 
 // AddPlain returns ct + pt: Δ·m is added to the degree-0 component.
 func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
-	r := ev.params.ringQ
-	out := ev.params.CopyCiphertext(ct)
-	dm := r.NewPoly()
-	deltaTimesPlaintext(ev.params, dm, pt)
-	r.Add(out.Value[0], out.Value[0], dm)
+	out := ev.params.NewCiphertextUninit(ct.Degree())
+	ev.AddPlainInto(out, ct, pt)
 	return out
+}
+
+// AddPlainInto sets dst = ct + pt. dst may alias ct.
+func (ev *Evaluator) AddPlainInto(dst, ct *Ciphertext, pt *Plaintext) {
+	r := ev.params.ringQ
+	dm := r.GetPolyNoZero()
+	deltaTimesPlaintext(ev.params, dm, pt)
+	ev.copyCiphertextInto(dst, ct)
+	r.Add(dst.Value[0], dst.Value[0], dm)
+	r.PutPoly(dm)
 }
 
 // SubPlain returns ct - pt.
 func (ev *Evaluator) SubPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
-	r := ev.params.ringQ
-	out := ev.params.CopyCiphertext(ct)
-	dm := r.NewPoly()
-	deltaTimesPlaintext(ev.params, dm, pt)
-	r.Sub(out.Value[0], out.Value[0], dm)
+	out := ev.params.NewCiphertextUninit(ct.Degree())
+	ev.SubPlainInto(out, ct, pt)
 	return out
+}
+
+// SubPlainInto sets dst = ct - pt. dst may alias ct.
+func (ev *Evaluator) SubPlainInto(dst, ct *Ciphertext, pt *Plaintext) {
+	r := ev.params.ringQ
+	dm := r.GetPolyNoZero()
+	deltaTimesPlaintext(ev.params, dm, pt)
+	ev.copyCiphertextInto(dst, ct)
+	r.Sub(dst.Value[0], dst.Value[0], dm)
+	r.PutPoly(dm)
 }
 
 // PlainSub returns pt - ct.
 func (ev *Evaluator) PlainSub(pt *Plaintext, ct *Ciphertext) *Ciphertext {
-	return ev.Neg(ev.SubPlain(ct, pt))
+	out := ev.params.NewCiphertextUninit(ct.Degree())
+	ev.SubPlainInto(out, ct, pt)
+	ev.NegInto(out, out)
+	return out
 }
 
 // MulPlain returns ct · pt (element-wise SIMD product with a plaintext
 // vector). The plaintext is lifted without Δ-scaling, so the result
 // still encrypts Δ·(m_ct ⊙ m_pt).
 func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	out := ev.params.NewCiphertextUninit(ct.Degree())
+	ev.MulPlainInto(out, ct, pt)
+	return out
+}
+
+// MulPlainInto sets dst = ct · pt. dst may alias ct.
+func (ev *Evaluator) MulPlainInto(dst, ct *Ciphertext, pt *Plaintext) {
 	r := ev.params.ringQ
-	m := r.NewPoly()
-	coeffs := make([]int64, len(pt.Coeffs))
-	for j, c := range pt.Coeffs {
-		coeffs[j] = int64(c)
-	}
-	r.SetSmall(m, coeffs)
+	m := r.GetPolyNoZero()
+	liftPlaintext(ev.params, m, pt)
 	r.NTT(m)
-	out := ev.params.NewCiphertext(ct.Degree())
-	tmp := r.NewPoly()
-	for i := range ct.Value {
-		r.CopyInto(tmp, ct.Value[i])
+	ctV := ct.Value
+	ev.resize(dst, len(ctV)-1)
+	tmp := r.GetPolyNoZero()
+	for i := range ctV {
+		r.CopyInto(tmp, ctV[i])
 		r.NTT(tmp)
 		r.MulCoeffs(tmp, tmp, m)
 		r.INTT(tmp)
-		r.CopyInto(out.Value[i], tmp)
+		r.CopyInto(dst.Value[i], tmp)
 	}
-	return out
+	r.PutPoly(tmp)
+	r.PutPoly(m)
+}
+
+// liftPlaintext writes pt's coefficients, reduced per prime, into dst
+// (no Δ scaling).
+func liftPlaintext(params *Parameters, dst *ring.Poly, pt *Plaintext) {
+	r := params.ringQ
+	for i := range r.Primes {
+		bar := r.BarrettAt(i)
+		di := dst.Coeffs[i]
+		for j, m := range pt.Coeffs {
+			di[j] = bar.Reduce64(m)
+		}
+	}
 }
 
 // Mul returns the degree-2 tensor product of two degree-1 ciphertexts,
@@ -133,12 +240,68 @@ func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
 // scaled by t/Q with correct rounding. Use Relinearize (or MulRelin)
 // to return to degree 1.
 func (ev *Evaluator) Mul(a, b *Ciphertext) (*Ciphertext, error) {
-	if err := ev.checkDegree("Mul", a, 1); err != nil {
+	out := ev.params.NewCiphertextUninit(2)
+	if err := ev.MulInto(out, a, b); err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// MulInto sets out = a ⊗ b (degree 2, scaled by t/Q with correct
+// rounding). out is resized to degree 2 and may alias a or b.
+func (ev *Evaluator) MulInto(out *Ciphertext, a, b *Ciphertext) error {
+	if err := ev.checkDegree("Mul", a, 1); err != nil {
+		return err
 	}
 	if err := ev.checkDegree("Mul", b, 1); err != nil {
-		return nil, err
+		return err
 	}
+	if ev.useBigRef {
+		return ev.mulBigInto(out, a, b)
+	}
+	rx := ev.params.ringExt
+	be := ev.params.extender
+
+	// Lift the four input polynomials into the extended basis using
+	// centered representatives, then move to the evaluation domain.
+	lift := func(p *ring.Poly) *ring.Poly {
+		q := rx.GetPolyNoZero()
+		be.LiftCentered(q, p)
+		rx.NTT(q)
+		return q
+	}
+	a0, a1 := lift(a.Value[0]), lift(a.Value[1])
+	b0, b1 := lift(b.Value[0]), lift(b.Value[1])
+
+	e0, e1, e2 := rx.GetPolyNoZero(), rx.GetPolyNoZero(), rx.GetPolyNoZero()
+	rx.MulCoeffs(e0, a0, b0)
+	rx.MulCoeffs(e1, a0, b1)
+	rx.MulCoeffsAndAdd(e1, a1, b0)
+	rx.MulCoeffs(e2, a1, b1)
+	rx.PutPoly(a0)
+	rx.PutPoly(a1)
+	rx.PutPoly(b0)
+	rx.PutPoly(b1)
+	rx.INTT(e0)
+	rx.INTT(e1)
+	rx.INTT(e2)
+
+	// Scale each tensor component by t/Q with rounding, landing back in
+	// R_Q — a pure-RNS mixed-radix rescale, no big.Int per coefficient.
+	ev.resize(out, 2)
+	be.ScaleDown(out.Value[0], e0)
+	be.ScaleDown(out.Value[1], e1)
+	be.ScaleDown(out.Value[2], e2)
+	rx.PutPoly(e0)
+	rx.PutPoly(e1)
+	rx.PutPoly(e2)
+	return nil
+}
+
+// mulBigInto is the textbook tensor product with per-coefficient
+// big.Int CRT reconstruction. It is the reference the pure-RNS path is
+// differentially tested against; see SetBigIntReference.
+func (ev *Evaluator) mulBigInto(out *Ciphertext, a, b *Ciphertext) error {
 	rq := ev.params.ringQ
 	rx := ev.params.ringExt
 
@@ -170,7 +333,7 @@ func (ev *Evaluator) Mul(a, b *Ciphertext) (*Ciphertext, error) {
 	rx.INTT(e2)
 
 	// Scale each coefficient by t/Q with rounding, landing back in R_Q.
-	out := ev.params.NewCiphertext(2)
+	ev.resize(out, 2)
 	t := new(big.Int).SetUint64(ev.params.T)
 	q := ev.params.q
 	halfQ := new(big.Int).Rsh(q, 1)
@@ -189,96 +352,140 @@ func (ev *Evaluator) Mul(a, b *Ciphertext) (*Ciphertext, error) {
 			rq.SetCoeffBig(dst, j, &num)
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // keySwitch computes (Σ_i d_i·b_i, Σ_i d_i·a_i) where d_i is the i-th
 // RNS digit of d (its residues mod p_i, lifted). This moves a term
-// d·s' to the (constant, s) basis given a switching key for s'.
+// d·s' to the (constant, s) basis given a switching key for s'. The
+// returned polynomials come from the ring pool; the caller must
+// return them with PutPoly.
 func (ev *Evaluator) keySwitch(d *ring.Poly, key *switchingKey) (*ring.Poly, *ring.Poly) {
 	r := ev.params.ringQ
-	out0, out1 := r.NewPoly(), r.NewPoly()
-	digit := r.NewPoly()
+	out0, out1 := r.GetPoly(), r.GetPoly()
+	digit := r.GetPolyNoZero()
 	for i := range r.Primes {
-		// Lift digit i: every prime component holds d mod p_i.
-		src := d.Coeffs[i]
-		for l, pl := range r.Primes {
-			dl := digit.Coeffs[l]
-			for j, v := range src {
-				dl[j] = v % pl
-			}
-		}
+		r.DigitLift(digit, d, i)
 		r.NTT(digit)
 		r.MulCoeffsAndAdd(out0, digit, key.B[i])
 		r.MulCoeffsAndAdd(out1, digit, key.A[i])
 	}
 	r.INTT(out0)
 	r.INTT(out1)
+	r.PutPoly(digit)
 	return out0, out1
 }
 
 // Relinearize reduces a degree-2 ciphertext to degree 1 using the
 // relinearization key.
 func (ev *Evaluator) Relinearize(ct *Ciphertext) (*Ciphertext, error) {
+	out := ev.params.NewCiphertextUninit(1)
+	if err := ev.RelinearizeInto(out, ct); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RelinearizeInto sets dst to the degree-1 equivalent of ct. dst may
+// alias ct.
+func (ev *Evaluator) RelinearizeInto(dst, ct *Ciphertext) error {
+	r := ev.params.ringQ
 	if ct.Degree() == 1 {
-		return ev.params.CopyCiphertext(ct), nil
+		ev.copyCiphertextInto(dst, ct)
+		return nil
 	}
 	if ct.Degree() != 2 {
-		return nil, fmt.Errorf("bfv: Relinearize: unsupported degree %d", ct.Degree())
+		return fmt.Errorf("bfv: Relinearize: unsupported degree %d", ct.Degree())
 	}
 	if ev.rlk == nil {
-		return nil, fmt.Errorf("bfv: Relinearize: no relinearization key")
+		return fmt.Errorf("bfv: Relinearize: no relinearization key")
 	}
-	r := ev.params.ringQ
 	f0, f1 := ev.keySwitch(ct.Value[2], ev.rlk.key)
-	out := ev.params.NewCiphertext(1)
-	r.Add(out.Value[0], ct.Value[0], f0)
-	r.Add(out.Value[1], ct.Value[1], f1)
-	return out, nil
+	ctV := ct.Value
+	ev.resize(dst, 1)
+	r.Add(dst.Value[0], ctV[0], f0)
+	r.Add(dst.Value[1], ctV[1], f1)
+	r.PutPoly(f0)
+	r.PutPoly(f1)
+	return nil
 }
 
 // MulRelin multiplies and immediately relinearizes.
 func (ev *Evaluator) MulRelin(a, b *Ciphertext) (*Ciphertext, error) {
-	c, err := ev.Mul(a, b)
-	if err != nil {
+	out := ev.params.NewCiphertextUninit(1)
+	if err := ev.MulRelinInto(out, a, b); err != nil {
 		return nil, err
 	}
-	return ev.Relinearize(c)
+	return out, nil
+}
+
+// MulRelinInto sets dst = relin(a ⊗ b). dst may alias a or b.
+func (ev *Evaluator) MulRelinInto(dst, a, b *Ciphertext) error {
+	tmp := ev.params.NewCiphertextUninit(2)
+	defer ev.params.RecycleCiphertext(tmp)
+	if err := ev.MulInto(tmp, a, b); err != nil {
+		return err
+	}
+	return ev.RelinearizeInto(dst, tmp)
 }
 
 // RotateRows rotates the batching rows left by k slots (right for
 // negative k) using the corresponding Galois key.
 func (ev *Evaluator) RotateRows(ct *Ciphertext, k int) (*Ciphertext, error) {
-	if err := ev.checkDegree("RotateRows", ct, 1); err != nil {
+	out := ev.params.NewCiphertextUninit(1)
+	if err := ev.RotateRowsInto(out, ct, k); err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// RotateRowsInto sets dst = ct rotated by k slots. dst may alias ct.
+func (ev *Evaluator) RotateRowsInto(dst, ct *Ciphertext, k int) error {
+	if err := ev.checkDegree("RotateRows", ct, 1); err != nil {
+		return err
 	}
 	r := ev.params.ringQ
 	g := r.GaloisElementForRotation(k)
 	if g == 1 {
-		return ev.params.CopyCiphertext(ct), nil
+		ev.copyCiphertextInto(dst, ct)
+		return nil
 	}
-	return ev.applyGalois(ct, g)
+	return ev.applyGaloisInto(dst, ct, g)
 }
 
 // RotateColumns swaps the two batching rows.
 func (ev *Evaluator) RotateColumns(ct *Ciphertext) (*Ciphertext, error) {
-	if err := ev.checkDegree("RotateColumns", ct, 1); err != nil {
+	out := ev.params.NewCiphertextUninit(1)
+	if err := ev.RotateColumnsInto(out, ct); err != nil {
 		return nil, err
 	}
-	return ev.applyGalois(ct, ev.params.ringQ.GaloisElementRowSwap())
+	return out, nil
 }
 
-func (ev *Evaluator) applyGalois(ct *Ciphertext, g uint64) (*Ciphertext, error) {
+// RotateColumnsInto sets dst = ct with its batching rows swapped. dst
+// may alias ct.
+func (ev *Evaluator) RotateColumnsInto(dst, ct *Ciphertext) error {
+	if err := ev.checkDegree("RotateColumns", ct, 1); err != nil {
+		return err
+	}
+	return ev.applyGaloisInto(dst, ct, ev.params.ringQ.GaloisElementRowSwap())
+}
+
+func (ev *Evaluator) applyGaloisInto(dst, ct *Ciphertext, g uint64) error {
 	if ev.gks == nil || !ev.gks.has(g) {
-		return nil, fmt.Errorf("bfv: no Galois key for element %d", g)
+		return fmt.Errorf("bfv: no Galois key for element %d", g)
 	}
 	r := ev.params.ringQ
-	c0g, c1g := r.NewPoly(), r.NewPoly()
+	c0g, c1g := r.GetPolyNoZero(), r.GetPolyNoZero()
 	r.Automorphism(c0g, ct.Value[0], g)
 	r.Automorphism(c1g, ct.Value[1], g)
 	f0, f1 := ev.keySwitch(c1g, ev.gks.keys[g])
-	out := ev.params.NewCiphertext(1)
-	r.Add(out.Value[0], c0g, f0)
-	r.CopyInto(out.Value[1], f1)
-	return out, nil
+	ev.resize(dst, 1)
+	r.Add(dst.Value[0], c0g, f0)
+	r.CopyInto(dst.Value[1], f1)
+	r.PutPoly(c0g)
+	r.PutPoly(c1g)
+	r.PutPoly(f0)
+	r.PutPoly(f1)
+	return nil
 }

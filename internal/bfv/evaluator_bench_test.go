@@ -1,0 +1,100 @@
+package bfv
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchRuntime builds keys and two fresh ciphertexts for a preset.
+func benchRuntime(b *testing.B, preset string) (*Evaluator, *Ciphertext, *Ciphertext) {
+	b.Helper()
+	params, err := NewParametersFromPreset(preset)
+	if err != nil {
+		b.Fatal(err)
+	}
+	kg := NewTestKeyGenerator(params, 1)
+	sk, err := kg.GenSecretKey()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pk, err := kg.GenPublicKey(sk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rlk, err := kg.GenRelinearizationKey(sk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gks, err := kg.GenGaloisKeys(sk, []int{1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc, err := NewEncoder(params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	encryptor := NewTestEncryptor(params, pk, 2)
+	rng := rand.New(rand.NewSource(3))
+	fresh := func() *Ciphertext {
+		vals := make([]uint64, enc.SlotCount())
+		for i := range vals {
+			vals[i] = rng.Uint64() % 64
+		}
+		pt, err := enc.EncodeNew(vals)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ct, err := encryptor.Encrypt(pt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return ct
+	}
+	return NewEvaluator(params, rlk, gks), fresh(), fresh()
+}
+
+// BenchmarkEvaluatorMul measures the ciphertext–ciphertext tensor
+// product (the pure-RNS hot path) per preset.
+func BenchmarkEvaluatorMul(b *testing.B) {
+	for _, preset := range []string{"PN4096", "PN8192"} {
+		b.Run(preset, func(b *testing.B) {
+			ev, x, y := benchRuntime(b, preset)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ev.Mul(x, y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEvaluatorMulRelin measures multiply + key switch.
+func BenchmarkEvaluatorMulRelin(b *testing.B) {
+	for _, preset := range []string{"PN4096", "PN8192"} {
+		b.Run(preset, func(b *testing.B) {
+			ev, x, y := benchRuntime(b, preset)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ev.MulRelin(x, y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEvaluatorRotate measures a slot rotation (key switch path).
+func BenchmarkEvaluatorRotate(b *testing.B) {
+	for _, preset := range []string{"PN4096", "PN8192"} {
+		b.Run(preset, func(b *testing.B) {
+			ev, x, _ := benchRuntime(b, preset)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ev.RotateRows(x, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -100,13 +100,16 @@ func (kg *KeyGenerator) genSwitchingKey(sk *SecretKey, sPrimeNtt *ring.Poly) (*s
 	r := kg.params.ringQ
 	k := len(r.Primes)
 	swk := &switchingKey{B: make([]*ring.Poly, k), A: make([]*ring.Poly, k)}
+	e := r.GetPolyNoZero()
+	piScaled := r.GetPolyNoZero()
+	defer r.PutPoly(e)
+	defer r.PutPoly(piScaled)
 	var qi, inv big.Int
 	for i, p := range r.Primes {
 		a := r.NewPoly()
 		if err := kg.sampler.Uniform(a); err != nil {
 			return nil, err
 		}
-		e := r.NewPoly()
 		if err := kg.sampler.Error(e); err != nil {
 			return nil, err
 		}
@@ -125,7 +128,6 @@ func (kg *KeyGenerator) genSwitchingKey(sk *SecretKey, sPrimeNtt *ring.Poly) (*s
 		}
 		inv.SetUint64(invU)
 		pi := new(big.Int).Mul(&qi, &inv)
-		piScaled := r.NewPoly()
 		r.MulScalarBig(piScaled, sPrimeNtt, pi)
 		r.Add(b, b, piScaled)
 		swk.B[i], swk.A[i] = b, a

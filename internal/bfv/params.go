@@ -31,9 +31,10 @@ type Parameters struct {
 
 	QPrimes []uint64 // RNS basis of the ciphertext modulus Q
 
-	ringQ   *ring.Ring // R_Q
-	ringExt *ring.Ring // extended basis for exact tensor products
-	extLen  int        // number of primes in the extended basis
+	ringQ    *ring.Ring          // R_Q
+	ringExt  *ring.Ring          // extended basis for exact tensor products
+	extLen   int                 // number of primes in the extended basis
+	extender *ring.BasisExtender // pure-RNS Q↔ext conversions for Mul
 
 	q       *big.Int // Q = ∏ QPrimes
 	delta   *big.Int // Δ = floor(Q/t)
@@ -112,45 +113,99 @@ func newParameters(n int, qPrimes []uint64) (*Parameters, error) {
 		p.deltaQi[i] = tmp.Uint64()
 	}
 
-	// Extended basis for exact tensor products: Q primes plus enough
-	// 52-bit auxiliary primes so that ∏ext > 4·N·Q² (margin over the
-	// N·Q²/2 bound on centered tensor coefficients).
+	// Extended basis for exact tensor products: Q primes plus auxiliary
+	// primes so that ∏ext > 2·N·Q² (2× margin over the N·Q²/2 bound on
+	// centered tensor coefficients). The extended basis is the hot
+	// path's working set, so keep it minimal: prefer the widest aux
+	// primes whose magnitude still lets the mixed-radix conversions use
+	// branch-free lazy Shoup accumulation (sums of up to K-1 products
+	// below 2p each must fit in a 64-bit word).
 	bound := new(big.Int).Mul(p.q, p.q)
-	bound.Mul(bound, big.NewInt(int64(4*n)))
-	auxNeed := 0
-	prod := new(big.Int).Set(p.q)
-	for prod.Cmp(bound) <= 0 {
-		auxNeed++
-		prod.Mul(prod, new(big.Int).Lsh(big.NewInt(1), 51))
-	}
-	aux, err := mathutil.GenerateNTTPrimes(52, n, auxNeed+2)
+	bound.Mul(bound, big.NewInt(int64(2*n)))
+	extPrimes, err := chooseExtBasis(n, qPrimes, bound)
 	if err != nil {
-		return nil, fmt.Errorf("bfv: generating auxiliary primes: %w", err)
-	}
-	extPrimes := append([]uint64(nil), qPrimes...)
-	inQ := make(map[uint64]bool, len(qPrimes))
-	for _, q := range qPrimes {
-		inQ[q] = true
-	}
-	added := 0
-	for _, a := range aux {
-		if added == auxNeed {
-			break
-		}
-		if !inQ[a] {
-			extPrimes = append(extPrimes, a)
-			added++
-		}
-	}
-	if added < auxNeed {
-		return nil, fmt.Errorf("bfv: could not assemble extended basis (%d/%d aux primes)", added, auxNeed)
+		return nil, err
 	}
 	p.ringExt, err = ring.NewRing(n, extPrimes)
 	if err != nil {
 		return nil, err
 	}
 	p.extLen = len(extPrimes)
+	p.extender, err = ring.NewBasisExtender(p.ringQ, p.ringExt, p.T)
+	if err != nil {
+		return nil, err
+	}
 	return p, nil
+}
+
+// SetWorkers bounds the per-operation parallelism of the underlying
+// rings (NTT/INTT, pointwise loops and base extension fan out across
+// up to w goroutines). w <= 1 means serial execution, the default.
+func (p *Parameters) SetWorkers(w int) {
+	p.ringQ.SetWorkers(w)
+	p.ringExt.SetWorkers(w)
+}
+
+// chooseExtBasis extends qPrimes with auxiliary NTT primes until the
+// product exceeds bound, trying aux bit-sizes from the word-arithmetic
+// maximum downward and returning the first (hence smallest-K) basis
+// whose largest prime keeps lazy Shoup sums overflow-free. If no
+// candidate satisfies the lazy condition, the first assembled basis
+// (widest primes, smallest K) is returned; the mixed-radix code then
+// falls back to modular sums, which is slower but still exact.
+func chooseExtBasis(n int, qPrimes []uint64, bound *big.Int) ([]uint64, error) {
+	inQ := make(map[uint64]bool, len(qPrimes))
+	maxQ := uint64(0)
+	for _, q := range qPrimes {
+		inQ[q] = true
+		if q > maxQ {
+			maxQ = q
+		}
+	}
+	var fallback []uint64
+	for bits := mathutil.MaxModulusBits; bits >= 45; bits-- {
+		// Generous candidate count; we stop once the product clears bound.
+		cand, err := mathutil.GenerateNTTPrimes(bits, n, len(qPrimes)+8)
+		if err != nil {
+			continue
+		}
+		ext := append([]uint64(nil), qPrimes...)
+		prod := new(big.Int)
+		prod.SetUint64(1)
+		for _, q := range qPrimes {
+			prod.Mul(prod, new(big.Int).SetUint64(q))
+		}
+		maxP := maxQ
+		for _, a := range cand {
+			if prod.Cmp(bound) > 0 {
+				break
+			}
+			if inQ[a] {
+				continue
+			}
+			ext = append(ext, a)
+			prod.Mul(prod, new(big.Int).SetUint64(a))
+			if a > maxP {
+				maxP = a
+			}
+		}
+		if prod.Cmp(bound) <= 0 {
+			continue // not enough primes at this size
+		}
+		if fallback == nil {
+			fallback = ext
+		}
+		// Lazy condition: (K-1) products < 2·maxP each must sum within
+		// 64 bits.
+		k := uint64(len(ext))
+		if k >= 2 && maxP <= ^uint64(0)/(2*(k-1)) {
+			return ext, nil
+		}
+	}
+	if fallback != nil {
+		return fallback, nil
+	}
+	return nil, fmt.Errorf("bfv: could not assemble extended basis for N=%d", n)
 }
 
 // RingQ returns the ciphertext ring R_Q.
@@ -197,20 +252,44 @@ type Ciphertext struct {
 // Degree returns len(Value) - 1.
 func (ct *Ciphertext) Degree() int { return len(ct.Value) - 1 }
 
-// NewCiphertext allocates a zero ciphertext of the given degree.
+// NewCiphertext returns a zero ciphertext of the given degree. Its
+// polynomials come from the ring buffer pool; pass ciphertexts that
+// are no longer needed to RecycleCiphertext to avoid allocation churn.
 func (p *Parameters) NewCiphertext(degree int) *Ciphertext {
 	v := make([]*ring.Poly, degree+1)
 	for i := range v {
-		v[i] = p.ringQ.NewPoly()
+		v[i] = p.ringQ.GetPoly()
 	}
 	return &Ciphertext{Value: v}
+}
+
+// NewCiphertextUninit is NewCiphertext without the zeroing pass: the
+// polynomials hold stale pool coefficients. Use only as the output of
+// an operation that overwrites every coefficient (all evaluator *Into
+// forms do) — never as an accumulator or a value read before written.
+func (p *Parameters) NewCiphertextUninit(degree int) *Ciphertext {
+	v := make([]*ring.Poly, degree+1)
+	for i := range v {
+		v[i] = p.ringQ.GetPolyNoZero()
+	}
+	return &Ciphertext{Value: v}
+}
+
+// RecycleCiphertext returns ct's polynomials to the ring buffer pool.
+// The caller must not use ct (or aliases of its polynomials) after.
+func (p *Parameters) RecycleCiphertext(ct *Ciphertext) {
+	for _, v := range ct.Value {
+		p.ringQ.PutPoly(v)
+	}
+	ct.Value = nil
 }
 
 // CopyCiphertext returns a deep copy of ct.
 func (p *Parameters) CopyCiphertext(ct *Ciphertext) *Ciphertext {
 	out := &Ciphertext{Value: make([]*ring.Poly, len(ct.Value))}
 	for i, v := range ct.Value {
-		out.Value[i] = p.ringQ.Copy(v)
+		out.Value[i] = p.ringQ.GetPolyNoZero()
+		p.ringQ.CopyInto(out.Value[i], v)
 	}
 	return out
 }

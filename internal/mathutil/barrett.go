@@ -1,0 +1,134 @@
+package mathutil
+
+import "math/bits"
+
+// Barrett holds the 128-bit Barrett constant floor(2^128 / p) for a
+// modulus p < 2^62, enabling division-free modular reduction of 64- and
+// 128-bit values. This is the layout SEAL stores in Modulus::const_ratio
+// and what the ring package keeps per RNS prime so the pointwise
+// polynomial loops never execute a hardware divide.
+type Barrett struct {
+	P  uint64 // the modulus
+	Hi uint64 // high word of floor(2^128 / p)
+	Lo uint64 // low word of floor(2^128 / p)
+}
+
+// NewBarrett precomputes the Barrett constant for p. Requires
+// 1 < p < 2^62 (the package-wide modulus bound).
+func NewBarrett(p uint64) Barrett {
+	// 2^128 = (q1·p + r1)·2^64 with q1 = floor(2^64/p), so
+	// floor(2^128/p) = q1·2^64 + floor(r1·2^64/p).
+	q1, r1 := bits.Div64(1, 0, p)
+	q0, _ := bits.Div64(r1, 0, p)
+	return Barrett{P: p, Hi: q1, Lo: q0}
+}
+
+// Reduce64 returns a mod p for an arbitrary 64-bit a.
+func (b Barrett) Reduce64(a uint64) uint64 {
+	// q = floor(a · floor(2^128/p) / 2^128), keeping only the words that
+	// reach bit 128 of the 192-bit product.
+	hi, lo := bits.Mul64(a, b.Hi)
+	cHi, _ := bits.Mul64(a, b.Lo)
+	_, c := bits.Add64(lo, cHi, 0)
+	q := hi + c
+	r := a - q*b.P
+	for r >= b.P {
+		r -= b.P
+	}
+	return r
+}
+
+// Reduce128 returns (hi·2^64 + lo) mod p. Requires hi < p so the input
+// is below p·2^64 (always true for products of two reduced operands).
+func (b Barrett) Reduce128(hi, lo uint64) uint64 {
+	// floor(z·c/2^128) for z = hi:lo and c = Hi:Lo, dropping the terms
+	// entirely below bit 128 (the same schedule as SEAL's
+	// barrett_reduce_128). The estimate is at most a few multiples of p
+	// short, fixed by the trailing conditional subtractions.
+	carry, _ := bits.Mul64(lo, b.Lo)
+	t2Hi, t2Lo := bits.Mul64(lo, b.Hi)
+	t1, c := bits.Add64(t2Lo, carry, 0)
+	t3 := t2Hi + c
+	t4Hi, t4Lo := bits.Mul64(hi, b.Lo)
+	_, c2 := bits.Add64(t1, t4Lo, 0)
+	q := hi*b.Hi + t3 + t4Hi + c2
+	r := lo - q*b.P
+	for r >= b.P {
+		r -= b.P
+	}
+	return r
+}
+
+// MulMod returns (x·y) mod p for x, y < p without a hardware divide.
+func (b Barrett) MulMod(x, y uint64) uint64 {
+	hi, lo := bits.Mul64(x, y)
+	return b.Reduce128(hi, lo)
+}
+
+// Divider performs exact 128-by-64 truncating division by a fixed
+// divisor without a hardware divide, using the Möller–Granlund
+// normalized-reciprocal algorithm. Used in carry-propagation chains
+// where both quotient and remainder are needed exactly.
+type Divider struct {
+	dn uint64 // divisor normalized (top bit set)
+	v  uint64 // reciprocal: floor((2^128-1)/dn) - 2^64
+	s  uint   // normalization shift
+}
+
+// NewDivider precomputes the normalized reciprocal of d ≥ 1.
+func NewDivider(d uint64) Divider {
+	s := uint(bits.LeadingZeros64(d))
+	dn := d << s
+	v, _ := bits.Div64(^dn, ^uint64(0), dn)
+	return Divider{dn: dn, v: v, s: s}
+}
+
+// DivRem128 returns the quotient and remainder of (hi·2^64 + lo) / d.
+// Requires the quotient to fit in 64 bits (hi < d).
+func (dv Divider) DivRem128(hi, lo uint64) (uint64, uint64) {
+	// Normalize. Go defines shifts ≥ 64 as zero, so s = 0 is handled.
+	u1 := hi<<dv.s | lo>>(64-dv.s)
+	u0 := lo << dv.s
+	q1, q0 := bits.Mul64(u1, dv.v)
+	var c uint64
+	q0, c = bits.Add64(q0, u0, 0)
+	q1, _ = bits.Add64(q1, u1, c)
+	q1++
+	r := u0 - q1*dv.dn
+	if r > q0 {
+		q1--
+		r += dv.dn
+	}
+	if r >= dv.dn {
+		q1++
+		r -= dv.dn
+	}
+	return q1, r >> dv.s
+}
+
+// ShoupPrecomp returns floor(w·2^64/p), the Shoup companion of a fixed
+// multiplicand w < p. See ShoupMul.
+func ShoupPrecomp(w, p uint64) uint64 {
+	quo, _ := bits.Div64(w, 0, p)
+	return quo
+}
+
+// ShoupMul returns (a·w) mod p given wS = ShoupPrecomp(w, p). The fixed
+// operand w must be < p; a may be any 64-bit value. Requires p < 2^63.
+func ShoupMul(a, w, wS, p uint64) uint64 {
+	q, _ := bits.Mul64(a, wS)
+	r := a*w - q*p
+	if r >= p {
+		r -= p
+	}
+	return r
+}
+
+// ShoupMulLazy is ShoupMul without the final conditional subtraction:
+// the result is only guaranteed to be < 2p (congruent to a·w mod p).
+// Used by the lazy-reduction (Harvey) NTT butterflies and by
+// accumulation loops that defer the reduction to the end.
+func ShoupMulLazy(a, w, wS, p uint64) uint64 {
+	q, _ := bits.Mul64(a, wS)
+	return a*w - q*p
+}

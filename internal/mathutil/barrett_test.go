@@ -1,0 +1,201 @@
+package mathutil
+
+import (
+	"math/big"
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+func testPrimes(t *testing.T) []uint64 {
+	t.Helper()
+	primes, err := GenerateNTTPrimes(40, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	more, err := GenerateNTTPrimes(52, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(primes, more...)
+}
+
+func TestBarrettMatchesDivision(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	moduli := []uint64{2, 3, 65537, uint64(1)<<61 - 1}
+	moduli = append(moduli, testPrimes(t)...)
+	for _, p := range moduli {
+		if p < 2 {
+			continue
+		}
+		bar := NewBarrett(p)
+		// Edge values plus random 64-bit values.
+		cases := []uint64{0, 1, p - 1, p, p + 1, 2*p - 1, ^uint64(0), ^uint64(0) - 1}
+		for i := 0; i < 2000; i++ {
+			cases = append(cases, rng.Uint64())
+		}
+		for _, a := range cases {
+			if got, want := bar.Reduce64(a), a%p; got != want {
+				t.Fatalf("Reduce64(%d) mod %d = %d, want %d", a, p, got, want)
+			}
+		}
+		// 128-bit reductions and products against MulMod.
+		for i := 0; i < 2000; i++ {
+			a, b := rng.Uint64()%p, rng.Uint64()%p
+			if got, want := bar.MulMod(a, b), MulMod(a, b, p); got != want {
+				t.Fatalf("Barrett MulMod(%d, %d) mod %d = %d, want %d", a, b, p, got, want)
+			}
+		}
+		// Boundary products.
+		for _, a := range []uint64{0, 1, p - 1} {
+			for _, b := range []uint64{0, 1, p - 1} {
+				if got, want := bar.MulMod(a, b), MulMod(a, b, p); got != want {
+					t.Fatalf("Barrett MulMod(%d, %d) mod %d = %d, want %d", a, b, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDividerMatchesHardwareDivide(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	divisors := append(testPrimes(t), 3, 65537, uint64(1)<<61-1, uint64(1)<<52)
+	for _, d := range divisors {
+		dv := NewDivider(d)
+		check := func(hi, lo uint64) {
+			t.Helper()
+			wantQ, wantR := bits.Div64(hi, lo, d)
+			gotQ, gotR := dv.DivRem128(hi, lo)
+			if gotQ != wantQ || gotR != wantR {
+				t.Fatalf("DivRem128(%d, %d) / %d = (%d, %d), want (%d, %d)", hi, lo, d, gotQ, gotR, wantQ, wantR)
+			}
+		}
+		check(0, 0)
+		check(0, d-1)
+		check(0, d)
+		check(0, ^uint64(0))
+		if d > 1 {
+			check(d-1, ^uint64(0)) // maximal dividend with quotient < 2^64
+		}
+		for i := 0; i < 2000; i++ {
+			hi := rng.Uint64() % d // quotient must fit in 64 bits
+			check(hi, rng.Uint64())
+		}
+	}
+}
+
+func TestShoupMulArbitraryCofactor(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, p := range testPrimes(t) {
+		for i := 0; i < 2000; i++ {
+			w := rng.Uint64() % p
+			wS := ShoupPrecomp(w, p)
+			a := rng.Uint64() // deliberately NOT reduced mod p
+			if got, want := ShoupMul(a, w, wS, p), MulMod(a%p, w, p); got != want {
+				t.Fatalf("ShoupMul(%d, %d) mod %d = %d, want %d", a, w, p, got, want)
+			}
+		}
+	}
+}
+
+func TestMRDecomposerRoundTrip(t *testing.T) {
+	primes := testPrimes(t)
+	dec, err := NewMRDecomposer(primes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crt, err := NewCRTReconstructor(primes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := crt.Modulus()
+
+	// W_i as big integers for reconstruction from digits.
+	w := make([]*big.Int, len(primes))
+	acc := big.NewInt(1)
+	for i, p := range primes {
+		w[i] = new(big.Int).Set(acc)
+		acc.Mul(acc, new(big.Int).SetUint64(p))
+	}
+
+	rng := rand.New(rand.NewSource(9))
+	check := func(x *big.Int) {
+		t.Helper()
+		res := make([]uint64, len(primes))
+		crt.Residues(x, res)
+		digits := make([]uint64, len(primes))
+		dec.Decompose(res, digits)
+		got := new(big.Int)
+		var term big.Int
+		for i, d := range digits {
+			if d >= primes[i] {
+				t.Fatalf("digit %d = %d exceeds prime %d", i, d, primes[i])
+			}
+			term.SetUint64(d)
+			term.Mul(&term, w[i])
+			got.Add(got, &term)
+		}
+		if got.Cmp(x) != 0 {
+			t.Fatalf("mixed-radix roundtrip: got %v, want %v", got, x)
+		}
+	}
+
+	// Edges: 0, 1, Q-1, Q/2 neighborhood.
+	half := new(big.Int).Rsh(q, 1)
+	for _, x := range []*big.Int{
+		big.NewInt(0), big.NewInt(1),
+		new(big.Int).Sub(q, big.NewInt(1)),
+		half, new(big.Int).Add(half, big.NewInt(1)), new(big.Int).Sub(half, big.NewInt(1)),
+	} {
+		check(x)
+	}
+	for i := 0; i < 200; i++ {
+		check(new(big.Int).Rand(rng, q))
+	}
+
+	// DigitsOfBig agrees with Decompose.
+	x := new(big.Int).Rand(rng, q)
+	res := make([]uint64, len(primes))
+	crt.Residues(x, res)
+	digits := make([]uint64, len(primes))
+	dec.Decompose(res, digits)
+	fromBig := dec.DigitsOfBig(x)
+	for i := range digits {
+		if digits[i] != fromBig[i] {
+			t.Fatalf("DigitsOfBig mismatch at %d: %d vs %d", i, fromBig[i], digits[i])
+		}
+	}
+}
+
+func TestMRGreaterMatchesBigCompare(t *testing.T) {
+	primes := testPrimes(t)
+	dec, err := NewMRDecomposer(primes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crt, err := NewCRTReconstructor(primes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := crt.Modulus()
+	half := new(big.Int).Rsh(q, 1)
+	halfDigits := dec.DigitsOfBig(half)
+
+	rng := rand.New(rand.NewSource(10))
+	xs := []*big.Int{
+		big.NewInt(0), big.NewInt(1), half,
+		new(big.Int).Add(half, big.NewInt(1)),
+		new(big.Int).Sub(half, big.NewInt(1)),
+		new(big.Int).Sub(q, big.NewInt(1)),
+	}
+	for i := 0; i < 500; i++ {
+		xs = append(xs, new(big.Int).Rand(rng, q))
+	}
+	for _, x := range xs {
+		got := MRGreater(dec.DigitsOfBig(x), halfDigits)
+		want := x.Cmp(half) > 0
+		if got != want {
+			t.Fatalf("MRGreater(%v, Q/2) = %v, want %v", x, got, want)
+		}
+	}
+}

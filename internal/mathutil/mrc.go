@@ -1,0 +1,147 @@
+package mathutil
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// MRDecomposer converts RNS residue vectors over a fixed prime basis
+// p_0..p_{K-1} into mixed-radix (Garner) digits
+//
+//	x = d_0 + d_1·W_1 + d_2·W_2 + ... + d_{K-1}·W_{K-1},  d_i < p_i,
+//
+// where W_i = p_0·p_1·...·p_{i-1} (W_0 = 1). Unlike the floating-point
+// base conversion in SEAL's BEHZ pipeline, mixed-radix conversion is
+// exact, uses only word-sized arithmetic, and supports ordering
+// comparisons (digit vectors compare lexicographically from the most
+// significant digit), which is what the ring.BasisExtender needs to
+// produce bit-identical results to big.Int CRT reconstruction.
+//
+// All hot-path multiplications use Shoup precomputation; the only
+// divisions happen at construction time.
+type MRDecomposer struct {
+	Primes []uint64
+
+	wMod  [][]uint64 // wMod[i][j]  = W_j mod p_i, j < i
+	wModS [][]uint64 // Shoup companions of wMod[i][j]
+	invW  []uint64   // invW[i]  = W_i^{-1} mod p_i
+	invWS []uint64   // Shoup companions of invW
+	bars  []Barrett  // per-prime Barrett constants
+
+	// lazy is true when K lazy Shoup products (each < 2p) fit in a
+	// 64-bit accumulator, enabling branch-free inner sums.
+	lazy bool
+}
+
+// NewMRDecomposer builds the Garner tables for the (pairwise coprime)
+// prime basis.
+func NewMRDecomposer(primes []uint64) (*MRDecomposer, error) {
+	if len(primes) == 0 {
+		return nil, fmt.Errorf("mathutil: empty prime basis")
+	}
+	k := len(primes)
+	d := &MRDecomposer{
+		Primes: append([]uint64(nil), primes...),
+		wMod:   make([][]uint64, k),
+		wModS:  make([][]uint64, k),
+		invW:   make([]uint64, k),
+		invWS:  make([]uint64, k),
+		bars:   make([]Barrett, k),
+	}
+	maxP := uint64(0)
+	for _, p := range primes {
+		if p > maxP {
+			maxP = p
+		}
+	}
+	// Inner sums accumulate at most k-1 lazy products, each < 2·maxP.
+	d.lazy = k < 2 || maxP <= ^uint64(0)/(2*uint64(k-1))
+	for i, p := range primes {
+		d.bars[i] = NewBarrett(p)
+		d.wMod[i] = make([]uint64, i)
+		d.wModS[i] = make([]uint64, i)
+		w := uint64(1) // W_j mod p_i, starting at W_0 = 1
+		for j := 0; j < i; j++ {
+			d.wMod[i][j] = w
+			d.wModS[i][j] = ShoupPrecomp(w, p)
+			w = MulMod(w, primes[j]%p, p)
+		}
+		inv, err := InvMod(w, p) // w = W_i mod p_i here
+		if err != nil {
+			return nil, fmt.Errorf("mathutil: basis primes not coprime: %w", err)
+		}
+		d.invW[i] = inv
+		d.invWS[i] = ShoupPrecomp(inv, p)
+	}
+	return d, nil
+}
+
+// Decompose writes the mixed-radix digits of the value represented by
+// res (res[i] = x mod p_i, x in [0, ∏p_i)) into digits. res and digits
+// may alias. Runs Garner's algorithm: O(K²) Shoup multiplications.
+func (d *MRDecomposer) Decompose(res, digits []uint64) {
+	digits[0] = res[0]
+	for i := 1; i < len(d.Primes); i++ {
+		p := d.Primes[i]
+		wm, ws := d.wMod[i], d.wModS[i]
+		// acc = (d_0·W_0 + ... + d_{i-1}·W_{i-1}) mod p_i. The digits are
+		// < p_j, not < p_i, but Shoup multiplication accepts any 64-bit
+		// cofactor. On the lazy path the un-reduced products (< 2p) are
+		// summed branch-free and reduced once at the end.
+		var acc uint64
+		if d.lazy {
+			for j := 0; j < i; j++ {
+				acc += ShoupMulLazy(digits[j], wm[j], ws[j], p)
+			}
+			acc = d.bars[i].Reduce64(acc)
+		} else {
+			for j := 0; j < i; j++ {
+				acc = AddMod(acc, ShoupMul(digits[j], wm[j], ws[j], p), p)
+			}
+		}
+		digits[i] = ShoupMul(SubMod(res[i], acc, p), d.invW[i], d.invWS[i], p)
+	}
+}
+
+// ComplementDigits replaces the mixed-radix digits of x (over the
+// decomposer's basis, x ≠ 0) with the digits of ∏p_i − x in place:
+// digit-wise complement plus one, with carry. O(K), no multiplications.
+func (d *MRDecomposer) ComplementDigits(digits []uint64) {
+	carry := uint64(1)
+	for i, p := range d.Primes {
+		v := p - 1 - digits[i] + carry
+		if v == p {
+			v, carry = 0, 1
+		} else {
+			carry = 0
+		}
+		digits[i] = v
+	}
+}
+
+// DigitsOfBig returns the mixed-radix digits of x mod ∏p_i (setup-time
+// helper, used to precompute comparison thresholds such as Q/2).
+func (d *MRDecomposer) DigitsOfBig(x *big.Int) []uint64 {
+	res := make([]uint64, len(d.Primes))
+	var tmp, pb big.Int
+	for i, p := range d.Primes {
+		pb.SetUint64(p)
+		tmp.Mod(x, &pb)
+		res[i] = tmp.Uint64()
+	}
+	digits := make([]uint64, len(d.Primes))
+	d.Decompose(res, digits)
+	return digits
+}
+
+// MRGreater reports whether the value with mixed-radix digits a exceeds
+// the value with digits b (both over the same basis): a lexicographic
+// comparison from the most significant digit.
+func MRGreater(a, b []uint64) bool {
+	for i := len(a) - 1; i >= 0; i-- {
+		if a[i] != b[i] {
+			return a[i] > b[i]
+		}
+	}
+	return false
+}

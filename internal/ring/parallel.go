@@ -1,0 +1,66 @@
+package ring
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// runParallel executes f(0..n-1) on up to workers goroutines pulled
+// from a transient worker pool, or inline when workers <= 1. Tasks are
+// claimed with an atomic counter so uneven task costs balance across
+// workers. The call returns only when every task has finished.
+func runParallel(workers, n int, f func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				f(int(i))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runParallelChunks splits the index range [0, n) into contiguous
+// chunks and runs f(lo, hi) for each, parallelized like runParallel.
+// Used by coefficient-wise passes (base extension, rescaling) whose
+// natural axis is the coefficient index rather than the prime index.
+func runParallelChunks(workers, n int, f func(lo, hi int)) {
+	if workers <= 1 || n < 2*minChunk {
+		f(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	if chunk < minChunk {
+		chunk = minChunk
+	}
+	tasks := (n + chunk - 1) / chunk
+	runParallel(workers, tasks, func(i int) {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		f(lo, hi)
+	})
+}
+
+// minChunk is the smallest per-task coefficient range worth dispatching
+// to a worker; below this the scheduling overhead dominates.
+const minChunk = 256

@@ -14,7 +14,7 @@ package ring
 import (
 	"fmt"
 	"math/big"
-	"math/bits"
+	"sync"
 
 	"porcupine/internal/mathutil"
 )
@@ -28,6 +28,23 @@ type Ring struct {
 
 	tables []*nttTable
 	crt    *mathutil.CRTReconstructor
+
+	// workers bounds the per-prime parallelism of transforms and
+	// pointwise loops (1 = serial). See SetWorkers.
+	workers int
+
+	// pool recycles *Poly scratch buffers (see GetPoly / PutPoly) to
+	// keep the evaluator hot path free of large allocations.
+	pool sync.Pool
+}
+
+// Options configures optional Ring behavior.
+type Options struct {
+	// Workers is the maximum number of goroutines used per ring
+	// operation (NTT/INTT and pointwise loops parallelize across the
+	// prime basis; base extension across coefficient chunks). Values
+	// <= 1 mean serial execution.
+	Workers int
 }
 
 // nttTable holds per-prime negacyclic NTT twiddle factors in
@@ -36,36 +53,32 @@ type Ring struct {
 // multiplications.
 type nttTable struct {
 	p         uint64
-	psiRev    []uint64 // powers of psi (2N-th root) in bit-reversed order
-	psiRevS   []uint64 // Shoup companions of psiRev
-	ipsiRev   []uint64 // powers of psi^-1 in bit-reversed order
-	ipsiRevS  []uint64 // Shoup companions of ipsiRev
-	nInv      uint64   // N^-1 mod p
+	bar       mathutil.Barrett // Barrett constant of p for variable×variable products
+	psiRev    []uint64         // powers of psi (2N-th root) in bit-reversed order
+	psiRevS   []uint64         // Shoup companions of psiRev
+	ipsiRev   []uint64         // powers of psi^-1 in bit-reversed order
+	ipsiRevS  []uint64         // Shoup companions of ipsiRev
+	nInv      uint64           // N^-1 mod p
 	nInvShoup uint64
 	psi       uint64
 }
 
 // shoupPrecomp returns floor(w * 2^64 / p). Requires w < p.
-func shoupPrecomp(w, p uint64) uint64 {
-	quo, _ := bits.Div64(w, 0, p)
-	return quo
-}
+func shoupPrecomp(w, p uint64) uint64 { return mathutil.ShoupPrecomp(w, p) }
 
 // shoupMul returns (a * w) mod p given wS = shoupPrecomp(w, p).
-// Requires p < 2^63.
-func shoupMul(a, w, wS, p uint64) uint64 {
-	q, _ := bits.Mul64(a, wS)
-	r := a*w - q*p
-	if r >= p {
-		r -= p
-	}
-	return r
-}
+// Requires w < p < 2^63; a may be any 64-bit value.
+func shoupMul(a, w, wS, p uint64) uint64 { return mathutil.ShoupMul(a, w, wS, p) }
 
 // NewRing constructs R_Q for the given degree and prime basis. The
 // degree must be a power of two and every prime must satisfy
-// p ≡ 1 (mod 2N).
+// p ≡ 1 (mod 2N). Operations run serially; see NewRingWithOptions.
 func NewRing(n int, primes []uint64) (*Ring, error) {
+	return NewRingWithOptions(n, primes, Options{})
+}
+
+// NewRingWithOptions is NewRing with explicit Options.
+func NewRingWithOptions(n int, primes []uint64, opts Options) (*Ring, error) {
 	logN, err := mathutil.Log2(n)
 	if err != nil {
 		return nil, fmt.Errorf("ring: %w", err)
@@ -73,7 +86,7 @@ func NewRing(n int, primes []uint64) (*Ring, error) {
 	if len(primes) == 0 {
 		return nil, fmt.Errorf("ring: empty prime basis")
 	}
-	r := &Ring{N: n, LogN: logN, Primes: append([]uint64(nil), primes...)}
+	r := &Ring{N: n, LogN: logN, Primes: append([]uint64(nil), primes...), workers: opts.Workers}
 	r.tables = make([]*nttTable, len(primes))
 	for i, p := range primes {
 		tbl, err := newNTTTable(n, logN, p)
@@ -90,6 +103,11 @@ func NewRing(n int, primes []uint64) (*Ring, error) {
 }
 
 func newNTTTable(n, logN int, p uint64) (*nttTable, error) {
+	if p >= uint64(1)<<62 {
+		// The lazy-reduction butterflies keep intermediates in [0, 4p),
+		// which must fit in a word.
+		return nil, fmt.Errorf("ring: modulus %d exceeds the 2^62 bound of the lazy-reduction NTT", p)
+	}
 	if !mathutil.IsPrime(p) {
 		return nil, fmt.Errorf("ring: modulus %d is not prime", p)
 	}
@@ -108,7 +126,7 @@ func newNTTTable(n, logN int, p uint64) (*nttTable, error) {
 	if err != nil {
 		return nil, err
 	}
-	tbl := &nttTable{p: p, nInv: nInv, nInvShoup: shoupPrecomp(nInv, p), psi: psi}
+	tbl := &nttTable{p: p, bar: mathutil.NewBarrett(p), nInv: nInv, nInvShoup: shoupPrecomp(nInv, p), psi: psi}
 	tbl.psiRev = make([]uint64, n)
 	tbl.psiRevS = make([]uint64, n)
 	tbl.ipsiRev = make([]uint64, n)
@@ -143,6 +161,52 @@ func (r *Ring) NewPoly() *Poly {
 		c[i], backing = backing[:r.N:r.N], backing[r.N:]
 	}
 	return &Poly{Coeffs: c}
+}
+
+// SetWorkers sets the maximum per-operation parallelism (see
+// Options.Workers). Safe to call between operations, not concurrently
+// with them.
+func (r *Ring) SetWorkers(w int) { r.workers = w }
+
+// Workers returns the configured per-operation parallelism bound.
+func (r *Ring) Workers() int { return r.workers }
+
+// forEachPrime runs f for every prime index, in parallel when the ring
+// was configured with Workers > 1.
+func (r *Ring) forEachPrime(f func(i int)) {
+	runParallel(r.workers, len(r.Primes), f)
+}
+
+// GetPoly returns a zeroed polynomial from the ring's buffer pool,
+// allocating one if the pool is empty. Return it with PutPoly when
+// done to avoid allocation churn on hot paths.
+func (r *Ring) GetPoly() *Poly {
+	if v := r.pool.Get(); v != nil {
+		p := v.(*Poly)
+		r.Zero(p)
+		return p
+	}
+	return r.NewPoly()
+}
+
+// GetPolyNoZero is GetPoly without the zeroing pass: the returned
+// polynomial holds arbitrary stale coefficients. Use only when every
+// coefficient is overwritten before being read (full transforms,
+// copies, base extensions) — never for accumulators.
+func (r *Ring) GetPolyNoZero() *Poly {
+	if v := r.pool.Get(); v != nil {
+		return v.(*Poly)
+	}
+	return r.NewPoly()
+}
+
+// PutPoly returns a polynomial obtained from this ring (NewPoly or
+// GetPoly) to the buffer pool. The caller must not use p afterwards.
+func (r *Ring) PutPoly(p *Poly) {
+	if p == nil || len(p.Coeffs) != len(r.Primes) || len(p.Coeffs[0]) != r.N {
+		return // not one of ours; let the GC have it
+	}
+	r.pool.Put(p)
 }
 
 // Copy returns a deep copy of p.
@@ -182,43 +246,50 @@ func (r *Ring) Equal(a, b *Poly) bool {
 
 // Add sets dst = a + b. dst may alias a or b.
 func (r *Ring) Add(dst, a, b *Poly) {
-	for i, p := range r.Primes {
+	r.forEachPrime(func(i int) {
+		p := r.Primes[i]
 		ai, bi, di := a.Coeffs[i], b.Coeffs[i], dst.Coeffs[i]
 		for j := range di {
 			di[j] = mathutil.AddMod(ai[j], bi[j], p)
 		}
-	}
+	})
 }
 
 // Sub sets dst = a - b. dst may alias a or b.
 func (r *Ring) Sub(dst, a, b *Poly) {
-	for i, p := range r.Primes {
+	r.forEachPrime(func(i int) {
+		p := r.Primes[i]
 		ai, bi, di := a.Coeffs[i], b.Coeffs[i], dst.Coeffs[i]
 		for j := range di {
 			di[j] = mathutil.SubMod(ai[j], bi[j], p)
 		}
-	}
+	})
 }
 
 // Neg sets dst = -a.
 func (r *Ring) Neg(dst, a *Poly) {
-	for i, p := range r.Primes {
+	r.forEachPrime(func(i int) {
+		p := r.Primes[i]
 		ai, di := a.Coeffs[i], dst.Coeffs[i]
 		for j := range di {
 			di[j] = mathutil.NegMod(ai[j], p)
 		}
-	}
+	})
 }
 
-// MulScalar sets dst = a * s for a word-sized scalar s.
+// MulScalar sets dst = a * s for a word-sized scalar s. The per-prime
+// scalar is fixed across the coefficient loop, so a Shoup constant
+// replaces the division-based MulMod.
 func (r *Ring) MulScalar(dst, a *Poly, s uint64) {
-	for i, p := range r.Primes {
-		sp := s % p
+	r.forEachPrime(func(i int) {
+		p := r.Primes[i]
+		sp := r.tables[i].bar.Reduce64(s)
+		spS := shoupPrecomp(sp, p)
 		ai, di := a.Coeffs[i], dst.Coeffs[i]
 		for j := range di {
-			di[j] = mathutil.MulMod(ai[j], sp, p)
+			di[j] = shoupMul(ai[j], sp, spS, p)
 		}
-	}
+	})
 }
 
 // MulScalarBig sets dst = a * s for an arbitrary-precision scalar s.
@@ -237,55 +308,89 @@ func (r *Ring) MulScalarBig(dst, a *Poly, s *big.Int) {
 
 // NTT transforms p in place, coefficient domain → evaluation domain.
 func (r *Ring) NTT(p *Poly) {
-	for i, tbl := range r.tables {
-		nttForward(p.Coeffs[i], tbl)
-	}
+	r.forEachPrime(func(i int) {
+		nttForward(p.Coeffs[i], r.tables[i])
+	})
 }
 
 // INTT transforms p in place, evaluation domain → coefficient domain.
 func (r *Ring) INTT(p *Poly) {
-	for i, tbl := range r.tables {
-		nttInverse(p.Coeffs[i], tbl)
-	}
+	r.forEachPrime(func(i int) {
+		nttInverse(p.Coeffs[i], r.tables[i])
+	})
 }
 
 // MulCoeffs sets dst = a ⊙ b where both operands are in the NTT domain
-// (pointwise product).
+// (pointwise product). Both factors vary per coefficient, so the
+// reduction uses the precomputed 128-bit Barrett constant instead of a
+// hardware divide.
 func (r *Ring) MulCoeffs(dst, a, b *Poly) {
-	for i, p := range r.Primes {
+	r.forEachPrime(func(i int) {
+		bar := r.tables[i].bar
 		ai, bi, di := a.Coeffs[i], b.Coeffs[i], dst.Coeffs[i]
 		for j := range di {
-			di[j] = mathutil.MulMod(ai[j], bi[j], p)
+			di[j] = bar.MulMod(ai[j], bi[j])
 		}
-	}
+	})
 }
 
 // MulCoeffsAndAdd sets dst += a ⊙ b in the NTT domain.
 func (r *Ring) MulCoeffsAndAdd(dst, a, b *Poly) {
-	for i, p := range r.Primes {
+	r.forEachPrime(func(i int) {
+		p := r.Primes[i]
+		bar := r.tables[i].bar
 		ai, bi, di := a.Coeffs[i], b.Coeffs[i], dst.Coeffs[i]
 		for j := range di {
-			di[j] = mathutil.AddMod(di[j], mathutil.MulMod(ai[j], bi[j], p), p)
+			di[j] = mathutil.AddMod(di[j], bar.MulMod(ai[j], bi[j]), p)
 		}
-	}
+	})
 }
 
 // MulPoly sets dst = a * b for operands in the coefficient domain,
 // leaving the result in the coefficient domain. a and b are not
 // modified; dst must not alias them.
 func (r *Ring) MulPoly(dst, a, b *Poly) {
-	ta := r.Copy(a)
-	tb := r.Copy(b)
+	ta := r.GetPolyNoZero()
+	tb := r.GetPolyNoZero()
+	r.CopyInto(ta, a)
+	r.CopyInto(tb, b)
 	r.NTT(ta)
 	r.NTT(tb)
 	r.MulCoeffs(dst, ta, tb)
 	r.INTT(dst)
+	r.PutPoly(ta)
+	r.PutPoly(tb)
 }
 
+// DigitLift writes into dst the "digit" polynomial used by RNS key
+// switching: every row l of dst holds row i of src reduced modulo p_l.
+// Reductions use per-prime Barrett constants (no hardware divides).
+func (r *Ring) DigitLift(dst, src *Poly, i int) {
+	from := src.Coeffs[i]
+	r.forEachPrime(func(l int) {
+		dl := dst.Coeffs[l]
+		if l == i {
+			copy(dl, from)
+			return
+		}
+		bar := r.tables[l].bar
+		for j, v := range from {
+			dl[j] = bar.Reduce64(v)
+		}
+	})
+}
+
+// BarrettAt returns the Barrett constant of prime i.
+func (r *Ring) BarrettAt(i int) mathutil.Barrett { return r.tables[i].bar }
+
 // nttForward is the Cooley-Tukey negacyclic forward NTT (Harvey's
-// bit-reversed twiddle layout, as in SEAL and Lattigo).
+// bit-reversed twiddle layout with lazy reduction, as in SEAL and
+// Lattigo): intermediate values live in [0, 4p) and only the final
+// pass normalizes into [0, p), removing two data-dependent branches
+// per butterfly. Requires p < 2^62.
 func nttForward(a []uint64, tbl *nttTable) {
 	p := tbl.p
+	twoP := 2 * p
 	n := len(a)
 	t := n
 	for m := 1; m < n; m <<= 1 {
@@ -295,18 +400,33 @@ func nttForward(a []uint64, tbl *nttTable) {
 			j2 := j1 + t
 			w, wS := tbl.psiRev[m+i], tbl.psiRevS[m+i]
 			for j := j1; j < j2; j++ {
-				u := a[j]
-				v := shoupMul(a[j+t], w, wS, p)
-				a[j] = mathutil.AddMod(u, v, p)
-				a[j+t] = mathutil.SubMod(u, v, p)
+				u := a[j] // < 4p
+				if u >= twoP {
+					u -= twoP
+				}
+				v := mathutil.ShoupMulLazy(a[j+t], w, wS, p) // < 2p
+				a[j] = u + v                                 // < 4p
+				a[j+t] = u + twoP - v                        // < 4p
 			}
 		}
 	}
+	for j, v := range a {
+		if v >= twoP {
+			v -= twoP
+		}
+		if v >= p {
+			v -= p
+		}
+		a[j] = v
+	}
 }
 
-// nttInverse is the Gentleman-Sande negacyclic inverse NTT.
+// nttInverse is the Gentleman-Sande negacyclic inverse NTT with lazy
+// reduction: intermediates stay in [0, 2p) and the final N^-1 scaling
+// lands exactly in [0, p).
 func nttInverse(a []uint64, tbl *nttTable) {
 	p := tbl.p
+	twoP := 2 * p
 	n := len(a)
 	t := 1
 	for m := n; m > 1; m >>= 1 {
@@ -316,10 +436,14 @@ func nttInverse(a []uint64, tbl *nttTable) {
 			j2 := j1 + t
 			w, wS := tbl.ipsiRev[h+i], tbl.ipsiRevS[h+i]
 			for j := j1; j < j2; j++ {
-				u := a[j]
+				u := a[j] // < 2p
 				v := a[j+t]
-				a[j] = mathutil.AddMod(u, v, p)
-				a[j+t] = shoupMul(mathutil.SubMod(u, v, p), w, wS, p)
+				uu := u + v // < 4p
+				if uu >= twoP {
+					uu -= twoP
+				}
+				a[j] = uu                                            // < 2p
+				a[j+t] = mathutil.ShoupMulLazy(u+twoP-v, w, wS, p) // < 2p
 			}
 			j1 += 2 * t
 		}
@@ -363,11 +487,7 @@ func (r *Ring) GaloisElementForRotation(k int) uint64 {
 	if k < 0 {
 		k += rowSize
 	}
-	g := uint64(1)
-	for i := 0; i < k; i++ {
-		g = (g * 3) % m
-	}
-	return g
+	return mathutil.PowMod(3, uint64(k), m)
 }
 
 // GaloisElementRowSwap returns the Galois element 2N-1 that swaps the
