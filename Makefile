@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-figure4 bench-ops
+.PHONY: all build vet test test-race test-short bench bench-figure4 bench-ops bench-synth
 
 all: vet build test-short
 
@@ -16,6 +16,12 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# Race detector over the concurrent pieces: the work-stealing search,
+# the batch scheduler, and the synthesis cache (mirrors the CI job;
+# drop -short for the full ~6-minute sweep when touching the search).
+test-race:
+	$(GO) test -race -short -timeout 10m ./internal/synth/... ./internal/quill/...
+
 # benchstat-friendly: 5 repetitions of every paper benchmark. Pipe two
 # runs through benchstat to compare changes:
 #   make bench > old.txt; ...change...; make bench > new.txt
@@ -30,3 +36,14 @@ bench-figure4:
 # Evaluator op-level microbenchmarks (Mul / MulRelin / Rotate).
 bench-ops:
 	$(GO) test -run '^$$' -bench BenchmarkEvaluator -benchtime 5x -count 5 -timeout 1200s ./internal/bfv/
+
+# Batch-compilation benchmark: cold (empty cache) then warm (fully
+# cached) build of the full 11-kernel suite through the shared
+# scheduler. Recorded before/after numbers live in BENCH_PR2.json;
+# methodology in EXPERIMENTS.md.
+bench-synth:
+	rm -rf /tmp/porcupine-bench-cache
+	@echo "--- cold build (empty cache) ---"
+	$(GO) run ./cmd/porcupine -build -cache-dir /tmp/porcupine-bench-cache -timeout 10m
+	@echo "--- warm build (persistent cache) ---"
+	$(GO) run ./cmd/porcupine -build -cache-dir /tmp/porcupine-bench-cache -timeout 10m

@@ -6,7 +6,15 @@
 // Usage:
 //
 //	porcupine -kernel gx [-seal] [-run] [-preset PN4096] [-timeout 5m] [-seed 1]
+//	porcupine -build [-kernels gx,gy,sobel] [-workers 4] [-cache-dir DIR | -no-cache]
 //	porcupine -list
+//
+// Batch mode (-build) compiles every registered kernel (or the
+// -kernels subset) through a shared work-stealing scheduler with a
+// global worker budget, streams per-kernel progress, and prints a
+// Table-3-style summary. Synthesized programs are recorded in a
+// persistent content-addressed cache, so a warm rebuild of the whole
+// suite returns in milliseconds.
 package main
 
 import (
@@ -14,6 +22,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"porcupine"
@@ -23,36 +33,98 @@ import (
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "porcupine:", err)
+		if _, ok := err.(usageError); ok {
+			flag.Usage()
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
 
+// usageError marks command-line mistakes: they print the usage text
+// and exit 2, like flag-parse failures do.
+type usageError string
+
+func (e usageError) Error() string { return string(e) }
+
 func run() error {
 	var (
-		kernel  = flag.String("kernel", "", "kernel to compile (see -list)")
-		list    = flag.Bool("list", false, "list available kernels")
-		seal    = flag.Bool("seal", false, "emit SEAL C++ for the synthesized kernel")
-		runIt   = flag.Bool("run", false, "execute on the BFV backend with a random input and check the result")
-		preset  = flag.String("preset", "PN4096", "BFV parameter preset for -run (PN2048, PN4096, PN8192)")
-		timeout = flag.Duration("timeout", 20*time.Minute, "synthesis time budget")
-		seed    = flag.Int64("seed", 1, "synthesis random seed")
-		quick   = flag.Bool("quick", false, "stop after the initial (component-minimal) solution")
-		infer   = flag.Bool("infer", false, "derive the sketch automatically from the specification instead of using the built-in one")
+		kernel   = flag.String("kernel", "", "kernel to compile (see -list)")
+		build    = flag.Bool("build", false, "batch-compile the kernel suite")
+		subset   = flag.String("kernels", "", "comma-separated subset for -build (default: all)")
+		workers  = flag.Int("workers", 0, "global synthesis worker budget for -build (default: GOMAXPROCS)")
+		cacheDir = flag.String("cache-dir", porcupine.DefaultCacheDir(), "persistent synthesis cache directory")
+		noCache  = flag.Bool("no-cache", false, "disable the persistent synthesis cache")
+		refresh  = flag.Bool("refresh", false, "re-synthesize cached kernels whose optimization previously timed out (Optimal=no), e.g. with a larger -timeout")
+		list     = flag.Bool("list", false, "list available kernels")
+		seal     = flag.Bool("seal", false, "emit SEAL C++ for the synthesized kernel")
+		runIt    = flag.Bool("run", false, "execute on the BFV backend with a random input and check the result")
+		preset   = flag.String("preset", "PN4096", "BFV parameter preset for -run (PN2048, PN4096, PN8192)")
+		timeout  = flag.Duration("timeout", 20*time.Minute, "synthesis time budget (per kernel in -build)")
+		seed     = flag.Int64("seed", 1, "synthesis random seed")
+		quick    = flag.Bool("quick", false, "stop after the initial (component-minimal) solution")
+		infer    = flag.Bool("infer", false, "derive the sketch automatically from the specification instead of using the built-in one")
 	)
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		return usageError(fmt.Sprintf("unexpected argument %q", flag.Arg(0)))
+	}
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if explicit["preset"] && !*runIt {
+		return usageError("-preset requires -run")
+	}
 	if *list {
 		for _, name := range porcupine.Kernels() {
 			fmt.Println(name)
 		}
 		return nil
 	}
-	if *kernel == "" {
-		flag.Usage()
-		return fmt.Errorf("no kernel given")
+	if *build && *kernel != "" {
+		return usageError("-build and -kernel are mutually exclusive")
+	}
+	if *build {
+		// Reject single-kernel flags that -build would silently ignore.
+		switch {
+		case *seal:
+			return usageError("-seal requires -kernel (batch mode does not emit code)")
+		case *runIt:
+			return usageError("-run requires -kernel (batch mode does not execute kernels)")
+		case *infer:
+			return usageError("-infer requires -kernel")
+		}
+	} else {
+		if *subset != "" {
+			return usageError("-kernels requires -build")
+		}
+		if *workers != 0 {
+			return usageError("-workers requires -build (single-kernel synthesis uses GOMAXPROCS)")
+		}
 	}
 
-	opts := porcupine.Options{Timeout: *timeout, Seed: *seed, SkipOptimize: *quick}
+	opts := porcupine.Options{Timeout: *timeout, Seed: *seed, SkipOptimize: *quick, RefreshNonOptimal: *refresh}
+	if *refresh && *noCache {
+		return usageError("-refresh requires the cache (drop -no-cache)")
+	}
+	if !*noCache {
+		cache, err := porcupine.OpenCache(*cacheDir)
+		if err != nil {
+			return err
+		}
+		opts.Cache = cache
+	}
+
+	if *build {
+		return runBuild(*subset, *workers, opts)
+	}
+	if *kernel == "" {
+		return usageError("no kernel given (use -kernel NAME, -build, or -list)")
+	}
+	if err := checkKernelNames(*kernel); err != nil {
+		return err
+	}
+
 	fmt.Printf("synthesizing %s ...\n", *kernel)
 	var compiled *porcupine.Compiled
 	var err error
@@ -66,9 +138,14 @@ func run() error {
 	}
 	if compiled.Result != nil {
 		r := compiled.Result
-		fmt.Printf("initial solution: L=%d cost=%.0f in %v\n", r.L, r.InitialCost, r.InitialTime.Round(time.Millisecond))
-		fmt.Printf("final solution:   cost=%.0f in %v (optimal within sketch: %v, %d examples)\n",
-			r.FinalCost, r.TotalTime.Round(time.Millisecond), r.Optimal, r.Examples)
+		if r.Cached {
+			fmt.Printf("cache hit: L=%d cost=%.0f (optimal within sketch: %v, %d examples)\n",
+				r.L, r.FinalCost, r.Optimal, r.Examples)
+		} else {
+			fmt.Printf("initial solution: L=%d cost=%.0f in %v\n", r.L, r.InitialCost, r.InitialTime.Round(time.Millisecond))
+			fmt.Printf("final solution:   cost=%.0f in %v (optimal within sketch: %v, %d examples)\n",
+				r.FinalCost, r.TotalTime.Round(time.Millisecond), r.Optimal, r.Examples)
+		}
 	}
 	fmt.Printf("\n%s\n", compiled.Lowered)
 	fmt.Printf("instructions=%d depth=%d multiplicative-depth=%d\n",
@@ -84,6 +161,131 @@ func run() error {
 
 	if *runIt {
 		return runOnBFV(compiled, *preset, *seed)
+	}
+	return nil
+}
+
+// checkKernelNames validates a comma-separated kernel list against the
+// registry, so typos fail fast with the list of valid names.
+func checkKernelNames(csv string) error {
+	known := porcupine.Kernels()
+	isKnown := map[string]bool{}
+	for _, n := range known {
+		isKnown[n] = true
+	}
+	var bad []string
+	for _, n := range splitKernels(csv) {
+		if !isKnown[n] {
+			bad = append(bad, n)
+		}
+	}
+	if len(bad) > 0 {
+		sort.Strings(bad)
+		return fmt.Errorf("unknown kernel(s) %s (known: %s)",
+			strings.Join(bad, ", "), strings.Join(known, ", "))
+	}
+	return nil
+}
+
+func splitKernels(csv string) []string {
+	var out []string
+	for _, n := range strings.Split(csv, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// runBuild batch-compiles the suite with streamed progress and a
+// Table-3-style summary, and exits nonzero if any kernel failed.
+func runBuild(subset string, workers int, opts porcupine.Options) error {
+	var names []string
+	if subset != "" {
+		if err := checkKernelNames(subset); err != nil {
+			return err
+		}
+		names = splitKernels(subset)
+	}
+	bo := porcupine.BuildOptions{
+		Opts:    opts,
+		Workers: workers,
+		Cache:   opts.Cache,
+		Progress: func(ev porcupine.BatchEvent) {
+			switch {
+			case ev.Kind == porcupine.JobStarted:
+				fmt.Printf("  %-22s synthesizing...\n", ev.Name)
+			case ev.Err != nil:
+				fmt.Printf("  %-22s FAILED: %v\n", ev.Name, ev.Err)
+			case ev.Result.Cached:
+				fmt.Printf("  %-22s cached  L=%d cost=%.0f (%v)\n",
+					ev.Name, ev.Result.L, ev.Result.FinalCost, ev.Wall.Round(time.Millisecond))
+			default:
+				fmt.Printf("  %-22s done    L=%d cost=%.0f (%v)\n",
+					ev.Name, ev.Result.L, ev.Result.FinalCost, ev.Wall.Round(time.Millisecond))
+			}
+		},
+	}
+	bo.Opts.Cache = nil // the scheduler passes bo.Cache down per job
+
+	if opts.Cache != nil && opts.Cache.Dir() != "" {
+		fmt.Printf("cache: %s\n", opts.Cache.Dir())
+	}
+	rep, err := porcupine.BuildSuite(names, bo)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\n%-22s %3s %7s %6s %9s %10s %9s %8s  %s\n",
+		"kernel", "L", "instrs", "depth", "examples", "cost", "optimal", "time", "source")
+	// Every kernel lands in exactly one bucket: synthesized cold,
+	// served from cache (synthesis or composition hits), composed
+	// cold, or failed.
+	synthesized, cached, composed, failedN := 0, 0, 0, 0
+	for _, n := range rep.Order {
+		ent := rep.Entries[n]
+		if ent.Err != nil {
+			failedN++
+			fmt.Printf("%-22s FAILED: %v\n", n, ent.Err)
+			continue
+		}
+		c := ent.Compiled
+		if c.Result != nil {
+			source := "synth"
+			if c.Result.Cached {
+				source = "cache"
+				cached++
+			} else {
+				synthesized++
+			}
+			if ent.DepOnly {
+				source += " (dep)"
+			}
+			opt := "no"
+			if c.Result.Optimal {
+				opt = "yes"
+			}
+			fmt.Printf("%-22s %3d %7d %6d %9d %10.0f %9s %8v  %s\n",
+				n, c.Result.L, c.Lowered.InstructionCount(), c.Lowered.MultDepth(),
+				c.Result.Examples, c.Result.FinalCost, opt,
+				ent.Wall.Round(time.Millisecond), source)
+		} else {
+			source := "compose"
+			if ent.FromCache {
+				source = "compose (cache)"
+				cached++
+			} else {
+				composed++
+			}
+			fmt.Printf("%-22s %3s %7d %6d %9s %10s %9s %8v  %s\n",
+				n, "-", c.Lowered.InstructionCount(), c.Lowered.MultDepth(),
+				"-", "-", "-", ent.Wall.Round(time.Millisecond), source)
+		}
+	}
+	fmt.Printf("\ntotal: %d kernels (%d synthesized, %d cached, %d composed, %d failed), wall %v\n",
+		len(rep.Order), synthesized, cached, composed, failedN, rep.Wall.Round(time.Millisecond))
+	if failed := rep.Failed(); len(failed) > 0 {
+		return fmt.Errorf("%d kernel(s) failed: %s", len(failed), strings.Join(failed, ", "))
 	}
 	return nil
 }
@@ -112,11 +314,7 @@ func compileInferred(name string, opts porcupine.Options) (*porcupine.Compiled, 
 func compileAny(name string, opts porcupine.Options) (*porcupine.Compiled, error) {
 	switch name {
 	case "sobel", "harris":
-		suite, err := compileSuiteFor(name, opts)
-		if err != nil {
-			return nil, err
-		}
-		return suite, nil
+		return compileSuiteFor(name, opts)
 	default:
 		return porcupine.CompileKernel(name, opts)
 	}
@@ -153,7 +351,7 @@ func compileSuiteFor(name string, opts porcupine.Options) (*porcupine.Compiled, 
 	if !ok {
 		return nil, fmt.Errorf("composed %s failed verification", name)
 	}
-	return &porcupine.Compiled{Name: name, Spec: spec, Lowered: lowered}, nil
+	return &porcupine.Compiled{Name: name, Spec: spec, Result: nil, Lowered: lowered}, nil
 }
 
 func runOnBFV(c *porcupine.Compiled, preset string, seed int64) error {

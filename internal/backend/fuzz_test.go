@@ -1,0 +1,180 @@
+package backend
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"porcupine/internal/bfv"
+	"porcupine/internal/quill"
+)
+
+// fuzzVecLen is the abstract vector length of fuzzed programs: the
+// full PN2048 HE row, so abstract circular rotation and BFV row
+// rotation have identical wrap semantics on every slot.
+const fuzzVecLen = 1024
+
+// fuzzRots is the rotation vocabulary of fuzzed programs (kept small
+// so each program needs at most a handful of Galois keys).
+var fuzzRots = []int{0, 1, -1, 2, -3, 5, 17, -64, 300, 511, -1000}
+
+// decodeProgram turns arbitrary fuzz bytes into a well-formed
+// local-rotate Quill program plus matching concrete inputs. The
+// decoder is total: every byte string yields a valid program. The
+// multiply budget is capped at two so PN2048's noise budget is never
+// exhausted, mirroring TestDifferentialInterpreterVsBFV.
+func decodeProgram(data []byte) (*quill.Program, []quill.Vec, []quill.Vec) {
+	pos := 0
+	next := func() byte {
+		if pos >= len(data) {
+			return 0
+		}
+		b := data[pos]
+		pos++
+		return b
+	}
+
+	p := &quill.Program{
+		VecLen:      fuzzVecLen,
+		NumCtInputs: 1 + int(next())%2,
+		NumPtInputs: int(next()) % 2,
+	}
+	nInstr := 1 + int(next())%4
+	muls := 0
+	nVals := p.NumCtInputs
+	for i := 0; i < nInstr; i++ {
+		pick := func() quill.CtRef {
+			return quill.CtRef{
+				ID:  int(next()) % nVals,
+				Rot: fuzzRots[int(next())%len(fuzzRots)],
+			}
+		}
+		var in quill.Instr
+		switch op := next() % 6; op {
+		case 0:
+			in = quill.Instr{Op: quill.OpAddCtCt, A: pick(), B: pick()}
+		case 1:
+			in = quill.Instr{Op: quill.OpSubCtCt, A: pick(), B: pick()}
+		case 2:
+			if muls >= 2 {
+				in = quill.Instr{Op: quill.OpAddCtCt, A: pick(), B: pick()}
+			} else {
+				muls++
+				in = quill.Instr{Op: quill.OpMulCtCt, A: pick(), B: pick()}
+			}
+		case 3:
+			if p.NumPtInputs > 0 && next()%2 == 0 {
+				in = quill.Instr{Op: quill.OpAddCtPt, A: pick(), P: quill.PtRef{Input: 0}}
+			} else {
+				in = quill.Instr{Op: quill.OpAddCtPt, A: pick(), P: quill.PtRef{Input: -1, Const: []int64{int64(next()%19) - 9}}}
+			}
+		case 4:
+			in = quill.Instr{Op: quill.OpSubCtPt, A: pick(), P: quill.PtRef{Input: -1, Const: []int64{int64(next()%19) - 9}}}
+		default:
+			// Small constants keep plaintext-multiply noise growth
+			// within the PN2048 budget.
+			if muls >= 2 {
+				in = quill.Instr{Op: quill.OpSubCtCt, A: pick(), B: pick()}
+			} else {
+				muls++
+				in = quill.Instr{Op: quill.OpMulCtPt, A: pick(), P: quill.PtRef{Input: -1, Const: []int64{int64(next()%9) - 4}}}
+			}
+		}
+		p.Instrs = append(p.Instrs, in)
+		nVals++
+	}
+	p.Output = nVals - 1
+
+	// Inputs: a PRNG seeded from the tail bytes, so input data is
+	// fuzz-controlled without consuming kilobytes of corpus.
+	var seedBytes [8]byte
+	for i := range seedBytes {
+		seedBytes[i] = next()
+	}
+	rng := rand.New(rand.NewSource(int64(binary.LittleEndian.Uint64(seedBytes[:]))))
+	ctIn := make([]quill.Vec, p.NumCtInputs)
+	for i := range ctIn {
+		ctIn[i] = randVec(rng, fuzzVecLen)
+	}
+	ptIn := make([]quill.Vec, p.NumPtInputs)
+	for i := range ptIn {
+		ptIn[i] = randVec(rng, fuzzVecLen)
+	}
+	return p, ctIn, ptIn
+}
+
+func randVec(rng *rand.Rand, n int) quill.Vec {
+	v := make(quill.Vec, n)
+	for i := range v {
+		v[i] = rng.Uint64() % quill.Modulus
+	}
+	return v
+}
+
+// FuzzQuillVsBFV is the differential fuzzer of the full compilation
+// stack: every fuzz input decodes to a well-formed local-rotate Quill
+// program, which must produce identical slot values through three
+// routes — the abstract interpreter on the local-rotate form, the
+// abstract interpreter on the lowered form, and encrypt → evaluate →
+// decrypt on the real BFV backend. The checked-in corpus under
+// testdata/fuzz covers every opcode, rotation wrap-around, plaintext
+// inputs, and the multiply/relinearization path.
+//
+// Run `go test -fuzz FuzzQuillVsBFV ./internal/backend` to explore
+// beyond the corpus.
+func FuzzQuillVsBFV(f *testing.F) {
+	if testing.Short() {
+		f.Skip("differential fuzzing decrypts on the BFV backend (slow)")
+	}
+	// Baseline seeds; the richer corpus is checked in under
+	// testdata/fuzz/FuzzQuillVsBFV.
+	f.Add([]byte{})
+	f.Add([]byte{1, 1, 3, 0, 5, 2, 1, 7, 2, 0, 2, 1, 4, 9, 9, 9, 9, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prog, ctIn, ptIn := decodeProgram(data)
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("decoder produced an invalid program: %v\n%s", err, prog)
+		}
+		want, err := quill.Run(prog, quill.ConcreteSem{}, ctIn, ptIn)
+		if err != nil {
+			t.Fatalf("interpreting local-rotate form: %v", err)
+		}
+		lowered, err := quill.Lower(prog, quill.DefaultLowerOptions())
+		if err != nil {
+			t.Fatalf("lowering: %v", err)
+		}
+		lw, err := quill.RunLowered(lowered, quill.ConcreteSem{}, ctIn, ptIn)
+		if err != nil {
+			t.Fatalf("interpreting lowered form: %v", err)
+		}
+		for i := range want {
+			if want[i] != lw[i] {
+				t.Fatalf("lowered interpretation diverges at slot %d: %d != %d\n%s", i, lw[i], want[i], prog)
+			}
+		}
+
+		rt, err := NewTestRuntime("PN2048", 7, lowered)
+		if err != nil {
+			t.Fatalf("building runtime: %v", err)
+		}
+		cts := make([]*bfv.Ciphertext, len(ctIn))
+		for i, v := range ctIn {
+			if cts[i], err = rt.EncryptVec(v); err != nil {
+				t.Fatalf("encrypting input %d: %v", i, err)
+			}
+		}
+		out, err := rt.Run(lowered, cts, ptIn)
+		if err != nil {
+			t.Fatalf("BFV execution: %v", err)
+		}
+		if b := rt.NoiseBudget(out); b <= 0 {
+			t.Fatalf("noise budget exhausted (%.0f bits)\n%s", b, prog)
+		}
+		got := rt.DecryptVec(out, fuzzVecLen)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("BFV diverges from interpreter at slot %d: %d != %d\n%s", i, got[i], want[i], prog)
+			}
+		}
+	})
+}

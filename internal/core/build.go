@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"porcupine/internal/kernels"
+	"porcupine/internal/quill"
+	"porcupine/internal/synth"
+)
+
+// BuildOptions configures a batch compilation of the kernel suite.
+type BuildOptions struct {
+	// Opts are the per-kernel synthesis options. Leave Opts.Parallelism
+	// at 0 to let the scheduler divide Workers among in-flight kernels;
+	// a positive value forces that worker count on every kernel,
+	// regardless of the global budget (CompileSuite relies on this).
+	Opts synth.Options
+	// Workers is the global worker budget shared by every kernel in
+	// the batch (default: GOMAXPROCS).
+	Workers int
+	// Cache, when set, serves warm results and records cold ones.
+	Cache *synth.Cache
+	// Progress, when set, receives synthesis events serially.
+	Progress func(synth.Event)
+	// FailFast stops launching new kernels after the first synthesis
+	// failure instead of compiling the rest of the batch.
+	FailFast bool
+}
+
+// BuildEntry is one kernel's outcome in a batch build.
+type BuildEntry struct {
+	Compiled *Compiled
+	Err      error
+	Wall     time.Duration
+	// FromCache marks kernels served from the persistent cache:
+	// synthesis hits (also visible as Result.Cached) and cached
+	// multi-step compositions.
+	FromCache bool
+	// DepOnly marks kernels compiled only as inputs of a requested
+	// multi-step kernel, not requested themselves.
+	DepOnly bool
+}
+
+// BuildReport is the outcome of a batch build: one entry per compiled
+// kernel (requested or dependency), in Table-3 order, plus the total
+// wall clock.
+type BuildReport struct {
+	Order   []string
+	Entries map[string]*BuildEntry
+	Wall    time.Duration
+}
+
+// Failed returns the names of kernels that failed to compile.
+func (r *BuildReport) Failed() []string {
+	var out []string
+	for _, n := range r.Order {
+		if r.Entries[n].Err != nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// BuildSuite batch-compiles the named kernels (nil = the full
+// 11-kernel suite) through a shared work-stealing scheduler. Direct
+// kernels are synthesized concurrently under the global worker budget;
+// multi-step kernels (sobel, harris) are composed from their
+// synthesized segments once those finish. Unknown kernel names fail
+// the whole call; individual synthesis failures are recorded per
+// entry and reported by BuildReport.Failed.
+func BuildSuite(names []string, bo BuildOptions) (*BuildReport, error) {
+	if names == nil {
+		names = AllKernels()
+	}
+	requested := map[string]bool{}
+	var order []string
+	for _, n := range names {
+		if kernels.ByName(n) == nil {
+			return nil, fmt.Errorf("core: unknown kernel %q (known: %v)", n, AllKernels())
+		}
+		if !requested[n] {
+			requested[n] = true
+			order = append(order, n)
+		}
+	}
+
+	// Multi-step kernels pull in their synthesized segments.
+	deps := map[string]bool{}
+	var multi []string
+	var direct []string
+	for _, n := range order {
+		switch n {
+		case "sobel", "harris":
+			multi = append(multi, n)
+			// Any multi-step kernel pulls in all three segment kernels,
+			// matching the historical CompileSuite contract.
+			deps["gx"], deps["gy"], deps["box-blur"] = true, true, true
+		default:
+			direct = append(direct, n)
+		}
+	}
+	inDirect := map[string]bool{}
+	for _, n := range direct {
+		inDirect[n] = true
+	}
+	for dep := range deps {
+		if !inDirect[dep] {
+			inDirect[dep] = true
+			direct = append(direct, dep)
+			order = append(order, dep)
+		}
+	}
+
+	start := time.Now()
+	jobs := make([]synth.Job, 0, len(direct))
+	for _, n := range direct {
+		sk, err := synth.DefaultSketch(n)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, synth.Job{Name: n, Spec: kernels.ByName(n), Sketch: sk, Opts: bo.Opts})
+	}
+	sched := &synth.Scheduler{Workers: bo.Workers, Cache: bo.Cache, Progress: bo.Progress, FailFast: bo.FailFast}
+	jres := sched.Run(jobs)
+
+	rep := &BuildReport{Entries: map[string]*BuildEntry{}}
+	for _, jr := range jres {
+		ent := &BuildEntry{Wall: jr.Wall, DepOnly: !requested[jr.Name], FromCache: jr.Result != nil && jr.Result.Cached}
+		if jr.Err != nil {
+			ent.Err = fmt.Errorf("core: synthesizing %s: %w", jr.Name, jr.Err)
+		} else {
+			spec := kernels.ByName(jr.Name)
+			ok, err := spec.CheckLowered(jr.Result.Lowered)
+			switch {
+			case err != nil:
+				ent.Err = err
+			case !ok:
+				ent.Err = fmt.Errorf("core: %s: lowered program failed final verification", jr.Name)
+			default:
+				ent.Compiled = &Compiled{Name: jr.Name, Spec: spec, Result: jr.Result, Lowered: jr.Result.Lowered}
+			}
+		}
+		rep.Entries[jr.Name] = ent
+	}
+
+	// Compose the multi-step kernels from their segments.
+	suite := &Suite{Kernels: map[string]*Compiled{}}
+	for n, ent := range rep.Entries {
+		if ent.Compiled != nil {
+			suite.Kernels[n] = ent.Compiled
+		}
+	}
+	for _, n := range multi {
+		mstart := time.Now()
+		ent := &BuildEntry{}
+		if missing := missingDeps(n, rep); len(missing) > 0 {
+			ent.Err = fmt.Errorf("core: %s: segment kernels failed: %v", n, missing)
+		} else {
+			spec := kernels.ByName(n)
+			segs := []*quill.Program{suite.Kernels["gx"].Result.Program, suite.Kernels["gy"].Result.Program}
+			if n == "harris" {
+				segs = append(segs, suite.Kernels["box-blur"].Result.Program)
+			}
+			// Composition itself is cheap; the symbolic verification of
+			// the large composed program is not. Cache the verified
+			// lowered program keyed by the (already verified) segment
+			// programs, so warm rebuilds skip both.
+			var key string
+			if bo.Cache != nil {
+				key = synth.ComposeKey(n, spec, segs...)
+				if l := bo.Cache.GetLowered(key); l != nil &&
+					l.VecLen == spec.VecLen && l.NumCtInputs == len(spec.Ct) && l.NumPtInputs == len(spec.Pt) {
+					ent.Compiled = &Compiled{Name: n, Spec: spec, Lowered: l}
+					ent.FromCache = true
+				}
+			}
+			if ent.Compiled == nil {
+				c, err := composeMulti(n, suite)
+				if err != nil {
+					ent.Err = err
+				} else {
+					ent.Compiled = c
+					if bo.Cache != nil {
+						// Best-effort, like synthesis entries: a failed
+						// cache write must not fail a verified kernel.
+						_ = bo.Cache.PutLowered(key, n, c.Lowered)
+					}
+				}
+			}
+		}
+		ent.Wall = time.Since(mstart)
+		rep.Entries[n] = ent
+	}
+
+	// Report in canonical Table-3 order, extras last.
+	canonical := AllKernels()
+	inOrder := map[string]bool{}
+	for _, n := range canonical {
+		if _, ok := rep.Entries[n]; ok {
+			rep.Order = append(rep.Order, n)
+			inOrder[n] = true
+		}
+	}
+	for _, n := range order {
+		if !inOrder[n] {
+			rep.Order = append(rep.Order, n)
+		}
+	}
+	rep.Wall = time.Since(start)
+	return rep, nil
+}
+
+func missingDeps(multi string, rep *BuildReport) []string {
+	deps := []string{"gx", "gy"}
+	if multi == "harris" {
+		deps = append(deps, "box-blur")
+	}
+	var missing []string
+	for _, d := range deps {
+		if ent, ok := rep.Entries[d]; !ok || ent.Compiled == nil {
+			missing = append(missing, d)
+		}
+	}
+	return missing
+}

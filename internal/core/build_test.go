@@ -1,0 +1,123 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"porcupine/internal/kernels"
+	"porcupine/internal/synth"
+)
+
+func buildOpts() synth.Options {
+	return synth.Options{Timeout: 2 * time.Minute, Seed: 1}
+}
+
+// TestBuildSuiteWarmRebuild checks the end-to-end batch pipeline: a
+// cold build populates the cache (synthesis entries and the composed
+// multi-step program), and a warm rebuild is served entirely from it —
+// including the composition — with identical artifacts.
+func TestBuildSuiteWarmRebuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds gx/gy/box-blur and composes sobel")
+	}
+	cache, err := synth.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bo := BuildOptions{Opts: buildOpts(), Workers: 2, Cache: cache}
+
+	cold, err := BuildSuite([]string{"sobel"}, bo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed := cold.Failed(); len(failed) > 0 {
+		t.Fatalf("cold build failures: %v", failed)
+	}
+	for _, n := range cold.Order {
+		if cold.Entries[n].FromCache {
+			t.Errorf("cold build served %s from cache", n)
+		}
+	}
+
+	warm, err := BuildSuite([]string{"sobel"}, bo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range warm.Order {
+		ent := warm.Entries[n]
+		if ent.Err != nil {
+			t.Fatalf("warm %s: %v", n, ent.Err)
+		}
+		if !ent.FromCache {
+			t.Errorf("warm build re-compiled %s", n)
+		}
+		if got, want := ent.Compiled.Lowered.String(), cold.Entries[n].Compiled.Lowered.String(); got != want {
+			t.Errorf("warm %s lowered program differs from cold build", n)
+		}
+	}
+	// The warm composed program must still implement the spec.
+	ok, err := kernels.ByName("sobel").CheckLowered(warm.Entries["sobel"].Compiled.Lowered)
+	if err != nil || !ok {
+		t.Fatalf("warm composed sobel fails verification (ok=%v err=%v)", ok, err)
+	}
+}
+
+// TestBuildSuiteCorruptComposeEntry checks that a tampered composed
+// entry fails its integrity checksum and the kernel is re-composed.
+func TestBuildSuiteCorruptComposeEntry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds gx/gy/box-blur and composes sobel")
+	}
+	dir := t.TempDir()
+	cache, err := synth.OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bo := BuildOptions{Opts: buildOpts(), Workers: 2, Cache: cache}
+	if _, err := BuildSuite([]string{"sobel"}, bo); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.lowered.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("want 1 composed cache file, got %v (err %v)", files, err)
+	}
+	raw, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip an instruction opcode inside the stored lowered text; the
+	// checksum no longer matches, so the entry must be dropped.
+	tampered := []byte(string(raw))
+	for i := range tampered {
+		if i+8 < len(tampered) && string(tampered[i:i+8]) == "add-ct-c" {
+			tampered[i] = 's'
+			break
+		}
+	}
+	if err := os.WriteFile(files[0], tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cache2, err := synth.OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bo.Cache = cache2
+	rep, err := BuildSuite([]string{"sobel"}, bo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ent := rep.Entries["sobel"]
+	if ent.Err != nil {
+		t.Fatal(ent.Err)
+	}
+	if ent.FromCache {
+		t.Fatal("tampered composed entry was served from cache")
+	}
+	ok, err := kernels.ByName("sobel").CheckLowered(ent.Compiled.Lowered)
+	if err != nil || !ok {
+		t.Fatalf("re-composed sobel fails verification (ok=%v err=%v)", ok, err)
+	}
+}

@@ -7,7 +7,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
 	"porcupine/internal/baseline"
@@ -69,52 +71,42 @@ type Suite struct {
 }
 
 // CompileSuite compiles the named kernels (nil = all nine direct
-// kernels plus sobel and harris). Multi-step kernels are composed from
-// the synthesized gx, gy and box-blur segments, which are compiled on
-// demand if not already requested.
+// kernels plus sobel and harris) one at a time. Multi-step kernels
+// are composed from the synthesized gx, gy and box-blur segments,
+// which are compiled on demand if not already requested. It is the
+// sequential facade over BuildSuite; batch callers wanting concurrency,
+// caching, or progress streaming should call BuildSuite directly.
 func CompileSuite(names []string, opts synth.Options) (*Suite, error) {
-	if names == nil {
-		names = AllKernels()
+	if opts.Parallelism <= 0 {
+		// One kernel at a time, each search using every core — the
+		// pre-batch behavior.
+		opts.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	// FailFast preserves the historical abort-on-first-error contract:
+	// a kernel that fails at minute one must not cost the caller the
+	// full per-kernel budget of every remaining kernel first.
+	rep, err := BuildSuite(names, BuildOptions{Opts: opts, Workers: 1, FailFast: true})
+	if err != nil {
+		return nil, err
 	}
 	s := &Suite{Kernels: map[string]*Compiled{}}
-	needMulti := false
-	for _, n := range names {
-		if n == "sobel" || n == "harris" {
-			needMulti = true
+	var firstErr error
+	for _, n := range rep.Order {
+		ent := rep.Entries[n]
+		if ent.Err != nil {
+			// Prefer the root failure over "not attempted" skip markers.
+			if !errors.Is(ent.Err, synth.ErrNotAttempted) {
+				return nil, ent.Err
+			}
+			if firstErr == nil {
+				firstErr = ent.Err
+			}
 			continue
 		}
-		c, err := CompileKernel(n, opts)
-		if err != nil {
-			return nil, err
-		}
-		s.Kernels[n] = c
+		s.Kernels[n] = ent.Compiled
 	}
-	if needMulti {
-		for _, dep := range []string{"gx", "gy", "box-blur"} {
-			if _, ok := s.Kernels[dep]; !ok {
-				c, err := CompileKernel(dep, opts)
-				if err != nil {
-					return nil, err
-				}
-				s.Kernels[dep] = c
-			}
-		}
-	}
-	for _, n := range names {
-		switch n {
-		case "sobel":
-			c, err := composeMulti(n, s)
-			if err != nil {
-				return nil, err
-			}
-			s.Kernels[n] = c
-		case "harris":
-			c, err := composeMulti(n, s)
-			if err != nil {
-				return nil, err
-			}
-			s.Kernels[n] = c
-		}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return s, nil
 }

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"porcupine/internal/synth"
+)
+
+var update = flag.Bool("update", false, "regenerate golden files")
+
+// goldenRow pins the synthesis outcome of one kernel: the number of
+// sketch components of the (component-minimal) solution and the
+// lowered instruction profile. L is 0 for composed multi-step kernels.
+type goldenRow struct {
+	L         int `json:"l"`
+	Instrs    int `json:"instrs"`
+	MultDepth int `json:"mult_depth"`
+}
+
+const goldenPath = "testdata/table3_golden.json"
+
+// TestGoldenTable3 synthesizes all 11 registered kernels under a fixed
+// seed with the deterministic single-worker search and asserts the
+// synthesized L and lowered instruction counts match the checked-in
+// golden values — the repository's Table-3 regression gate. Run with
+// -update to regenerate after an intentional engine change.
+func TestGoldenTable3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthesizes the full kernel suite")
+	}
+	rep, err := BuildSuite(nil, BuildOptions{
+		Opts: synth.Options{
+			Timeout:      10 * time.Minute,
+			Seed:         1,
+			Parallelism:  1, // fully deterministic search order
+			SkipOptimize: true,
+		},
+		Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]goldenRow{}
+	for _, n := range rep.Order {
+		ent := rep.Entries[n]
+		if ent.Err != nil {
+			t.Fatalf("%s: %v", n, ent.Err)
+		}
+		row := goldenRow{
+			Instrs:    ent.Compiled.Lowered.InstructionCount(),
+			MultDepth: ent.Compiled.Lowered.MultDepth(),
+		}
+		if ent.Compiled.Result != nil {
+			row.L = ent.Compiled.Result.L
+		}
+		got[n] = row
+	}
+	if len(got) != 11 {
+		t.Fatalf("suite compiled %d kernels, want 11", len(got))
+	}
+
+	if *update {
+		raw, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file updated: %s", goldenPath)
+		return
+	}
+
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	want := map[string]goldenRow{}
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	for n, w := range want {
+		g, ok := got[n]
+		if !ok {
+			t.Errorf("%s: missing from compiled suite", n)
+			continue
+		}
+		if g != w {
+			t.Errorf("%s: got L=%d instrs=%d multdepth=%d, want L=%d instrs=%d multdepth=%d",
+				n, g.L, g.Instrs, g.MultDepth, w.L, w.Instrs, w.MultDepth)
+		}
+	}
+	for n := range got {
+		if _, ok := want[n]; !ok {
+			t.Errorf("%s: compiled but absent from golden file (regenerate with -update)", n)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package kernels
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Fingerprint returns a stable content hash of the specification: the
+// vector length, every input layout, the cared output slots, and the
+// canonical per-slot output polynomials. Two specs with the same
+// fingerprint demand semantically identical kernels, so synthesis
+// results are interchangeable between them — this is the spec half of
+// the persistent synthesis-cache key.
+func (s *Spec) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "spec/v1\nvec=%d\n", s.VecLen)
+	for _, l := range s.Ct {
+		fmt.Fprintf(h, "ct=%v\n", l.SlotOf)
+	}
+	for _, l := range s.Pt {
+		fmt.Fprintf(h, "pt=%v\n", l.SlotOf)
+	}
+	fmt.Fprintf(h, "outslots=%v\n", s.OutSlots)
+	for _, p := range s.Out {
+		// Poly.String renders terms in sorted order, so it is canonical.
+		fmt.Fprintf(h, "out=%s\n", p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

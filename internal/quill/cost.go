@@ -1,5 +1,11 @@
 package quill
 
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
 // CostModel assigns a latency (in microseconds) to each lowered
 // instruction. The defaults below were profiled from the BFV backend
 // in internal/backend on the PN4096 preset (the same way the paper
@@ -23,6 +29,19 @@ func DefaultCostModel() *CostModel {
 		OpRotCt:   6200,
 		OpRelin:   6000,
 	}}
+}
+
+// Fingerprint returns a stable content hash of the latency table, in
+// opcode order, for use in synthesis-cache keys: a changed cost model
+// changes which program is optimal, so it must invalidate cached
+// synthesis results.
+func (cm *CostModel) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "costmodel/v1\n")
+	for op := OpAddCtCt; op <= OpRelin; op++ {
+		fmt.Fprintf(h, "%v=%g\n", op, cm.Latency[op])
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // InstrLatency returns the modeled latency of a lowered instruction.

@@ -1,0 +1,360 @@
+// Persistent, content-addressed synthesis cache. Synthesis is the
+// expensive phase of the pipeline (minutes per kernel in the paper's
+// Table 3), and its result is a pure function of the specification,
+// the sketch, the cost model, the search configuration, and the engine
+// version — so it is safe to memoize across processes. Entries are
+// stored one file per key, written atomically (temp file + rename), so
+// any number of concurrent writers and readers can share a cache
+// directory without locks. Hits are re-verified symbolically against
+// the specification before being returned, so a corrupted or stale
+// entry can never produce a wrong program — it is simply re-synthesized.
+package synth
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"porcupine/internal/kernels"
+	"porcupine/internal/quill"
+)
+
+// EngineVersion identifies the synthesis-engine generation in cache
+// keys. Bump it whenever a change to the search (pruning, ordering,
+// cost handling) can alter which program a given query returns.
+const EngineVersion = "2"
+
+// Cache memoizes verified synthesis results, in memory and optionally
+// on disk. The zero value is unusable; use NewMemCache or OpenCache.
+// All methods are safe for concurrent use.
+type Cache struct {
+	dir string // "" = memory-only
+
+	mu     sync.RWMutex
+	mem    map[string]*cacheEntry
+	lowmem map[string]*loweredEntry
+}
+
+// cacheEntry is the stored value: the verified programs plus the
+// Result metadata needed to reconstruct a Table-3 row.
+type cacheEntry struct {
+	Key            string         `json:"key"`
+	Engine         string         `json:"engine"`
+	Kernel         string         `json:"kernel"`
+	Program        *quill.Program `json:"program"`
+	InitialProgram *quill.Program `json:"initial_program"`
+	L              int            `json:"l"`
+	Examples       int            `json:"examples"`
+	InitialCost    float64        `json:"initial_cost"`
+	FinalCost      float64        `json:"final_cost"`
+	Optimal        bool           `json:"optimal"`
+	Nodes          int64          `json:"nodes"`
+	InitialMicros  int64          `json:"initial_micros"`
+	TotalMicros    int64          `json:"total_micros"`
+}
+
+// NewMemCache returns a process-local cache with no disk backing.
+func NewMemCache() *Cache {
+	return &Cache{mem: map[string]*cacheEntry{}, lowmem: map[string]*loweredEntry{}}
+}
+
+// OpenCache opens (creating if needed) a disk-backed cache directory.
+func OpenCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return NewMemCache(), nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("synth: opening cache: %w", err)
+	}
+	return &Cache{dir: dir, mem: map[string]*cacheEntry{}, lowmem: map[string]*loweredEntry{}}, nil
+}
+
+// DefaultCacheDir returns the per-user default cache location.
+func DefaultCacheDir() string {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return ".porcupine-cache"
+	}
+	return filepath.Join(base, "porcupine", "synth")
+}
+
+// Dir returns the backing directory ("" for memory-only caches).
+func (c *Cache) Dir() string { return c.dir }
+
+// get returns the entry for key, consulting memory first, then disk.
+func (c *Cache) get(key string) (*cacheEntry, bool) {
+	c.mu.RLock()
+	ent, ok := c.mem[key]
+	c.mu.RUnlock()
+	if ok {
+		return ent, true
+	}
+	if c.dir == "" {
+		return nil, false
+	}
+	raw, err := os.ReadFile(c.entryPath(key))
+	if err != nil {
+		return nil, false
+	}
+	ent = &cacheEntry{}
+	if err := json.Unmarshal(raw, ent); err != nil || ent.Key != key || ent.Engine != EngineVersion {
+		return nil, false
+	}
+	c.mu.Lock()
+	c.mem[key] = ent
+	c.mu.Unlock()
+	return ent, true
+}
+
+// put stores an entry in memory and, for disk-backed caches, durably
+// on disk via an atomic rename, so concurrent writers of the same key
+// each leave a complete, valid file.
+func (c *Cache) put(ent *cacheEntry) error {
+	c.mu.Lock()
+	c.mem[ent.Key] = ent
+	c.mu.Unlock()
+	if c.dir == "" {
+		return nil
+	}
+	raw, err := json.MarshalIndent(ent, "", "  ")
+	if err != nil {
+		return err
+	}
+	return c.writeAtomic(ent.Key+".json", raw)
+}
+
+// writeAtomic durably writes a cache file via temp file + rename, so
+// concurrent writers of the same name each leave a complete, valid
+// file and readers never observe a partial write.
+func (c *Cache) writeAtomic(name string, raw []byte) error {
+	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(c.dir, name)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// drop removes a key (used when a stored entry fails re-verification).
+func (c *Cache) drop(key string) {
+	c.mu.Lock()
+	delete(c.mem, key)
+	c.mu.Unlock()
+	if c.dir != "" {
+		os.Remove(c.entryPath(key))
+	}
+}
+
+// Len returns the number of entries resident in memory.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.mem)
+}
+
+func (c *Cache) entryPath(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// loweredEntry stores a composed (multi-step) kernel: the lowered
+// instruction stream in its canonical textual form plus an integrity
+// checksum. Unlike synthesis entries, hits are not re-verified
+// symbolically — the whole point of caching composition is skipping
+// the expensive symbolic check of large composed programs — so the
+// key embeds the already-verified segment programs and the engine
+// version, and the checksum guards against on-disk corruption.
+type loweredEntry struct {
+	Key     string `json:"key"`
+	Engine  string `json:"engine"`
+	Kernel  string `json:"kernel"`
+	Lowered string `json:"lowered"`
+	Sum     string `json:"sum"`
+}
+
+const loweredSuffix = ".lowered.json"
+
+// ComposeKey derives the content address of a multi-step composition:
+// the target kernel's spec, the verified segment programs it is
+// stitched from, and the engine version.
+func ComposeKey(kernel string, spec *kernels.Spec, segments ...*quill.Program) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "compose/v1\nengine=%s\nkernel=%s\nspec=%s\n", EngineVersion, kernel, spec.Fingerprint())
+	for _, p := range segments {
+		fmt.Fprintf(h, "segment=%s\n", p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// GetLowered returns the cached composed program for key, or nil.
+func (c *Cache) GetLowered(key string) *quill.Lowered {
+	c.mu.RLock()
+	ent, ok := c.lowmem[key]
+	c.mu.RUnlock()
+	if !ok {
+		if c.dir == "" {
+			return nil
+		}
+		raw, err := os.ReadFile(filepath.Join(c.dir, key+loweredSuffix))
+		if err != nil {
+			return nil
+		}
+		ent = &loweredEntry{}
+		if err := json.Unmarshal(raw, ent); err != nil || ent.Key != key || ent.Engine != EngineVersion {
+			return nil
+		}
+	}
+	if ent.Sum != textSum(ent.Lowered) {
+		c.dropLowered(key)
+		return nil
+	}
+	l, err := quill.ParseLowered(ent.Lowered)
+	if err != nil || l.Validate() != nil {
+		c.dropLowered(key)
+		return nil
+	}
+	c.mu.Lock()
+	c.lowmem[key] = ent
+	c.mu.Unlock()
+	return l
+}
+
+// PutLowered stores a verified composed program under key.
+func (c *Cache) PutLowered(key, kernel string, l *quill.Lowered) error {
+	text := l.String()
+	ent := &loweredEntry{Key: key, Engine: EngineVersion, Kernel: kernel, Lowered: text, Sum: textSum(text)}
+	c.mu.Lock()
+	c.lowmem[key] = ent
+	c.mu.Unlock()
+	if c.dir == "" {
+		return nil
+	}
+	raw, err := json.MarshalIndent(ent, "", "  ")
+	if err != nil {
+		return err
+	}
+	return c.writeAtomic(key+loweredSuffix, raw)
+}
+
+func (c *Cache) dropLowered(key string) {
+	c.mu.Lock()
+	delete(c.lowmem, key)
+	c.mu.Unlock()
+	if c.dir != "" {
+		os.Remove(filepath.Join(c.dir, key+loweredSuffix))
+	}
+}
+
+func textSum(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+// cacheKey derives the content address of one synthesis query: the
+// semantic identity of the spec, the full sketch shape, the cost
+// model, every option that can change the synthesized program, and the
+// engine version. Timeout and Parallelism are deliberately excluded —
+// they affect how long the search runs, not which query it answers; a
+// hit may therefore carry Optimal == false if the producing run timed
+// out mid-optimization.
+func cacheKey(spec *kernels.Spec, sk *Sketch, opts *Options) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "synth/v1\nengine=%s\nspec=%s\ncost=%s\n",
+		EngineVersion, spec.Fingerprint(), opts.CostModel.Fingerprint())
+	for _, comp := range sk.Components {
+		fmt.Fprintf(h, "comp=%v/%d/%d/%d/%v\n", comp.Op, comp.A, comp.B, comp.P.Input, comp.P.Const)
+	}
+	fmt.Fprintf(h, "rot=%v\nL=[%d,%d]\n", sk.Rotations, sk.MinL, sk.MaxL)
+	fmt.Fprintf(h, "seed=%d\nexamples=%d\nexplicit=%v\nskipopt=%v\n",
+		opts.Seed, opts.InitialExamples, opts.ExplicitRotation, opts.SkipOptimize)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// lookup returns a verified Result for the query, or nil on a miss.
+// The cached program is re-checked symbolically against the spec and
+// re-lowered; entries that fail are dropped and re-synthesized.
+func (c *Cache) lookup(spec *kernels.Spec, key string) *Result {
+	ent, ok := c.get(key)
+	if !ok {
+		return nil
+	}
+	res, err := ent.toResult(spec)
+	if err != nil {
+		c.drop(key)
+		return nil
+	}
+	return res
+}
+
+// store saves a freshly synthesized result under key.
+func (c *Cache) store(kernel, key string, res *Result) error {
+	return c.put(&cacheEntry{
+		Key:            key,
+		Engine:         EngineVersion,
+		Kernel:         kernel,
+		Program:        res.Program,
+		InitialProgram: res.InitialProgram,
+		L:              res.L,
+		Examples:       res.Examples,
+		InitialCost:    res.InitialCost,
+		FinalCost:      res.FinalCost,
+		Optimal:        res.Optimal,
+		Nodes:          res.Nodes,
+		InitialMicros:  res.InitialTime.Microseconds(),
+		TotalMicros:    res.TotalTime.Microseconds(),
+	})
+}
+
+// toResult rebuilds a Result from a stored entry, verifying the
+// program against the spec it is being requested for.
+func (ent *cacheEntry) toResult(spec *kernels.Spec) (*Result, error) {
+	if ent.Program == nil {
+		return nil, fmt.Errorf("synth: cache entry has no program")
+	}
+	if err := ent.Program.Validate(); err != nil {
+		return nil, err
+	}
+	ok, err := spec.CheckProgram(ent.Program)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("synth: cached program fails verification against spec")
+	}
+	lowered, err := quill.Lower(ent.Program, quill.DefaultLowerOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Program:        ent.Program,
+		Lowered:        lowered,
+		InitialProgram: ent.InitialProgram,
+		L:              ent.L,
+		Examples:       ent.Examples,
+		InitialCost:    ent.InitialCost,
+		FinalCost:      ent.FinalCost,
+		// The producing run's timings, so Table-3 reporting over a
+		// warm cache still shows what synthesis cost.
+		InitialTime: time.Duration(ent.InitialMicros) * time.Microsecond,
+		TotalTime:   time.Duration(ent.TotalMicros) * time.Microsecond,
+		Optimal:     ent.Optimal,
+		Nodes:       ent.Nodes,
+		Cached:      true,
+	}, nil
+}

@@ -1,0 +1,278 @@
+package synth
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"porcupine/internal/kernels"
+	"porcupine/internal/quill"
+)
+
+func cacheTestOpts() Options {
+	return Options{Timeout: 2 * time.Minute, Seed: 1, Parallelism: 1}
+}
+
+// TestCacheRoundTrip checks that a cold synthesis populates the disk
+// cache and a warm lookup returns an equivalent, verified result —
+// including across a fresh Cache handle, as a new process would see.
+func TestCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := cacheTestOpts()
+	opts.Cache = cache
+
+	cold, err := SynthesizeKernel("box-blur", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cached {
+		t.Fatal("first synthesis reported a cache hit")
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("want 1 cache file, got %v (err %v)", files, err)
+	}
+
+	// Same handle.
+	warm, err := SynthesizeKernel("box-blur", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Cached {
+		t.Fatal("second synthesis missed the cache")
+	}
+	// Fresh handle over the same directory (cross-process warm start).
+	cache2, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Cache = cache2
+	warm2, err := SynthesizeKernel("box-blur", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm2.Cached {
+		t.Fatal("fresh cache handle missed the on-disk entry")
+	}
+	for _, w := range []*Result{warm, warm2} {
+		if w.L != cold.L || w.FinalCost != cold.FinalCost || w.Optimal != cold.Optimal {
+			t.Errorf("cached result diverges: got L=%d cost=%g optimal=%v, want L=%d cost=%g optimal=%v",
+				w.L, w.FinalCost, w.Optimal, cold.L, cold.FinalCost, cold.Optimal)
+		}
+		if w.Program.String() != cold.Program.String() {
+			t.Error("cached program differs from synthesized program")
+		}
+	}
+}
+
+// TestCacheKeySensitivity checks that every input that can change the
+// synthesized program changes the cache key.
+func TestCacheKeySensitivity(t *testing.T) {
+	spec := kernels.ByName("box-blur")
+	sk, err := DefaultSketch("box-blur")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := cacheTestOpts()
+	base.CostModel = nil
+	// cacheKey requires a concrete cost model, as Synthesize installs.
+	withCM := func(o Options) *Options {
+		if o.CostModel == nil {
+			o.CostModel = defaultCM()
+		}
+		return &o
+	}
+	key0 := cacheKey(spec, sk, withCM(base))
+
+	seed := base
+	seed.Seed = 2
+	if cacheKey(spec, sk, withCM(seed)) == key0 {
+		t.Error("seed change did not change the cache key")
+	}
+	skip := base
+	skip.SkipOptimize = true
+	if cacheKey(spec, sk, withCM(skip)) == key0 {
+		t.Error("SkipOptimize change did not change the cache key")
+	}
+	cm := base
+	cm.CostModel = defaultCM()
+	cm.CostModel.Latency[quill.OpMulCtCt]++
+	if cacheKey(spec, sk, &cm) == key0 {
+		t.Error("cost-model change did not change the cache key")
+	}
+	sk2 := *sk
+	sk2.MaxL++
+	if cacheKey(spec, &sk2, withCM(base)) == key0 {
+		t.Error("sketch change did not change the cache key")
+	}
+	if cacheKey(kernels.ByName("gx"), sk, withCM(base)) == key0 {
+		t.Error("spec change did not change the cache key")
+	}
+	// Timeout and Parallelism answer the same query: same key.
+	tmo := base
+	tmo.Timeout = time.Hour
+	tmo.Parallelism = 7
+	if cacheKey(spec, sk, withCM(tmo)) != key0 {
+		t.Error("timeout/parallelism changed the cache key; warm rebuilds would miss")
+	}
+}
+
+// TestCacheRejectsCorruptEntry checks that a tampered entry fails
+// re-verification, is dropped, and the kernel is re-synthesized.
+func TestCacheRejectsCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := cacheTestOpts()
+	opts.Cache = cache
+	if _, err := SynthesizeKernel("box-blur", opts); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(files) != 1 {
+		t.Fatalf("want 1 cache file, got %d", len(files))
+	}
+
+	// Tamper: point the cached program's output at an input, which
+	// still validates structurally but computes the wrong function.
+	raw, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ent cacheEntry
+	if err := json.Unmarshal(raw, &ent); err != nil {
+		t.Fatal(err)
+	}
+	ent.Program.Output = 0
+	tampered, err := json.Marshal(&ent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(files[0], tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cache2, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Cache = cache2
+	res, err := SynthesizeKernel("box-blur", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached {
+		t.Fatal("corrupt cache entry was served")
+	}
+	if ok, err := kernels.ByName("box-blur").CheckProgram(res.Program); err != nil || !ok {
+		t.Fatalf("re-synthesized program invalid: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestCacheRefreshNonOptimal checks the escape hatch for hits whose
+// producing run timed out mid-optimization: by default the
+// non-optimal entry is served, with RefreshNonOptimal the kernel is
+// re-synthesized and the upgraded entry replaces it.
+func TestCacheRefreshNonOptimal(t *testing.T) {
+	cache := NewMemCache()
+	opts := cacheTestOpts()
+	opts.Cache = cache
+	if _, err := SynthesizeKernel("box-blur", opts); err != nil {
+		t.Fatal(err)
+	}
+	// Demote the stored entry to what a timed-out run would leave.
+	cache.mu.Lock()
+	for _, ent := range cache.mem {
+		ent.Optimal = false
+	}
+	cache.mu.Unlock()
+
+	res, err := SynthesizeKernel("box-blur", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cached || res.Optimal {
+		t.Fatalf("default lookup should serve the non-optimal hit (cached=%v optimal=%v)", res.Cached, res.Optimal)
+	}
+
+	opts.RefreshNonOptimal = true
+	res, err = SynthesizeKernel("box-blur", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached {
+		t.Fatal("RefreshNonOptimal served the stale non-optimal hit")
+	}
+	if !res.Optimal {
+		t.Fatal("refresh did not prove optimality")
+	}
+
+	// The upgraded entry is now served even with refresh requested.
+	res, err = SynthesizeKernel("box-blur", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cached || !res.Optimal {
+		t.Fatalf("upgraded entry not served (cached=%v optimal=%v)", res.Cached, res.Optimal)
+	}
+}
+
+// TestCacheConcurrentWriters hammers one disk cache with concurrent
+// Synthesize calls for several distinct queries — the scenario of a
+// batch build racing many kernels into a shared cache. Run under
+// -race in CI.
+func TestCacheConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"box-blur", "dot-product", "linear-regression", "polynomial-regression"}
+	const rounds = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, len(names)*rounds)
+	for r := 0; r < rounds; r++ {
+		for _, name := range names {
+			wg.Add(1)
+			go func(name string) {
+				defer wg.Done()
+				opts := cacheTestOpts()
+				opts.Cache = cache
+				res, err := SynthesizeKernel(name, opts)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if ok, err := kernels.ByName(name).CheckProgram(res.Program); err != nil || !ok {
+					errs <- err
+				}
+			}(name)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// Every query landed exactly one entry.
+	files, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(files) != len(names) {
+		t.Errorf("want %d cache files, got %d", len(names), len(files))
+	}
+	// No temp files leaked.
+	tmps, _ := filepath.Glob(filepath.Join(dir, ".tmp-*"))
+	if len(tmps) != 0 {
+		t.Errorf("leaked temp files: %v", tmps)
+	}
+}
+
+func defaultCM() *quill.CostModel { return quill.DefaultCostModel() }

@@ -49,12 +49,33 @@ type Options struct {
 	// level); 0 means the default of 4M. When full, search continues
 	// without recording (correct, just slower).
 	MaxVisited int
-	// Parallelism is the number of worker goroutines exploring
-	// top-level search branches (default: GOMAXPROCS). With more than
-	// one worker, which of several equally valid solutions is found
-	// first is scheduling-dependent; set 1 for fully deterministic
-	// runs. Optimality proofs and costs are unaffected.
+	// Parallelism is the number of work-stealing search workers
+	// (default: GOMAXPROCS). With more than one worker, which of
+	// several equally valid solutions is found first is
+	// scheduling-dependent; set 1 for fully deterministic runs.
+	// Optimality proofs and costs are unaffected.
 	Parallelism int
+	// Cache, when set, memoizes verified synthesis results keyed by
+	// the content of the query (spec + sketch + cost model + search
+	// configuration + engine version). Hits are re-verified against
+	// the spec before being returned. Note that a hit produced by a
+	// run that timed out mid-optimization carries Optimal == false;
+	// it is still returned, since re-running would pay the full
+	// synthesis cost again; set RefreshNonOptimal to re-run instead.
+	Cache *Cache
+	// RefreshNonOptimal skips cache hits whose producing run timed out
+	// before proving optimality (Optimal == false), re-synthesizing
+	// with the current budget and re-recording the result. Use it to
+	// retry a hard kernel with a larger -timeout; fully optimal hits
+	// are still served from the cache.
+	RefreshNonOptimal bool
+
+	// growWorkers, when set (by Scheduler for jobs without an explicit
+	// Parallelism), claims idle worker tokens from the shared batch
+	// budget before each search call and returns them afterwards, so a
+	// hard kernel widens its work-stealing search as sibling kernels
+	// finish instead of leaving the budget idle.
+	growWorkers func() (extra int, release func())
 }
 
 // Result reports a synthesis run in the shape of the paper's Table 3.
@@ -70,6 +91,7 @@ type Result struct {
 	TotalTime      time.Duration
 	Optimal        bool  // search space exhausted below FinalCost
 	Nodes          int64 // DFS nodes explored (diagnostic)
+	Cached         bool  // served from the synthesis cache
 }
 
 // value is one SSA value during search: its evaluation on every CEGIS
@@ -131,6 +153,15 @@ func Synthesize(spec *kernels.Spec, sk *Sketch, opts Options) (*Result, error) {
 	}
 	if opts.Parallelism <= 0 {
 		opts.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	var key string
+	if opts.Cache != nil {
+		key = cacheKey(spec, sk, &opts)
+		if res := opts.Cache.lookup(spec, key); res != nil {
+			if !opts.RefreshNonOptimal || res.Optimal || opts.SkipOptimize {
+				return res, nil
+			}
+		}
 	}
 	e := &engine{
 		spec: spec,
@@ -256,6 +287,12 @@ searchL:
 		return nil, err
 	}
 	res.Lowered = lowered
+	if opts.Cache != nil {
+		// Best-effort: the cache is an optimization, and the verified
+		// result in hand must not be discarded because the cache
+		// directory is full or read-only.
+		_ = opts.Cache.store(spec.Name, key, res)
+	}
 	return res, nil
 }
 

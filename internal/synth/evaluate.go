@@ -1,0 +1,113 @@
+package synth
+
+import (
+	"porcupine/internal/quill"
+)
+
+// This file holds the vectorized candidate-evaluation kernels of the
+// search inner loop. Candidate values are evaluated on all CEGIS
+// examples at once over flat []uint64 vectors; the arithmetic is
+// specialized to the fixed plaintext modulus t = 65537 (a Fermat
+// prime, 2^16 + 1), which turns the 128-bit multiply-and-divide of
+// the generic path into a few adds and shifts: with x = x0 + 2^16·x1
+// + 2^32·x2, x ≡ x0 − x1 + x2 (mod t).
+
+const tMod = quill.Modulus
+
+func init() {
+	// The specialized reduction below is only valid for the Fermat
+	// prime 2^16+1; fail loudly if the abstract machine ever changes.
+	if quill.Modulus != 65537 {
+		panic("synth: fast modular evaluation assumes plaintext modulus 65537")
+	}
+}
+
+// addModT returns (a + b) mod t for a, b < t.
+func addModT(a, b uint64) uint64 {
+	s := a + b
+	if s >= tMod {
+		s -= tMod
+	}
+	return s
+}
+
+// subModT returns (a - b) mod t for a, b < t.
+func subModT(a, b uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return a + tMod - b
+}
+
+// mulModT returns (a · b) mod t for a, b < t without division: the
+// product is < 2^32·1, and 2^16 ≡ −1, 2^32 ≡ 1 (mod t).
+func mulModT(a, b uint64) uint64 {
+	x := a * b
+	s := (x & 0xffff) + (x >> 32) + tMod - ((x >> 16) & 0xffff)
+	if s >= tMod {
+		s -= tMod
+	}
+	return s
+}
+
+// apply1 evaluates one slot of a Quill arithmetic op.
+func apply1(op quill.Op, a, b uint64) uint64 {
+	switch op {
+	case quill.OpAddCtCt, quill.OpAddCtPt:
+		return addModT(a, b)
+	case quill.OpSubCtCt, quill.OpSubCtPt:
+		return subModT(a, b)
+	default: // multiplies
+		return mulModT(a, b)
+	}
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// evalFused computes dst = a op b element-wise over the flattened
+// example vectors and, in the same pass, the FNV-1a hash of the result
+// and whether it is all-zero — fusing what used to be three traversals
+// (applyOp, hashData, isZero) into one.
+func evalFused(op quill.Op, a, b, dst []uint64) (hash uint64, zero bool) {
+	var nz uint64
+	h := uint64(fnvOffset)
+	switch op {
+	case quill.OpAddCtCt, quill.OpAddCtPt:
+		for i, av := range a {
+			v := av + b[i]
+			if v >= tMod {
+				v -= tMod
+			}
+			dst[i] = v
+			nz |= v
+			h = (h ^ v) * fnvPrime
+		}
+	case quill.OpSubCtCt, quill.OpSubCtPt:
+		for i, av := range a {
+			var v uint64
+			if bv := b[i]; av >= bv {
+				v = av - bv
+			} else {
+				v = av + tMod - bv
+			}
+			dst[i] = v
+			nz |= v
+			h = (h ^ v) * fnvPrime
+		}
+	default: // multiplies
+		for i, av := range a {
+			x := av * b[i]
+			v := (x & 0xffff) + (x >> 32) + tMod - ((x >> 16) & 0xffff)
+			if v >= tMod {
+				v -= tMod
+			}
+			dst[i] = v
+			nz |= v
+			h = (h ^ v) * fnvPrime
+		}
+	}
+	return h, nz == 0
+}

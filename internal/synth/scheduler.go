@@ -1,0 +1,184 @@
+package synth
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"porcupine/internal/kernels"
+)
+
+// ErrNotAttempted marks jobs a fail-fast batch skipped after an
+// earlier failure; the wrapping error names the job that failed.
+var ErrNotAttempted = errors.New("synth: not attempted")
+
+// Job is one synthesis query in a batch compilation: a kernel name
+// (for reporting), its specification and sketch, and per-job options.
+type Job struct {
+	Name   string
+	Spec   *kernels.Spec
+	Sketch *Sketch
+	Opts   Options
+}
+
+// JobResult is the outcome of one Job.
+type JobResult struct {
+	Name   string
+	Result *Result
+	Err    error
+	Wall   time.Duration
+}
+
+// Event is one progress notification from a batch run.
+type Event struct {
+	Name   string
+	Kind   EventKind
+	Err    error         // JobFinished with failure
+	Result *Result       // JobFinished with success
+	Wall   time.Duration // JobFinished
+}
+
+// EventKind enumerates batch progress notifications.
+type EventKind int
+
+const (
+	// JobStarted fires when a job begins synthesis.
+	JobStarted EventKind = iota
+	// JobFinished fires when a job completes (Result or Err set;
+	// Result.Cached distinguishes cache hits).
+	JobFinished
+)
+
+// Scheduler runs batches of synthesis jobs under a global worker
+// budget: up to Workers jobs are in flight at once, and each job's
+// search runs with Workers/inflight work-stealing workers, so the
+// budget holds whether the batch is wide (many easy kernels) or deep
+// (one hard kernel saturating every worker).
+type Scheduler struct {
+	// Workers is the global worker budget (default: GOMAXPROCS).
+	Workers int
+	// Cache, when set, is shared by every job that does not carry its
+	// own. It is safe for the concurrent writers of a batch.
+	Cache *Cache
+	// Progress, when set, receives events serially (never concurrently).
+	Progress func(Event)
+	// FailFast stops launching new jobs after the first failure (jobs
+	// already in flight run to completion). Skipped jobs report an
+	// error naming the failure that aborted the batch.
+	FailFast bool
+}
+
+// Run compiles the jobs and returns their results in input order.
+// Individual failures do not abort the batch; each JobResult carries
+// its own error.
+//
+// Worker tokens are handed out greedily: every job takes one token to
+// start (bounding total concurrency at Workers) and then claims as
+// many idle tokens as its fair share of the jobs still unstarted
+// allows. Jobs without an explicit Parallelism additionally re-claim
+// idle tokens before every CEGIS search call, so a hard kernel that
+// started while the batch was wide widens its work-stealing search as
+// sibling kernels finish — the global budget chases the stragglers
+// instead of idling.
+func (s *Scheduler) Run(jobs []Job) []JobResult {
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if len(jobs) == 0 {
+		return nil
+	}
+
+	var progressMu sync.Mutex
+	emit := func(ev Event) {
+		if s.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		s.Progress(ev)
+		progressMu.Unlock()
+	}
+
+	tokens := make(chan struct{}, workers)
+	for i := 0; i < workers; i++ {
+		tokens <- struct{}{}
+	}
+	var unstarted atomic.Int32
+	unstarted.Store(int32(len(jobs)))
+	var abort atomic.Pointer[JobResult]
+
+	results := make([]JobResult, len(jobs))
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-tokens
+			if first := abort.Load(); first != nil {
+				tokens <- struct{}{}
+				unstarted.Add(-1)
+				results[i] = JobResult{Name: jobs[i].Name,
+					Err: fmt.Errorf("%w after %s: %v", ErrNotAttempted, first.Name, first.Err)}
+				return
+			}
+			// Fair share of the remaining budget, counting this job.
+			remaining := int(unstarted.Add(-1)) + 1
+			share := workers / remaining
+			claimed := 1
+			for claimed < share {
+				select {
+				case <-tokens:
+					claimed++
+				default:
+					share = claimed // nothing idle; run with what we have
+				}
+			}
+			defer func() {
+				for j := 0; j < claimed; j++ {
+					tokens <- struct{}{}
+				}
+			}()
+			job := jobs[i]
+			opts := job.Opts
+			if opts.Parallelism <= 0 {
+				opts.Parallelism = claimed
+				// Chase freed budget: claim every idle token for the
+				// duration of one search call, then return them.
+				opts.growWorkers = func() (int, func()) {
+					extra := 0
+					for {
+						select {
+						case <-tokens:
+							extra++
+							continue
+						default:
+						}
+						break
+					}
+					return extra, func() {
+						for j := 0; j < extra; j++ {
+							tokens <- struct{}{}
+						}
+					}
+				}
+			}
+			if opts.Cache == nil {
+				opts.Cache = s.Cache
+			}
+			emit(Event{Name: job.Name, Kind: JobStarted})
+			start := time.Now()
+			res, err := Synthesize(job.Spec, job.Sketch, opts)
+			wall := time.Since(start)
+			results[i] = JobResult{Name: job.Name, Result: res, Err: err, Wall: wall}
+			if err != nil && s.FailFast {
+				abort.CompareAndSwap(nil, &results[i])
+			}
+			emit(Event{Name: job.Name, Kind: JobFinished, Err: err, Result: res, Wall: wall})
+		}(i)
+	}
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,211 @@
+package synth
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"porcupine/internal/kernels"
+)
+
+func schedJobs(t *testing.T, names []string, opts Options) []Job {
+	t.Helper()
+	jobs := make([]Job, 0, len(names))
+	for _, n := range names {
+		sk, err := DefaultSketch(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, Job{Name: n, Spec: kernels.ByName(n), Sketch: sk, Opts: opts})
+	}
+	return jobs
+}
+
+// TestSchedulerBatch runs a small batch under a shared cache and
+// checks ordering, correctness, event pairing, and that a second run
+// is served warm.
+func TestSchedulerBatch(t *testing.T) {
+	names := []string{"box-blur", "dot-product", "linear-regression"}
+	cache := NewMemCache()
+	var mu sync.Mutex
+	events := map[string][]EventKind{}
+	sched := &Scheduler{
+		Workers: 4,
+		Cache:   cache,
+		Progress: func(ev Event) {
+			mu.Lock()
+			events[ev.Name] = append(events[ev.Name], ev.Kind)
+			mu.Unlock()
+		},
+	}
+	opts := Options{Timeout: 2 * time.Minute, Seed: 1}
+	results := sched.Run(schedJobs(t, names, opts))
+	if len(results) != len(names) {
+		t.Fatalf("want %d results, got %d", len(names), len(results))
+	}
+	for i, jr := range results {
+		if jr.Name != names[i] {
+			t.Errorf("result %d: want %s, got %s", i, names[i], jr.Name)
+		}
+		if jr.Err != nil {
+			t.Fatalf("%s: %v", jr.Name, jr.Err)
+		}
+		if jr.Result.Cached {
+			t.Errorf("%s: cold run reported a cache hit", jr.Name)
+		}
+		if ok, err := kernels.ByName(jr.Name).CheckProgram(jr.Result.Program); err != nil || !ok {
+			t.Errorf("%s: synthesized program fails verification (ok=%v err=%v)", jr.Name, ok, err)
+		}
+		if got := events[jr.Name]; len(got) != 2 || got[0] != JobStarted || got[1] != JobFinished {
+			t.Errorf("%s: want events [started finished], got %v", jr.Name, got)
+		}
+	}
+
+	warm := sched.Run(schedJobs(t, names, opts))
+	for _, jr := range warm {
+		if jr.Err != nil {
+			t.Fatalf("warm %s: %v", jr.Name, jr.Err)
+		}
+		if !jr.Result.Cached {
+			t.Errorf("warm %s: missed the shared cache", jr.Name)
+		}
+	}
+}
+
+// TestSchedulerStress is the concurrency stress test for the batch
+// scheduler and shared cache together: several concurrent batches,
+// overlapping kernels, one shared disk-backed cache. Run under -race
+// in CI.
+func TestSchedulerStress(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"box-blur", "dot-product", "linear-regression", "polynomial-regression"}
+	opts := Options{Timeout: 2 * time.Minute, Seed: 1}
+	const batches = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, batches*len(names))
+	for b := 0; b < batches; b++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sched := &Scheduler{Workers: 2, Cache: cache}
+			for _, jr := range sched.Run(schedJobs(t, names, opts)) {
+				if jr.Err != nil {
+					errs <- jr.Err
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if cache.Len() != len(names) {
+		t.Errorf("want %d cached queries, got %d", len(names), cache.Len())
+	}
+}
+
+// TestSchedulerFailFast checks that after one job fails, unstarted
+// jobs are skipped with ErrNotAttempted naming the root cause instead
+// of burning the rest of the batch budget.
+func TestSchedulerFailFast(t *testing.T) {
+	// Two symmetric instantly-failing jobs and one worker: whichever
+	// runs first fails and records the abort before releasing its
+	// token, so the other is deterministically skipped.
+	bad := &Sketch{Components: nil, MinL: 1, MaxL: 1} // fails validation
+	opts := Options{Timeout: 2 * time.Minute, Seed: 1}
+	jobs := []Job{
+		{Name: "bad-1", Spec: kernels.ByName("box-blur"), Sketch: bad, Opts: opts},
+		{Name: "bad-2", Spec: kernels.ByName("box-blur"), Sketch: bad, Opts: opts},
+	}
+	sched := &Scheduler{Workers: 1, FailFast: true}
+	results := sched.Run(jobs)
+	failed, skipped := 0, 0
+	for _, jr := range results {
+		switch {
+		case errors.Is(jr.Err, ErrNotAttempted):
+			skipped++
+			if !strings.Contains(jr.Err.Error(), "bad-") {
+				t.Errorf("skip error does not name the failed job: %v", jr.Err)
+			}
+		case jr.Err != nil:
+			failed++
+		default:
+			t.Errorf("%s: invalid sketch did not fail", jr.Name)
+		}
+	}
+	if failed != 1 || skipped != 1 {
+		t.Errorf("want 1 failed + 1 skipped, got %d failed + %d skipped", failed, skipped)
+	}
+
+	// Without FailFast every job is attempted (and fails on its own).
+	sched = &Scheduler{Workers: 1}
+	for _, jr := range sched.Run(jobs) {
+		if jr.Err == nil || errors.Is(jr.Err, ErrNotAttempted) {
+			t.Errorf("%s: want its own failure, got %v", jr.Name, jr.Err)
+		}
+	}
+}
+
+// TestWorkStealingMatchesSequential checks that the work-stealing
+// parallel search returns results of the same quality as the
+// deterministic sequential search: same minimal L, same optimal final
+// cost, same optimality verdict.
+func TestWorkStealingMatchesSequential(t *testing.T) {
+	names := []string{"box-blur", "dot-product", "hamming-distance", "linear-regression", "polynomial-regression"}
+	if testing.Short() {
+		names = names[:3]
+	}
+	for _, name := range names {
+		seq, err := SynthesizeKernel(name, Options{Timeout: 2 * time.Minute, Seed: 1, Parallelism: 1})
+		if err != nil {
+			t.Fatalf("%s sequential: %v", name, err)
+		}
+		par, err := SynthesizeKernel(name, Options{Timeout: 2 * time.Minute, Seed: 1, Parallelism: 4})
+		if err != nil {
+			t.Fatalf("%s parallel: %v", name, err)
+		}
+		if par.L != seq.L {
+			t.Errorf("%s: parallel L=%d, sequential L=%d", name, par.L, seq.L)
+		}
+		if par.FinalCost != seq.FinalCost {
+			t.Errorf("%s: parallel cost=%g, sequential cost=%g", name, par.FinalCost, seq.FinalCost)
+		}
+		if par.Optimal != seq.Optimal {
+			t.Errorf("%s: parallel optimal=%v, sequential optimal=%v", name, par.Optimal, seq.Optimal)
+		}
+		if ok, err := kernels.ByName(name).CheckProgram(par.Program); err != nil || !ok {
+			t.Errorf("%s: parallel program fails verification (ok=%v err=%v)", name, ok, err)
+		}
+	}
+}
+
+// TestWorkStealingExplicitRotation exercises the rotation-component
+// branch of the parallel search (offloaded rot candidates replay
+// through pushRot).
+func TestWorkStealingExplicitRotation(t *testing.T) {
+	opts := Options{Timeout: 2 * time.Minute, Seed: 1, ExplicitRotation: true, SkipOptimize: true}
+	seq := opts
+	seq.Parallelism = 1
+	par := opts
+	par.Parallelism = 4
+	sres, err := SynthesizeKernel("box-blur", seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := SynthesizeKernel("box-blur", par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.L != pres.L {
+		t.Errorf("explicit rotation: parallel L=%d, sequential L=%d", pres.L, sres.L)
+	}
+	if ok, err := kernels.ByName("box-blur").CheckProgram(pres.Program); err != nil || !ok {
+		t.Errorf("parallel explicit-rotation program fails verification (ok=%v err=%v)", ok, err)
+	}
+}

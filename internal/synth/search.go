@@ -2,9 +2,9 @@ package synth
 
 import (
 	"math"
+	"sync"
 	"sync/atomic"
 
-	"porcupine/internal/mathutil"
 	"porcupine/internal/quill"
 )
 
@@ -13,85 +13,83 @@ import (
 // cost strictly below costBound. It returns (nil, true) when the space
 // is exhausted (a genuine unsat) and (nil, false) on timeout.
 //
-// With Parallelism > 1 the top-level branches (first-component
-// choices) are explored by a worker pool; each worker owns its search
-// state and deduplication tables, and the first solution found aborts
-// the others.
+// With Parallelism > 1 the DFS is parallelized with work stealing:
+// every worker owns a deque of unexplored subtrees and, whenever
+// another worker is starving, offloads the branch it is about to
+// descend into instead of exploring it inline. Idle workers steal the
+// oldest (largest) queued subtrees, so a single hard kernel keeps all
+// workers saturated regardless of how lopsided the search tree is.
+// Each worker owns its search state and deduplication tables; the
+// first solution found aborts the others.
 func (e *engine) search(L int, costBound float64) (*quill.Program, bool) {
-	if e.opts.Parallelism > 1 {
-		return e.searchParallel(L, costBound)
+	workers := e.opts.Parallelism
+	if e.opts.growWorkers != nil {
+		extra, release := e.opts.growWorkers()
+		workers += extra
+		defer release()
 	}
-	s := e.newSearcher(L, costBound)
-	found := s.dfs(0)
-	e.nodes += s.nodes
-	if found {
-		return s.result, true
+	if workers <= 1 {
+		s := e.newSearcher(L, costBound)
+		found := s.dfs(0)
+		e.nodes += s.nodes
+		if found {
+			return s.result, true
+		}
+		return nil, !s.timedOut
 	}
-	return nil, !s.timedOut
-}
 
-// cand identifies one top-level search branch for the parallel
-// scheduler.
-type cand struct {
-	isRot                bool
-	ci                   int
-	aID, aRot, bID, bRot int
-	rotID, rot           int
-}
-
-// searchParallel fans the first component slot out over workers.
-func (e *engine) searchParallel(L int, costBound float64) (*quill.Program, bool) {
-	// Enumerate top-level branches with a capturing searcher.
-	capt := e.newSearcher(L, costBound)
-	var cands []cand
-	capt.capture = &cands
-	capt.dfs(0)
-	capt.capture = nil
-
+	pool := newWSPool(workers)
 	var stop atomic.Bool
+	pool.push(0, task{}) // the root task: the whole tree
+
 	type outcome struct {
 		prog     *quill.Program
 		timedOut bool
 		nodes    int64
 	}
-	work := make(chan cand, len(cands))
-	for _, c := range cands {
-		work <- c
-	}
-	close(work)
-	results := make(chan outcome, e.opts.Parallelism)
-	for w := 0; w < e.opts.Parallelism; w++ {
-		go func() {
-			var out outcome
-			for c := range work {
-				if stop.Load() {
+	outs := make([]outcome, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			s := e.newSearcher(L, costBound)
+			s.pool, s.wid, s.stop = pool, wid, &stop
+			out := &outs[wid]
+			for {
+				t, ok := pool.take(wid)
+				if !ok {
 					break
 				}
-				s := e.newSearcher(L, costBound)
-				s.stop = &stop
-				if s.exploreCandidate(c) {
+				found := s.runTask(t)
+				pool.finish()
+				out.nodes = s.nodes
+				if found {
 					out.prog = s.result
-					out.nodes += s.nodes
 					stop.Store(true)
+					pool.halt()
 					break
 				}
-				out.nodes += s.nodes
-				if s.timedOut && !stop.Load() {
-					out.timedOut = true
+				if s.timedOut {
+					if !stop.Load() {
+						out.timedOut = true
+					}
+					pool.halt()
+					break
 				}
 			}
-			results <- out
-		}()
+		}(w)
 	}
+	wg.Wait()
+
 	var prog *quill.Program
 	complete := true
-	for w := 0; w < e.opts.Parallelism; w++ {
-		out := <-results
-		e.nodes += out.nodes
-		if out.prog != nil && prog == nil {
-			prog = out.prog
+	for w := range outs {
+		e.nodes += outs[w].nodes
+		if outs[w].prog != nil && prog == nil {
+			prog = outs[w].prog
 		}
-		if out.timedOut {
+		if outs[w].timedOut {
 			complete = false
 		}
 	}
@@ -101,22 +99,61 @@ func (e *engine) searchParallel(L int, costBound float64) (*quill.Program, bool)
 	return nil, complete
 }
 
-// exploreCandidate replays a captured top-level branch in this
-// worker's searcher and explores its subtree.
-func (s *searcher) exploreCandidate(c cand) bool {
-	last := s.L == 1
+// cand identifies one search branch: either an explicit rotation
+// component or an arithmetic component with resolved operand holes.
+type cand struct {
+	isRot                bool
+	ci                   int
+	aID, aRot, bID, bRot int
+	rotID, rot           int
+}
+
+// runTask replays a stolen subtree's committed prefix, runs the full
+// candidate checks on its final branch, and explores the subtree. On
+// failure the searcher is unwound back to the root state so it can be
+// reused for the next task.
+func (s *searcher) runTask(t task) bool {
+	if len(t.path) == 0 {
+		return s.dfs(0)
+	}
+	for slot := 0; slot < len(t.path)-1; slot++ {
+		s.commitCand(t.path[slot])
+	}
+	slot := len(t.path) - 1
+	c := t.path[slot]
+	var found bool
 	if c.isRot {
-		return s.considerRot(0, c.rotID, c.rot)
-	}
-	comp := &s.e.sk.Components[c.ci]
-	aData := s.operandData(c.aID, c.aRot)
-	if comp.Op.IsCtCt() {
-		bData := s.operandData(c.bID, c.bRot)
-		applyOp(comp.Op, aData, bData, s.scratch)
+		found = s.considerRot(slot, c.rotID, c.rot)
 	} else {
-		applyOp(comp.Op, aData, s.e.ptData[c.ci], s.scratch)
+		found = s.considerCand(slot, slot == s.L-1, c)
 	}
-	return s.consider(0, last, c.ci, c.aID, c.aRot, c.bID, c.bRot)
+	if found {
+		return true
+	}
+	for len(s.path) > 0 {
+		s.popCand()
+	}
+	return false
+}
+
+// commitCand re-commits a prefix choice already validated by the
+// producing worker: evaluate and push, no pruning checks.
+func (s *searcher) commitCand(c cand) {
+	if c.isRot {
+		res := rotateFlat(s.vals[c.rotID].data, s.e.spec.VecLen, c.rot)
+		s.pushRot(c.rotID, c.rot, res, hashData(res), s.vals[c.rotID].depth)
+	} else {
+		comp := &s.e.sk.Components[c.ci]
+		aData := s.operandData(c.aID, c.aRot)
+		var h uint64
+		if comp.Op.IsCtCt() {
+			h, _ = evalFused(comp.Op, aData, s.operandData(c.bID, c.bRot), s.scratch)
+		} else {
+			h, _ = evalFused(comp.Op, aData, s.e.ptData[c.ci], s.scratch)
+		}
+		s.pushArith(c.ci, c.aID, c.aRot, c.bID, c.bRot, s.scratch, h, s.resultDepth(comp.Op, c.aID, c.bID))
+	}
+	s.path = append(s.path, c)
 }
 
 // newSearcher builds a fresh search state over the current examples.
@@ -129,6 +166,7 @@ func (e *engine) newSearcher(L int, costBound float64) *searcher {
 		visited:     make([]map[uint64]float64, L),
 		rotCache:    map[rotPair][]uint64{},
 		rotPairs:    map[rotPair]int{},
+		lastIdx:     map[int][]int32{},
 		scratch:     make([]uint64, e.flatLen),
 		rotWithZero: append([]int{0}, e.rotations...),
 	}
@@ -175,6 +213,11 @@ type searcher struct {
 	rotCache map[rotPair][]uint64
 	rotPairs map[rotPair]int
 
+	// lastIdx caches, per operand rotation, the flat source index of
+	// each match position, so final-slot candidates are evaluated only
+	// at the cared output slots, directly from unrotated operand data.
+	lastIdx map[int][]int32
+
 	arithLat  float64
 	numArith  int
 	unused    int // computed values without uses
@@ -191,9 +234,12 @@ type searcher struct {
 	ticks    int
 	nodes    int64
 
-	// capture, when set, records top-level branches instead of
-	// exploring them (used by the parallel scheduler).
-	capture *[]cand
+	// path is the stack of candidate choices from the search root,
+	// offloaded (with one more element) when a subtree is given away.
+	path []cand
+	// pool and wid identify this worker in a parallel search.
+	pool *wsPool
+	wid  int
 	// stop is the shared abort flag of a parallel search.
 	stop *atomic.Bool
 }
@@ -217,6 +263,37 @@ func (s *searcher) operandData(id, rot int) []uint64 {
 	d := rotateFlat(s.vals[id].data, s.e.spec.VecLen, rot)
 	s.rotCache[key] = d
 	return d
+}
+
+// matchSrc returns, per match position, the flat index an operand
+// rotated left by rot is read from.
+func (s *searcher) matchSrc(rot int) []int32 {
+	if idx, ok := s.lastIdx[rot]; ok {
+		return idx
+	}
+	n := s.e.spec.VecLen
+	idx := make([]int32, len(s.matchPos))
+	for k, p := range s.matchPos {
+		base := p - p%n
+		i := p % n
+		idx[k] = int32(base + ((i+rot)%n+n)%n)
+	}
+	s.lastIdx[rot] = idx
+	return idx
+}
+
+// offload hands the branch c (rooted at slot) to the work-stealing
+// pool when another worker is starving; the caller skips it inline.
+// Final-slot branches are leaf checks — cheaper to run than to steal.
+func (s *searcher) offload(slot int, c cand) bool {
+	if s.pool == nil || slot >= s.L-1 || !s.pool.starving() {
+		return false
+	}
+	path := make([]cand, len(s.path)+1)
+	copy(path, s.path)
+	path[len(s.path)] = c
+	s.pool.push(s.wid, task{path: path})
+	return true
 }
 
 // dfs fills component slot `slot`; returns true when a solution was
@@ -244,6 +321,9 @@ func (s *searcher) dfs(slot int) bool {
 				continue // no nested rotations (paper §4.4)
 			}
 			for _, r := range s.e.rotations {
+				if s.offload(slot, cand{isRot: true, rotID: id, rot: r}) {
+					continue
+				}
 				if s.considerRot(slot, id, r) {
 					return true
 				}
@@ -266,7 +346,6 @@ func (s *searcher) dfs(slot int) bool {
 			commutative := (comp.Op == quill.OpAddCtCt || comp.Op == quill.OpMulCtCt) && comp.A == comp.B
 			for aID := 0; aID < nVals; aID++ {
 				for _, aRot := range aRots {
-					aData := s.operandData(aID, aRot)
 					for bID := 0; bID < nVals; bID++ {
 						for _, bRot := range bRots {
 							if commutative && (bID < aID || (bID == aID && bRot < aRot)) {
@@ -275,18 +354,16 @@ func (s *searcher) dfs(slot int) bool {
 							if aID == bID && aRot == bRot && comp.Op == quill.OpSubCtCt {
 								continue // x - x = 0
 							}
-							bData := s.operandData(bID, bRot)
-							applyOp(comp.Op, aData, bData, s.scratch)
-							if s.consider(slot, last, ci, aID, aRot, bID, bRot) {
+							c := cand{ci: ci, aID: aID, aRot: aRot, bID: bID, bRot: bRot}
+							if s.offload(slot, c) {
+								continue
+							}
+							if s.considerCand(slot, last, c) {
 								return true
 							}
 							if s.timedOut {
 								return false
 							}
-							// Deeper recursion may have repopulated the
-							// cache; re-resolve aData in case the map
-							// entry was dropped and recreated.
-							aData = s.operandData(aID, aRot)
 						}
 					}
 				}
@@ -294,9 +371,11 @@ func (s *searcher) dfs(slot int) bool {
 		} else {
 			for aID := 0; aID < nVals; aID++ {
 				for _, aRot := range aRots {
-					aData := s.operandData(aID, aRot)
-					applyOp(comp.Op, aData, s.e.ptData[ci], s.scratch)
-					if s.consider(slot, last, ci, aID, aRot, -1, 0) {
+					c := cand{ci: ci, aID: aID, aRot: aRot, bID: -1}
+					if s.offload(slot, c) {
+						continue
+					}
+					if s.considerCand(slot, last, c) {
 						return true
 					}
 					if s.timedOut {
@@ -317,26 +396,28 @@ func (s *searcher) rotChoices(k OperandKind) []int {
 	return s.rotWithZero[:1]
 }
 
-// consider evaluates the candidate result sitting in s.scratch.
-func (s *searcher) consider(slot int, last bool, ci, aID, aRot, bID, bRot int) bool {
-	if s.capture != nil {
-		*s.capture = append(*s.capture, cand{ci: ci, aID: aID, aRot: aRot, bID: bID, bRot: bRot})
-		return false
-	}
+// considerCand evaluates one arithmetic candidate branch.
+func (s *searcher) considerCand(slot int, last bool, c cand) bool {
 	s.nodes++
-	comp := &s.e.sk.Components[ci]
-	res := s.scratch
-
 	if last {
-		return s.considerLast(ci, aID, aRot, bID, bRot, res)
+		return s.considerLast(c)
 	}
-
+	comp := &s.e.sk.Components[c.ci]
+	aData := s.operandData(c.aID, c.aRot)
+	var h uint64
+	var zero bool
+	if comp.Op.IsCtCt() {
+		bData := s.operandData(c.bID, c.bRot)
+		h, zero = evalFused(comp.Op, aData, bData, s.scratch)
+	} else {
+		h, zero = evalFused(comp.Op, aData, s.e.ptData[c.ci], s.scratch)
+	}
 	// Zero results are never useful in a minimal program.
-	if isZero(res) {
+	if zero {
 		return false
 	}
-	h := hashData(res)
-	newDepth := s.resultDepth(comp.Op, aID, bID)
+	res := s.scratch
+	newDepth := s.resultDepth(comp.Op, c.aID, c.bID)
 	// Duplicate pruning: a value equal (on all examples) to an existing
 	// value with ≤ depth is redundant — later instructions can
 	// reference the original instead.
@@ -351,54 +432,72 @@ func (s *searcher) consider(slot int, last bool, ci, aID, aRot, bID, bRot int) b
 	// currently unused values.
 	m := s.L - slot - 1
 	unusedAfter := s.unused + 1
-	if s.vals[aID].uses == 0 && s.isComputed(aID) {
+	if s.vals[c.aID].uses == 0 && s.isComputed(c.aID) {
 		unusedAfter--
 	}
-	if bID >= 0 && bID != aID && s.vals[bID].uses == 0 && s.isComputed(bID) {
+	if c.bID >= 0 && c.bID != c.aID && s.vals[c.bID].uses == 0 && s.isComputed(c.bID) {
 		unusedAfter--
 	}
 	if unusedAfter > m+1 {
 		return false
 	}
 
-	s.pushArith(ci, aID, aRot, bID, bRot, res, h, newDepth)
+	s.pushArith(c.ci, c.aID, c.aRot, c.bID, c.bRot, res, h, newDepth)
+	s.path = append(s.path, c)
 	if s.pruneByBoundOrVisited(slot) {
-		s.pop()
+		s.popCand()
 		return false
 	}
 	if s.dfs(slot + 1) {
 		return true
 	}
-	s.pop()
+	s.popCand()
 	return false
 }
 
 // considerLast handles the final component: the result must match the
 // specification's cared slots on every example, consume all unused
-// values, and (when bounded) beat the cost bound.
-func (s *searcher) considerLast(ci, aID, aRot, bID, bRot int, res []uint64) bool {
-	for i, pos := range s.matchPos {
-		if res[pos] != s.matchWant[i] {
-			return false
-		}
-	}
+// values, and (when bounded) beat the cost bound. Only the cared
+// slots are evaluated — directly from the unrotated operand data,
+// bailing at the first mismatch — instead of materializing the full
+// rotated result vectors.
+func (s *searcher) considerLast(c cand) bool {
 	need := s.unused
-	if s.vals[aID].uses == 0 && s.isComputed(aID) {
+	if s.vals[c.aID].uses == 0 && s.isComputed(c.aID) {
 		need--
 	}
-	if bID >= 0 && bID != aID && s.vals[bID].uses == 0 && s.isComputed(bID) {
+	if c.bID >= 0 && c.bID != c.aID && s.vals[c.bID].uses == 0 && s.isComputed(c.bID) {
 		need--
 	}
 	if need > 0 {
 		return false
 	}
-	prog := s.buildProgram(ci, aID, aRot, bID, bRot)
+	comp := &s.e.sk.Components[c.ci]
+	aData := s.vals[c.aID].data
+	aSrc := s.matchSrc(c.aRot)
+	if comp.Op.IsCtCt() {
+		bData := s.vals[c.bID].data
+		bSrc := s.matchSrc(c.bRot)
+		for k, want := range s.matchWant {
+			if apply1(comp.Op, aData[aSrc[k]], bData[bSrc[k]]) != want {
+				return false
+			}
+		}
+	} else {
+		pt := s.e.ptData[c.ci]
+		for k, want := range s.matchWant {
+			if apply1(comp.Op, aData[aSrc[k]], pt[s.matchPos[k]]) != want {
+				return false
+			}
+		}
+	}
+	prog := s.buildProgram(c.ci, c.aID, c.aRot, c.bID, c.bRot)
 	if prog == nil {
 		return false
 	}
 	if s.bounded {
-		c, err := s.e.cm.CostProgram(prog)
-		if err != nil || c >= s.costBound {
+		cst, err := s.e.cm.CostProgram(prog)
+		if err != nil || cst >= s.costBound {
 			return false
 		}
 	}
@@ -408,10 +507,6 @@ func (s *searcher) considerLast(ci, aID, aRot, bID, bRot int, res []uint64) bool
 
 // considerRot handles rotation components in explicit-rotation mode.
 func (s *searcher) considerRot(slot, id, rot int) bool {
-	if s.capture != nil {
-		*s.capture = append(*s.capture, cand{isRot: true, rotID: id, rot: rot})
-		return false
-	}
 	s.nodes++
 	res := rotateFlat(s.vals[id].data, s.e.spec.VecLen, rot)
 	h := hashData(res)
@@ -430,14 +525,15 @@ func (s *searcher) considerRot(slot, id, rot int) bool {
 		return false
 	}
 	s.pushRot(id, rot, res, h, depth)
+	s.path = append(s.path, cand{isRot: true, rotID: id, rot: rot})
 	if s.pruneByBoundOrVisited(slot) {
-		s.pop()
+		s.popCand()
 		return false
 	}
 	if s.dfs(slot + 1) {
 		return true
 	}
-	s.pop()
+	s.popCand()
 	return false
 }
 
@@ -566,6 +662,13 @@ func (s *searcher) pop() {
 	s.depthsMax = s.depthsMax[:len(s.depthsMax)-1]
 }
 
+// popCand undoes a committed candidate: the value push and the path
+// entry together.
+func (s *searcher) popCand() {
+	s.pop()
+	s.path = s.path[:len(s.path)-1]
+}
+
 // refProgID resolves a value id to a program SSA id, looking through
 // rotation values.
 func (s *searcher) refProgID(id int) int {
@@ -689,34 +792,6 @@ func rotateFlat(data []uint64, vecLen, rot int) []uint64 {
 	return out
 }
 
-// applyOp computes dst = a op b element-wise mod t.
-func applyOp(op quill.Op, a, b, dst []uint64) {
-	const t = quill.Modulus
-	switch op {
-	case quill.OpAddCtCt, quill.OpAddCtPt:
-		for i := range dst {
-			dst[i] = mathutil.AddMod(a[i], b[i], t)
-		}
-	case quill.OpSubCtCt, quill.OpSubCtPt:
-		for i := range dst {
-			dst[i] = mathutil.SubMod(a[i], b[i], t)
-		}
-	default: // multiplies
-		for i := range dst {
-			dst[i] = mathutil.MulMod(a[i], b[i], t)
-		}
-	}
-}
-
-func isZero(d []uint64) bool {
-	for _, v := range d {
-		if v != 0 {
-			return false
-		}
-	}
-	return true
-}
-
 func equalData(a, b []uint64) bool {
 	if len(a) != len(b) {
 		return false
@@ -731,10 +806,10 @@ func equalData(a, b []uint64) bool {
 
 // hashData is FNV-1a over the words.
 func hashData(d []uint64) uint64 {
-	h := uint64(14695981039346656037)
+	h := uint64(fnvOffset)
 	for _, v := range d {
 		h ^= v
-		h *= 1099511628211
+		h *= fnvPrime
 	}
 	return h
 }

@@ -1,0 +1,118 @@
+package synth
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// task is one DFS subtree awaiting exploration: the path of committed
+// candidate choices from the search root. The prefix (all but the last
+// element) was validated by the producing worker and is replayed
+// verbatim; the final element is processed through the full candidate
+// checks before its subtree is explored.
+type task struct {
+	path []cand
+}
+
+// wsPool is the work-stealing scheduler of one search call: one deque
+// per worker, owner takes from the back (LIFO, depth-first locality),
+// thieves steal from the front (FIFO, the largest subtrees). Tasks are
+// coarse — whole DFS subtrees — so a single mutex is far from
+// contended; the stealing discipline, not lock-freedom, is what
+// balances the load.
+type wsPool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	deques  [][]task
+	active  int  // workers currently exploring a subtree
+	stopped bool // solution found or deadline hit: drop remaining work
+
+	hungry  atomic.Int32 // workers blocked in take()
+	pending atomic.Int32 // queued tasks across all deques
+}
+
+func newWSPool(workers int) *wsPool {
+	p := &wsPool{deques: make([][]task, workers)}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// push appends a task to worker wid's deque and wakes one thief.
+func (p *wsPool) push(wid int, t task) {
+	p.mu.Lock()
+	p.deques[wid] = append(p.deques[wid], t)
+	p.mu.Unlock()
+	p.pending.Add(1)
+	p.cond.Signal()
+}
+
+// starving reports whether offloading a subtree would feed an idle
+// worker: someone is blocked and the queues do not already hold
+// enough work to satisfy them.
+func (p *wsPool) starving() bool {
+	return p.hungry.Load() > p.pending.Load()
+}
+
+// take returns the next task for worker wid, blocking until work
+// arrives. ok == false means the search is over: a solution was found,
+// the deadline passed, or every deque is empty with no active worker
+// left to produce more.
+func (p *wsPool) take(wid int) (t task, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.stopped {
+			return task{}, false
+		}
+		if d := p.deques[wid]; len(d) > 0 {
+			t = d[len(d)-1]
+			p.deques[wid] = d[:len(d)-1]
+			p.pending.Add(-1)
+			p.active++
+			return t, true
+		}
+		stolen := false
+		for v := range p.deques {
+			if v == wid || len(p.deques[v]) == 0 {
+				continue
+			}
+			t = p.deques[v][0]
+			p.deques[v] = p.deques[v][1:]
+			stolen = true
+			break
+		}
+		if stolen {
+			p.pending.Add(-1)
+			p.active++
+			return t, true
+		}
+		if p.active == 0 {
+			// Nothing queued anywhere and nobody running who could
+			// produce more: the space is exhausted.
+			p.cond.Broadcast()
+			return task{}, false
+		}
+		p.hungry.Add(1)
+		p.cond.Wait()
+		p.hungry.Add(-1)
+	}
+}
+
+// finish marks worker wid's current task complete.
+func (p *wsPool) finish() {
+	p.mu.Lock()
+	p.active--
+	last := p.active == 0
+	p.mu.Unlock()
+	if last {
+		p.cond.Broadcast()
+	}
+}
+
+// halt aborts the search: blocked workers return immediately.
+func (p *wsPool) halt() {
+	p.mu.Lock()
+	p.stopped = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}

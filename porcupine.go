@@ -79,6 +79,26 @@ type (
 	Compiled = core.Compiled
 )
 
+// Batch compilation types.
+type (
+	// Cache is the persistent, content-addressed synthesis cache.
+	Cache = synth.Cache
+	// BuildOptions configures a batch suite compilation.
+	BuildOptions = core.BuildOptions
+	// BuildReport is the outcome of a batch suite compilation.
+	BuildReport = core.BuildReport
+	// BuildEntry is one kernel's outcome in a batch compilation.
+	BuildEntry = core.BuildEntry
+	// BatchEvent is one progress notification from a batch run.
+	BatchEvent = synth.Event
+)
+
+// Batch progress event kinds.
+const (
+	JobStarted  = synth.JobStarted
+	JobFinished = synth.JobFinished
+)
+
 // BFV runtime types.
 type (
 	// Runtime executes lowered programs on the pure-Go BFV backend.
@@ -144,6 +164,22 @@ func Compile(spec *Spec, sk *Sketch, opts Options) (*Result, error) {
 func CompileKernel(name string, opts Options) (*Compiled, error) {
 	return core.CompileKernel(name, opts)
 }
+
+// BuildSuite batch-compiles the named kernels (nil = the full
+// 11-kernel suite) through a shared work-stealing scheduler with a
+// global worker budget, serving and recording results through the
+// synthesis cache when one is configured.
+func BuildSuite(names []string, bo BuildOptions) (*BuildReport, error) {
+	return core.BuildSuite(names, bo)
+}
+
+// OpenCache opens (creating if needed) a disk-backed synthesis cache;
+// the empty dir returns a memory-only cache.
+func OpenCache(dir string) (*Cache, error) { return synth.OpenCache(dir) }
+
+// DefaultCacheDir returns the per-user default synthesis-cache
+// location.
+func DefaultCacheDir() string { return synth.DefaultCacheDir() }
 
 // Baseline returns the hand-written depth-minimized baseline for a
 // kernel (the paper's comparison target).
