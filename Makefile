@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race test-short bench bench-figure4 bench-ops bench-synth
+.PHONY: all build vet test test-race test-short bench bench-figure4 bench-ops bench-synth bench-serve smoke-serve
 
 all: vet build test-short
 
@@ -17,10 +17,11 @@ test-short:
 	$(GO) test -short ./...
 
 # Race detector over the concurrent pieces: the work-stealing search,
-# the batch scheduler, and the synthesis cache (mirrors the CI job;
-# drop -short for the full ~6-minute sweep when touching the search).
+# the batch scheduler, the synthesis cache, and the serving runtime
+# (concurrent sessions over one context). Mirrors the CI job; drop
+# -short for the full sweep when touching the search.
 test-race:
-	$(GO) test -race -short -timeout 10m ./internal/synth/... ./internal/quill/...
+	$(GO) test -race -short -timeout 10m ./internal/synth/... ./internal/quill/... ./internal/backend/...
 
 # benchstat-friendly: 5 repetitions of every paper benchmark. Pipe two
 # runs through benchstat to compare changes:
@@ -47,3 +48,15 @@ bench-synth:
 	$(GO) run ./cmd/porcupine -build -cache-dir /tmp/porcupine-bench-cache -timeout 10m
 	@echo "--- warm build (persistent cache) ---"
 	$(GO) run ./cmd/porcupine -build -cache-dir /tmp/porcupine-bench-cache -timeout 10m
+
+# Serving-path benchmark: execution-plan throughput and allocations per
+# run (interpreter vs plan, 1/2/4 concurrent sessions over one shared
+# context). Recorded before/after numbers live in BENCH_PR3.json.
+bench-serve:
+	$(GO) test -run '^$$' -bench BenchmarkPlanThroughput -benchtime 50x -count 3 -timeout 1800s .
+
+# Quick end-to-end serving check (used by CI): synthesize box-blur,
+# build a serving context, execute the plan across 2 sessions, verify
+# outputs against the plaintext reference.
+smoke-serve:
+	$(GO) run ./cmd/porcupine -run box-blur -iters 4 -workers 2 -no-cache -timeout 2m

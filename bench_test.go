@@ -13,6 +13,7 @@
 package porcupine_test
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -149,6 +150,106 @@ func BenchmarkFigure4(b *testing.B) {
 		}
 		b.Run(name+"/baseline", func(b *testing.B) { run(b, base) })
 		b.Run(name+"/synthesized", func(b *testing.B) { run(b, c.Lowered) })
+	}
+}
+
+// BenchmarkPlanThroughput measures the serving path: execution-plan
+// runs/sec and allocations per run, single- and multi-worker, against
+// the instruction-at-a-time interpreter baseline. Sub-benchmarks:
+//
+//	KERNEL/interpreter   old path (per-instruction allocation)
+//	KERNEL/plan          plan path, one session
+//	KERNEL/workers-N     plan path, N concurrent sessions, one shared
+//	                     context (throughput = runs/sec metric)
+//
+// Results are recorded in BENCH_PR3.json; note that worker scaling
+// needs physical cores (a 1-vCPU container shows flat throughput).
+func BenchmarkPlanThroughput(b *testing.B) {
+	for _, name := range []string{"box-blur", "hamming-distance"} {
+		spec := kernels.ByName(name)
+		c := compiledKernel(b, name)
+		preset := "PN4096"
+		if c.Lowered.MultDepth() > 2 {
+			preset = "PN8192"
+		}
+		rt, err := backend.NewTestRuntime(preset, 7, c.Lowered)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := rt.Plan(c.Lowered)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(1))
+		assign := make([]uint64, spec.NumVars)
+		for i := range assign {
+			assign[i] = rng.Uint64() % 64
+		}
+		ex := spec.NewExample(assign)
+		cts := make([]*porcupine.Ciphertext, len(ex.CtIn))
+		for i, v := range ex.CtIn {
+			if cts[i], err = rt.EncryptVec(v); err != nil {
+				b.Fatal(err)
+			}
+		}
+
+		b.Run(name+"/interpreter", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := rt.RunInterpreter(c.Lowered, cts, ex.PtIn); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "runs/sec")
+		})
+		b.Run(name+"/plan", func(b *testing.B) {
+			s := rt.NewSession()
+			if _, err := s.Run(p, cts, ex.PtIn); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Run(p, cts, ex.PtIn); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "runs/sec")
+		})
+		for _, workers := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/workers-%d", name, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				var wg sync.WaitGroup
+				errCh := make(chan error, workers)
+				b.ResetTimer()
+				for w := 0; w < workers; w++ {
+					n := b.N / workers
+					if w < b.N%workers {
+						n++
+					}
+					if n == 0 {
+						continue
+					}
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						s := rt.NewSession()
+						for i := 0; i < n; i++ {
+							if _, err := s.Run(p, cts, ex.PtIn); err != nil {
+								errCh <- err
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				close(errCh)
+				for err := range errCh {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "runs/sec")
+			})
+		}
 	}
 }
 

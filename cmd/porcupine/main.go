@@ -1,11 +1,12 @@
 // Command porcupine synthesizes vectorized homomorphic-encryption
 // kernels from the bundled kernel suite, prints the optimized Quill
-// program, and optionally emits SEAL C++ or runs the kernel on the
-// pure-Go BFV backend.
+// program, emits SEAL C++, or serves kernels on the pure-Go BFV
+// backend.
 //
 // Usage:
 //
-//	porcupine -kernel gx [-seal] [-run] [-preset PN4096] [-timeout 5m] [-seed 1]
+//	porcupine -kernel gx [-seal] [-timeout 5m] [-seed 1]
+//	porcupine -run gx [-iters 100] [-workers 4] [-preset PN4096]
 //	porcupine -build [-kernels gx,gy,sobel] [-workers 4] [-cache-dir DIR | -no-cache]
 //	porcupine -list
 //
@@ -15,6 +16,13 @@
 // Table-3-style summary. Synthesized programs are recorded in a
 // persistent content-addressed cache, so a warm rebuild of the whole
 // suite returns in milliseconds.
+//
+// Serving mode (-run KERNEL) compiles the kernel (through the cache),
+// builds a shared serving context with exactly the Galois keys the
+// kernel's execution plan needs, then executes the plan -iters times
+// across -workers goroutine-local sessions and prints a throughput
+// report (runs/sec, per-run latency, noise budget), verifying every
+// worker's output against the plaintext reference.
 package main
 
 import (
@@ -24,10 +32,10 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"porcupine"
-	"porcupine/internal/backend"
 )
 
 func main() {
@@ -49,16 +57,19 @@ func (e usageError) Error() string { return string(e) }
 
 func run() error {
 	var (
-		kernel   = flag.String("kernel", "", "kernel to compile (see -list)")
+		kernel   = flag.String("kernel", "", "kernel to compile and print (see -list)")
 		build    = flag.Bool("build", false, "batch-compile the kernel suite")
+		serve    = flag.String("run", "", "kernel to serve on the BFV backend (throughput mode; see -iters, -workers)")
+		iters    = flag.Int("iters", 1, "total plan executions for -run")
 		subset   = flag.String("kernels", "", "comma-separated subset for -build (default: all)")
-		workers  = flag.Int("workers", 0, "global synthesis worker budget for -build (default: GOMAXPROCS)")
+		workers  = flag.Int("workers", 0, "worker budget: synthesis workers for -build, serving sessions for -run (default: GOMAXPROCS / 1)")
 		cacheDir = flag.String("cache-dir", porcupine.DefaultCacheDir(), "persistent synthesis cache directory")
+		cacheMax = flag.Int("cache-max-entries", 0, "max synthesis cache entries, LRU-evicted (0 = unlimited)")
+		cacheMB  = flag.Int64("cache-max-mb", 0, "max synthesis cache size in MiB, LRU-evicted (0 = unlimited)")
 		noCache  = flag.Bool("no-cache", false, "disable the persistent synthesis cache")
 		refresh  = flag.Bool("refresh", false, "re-synthesize cached kernels whose optimization previously timed out (Optimal=no), e.g. with a larger -timeout")
 		list     = flag.Bool("list", false, "list available kernels")
 		seal     = flag.Bool("seal", false, "emit SEAL C++ for the synthesized kernel")
-		runIt    = flag.Bool("run", false, "execute on the BFV backend with a random input and check the result")
 		preset   = flag.String("preset", "PN4096", "BFV parameter preset for -run (PN2048, PN4096, PN8192)")
 		timeout  = flag.Duration("timeout", 20*time.Minute, "synthesis time budget (per kernel in -build)")
 		seed     = flag.Int64("seed", 1, "synthesis random seed")
@@ -72,8 +83,11 @@ func run() error {
 	}
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-	if explicit["preset"] && !*runIt {
+	if explicit["preset"] && *serve == "" {
 		return usageError("-preset requires -run")
+	}
+	if explicit["iters"] && *serve == "" {
+		return usageError("-iters requires -run")
 	}
 	if *list {
 		for _, name := range porcupine.Kernels() {
@@ -81,16 +95,20 @@ func run() error {
 		}
 		return nil
 	}
-	if *build && *kernel != "" {
-		return usageError("-build and -kernel are mutually exclusive")
+	modes := 0
+	for _, on := range []bool{*build, *kernel != "", *serve != ""} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return usageError("-build, -kernel and -run are mutually exclusive")
 	}
 	if *build {
 		// Reject single-kernel flags that -build would silently ignore.
 		switch {
 		case *seal:
 			return usageError("-seal requires -kernel (batch mode does not emit code)")
-		case *runIt:
-			return usageError("-run requires -kernel (batch mode does not execute kernels)")
 		case *infer:
 			return usageError("-infer requires -kernel")
 		}
@@ -98,8 +116,16 @@ func run() error {
 		if *subset != "" {
 			return usageError("-kernels requires -build")
 		}
-		if *workers != 0 {
-			return usageError("-workers requires -build (single-kernel synthesis uses GOMAXPROCS)")
+		if *workers != 0 && *serve == "" {
+			return usageError("-workers requires -build or -run (single-kernel synthesis uses GOMAXPROCS)")
+		}
+		if *serve != "" {
+			switch {
+			case *seal:
+				return usageError("-seal requires -kernel (serving mode does not emit code)")
+			case *infer:
+				return usageError("-infer requires -kernel")
+			}
 		}
 	}
 
@@ -107,8 +133,12 @@ func run() error {
 	if *refresh && *noCache {
 		return usageError("-refresh requires the cache (drop -no-cache)")
 	}
+	if *noCache && (*cacheMax > 0 || *cacheMB > 0) {
+		return usageError("-cache-max-entries/-cache-max-mb require the cache (drop -no-cache)")
+	}
 	if !*noCache {
-		cache, err := porcupine.OpenCache(*cacheDir)
+		cache, err := porcupine.OpenCacheWithLimits(*cacheDir,
+			porcupine.CacheLimits{MaxEntries: *cacheMax, MaxBytes: *cacheMB << 20})
 		if err != nil {
 			return err
 		}
@@ -118,8 +148,14 @@ func run() error {
 	if *build {
 		return runBuild(*subset, *workers, opts)
 	}
+	if *serve != "" {
+		if err := checkKernelNames(*serve); err != nil {
+			return err
+		}
+		return runServe(*serve, *preset, *iters, *workers, *seed, opts)
+	}
 	if *kernel == "" {
-		return usageError("no kernel given (use -kernel NAME, -build, or -list)")
+		return usageError("no kernel given (use -kernel NAME, -run NAME, -build, or -list)")
 	}
 	if err := checkKernelNames(*kernel); err != nil {
 		return err
@@ -157,10 +193,6 @@ func run() error {
 			return err
 		}
 		fmt.Printf("\n// ---- SEAL C++ ----\n%s", src)
-	}
-
-	if *runIt {
-		return runOnBFV(compiled, *preset, *seed)
 	}
 	return nil
 }
@@ -354,12 +386,32 @@ func compileSuiteFor(name string, opts porcupine.Options) (*porcupine.Compiled, 
 	return &porcupine.Compiled{Name: name, Spec: spec, Result: nil, Lowered: lowered}, nil
 }
 
-func runOnBFV(c *porcupine.Compiled, preset string, seed int64) error {
-	fmt.Printf("\nrunning on BFV preset %s ...\n", preset)
-	rt, err := backend.NewRuntime(preset, c.Lowered)
+// runServe compiles a kernel, builds a serving context with exactly
+// the Galois keys the kernel's execution plan needs, then executes the
+// plan iters times across workers goroutine-local sessions and prints
+// a throughput report. Every worker's final output is decrypted and
+// checked against the plaintext reference.
+func runServe(kernel, preset string, iters, workers int, seed int64, opts porcupine.Options) error {
+	if iters < 1 {
+		iters = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	fmt.Printf("compiling %s ...\n", kernel)
+	c, err := compileAny(kernel, opts)
 	if err != nil {
 		return err
 	}
+	fmt.Printf("building serving context (preset %s) ...\n", preset)
+	ctx, plans, err := porcupine.NewServingContext(preset, c.Lowered)
+	if err != nil {
+		return err
+	}
+	pl := plans[0]
+	fmt.Printf("plan: %d steps over %d ciphertext buffers, %d pre-encoded constants, Galois keys %v\n",
+		pl.InstructionCount(), pl.NumRegs, len(pl.Consts), pl.Rotations)
+
 	rng := rand.New(rand.NewSource(seed))
 	assign := make([]uint64, c.Spec.NumVars)
 	for i := range assign {
@@ -368,19 +420,63 @@ func runOnBFV(c *porcupine.Compiled, preset string, seed int64) error {
 	ex := c.Spec.NewExample(assign)
 	cts := make([]*porcupine.Ciphertext, len(ex.CtIn))
 	for i, v := range ex.CtIn {
-		if cts[i], err = rt.EncryptVec(v); err != nil {
+		if cts[i], err = ctx.EncryptVec(v); err != nil {
 			return err
 		}
 	}
-	out, dur, err := rt.TimedRun(c.Lowered, cts, ex.PtIn)
+
+	// Warm-up and correctness check on one session.
+	warm := ctx.NewSession()
+	out, err := warm.Run(pl, cts, ex.PtIn)
 	if err != nil {
 		return err
 	}
-	got := rt.DecryptVec(out, c.Spec.VecLen)
-	if !c.Spec.Matches(got, ex) {
+	if got := ctx.DecryptVec(out, c.Spec.VecLen); !c.Spec.Matches(got, ex) {
 		return fmt.Errorf("BFV output disagrees with the plaintext reference")
 	}
-	fmt.Printf("ok: decrypted output matches the reference (latency %v, noise budget %.0f bits)\n",
-		dur.Round(time.Microsecond), rt.NoiseBudget(out))
+	noise := ctx.NoiseBudget(out)
+
+	// Serving loop: iters runs distributed across workers, one session
+	// per worker, all sharing the context's key set.
+	fmt.Printf("serving %d runs across %d workers ...\n", iters, workers)
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		n := iters / workers
+		if w < iters%workers {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := ctx.NewSession()
+			var out *porcupine.Ciphertext
+			for i := 0; i < n; i++ {
+				var err error
+				if out, err = s.Run(pl, cts, ex.PtIn); err != nil {
+					errCh <- err
+					return
+				}
+			}
+			if got := ctx.DecryptVec(out, c.Spec.VecLen); !c.Spec.Matches(got, ex) {
+				errCh <- fmt.Errorf("worker output disagrees with the plaintext reference")
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		return err
+	}
+
+	perRun := wall / time.Duration(iters)
+	fmt.Printf("ok: %d runs in %v — %.1f runs/sec, %v/run (%d workers), noise budget %.0f bits\n",
+		iters, wall.Round(time.Millisecond), float64(iters)/wall.Seconds(),
+		perRun.Round(time.Microsecond), workers, noise)
 	return nil
 }

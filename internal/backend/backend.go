@@ -1,30 +1,55 @@
 // Package backend executes lowered Quill programs on the real BFV
 // implementation (internal/bfv) — the role SEAL plays in the paper —
 // and profiles per-instruction latencies to fit the Quill cost model.
+//
+// The execution stack is split for concurrent serving:
+//
+//   - Context is the immutable shared state: parameters, keys,
+//     encoder, evaluator. One Context serves any number of goroutines.
+//   - Session is the cheap per-goroutine state: the register file and
+//     plaintext scratch an execution plan runs in. Sessions are not
+//     safe for concurrent use; create one per worker.
+//   - Runtime wraps a Context with a session pool behind the
+//     historical one-call API (Run, TimedRun).
+//
+// Programs run through execution plans (internal/plan): compiled
+// once per program, then executed allocation-free from any number of
+// sessions. The original instruction-at-a-time interpreter is kept as
+// RunInterpreter, the differential reference the plan path is tested
+// against.
 package backend
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"porcupine/internal/bfv"
+	"porcupine/internal/plan"
 	"porcupine/internal/quill"
 )
 
-// Runtime bundles the BFV context needed to run programs: parameters,
-// keys, encoder, and evaluator.
-type Runtime struct {
+// Context bundles the immutable BFV state shared by every session:
+// parameters, keys, encoder, and evaluator. All methods are safe for
+// concurrent use.
+type Context struct {
 	Params  *bfv.Parameters
 	Encoder *bfv.Encoder
 	Enc     *bfv.Encryptor
 	Dec     *bfv.Decryptor
 	Eval    *bfv.Evaluator
 	sk      *bfv.SecretKey
+
+	// plans caches compiled execution plans per lowered program (keyed
+	// by pointer), so the one-call Runtime API compiles each program
+	// once.
+	plans sync.Map // *quill.Lowered -> *plan.ExecutionPlan
 }
 
-// NewRuntime generates fresh keys for the preset and prepares Galois
-// keys for every rotation amount used by the given programs.
-func NewRuntime(preset string, programs ...*quill.Lowered) (*Runtime, error) {
+// NewContext generates fresh keys for the preset and prepares Galois
+// keys for the given rotation steps (canonical amounts, e.g. from
+// plan.RotationSet or RotationSteps).
+func NewContext(preset string, rotations []int) (*Context, error) {
 	params, err := bfv.NewParametersFromPreset(preset)
 	if err != nil {
 		return nil, err
@@ -34,12 +59,12 @@ func NewRuntime(preset string, programs ...*quill.Lowered) (*Runtime, error) {
 		return nil, err
 	}
 	kg := bfv.NewKeyGenerator(params)
-	return newRuntime(params, encoder, kg, programs)
+	return newContext(params, encoder, kg, rotations)
 }
 
-// NewTestRuntime is NewRuntime with deterministic randomness for tests
+// NewTestContext is NewContext with deterministic randomness for tests
 // and benchmarks.
-func NewTestRuntime(preset string, seed int64, programs ...*quill.Lowered) (*Runtime, error) {
+func NewTestContext(preset string, seed int64, rotations []int) (*Context, error) {
 	params, err := bfv.NewParametersFromPreset(preset)
 	if err != nil {
 		return nil, err
@@ -49,10 +74,10 @@ func NewTestRuntime(preset string, seed int64, programs ...*quill.Lowered) (*Run
 		return nil, err
 	}
 	kg := bfv.NewTestKeyGenerator(params, seed)
-	return newRuntime(params, encoder, kg, programs)
+	return newContext(params, encoder, kg, rotations)
 }
 
-func newRuntime(params *bfv.Parameters, encoder *bfv.Encoder, kg *bfv.KeyGenerator, programs []*quill.Lowered) (*Runtime, error) {
+func newContext(params *bfv.Parameters, encoder *bfv.Encoder, kg *bfv.KeyGenerator, rotations []int) (*Context, error) {
 	sk, err := kg.GenSecretKey()
 	if err != nil {
 		return nil, err
@@ -65,12 +90,11 @@ func newRuntime(params *bfv.Parameters, encoder *bfv.Encoder, kg *bfv.KeyGenerat
 	if err != nil {
 		return nil, err
 	}
-	steps := RotationSteps(programs...)
-	gks, err := kg.GenGaloisKeys(sk, steps)
+	gks, err := kg.GenGaloisKeys(sk, rotations)
 	if err != nil {
 		return nil, err
 	}
-	return &Runtime{
+	return &Context{
 		Params:  params,
 		Encoder: encoder,
 		Enc:     bfv.NewEncryptor(params, pk),
@@ -80,8 +104,71 @@ func newRuntime(params *bfv.Parameters, encoder *bfv.Encoder, kg *bfv.KeyGenerat
 	}, nil
 }
 
-// RotationSteps collects the distinct rotation amounts of the
-// programs (for Galois key generation).
+// NewServingContext compiles execution plans for the given programs
+// and builds a context holding exactly the Galois keys those plans
+// need — the setup path of a serving deployment. The returned plans
+// are in program order and also cached on the context (Plan).
+func NewServingContext(preset string, programs ...*quill.Lowered) (*Context, []*plan.ExecutionPlan, error) {
+	return newServingContext(preset, nil, programs)
+}
+
+// NewTestServingContext is NewServingContext with deterministic keys.
+func NewTestServingContext(preset string, seed int64, programs ...*quill.Lowered) (*Context, []*plan.ExecutionPlan, error) {
+	return newServingContext(preset, &seed, programs)
+}
+
+func newServingContext(preset string, seed *int64, programs []*quill.Lowered) (*Context, []*plan.ExecutionPlan, error) {
+	params, err := bfv.NewParametersFromPreset(preset)
+	if err != nil {
+		return nil, nil, err
+	}
+	encoder, err := bfv.NewEncoder(params)
+	if err != nil {
+		return nil, nil, err
+	}
+	plans := make([]*plan.ExecutionPlan, len(programs))
+	for i, l := range programs {
+		if plans[i], err = plan.Compile(params, encoder, l); err != nil {
+			return nil, nil, err
+		}
+	}
+	kg := bfv.NewKeyGenerator(params)
+	if seed != nil {
+		kg = bfv.NewTestKeyGenerator(params, *seed)
+	}
+	ctx, err := newContext(params, encoder, kg, plan.RotationSet(plans...))
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, l := range programs {
+		ctx.plans.Store(l, plans[i])
+	}
+	return ctx, plans, nil
+}
+
+// CompilePlan compiles a lowered program into an execution plan for
+// this context's parameters (no cache; see Plan for the cached form).
+func (c *Context) CompilePlan(l *quill.Lowered) (*plan.ExecutionPlan, error) {
+	return plan.Compile(c.Params, c.Encoder, l)
+}
+
+// Plan returns the cached execution plan for a program, compiling it
+// on first use. The cache is keyed by program identity (pointer).
+func (c *Context) Plan(l *quill.Lowered) (*plan.ExecutionPlan, error) {
+	if p, ok := c.plans.Load(l); ok {
+		return p.(*plan.ExecutionPlan), nil
+	}
+	p, err := plan.Compile(c.Params, c.Encoder, l)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := c.plans.LoadOrStore(l, p)
+	return actual.(*plan.ExecutionPlan), nil
+}
+
+// RotationSteps collects the distinct literal rotation amounts of the
+// programs (for Galois key generation) — the amounts execution
+// performs. Rotations by 0 need no key (identity) and are skipped.
 func RotationSteps(programs ...*quill.Lowered) []int {
 	seen := map[int]bool{}
 	var steps []int
@@ -90,7 +177,10 @@ func RotationSteps(programs ...*quill.Lowered) []int {
 			continue
 		}
 		for _, in := range p.Instrs {
-			if in.Op == quill.OpRotCt && !seen[in.Rot] {
+			if in.Op != quill.OpRotCt {
+				continue
+			}
+			if in.Rot != 0 && !seen[in.Rot] {
 				seen[in.Rot] = true
 				steps = append(steps, in.Rot)
 			}
@@ -103,241 +193,210 @@ func RotationSteps(programs ...*quill.Lowered) []int {
 // program vector (length VecLen) occupies the first slots of the HE
 // row; remaining slots are zero, so the small signed rotations of
 // lowered programs behave identically to the abstract machine.
-func (rt *Runtime) EncryptVec(v quill.Vec) (*bfv.Ciphertext, error) {
-	if len(v) > rt.Params.SlotCount() {
-		return nil, fmt.Errorf("backend: vector of %d slots exceeds row size %d", len(v), rt.Params.SlotCount())
+func (c *Context) EncryptVec(v quill.Vec) (*bfv.Ciphertext, error) {
+	if len(v) > c.Params.SlotCount() {
+		return nil, fmt.Errorf("backend: vector of %d slots exceeds row size %d", len(v), c.Params.SlotCount())
 	}
-	pt, err := rt.Encoder.EncodeNew(v)
+	pt, err := c.Encoder.EncodeNew(v)
 	if err != nil {
 		return nil, err
 	}
-	return rt.Enc.Encrypt(pt)
+	return c.Enc.Encrypt(pt)
 }
 
 // DecryptVec decrypts and returns the first vecLen slots.
-func (rt *Runtime) DecryptVec(ct *bfv.Ciphertext, vecLen int) quill.Vec {
-	full := rt.Encoder.Decode(rt.Dec.Decrypt(ct))
+func (c *Context) DecryptVec(ct *bfv.Ciphertext, vecLen int) quill.Vec {
+	full := c.Encoder.Decode(c.Dec.Decrypt(ct))
 	return quill.Vec(full[:vecLen])
 }
 
 // NoiseBudget reports the remaining invariant noise budget of ct in
 // bits.
-func (rt *Runtime) NoiseBudget(ct *bfv.Ciphertext) float64 {
-	return rt.Dec.NoiseBudget(ct)
+func (c *Context) NoiseBudget(ct *bfv.Ciphertext) float64 {
+	return c.Dec.NoiseBudget(ct)
+}
+
+// NewSession creates an execution session against this context. A
+// session owns the mutable scratch state of plan execution (register
+// file, plaintext buffers) and must not be used from more than one
+// goroutine at a time; create one session per worker.
+func (c *Context) NewSession() *Session {
+	return &Session{ctx: c}
+}
+
+// Session is the per-goroutine execution state for plans: a register
+// file of reusable ciphertext buffers and plaintext scratch. The zero
+// cost of creating one (buffers are grown on first run and then
+// reused) is what lets one Context serve N concurrent executions.
+type Session struct {
+	ctx  *Context
+	regs []*bfv.Ciphertext
+	pts  []*bfv.Plaintext
+}
+
+// Context returns the shared context the session executes against.
+func (s *Session) Context() *Context { return s.ctx }
+
+// Run executes a plan on encrypted inputs and plaintext vectors. The
+// returned ciphertext lives in the session's register file (or is one
+// of the inputs): it is valid until the session's next Run. Callers
+// keeping the result across runs must copy it
+// (Params.CopyCiphertext).
+func (s *Session) Run(p *plan.ExecutionPlan, ctIn []*bfv.Ciphertext, ptIn []quill.Vec) (*bfv.Ciphertext, error) {
+	if err := s.encodeInputs(p, ptIn); err != nil {
+		return nil, err
+	}
+	return s.exec(p, ctIn)
+}
+
+// encodeInputs validates shapes and encodes the plaintext inputs into
+// the session's scratch buffers.
+func (s *Session) encodeInputs(p *plan.ExecutionPlan, ptIn []quill.Vec) error {
+	if p.N != s.ctx.Params.N {
+		return fmt.Errorf("backend: plan compiled for N=%d cannot run under N=%d", p.N, s.ctx.Params.N)
+	}
+	if len(ptIn) != p.NumPtInputs {
+		return fmt.Errorf("backend: got %d pt inputs, want %d", len(ptIn), p.NumPtInputs)
+	}
+	for len(s.pts) < p.NumPtInputs {
+		s.pts = append(s.pts, s.ctx.Params.NewPlaintext())
+	}
+	for i, v := range ptIn {
+		if err := s.ctx.Encoder.Encode(v, s.pts[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// exec runs the plan steps over the session's register file. Plaintext
+// inputs must already be encoded (encodeInputs).
+func (s *Session) exec(p *plan.ExecutionPlan, ctIn []*bfv.Ciphertext) (*bfv.Ciphertext, error) {
+	if len(ctIn) != p.NumCtInputs {
+		return nil, fmt.Errorf("backend: got %d ct inputs, want %d", len(ctIn), p.NumCtInputs)
+	}
+	// Grow the register file to the plan's shape. Buffers are created
+	// at the degree the plan says the register will hold, and after the
+	// first run stay at their steady-state shape — the execution loop
+	// performs no ciphertext allocations.
+	for len(s.regs) < p.NumRegs {
+		s.regs = append(s.regs, s.ctx.Params.NewCiphertextUninit(p.RegDeg[len(s.regs)]))
+	}
+	operand := func(code int) *bfv.Ciphertext {
+		if p.IsInput(code) {
+			return ctIn[code]
+		}
+		return s.regs[p.Reg(code)]
+	}
+	ev := s.ctx.Eval
+	for i := range p.Steps {
+		st := &p.Steps[i]
+		dst := s.regs[st.Dst]
+		a := operand(st.A)
+		var err error
+		switch st.Op {
+		case quill.OpRotCt:
+			err = ev.RotateRowsInto(dst, a, st.Rot)
+		case quill.OpRelin:
+			err = ev.RelinearizeInto(dst, a)
+		case quill.OpAddCtCt:
+			ev.AddInto(dst, a, operand(st.B))
+		case quill.OpSubCtCt:
+			ev.SubInto(dst, a, operand(st.B))
+		case quill.OpMulCtCt:
+			err = ev.MulInto(dst, a, operand(st.B))
+		case quill.OpAddCtPt:
+			ev.AddPlainInto(dst, a, s.stepPlaintext(p, st))
+		case quill.OpSubCtPt:
+			ev.SubPlainInto(dst, a, s.stepPlaintext(p, st))
+		case quill.OpMulCtPt:
+			ev.MulPlainInto(dst, a, s.stepPlaintext(p, st))
+		default:
+			err = fmt.Errorf("unknown opcode %v", st.Op)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("backend: plan step %d (%v): %w", i, st.Op, err)
+		}
+	}
+	return operand(p.Out), nil
+}
+
+func (s *Session) stepPlaintext(p *plan.ExecutionPlan, st *plan.Step) *bfv.Plaintext {
+	if st.Pt >= 0 {
+		return s.pts[st.Pt]
+	}
+	return p.Consts[st.Con]
+}
+
+// Runtime is the one-call facade over a Context: it owns a pool of
+// sessions and exposes the historical Run/TimedRun API on the plan
+// path. All methods are safe for concurrent use.
+type Runtime struct {
+	*Context
+	sessions sync.Pool
+}
+
+func newRuntime(ctx *Context) *Runtime {
+	rt := &Runtime{Context: ctx}
+	rt.sessions.New = func() any { return ctx.NewSession() }
+	return rt
+}
+
+// NewRuntime generates fresh keys for the preset and prepares Galois
+// keys for every rotation amount used by the given programs.
+func NewRuntime(preset string, programs ...*quill.Lowered) (*Runtime, error) {
+	ctx, err := NewContext(preset, RotationSteps(programs...))
+	if err != nil {
+		return nil, err
+	}
+	return newRuntime(ctx), nil
+}
+
+// NewTestRuntime is NewRuntime with deterministic randomness for tests
+// and benchmarks.
+func NewTestRuntime(preset string, seed int64, programs ...*quill.Lowered) (*Runtime, error) {
+	ctx, err := NewTestContext(preset, seed, RotationSteps(programs...))
+	if err != nil {
+		return nil, err
+	}
+	return newRuntime(ctx), nil
 }
 
 // Run executes a lowered program on encrypted inputs and plaintext
-// vectors, returning the output ciphertext.
+// vectors through its execution plan (compiled and cached on first
+// use), returning a fresh output ciphertext owned by the caller.
 func (rt *Runtime) Run(l *quill.Lowered, ctIn []*bfv.Ciphertext, ptIn []quill.Vec) (*bfv.Ciphertext, error) {
-	if err := l.Validate(); err != nil {
+	p, err := rt.Plan(l)
+	if err != nil {
 		return nil, err
 	}
-	if len(ctIn) != l.NumCtInputs || len(ptIn) != l.NumPtInputs {
-		return nil, fmt.Errorf("backend: got %d ct / %d pt inputs, want %d / %d",
-			len(ctIn), len(ptIn), l.NumCtInputs, l.NumPtInputs)
+	s := rt.sessions.Get().(*Session)
+	defer rt.sessions.Put(s)
+	out, err := s.Run(p, ctIn, ptIn)
+	if err != nil {
+		return nil, err
 	}
-	pts := make([]*bfv.Plaintext, len(ptIn))
-	for i, v := range ptIn {
-		pt, err := rt.Encoder.EncodeNew(v)
-		if err != nil {
-			return nil, err
-		}
-		pts[i] = pt
-	}
-	return rt.execute(l, ctIn, pts)
-}
-
-// execute runs the instruction list over a fresh value table, returning
-// dead intermediate ciphertexts to the ring buffer pool as soon as
-// their last use has passed so long programs run in near-constant
-// memory.
-func (rt *Runtime) execute(l *quill.Lowered, ctIn []*bfv.Ciphertext, pts []*bfv.Plaintext) (*bfv.Ciphertext, error) {
-	vals := make([]*bfv.Ciphertext, l.NumValues())
-	copy(vals, ctIn)
-	last := lastUses(l)
-	for idx, in := range l.Instrs {
-		out, err := rt.step(l, in, vals, pts)
-		if err != nil {
-			return nil, fmt.Errorf("backend: %s: %w", in, err)
-		}
-		rt.recycleDead(l, vals, last, idx, in)
-		vals[in.Dst] = out
-	}
-	return vals[l.Output], nil
-}
-
-// lastUses returns, per value id, the index of the last instruction
-// reading it (-1 when never read).
-func lastUses(l *quill.Lowered) []int {
-	last := make([]int, l.NumValues())
-	for i := range last {
-		last[i] = -1
-	}
-	for idx, in := range l.Instrs {
-		last[in.A] = idx
-		if in.Op.IsCtCt() {
-			last[in.B] = idx
-		}
-	}
-	return last
-}
-
-// recycleDead returns the operands of instruction idx to the buffer
-// pool when this was their last use. Program inputs and the output are
-// never recycled (the caller owns them). Value slots are SSA (step
-// always allocates fresh ciphertexts), so a dead non-input slot is the
-// unique owner of its polynomials.
-func (rt *Runtime) recycleDead(l *quill.Lowered, vals []*bfv.Ciphertext, last []int, idx int, in quill.LInstr) {
-	ids := [2]int{in.A, in.A}
-	if in.Op.IsCtCt() {
-		ids[1] = in.B
-	}
-	for _, id := range ids {
-		if id < l.NumCtInputs || id == l.Output || last[id] != idx || vals[id] == nil {
-			continue
-		}
-		rt.Params.RecycleCiphertext(vals[id])
-		vals[id] = nil
-	}
-}
-
-func (rt *Runtime) step(l *quill.Lowered, in quill.LInstr, vals []*bfv.Ciphertext, pts []*bfv.Plaintext) (*bfv.Ciphertext, error) {
-	a := vals[in.A]
-	switch in.Op {
-	case quill.OpRotCt:
-		out := rt.Params.NewCiphertextUninit(1)
-		return out, rt.Eval.RotateRowsInto(out, a, in.Rot)
-	case quill.OpRelin:
-		out := rt.Params.NewCiphertextUninit(1)
-		return out, rt.Eval.RelinearizeInto(out, a)
-	case quill.OpAddCtCt:
-		out := rt.Params.NewCiphertextUninit(1)
-		rt.Eval.AddInto(out, a, vals[in.B])
-		return out, nil
-	case quill.OpSubCtCt:
-		out := rt.Params.NewCiphertextUninit(1)
-		rt.Eval.SubInto(out, a, vals[in.B])
-		return out, nil
-	case quill.OpMulCtCt:
-		out := rt.Params.NewCiphertextUninit(2)
-		return out, rt.Eval.MulInto(out, a, vals[in.B])
-	case quill.OpAddCtPt, quill.OpSubCtPt, quill.OpMulCtPt:
-		pt, err := rt.operandPlaintext(l, in, pts)
-		if err != nil {
-			return nil, err
-		}
-		out := rt.Params.NewCiphertextUninit(a.Degree())
-		switch in.Op {
-		case quill.OpAddCtPt:
-			rt.Eval.AddPlainInto(out, a, pt)
-		case quill.OpSubCtPt:
-			rt.Eval.SubPlainInto(out, a, pt)
-		default:
-			rt.Eval.MulPlainInto(out, a, pt)
-		}
-		return out, nil
-	}
-	return nil, fmt.Errorf("unknown opcode %v", in.Op)
-}
-
-func (rt *Runtime) operandPlaintext(l *quill.Lowered, in quill.LInstr, pts []*bfv.Plaintext) (*bfv.Plaintext, error) {
-	if in.P.Input >= 0 {
-		return pts[in.P.Input], nil
-	}
-	vec := quill.ConcreteSem{}.FromConst(in.P.Const, l.VecLen)
-	return rt.Encoder.EncodeNew(vec)
+	return rt.Params.CopyCiphertext(out), nil
 }
 
 // TimedRun executes the program and returns the output plus the wall
-// time spent in HE instructions (encoding of inputs excluded), the
-// quantity Figure 4 compares.
+// time spent in HE instructions (plan lookup and encoding of inputs
+// excluded), the quantity Figure 4 compares.
 func (rt *Runtime) TimedRun(l *quill.Lowered, ctIn []*bfv.Ciphertext, ptIn []quill.Vec) (*bfv.Ciphertext, time.Duration, error) {
-	pts := make([]*bfv.Plaintext, len(ptIn))
-	for i, v := range ptIn {
-		pt, err := rt.Encoder.EncodeNew(v)
-		if err != nil {
-			return nil, 0, err
-		}
-		pts[i] = pt
-	}
-	start := time.Now()
-	out, err := rt.execute(l, ctIn, pts)
+	p, err := rt.Plan(l)
 	if err != nil {
 		return nil, 0, err
 	}
-	return out, time.Since(start), nil
-}
-
-// ProfileCostModel measures per-instruction latencies of this runtime
-// (median of reps runs each) and returns a Quill cost model, the
-// analogue of the paper's SEAL profiling (§4.2).
-func (rt *Runtime) ProfileCostModel(reps int) (*quill.CostModel, error) {
-	if reps < 1 {
-		reps = 3
+	s := rt.sessions.Get().(*Session)
+	defer rt.sessions.Put(s)
+	if err := s.encodeInputs(p, ptIn); err != nil {
+		return nil, 0, err
 	}
-	n := rt.Params.SlotCount()
-	vec := make(quill.Vec, n)
-	for i := range vec {
-		vec[i] = uint64(i % 251)
-	}
-	ct, err := rt.EncryptVec(vec)
+	start := time.Now()
+	out, err := s.exec(p, ctIn)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	pt, err := rt.Encoder.EncodeNew(vec)
-	if err != nil {
-		return nil, err
-	}
-	ct2, err := rt.EncryptVec(vec)
-	if err != nil {
-		return nil, err
-	}
-	ctD2, err := rt.Eval.Mul(ct, ct2)
-	if err != nil {
-		return nil, err
-	}
-
-	// A rotation key for step 1 must exist; generate on demand is not
-	// possible here (no secret key access by design), so callers must
-	// include at least one program using rotation, or we skip rotation
-	// profiling and keep the default.
-	cm := quill.DefaultCostModel()
-	measure := func(f func() error) (float64, error) {
-		best := time.Duration(1<<62 - 1)
-		for i := 0; i < reps; i++ {
-			start := time.Now()
-			if err := f(); err != nil {
-				return 0, err
-			}
-			if d := time.Since(start); d < best {
-				best = d
-			}
-		}
-		return float64(best.Microseconds()), nil
-	}
-
-	lat := map[quill.Op]func() error{
-		quill.OpAddCtCt: func() error { rt.Eval.Add(ct, ct2); return nil },
-		quill.OpSubCtCt: func() error { rt.Eval.Sub(ct, ct2); return nil },
-		quill.OpAddCtPt: func() error { rt.Eval.AddPlain(ct, pt); return nil },
-		quill.OpSubCtPt: func() error { rt.Eval.SubPlain(ct, pt); return nil },
-		quill.OpMulCtPt: func() error { rt.Eval.MulPlain(ct, pt); return nil },
-		quill.OpMulCtCt: func() error { _, err := rt.Eval.Mul(ct, ct2); return err },
-		quill.OpRelin:   func() error { _, err := rt.Eval.Relinearize(ctD2); return err },
-	}
-	for op, f := range lat {
-		v, err := measure(f)
-		if err != nil {
-			return nil, fmt.Errorf("backend: profiling %v: %w", op, err)
-		}
-		cm.Latency[op] = v
-	}
-	if _, err := rt.Eval.RotateRows(ct, 1); err == nil {
-		v, err := measure(func() error { _, err := rt.Eval.RotateRows(ct, 1); return err })
-		if err != nil {
-			return nil, err
-		}
-		cm.Latency[quill.OpRotCt] = v
-	}
-	return cm, nil
+	dur := time.Since(start)
+	return rt.Params.CopyCiphertext(out), dur, nil
 }

@@ -113,12 +113,16 @@ func randVec(rng *rand.Rand, n int) quill.Vec {
 
 // FuzzQuillVsBFV is the differential fuzzer of the full compilation
 // stack: every fuzz input decodes to a well-formed local-rotate Quill
-// program, which must produce identical slot values through three
+// program, which must produce identical slot values through four
 // routes — the abstract interpreter on the local-rotate form, the
-// abstract interpreter on the lowered form, and encrypt → evaluate →
-// decrypt on the real BFV backend. The checked-in corpus under
-// testdata/fuzz covers every opcode, rotation wrap-around, plaintext
-// inputs, and the multiply/relinearization path.
+// abstract interpreter on the lowered form, the instruction-at-a-time
+// BFV interpreter (encrypt → evaluate → decrypt), and the execution
+// plan on the BFV backend, whose output ciphertext must additionally
+// be bit-identical to the BFV interpreter's. The checked-in corpus
+// under testdata/fuzz covers every opcode, rotation wrap-around,
+// plaintext inputs, the multiply/relinearization path, and the
+// planner's register-reuse edge cases (diamond-shaped sharing, dead
+// values).
 //
 // Run `go test -fuzz FuzzQuillVsBFV ./internal/backend` to explore
 // beyond the corpus.
@@ -163,9 +167,9 @@ func FuzzQuillVsBFV(f *testing.F) {
 				t.Fatalf("encrypting input %d: %v", i, err)
 			}
 		}
-		out, err := rt.Run(lowered, cts, ptIn)
+		out, err := rt.RunInterpreter(lowered, cts, ptIn)
 		if err != nil {
-			t.Fatalf("BFV execution: %v", err)
+			t.Fatalf("BFV interpreter execution: %v", err)
 		}
 		if b := rt.NoiseBudget(out); b <= 0 {
 			t.Fatalf("noise budget exhausted (%.0f bits)\n%s", b, prog)
@@ -174,6 +178,28 @@ func FuzzQuillVsBFV(f *testing.F) {
 		for i := range want {
 			if got[i] != want[i] {
 				t.Fatalf("BFV diverges from interpreter at slot %d: %d != %d\n%s", i, got[i], want[i], prog)
+			}
+		}
+
+		// Third leg: the execution plan must reproduce the interpreter's
+		// output ciphertext bit for bit (same ops in the same order, just
+		// scheduled over reusable buffers).
+		p, err := rt.Plan(lowered)
+		if err != nil {
+			t.Fatalf("plan compilation: %v\n%s", err, prog)
+		}
+		s := rt.NewSession()
+		pout, err := s.Run(p, cts, ptIn)
+		if err != nil {
+			t.Fatalf("plan execution: %v\n%s", err, prog)
+		}
+		if !sameCiphertext(rt.Params, out, pout) {
+			t.Fatalf("plan output ciphertext differs from BFV interpreter\n%s", prog)
+		}
+		pdec := rt.DecryptVec(pout, fuzzVecLen)
+		for i := range want {
+			if pdec[i] != want[i] {
+				t.Fatalf("plan diverges from interpreter at slot %d: %d != %d\n%s", i, pdec[i], want[i], prog)
 			}
 		}
 	})

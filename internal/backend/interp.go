@@ -1,0 +1,135 @@
+package backend
+
+import (
+	"fmt"
+
+	"porcupine/internal/bfv"
+	"porcupine/internal/quill"
+)
+
+// RunInterpreter executes a lowered program instruction by
+// instruction, allocating per instruction — the original execution
+// path, kept as the differential reference the plan path is tested
+// against. Production callers should use Run (plans).
+func (rt *Runtime) RunInterpreter(l *quill.Lowered, ctIn []*bfv.Ciphertext, ptIn []quill.Vec) (*bfv.Ciphertext, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ctIn) != l.NumCtInputs || len(ptIn) != l.NumPtInputs {
+		return nil, fmt.Errorf("backend: got %d ct / %d pt inputs, want %d / %d",
+			len(ctIn), len(ptIn), l.NumCtInputs, l.NumPtInputs)
+	}
+	pts := make([]*bfv.Plaintext, len(ptIn))
+	for i, v := range ptIn {
+		pt, err := rt.Encoder.EncodeNew(v)
+		if err != nil {
+			return nil, err
+		}
+		pts[i] = pt
+	}
+	return rt.execute(l, ctIn, pts)
+}
+
+// execute runs the instruction list over a fresh value table, returning
+// dead intermediate ciphertexts to the ring buffer pool as soon as
+// their last use has passed so long programs run in near-constant
+// memory.
+func (rt *Runtime) execute(l *quill.Lowered, ctIn []*bfv.Ciphertext, pts []*bfv.Plaintext) (*bfv.Ciphertext, error) {
+	vals := make([]*bfv.Ciphertext, l.NumValues())
+	copy(vals, ctIn)
+	last := lastUses(l)
+	for idx, in := range l.Instrs {
+		out, err := rt.step(l, in, vals, pts)
+		if err != nil {
+			return nil, fmt.Errorf("backend: %s: %w", in, err)
+		}
+		rt.recycleDead(l, vals, last, idx, in)
+		vals[in.Dst] = out
+	}
+	return vals[l.Output], nil
+}
+
+// lastUses returns, per value id, the index of the last instruction
+// reading it (-1 when never read).
+func lastUses(l *quill.Lowered) []int {
+	last := make([]int, l.NumValues())
+	for i := range last {
+		last[i] = -1
+	}
+	for idx, in := range l.Instrs {
+		last[in.A] = idx
+		if in.Op.IsCtCt() {
+			last[in.B] = idx
+		}
+	}
+	return last
+}
+
+// recycleDead returns the operands of instruction idx to the buffer
+// pool when this was their last use. Program inputs and the output are
+// never recycled (the caller owns them). Value slots are SSA (step
+// always allocates fresh ciphertexts), so a dead non-input slot is the
+// unique owner of its polynomials.
+func (rt *Runtime) recycleDead(l *quill.Lowered, vals []*bfv.Ciphertext, last []int, idx int, in quill.LInstr) {
+	ids := [2]int{in.A, in.A}
+	if in.Op.IsCtCt() {
+		ids[1] = in.B
+	}
+	for _, id := range ids {
+		if id < l.NumCtInputs || id == l.Output || last[id] != idx || vals[id] == nil {
+			continue
+		}
+		rt.Params.RecycleCiphertext(vals[id])
+		vals[id] = nil
+	}
+}
+
+func (rt *Runtime) step(l *quill.Lowered, in quill.LInstr, vals []*bfv.Ciphertext, pts []*bfv.Plaintext) (*bfv.Ciphertext, error) {
+	a := vals[in.A]
+	switch in.Op {
+	case quill.OpRotCt:
+		out := rt.Params.NewCiphertextUninit(1)
+		// The literal amount, not a mod-VecLen canonical form: when the
+		// program vector is shorter than the HE row, abstractly
+		// equivalent amounts shift the row's zero padding differently.
+		return out, rt.Eval.RotateRowsInto(out, a, in.Rot)
+	case quill.OpRelin:
+		out := rt.Params.NewCiphertextUninit(1)
+		return out, rt.Eval.RelinearizeInto(out, a)
+	case quill.OpAddCtCt:
+		out := rt.Params.NewCiphertextUninit(1)
+		rt.Eval.AddInto(out, a, vals[in.B])
+		return out, nil
+	case quill.OpSubCtCt:
+		out := rt.Params.NewCiphertextUninit(1)
+		rt.Eval.SubInto(out, a, vals[in.B])
+		return out, nil
+	case quill.OpMulCtCt:
+		out := rt.Params.NewCiphertextUninit(2)
+		return out, rt.Eval.MulInto(out, a, vals[in.B])
+	case quill.OpAddCtPt, quill.OpSubCtPt, quill.OpMulCtPt:
+		pt, err := rt.operandPlaintext(l, in, pts)
+		if err != nil {
+			return nil, err
+		}
+		out := rt.Params.NewCiphertextUninit(a.Degree())
+		switch in.Op {
+		case quill.OpAddCtPt:
+			rt.Eval.AddPlainInto(out, a, pt)
+		case quill.OpSubCtPt:
+			rt.Eval.SubPlainInto(out, a, pt)
+		default:
+			rt.Eval.MulPlainInto(out, a, pt)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("unknown opcode %v", in.Op)
+}
+
+func (rt *Runtime) operandPlaintext(l *quill.Lowered, in quill.LInstr, pts []*bfv.Plaintext) (*bfv.Plaintext, error) {
+	if in.P.Input >= 0 {
+		return pts[in.P.Input], nil
+	}
+	vec := quill.ConcreteSem{}.FromConst(in.P.Const, l.VecLen)
+	return rt.Encoder.EncodeNew(vec)
+}

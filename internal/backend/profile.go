@@ -1,0 +1,83 @@
+package backend
+
+import (
+	"fmt"
+	"time"
+
+	"porcupine/internal/quill"
+)
+
+// ProfileCostModel measures per-instruction latencies of this context
+// (minimum over reps runs each, the standard noise-robust choice for
+// microbenchmarks) and returns a Quill cost model, the analogue of
+// the paper's SEAL profiling (§4.2).
+func (c *Context) ProfileCostModel(reps int) (*quill.CostModel, error) {
+	if reps < 1 {
+		reps = 3
+	}
+	n := c.Params.SlotCount()
+	vec := make(quill.Vec, n)
+	for i := range vec {
+		vec[i] = uint64(i % 251)
+	}
+	ct, err := c.EncryptVec(vec)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := c.Encoder.EncodeNew(vec)
+	if err != nil {
+		return nil, err
+	}
+	ct2, err := c.EncryptVec(vec)
+	if err != nil {
+		return nil, err
+	}
+	ctD2, err := c.Eval.Mul(ct, ct2)
+	if err != nil {
+		return nil, err
+	}
+
+	// A rotation key for step 1 must exist; generate on demand is not
+	// possible here (no secret key access by design), so callers must
+	// include at least one program using rotation, or we skip rotation
+	// profiling and keep the default.
+	cm := quill.DefaultCostModel()
+	measure := func(f func() error) (float64, error) {
+		best := time.Duration(1<<62 - 1)
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			if err := f(); err != nil {
+				return 0, err
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return float64(best.Microseconds()), nil
+	}
+
+	lat := map[quill.Op]func() error{
+		quill.OpAddCtCt: func() error { c.Eval.Add(ct, ct2); return nil },
+		quill.OpSubCtCt: func() error { c.Eval.Sub(ct, ct2); return nil },
+		quill.OpAddCtPt: func() error { c.Eval.AddPlain(ct, pt); return nil },
+		quill.OpSubCtPt: func() error { c.Eval.SubPlain(ct, pt); return nil },
+		quill.OpMulCtPt: func() error { c.Eval.MulPlain(ct, pt); return nil },
+		quill.OpMulCtCt: func() error { _, err := c.Eval.Mul(ct, ct2); return err },
+		quill.OpRelin:   func() error { _, err := c.Eval.Relinearize(ctD2); return err },
+	}
+	for op, f := range lat {
+		v, err := measure(f)
+		if err != nil {
+			return nil, fmt.Errorf("backend: profiling %v: %w", op, err)
+		}
+		cm.Latency[op] = v
+	}
+	if _, err := c.Eval.RotateRows(ct, 1); err == nil {
+		v, err := measure(func() error { _, err := c.Eval.RotateRows(ct, 1); return err })
+		if err != nil {
+			return nil, err
+		}
+		cm.Latency[quill.OpRotCt] = v
+	}
+	return cm, nil
+}

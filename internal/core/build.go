@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"time"
 
+	"porcupine/internal/bfv"
 	"porcupine/internal/kernels"
+	"porcupine/internal/plan"
 	"porcupine/internal/quill"
 	"porcupine/internal/synth"
 )
@@ -26,6 +28,11 @@ type BuildOptions struct {
 	// FailFast stops launching new kernels after the first synthesis
 	// failure instead of compiling the rest of the batch.
 	FailFast bool
+	// PlanPreset, when set to a BFV preset name (PN4096, PN8192, ...),
+	// additionally compiles every successfully built kernel into an
+	// execution plan for that parameter set (Compiled.Plan), the
+	// artifact the serving path (backend.Session) executes.
+	PlanPreset string
 }
 
 // BuildEntry is one kernel's outcome in a batch build.
@@ -205,6 +212,33 @@ func BuildSuite(names []string, bo BuildOptions) (*BuildReport, error) {
 	for _, n := range order {
 		if !inOrder[n] {
 			rep.Order = append(rep.Order, n)
+		}
+	}
+
+	// Compile serving plans when a preset was requested. One parameter
+	// set and encoder serve the whole batch; a kernel whose plan fails
+	// to compile is reported failed (it cannot be served).
+	if bo.PlanPreset != "" {
+		params, err := bfv.NewParametersFromPreset(bo.PlanPreset)
+		if err != nil {
+			return nil, err
+		}
+		encoder, err := bfv.NewEncoder(params)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range rep.Order {
+			ent := rep.Entries[n]
+			if ent.Compiled == nil {
+				continue
+			}
+			p, err := plan.Compile(params, encoder, ent.Compiled.Lowered)
+			if err != nil {
+				ent.Err = fmt.Errorf("core: planning %s for %s: %w", n, bo.PlanPreset, err)
+				ent.Compiled = nil
+				continue
+			}
+			ent.Compiled.Plan = p
 		}
 	}
 	rep.Wall = time.Since(start)

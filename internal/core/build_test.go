@@ -121,3 +121,36 @@ func TestBuildSuiteCorruptComposeEntry(t *testing.T) {
 		t.Fatalf("re-composed sobel fails verification (ok=%v err=%v)", ok, err)
 	}
 }
+
+// TestBuildSuitePlanPreset checks that a batch build with PlanPreset
+// attaches a serving plan to every compiled kernel.
+func TestBuildSuitePlanPreset(t *testing.T) {
+	bo := BuildOptions{Opts: buildOpts(), Workers: 2, PlanPreset: "PN2048"}
+	rep, err := BuildSuite([]string{"box-blur"}, bo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ent := rep.Entries["box-blur"]
+	if ent.Err != nil {
+		t.Fatal(ent.Err)
+	}
+	p := ent.Compiled.Plan
+	if p == nil {
+		t.Fatal("PlanPreset set but Compiled.Plan is nil")
+	}
+	if p.InstructionCount() == 0 || p.NumRegs == 0 {
+		t.Errorf("implausible plan: %d steps, %d registers", p.InstructionCount(), p.NumRegs)
+	}
+	if len(p.Rotations) == 0 {
+		t.Error("box-blur plan needs rotation keys, got none")
+	}
+
+	// Without PlanPreset no plan is compiled.
+	rep2, err := BuildSuite([]string{"box-blur"}, BuildOptions{Opts: buildOpts(), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Entries["box-blur"].Compiled.Plan != nil {
+		t.Error("plan compiled without PlanPreset")
+	}
+}

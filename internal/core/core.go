@@ -16,6 +16,7 @@ import (
 	"porcupine/internal/codegen"
 	"porcupine/internal/compose"
 	"porcupine/internal/kernels"
+	"porcupine/internal/plan"
 	"porcupine/internal/quill"
 	"porcupine/internal/synth"
 )
@@ -42,6 +43,10 @@ type Compiled struct {
 	Spec    *kernels.Spec
 	Result  *synth.Result  // nil for multi-step pipelines
 	Lowered *quill.Lowered // the executable artifact
+	// Plan is the serving artifact: the lowered program compiled into
+	// an allocation-free execution plan. Populated by BuildSuite when
+	// BuildOptions.PlanPreset is set (nil otherwise).
+	Plan *plan.ExecutionPlan
 }
 
 // CompileKernel synthesizes a directly synthesized kernel with its

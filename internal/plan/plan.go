@@ -1,0 +1,339 @@
+// Package plan compiles lowered Quill programs into execution plans:
+// fixed, allocation-free schedules that any number of goroutines can
+// run concurrently against a shared key set.
+//
+// The interpreter in internal/backend walks a lowered program one
+// instruction at a time, allocating a fresh ciphertext per instruction
+// and re-encoding plaintext constants on every call. A plan does all
+// of that analysis once, at compile time:
+//
+//   - liveness analysis and register allocation map the program's SSA
+//     values onto a minimal pool of reusable ciphertext buffers
+//     ("registers"), so a program with hundreds of instructions runs
+//     in a handful of buffers;
+//   - instruction selection targets the evaluator's alias-safe
+//     in-place forms (AddInto, MulInto, ...), with no-op instructions
+//     (identity rotations, relinearization of degree-1 values)
+//     resolved to aliases and dead instructions dropped;
+//   - plaintext constants are encoded once, at plan time;
+//   - the exact Galois-key set the program needs is computed per
+//     plan, so a serving context generates precisely the keys its
+//     plans use.
+//
+// Plans are immutable after Compile and safe to share between
+// goroutines; the mutable state (the register file) lives in the
+// executing session (backend.Session).
+package plan
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"porcupine/internal/bfv"
+	"porcupine/internal/quill"
+)
+
+// Step is one scheduled instruction of a plan. Operand fields A and B
+// hold operand codes: code < NumCtInputs refers to the caller's input
+// ciphertext with that index, any other code refers to register
+// code-NumCtInputs. Dst is always a register index (plans never write
+// to caller inputs).
+type Step struct {
+	Op  quill.Op
+	Dst int // register index
+	A   int // operand code
+	B   int // operand code (ct-ct ops)
+	Rot int // canonical rotation amount (OpRotCt)
+	Pt  int // plaintext input index (ct-pt ops), -1 for constants
+	Con int // pre-encoded constant index (ct-pt ops), -1 for inputs
+}
+
+// ExecutionPlan is a compiled, immutable execution schedule for one
+// lowered program against one BFV parameter set.
+type ExecutionPlan struct {
+	// N is the ring degree of the parameter set the plan (and its
+	// pre-encoded constants) was compiled for; executing it under
+	// different parameters is rejected.
+	N int
+
+	VecLen      int
+	NumCtInputs int
+	NumPtInputs int
+
+	// NumRegs is the size of the ciphertext buffer pool a session needs
+	// to run the plan — the register-allocation result.
+	NumRegs int
+	// RegDeg[r] is the maximum ciphertext degree register r ever holds,
+	// so sessions can pre-size buffers.
+	RegDeg []int
+
+	Steps []Step
+
+	// Consts holds the plaintext constants of the program, encoded once
+	// at plan time (shared, read-only).
+	Consts []*bfv.Plaintext
+
+	// Rotations is the exact set of nonzero rotation amounts the plan
+	// executes — the Galois keys it needs. Amounts are canonical
+	// (quill.NormRot) when the program vector fills the HE row and
+	// literal otherwise (see Compile).
+	Rotations []int
+
+	// Out is the operand code of the program output: an input code when
+	// the program returns an input unchanged, a register code otherwise.
+	Out int
+
+	// Source is the lowered program the plan was compiled from (for
+	// differential reference runs and reporting).
+	Source *quill.Lowered
+}
+
+// IsInput reports whether an operand code refers to a caller input.
+func (p *ExecutionPlan) IsInput(code int) bool { return code < p.NumCtInputs }
+
+// Reg returns the register index of a non-input operand code.
+func (p *ExecutionPlan) Reg(code int) int { return code - p.NumCtInputs }
+
+// InstructionCount returns the number of scheduled steps (after no-op
+// aliasing and dead-code elimination).
+func (p *ExecutionPlan) InstructionCount() int { return len(p.Steps) }
+
+// Compile analyzes a lowered program and produces its execution plan
+// for the given parameter set. The encoder is used once, to pre-encode
+// plaintext constants; it must belong to params.
+func Compile(params *bfv.Parameters, enc *bfv.Encoder, l *quill.Lowered) (*ExecutionPlan, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	if l.VecLen > params.SlotCount() {
+		return nil, fmt.Errorf("plan: program vector of %d slots exceeds row size %d", l.VecLen, params.SlotCount())
+	}
+	n := l.NumValues()
+	nIn := l.NumCtInputs
+
+	// Rotation amounts may be canonicalized modulo the vector size
+	// only when the program vector fills the whole HE row: then row
+	// rotation IS circular rotation mod VecLen and abstractly equal
+	// amounts are interchangeable. For shorter vectors the row shifts
+	// zero padding into the window, which slots depends on the literal
+	// amount — so the plan keeps amounts literal (only a literal 0 is
+	// the identity).
+	norm := func(r int) int {
+		if l.VecLen == params.SlotCount() {
+			return quill.NormRot(r, l.VecLen)
+		}
+		return r
+	}
+
+	// Pass 1: canonical values and static ciphertext degrees. canon[v]
+	// resolves no-op instructions (rot ≡ 0, relin of a degree-1 value)
+	// to the value they forward; deg[v] is the ciphertext degree of the
+	// canonical value.
+	canon := make([]int, n)
+	deg := make([]int, n)
+	for i := 0; i < nIn; i++ {
+		canon[i] = i
+		deg[i] = 1
+	}
+	// real[idx] marks instructions that survive aliasing (indexed like
+	// l.Instrs).
+	real := make([]bool, len(l.Instrs))
+	for idx, in := range l.Instrs {
+		dst := nIn + idx
+		a := canon[in.A]
+		switch in.Op {
+		case quill.OpRotCt:
+			if deg[a] > 1 {
+				return nil, fmt.Errorf("plan: %s: rotation of degree-%d ciphertext", in, deg[a])
+			}
+			if norm(in.Rot) == 0 {
+				canon[dst] = a
+				deg[dst] = deg[a]
+				continue
+			}
+			canon[dst], deg[dst], real[idx] = dst, 1, true
+		case quill.OpRelin:
+			if deg[a] == 1 {
+				canon[dst] = a
+				deg[dst] = 1
+				continue
+			}
+			if deg[a] != 2 {
+				return nil, fmt.Errorf("plan: %s: relinearization of degree-%d ciphertext", in, deg[a])
+			}
+			canon[dst], deg[dst], real[idx] = dst, 1, true
+		case quill.OpMulCtCt:
+			if deg[a] > 1 || deg[canon[in.B]] > 1 {
+				return nil, fmt.Errorf("plan: %s: multiplication of degree-%d×%d ciphertexts (relinearize first)",
+					in, deg[a], deg[canon[in.B]])
+			}
+			canon[dst], deg[dst], real[idx] = dst, 2, true
+		case quill.OpAddCtCt, quill.OpSubCtCt:
+			d := deg[a]
+			if b := deg[canon[in.B]]; b > d {
+				d = b
+			}
+			canon[dst], deg[dst], real[idx] = dst, d, true
+		case quill.OpAddCtPt, quill.OpSubCtPt, quill.OpMulCtPt:
+			canon[dst], deg[dst], real[idx] = dst, deg[a], true
+		default:
+			return nil, fmt.Errorf("plan: unknown opcode %v", in.Op)
+		}
+	}
+	output := canon[l.Output]
+
+	// Pass 2: dead-code elimination by backwards reachability from the
+	// output over canonical values.
+	live := make([]bool, n)
+	live[output] = true
+	for idx := len(l.Instrs) - 1; idx >= 0; idx-- {
+		dst := nIn + idx
+		if !real[idx] || !live[dst] {
+			real[idx] = false
+			continue
+		}
+		in := l.Instrs[idx]
+		live[canon[in.A]] = true
+		if in.Op.IsCtCt() {
+			live[canon[in.B]] = true
+		}
+	}
+
+	// Pass 3: liveness — the last step index reading each canonical
+	// value. The output lives past the end of the program.
+	last := make([]int, n)
+	for i := range last {
+		last[i] = -1
+	}
+	step := 0
+	for idx, in := range l.Instrs {
+		if !real[idx] {
+			continue
+		}
+		last[canon[in.A]] = step
+		if in.Op.IsCtCt() {
+			last[canon[in.B]] = step
+		}
+		step++
+	}
+	last[output] = math.MaxInt
+
+	// Pass 4: linear-scan register allocation with in-place reuse. A
+	// register freed by an operand's last use is immediately available
+	// as the destination of the same step — every evaluator *Into form
+	// is alias-safe, so dst may share a buffer with a dying operand.
+	p := &ExecutionPlan{
+		N:           params.N,
+		VecLen:      l.VecLen,
+		NumCtInputs: nIn,
+		NumPtInputs: l.NumPtInputs,
+		Source:      l,
+	}
+	regOf := make([]int, n)
+	for i := range regOf {
+		regOf[i] = -1
+	}
+	var free []int
+	code := func(v int) int {
+		if v < nIn {
+			return v
+		}
+		return nIn + regOf[v]
+	}
+	alloc := func(d int) int {
+		if k := len(free); k > 0 {
+			r := free[k-1]
+			free = free[:k-1]
+			if d > p.RegDeg[r] {
+				p.RegDeg[r] = d
+			}
+			return r
+		}
+		p.RegDeg = append(p.RegDeg, d)
+		p.NumRegs++
+		return p.NumRegs - 1
+	}
+	constIdx := map[string]int{}
+	rotSet := map[int]bool{}
+	step = 0
+	for idx, in := range l.Instrs {
+		if !real[idx] {
+			continue
+		}
+		dst := nIn + idx
+		a, b := canon[in.A], -1
+		st := Step{Op: in.Op, A: code(a), Pt: -1, Con: -1}
+		if in.Op.IsCtCt() {
+			b = canon[in.B]
+			st.B = code(b)
+		}
+		switch {
+		case in.Op == quill.OpRotCt:
+			st.Rot = norm(in.Rot)
+			rotSet[st.Rot] = true
+		case in.Op.IsCtPt():
+			if in.P.Input >= 0 {
+				st.Pt = in.P.Input
+			} else {
+				key := fmt.Sprint(in.P.Const)
+				ci, ok := constIdx[key]
+				if !ok {
+					pt := params.NewPlaintext()
+					vec := quill.ConcreteSem{}.FromConst(in.P.Const, l.VecLen)
+					if err := enc.Encode(vec, pt); err != nil {
+						return nil, fmt.Errorf("plan: encoding constant of %s: %w", in, err)
+					}
+					ci = len(p.Consts)
+					p.Consts = append(p.Consts, pt)
+					constIdx[key] = ci
+				}
+				st.Con = ci
+			}
+		}
+		// Free dying operand registers before allocating dst so the
+		// destination can reuse an operand's buffer in place.
+		for _, v := range [2]int{a, b} {
+			if v >= nIn && v != -1 && last[v] == step && regOf[v] >= 0 {
+				free = append(free, regOf[v])
+				regOf[v] = -1
+			}
+			if b == a {
+				break // same value twice: free once
+			}
+		}
+		regOf[dst] = alloc(deg[dst])
+		st.Dst = regOf[dst]
+		p.Steps = append(p.Steps, st)
+		step++
+	}
+	p.Out = code(output)
+
+	p.Rotations = make([]int, 0, len(rotSet))
+	for r := range rotSet {
+		p.Rotations = append(p.Rotations, r)
+	}
+	sort.Ints(p.Rotations)
+	return p, nil
+}
+
+// RotationSet returns the canonical rotation amounts required by a set
+// of plans, merged and sorted — the Galois keys a context serving all
+// of them must hold.
+func RotationSet(plans ...*ExecutionPlan) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, p := range plans {
+		if p == nil {
+			continue
+		}
+		for _, r := range p.Rotations {
+			if !seen[r] {
+				seen[r] = true
+				out = append(out, r)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}

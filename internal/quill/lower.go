@@ -154,6 +154,14 @@ func Lower(p *Program, opts LowerOptions) (*Lowered, error) {
 		if r.Rot == 0 {
 			return base
 		}
+		// Rotations are shared by their literal amount only. Amounts
+		// that are equal modulo the vector size (rot 7 ≡ rot -1 on an
+		// 8-vector) are interchangeable on the abstract machine but NOT
+		// on the HE backend when the program vector is shorter than the
+		// ciphertext row: row rotation shifts zero padding in instead
+		// of wrapping, and which slots see padding depends on the
+		// literal amount. Canonicalization happens at plan compile
+		// time, where the target row size is known (internal/plan).
 		key := rotKey{base, r.Rot}
 		if id, ok := rotCache[key]; ok {
 			return id

@@ -92,19 +92,28 @@ func optimizeOnce(l *Lowered) (*Lowered, bool, error) {
 		if in.Op.IsCtCt() {
 			ni.B = resolve(in.B)
 		}
-		// Fold rot(rot(x,a),b) -> rot(x,a+b) and rot by 0 -> identity.
+		// Fold rot(rot(x,a),b) -> rot(x,a+b) and rot by literal 0 ->
+		// identity. The folded amount is the LITERAL sum, never reduced
+		// modulo the vector size: successive rotations compose
+		// additively both on the abstract machine (circular mod n) and
+		// on the HE backend (circular mod the ciphertext row), so the
+		// literal sum is exact on both — whereas a mod-n reduction
+		// would change which slots see the row's zero padding whenever
+		// the program vector is shorter than the row. For the same
+		// reason only a literal amount of 0 is the identity (rot n
+		// shifts the HE row by n), and CSE below merges rotations by
+		// literal amount only.
 		if ni.Op == OpRotCt {
 			if prov, ok := rotProv[ni.A]; ok {
 				ni.A = prov.src
-				ni.Rot = normRot(prov.amt+ni.Rot, l.VecLen)
+				ni.Rot = prov.amt + ni.Rot
 				changed = true
 			}
-			if normRot(ni.Rot, l.VecLen) == 0 {
+			if ni.Rot == 0 {
 				canon[in.Dst] = ni.A
 				changed = true
 				continue
 			}
-			ni.Rot = normRot(ni.Rot, l.VecLen)
 		}
 		k := keyOf(ni, func(id int) int { return id })
 		if prev, ok := seen[k]; ok {
@@ -186,14 +195,27 @@ func optimizeOnce(l *Lowered) (*Lowered, bool, error) {
 	return out, changed, nil
 }
 
-// normRot maps a rotation amount into (-n, n) preserving semantics and
-// canonicalizing to the smallest absolute value.
-func normRot(r, n int) int {
+// NormRot maps a rotation amount into the canonical range (-n/2, n/2]
+// preserving circular-rotation semantics over an n-slot vector: every
+// equivalence class mod n has exactly one representative, so two
+// rotation amounts are semantically equal on the ABSTRACT machine iff
+// their NormRot values are equal. (The ambiguous boundary pair ±n/2
+// canonicalizes to +n/2.)
+//
+// Caution: this equivalence holds on the HE backend only when the
+// program vector fills the whole ciphertext row (n == slot count).
+// For shorter vectors, BFV row rotation shifts zero padding into the
+// vector window instead of wrapping mod n, so rewriting an amount to
+// its NormRot representative changes which slots see padding. Program
+// transformations must therefore preserve literal amounts; the
+// planner (internal/plan) canonicalizes only when it can see that the
+// vector fills the row.
+func NormRot(r, n int) int {
 	r %= n
 	if r > n/2 {
 		r -= n
 	}
-	if r < -n/2 {
+	if r <= -n/2 {
 		r += n
 	}
 	return r

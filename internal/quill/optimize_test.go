@@ -99,36 +99,39 @@ func TestOptimizeRotationFolding(t *testing.T) {
 }
 
 func TestOptimizeRotZeroIdentity(t *testing.T) {
+	// A literal rot 0 is the identity on both the abstract machine and
+	// the HE row and must vanish. rot(rot(x,4),4) folds to the literal
+	// rot 8 — ≡ 0 abstractly but NOT on a zero-padded HE row, so it
+	// must survive as one instruction (see rot_norm_test.go).
 	l := &Lowered{
 		VecLen: 8, NumCtInputs: 1,
 		Instrs: []LInstr{
-			{Op: OpRotCt, Dst: 1, A: 0, Rot: 8}, // full cycle = identity
-			{Op: OpAddCtCt, Dst: 2, A: 1, B: 0},
+			{Op: OpRotCt, Dst: 1, A: 0, Rot: 0}, // literal identity
+			{Op: OpRotCt, Dst: 2, A: 1, Rot: 4},
+			{Op: OpRotCt, Dst: 3, A: 2, Rot: 4}, // folds to literal rot 8
+			{Op: OpAddCtCt, Dst: 4, A: 3, B: 0},
 		},
-		Output: 2,
+		Output: 4,
 	}
-	// Rot by VecLen is out of Validate's range, so build via folding:
-	l.Instrs[0].Rot = 4
-	l.Instrs = append(l.Instrs[:1],
-		LInstr{Op: OpRotCt, Dst: 2, A: 1, Rot: 4}, // rot(rot(x,4),4) = x
-		LInstr{Op: OpAddCtCt, Dst: 3, A: 2, B: 0},
-	)
-	l.Output = 3
 	opt, err := OptimizeLowered(l)
 	if err != nil {
 		t.Fatal(err)
 	}
+	var rots []int
 	for _, in := range opt.Instrs {
 		if in.Op == OpRotCt {
-			t.Errorf("identity rotation survived:\n%s", opt)
+			rots = append(rots, in.Rot)
 		}
+	}
+	if len(rots) != 1 || rots[0] != 8 {
+		t.Errorf("rotations after optimization = %v, want [8] (rot 0 elided, 4+4 folded literally)\n%s", rots, opt)
 	}
 	in := []Vec{{1, 2, 3, 4, 5, 6, 7, 8}}
 	want, _ := RunLowered(l, ConcreteSem{}, in, nil)
 	got, _ := RunLowered(opt, ConcreteSem{}, in, nil)
 	for i := range want {
 		if want[i] != got[i] {
-			t.Fatal("identity elimination changed semantics")
+			t.Fatal("optimization changed semantics")
 		}
 	}
 }
@@ -188,11 +191,26 @@ func TestOptimizeInvalidInput(t *testing.T) {
 
 func TestNormRot(t *testing.T) {
 	cases := []struct{ r, n, want int }{
-		{0, 8, 0}, {8, 8, 0}, {9, 8, 1}, {-9, 8, -1}, {5, 8, -3}, {-5, 8, 3}, {4, 8, 4},
+		{0, 8, 0}, {8, 8, 0}, {-8, 8, 0}, {16, 8, 0}, {9, 8, 1}, {-9, 8, -1},
+		{5, 8, -3}, {-5, 8, 3}, {4, 8, 4}, {-4, 8, 4}, {12, 8, 4}, {-12, 8, 4},
+		{7, 8, -1}, {1000, 8, 0}, {-1000, 8, 0}, {511, 1024, 511}, {-512, 1024, 512},
 	}
 	for _, c := range cases {
-		if got := normRot(c.r, c.n); got != c.want {
-			t.Errorf("normRot(%d,%d) = %d, want %d", c.r, c.n, got, c.want)
+		if got := NormRot(c.r, c.n); got != c.want {
+			t.Errorf("NormRot(%d,%d) = %d, want %d", c.r, c.n, got, c.want)
+		}
+	}
+	// Canonical representative: equivalent amounts always normalize to
+	// the same value (the boundary pair ±n/2 included).
+	for n := 2; n <= 64; n *= 2 {
+		for r := -2 * n; r <= 2*n; r++ {
+			a, b := NormRot(r, n), NormRot(r+n, n)
+			if a != b {
+				t.Fatalf("NormRot(%d,%d)=%d != NormRot(%d,%d)=%d", r, n, a, r+n, n, b)
+			}
+			if a <= -n/2 || a > n/2 {
+				t.Fatalf("NormRot(%d,%d)=%d outside (-n/2, n/2]", r, n, a)
+			}
 		}
 	}
 }

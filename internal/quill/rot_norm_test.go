@@ -1,0 +1,220 @@
+package quill
+
+import "testing"
+
+// The rotation-amount contract these tests pin down: quill-level
+// passes treat rotation amounts as LITERAL. Amounts that are equal
+// modulo the vector size (rot 7 ≡ rot -1 on an 8-vector) are
+// interchangeable on the abstract machine but NOT on the HE backend
+// when the program vector is shorter than the ciphertext row — row
+// rotation shifts zero padding into the window, and which slots see
+// padding depends on the literal amount. So Lower and Concat preserve
+// amounts, OptimizeLowered folds rot-of-rot by literal sum (exact on
+// both machines: rotations compose additively), CSE merges only
+// identical literals, and only a literal 0 is the identity.
+
+// checkSameSemantics runs both programs on a fixed input and requires
+// identical outputs on every slot (abstract machine).
+func checkSameSemantics(t *testing.T, a, b *Lowered, nCt, nPt int) {
+	t.Helper()
+	vecLen := a.VecLen
+	ctIn := make([]Vec, nCt)
+	for i := range ctIn {
+		v := make(Vec, vecLen)
+		for j := range v {
+			v[j] = uint64(i*31+j*7+3) % Modulus
+		}
+		ctIn[i] = v
+	}
+	ptIn := make([]Vec, nPt)
+	for i := range ptIn {
+		v := make(Vec, vecLen)
+		for j := range v {
+			v[j] = uint64(i*17+j*5+1) % Modulus
+		}
+		ptIn[i] = v
+	}
+	want, err := RunLowered(a, ConcreteSem{}, ctIn, ptIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunLowered(b, ConcreteSem{}, ctIn, ptIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("slot %d: %d != %d\nbefore:\n%s\nafter:\n%s", i, got[i], want[i], a, b)
+		}
+	}
+}
+
+// TestLowerPreservesLiteralRotations checks that lowering keeps
+// rotation amounts exactly as written: abstractly equivalent amounts
+// (7 ≡ -1 mod 8) stay distinct instructions, because they are not
+// equivalent on a zero-padded HE row.
+func TestLowerPreservesLiteralRotations(t *testing.T) {
+	p := &Program{
+		VecLen: 8, NumCtInputs: 1,
+		Instrs: []Instr{
+			{Op: OpAddCtCt, A: CtRef{ID: 0, Rot: 7}, B: CtRef{ID: 0, Rot: -1}},
+			{Op: OpAddCtCt, A: CtRef{ID: 1, Rot: 0}, B: CtRef{ID: 0, Rot: 7}},
+		},
+		Output: 2,
+	}
+	l, err := Lower(p, DefaultLowerOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rots []int
+	for _, in := range l.Instrs {
+		if in.Op == OpRotCt {
+			rots = append(rots, in.Rot)
+		}
+	}
+	// rot 7 shared between the two uses, rot -1 separate, rot 0 elided.
+	if len(rots) != 2 {
+		t.Fatalf("lowered rotations = %v, want exactly [7 -1] (literal sharing only)\n%s", rots, l)
+	}
+	seen := map[int]bool{rots[0]: true, rots[1]: true}
+	if !seen[7] || !seen[-1] {
+		t.Errorf("lowered rotations = %v, want literal 7 and -1 preserved", rots)
+	}
+}
+
+// TestOptimizeRotFoldWraparound checks rot-of-rot folding when the
+// literal sum passes the vector size (negative and ≥ n): the fold
+// must keep the literal sum — exact on both the abstract machine and
+// the HE row — and must not reduce it modulo the vector size, which
+// would change HE zero-padding behavior for short vectors.
+func TestOptimizeRotFoldWraparound(t *testing.T) {
+	cases := []struct {
+		name    string
+		a, b    int // chained rotation amounts
+		folded  int // expected literal amount after folding
+		expectN int // surviving rot instructions
+	}{
+		{"sum-past-n", 5, 6, 11, 1},
+		{"sum-past-negative-n", -5, -6, -11, 1},
+		{"sum-multiple-of-n", 3, 5, 8, 1},    // ≡ 0 abstractly, NOT identity on a padded row
+		{"sum-cancels-to-zero", 3, -3, 0, 0}, // literal 0: identity everywhere
+		{"half-n-pair", 4, 8, 12, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			l := &Lowered{
+				VecLen: 8, NumCtInputs: 1,
+				Instrs: []LInstr{
+					{Op: OpRotCt, Dst: 1, A: 0, Rot: c.a},
+					{Op: OpRotCt, Dst: 2, A: 1, Rot: c.b},
+					{Op: OpAddCtCt, Dst: 3, A: 2, B: 0},
+				},
+				Output: 3,
+			}
+			opt, err := OptimizeLowered(l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var rots []int
+			for _, in := range opt.Instrs {
+				if in.Op == OpRotCt {
+					rots = append(rots, in.Rot)
+				}
+			}
+			if len(rots) != c.expectN {
+				t.Fatalf("%d rot instructions after folding, want %d\n%s", len(rots), c.expectN, opt)
+			}
+			if c.expectN == 1 && rots[0] != c.folded {
+				t.Errorf("folded amount = %d, want literal %d (no mod-n reduction)", rots[0], c.folded)
+			}
+			checkSameSemantics(t, l, opt, 1, 0)
+		})
+	}
+}
+
+// TestOptimizeKeepsAbstractlyEquivalentRotationsDistinct checks that
+// CSE does NOT merge rot n/2 with rot -n/2 (nor any other abstractly
+// equivalent pair): on a zero-padded HE row they shift padding into
+// opposite halves of the window.
+func TestOptimizeKeepsAbstractlyEquivalentRotationsDistinct(t *testing.T) {
+	l := &Lowered{
+		VecLen: 8, NumCtInputs: 1,
+		Instrs: []LInstr{
+			{Op: OpRotCt, Dst: 1, A: 0, Rot: 4},
+			{Op: OpRotCt, Dst: 2, A: 0, Rot: -4},
+			{Op: OpAddCtCt, Dst: 3, A: 1, B: 2},
+		},
+		Output: 3,
+	}
+	opt, err := OptimizeLowered(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rots := 0
+	for _, in := range opt.Instrs {
+		if in.Op == OpRotCt {
+			rots++
+		}
+	}
+	if rots != 2 {
+		t.Errorf("rot 4 and rot -4 merged (%d rot instructions): unsound on a zero-padded HE row\n%s", rots, opt)
+	}
+	checkSameSemantics(t, l, opt, 1, 0)
+}
+
+// TestConcatPreservesRotations checks that stitching segments keeps
+// every rotation amount literally intact, and that the cross-segment
+// rot-of-rot fold in OptimizeLowered then produces literal sums.
+func TestConcatPreservesRotations(t *testing.T) {
+	a := &Lowered{
+		VecLen: 8, NumCtInputs: 1,
+		Instrs: []LInstr{
+			{Op: OpRotCt, Dst: 1, A: 0, Rot: 6},
+			{Op: OpAddCtCt, Dst: 2, A: 1, B: 0},
+		},
+		Output: 1, // b consumes the rotation directly
+	}
+	b := &Lowered{
+		VecLen: 8, NumCtInputs: 1,
+		Instrs: []LInstr{
+			{Op: OpRotCt, Dst: 1, A: 0, Rot: 7},
+			{Op: OpSubCtCt, Dst: 2, A: 0, B: 1},
+		},
+		Output: 2,
+	}
+	cat, err := Concat(a, b, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	amounts := map[int]int{}
+	for _, in := range cat.Instrs {
+		if in.Op == OpRotCt {
+			amounts[in.Rot]++
+		}
+	}
+	if amounts[6] != 1 || amounts[7] != 1 {
+		t.Errorf("Concat changed rotation amounts: %v, want literal 6 and 7", amounts)
+	}
+	// The optimizer folds the cross-segment rot(rot(x,6),7) chain into
+	// a literal rot 13 (6+7, no mod-8 reduction); rot 6 survives as the
+	// other subtraction operand.
+	opt, err := OptimizeLowered(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optAmounts := map[int]bool{}
+	rots := 0
+	for _, in := range opt.Instrs {
+		if in.Op == OpRotCt {
+			rots++
+			optAmounts[in.Rot] = true
+		}
+	}
+	if rots != 2 || !optAmounts[6] || !optAmounts[13] {
+		t.Errorf("cross-segment fold kept %d rotations %v, want literal 6 and 13\n%s", rots, optAmounts, opt)
+	}
+	checkSameSemantics(t, cat, opt, 1, 0)
+}

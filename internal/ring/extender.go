@@ -173,36 +173,54 @@ func (be *BasisExtender) LiftCentered(dst, src *Poly) {
 	for i := 0; i < k; i++ {
 		copy(dst.Coeffs[i], src.Coeffs[i]) // x_c ≡ x mod q_i
 	}
+	if be.rExt.workers > 1 {
+		runParallelChunks(be.rExt.workers, n, func(lo, hi int) {
+			be.liftCenteredChunk(dst, src, lo, hi)
+		})
+		return
+	}
+	be.liftCenteredChunk(dst, src, 0, n)
+}
+
+// liftCenteredChunk lifts the coefficient range [lo, hi). Digit
+// scratch lives on the stack for the common basis sizes, so the
+// serial path performs no allocations.
+func (be *BasisExtender) liftCenteredChunk(dst, src *Poly, lo, hi int) {
+	k := be.k
 	nAux := be.kExt - k
-	runParallelChunks(be.rExt.workers, n, func(lo, hi int) {
-		digits := make([]uint64, k)
-		for j := lo; j < hi; j++ {
-			for i := 0; i < k; i++ {
-				digits[i] = src.Coeffs[i][j]
-			}
-			be.decQ.Decompose(digits, digits)
-			neg := mathutil.MRGreater(digits, be.halfQDigits)
-			for a := 0; a < nAux; a++ {
-				p := be.rExt.Primes[k+a]
-				w, ws := be.liftW[a], be.liftWS[a]
-				var acc uint64
-				if be.lazyLift {
-					for i := 0; i < k; i++ {
-						acc += mathutil.ShoupMulLazy(digits[i], w[i], ws[i], p)
-					}
-					acc = be.auxBars[a].Reduce64(acc)
-				} else {
-					for i := 0; i < k; i++ {
-						acc = mathutil.AddMod(acc, mathutil.ShoupMul(digits[i], w[i], ws[i], p), p)
-					}
-				}
-				if neg {
-					acc = mathutil.SubMod(acc, be.qModAux[a], p)
-				}
-				dst.Coeffs[k+a][j] = acc
-			}
+	var buf [maxStackDigits]uint64
+	digits := buf[:]
+	if k > maxStackDigits {
+		digits = make([]uint64, k)
+	} else {
+		digits = digits[:k]
+	}
+	for j := lo; j < hi; j++ {
+		for i := 0; i < k; i++ {
+			digits[i] = src.Coeffs[i][j]
 		}
-	})
+		be.decQ.Decompose(digits, digits)
+		neg := mathutil.MRGreater(digits, be.halfQDigits)
+		for a := 0; a < nAux; a++ {
+			p := be.rExt.Primes[k+a]
+			w, ws := be.liftW[a], be.liftWS[a]
+			var acc uint64
+			if be.lazyLift {
+				for i := 0; i < k; i++ {
+					acc += mathutil.ShoupMulLazy(digits[i], w[i], ws[i], p)
+				}
+				acc = be.auxBars[a].Reduce64(acc)
+			} else {
+				for i := 0; i < k; i++ {
+					acc = mathutil.AddMod(acc, mathutil.ShoupMul(digits[i], w[i], ws[i], p), p)
+				}
+			}
+			if neg {
+				acc = mathutil.SubMod(acc, be.qModAux[a], p)
+			}
+			dst.Coeffs[k+a][j] = acc
+		}
+	}
 }
 
 // ScaleDown writes into dst (base ring) the coefficient-wise value
@@ -213,53 +231,77 @@ func (be *BasisExtender) LiftCentered(dst, src *Poly) {
 // (extended ring) and rounding is half-away-from-zero — exactly the
 // big.Int reference computation (t·x_c ± Q/2) quo Q.
 func (be *BasisExtender) ScaleDown(dst, src *Poly) {
-	k, kExt, n, t := be.k, be.kExt, be.rQ.N, be.t
-	runParallelChunks(be.rExt.workers, n, func(lo, hi int) {
-		res := make([]uint64, kExt)
-		digits := make([]uint64, kExt)
-		for j := lo; j < hi; j++ {
-			for i := 0; i < kExt; i++ {
-				res[i] = src.Coeffs[i][j]
-			}
-			be.decExt.Decompose(res, digits)
-			neg := mathutil.MRGreater(digits, be.halfEDigits)
-			if neg {
-				// Work with the magnitude M = E - x of the centered value,
-				// whose digits are the mixed-radix complement (O(K), no
-				// second Garner pass).
-				be.decExt.ComplementDigits(digits)
-			}
-			// digits ← carry-normalized mixed-radix digits of t·M + Q/2,
-			// with the final carry as overflow digit (value < t + 2).
-			carry := uint64(0)
-			for i := 0; i < kExt; i++ {
-				hi64, lo64 := bits.Mul64(digits[i], t)
-				lo64, c := bits.Add64(lo64, be.hqExtDigits[i]+carry, 0)
-				carry, digits[i] = be.divs[i].DivRem128(hi64+c, lo64)
-			}
-			// floor((t·M + Q/2)/Q) = Σ_{i≥k} digits[i]·(W_i/Q) + carry·(E/Q),
-			// reduced mod each q_j with precomputed Shoup constants.
-			for jq := 0; jq < k; jq++ {
-				p := be.rQ.Primes[jq]
-				v, vs := be.vMod[jq], be.vModS[jq]
-				var acc uint64
-				if be.lazyScale {
-					acc = mathutil.ShoupMulLazy(carry, v[kExt-k], vs[kExt-k], p)
-					for i := k; i < kExt; i++ {
-						acc += mathutil.ShoupMulLazy(digits[i], v[i-k], vs[i-k], p)
-					}
-					acc = be.qBars[jq].Reduce64(acc)
-				} else {
-					acc = mathutil.ShoupMul(carry, v[kExt-k], vs[kExt-k], p)
-					for i := k; i < kExt; i++ {
-						acc = mathutil.AddMod(acc, mathutil.ShoupMul(digits[i], v[i-k], vs[i-k], p), p)
-					}
-				}
-				if neg {
-					acc = mathutil.NegMod(acc, p)
-				}
-				dst.Coeffs[jq][j] = acc
-			}
-		}
-	})
+	n := be.rQ.N
+	if be.rExt.workers > 1 {
+		runParallelChunks(be.rExt.workers, n, func(lo, hi int) {
+			be.scaleDownChunk(dst, src, lo, hi)
+		})
+		return
+	}
+	be.scaleDownChunk(dst, src, 0, n)
 }
+
+// scaleDownChunk rescales the coefficient range [lo, hi). Digit
+// scratch lives on the stack for the common basis sizes, so the
+// serial path performs no allocations.
+func (be *BasisExtender) scaleDownChunk(dst, src *Poly, lo, hi int) {
+	k, kExt, t := be.k, be.kExt, be.t
+	var bufRes, bufDig [maxStackDigits]uint64
+	res, digits := bufRes[:], bufDig[:]
+	if kExt > maxStackDigits {
+		res = make([]uint64, kExt)
+		digits = make([]uint64, kExt)
+	} else {
+		res = res[:kExt]
+		digits = digits[:kExt]
+	}
+	for j := lo; j < hi; j++ {
+		for i := 0; i < kExt; i++ {
+			res[i] = src.Coeffs[i][j]
+		}
+		be.decExt.Decompose(res, digits)
+		neg := mathutil.MRGreater(digits, be.halfEDigits)
+		if neg {
+			// Work with the magnitude M = E - x of the centered value,
+			// whose digits are the mixed-radix complement (O(K), no
+			// second Garner pass).
+			be.decExt.ComplementDigits(digits)
+		}
+		// digits ← carry-normalized mixed-radix digits of t·M + Q/2,
+		// with the final carry as overflow digit (value < t + 2).
+		carry := uint64(0)
+		for i := 0; i < kExt; i++ {
+			hi64, lo64 := bits.Mul64(digits[i], t)
+			lo64, c := bits.Add64(lo64, be.hqExtDigits[i]+carry, 0)
+			carry, digits[i] = be.divs[i].DivRem128(hi64+c, lo64)
+		}
+		// floor((t·M + Q/2)/Q) = Σ_{i≥k} digits[i]·(W_i/Q) + carry·(E/Q),
+		// reduced mod each q_j with precomputed Shoup constants.
+		for jq := 0; jq < k; jq++ {
+			p := be.rQ.Primes[jq]
+			v, vs := be.vMod[jq], be.vModS[jq]
+			var acc uint64
+			if be.lazyScale {
+				acc = mathutil.ShoupMulLazy(carry, v[kExt-k], vs[kExt-k], p)
+				for i := k; i < kExt; i++ {
+					acc += mathutil.ShoupMulLazy(digits[i], v[i-k], vs[i-k], p)
+				}
+				acc = be.qBars[jq].Reduce64(acc)
+			} else {
+				acc = mathutil.ShoupMul(carry, v[kExt-k], vs[kExt-k], p)
+				for i := k; i < kExt; i++ {
+					acc = mathutil.AddMod(acc, mathutil.ShoupMul(digits[i], v[i-k], vs[i-k], p), p)
+				}
+			}
+			if neg {
+				acc = mathutil.NegMod(acc, p)
+			}
+			dst.Coeffs[jq][j] = acc
+		}
+	}
+}
+
+// maxStackDigits bounds the RNS basis size for which the mixed-radix
+// conversions keep digit scratch on the stack. Every preset is far
+// below it (kExt ≤ 9); larger custom bases fall back to heap scratch.
+const maxStackDigits = 16

@@ -244,52 +244,91 @@ func (r *Ring) Equal(a, b *Poly) bool {
 	return true
 }
 
+// Hot per-prime ops follow one pattern: the loop body lives in a
+// *At method taking the prime index, the serial path (workers <= 1,
+// the evaluator default) calls it in a plain loop so no closure is
+// allocated, and only the parallel path pays for the func literal
+// that escapes into runParallel. This keeps steady-state plan
+// execution allocation-free.
+
 // Add sets dst = a + b. dst may alias a or b.
 func (r *Ring) Add(dst, a, b *Poly) {
-	r.forEachPrime(func(i int) {
-		p := r.Primes[i]
-		ai, bi, di := a.Coeffs[i], b.Coeffs[i], dst.Coeffs[i]
-		for j := range di {
-			di[j] = mathutil.AddMod(ai[j], bi[j], p)
-		}
-	})
+	if r.workers > 1 {
+		r.forEachPrime(func(i int) { r.addAt(dst, a, b, i) })
+		return
+	}
+	for i := range r.Primes {
+		r.addAt(dst, a, b, i)
+	}
+}
+
+func (r *Ring) addAt(dst, a, b *Poly, i int) {
+	p := r.Primes[i]
+	ai, bi, di := a.Coeffs[i], b.Coeffs[i], dst.Coeffs[i]
+	for j := range di {
+		di[j] = mathutil.AddMod(ai[j], bi[j], p)
+	}
 }
 
 // Sub sets dst = a - b. dst may alias a or b.
 func (r *Ring) Sub(dst, a, b *Poly) {
-	r.forEachPrime(func(i int) {
-		p := r.Primes[i]
-		ai, bi, di := a.Coeffs[i], b.Coeffs[i], dst.Coeffs[i]
-		for j := range di {
-			di[j] = mathutil.SubMod(ai[j], bi[j], p)
-		}
-	})
+	if r.workers > 1 {
+		r.forEachPrime(func(i int) { r.subAt(dst, a, b, i) })
+		return
+	}
+	for i := range r.Primes {
+		r.subAt(dst, a, b, i)
+	}
+}
+
+func (r *Ring) subAt(dst, a, b *Poly, i int) {
+	p := r.Primes[i]
+	ai, bi, di := a.Coeffs[i], b.Coeffs[i], dst.Coeffs[i]
+	for j := range di {
+		di[j] = mathutil.SubMod(ai[j], bi[j], p)
+	}
 }
 
 // Neg sets dst = -a.
 func (r *Ring) Neg(dst, a *Poly) {
-	r.forEachPrime(func(i int) {
-		p := r.Primes[i]
-		ai, di := a.Coeffs[i], dst.Coeffs[i]
-		for j := range di {
-			di[j] = mathutil.NegMod(ai[j], p)
-		}
-	})
+	if r.workers > 1 {
+		r.forEachPrime(func(i int) { r.negAt(dst, a, i) })
+		return
+	}
+	for i := range r.Primes {
+		r.negAt(dst, a, i)
+	}
+}
+
+func (r *Ring) negAt(dst, a *Poly, i int) {
+	p := r.Primes[i]
+	ai, di := a.Coeffs[i], dst.Coeffs[i]
+	for j := range di {
+		di[j] = mathutil.NegMod(ai[j], p)
+	}
 }
 
 // MulScalar sets dst = a * s for a word-sized scalar s. The per-prime
 // scalar is fixed across the coefficient loop, so a Shoup constant
 // replaces the division-based MulMod.
 func (r *Ring) MulScalar(dst, a *Poly, s uint64) {
-	r.forEachPrime(func(i int) {
-		p := r.Primes[i]
-		sp := r.tables[i].bar.Reduce64(s)
-		spS := shoupPrecomp(sp, p)
-		ai, di := a.Coeffs[i], dst.Coeffs[i]
-		for j := range di {
-			di[j] = shoupMul(ai[j], sp, spS, p)
-		}
-	})
+	if r.workers > 1 {
+		r.forEachPrime(func(i int) { r.mulScalarAt(dst, a, s, i) })
+		return
+	}
+	for i := range r.Primes {
+		r.mulScalarAt(dst, a, s, i)
+	}
+}
+
+func (r *Ring) mulScalarAt(dst, a *Poly, s uint64, i int) {
+	p := r.Primes[i]
+	sp := r.tables[i].bar.Reduce64(s)
+	spS := shoupPrecomp(sp, p)
+	ai, di := a.Coeffs[i], dst.Coeffs[i]
+	for j := range di {
+		di[j] = shoupMul(ai[j], sp, spS, p)
+	}
 }
 
 // MulScalarBig sets dst = a * s for an arbitrary-precision scalar s.
@@ -308,16 +347,24 @@ func (r *Ring) MulScalarBig(dst, a *Poly, s *big.Int) {
 
 // NTT transforms p in place, coefficient domain → evaluation domain.
 func (r *Ring) NTT(p *Poly) {
-	r.forEachPrime(func(i int) {
+	if r.workers > 1 {
+		r.forEachPrime(func(i int) { nttForward(p.Coeffs[i], r.tables[i]) })
+		return
+	}
+	for i := range r.Primes {
 		nttForward(p.Coeffs[i], r.tables[i])
-	})
+	}
 }
 
 // INTT transforms p in place, evaluation domain → coefficient domain.
 func (r *Ring) INTT(p *Poly) {
-	r.forEachPrime(func(i int) {
+	if r.workers > 1 {
+		r.forEachPrime(func(i int) { nttInverse(p.Coeffs[i], r.tables[i]) })
+		return
+	}
+	for i := range r.Primes {
 		nttInverse(p.Coeffs[i], r.tables[i])
-	})
+	}
 }
 
 // MulCoeffs sets dst = a ⊙ b where both operands are in the NTT domain
@@ -325,25 +372,41 @@ func (r *Ring) INTT(p *Poly) {
 // reduction uses the precomputed 128-bit Barrett constant instead of a
 // hardware divide.
 func (r *Ring) MulCoeffs(dst, a, b *Poly) {
-	r.forEachPrime(func(i int) {
-		bar := r.tables[i].bar
-		ai, bi, di := a.Coeffs[i], b.Coeffs[i], dst.Coeffs[i]
-		for j := range di {
-			di[j] = bar.MulMod(ai[j], bi[j])
-		}
-	})
+	if r.workers > 1 {
+		r.forEachPrime(func(i int) { r.mulCoeffsAt(dst, a, b, i) })
+		return
+	}
+	for i := range r.Primes {
+		r.mulCoeffsAt(dst, a, b, i)
+	}
+}
+
+func (r *Ring) mulCoeffsAt(dst, a, b *Poly, i int) {
+	bar := r.tables[i].bar
+	ai, bi, di := a.Coeffs[i], b.Coeffs[i], dst.Coeffs[i]
+	for j := range di {
+		di[j] = bar.MulMod(ai[j], bi[j])
+	}
 }
 
 // MulCoeffsAndAdd sets dst += a ⊙ b in the NTT domain.
 func (r *Ring) MulCoeffsAndAdd(dst, a, b *Poly) {
-	r.forEachPrime(func(i int) {
-		p := r.Primes[i]
-		bar := r.tables[i].bar
-		ai, bi, di := a.Coeffs[i], b.Coeffs[i], dst.Coeffs[i]
-		for j := range di {
-			di[j] = mathutil.AddMod(di[j], bar.MulMod(ai[j], bi[j]), p)
-		}
-	})
+	if r.workers > 1 {
+		r.forEachPrime(func(i int) { r.mulCoeffsAndAddAt(dst, a, b, i) })
+		return
+	}
+	for i := range r.Primes {
+		r.mulCoeffsAndAddAt(dst, a, b, i)
+	}
+}
+
+func (r *Ring) mulCoeffsAndAddAt(dst, a, b *Poly, i int) {
+	p := r.Primes[i]
+	bar := r.tables[i].bar
+	ai, bi, di := a.Coeffs[i], b.Coeffs[i], dst.Coeffs[i]
+	for j := range di {
+		di[j] = mathutil.AddMod(di[j], bar.MulMod(ai[j], bi[j]), p)
+	}
 }
 
 // MulPoly sets dst = a * b for operands in the coefficient domain,
@@ -366,18 +429,27 @@ func (r *Ring) MulPoly(dst, a, b *Poly) {
 // switching: every row l of dst holds row i of src reduced modulo p_l.
 // Reductions use per-prime Barrett constants (no hardware divides).
 func (r *Ring) DigitLift(dst, src *Poly, i int) {
+	if r.workers > 1 {
+		from := src.Coeffs[i]
+		r.forEachPrime(func(l int) { r.digitLiftAt(dst, from, i, l) })
+		return
+	}
 	from := src.Coeffs[i]
-	r.forEachPrime(func(l int) {
-		dl := dst.Coeffs[l]
-		if l == i {
-			copy(dl, from)
-			return
-		}
-		bar := r.tables[l].bar
-		for j, v := range from {
-			dl[j] = bar.Reduce64(v)
-		}
-	})
+	for l := range r.Primes {
+		r.digitLiftAt(dst, from, i, l)
+	}
+}
+
+func (r *Ring) digitLiftAt(dst *Poly, from []uint64, i, l int) {
+	dl := dst.Coeffs[l]
+	if l == i {
+		copy(dl, from)
+		return
+	}
+	bar := r.tables[l].bar
+	for j, v := range from {
+		dl[j] = bar.Reduce64(v)
+	}
 }
 
 // BarrettAt returns the Barrett constant of prime i.
@@ -442,7 +514,7 @@ func nttInverse(a []uint64, tbl *nttTable) {
 				if uu >= twoP {
 					uu -= twoP
 				}
-				a[j] = uu                                            // < 2p
+				a[j] = uu                                          // < 2p
 				a[j+t] = mathutil.ShoupMulLazy(u+twoP-v, w, wS, p) // < 2p
 			}
 			j1 += 2 * t

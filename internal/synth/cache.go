@@ -11,12 +11,15 @@
 package synth
 
 import (
+	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -29,6 +32,17 @@ import (
 // cost handling) can alter which program a given query returns.
 const EngineVersion = "2"
 
+// Limits bounds a cache. Zero fields mean unlimited. When a bound is
+// exceeded the least-recently-used entries are evicted (memory and,
+// for disk-backed caches, the backing files).
+type Limits struct {
+	// MaxEntries caps the number of stored entries (synthesis results
+	// and composed programs combined).
+	MaxEntries int
+	// MaxBytes caps the total serialized size of stored entries.
+	MaxBytes int64
+}
+
 // Cache memoizes verified synthesis results, in memory and optionally
 // on disk. The zero value is unusable; use NewMemCache or OpenCache.
 // All methods are safe for concurrent use.
@@ -38,6 +52,22 @@ type Cache struct {
 	mu     sync.RWMutex
 	mem    map[string]*cacheEntry
 	lowmem map[string]*loweredEntry
+
+	// LRU accounting (enabled by SetLimits / OpenCacheWithLimits).
+	// Guarded by lruMu, acquired after mu is released — never while
+	// holding it.
+	lruMu    sync.Mutex
+	lim      Limits
+	lru      *list.List               // front = most recent; values are *lruNode
+	lruIdx   map[string]*list.Element // file name -> element
+	lruBytes int64
+}
+
+// lruNode tracks one stored entry for eviction: its file name (the
+// key plus kind suffix) and serialized size.
+type lruNode struct {
+	name string
+	size int64
 }
 
 // cacheEntry is the stored value: the verified programs plus the
@@ -86,12 +116,204 @@ func DefaultCacheDir() string {
 // Dir returns the backing directory ("" for memory-only caches).
 func (c *Cache) Dir() string { return c.dir }
 
+// OpenCacheWithLimits is OpenCache with an eviction bound applied.
+func OpenCacheWithLimits(dir string, lim Limits) (*Cache, error) {
+	c, err := OpenCache(dir)
+	if err != nil {
+		return nil, err
+	}
+	c.SetLimits(lim)
+	return c, nil
+}
+
+// SetLimits enables LRU bounding. For disk-backed caches the backing
+// directory is scanned once (existing entries ordered oldest-first by
+// modification time) and over-limit entries are evicted immediately;
+// afterwards every store and hit updates the recency order and stores
+// evict as needed. Zero-valued limits disable nothing once enabled —
+// they mean "no bound on this axis".
+func (c *Cache) SetLimits(lim Limits) {
+	// Snapshot entries already resident in memory (mem-only caches, or
+	// limits enabled after use) before taking lruMu — mu is never
+	// acquired while holding lruMu.
+	type resident struct {
+		name string
+		size int64
+	}
+	var res []resident
+	c.mu.RLock()
+	for key, ent := range c.mem {
+		res = append(res, resident{key + ".json", entrySize(ent)})
+	}
+	for key, ent := range c.lowmem {
+		res = append(res, resident{key + loweredSuffix, entrySize(ent)})
+	}
+	c.mu.RUnlock()
+
+	c.lruMu.Lock()
+	c.lim = lim
+	if c.lru == nil {
+		c.lru = list.New()
+		c.lruIdx = map[string]*list.Element{}
+		c.scanDiskLocked()
+		for _, r := range res {
+			if _, ok := c.lruIdx[r.name]; ok {
+				continue // already indexed from disk
+			}
+			c.lruIdx[r.name] = c.lru.PushFront(&lruNode{name: r.name, size: r.size})
+			c.lruBytes += r.size
+		}
+	}
+	victims := c.collectVictimsLocked()
+	c.lruMu.Unlock()
+	c.evict(victims)
+}
+
+// Limits returns the configured bounds (zero value when unbounded).
+func (c *Cache) Limits() Limits {
+	c.lruMu.Lock()
+	defer c.lruMu.Unlock()
+	return c.lim
+}
+
+// scanDiskLocked seeds the LRU index from the backing directory,
+// oldest entries least recent. Called with lruMu held.
+func (c *Cache) scanDiskLocked() {
+	if c.dir == "" {
+		return
+	}
+	ents, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	type fileInfo struct {
+		name string
+		size int64
+		mod  time.Time
+	}
+	var fis []fileInfo
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".json") || strings.HasPrefix(name, ".tmp-") || e.IsDir() {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		fis = append(fis, fileInfo{name, info.Size(), info.ModTime()})
+	}
+	sort.Slice(fis, func(i, j int) bool { return fis[i].mod.Before(fis[j].mod) })
+	for _, f := range fis {
+		c.lruIdx[f.name] = c.lru.PushFront(&lruNode{name: f.name, size: f.size})
+		c.lruBytes += f.size
+	}
+}
+
+// touch records a use of the named entry (size < 0 keeps the known
+// size) and evicts least-recently-used entries while over the limits.
+func (c *Cache) touch(name string, size int64) {
+	c.lruMu.Lock()
+	if c.lru == nil {
+		c.lruMu.Unlock()
+		return
+	}
+	if el, ok := c.lruIdx[name]; ok {
+		n := el.Value.(*lruNode)
+		if size >= 0 {
+			c.lruBytes += size - n.size
+			n.size = size
+		}
+		c.lru.MoveToFront(el)
+	} else {
+		if size < 0 {
+			size = 0
+		}
+		c.lruIdx[name] = c.lru.PushFront(&lruNode{name: name, size: size})
+		c.lruBytes += size
+	}
+	victims := c.collectVictimsLocked()
+	c.lruMu.Unlock()
+	c.evict(victims)
+}
+
+// collectVictimsLocked pops least-recently-used entries until the
+// cache is within its limits, returning their names. Called with
+// lruMu held. The most recent entry is never evicted, so a cache with
+// pathological limits still serves the entry it just stored.
+func (c *Cache) collectVictimsLocked() []string {
+	var out []string
+	for c.lru.Len() > 1 &&
+		((c.lim.MaxEntries > 0 && c.lru.Len() > c.lim.MaxEntries) ||
+			(c.lim.MaxBytes > 0 && c.lruBytes > c.lim.MaxBytes)) {
+		el := c.lru.Back()
+		n := el.Value.(*lruNode)
+		c.lru.Remove(el)
+		delete(c.lruIdx, n.name)
+		c.lruBytes -= n.size
+		out = append(out, n.name)
+	}
+	return out
+}
+
+// evict removes the named entries from memory and disk.
+func (c *Cache) evict(names []string) {
+	if len(names) == 0 {
+		return
+	}
+	c.mu.Lock()
+	for _, name := range names {
+		if key, ok := strings.CutSuffix(name, loweredSuffix); ok {
+			delete(c.lowmem, key)
+		} else if key, ok := strings.CutSuffix(name, ".json"); ok {
+			delete(c.mem, key)
+		}
+	}
+	c.mu.Unlock()
+	if c.dir != "" {
+		for _, name := range names {
+			os.Remove(filepath.Join(c.dir, name))
+		}
+	}
+}
+
+// forget removes an entry from the LRU accounting (drop paths).
+func (c *Cache) forget(name string) {
+	c.lruMu.Lock()
+	if el, ok := c.lruIdx[name]; ok {
+		n := el.Value.(*lruNode)
+		c.lru.Remove(el)
+		delete(c.lruIdx, name)
+		c.lruBytes -= n.size
+	}
+	c.lruMu.Unlock()
+}
+
+// limitsEnabled reports whether LRU accounting is active, so
+// unbounded caches skip the size bookkeeping entirely.
+func (c *Cache) limitsEnabled() bool {
+	c.lruMu.Lock()
+	defer c.lruMu.Unlock()
+	return c.lru != nil
+}
+
+// entrySize returns the serialized size of an entry for byte
+// accounting when no disk write produced one.
+func entrySize(v any) int64 {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return 0
+	}
+	return int64(len(raw))
+}
+
 // get returns the entry for key, consulting memory first, then disk.
 func (c *Cache) get(key string) (*cacheEntry, bool) {
 	c.mu.RLock()
 	ent, ok := c.mem[key]
 	c.mu.RUnlock()
 	if ok {
+		c.touch(key+".json", -1)
 		return ent, true
 	}
 	if c.dir == "" {
@@ -108,6 +330,7 @@ func (c *Cache) get(key string) (*cacheEntry, bool) {
 	c.mu.Lock()
 	c.mem[key] = ent
 	c.mu.Unlock()
+	c.touch(key+".json", int64(len(raw)))
 	return ent, true
 }
 
@@ -119,13 +342,20 @@ func (c *Cache) put(ent *cacheEntry) error {
 	c.mem[ent.Key] = ent
 	c.mu.Unlock()
 	if c.dir == "" {
+		if c.limitsEnabled() {
+			c.touch(ent.Key+".json", entrySize(ent))
+		}
 		return nil
 	}
 	raw, err := json.MarshalIndent(ent, "", "  ")
 	if err != nil {
 		return err
 	}
-	return c.writeAtomic(ent.Key+".json", raw)
+	if err := c.writeAtomic(ent.Key+".json", raw); err != nil {
+		return err
+	}
+	c.touch(ent.Key+".json", int64(len(raw)))
+	return nil
 }
 
 // writeAtomic durably writes a cache file via temp file + rename, so
@@ -160,6 +390,7 @@ func (c *Cache) drop(key string) {
 	if c.dir != "" {
 		os.Remove(c.entryPath(key))
 	}
+	c.forget(key + ".json")
 }
 
 // Len returns the number of entries resident in memory.
@@ -207,6 +438,7 @@ func (c *Cache) GetLowered(key string) *quill.Lowered {
 	c.mu.RLock()
 	ent, ok := c.lowmem[key]
 	c.mu.RUnlock()
+	size := int64(-1)
 	if !ok {
 		if c.dir == "" {
 			return nil
@@ -219,6 +451,7 @@ func (c *Cache) GetLowered(key string) *quill.Lowered {
 		if err := json.Unmarshal(raw, ent); err != nil || ent.Key != key || ent.Engine != EngineVersion {
 			return nil
 		}
+		size = int64(len(raw))
 	}
 	if ent.Sum != textSum(ent.Lowered) {
 		c.dropLowered(key)
@@ -232,6 +465,7 @@ func (c *Cache) GetLowered(key string) *quill.Lowered {
 	c.mu.Lock()
 	c.lowmem[key] = ent
 	c.mu.Unlock()
+	c.touch(key+loweredSuffix, size)
 	return l
 }
 
@@ -243,13 +477,20 @@ func (c *Cache) PutLowered(key, kernel string, l *quill.Lowered) error {
 	c.lowmem[key] = ent
 	c.mu.Unlock()
 	if c.dir == "" {
+		if c.limitsEnabled() {
+			c.touch(key+loweredSuffix, entrySize(ent))
+		}
 		return nil
 	}
 	raw, err := json.MarshalIndent(ent, "", "  ")
 	if err != nil {
 		return err
 	}
-	return c.writeAtomic(key+loweredSuffix, raw)
+	if err := c.writeAtomic(key+loweredSuffix, raw); err != nil {
+		return err
+	}
+	c.touch(key+loweredSuffix, int64(len(raw)))
+	return nil
 }
 
 func (c *Cache) dropLowered(key string) {
@@ -259,6 +500,7 @@ func (c *Cache) dropLowered(key string) {
 	if c.dir != "" {
 		os.Remove(filepath.Join(c.dir, key+loweredSuffix))
 	}
+	c.forget(key + loweredSuffix)
 }
 
 func textSum(s string) string {

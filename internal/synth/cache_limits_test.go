@@ -1,0 +1,177 @@
+package synth
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"porcupine/internal/quill"
+)
+
+// putTestLowered stores n distinct lowered entries under synthetic
+// keys and returns the keys in store order.
+func putTestLowered(t *testing.T, c *Cache, n int) []string {
+	t.Helper()
+	l := &quill.Lowered{
+		VecLen: 8, NumCtInputs: 1,
+		Instrs: []quill.LInstr{{Op: quill.OpAddCtCt, Dst: 1, A: 0, B: 0}},
+		Output: 1,
+	}
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%064d", i)
+		if err := c.PutLowered(keys[i], "test", l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return keys
+}
+
+// TestCacheMaxEntriesEviction checks that the entry cap evicts in LRU
+// order, in memory and on disk.
+func TestCacheMaxEntriesEviction(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCacheWithLimits(dir, Limits{MaxEntries: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := putTestLowered(t, c, 3)
+	// Touch key 0 so key 1 becomes the LRU victim.
+	if c.GetLowered(keys[0]) == nil {
+		t.Fatal("expected hit on key 0")
+	}
+	// Store a new key to push the cache over the cap.
+	l := &quill.Lowered{
+		VecLen: 8, NumCtInputs: 1,
+		Instrs: []quill.LInstr{{Op: quill.OpSubCtCt, Dst: 1, A: 0, B: 0}},
+		Output: 1,
+	}
+	if err := c.PutLowered("ff"+keys[0][2:], "test", l); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.GetLowered(keys[1]); got != nil {
+		t.Error("LRU entry (key 1) not evicted")
+	}
+	if c.GetLowered(keys[0]) == nil {
+		t.Error("recently used entry (key 0) evicted")
+	}
+	if _, err := os.Stat(filepath.Join(dir, keys[1]+loweredSuffix)); !os.IsNotExist(err) {
+		t.Errorf("evicted entry still on disk (stat err %v)", err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(files) != 3 {
+		t.Errorf("disk holds %d entries, want 3", len(files))
+	}
+}
+
+// TestCacheMaxBytesEviction checks the byte cap.
+func TestCacheMaxBytesEviction(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := putTestLowered(t, c, 4)
+	// Measure one entry's size, then bound the cache to about two.
+	info, err := os.Stat(filepath.Join(dir, keys[0]+loweredSuffix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetLimits(Limits{MaxBytes: 2*info.Size() + info.Size()/2})
+	files, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(files) != 2 {
+		t.Fatalf("byte cap left %d entries, want 2", len(files))
+	}
+	// Oldest entries went first.
+	if c.GetLowered(keys[0]) != nil || c.GetLowered(keys[1]) != nil {
+		t.Error("oldest entries survived byte-cap eviction")
+	}
+	if c.GetLowered(keys[3]) == nil {
+		t.Error("newest entry evicted")
+	}
+}
+
+// TestCacheLimitsRestartScan checks that a fresh handle over an
+// existing directory picks up prior entries (by mtime) and bounds
+// them.
+func TestCacheLimitsRestartScan(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := putTestLowered(t, c1, 5)
+	// Age the files so mtime ordering is deterministic.
+	for i, k := range keys {
+		mt := time.Now().Add(time.Duration(i-10) * time.Minute)
+		os.Chtimes(filepath.Join(dir, k+loweredSuffix), mt, mt)
+	}
+
+	c2, err := OpenCacheWithLimits(dir, Limits{MaxEntries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(files) != 2 {
+		t.Fatalf("restart scan left %d entries, want 2", len(files))
+	}
+	for _, k := range keys[:3] {
+		if c2.GetLowered(k) != nil {
+			t.Errorf("old entry %s... survived restart eviction", k[:8])
+		}
+	}
+	for _, k := range keys[3:] {
+		if c2.GetLowered(k) == nil {
+			t.Errorf("recent entry %s... evicted on restart", k[:8])
+		}
+	}
+}
+
+// TestCacheUnlimitedByDefault checks that caches without SetLimits
+// never evict.
+func TestCacheUnlimitedByDefault(t *testing.T) {
+	c := NewMemCache()
+	keys := putTestLowered(t, c, 50)
+	for _, k := range keys {
+		if c.GetLowered(k) == nil {
+			t.Fatalf("unbounded cache evicted %s...", k[:8])
+		}
+	}
+}
+
+// TestCacheMemOnlyLimits checks that memory-only caches honor the
+// entry cap too.
+func TestCacheMemOnlyLimits(t *testing.T) {
+	c := NewMemCache()
+	c.SetLimits(Limits{MaxEntries: 2})
+	keys := putTestLowered(t, c, 5)
+	alive := 0
+	for _, k := range keys {
+		if c.GetLowered(k) != nil {
+			alive++
+		}
+	}
+	if alive != 2 {
+		t.Errorf("mem-only cache holds %d entries under a cap of 2", alive)
+	}
+}
+
+// TestCacheLimitsAppliedToResidentEntries checks that SetLimits bounds
+// entries that were already resident in memory before the limits were
+// enabled (no disk backing to rescan).
+func TestCacheLimitsAppliedToResidentEntries(t *testing.T) {
+	c := NewMemCache()
+	keys := putTestLowered(t, c, 20)
+	c.SetLimits(Limits{MaxEntries: 4})
+	alive := 0
+	for _, k := range keys {
+		if c.GetLowered(k) != nil {
+			alive++
+		}
+	}
+	if alive != 4 {
+		t.Errorf("pre-existing resident entries not bounded: %d alive under a cap of 4", alive)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"porcupine/internal/compose"
 	"porcupine/internal/core"
 	"porcupine/internal/kernels"
+	"porcupine/internal/plan"
 	"porcupine/internal/quill"
 	"porcupine/internal/synth"
 )
@@ -103,6 +104,15 @@ const (
 type (
 	// Runtime executes lowered programs on the pure-Go BFV backend.
 	Runtime = backend.Runtime
+	// Context is the immutable shared serving state: parameters, keys,
+	// encoder, evaluator. One Context serves any number of goroutines.
+	Context = backend.Context
+	// Session is the cheap per-goroutine execution state (register
+	// file, scratch) plans run in; create one per worker.
+	Session = backend.Session
+	// ExecutionPlan is a lowered program compiled into a fixed,
+	// allocation-free, concurrently servable schedule.
+	ExecutionPlan = plan.ExecutionPlan
 	// Ciphertext is a BFV ciphertext.
 	Ciphertext = bfv.Ciphertext
 	// Parameters is a BFV parameter set.
@@ -177,6 +187,15 @@ func BuildSuite(names []string, bo BuildOptions) (*BuildReport, error) {
 // the empty dir returns a memory-only cache.
 func OpenCache(dir string) (*Cache, error) { return synth.OpenCache(dir) }
 
+// CacheLimits bounds a synthesis cache (max entries / max bytes, LRU
+// eviction); zero fields mean unlimited.
+type CacheLimits = synth.Limits
+
+// OpenCacheWithLimits is OpenCache with an LRU eviction bound.
+func OpenCacheWithLimits(dir string, lim CacheLimits) (*Cache, error) {
+	return synth.OpenCacheWithLimits(dir, lim)
+}
+
 // DefaultCacheDir returns the per-user default synthesis-cache
 // location.
 func DefaultCacheDir() string { return synth.DefaultCacheDir() }
@@ -205,6 +224,14 @@ func EmitSEAL(l *Lowered, funcName string) (string, error) {
 // Galois keys covering the rotations of the given programs.
 func NewRuntime(preset string, programs ...*Lowered) (*Runtime, error) {
 	return backend.NewRuntime(preset, programs...)
+}
+
+// NewServingContext compiles execution plans for the given programs
+// and builds a shared Context holding exactly the Galois keys those
+// plans need. Workers then execute the plans concurrently, each
+// through its own Context.NewSession().
+func NewServingContext(preset string, programs ...*Lowered) (*Context, []*ExecutionPlan, error) {
+	return backend.NewServingContext(preset, programs...)
 }
 
 // ParseLowered parses the textual lowered-program format (see
