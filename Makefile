@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race test-short bench bench-figure4 bench-ops bench-synth bench-serve smoke-serve
+.PHONY: all build vet test test-race test-short bench bench-figure4 bench-ops bench-synth bench-serve smoke-serve smoke-wire alloc-canary
 
 all: vet build test-short
 
@@ -17,11 +17,12 @@ test-short:
 	$(GO) test -short ./...
 
 # Race detector over the concurrent pieces: the work-stealing search,
-# the batch scheduler, the synthesis cache, and the serving runtime
-# (concurrent sessions over one context). Mirrors the CI job; drop
-# -short for the full sweep when touching the search.
+# the batch scheduler, the synthesis cache, the serving runtime
+# (concurrent sessions over one context), the batched request
+# scheduler, and wire decode/load. Mirrors the CI job; drop -short for
+# the full sweep when touching the search.
 test-race:
-	$(GO) test -race -short -timeout 10m ./internal/synth/... ./internal/quill/... ./internal/backend/...
+	$(GO) test -race -short -timeout 10m ./internal/synth/... ./internal/quill/... ./internal/backend/... ./internal/serve/... ./internal/wire/...
 
 # benchstat-friendly: 5 repetitions of every paper benchmark. Pipe two
 # runs through benchstat to compare changes:
@@ -56,7 +57,21 @@ bench-serve:
 	$(GO) test -run '^$$' -bench BenchmarkPlanThroughput -benchtime 50x -count 3 -timeout 1800s .
 
 # Quick end-to-end serving check (used by CI): synthesize box-blur,
-# build a serving context, execute the plan across 2 sessions, verify
-# outputs against the plaintext reference.
+# build a serving context, push requests through the batched scheduler
+# across 2 sessions, verify every response bit-identical.
 smoke-serve:
 	$(GO) run ./cmd/porcupine -run box-blur -iters 4 -workers 2 -no-cache -timeout 2m
+
+# Multi-process serving smoke (mirrors the CI cross-process job): one
+# process exports the box-blur artifact, a second loads it and proves
+# bit-identical execution from the artifact alone.
+smoke-wire:
+	$(GO) build -o /tmp/porcupine-smoke ./cmd/porcupine
+	/tmp/porcupine-smoke -kernel box-blur -export-plan /tmp/porcupine-smoke.pplan -no-cache -timeout 2m
+	/tmp/porcupine-smoke -load-plan /tmp/porcupine-smoke.pplan -iters 4 -workers 2
+
+# Allocation-regression canary (mirrors the CI job): steady-state plan
+# execution must report 0 allocs/op.
+alloc-canary:
+	$(GO) test -run '^$$' -bench '^BenchmarkPlanRun$$' -benchtime 1x -benchmem . | tee /tmp/porcupine-canary.out
+	grep -E 'BenchmarkPlanRun.* 0 B/op.* 0 allocs/op' /tmp/porcupine-canary.out

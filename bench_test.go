@@ -253,6 +253,58 @@ func BenchmarkPlanThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkPlanRun is the allocation canary of the serving path: one
+// warm session executing one plan at steady state. CI runs it with
+// -benchtime=1x -benchmem and fails the build if it reports anything
+// but "0 B/op, 0 allocs/op" — the PR 3 invariant that keeps concurrent
+// serving GC-quiet. It uses a hand-written program on the test-only
+// PN2048 preset so the canary needs no synthesis and runs in seconds.
+func BenchmarkPlanRun(b *testing.B) {
+	l := &quill.Lowered{
+		VecLen: 1024, NumCtInputs: 1,
+		Instrs: []quill.LInstr{
+			{Op: quill.OpRotCt, Dst: 1, A: 0, Rot: 1},
+			{Op: quill.OpAddCtCt, Dst: 2, A: 1, B: 0},
+			{Op: quill.OpMulCtCt, Dst: 3, A: 2, B: 0},
+			{Op: quill.OpRelin, Dst: 4, A: 3},
+			{Op: quill.OpMulCtPt, Dst: 5, A: 4, P: quill.PtRef{Input: -1, Const: []int64{3}}},
+		},
+		Output: 5,
+	}
+	rt, err := backend.NewTestRuntime("PN2048", 5, l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := rt.Plan(l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := make(quill.Vec, l.VecLen)
+	for j := range v {
+		v[j] = uint64(j % 61)
+	}
+	ct, err := rt.EncryptVec(v)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := rt.NewSession()
+	// Warm-up: grows the register file and ring pools to steady state,
+	// so the measured iterations (even a single one under -benchtime
+	// 1x) see the allocation-free path.
+	for i := 0; i < 3; i++ {
+		if _, err := s.Run(p, []*porcupine.Ciphertext{ct}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(p, []*porcupine.Ciphertext{ct}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTable2Counts reports the lowered instruction counts and
 // depths of baseline vs synthesized kernels as custom metrics (the
 // content of Table 2); the measured time is the lowering itself.

@@ -8,6 +8,9 @@
 //	porcupine -kernel gx [-seal] [-timeout 5m] [-seed 1]
 //	porcupine -run gx [-iters 100] [-workers 4] [-preset PN4096]
 //	porcupine -build [-kernels gx,gy,sobel] [-workers 4] [-cache-dir DIR | -no-cache]
+//	porcupine -kernel box-blur -export-plan FILE [-export-request REQ]
+//	porcupine -load-plan FILE [-iters 100] [-workers 4]
+//	porcupine -serve ADDR (-kernel NAME | -load-plan FILE)
 //	porcupine -list
 //
 // Batch mode (-build) compiles every registered kernel (or the
@@ -19,20 +22,47 @@
 //
 // Serving mode (-run KERNEL) compiles the kernel (through the cache),
 // builds a shared serving context with exactly the Galois keys the
-// kernel's execution plan needs, then executes the plan -iters times
-// across -workers goroutine-local sessions and prints a throughput
-// report (runs/sec, per-run latency, noise budget), verifying every
-// worker's output against the plaintext reference.
+// kernel's execution plan needs, then pushes -iters requests through
+// the batched scheduler across -workers sessions and prints a
+// throughput report (runs/sec, latency, batching, queue depth). Every
+// response is verified bit-identical against the reference execution;
+// any mismatch or failed request exits nonzero.
+//
+// Multi-process serving splits compilation from execution:
+//
+//	-export-plan FILE   compiles -kernel, generates keys, and writes a
+//	                    versioned, checksummed artifact holding the
+//	                    execution plan, the public evaluation keys it
+//	                    declares (relin + canonical Galois set), the
+//	                    parameter fingerprint, and an encrypted
+//	                    self-test sample. The secret key never leaves
+//	                    the exporting process.
+//	-export-request F   also writes the wire-encoded self-test request
+//	                    (for POSTing to a serving process).
+//	-load-plan FILE     loads the artifact in a fresh process (no
+//	                    synthesis, no secret key), executes the
+//	                    embedded sample -iters times across -workers
+//	                    sessions, and verifies every output is
+//	                    bit-identical to the exporter's — the
+//	                    cross-process differential check.
+//	-serve ADDR         serves the kernel over HTTP (endpoints:
+//	                    /healthz /plan /stats /selftest /run), either
+//	                    from a fresh in-process compile (-kernel) or
+//	                    from the artifact alone (-load-plan).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"porcupine"
@@ -59,7 +89,7 @@ func run() error {
 	var (
 		kernel   = flag.String("kernel", "", "kernel to compile and print (see -list)")
 		build    = flag.Bool("build", false, "batch-compile the kernel suite")
-		serve    = flag.String("run", "", "kernel to serve on the BFV backend (throughput mode; see -iters, -workers)")
+		run      = flag.String("run", "", "kernel to serve on the BFV backend (throughput mode; see -iters, -workers)")
 		iters    = flag.Int("iters", 1, "total plan executions for -run")
 		subset   = flag.String("kernels", "", "comma-separated subset for -build (default: all)")
 		workers  = flag.Int("workers", 0, "worker budget: synthesis workers for -build, serving sessions for -run (default: GOMAXPROCS / 1)")
@@ -70,7 +100,11 @@ func run() error {
 		refresh  = flag.Bool("refresh", false, "re-synthesize cached kernels whose optimization previously timed out (Optimal=no), e.g. with a larger -timeout")
 		list     = flag.Bool("list", false, "list available kernels")
 		seal     = flag.Bool("seal", false, "emit SEAL C++ for the synthesized kernel")
-		preset   = flag.String("preset", "PN4096", "BFV parameter preset for -run (PN2048, PN4096, PN8192)")
+		export   = flag.String("export-plan", "", "compile -kernel and write its serving artifact (plan + evaluation keys + self-test sample) to FILE")
+		expReq   = flag.String("export-request", "", "with -export-plan: also write the wire-encoded self-test request to FILE")
+		loadPlan = flag.String("load-plan", "", "load a serving artifact FILE instead of compiling: alone, run the cross-process self-check; with -serve, serve from it")
+		serveAdr = flag.String("serve", "", "serve a kernel over HTTP on ADDR (host:port); needs -kernel or -load-plan")
+		preset   = flag.String("preset", "PN4096", "BFV parameter preset for -run/-export-plan/-serve -kernel (PN2048, PN4096, PN8192)")
 		timeout  = flag.Duration("timeout", 20*time.Minute, "synthesis time budget (per kernel in -build)")
 		seed     = flag.Int64("seed", 1, "synthesis random seed")
 		quick    = flag.Bool("quick", false, "stop after the initial (component-minimal) solution")
@@ -83,11 +117,15 @@ func run() error {
 	}
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-	if explicit["preset"] && *serve == "" {
-		return usageError("-preset requires -run")
+	compileServe := *serveAdr != "" && *kernel != "" // -serve backed by an in-process compile
+	if explicit["preset"] && *run == "" && *export == "" && !compileServe {
+		if *loadPlan != "" {
+			return usageError("-preset is ignored with -load-plan (parameters come from the artifact)")
+		}
+		return usageError("-preset requires -run, -export-plan, or -serve with -kernel")
 	}
-	if explicit["iters"] && *serve == "" {
-		return usageError("-iters requires -run")
+	if explicit["iters"] && *run == "" && (*loadPlan == "" || *serveAdr != "") {
+		return usageError("-iters requires -run or -load-plan")
 	}
 	if *list {
 		for _, name := range porcupine.Kernels() {
@@ -95,14 +133,45 @@ func run() error {
 		}
 		return nil
 	}
-	modes := 0
-	for _, on := range []bool{*build, *kernel != "", *serve != ""} {
-		if on {
-			modes++
-		}
+	if *expReq != "" && *export == "" {
+		return usageError("-export-request requires -export-plan")
 	}
-	if modes > 1 {
-		return usageError("-build, -kernel and -run are mutually exclusive")
+	switch {
+	case *export != "":
+		switch {
+		case *kernel == "":
+			return usageError("-export-plan requires -kernel (the kernel to compile and export)")
+		case *build || *run != "" || *serveAdr != "" || *loadPlan != "":
+			return usageError("-export-plan combines only with -kernel")
+		case *seal || *infer:
+			return usageError("-seal/-infer do not combine with -export-plan")
+		}
+	case *serveAdr != "":
+		switch {
+		case (*kernel != "") == (*loadPlan != ""):
+			return usageError("-serve needs exactly one source: -kernel NAME (compile here) or -load-plan FILE (serve from artifact)")
+		case *build || *run != "":
+			return usageError("-serve does not combine with -build or -run")
+		case *seal || *infer:
+			return usageError("-seal/-infer do not combine with -serve")
+		}
+	case *loadPlan != "":
+		switch {
+		case *build || *run != "" || *kernel != "":
+			return usageError("-load-plan combines only with -serve (or stands alone as the cross-process self-check)")
+		case *seal || *infer:
+			return usageError("-seal/-infer do not combine with -load-plan")
+		}
+	default:
+		modes := 0
+		for _, on := range []bool{*build, *kernel != "", *run != ""} {
+			if on {
+				modes++
+			}
+		}
+		if modes > 1 {
+			return usageError("-build, -kernel and -run are mutually exclusive")
+		}
 	}
 	if *build {
 		// Reject single-kernel flags that -build would silently ignore.
@@ -116,10 +185,10 @@ func run() error {
 		if *subset != "" {
 			return usageError("-kernels requires -build")
 		}
-		if *workers != 0 && *serve == "" {
-			return usageError("-workers requires -build or -run (single-kernel synthesis uses GOMAXPROCS)")
+		if *workers != 0 && *run == "" && *serveAdr == "" && *loadPlan == "" {
+			return usageError("-workers requires -build, -run, -serve or -load-plan (single-kernel synthesis uses GOMAXPROCS)")
 		}
-		if *serve != "" {
+		if *run != "" {
 			switch {
 			case *seal:
 				return usageError("-seal requires -kernel (serving mode does not emit code)")
@@ -148,11 +217,28 @@ func run() error {
 	if *build {
 		return runBuild(*subset, *workers, opts)
 	}
-	if *serve != "" {
-		if err := checkKernelNames(*serve); err != nil {
+	if *run != "" {
+		if err := checkKernelNames(*run); err != nil {
 			return err
 		}
-		return runServe(*serve, *preset, *iters, *workers, *seed, opts)
+		return runServe(*run, *preset, *iters, *workers, *seed, opts)
+	}
+	if *loadPlan != "" && *serveAdr == "" {
+		return runLoadCheck(*loadPlan, *iters, *workers)
+	}
+	if *serveAdr != "" {
+		if *kernel != "" {
+			if err := checkKernelNames(*kernel); err != nil {
+				return err
+			}
+		}
+		return runServeHTTP(*serveAdr, *kernel, *loadPlan, *preset, *workers, *seed, opts)
+	}
+	if *export != "" {
+		if err := checkKernelNames(*kernel); err != nil {
+			return err
+		}
+		return runExport(*kernel, *preset, *export, *expReq, *seed, opts)
 	}
 	if *kernel == "" {
 		return usageError("no kernel given (use -kernel NAME, -run NAME, -build, or -list)")
@@ -386,27 +472,19 @@ func compileSuiteFor(name string, opts porcupine.Options) (*porcupine.Compiled, 
 	return &porcupine.Compiled{Name: name, Spec: spec, Result: nil, Lowered: lowered}, nil
 }
 
-// runServe compiles a kernel, builds a serving context with exactly
-// the Galois keys the kernel's execution plan needs, then executes the
-// plan iters times across workers goroutine-local sessions and prints
-// a throughput report. Every worker's final output is decrypted and
-// checked against the plaintext reference.
-func runServe(kernel, preset string, iters, workers int, seed int64, opts porcupine.Options) error {
-	if iters < 1 {
-		iters = 1
-	}
-	if workers < 1 {
-		workers = 1
-	}
+// buildServing compiles a kernel, builds a full serving context with
+// exactly the Galois keys the plan needs, and materializes the
+// deterministic sample request (seeded) used for self-testing.
+func buildServing(kernel, preset string, seed int64, opts porcupine.Options) (*porcupine.Compiled, *porcupine.Context, *porcupine.ExecutionPlan, *porcupine.WireRequest, *exampleRef, error) {
 	fmt.Printf("compiling %s ...\n", kernel)
 	c, err := compileAny(kernel, opts)
 	if err != nil {
-		return err
+		return nil, nil, nil, nil, nil, err
 	}
 	fmt.Printf("building serving context (preset %s) ...\n", preset)
 	ctx, plans, err := porcupine.NewServingContext(preset, c.Lowered)
 	if err != nil {
-		return err
+		return nil, nil, nil, nil, nil, err
 	}
 	pl := plans[0]
 	fmt.Printf("plan: %d steps over %d ciphertext buffers, %d pre-encoded constants, Galois keys %v\n",
@@ -418,30 +496,58 @@ func runServe(kernel, preset string, iters, workers int, seed int64, opts porcup
 		assign[i] = rng.Uint64() % 64
 	}
 	ex := c.Spec.NewExample(assign)
-	cts := make([]*porcupine.Ciphertext, len(ex.CtIn))
-	for i, v := range ex.CtIn {
-		if cts[i], err = ctx.EncryptVec(v); err != nil {
-			return err
+	sample := &porcupine.WireRequest{PtIn: ex.PtIn}
+	for _, v := range ex.CtIn {
+		ct, err := ctx.EncryptVec(v)
+		if err != nil {
+			return nil, nil, nil, nil, nil, err
 		}
+		sample.CtIn = append(sample.CtIn, ct)
 	}
+	return c, ctx, pl, sample, &exampleRef{spec: c.Spec, ex: ex}, nil
+}
 
-	// Warm-up and correctness check on one session.
-	warm := ctx.NewSession()
-	out, err := warm.Run(pl, cts, ex.PtIn)
+// exampleRef carries the plaintext reference of the sample request for
+// decrypt-side verification (only possible on the exporting side).
+type exampleRef struct {
+	spec *porcupine.Spec
+	ex   *porcupine.Example
+}
+
+// runServe compiles a kernel, builds a serving context, then pushes
+// iters requests through the batched scheduler across workers
+// sessions and prints a throughput report. Every response is checked
+// bit-identical to the reference execution; any failed or mismatched
+// request makes the run exit nonzero.
+func runServe(kernel, preset string, iters, workers int, seed int64, opts porcupine.Options) error {
+	if iters < 1 {
+		iters = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	_, ctx, pl, sample, ref, err := buildServing(kernel, preset, seed, opts)
 	if err != nil {
 		return err
 	}
-	if got := ctx.DecryptVec(out, c.Spec.VecLen); !c.Spec.Matches(got, ex) {
+
+	// Reference run + plaintext check on one warm session.
+	warm := ctx.NewSession()
+	out, err := warm.Run(pl, sample.CtIn, sample.PtIn)
+	if err != nil {
+		return err
+	}
+	if got := ctx.DecryptVec(out, ref.spec.VecLen); !ref.spec.Matches(got, ref.ex) {
 		return fmt.Errorf("BFV output disagrees with the plaintext reference")
 	}
+	refOut := ctx.Params.CopyCiphertext(out)
 	noise := ctx.NoiseBudget(out)
 
-	// Serving loop: iters runs distributed across workers, one session
-	// per worker, all sharing the context's key set.
-	fmt.Printf("serving %d runs across %d workers ...\n", iters, workers)
-	var wg sync.WaitGroup
-	errCh := make(chan error, workers)
+	fmt.Printf("serving %d requests across %d sessions ...\n", iters, workers)
+	sched := porcupine.NewScheduler(ctx, porcupine.ServeConfig{Sessions: workers})
 	start := time.Now()
+	var wg sync.WaitGroup
+	fails := &failTally{}
 	for w := 0; w < workers; w++ {
 		n := iters / workers
 		if w < iters%workers {
@@ -453,30 +559,204 @@ func runServe(kernel, preset string, iters, workers int, seed int64, opts porcup
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			s := ctx.NewSession()
-			var out *porcupine.Ciphertext
 			for i := 0; i < n; i++ {
-				var err error
-				if out, err = s.Run(pl, cts, ex.PtIn); err != nil {
-					errCh <- err
-					return
+				res := sched.Do(porcupine.ServeRequest{Plan: pl, CtIn: sample.CtIn, PtIn: sample.PtIn})
+				switch {
+				case res.Err != nil:
+					fails.add(res.Err)
+				case !ctx.Params.CiphertextEqual(res.Out, refOut):
+					fails.add(fmt.Errorf("response not bit-identical to the reference execution"))
 				}
-			}
-			if got := ctx.DecryptVec(out, c.Spec.VecLen); !c.Spec.Matches(got, ex) {
-				errCh <- fmt.Errorf("worker output disagrees with the plaintext reference")
 			}
 		}()
 	}
 	wg.Wait()
 	wall := time.Since(start)
-	close(errCh)
-	for err := range errCh {
+	sched.Close()
+	st := sched.Stats()
+
+	fmt.Printf("%d runs in %v — %.1f runs/sec (%d sessions), latency avg %v max %v, avg batch %.1f, peak queue %d, noise budget %.0f bits\n",
+		iters, wall.Round(time.Millisecond), float64(iters)/wall.Seconds(), workers,
+		st.AvgLatency.Round(time.Microsecond), st.MaxLatency.Round(time.Microsecond),
+		st.AvgBatch, st.MaxQueueDepth, noise)
+	if n, first := fails.snapshot(); n > 0 {
+		return fmt.Errorf("%d of %d requests failed verification (first: %v)", n, iters, first)
+	}
+	fmt.Println("ok: every response bit-identical to the reference")
+	return nil
+}
+
+// failTally counts request failures across producer goroutines,
+// keeping the first error for the report.
+type failTally struct {
+	mu    sync.Mutex
+	n     int
+	first error
+}
+
+func (f *failTally) add(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.n++
+	if f.first == nil {
+		f.first = err
+	}
+}
+
+func (f *failTally) snapshot() (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.n, f.first
+}
+
+// runExport compiles a kernel and writes its serving artifact (and
+// optionally the wire-encoded self-test request).
+func runExport(kernel, preset, planPath, reqPath string, seed int64, opts porcupine.Options) error {
+	_, ctx, pl, sample, _, err := buildServing(kernel, preset, seed, opts)
+	if err != nil {
 		return err
 	}
-
-	perRun := wall / time.Duration(iters)
-	fmt.Printf("ok: %d runs in %v — %.1f runs/sec, %v/run (%d workers), noise budget %.0f bits\n",
-		iters, wall.Round(time.Millisecond), float64(iters)/wall.Seconds(),
-		perRun.Round(time.Microsecond), workers, noise)
+	b, err := porcupine.ExportBundle(ctx, kernel, pl, sample)
+	if err != nil {
+		return err
+	}
+	if err := b.WriteFile(planPath); err != nil {
+		return err
+	}
+	fi, err := os.Stat(planPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("exported %s: %d bytes, fingerprint %s (plan + relin + %d Galois keys + self-test sample)\n",
+		planPath, fi.Size(), ctx.Params.FingerprintHex(), len(pl.Rotations))
+	if reqPath != "" {
+		data, err := porcupine.EncodeWireRequest(ctx.Params, sample)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(reqPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("exported %s: %d bytes (wire request for POST /run)\n", reqPath, len(data))
+	}
 	return nil
+}
+
+// runLoadCheck loads an artifact in this (fresh) process, executes the
+// embedded sample iters times across workers sessions, and verifies
+// every output bit-identical to the exporter's — the cross-process
+// differential check of the wire format.
+func runLoadCheck(path string, iters, workers int) error {
+	if iters < 1 {
+		iters = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	b, err := porcupine.ReadBundleFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded %s: kernel %s (preset %s), fingerprint %s, %d steps over %d buffers\n",
+		path, b.Name, b.Preset, b.Params.FingerprintHex(), b.Plan.InstructionCount(), b.Plan.NumRegs)
+	_, sched, err := porcupine.LoadBundle(b, porcupine.ServeConfig{Sessions: workers})
+	if err != nil {
+		return err
+	}
+	defer sched.Close()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	fails := &failTally{}
+	for w := 0; w < workers; w++ {
+		n := iters / workers
+		if w < iters%workers {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				ok, err := porcupine.BundleSelfTest(sched, b)
+				switch {
+				case err != nil:
+					fails.add(err)
+				case !ok:
+					fails.add(fmt.Errorf("output not bit-identical to the exporter's"))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	st := sched.Stats()
+	if n, first := fails.snapshot(); n > 0 {
+		return fmt.Errorf("%d of %d cross-process runs failed (first: %v)", n, iters, first)
+	}
+	fmt.Printf("ok: %d cross-process runs bit-identical in %v — %.1f runs/sec (%d sessions), latency avg %v, avg batch %.1f\n",
+		iters, wall.Round(time.Millisecond), float64(iters)/wall.Seconds(), workers,
+		st.AvgLatency.Round(time.Microsecond), st.AvgBatch)
+	return nil
+}
+
+// runServeHTTP serves a kernel over HTTP, from an in-process compile
+// (-kernel) or from an exported artifact alone (-load-plan).
+func runServeHTTP(addr, kernel, loadPath, preset string, workers int, seed int64, opts porcupine.Options) error {
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		b     *porcupine.Bundle
+		sched *porcupine.Scheduler
+	)
+	if loadPath != "" {
+		var err error
+		if b, err = porcupine.ReadBundleFile(loadPath); err != nil {
+			return err
+		}
+		fmt.Printf("loaded %s: kernel %s (preset %s), fingerprint %s\n",
+			loadPath, b.Name, b.Preset, b.Params.FingerprintHex())
+		if _, sched, err = porcupine.LoadBundle(b, porcupine.ServeConfig{Sessions: workers}); err != nil {
+			return err
+		}
+	} else {
+		_, ctx, pl, sample, _, err := buildServing(kernel, preset, seed, opts)
+		if err != nil {
+			return err
+		}
+		if b, err = porcupine.ExportBundle(ctx, kernel, pl, sample); err != nil {
+			return err
+		}
+		sched = porcupine.NewScheduler(ctx, porcupine.ServeConfig{Sessions: workers})
+	}
+	defer sched.Close()
+
+	srv := &http.Server{Addr: addr, Handler: porcupine.NewHTTPFront(sched, b)}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("serving %s on http://%s (endpoints: /healthz /plan /stats /selftest /run; %d sessions)\n",
+			b.Name, addr, workers)
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		fmt.Printf("\n%v: draining and shutting down ...\n", s)
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			return err
+		}
+		return <-errCh
+	}
 }

@@ -40,6 +40,12 @@ type Context struct {
 	Eval    *bfv.Evaluator
 	sk      *bfv.SecretKey
 
+	// rlk and gks are the public evaluation keys behind Eval, retained
+	// so the context can be exported as a wire bundle (EvalKeys). In a
+	// sealed context they are the only key material present.
+	rlk *bfv.RelinearizationKey
+	gks *bfv.GaloisKeys
+
 	// plans caches compiled execution plans per lowered program (keyed
 	// by pointer), so the one-call Runtime API compiles each program
 	// once.
@@ -101,8 +107,42 @@ func newContext(params *bfv.Parameters, encoder *bfv.Encoder, kg *bfv.KeyGenerat
 		Dec:     bfv.NewDecryptor(params, sk),
 		Eval:    bfv.NewEvaluator(params, rlk, gks),
 		sk:      sk,
+		rlk:     rlk,
+		gks:     gks,
 	}, nil
 }
+
+// NewSealedContext builds an execute-only context from public
+// evaluation keys alone — the serving half of a multi-process
+// deployment, where the artifact (plan + relin + Galois keys) crossed
+// the wire and the secret key stayed with the exporting process. A
+// sealed context runs plans and produces bit-identical ciphertexts,
+// but cannot encrypt or decrypt (CanDecrypt reports false; EncryptVec,
+// DecryptVec and NoiseBudget return errors or panic).
+func NewSealedContext(params *bfv.Parameters, rlk *bfv.RelinearizationKey, gks *bfv.GaloisKeys) (*Context, error) {
+	encoder, err := bfv.NewEncoder(params)
+	if err != nil {
+		return nil, err
+	}
+	return &Context{
+		Params:  params,
+		Encoder: encoder,
+		Eval:    bfv.NewEvaluator(params, rlk, gks),
+		rlk:     rlk,
+		gks:     gks,
+	}, nil
+}
+
+// EvalKeys returns the public evaluation keys (relinearization +
+// Galois) the context executes with — the key material a wire bundle
+// exports. The secret key is never exposed.
+func (c *Context) EvalKeys() (*bfv.RelinearizationKey, *bfv.GaloisKeys) {
+	return c.rlk, c.gks
+}
+
+// CanDecrypt reports whether the context holds the secret key (false
+// for sealed contexts built from a wire bundle).
+func (c *Context) CanDecrypt() bool { return c.Dec != nil }
 
 // NewServingContext compiles execution plans for the given programs
 // and builds a context holding exactly the Galois keys those plans
@@ -194,6 +234,9 @@ func RotationSteps(programs ...*quill.Lowered) []int {
 // row; remaining slots are zero, so the small signed rotations of
 // lowered programs behave identically to the abstract machine.
 func (c *Context) EncryptVec(v quill.Vec) (*bfv.Ciphertext, error) {
+	if c.Enc == nil {
+		return nil, fmt.Errorf("backend: sealed context holds no public key; encrypt on the exporting side")
+	}
 	if len(v) > c.Params.SlotCount() {
 		return nil, fmt.Errorf("backend: vector of %d slots exceeds row size %d", len(v), c.Params.SlotCount())
 	}
@@ -204,15 +247,23 @@ func (c *Context) EncryptVec(v quill.Vec) (*bfv.Ciphertext, error) {
 	return c.Enc.Encrypt(pt)
 }
 
-// DecryptVec decrypts and returns the first vecLen slots.
+// DecryptVec decrypts and returns the first vecLen slots. It panics on
+// a sealed context (guard with CanDecrypt): decryption requires the
+// secret key, which never crosses the wire.
 func (c *Context) DecryptVec(ct *bfv.Ciphertext, vecLen int) quill.Vec {
+	if c.Dec == nil {
+		panic("backend: DecryptVec on a sealed context (no secret key); check CanDecrypt")
+	}
 	full := c.Encoder.Decode(c.Dec.Decrypt(ct))
 	return quill.Vec(full[:vecLen])
 }
 
 // NoiseBudget reports the remaining invariant noise budget of ct in
-// bits.
+// bits. Like DecryptVec, it panics on a sealed context.
 func (c *Context) NoiseBudget(ct *bfv.Ciphertext) float64 {
+	if c.Dec == nil {
+		panic("backend: NoiseBudget on a sealed context (no secret key); check CanDecrypt")
+	}
 	return c.Dec.NoiseBudget(ct)
 }
 
@@ -341,6 +392,11 @@ func newRuntime(ctx *Context) *Runtime {
 	rt.sessions.New = func() any { return ctx.NewSession() }
 	return rt
 }
+
+// RuntimeOver wraps an existing context in the one-call Runtime facade
+// (session pool + Run/TimedRun/RunInterpreter), sharing the context's
+// keys and plan cache.
+func RuntimeOver(ctx *Context) *Runtime { return newRuntime(ctx) }
 
 // NewRuntime generates fresh keys for the preset and prepares Galois
 // keys for every rotation amount used by the given programs.

@@ -46,6 +46,20 @@ func (gk *GaloisKeys) has(g uint64) bool {
 	return ok
 }
 
+// HasElement reports whether a key for the Galois element g is
+// present (g = Parameters.GaloisElement(step) for slot rotations).
+func (gk *GaloisKeys) HasElement(g uint64) bool { return gk.has(g) }
+
+// Elements returns the Galois elements the key set covers, sorted.
+func (gk *GaloisKeys) Elements() []uint64 {
+	out := make([]uint64, 0, len(gk.keys))
+	for g := range gk.keys {
+		out = append(out, g)
+	}
+	sortU64(out)
+	return out
+}
+
 // KeyGenerator produces the key material for a parameter set.
 type KeyGenerator struct {
 	params  *Parameters

@@ -12,6 +12,9 @@
 package bfv
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"math/big"
 
@@ -292,4 +295,52 @@ func (p *Parameters) CopyCiphertext(ct *Ciphertext) *Ciphertext {
 		p.ringQ.CopyInto(out.Value[i], v)
 	}
 	return out
+}
+
+// CiphertextEqual reports whether two ciphertexts are bit-identical:
+// same degree and same residue in every slot of every polynomial. This
+// is the differential-testing notion of equality (stricter than equal
+// decryptions: the noise must match too).
+func (p *Parameters) CiphertextEqual(a, b *Ciphertext) bool {
+	if len(a.Value) != len(b.Value) {
+		return false
+	}
+	for i := range a.Value {
+		if !p.ringQ.Equal(a.Value[i], b.Value[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Fingerprint returns a 16-byte digest pinning everything plan and
+// ciphertext compatibility depends on: the ring degree, the plaintext
+// modulus, and the exact RNS basis of Q. Two parameter sets with equal
+// fingerprints produce bit-identical ciphertext arithmetic; the wire
+// format (internal/wire) embeds the fingerprint and refuses artifacts
+// whose parameters do not match it.
+func (p *Parameters) Fingerprint() [16]byte {
+	buf := binary.LittleEndian.AppendUint64(nil, uint64(p.N))
+	buf = binary.LittleEndian.AppendUint64(buf, p.T)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(p.QPrimes)))
+	for _, q := range p.QPrimes {
+		buf = binary.LittleEndian.AppendUint64(buf, q)
+	}
+	sum := sha256.Sum256(buf)
+	var fp [16]byte
+	copy(fp[:], sum[:16])
+	return fp
+}
+
+// FingerprintHex returns Fingerprint as a hex string (for reports and
+// HTTP status endpoints).
+func (p *Parameters) FingerprintHex() string {
+	fp := p.Fingerprint()
+	return hex.EncodeToString(fp[:])
+}
+
+// GaloisElement returns the Galois automorphism element implementing a
+// slot rotation by step over the batching row.
+func (p *Parameters) GaloisElement(step int) uint64 {
+	return p.ringQ.GaloisElementForRotation(step)
 }

@@ -19,7 +19,7 @@ import (
 
 const (
 	serialMagic   = "PBFV"
-	serialVersion = 1
+	serialVersion = 2 // v2: bulk poly layout with decode-time residue-range checks (internal/ring)
 )
 
 const (
@@ -44,10 +44,7 @@ func (w *writer) u64s(v []uint64) {
 }
 
 func (w *writer) poly(p *ring.Poly) {
-	w.u32(uint32(len(p.Coeffs)))
-	for _, c := range p.Coeffs {
-		w.u64s(c)
-	}
+	w.buf = p.AppendBinary(w.buf)
 }
 
 func newWriter(tag byte) *writer {
@@ -126,26 +123,15 @@ func (r *reader) u64s() []uint64 {
 }
 
 func (r *reader) poly(ringQ *ring.Ring) *ring.Poly {
-	n := r.u32()
 	if r.err != nil {
 		return nil
 	}
-	if int(n) != len(ringQ.Primes) {
-		r.err = fmt.Errorf("bfv: poly has %d prime components, parameters have %d", n, len(ringQ.Primes))
+	p, n, err := ringQ.ReadPoly(r.buf[r.off:])
+	if err != nil {
+		r.err = fmt.Errorf("bfv: %w", err)
 		return nil
 	}
-	p := ringQ.NewPoly()
-	for i := 0; i < int(n); i++ {
-		c := r.u64s()
-		if r.err != nil {
-			return nil
-		}
-		if len(c) != ringQ.N {
-			r.err = fmt.Errorf("bfv: poly component has %d coefficients, want %d", len(c), ringQ.N)
-			return nil
-		}
-		copy(p.Coeffs[i], c)
-	}
+	r.off += n
 	return p
 }
 

@@ -317,6 +317,104 @@ func Compile(params *bfv.Parameters, enc *bfv.Encoder, l *quill.Lowered) (*Execu
 	return p, nil
 }
 
+// Validate checks the structural invariants Compile guarantees, for
+// plans that did NOT come from Compile in this process — plans decoded
+// from the wire (internal/wire). A malformed plan (out-of-range
+// register or constant index, unknown opcode, undeclared rotation)
+// would index out of bounds inside a session's execution loop;
+// Validate turns that into an error at load time. params must be the
+// parameter set the plan will execute under.
+func (p *ExecutionPlan) Validate(params *bfv.Parameters) error {
+	if p.N != params.N {
+		return fmt.Errorf("plan: compiled for N=%d, parameters have N=%d", p.N, params.N)
+	}
+	if p.VecLen < 1 || p.VecLen > params.SlotCount() {
+		return fmt.Errorf("plan: vector length %d outside [1, %d]", p.VecLen, params.SlotCount())
+	}
+	if p.NumCtInputs < 0 || p.NumPtInputs < 0 {
+		return fmt.Errorf("plan: negative input count")
+	}
+	if p.NumRegs != len(p.RegDeg) {
+		return fmt.Errorf("plan: NumRegs=%d but %d register degrees", p.NumRegs, len(p.RegDeg))
+	}
+	for r, d := range p.RegDeg {
+		if d < 1 || d > 2 {
+			return fmt.Errorf("plan: register %d has degree %d, want 1 or 2", r, d)
+		}
+	}
+	for i, pt := range p.Consts {
+		if pt == nil || len(pt.Coeffs) != params.N {
+			return fmt.Errorf("plan: constant %d has wrong shape", i)
+		}
+	}
+	rotDeclared := map[int]bool{}
+	for i, r := range p.Rotations {
+		if r == 0 {
+			return fmt.Errorf("plan: declared rotation 0 (identity needs no key)")
+		}
+		if rotDeclared[r] {
+			return fmt.Errorf("plan: duplicate declared rotation %d", r)
+		}
+		if i > 0 && r <= p.Rotations[i-1] {
+			return fmt.Errorf("plan: rotations not sorted")
+		}
+		rotDeclared[r] = true
+	}
+	codes := p.NumCtInputs + p.NumRegs
+	rotUsed := map[int]bool{}
+	for i := range p.Steps {
+		st := &p.Steps[i]
+		bad := func(what string) error {
+			return fmt.Errorf("plan: step %d (%v): %s", i, st.Op, what)
+		}
+		if st.Dst < 0 || st.Dst >= p.NumRegs {
+			return bad(fmt.Sprintf("destination register %d out of range", st.Dst))
+		}
+		if st.A < 0 || st.A >= codes {
+			return bad(fmt.Sprintf("operand code %d out of range", st.A))
+		}
+		switch {
+		case st.Op == quill.OpRotCt:
+			if st.Rot == 0 || !rotDeclared[st.Rot] {
+				return bad(fmt.Sprintf("rotation %d not in declared set %v", st.Rot, p.Rotations))
+			}
+			rotUsed[st.Rot] = true
+		case st.Op == quill.OpRelin:
+			// unary, no extra operands
+		case st.Op.IsCtCt():
+			if st.B < 0 || st.B >= codes {
+				return bad(fmt.Sprintf("operand code %d out of range", st.B))
+			}
+		case st.Op.IsCtPt():
+			switch {
+			case st.Pt >= 0 && st.Con >= 0:
+				return bad("both plaintext input and constant set")
+			case st.Pt >= 0:
+				if st.Pt >= p.NumPtInputs {
+					return bad(fmt.Sprintf("plaintext input %d out of range", st.Pt))
+				}
+			case st.Con >= 0:
+				if st.Con >= len(p.Consts) {
+					return bad(fmt.Sprintf("constant index %d out of range", st.Con))
+				}
+			default:
+				return bad("neither plaintext input nor constant set")
+			}
+		default:
+			return bad("unknown opcode")
+		}
+	}
+	for r := range rotDeclared {
+		if !rotUsed[r] {
+			return fmt.Errorf("plan: declared rotation %d never executed", r)
+		}
+	}
+	if p.Out < 0 || p.Out >= codes {
+		return fmt.Errorf("plan: output code %d out of range", p.Out)
+	}
+	return nil
+}
+
 // RotationSet returns the canonical rotation amounts required by a set
 // of plans, merged and sorted — the Galois keys a context serving all
 // of them must hold.

@@ -1,0 +1,85 @@
+package ring
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary polynomial encoding: the shared poly wire layout used by the
+// bfv object serializers and the plan-bundle format (internal/wire).
+//
+// A polynomial is encoded against a known Ring, so the layout carries
+// a small shape header for validation and then the raw residues in
+// bulk:
+//
+//	u32 numPrimes | u32 degree | numPrimes*degree × u64 (little-endian)
+//
+// Decoding validates the shape against the ring and that every residue
+// is reduced modulo its prime, so corrupted or hostile inputs yield an
+// error instead of a polynomial that would silently break the NTT
+// invariants downstream.
+
+// PolyWireSize returns the encoded size in bytes of one polynomial of
+// this ring.
+func (r *Ring) PolyWireSize() int {
+	return 8 + len(r.Primes)*r.N*8
+}
+
+// AppendBinary appends the binary encoding of p to buf and returns
+// the extended buffer. The shape header is taken from the polynomial
+// itself, so encoding needs no ring; decoding (Ring.ReadPoly)
+// validates it.
+func (p *Poly) AppendBinary(buf []byte) []byte {
+	n := 0
+	if len(p.Coeffs) > 0 {
+		n = len(p.Coeffs[0])
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Coeffs)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	// Bulk append: grow once, then fill.
+	off := len(buf)
+	buf = append(buf, make([]byte, len(p.Coeffs)*n*8)...)
+	for _, c := range p.Coeffs {
+		for _, x := range c {
+			binary.LittleEndian.PutUint64(buf[off:], x)
+			off += 8
+		}
+	}
+	return buf
+}
+
+// ReadPoly decodes one polynomial of this ring from the front of data,
+// returning the polynomial and the number of bytes consumed. The shape
+// must match the ring exactly and every residue must be reduced modulo
+// its prime.
+func (r *Ring) ReadPoly(data []byte) (*Poly, int, error) {
+	if len(data) < 8 {
+		return nil, 0, fmt.Errorf("ring: truncated poly header")
+	}
+	k := int(binary.LittleEndian.Uint32(data))
+	n := int(binary.LittleEndian.Uint32(data[4:]))
+	if k != len(r.Primes) {
+		return nil, 0, fmt.Errorf("ring: poly has %d prime components, ring has %d", k, len(r.Primes))
+	}
+	if n != r.N {
+		return nil, 0, fmt.Errorf("ring: poly degree %d, ring degree %d", n, r.N)
+	}
+	need := 8 + k*n*8
+	if len(data) < need {
+		return nil, 0, fmt.Errorf("ring: truncated poly body (%d bytes, want %d)", len(data), need)
+	}
+	p := r.NewPoly()
+	off := 8
+	for i, prime := range r.Primes {
+		c := p.Coeffs[i]
+		for j := 0; j < n; j++ {
+			x := binary.LittleEndian.Uint64(data[off:])
+			if x >= prime {
+				return nil, 0, fmt.Errorf("ring: residue %d out of range for prime %d", x, prime)
+			}
+			c[j] = x
+			off += 8
+		}
+	}
+	return p, need, nil
+}

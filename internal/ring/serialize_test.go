@@ -1,0 +1,72 @@
+package ring
+
+import (
+	"testing"
+)
+
+func serializeTestRing(t *testing.T) *Ring {
+	t.Helper()
+	r, err := NewRing(64, []uint64{257, 641}) // ≡ 1 mod 2N = 128
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestPolyBinaryRoundTrip(t *testing.T) {
+	r := serializeTestRing(t)
+	p := r.NewPoly()
+	for i := range p.Coeffs {
+		for j := range p.Coeffs[i] {
+			p.Coeffs[i][j] = uint64((i*31 + j*7) % int(r.Primes[i]))
+		}
+	}
+	buf := p.AppendBinary(nil)
+	if len(buf) != r.PolyWireSize() {
+		t.Fatalf("encoded %d bytes, PolyWireSize says %d", len(buf), r.PolyWireSize())
+	}
+	q, n, err := r.ReadPoly(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", n, len(buf))
+	}
+	if !r.Equal(p, q) {
+		t.Fatal("round trip changed the polynomial")
+	}
+}
+
+func TestReadPolyRejectsMalformed(t *testing.T) {
+	r := serializeTestRing(t)
+	p := r.NewPoly()
+	good := p.AppendBinary(nil)
+
+	cases := map[string][]byte{
+		"empty":            nil,
+		"truncated-header": good[:4],
+		"truncated-body":   good[:len(good)-1],
+	}
+	for name, data := range cases {
+		if _, _, err := r.ReadPoly(data); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+
+	// Wrong shape: a poly of another ring.
+	r2, err := NewRing(32, []uint64{193, 257, 449}) // ≡ 1 mod 64
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.ReadPoly(r2.NewPoly().AppendBinary(nil)); err == nil {
+		t.Error("foreign-ring poly accepted")
+	}
+
+	// Residue out of range for its prime: decode must refuse rather
+	// than hand the NTT an unreduced value.
+	bad := append([]byte(nil), good...)
+	bad[9] = 0xFF // first residue of prime 257 becomes 65280
+	if _, _, err := r.ReadPoly(bad); err == nil {
+		t.Error("out-of-range residue accepted")
+	}
+}

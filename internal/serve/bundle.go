@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"fmt"
+
+	"porcupine/internal/backend"
+	"porcupine/internal/plan"
+	"porcupine/internal/wire"
+)
+
+// Export packages a compiled plan and the exporting context's public
+// evaluation keys into a wire bundle. When sample is non-nil, the plan
+// is executed once in-process on it and the output ciphertext is
+// embedded as the bundle's self-test expectation — the reference every
+// loading process must reproduce bit for bit.
+//
+// Only public material crosses: the relinearization key, the Galois
+// keys, pre-encoded plaintext constants, and (in the sample)
+// ciphertexts. The secret key stays in this process.
+func Export(ctx *backend.Context, name string, p *plan.ExecutionPlan, sample *wire.Request) (*wire.Bundle, error) {
+	rlk, gks := ctx.EvalKeys()
+	if rlk == nil || gks == nil {
+		return nil, fmt.Errorf("serve: context holds no evaluation keys to export")
+	}
+	b := &wire.Bundle{
+		Name:   name,
+		Preset: ctx.Params.Name(),
+		Params: ctx.Params,
+		Plan:   p,
+		Relin:  rlk,
+		Galois: gks,
+	}
+	if sample != nil {
+		out, err := ctx.NewSession().Run(p, sample.CtIn, sample.PtIn)
+		if err != nil {
+			return nil, fmt.Errorf("serve: running export self-test sample: %w", err)
+		}
+		b.Sample = sample
+		b.Expected = ctx.Params.CopyCiphertext(out)
+	}
+	return b, nil
+}
+
+// Load builds the serving half from a decoded bundle: a sealed
+// execute-only context (no secret key) and a scheduler over it. The
+// bundle must already be validated (wire.DecodeBundle always is).
+func Load(b *wire.Bundle, cfg Config) (*backend.Context, *Scheduler, error) {
+	ctx, err := backend.NewSealedContext(b.Params, b.Relin, b.Galois)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ctx, New(ctx, cfg), nil
+}
+
+// SelfTest executes the bundle's embedded sample through sched and
+// reports whether the output is bit-identical to the exporter's
+// expectation — the cross-process differential check.
+func SelfTest(sched *Scheduler, b *wire.Bundle) (bool, error) {
+	if b.Sample == nil {
+		return false, fmt.Errorf("serve: bundle carries no self-test sample")
+	}
+	res := sched.Do(Request{Plan: b.Plan, CtIn: b.Sample.CtIn, PtIn: b.Sample.PtIn})
+	if res.Err != nil {
+		return false, res.Err
+	}
+	return b.Params.CiphertextEqual(res.Out, b.Expected), nil
+}

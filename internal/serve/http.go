@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"porcupine/internal/wire"
+)
+
+// maxRequestBody bounds POST /run bodies. The largest legitimate
+// request (PN8192, several degree-1 ciphertext inputs) is a few MiB;
+// 64 MiB leaves an order of magnitude of headroom.
+const maxRequestBody = 64 << 20
+
+// Front is the HTTP front-end over one loaded bundle and its
+// scheduler — the network face of a serving process.
+//
+// Endpoints:
+//
+//	GET  /healthz  liveness + kernel identity
+//	GET  /plan     plan shape, rotation set, parameter fingerprint
+//	GET  /stats    scheduler statistics (latency, queue depth, batches)
+//	GET  /selftest runs the bundle's embedded sample and reports
+//	               whether the output is bit-identical to the
+//	               exporter's (the cross-process differential check)
+//	POST /run      one wire-encoded Request; responds with the
+//	               wire-encoded output ciphertext
+type Front struct {
+	sched  *Scheduler
+	bundle *wire.Bundle
+	mux    *http.ServeMux
+}
+
+// NewFront builds the HTTP front-end for a bundle served by sched.
+func NewFront(sched *Scheduler, bundle *wire.Bundle) *Front {
+	f := &Front{sched: sched, bundle: bundle, mux: http.NewServeMux()}
+	f.mux.HandleFunc("GET /healthz", f.healthz)
+	f.mux.HandleFunc("GET /plan", f.plan)
+	f.mux.HandleFunc("GET /stats", f.stats)
+	f.mux.HandleFunc("GET /selftest", f.selftest)
+	f.mux.HandleFunc("POST /run", f.run)
+	return f
+}
+
+func (f *Front) ServeHTTP(w http.ResponseWriter, r *http.Request) { f.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (f *Front) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":     true,
+		"kernel": f.bundle.Name,
+		"preset": f.bundle.Preset,
+	})
+}
+
+func (f *Front) plan(w http.ResponseWriter, r *http.Request) {
+	p := f.bundle.Plan
+	writeJSON(w, http.StatusOK, map[string]any{
+		"kernel":      f.bundle.Name,
+		"preset":      f.bundle.Preset,
+		"fingerprint": f.bundle.Params.FingerprintHex(),
+		"n":           p.N,
+		"vec_len":     p.VecLen,
+		"ct_inputs":   p.NumCtInputs,
+		"pt_inputs":   p.NumPtInputs,
+		"steps":       p.InstructionCount(),
+		"registers":   p.NumRegs,
+		"constants":   len(p.Consts),
+		"rotations":   p.Rotations,
+	})
+}
+
+func (f *Front) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, f.sched.Stats())
+}
+
+func (f *Front) selftest(w http.ResponseWriter, r *http.Request) {
+	if f.bundle.Sample == nil {
+		writeJSON(w, http.StatusNotFound, map[string]any{
+			"ok": false, "error": "bundle carries no self-test sample",
+		})
+		return
+	}
+	start := time.Now()
+	res := f.sched.Do(Request{
+		Plan: f.bundle.Plan,
+		CtIn: f.bundle.Sample.CtIn,
+		PtIn: f.bundle.Sample.PtIn,
+	})
+	if res.Err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]any{
+			"ok": false, "error": res.Err.Error(),
+		})
+		return
+	}
+	identical := f.bundle.Params.CiphertextEqual(res.Out, f.bundle.Expected)
+	status := http.StatusOK
+	if !identical {
+		// A non-bit-identical output means the artifact does not
+		// reproduce the exporter's execution — a serving-breaking
+		// condition, not a soft warning.
+		status = http.StatusInternalServerError
+	}
+	writeJSON(w, status, map[string]any{
+		"ok":            identical,
+		"bit_identical": identical,
+		"latency_ms":    float64(time.Since(start).Microseconds()) / 1000.0,
+	})
+}
+
+func (f *Front) run(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody+1))
+	if err != nil {
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(body) > maxRequestBody {
+		http.Error(w, fmt.Sprintf("request exceeds %d bytes", maxRequestBody), http.StatusRequestEntityTooLarge)
+		return
+	}
+	req, err := wire.DecodeRequest(f.bundle.Params, body)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, wire.ErrFingerprint) {
+			// The client encrypted under different parameters; its
+			// request can never run here.
+			status = http.StatusConflict
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	res := f.sched.Do(Request{Plan: f.bundle.Plan, CtIn: req.CtIn, PtIn: req.PtIn})
+	if res.Err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(res.Err, ErrClosed) {
+			status = http.StatusServiceUnavailable
+		} else {
+			// Shape errors (wrong input counts) are the client's fault.
+			status = http.StatusBadRequest
+		}
+		http.Error(w, res.Err.Error(), status)
+		return
+	}
+	out, err := wire.EncodeResponse(f.bundle.Params, res.Out)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Porcupine-Latency", res.Latency.String())
+	w.Write(out)
+}

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"porcupine/internal/backend"
+	"porcupine/internal/bfv"
+	"porcupine/internal/quill"
+	"porcupine/internal/wire"
+)
+
+func newFrontFixture(t *testing.T) (*wire.Bundle, *Scheduler, *httptest.Server) {
+	t.Helper()
+	l := &quill.Lowered{
+		VecLen: 1024, NumCtInputs: 1, NumPtInputs: 0,
+		Instrs: []quill.LInstr{
+			{Op: quill.OpRotCt, Dst: 1, A: 0, Rot: 2},
+			{Op: quill.OpAddCtCt, Dst: 2, A: 1, B: 0},
+			{Op: quill.OpMulCtCt, Dst: 3, A: 2, B: 0},
+			{Op: quill.OpRelin, Dst: 4, A: 3},
+		},
+		Output: 4,
+	}
+	ctx, plans, err := backend.NewTestServingContext("PN2048", 9, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	v := make(quill.Vec, l.VecLen)
+	for j := range v {
+		v[j] = rng.Uint64() % 64
+	}
+	ct, err := ctx.EncryptVec(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := &wire.Request{CtIn: []*bfv.Ciphertext{ct}}
+	b, err := Export(ctx, "http-test", plans[0], sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serve from a real decode round trip, like a fresh process would.
+	data, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := wire.DecodeBundle(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sched, err := Load(loaded, Config{Sessions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewFront(sched, loaded))
+	t.Cleanup(func() { srv.Close(); sched.Close() })
+	return loaded, sched, srv
+}
+
+func getJSON(t *testing.T, url string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestFrontEndpoints(t *testing.T) {
+	b, _, srv := newFrontFixture(t)
+
+	if m := getJSON(t, srv.URL+"/healthz", http.StatusOK); m["ok"] != true || m["kernel"] != "http-test" {
+		t.Errorf("healthz: %v", m)
+	}
+	if m := getJSON(t, srv.URL+"/plan", http.StatusOK); m["fingerprint"] != b.Params.FingerprintHex() {
+		t.Errorf("plan: fingerprint %v, want %v", m["fingerprint"], b.Params.FingerprintHex())
+	}
+	if m := getJSON(t, srv.URL+"/selftest", http.StatusOK); m["bit_identical"] != true {
+		t.Fatalf("selftest: %v", m)
+	}
+
+	// POST /run round trip: wire-encode the sample, expect the
+	// exporter's exact ciphertext back.
+	reqData, err := wire.EncodeRequest(b.Params, b.Sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/run", "application/octet-stream", bytes.NewReader(reqData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := new(bytes.Buffer)
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /run: status %d: %s", resp.StatusCode, body)
+	}
+	out, err := wire.DecodeResponse(b.Params, body.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Params.CiphertextEqual(out, b.Expected) {
+		t.Fatal("served output is not bit-identical to the exporter's")
+	}
+
+	if m := getJSON(t, srv.URL+"/stats", http.StatusOK); m["served"].(float64) < 2 {
+		t.Errorf("stats after selftest+run: %v", m)
+	}
+
+	// Garbage body → 400, never a panic or a 200.
+	resp, err = http.Post(srv.URL+"/run", "application/octet-stream", bytes.NewReader([]byte("not a wire object")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage POST /run: status %d, want 400", resp.StatusCode)
+	}
+}

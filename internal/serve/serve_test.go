@@ -1,0 +1,231 @@
+package serve
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"porcupine/internal/backend"
+	"porcupine/internal/bfv"
+	"porcupine/internal/plan"
+	"porcupine/internal/quill"
+)
+
+// fixture builds a deterministic PN2048 context with two plans and a
+// concrete reference output per plan.
+type fixture struct {
+	ctx      *backend.Context
+	plans    []*planWithIO
+	programs []*quill.Lowered
+}
+
+type planWithIO struct {
+	plan *plan.ExecutionPlan
+	ctIn []*bfv.Ciphertext
+	ptIn []quill.Vec
+	ref  *bfv.Ciphertext
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	mk := func(rot int) *quill.Lowered {
+		return &quill.Lowered{
+			VecLen: 1024, NumCtInputs: 2, NumPtInputs: 1,
+			Instrs: []quill.LInstr{
+				{Op: quill.OpRotCt, Dst: 2, A: 0, Rot: rot},
+				{Op: quill.OpAddCtCt, Dst: 3, A: 2, B: 1},
+				{Op: quill.OpMulCtCt, Dst: 4, A: 3, B: 0},
+				{Op: quill.OpRelin, Dst: 5, A: 4},
+				{Op: quill.OpMulCtPt, Dst: 6, A: 5, P: quill.PtRef{Input: 0}},
+			},
+			Output: 6,
+		}
+	}
+	programs := []*quill.Lowered{mk(1), mk(5)}
+	ctx, plans, err := backend.NewTestServingContext("PN2048", 5, programs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fixture{ctx: ctx, programs: programs}
+	rng := rand.New(rand.NewSource(8))
+	vec := func() quill.Vec {
+		v := make(quill.Vec, 1024)
+		for j := range v {
+			v[j] = rng.Uint64() % 64
+		}
+		return v
+	}
+	for i, p := range plans {
+		io := &planWithIO{plan: p, ptIn: []quill.Vec{vec()}}
+		for k := 0; k < 2; k++ {
+			ct, err := ctx.EncryptVec(vec())
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.ctIn = append(io.ctIn, ct)
+		}
+		ref, err := backend.RuntimeOver(ctx).RunInterpreter(programs[i], io.ctIn, io.ptIn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.ref = ref
+		f.plans = append(f.plans, io)
+	}
+	return f
+}
+
+// TestConcurrentProducers floods the scheduler from many producers
+// over two distinct plans and requires every single response to be a
+// bit-identical copy of that plan's reference output — the serving
+// correctness contract under -race.
+func TestConcurrentProducers(t *testing.T) {
+	f := newFixture(t)
+	s := New(f.ctx, Config{Sessions: 3, QueueDepth: 8, MaxBatch: 4})
+	defer s.Close()
+
+	const producers, perProducer = 6, 8
+	var wg sync.WaitGroup
+	errs := make(chan error, producers)
+	for w := 0; w < producers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			io := f.plans[w%len(f.plans)]
+			for i := 0; i < perProducer; i++ {
+				res := s.Do(Request{Plan: io.plan, CtIn: io.ctIn, PtIn: io.ptIn})
+				if res.Err != nil {
+					errs <- res.Err
+					return
+				}
+				if !f.ctx.Params.CiphertextEqual(res.Out, io.ref) {
+					errs <- errors.New("response not bit-identical to reference")
+					return
+				}
+				if res.Batch < 1 || res.Batch > 4 {
+					errs <- errors.New("batch size out of configured bounds")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := s.Stats()
+	if want := uint64(producers * perProducer); st.Submitted != want || st.Served != want {
+		t.Errorf("stats: submitted=%d served=%d, want %d", st.Submitted, st.Served, want)
+	}
+	if st.Failed != 0 {
+		t.Errorf("stats: %d failures", st.Failed)
+	}
+	if st.Batches == 0 || st.MaxBatchSeen > 4 {
+		t.Errorf("stats: batches=%d maxBatch=%d", st.Batches, st.MaxBatchSeen)
+	}
+	if st.QueueDepth != 0 {
+		t.Errorf("stats: queue depth %d after drain, want 0", st.QueueDepth)
+	}
+	if st.AvgLatency <= 0 || st.MaxLatency < st.AvgLatency {
+		t.Errorf("stats: implausible latencies avg=%v max=%v", st.AvgLatency, st.MaxLatency)
+	}
+}
+
+// TestErrorPropagation submits malformed requests interleaved with
+// good ones: every bad request gets its own error result, good
+// requests keep succeeding, and the failure counter reflects exactly
+// the bad ones.
+func TestErrorPropagation(t *testing.T) {
+	f := newFixture(t)
+	s := New(f.ctx, Config{Sessions: 2})
+	defer s.Close()
+	io := f.plans[0]
+
+	for i := 0; i < 3; i++ {
+		// Wrong ciphertext input count.
+		res := s.Do(Request{Plan: io.plan, CtIn: io.ctIn[:1], PtIn: io.ptIn})
+		if res.Err == nil {
+			t.Fatal("truncated input accepted")
+		}
+		// A good request right after must still work.
+		res = s.Do(Request{Plan: io.plan, CtIn: io.ctIn, PtIn: io.ptIn})
+		if res.Err != nil {
+			t.Fatalf("good request after failure: %v", res.Err)
+		}
+		if !f.ctx.Params.CiphertextEqual(res.Out, io.ref) {
+			t.Fatal("good response corrupted by preceding failure")
+		}
+	}
+	st := s.Stats()
+	if st.Failed != 3 || st.Served != 3 {
+		t.Errorf("stats: served=%d failed=%d, want 3/3", st.Served, st.Failed)
+	}
+}
+
+// TestCloseDrainsAndRejects: Close waits for in-flight requests, later
+// submissions resolve with ErrClosed.
+func TestCloseDrains(t *testing.T) {
+	f := newFixture(t)
+	s := New(f.ctx, Config{Sessions: 1, QueueDepth: 16})
+	io := f.plans[0]
+
+	var results []<-chan Result
+	for i := 0; i < 5; i++ {
+		results = append(results, s.Submit(Request{Plan: io.plan, CtIn: io.ctIn, PtIn: io.ptIn}))
+	}
+	s.Close()
+	for i, ch := range results {
+		res := <-ch
+		if res.Err != nil {
+			t.Fatalf("queued request %d dropped at close: %v", i, res.Err)
+		}
+		if !f.ctx.Params.CiphertextEqual(res.Out, io.ref) {
+			t.Fatalf("queued request %d returned wrong output", i)
+		}
+	}
+	if res := s.Do(Request{Plan: io.plan, CtIn: io.ctIn, PtIn: io.ptIn}); !errors.Is(res.Err, ErrClosed) {
+		t.Fatalf("post-close submit: got %v, want ErrClosed", res.Err)
+	}
+	if st := s.Stats(); st.Rejected != 1 || st.Served != 5 {
+		t.Errorf("stats: served=%d rejected=%d, want 5/1", st.Served, st.Rejected)
+	}
+}
+
+// TestBatchCoalescing checks that a burst submitted faster than the
+// (slowed) dispatcher drains coalesces into multi-request batches and
+// that per-request wait/latency are recorded.
+func TestBatchCoalescing(t *testing.T) {
+	f := newFixture(t)
+	s := New(f.ctx, Config{Sessions: 1, QueueDepth: 16, MaxBatch: 4, BatchWindow: 20 * time.Millisecond})
+	defer s.Close()
+	io := f.plans[0]
+
+	const n = 8
+	var chans []<-chan Result
+	for i := 0; i < n; i++ {
+		chans = append(chans, s.Submit(Request{Plan: io.plan, CtIn: io.ctIn, PtIn: io.ptIn}))
+	}
+	sawMulti := false
+	for _, ch := range chans {
+		res := <-ch
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if res.Batch > 1 {
+			sawMulti = true
+		}
+		if res.Latency < res.Wait {
+			t.Errorf("latency %v below queue wait %v", res.Latency, res.Wait)
+		}
+	}
+	if !sawMulti {
+		t.Error("a burst of 8 requests into a 20ms window never coalesced into one batch")
+	}
+	if st := s.Stats(); st.AvgBatch <= 1 {
+		t.Errorf("average batch %0.2f, want > 1 for a burst", st.AvgBatch)
+	}
+}

@@ -1,0 +1,170 @@
+package wire_test
+
+// The cross-process differential leg: a plan exported by THIS process
+// must load and run bit-identically in a FRESH process that never saw
+// the secret key, the lowered program, or this process's memory.
+//
+// The parent test compiles each kernel's plan, runs it in-process (plan
+// path and interpreter path), exports a bundle, then re-executes the
+// test binary as a genuine child process (helper-process pattern). The
+// child loads the bundle through the wire decoder, executes the
+// embedded sample through the batched scheduler, and writes the
+// wire-encoded output; the parent requires all three outputs —
+// interpreter, in-process plan, out-of-process plan — to be
+// bit-identical ciphertexts.
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"porcupine/internal/backend"
+	"porcupine/internal/baseline"
+	"porcupine/internal/bfv"
+	"porcupine/internal/kernels"
+	"porcupine/internal/serve"
+	"porcupine/internal/wire"
+)
+
+const (
+	envBundle = "PORCUPINE_WIRE_CHILD_BUNDLE"
+	envOut    = "PORCUPINE_WIRE_CHILD_OUT"
+)
+
+// TestHelperLoadAndRun is not a test of this process: it is the body
+// of the child process spawned by TestCrossProcessBitIdentity, gated
+// on the env vars the parent sets.
+func TestHelperLoadAndRun(t *testing.T) {
+	bundlePath := os.Getenv(envBundle)
+	if bundlePath == "" {
+		t.Skip("helper: runs only as a child of TestCrossProcessBitIdentity")
+	}
+	b, err := wire.ReadBundleFile(bundlePath)
+	if err != nil {
+		t.Fatalf("helper: loading bundle: %v", err)
+	}
+	ctx, sched, err := serve.Load(b, serve.Config{Sessions: 2})
+	if err != nil {
+		t.Fatalf("helper: building sealed context: %v", err)
+	}
+	defer sched.Close()
+	if ctx.CanDecrypt() {
+		t.Fatal("helper: loaded context holds a secret key; bundles must carry only public material")
+	}
+	res := sched.Do(serve.Request{Plan: b.Plan, CtIn: b.Sample.CtIn, PtIn: b.Sample.PtIn})
+	if res.Err != nil {
+		t.Fatalf("helper: executing plan: %v", res.Err)
+	}
+	data, err := wire.EncodeResponse(b.Params, res.Out)
+	if err != nil {
+		t.Fatalf("helper: encoding response: %v", err)
+	}
+	if err := os.WriteFile(os.Getenv(envOut), data, 0o644); err != nil {
+		t.Fatalf("helper: writing output: %v", err)
+	}
+}
+
+func TestCrossProcessBitIdentity(t *testing.T) {
+	if os.Getenv(envBundle) != "" {
+		t.Skip("already in the helper process")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{
+		"box-blur", "dot-product", "hamming-distance", "l2-distance",
+		"linear-regression", "polynomial-regression", "gx", "gy",
+		"roberts-cross", "sobel", "harris",
+	}
+	if testing.Short() {
+		// One single-step and one composed kernel keep the short suite
+		// fast while still crossing a real process boundary.
+		names = []string{"box-blur", "sobel"}
+	}
+	dir := t.TempDir()
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			spec := kernels.ByName(name)
+			l, err := baseline.Lowered(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			preset := "PN4096"
+			if l.MultDepth() > 2 {
+				preset = "PN8192"
+			}
+			ctx, plans, err := backend.NewTestServingContext(preset, 7, l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := plans[0]
+
+			rng := rand.New(rand.NewSource(3))
+			assign := make([]uint64, spec.NumVars)
+			for i := range assign {
+				assign[i] = rng.Uint64() % 64
+			}
+			ex := spec.NewExample(assign)
+			sample := &wire.Request{PtIn: ex.PtIn}
+			for _, v := range ex.CtIn {
+				ct, err := ctx.EncryptVec(v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sample.CtIn = append(sample.CtIn, ct)
+			}
+
+			// Leg 1: the interpreter (differential reference).
+			interp, err := backend.RuntimeOver(ctx).RunInterpreter(l, sample.CtIn, sample.PtIn)
+			if err != nil {
+				t.Fatalf("interpreter: %v", err)
+			}
+			// Leg 2: the in-process plan (also becomes the bundle's
+			// embedded expectation inside Export).
+			b, err := serve.Export(ctx, name, p, sample)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ctx.Params.CiphertextEqual(interp, b.Expected) {
+				t.Fatal("in-process plan output differs from the interpreter")
+			}
+
+			bundlePath := filepath.Join(dir, name+".pplan")
+			outPath := filepath.Join(dir, name+".out")
+			if err := b.WriteFile(bundlePath); err != nil {
+				t.Fatal(err)
+			}
+
+			// Leg 3: a fresh process, fed the artifact alone.
+			cmd := exec.Command(exe, "-test.run", "^TestHelperLoadAndRun$", "-test.count=1")
+			cmd.Env = append(os.Environ(),
+				fmt.Sprintf("%s=%s", envBundle, bundlePath),
+				fmt.Sprintf("%s=%s", envOut, outPath),
+			)
+			if out, err := cmd.CombinedOutput(); err != nil {
+				t.Fatalf("child process failed: %v\n%s", err, out)
+			}
+			respData, err := os.ReadFile(outPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var childOut *bfv.Ciphertext
+			if childOut, err = wire.DecodeResponse(ctx.Params, respData); err != nil {
+				t.Fatal(err)
+			}
+			if !ctx.Params.CiphertextEqual(childOut, b.Expected) {
+				t.Fatal("cross-process plan output is not bit-identical to the in-process plan")
+			}
+
+			// And the decrypted result still matches the plaintext
+			// reference (only the exporting side can check this).
+			if got := ctx.DecryptVec(childOut, spec.VecLen); !spec.Matches(got, ex) {
+				t.Fatal("cross-process output disagrees with the plaintext reference")
+			}
+		})
+	}
+}

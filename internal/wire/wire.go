@@ -1,0 +1,688 @@
+// Package wire is the versioned, checksummed binary format that moves
+// compiled serving artifacts between processes: an execution plan
+// together with the exact public key material it declares (the
+// relinearization key and the canonical Galois set), pinned to a
+// parameter fingerprint.
+//
+// The deployment model follows the paper's Figure 1 split, extended
+// across processes: one process compiles a kernel, builds keys, and
+// exports a Bundle; any number of serving processes load the bundle
+// and execute the plan bit-identically, without ever holding the
+// secret key (bundles carry no secret or public encryption key — only
+// evaluation keys, which are public by construction). Requests and
+// responses between a client and a serving process use the same
+// envelope with their own tags.
+//
+// Envelope layout (little-endian):
+//
+//	magic "PCPN" | version u8 | tag u8 | payloadLen u64 | payload | sha256(all preceding bytes)
+//
+// Decoding is strict and total: truncation, bit flips, foreign or
+// future-versioned data, and semantically malformed payloads (a plan
+// indexing a register it never allocated, a residue outside its prime,
+// an undeclared rotation) all yield typed errors — never a panic, and
+// never an object that would fail later inside a session's execution
+// loop. The error classes are ErrMagic, ErrVersion, ErrTag,
+// ErrTruncated, ErrChecksum, ErrFingerprint and ErrInvalid; match with
+// errors.Is.
+//
+// The byte-level writer/reader here intentionally does not share
+// internal/bfv's object serializer: bfv encodes self-describing
+// per-object blobs (own magic/version, untyped errors) that this
+// envelope embeds as opaque sections, while this layer adds
+// envelope-wide checksumming, count pre-validation before allocation,
+// and errors.Is-typed failures. Both delegate polynomial bytes to the
+// one shared codec in internal/ring.
+package wire
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"porcupine/internal/bfv"
+	"porcupine/internal/plan"
+	"porcupine/internal/quill"
+)
+
+const (
+	magic = "PCPN"
+	// Version is the wire-format version. Decoders reject any other
+	// version: artifacts are cheap to re-export, so there is no
+	// cross-version compatibility machinery to get subtly wrong.
+	Version = 1
+)
+
+const (
+	tagBundle byte = iota + 1
+	tagRequest
+	tagResponse
+)
+
+// Typed decode errors (match with errors.Is).
+var (
+	ErrMagic       = errors.New("wire: bad magic (not a porcupine wire object)")
+	ErrVersion     = errors.New("wire: unsupported format version")
+	ErrTag         = errors.New("wire: wrong object kind")
+	ErrTruncated   = errors.New("wire: truncated stream")
+	ErrChecksum    = errors.New("wire: checksum mismatch (corrupted stream)")
+	ErrFingerprint = errors.New("wire: parameter fingerprint mismatch")
+	ErrInvalid     = errors.New("wire: invalid object")
+)
+
+// Bundle is the exported serving artifact: one compiled plan, the
+// parameters it was compiled for, the public evaluation keys it
+// declares, and a deterministic self-test sample (inputs encrypted by
+// the exporter plus the exporter's own output ciphertext) that lets a
+// loading process prove bit-identical execution without the secret
+// key.
+type Bundle struct {
+	Name   string // kernel name (reporting)
+	Preset string // parameter preset name (reporting; the binding truth is the fingerprint)
+
+	Params *bfv.Parameters
+	Plan   *plan.ExecutionPlan
+	Relin  *bfv.RelinearizationKey
+	Galois *bfv.GaloisKeys
+
+	// Sample and Expected form the embedded cross-process differential
+	// check: running Plan on Sample must reproduce Expected bit for
+	// bit. Both may be nil (a bundle without a self-test).
+	Sample   *Request
+	Expected *bfv.Ciphertext
+}
+
+// Request is one serving request: the encrypted inputs and the
+// plaintext input vectors of a plan execution.
+type Request struct {
+	CtIn []*bfv.Ciphertext
+	PtIn []quill.Vec
+}
+
+// ---- encoder ----
+
+type writer struct{ buf []byte }
+
+func newWriter(tag byte) *writer {
+	w := &writer{buf: make([]byte, 0, 1<<16)}
+	w.buf = append(w.buf, magic...)
+	w.buf = append(w.buf, Version, tag)
+	// payloadLen placeholder, patched in finish.
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, 0)
+	return w
+}
+
+func (w *writer) u8(v byte)    { w.buf = append(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *writer) i64(v int64)  { w.u64(uint64(v)) }
+
+func (w *writer) bytes(b []byte) {
+	w.u32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+func (w *writer) str(s string) { w.bytes([]byte(s)) }
+
+func (w *writer) u64s(v []uint64) {
+	w.u32(uint32(len(v)))
+	for _, x := range v {
+		w.u64(x)
+	}
+}
+
+// blob writes the output of a bfv MarshalBinary call.
+func (w *writer) blob(b []byte, err error) error {
+	if err != nil {
+		return err
+	}
+	w.bytes(b)
+	return nil
+}
+
+// finish patches the payload length and appends the checksum.
+func (w *writer) finish() []byte {
+	binary.LittleEndian.PutUint64(w.buf[6:], uint64(len(w.buf)-headerLen))
+	sum := sha256.Sum256(w.buf)
+	return append(w.buf, sum[:]...)
+}
+
+const headerLen = 4 + 1 + 1 + 8 // magic, version, tag, payloadLen
+const sumLen = sha256.Size
+
+// ---- decoder ----
+
+type reader struct {
+	buf []byte // payload only
+	off int
+	err error
+}
+
+// open validates the envelope (magic, version, tag, length, checksum)
+// and returns a reader over the payload.
+func open(data []byte, wantTag byte) (*reader, error) {
+	if len(data) < headerLen {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the %d-byte header", ErrTruncated, len(data), headerLen)
+	}
+	if string(data[:4]) != magic {
+		return nil, ErrMagic
+	}
+	if v := data[4]; v != Version {
+		return nil, fmt.Errorf("%w: got version %d, this build reads version %d", ErrVersion, v, Version)
+	}
+	if tag := data[5]; tag != wantTag {
+		return nil, fmt.Errorf("%w: object tag %d, want %d", ErrTag, tag, wantTag)
+	}
+	payloadLen := binary.LittleEndian.Uint64(data[6:])
+	want := headerLen + payloadLen + sumLen
+	if uint64(len(data)) < want {
+		return nil, fmt.Errorf("%w: %d bytes, envelope declares %d", ErrTruncated, len(data), want)
+	}
+	if uint64(len(data)) > want {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrInvalid, uint64(len(data))-want)
+	}
+	body := data[:headerLen+payloadLen]
+	sum := sha256.Sum256(body)
+	if subtle.ConstantTimeCompare(sum[:], data[headerLen+payloadLen:]) != 1 {
+		return nil, ErrChecksum
+	}
+	return &reader{buf: data[headerLen : headerLen+payloadLen]}, nil
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		// Inside a checksum-valid payload, running out of bytes means
+		// the object is malformed, not truncated in transit.
+		r.err = fmt.Errorf("%w: payload ends mid-field", ErrInvalid)
+	}
+}
+
+func (r *reader) u8() byte {
+	if r.err != nil || r.off+1 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) i64() int64 { return int64(r.u64()) }
+
+// count reads a u32 element count and checks that at least count ×
+// elemSize bytes remain, so corrupted counts fail before allocating.
+func (r *reader) count(elemSize int) int {
+	n := int(r.u32())
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || r.off+n*elemSize > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	return n
+}
+
+func (r *reader) bytes() []byte {
+	n := r.count(1)
+	if r.err != nil {
+		return nil
+	}
+	v := r.buf[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+func (r *reader) str() string { return string(r.bytes()) }
+
+func (r *reader) u64s() []uint64 {
+	n := r.count(8)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.u64()
+	}
+	return out
+}
+
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("%w: %d unread payload bytes", ErrInvalid, len(r.buf)-r.off)
+	}
+	return nil
+}
+
+// ---- bundle ----
+
+// Encode serializes the bundle. Params, Plan, Relin and Galois are
+// required; Sample/Expected must be both present or both absent.
+func (b *Bundle) Encode() ([]byte, error) {
+	if b.Params == nil || b.Plan == nil || b.Relin == nil || b.Galois == nil {
+		return nil, fmt.Errorf("wire: bundle needs params, plan, relin and galois keys")
+	}
+	if (b.Sample == nil) != (b.Expected == nil) {
+		return nil, fmt.Errorf("wire: self-test sample and expected output must come together")
+	}
+	w := newWriter(tagBundle)
+	fp := b.Params.Fingerprint()
+	w.buf = append(w.buf, fp[:]...)
+	w.str(b.Name)
+	w.str(b.Preset)
+	if err := w.blob(b.Params.MarshalBinary()); err != nil {
+		return nil, err
+	}
+	if err := encodePlan(w, b.Plan); err != nil {
+		return nil, err
+	}
+	if err := w.blob(b.Relin.MarshalBinary()); err != nil {
+		return nil, err
+	}
+	if err := w.blob(b.Galois.MarshalBinary()); err != nil {
+		return nil, err
+	}
+	if b.Sample == nil {
+		w.u8(0)
+	} else {
+		w.u8(1)
+		if err := encodeRequestBody(w, b.Sample); err != nil {
+			return nil, err
+		}
+		if err := w.blob(b.Expected.MarshalBinary()); err != nil {
+			return nil, err
+		}
+	}
+	return w.finish(), nil
+}
+
+// DecodeBundle decodes and fully validates a bundle: envelope
+// integrity, parameter fingerprint, plan well-formedness
+// (plan.Validate), Galois coverage of every declared rotation, and
+// self-test shape.
+func DecodeBundle(data []byte) (*Bundle, error) {
+	r, err := open(data, tagBundle)
+	if err != nil {
+		return nil, err
+	}
+	var fp [16]byte
+	if r.off+16 > len(r.buf) {
+		return nil, fmt.Errorf("%w: payload ends mid-fingerprint", ErrInvalid)
+	}
+	copy(fp[:], r.buf[r.off:])
+	r.off += 16
+
+	b := &Bundle{Name: r.str(), Preset: r.str()}
+	paramsBlob := r.bytes()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if b.Params, err = bfv.UnmarshalParameters(paramsBlob); err != nil {
+		return nil, fmt.Errorf("%w: parameters: %v", ErrInvalid, err)
+	}
+	if b.Params.Fingerprint() != fp {
+		return nil, fmt.Errorf("%w: header %x, decoded parameters %x", ErrFingerprint, fp, b.Params.Fingerprint())
+	}
+	if b.Plan, err = decodePlan(r, b.Params); err != nil {
+		return nil, err
+	}
+	if b.Relin, err = unmarshalRelin(b.Params, r.bytes(), r.err); err != nil {
+		return nil, err
+	}
+	if b.Galois, err = unmarshalGalois(b.Params, r.bytes(), r.err); err != nil {
+		return nil, err
+	}
+	for _, rot := range b.Plan.Rotations {
+		if g := b.Params.GaloisElement(rot); g != 1 && !b.Galois.HasElement(g) {
+			return nil, fmt.Errorf("%w: plan needs rotation %d (element %d) but the bundle carries no key for it", ErrInvalid, rot, g)
+		}
+	}
+	if r.u8() == 1 {
+		if b.Sample, err = decodeRequestBody(r, b.Params); err != nil {
+			return nil, err
+		}
+		if b.Expected, err = unmarshalCiphertext(b.Params, r.bytes(), r.err); err != nil {
+			return nil, err
+		}
+		if len(b.Sample.CtIn) != b.Plan.NumCtInputs || len(b.Sample.PtIn) != b.Plan.NumPtInputs {
+			return nil, fmt.Errorf("%w: self-test sample has %d ct / %d pt inputs, plan wants %d / %d",
+				ErrInvalid, len(b.Sample.CtIn), len(b.Sample.PtIn), b.Plan.NumCtInputs, b.Plan.NumPtInputs)
+		}
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// WriteFile atomically writes the encoded bundle to path.
+func (b *Bundle) WriteFile(path string) error {
+	data, err := b.Encode()
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".bundle-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadBundleFile reads and decodes a bundle written by WriteFile.
+func ReadBundleFile(path string) (*Bundle, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	b, err := DecodeBundle(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
+// ---- plan section ----
+
+func encodePlan(w *writer, p *plan.ExecutionPlan) error {
+	if p.Source == nil {
+		return fmt.Errorf("wire: plan has no source program")
+	}
+	w.u32(uint32(p.N))
+	w.u32(uint32(p.VecLen))
+	w.u32(uint32(p.NumCtInputs))
+	w.u32(uint32(p.NumPtInputs))
+	w.u32(uint32(len(p.RegDeg)))
+	for _, d := range p.RegDeg {
+		w.u8(byte(d))
+	}
+	w.u32(uint32(len(p.Steps)))
+	for i := range p.Steps {
+		st := &p.Steps[i]
+		w.u8(byte(st.Op))
+		w.u32(uint32(st.Dst))
+		w.i64(int64(st.A))
+		w.i64(int64(st.B))
+		w.i64(int64(st.Rot))
+		w.i64(int64(st.Pt))
+		w.i64(int64(st.Con))
+	}
+	w.u32(uint32(len(p.Consts)))
+	for _, pt := range p.Consts {
+		if err := w.blob(pt.MarshalBinary()); err != nil {
+			return err
+		}
+	}
+	w.u32(uint32(len(p.Rotations)))
+	for _, r := range p.Rotations {
+		w.i64(int64(r))
+	}
+	w.i64(int64(p.Out))
+	w.str(p.Source.String())
+	return nil
+}
+
+const stepWireSize = 1 + 4 + 5*8
+
+func decodePlan(r *reader, params *bfv.Parameters) (*plan.ExecutionPlan, error) {
+	p := &plan.ExecutionPlan{
+		N:           int(r.u32()),
+		VecLen:      int(r.u32()),
+		NumCtInputs: int(r.u32()),
+		NumPtInputs: int(r.u32()),
+	}
+	nRegs := r.count(1)
+	p.NumRegs = nRegs
+	p.RegDeg = make([]int, 0, nRegs)
+	for i := 0; i < nRegs; i++ {
+		p.RegDeg = append(p.RegDeg, int(r.u8()))
+	}
+	nSteps := r.count(stepWireSize)
+	p.Steps = make([]plan.Step, 0, nSteps)
+	for i := 0; i < nSteps; i++ {
+		p.Steps = append(p.Steps, plan.Step{
+			Op:  quill.Op(r.u8()),
+			Dst: int(r.u32()),
+			A:   int(r.i64()),
+			B:   int(r.i64()),
+			Rot: int(r.i64()),
+			Pt:  int(r.i64()),
+			Con: int(r.i64()),
+		})
+	}
+	nConsts := r.count(4)
+	for i := 0; i < nConsts; i++ {
+		pt, err := unmarshalPlaintext(params, r.bytes(), r.err)
+		if err != nil {
+			return nil, err
+		}
+		p.Consts = append(p.Consts, pt)
+	}
+	nRots := r.count(8)
+	for i := 0; i < nRots; i++ {
+		p.Rotations = append(p.Rotations, int(r.i64()))
+	}
+	p.Out = int(r.i64())
+	src := r.str()
+	if r.err != nil {
+		return nil, r.err
+	}
+	l, err := quill.ParseLowered(src)
+	if err != nil {
+		return nil, fmt.Errorf("%w: plan source program: %v", ErrInvalid, err)
+	}
+	if err := l.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: plan source program: %v", ErrInvalid, err)
+	}
+	if l.VecLen != p.VecLen || l.NumCtInputs != p.NumCtInputs || l.NumPtInputs != p.NumPtInputs {
+		return nil, fmt.Errorf("%w: plan source shape (vec=%d ct=%d pt=%d) disagrees with plan (vec=%d ct=%d pt=%d)",
+			ErrInvalid, l.VecLen, l.NumCtInputs, l.NumPtInputs, p.VecLen, p.NumCtInputs, p.NumPtInputs)
+	}
+	p.Source = l
+	if err := p.Validate(params); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	return p, nil
+}
+
+// ---- request / response ----
+
+func encodeRequestBody(w *writer, req *Request) error {
+	w.u32(uint32(len(req.CtIn)))
+	for _, ct := range req.CtIn {
+		if err := w.blob(ct.MarshalBinary()); err != nil {
+			return err
+		}
+	}
+	w.u32(uint32(len(req.PtIn)))
+	for _, v := range req.PtIn {
+		w.u64s(v)
+	}
+	return nil
+}
+
+func decodeRequestBody(r *reader, params *bfv.Parameters) (*Request, error) {
+	req := &Request{}
+	nCt := r.count(4)
+	for i := 0; i < nCt; i++ {
+		ct, err := unmarshalCiphertext(params, r.bytes(), r.err)
+		if err != nil {
+			return nil, err
+		}
+		req.CtIn = append(req.CtIn, ct)
+	}
+	nPt := r.count(4)
+	for i := 0; i < nPt; i++ {
+		v := r.u64s()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if len(v) > params.SlotCount() {
+			return nil, fmt.Errorf("%w: plaintext vector of %d slots exceeds row size %d", ErrInvalid, len(v), params.SlotCount())
+		}
+		for _, x := range v {
+			if x >= params.T {
+				return nil, fmt.Errorf("%w: plaintext value %d outside Z_%d", ErrInvalid, x, params.T)
+			}
+		}
+		req.PtIn = append(req.PtIn, quill.Vec(v))
+	}
+	return req, nil
+}
+
+// EncodeRequest serializes a request, pinning it to the parameter
+// fingerprint so a serving process rejects requests encrypted under
+// different parameters.
+func EncodeRequest(params *bfv.Parameters, req *Request) ([]byte, error) {
+	w := newWriter(tagRequest)
+	fp := params.Fingerprint()
+	w.buf = append(w.buf, fp[:]...)
+	if err := encodeRequestBody(w, req); err != nil {
+		return nil, err
+	}
+	return w.finish(), nil
+}
+
+// DecodeRequest decodes and validates a request against the serving
+// parameters.
+func DecodeRequest(params *bfv.Parameters, data []byte) (*Request, error) {
+	r, err := open(data, tagRequest)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := readFingerprint(r, params); err != nil {
+		return nil, err
+	}
+	req, err := decodeRequestBody(r, params)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// EncodeResponse serializes one output ciphertext.
+func EncodeResponse(params *bfv.Parameters, out *bfv.Ciphertext) ([]byte, error) {
+	w := newWriter(tagResponse)
+	fp := params.Fingerprint()
+	w.buf = append(w.buf, fp[:]...)
+	if err := w.blob(out.MarshalBinary()); err != nil {
+		return nil, err
+	}
+	return w.finish(), nil
+}
+
+// DecodeResponse decodes a response produced under the same
+// parameters.
+func DecodeResponse(params *bfv.Parameters, data []byte) (*bfv.Ciphertext, error) {
+	r, err := open(data, tagResponse)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := readFingerprint(r, params); err != nil {
+		return nil, err
+	}
+	ct, err := unmarshalCiphertext(params, r.bytes(), r.err)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return ct, nil
+}
+
+func readFingerprint(r *reader, params *bfv.Parameters) ([16]byte, error) {
+	var fp [16]byte
+	if r.off+16 > len(r.buf) {
+		return fp, fmt.Errorf("%w: payload ends mid-fingerprint", ErrInvalid)
+	}
+	copy(fp[:], r.buf[r.off:])
+	r.off += 16
+	if fp != params.Fingerprint() {
+		return fp, fmt.Errorf("%w: object built for %x, serving parameters are %x", ErrFingerprint, fp, params.Fingerprint())
+	}
+	return fp, nil
+}
+
+// ---- bfv blob helpers (uniform error typing) ----
+
+func unmarshalCiphertext(params *bfv.Parameters, blob []byte, rerr error) (*bfv.Ciphertext, error) {
+	if rerr != nil {
+		return nil, rerr
+	}
+	ct, err := params.UnmarshalCiphertext(blob)
+	if err != nil {
+		return nil, fmt.Errorf("%w: ciphertext: %v", ErrInvalid, err)
+	}
+	return ct, nil
+}
+
+func unmarshalPlaintext(params *bfv.Parameters, blob []byte, rerr error) (*bfv.Plaintext, error) {
+	if rerr != nil {
+		return nil, rerr
+	}
+	pt, err := params.UnmarshalPlaintext(blob)
+	if err != nil {
+		return nil, fmt.Errorf("%w: plaintext: %v", ErrInvalid, err)
+	}
+	return pt, nil
+}
+
+func unmarshalRelin(params *bfv.Parameters, blob []byte, rerr error) (*bfv.RelinearizationKey, error) {
+	if rerr != nil {
+		return nil, rerr
+	}
+	rk, err := params.UnmarshalRelinearizationKey(blob)
+	if err != nil {
+		return nil, fmt.Errorf("%w: relinearization key: %v", ErrInvalid, err)
+	}
+	return rk, nil
+}
+
+func unmarshalGalois(params *bfv.Parameters, blob []byte, rerr error) (*bfv.GaloisKeys, error) {
+	if rerr != nil {
+		return nil, rerr
+	}
+	gk, err := params.UnmarshalGaloisKeys(blob)
+	if err != nil {
+		return nil, fmt.Errorf("%w: galois keys: %v", ErrInvalid, err)
+	}
+	return gk, nil
+}

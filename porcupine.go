@@ -39,7 +39,9 @@ import (
 	"porcupine/internal/kernels"
 	"porcupine/internal/plan"
 	"porcupine/internal/quill"
+	"porcupine/internal/serve"
 	"porcupine/internal/synth"
+	"porcupine/internal/wire"
 )
 
 // Core program representations (Quill DSL).
@@ -66,6 +68,8 @@ type (
 type (
 	// Spec is a kernel specification: reference semantics + layout.
 	Spec = kernels.Spec
+	// Example is one concrete input-output pair of a kernel spec.
+	Example = kernels.Example
 	// Layout assigns logical elements to vector slots.
 	Layout = kernels.Layout
 	// Sketch guides the synthesis engine (components + rotations + L).
@@ -232,6 +236,71 @@ func NewRuntime(preset string, programs ...*Lowered) (*Runtime, error) {
 // through its own Context.NewSession().
 func NewServingContext(preset string, programs ...*Lowered) (*Context, []*ExecutionPlan, error) {
 	return backend.NewServingContext(preset, programs...)
+}
+
+// Multi-process serving types: the wire artifact (Bundle), the batched
+// request scheduler (Scheduler), and the HTTP front-end (Front). See
+// internal/wire and internal/serve.
+type (
+	// Bundle is the exported serving artifact: one execution plan, its
+	// parameters, the public evaluation keys it declares, and an
+	// embedded self-test sample. Encode/Decode are versioned,
+	// checksummed and fingerprint-pinned.
+	Bundle = wire.Bundle
+	// WireRequest is one serving request (encrypted inputs + plaintext
+	// vectors) in its wire form.
+	WireRequest = wire.Request
+	// Scheduler is the batched request scheduler: a bounded session
+	// pool over one shared Context with request coalescing and stats.
+	Scheduler = serve.Scheduler
+	// ServeConfig sizes a Scheduler (sessions, queue depth, batching).
+	ServeConfig = serve.Config
+	// ServeRequest is one scheduled plan execution.
+	ServeRequest = serve.Request
+	// ServeResult is the outcome of one scheduled request.
+	ServeResult = serve.Result
+	// ServeStats is a snapshot of scheduler counters.
+	ServeStats = serve.Stats
+	// Front is the HTTP front-end over a loaded bundle.
+	Front = serve.Front
+)
+
+// NewScheduler starts a batched request scheduler over a context.
+func NewScheduler(ctx *Context, cfg ServeConfig) *Scheduler { return serve.New(ctx, cfg) }
+
+// ExportBundle packages a compiled plan, the context's public
+// evaluation keys, and an optional self-test sample into a wire
+// bundle. The secret key never leaves the exporting process.
+func ExportBundle(ctx *Context, name string, p *ExecutionPlan, sample *WireRequest) (*Bundle, error) {
+	return serve.Export(ctx, name, p, sample)
+}
+
+// ReadBundleFile reads, checksums and validates an exported bundle.
+func ReadBundleFile(path string) (*Bundle, error) { return wire.ReadBundleFile(path) }
+
+// LoadBundle builds the serving half from a bundle: a sealed
+// execute-only context (no secret key) and a scheduler over it.
+func LoadBundle(b *Bundle, cfg ServeConfig) (*Context, *Scheduler, error) {
+	return serve.Load(b, cfg)
+}
+
+// BundleSelfTest executes the bundle's embedded sample and reports
+// whether the output is bit-identical to the exporter's expectation.
+func BundleSelfTest(s *Scheduler, b *Bundle) (bool, error) { return serve.SelfTest(s, b) }
+
+// NewHTTPFront builds the HTTP front-end (healthz/plan/stats/selftest/
+// run endpoints) over a scheduler and its bundle.
+func NewHTTPFront(s *Scheduler, b *Bundle) *Front { return serve.NewFront(s, b) }
+
+// EncodeWireRequest serializes a request for POSTing to a serving
+// process, pinned to the parameter fingerprint.
+func EncodeWireRequest(params *Parameters, req *WireRequest) ([]byte, error) {
+	return wire.EncodeRequest(params, req)
+}
+
+// DecodeWireResponse decodes a serving process's response ciphertext.
+func DecodeWireResponse(params *Parameters, data []byte) (*Ciphertext, error) {
+	return wire.DecodeResponse(params, data)
 }
 
 // ParseLowered parses the textual lowered-program format (see
