@@ -305,6 +305,65 @@ func BenchmarkPlanRun(b *testing.B) {
 	}
 }
 
+// BenchmarkHoistedPlanRun is the allocation canary of the hoisted
+// key-switching path: one warm session executing a plan with a
+// rotation fan-out group at steady state. Like BenchmarkPlanRun, CI
+// runs it with -benchtime=1x -benchmem and fails the build on
+// anything but "0 B/op, 0 allocs/op" — hoisting must not cost the
+// serving runtime its GC-quiet invariant (the decomposition scratch
+// is created once per session and reused).
+func BenchmarkHoistedPlanRun(b *testing.B) {
+	l := &quill.Lowered{
+		VecLen: 1024, NumCtInputs: 1,
+		Instrs: []quill.LInstr{
+			{Op: quill.OpRotCt, Dst: 1, A: 0, Rot: 1},
+			{Op: quill.OpRotCt, Dst: 2, A: 0, Rot: 2},
+			{Op: quill.OpRotCt, Dst: 3, A: 0, Rot: 4},
+			{Op: quill.OpRotCt, Dst: 4, A: 0, Rot: -7},
+			{Op: quill.OpAddCtCt, Dst: 5, A: 1, B: 2},
+			{Op: quill.OpAddCtCt, Dst: 6, A: 5, B: 3},
+			{Op: quill.OpAddCtCt, Dst: 7, A: 6, B: 4},
+			{Op: quill.OpMulCtCt, Dst: 8, A: 7, B: 0},
+			{Op: quill.OpRelin, Dst: 9, A: 8},
+		},
+		Output: 9,
+	}
+	rt, err := backend.NewTestRuntime("PN2048", 5, l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := rt.Plan(l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if g, r := p.HoistedGroups(); g != 1 || r != 4 {
+		b.Fatalf("hoisted groups = %d (%d rotations), want 1 (4)", g, r)
+	}
+	v := make(quill.Vec, l.VecLen)
+	for j := range v {
+		v[j] = uint64(j % 61)
+	}
+	ct, err := rt.EncryptVec(v)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := rt.NewSession()
+	// Warm-up: grows the register file, decomposition scratch and ring
+	// pools to steady state.
+	for i := 0; i < 3; i++ {
+		if _, err := s.Run(p, []*porcupine.Ciphertext{ct}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(p, []*porcupine.Ciphertext{ct}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTable2Counts reports the lowered instruction counts and
 // depths of baseline vs synthesized kernels as custom metrics (the
 // content of Table 2); the measured time is the lowering itself.

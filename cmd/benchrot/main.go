@@ -1,0 +1,236 @@
+// Command benchrot measures the hoisted-rotation win per kernel: it
+// compiles every kernel's baseline and synthesized program into two
+// execution plans — flat (hoisting disabled; the serial schedule
+// every pre-hoisting build ran) and hoisted (rotation fan-out groups
+// fused, decompose-once) — verifies both bit-identical against the
+// interpreter, and reports wall-clock latency plus the static
+// key-switching NTT counts behind the speedup. `make bench-rot` pipes
+// the JSON into BENCH_PR5.json.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"porcupine/internal/backend"
+	"porcupine/internal/baseline"
+	"porcupine/internal/bfv"
+	"porcupine/internal/core"
+	"porcupine/internal/kernels"
+	"porcupine/internal/plan"
+	"porcupine/internal/quill"
+	"porcupine/internal/synth"
+)
+
+type formReport struct {
+	Preset string `json:"preset"`
+
+	// Static schedule shape.
+	Rotations     int `json:"rotations"`           // executed rotation count (plain + fanned)
+	HoistGroups   int `json:"hoist_groups"`        // fused fan-out groups
+	HoistedRots   int `json:"hoisted_rots"`        // rotations covered by groups
+	MaxFanOut     int `json:"max_fan_out"`         // largest group
+	KSNTTsFlat    int `json:"ks_fwd_ntts_flat"`    // forward NTTs in key switching, flat plan
+	KSNTTsHoisted int `json:"ks_fwd_ntts_hoisted"` // same, hoisted plan
+
+	// Measured wall clock (median of -iters runs of the whole plan).
+	FlatMs    float64 `json:"flat_ms"`
+	HoistedMs float64 `json:"hoisted_ms"`
+	Speedup   float64 `json:"speedup"`
+}
+
+type kernelReport struct {
+	Baseline    *formReport `json:"baseline,omitempty"`
+	Synthesized *formReport `json:"synthesized,omitempty"`
+}
+
+func main() {
+	var (
+		iters    = flag.Int("iters", 20, "timed plan executions per form (median reported)")
+		cacheDir = flag.String("cache-dir", synth.DefaultCacheDir(), "persistent synthesis cache directory")
+		noCache  = flag.Bool("no-cache", false, "disable the synthesis cache")
+		timeout  = flag.Duration("timeout", 10*time.Minute, "per-kernel synthesis budget")
+		seed     = flag.Int64("seed", 1, "synthesis random seed")
+		skipSyn  = flag.Bool("baseline-only", false, "skip synthesis; measure only the hand-written baseline programs")
+		out      = flag.String("out", "", "write JSON to FILE (default stdout)")
+	)
+	flag.Parse()
+
+	report := map[string]*kernelReport{}
+	names := core.AllKernels()
+
+	// Synthesized forms, via the batch pipeline (cache-backed).
+	synthesized := map[string]*quill.Lowered{}
+	if !*skipSyn {
+		bo := core.BuildOptions{Opts: synth.Options{Seed: *seed, Timeout: *timeout}}
+		if !*noCache {
+			cache, err := synth.OpenCache(*cacheDir)
+			if err != nil {
+				fatal("opening cache: %v", err)
+			}
+			bo.Cache = cache
+		}
+		rep, err := core.BuildSuite(names, bo)
+		if err != nil {
+			fatal("building suite: %v", err)
+		}
+		if failed := rep.Failed(); len(failed) > 0 {
+			fatal("synthesis failed for %v", failed)
+		}
+		for _, n := range names {
+			synthesized[n] = rep.Entries[n].Compiled.Lowered
+		}
+	}
+
+	for _, name := range names {
+		kr := &kernelReport{}
+		base, err := baseline.Lowered(name)
+		if err != nil {
+			fatal("baseline %s: %v", name, err)
+		}
+		if kr.Baseline, err = measure(name, base, *iters); err != nil {
+			fatal("measuring baseline %s: %v", name, err)
+		}
+		if l := synthesized[name]; l != nil {
+			if kr.Synthesized, err = measure(name, l, *iters); err != nil {
+				fatal("measuring synthesized %s: %v", name, err)
+			}
+		}
+		report[name] = kr
+		fmt.Fprintf(os.Stderr, "%-22s baseline %5.2fms -> %5.2fms (%.2fx, fan-out %d)\n",
+			name, kr.Baseline.FlatMs, kr.Baseline.HoistedMs, kr.Baseline.Speedup, kr.Baseline.MaxFanOut)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		enc = json.NewEncoder(f)
+	}
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fatal("%v", err)
+	}
+}
+
+// measure compiles l into flat and hoisted plans, proves all three
+// execution routes bit-identical, and times both plans.
+func measure(name string, l *quill.Lowered, iters int) (*formReport, error) {
+	preset := "PN4096"
+	if l.MultDepth() > 2 {
+		preset = "PN8192"
+	}
+	rt, err := backend.NewTestRuntime(preset, 7, l)
+	if err != nil {
+		return nil, err
+	}
+	hoisted, err := rt.Plan(l)
+	if err != nil {
+		return nil, err
+	}
+	flat, err := plan.CompileWithOptions(rt.Params, rt.Encoder, l, plan.Options{DisableHoisting: true})
+	if err != nil {
+		return nil, err
+	}
+
+	fr := &formReport{Preset: preset}
+	k := len(rt.Params.QPrimes)
+	relins := 0
+	plainRots := 0
+	for i := range hoisted.Steps {
+		st := &hoisted.Steps[i]
+		switch st.Op {
+		case plan.OpHoistedRot:
+			fr.HoistGroups++
+			fr.HoistedRots += len(st.Fan)
+			if len(st.Fan) > fr.MaxFanOut {
+				fr.MaxFanOut = len(st.Fan)
+			}
+		case quill.OpRotCt:
+			plainRots++
+		case quill.OpRelin:
+			relins++
+		}
+	}
+	fr.Rotations = plainRots + fr.HoistedRots
+	if fr.MaxFanOut == 0 && fr.Rotations > 0 {
+		fr.MaxFanOut = 1
+	}
+	// Every key switch starts with one digit decomposition = K forward
+	// NTTs. Flat: one per rotation and per relinearization. Hoisted:
+	// one per fan-out group, plain rotation, and relinearization.
+	fr.KSNTTsFlat = k * (fr.Rotations + relins)
+	fr.KSNTTsHoisted = k * (fr.HoistGroups + plainRots + relins)
+
+	// Inputs.
+	spec := kernels.ByName(name)
+	rng := rand.New(rand.NewSource(1))
+	assign := make([]uint64, spec.NumVars)
+	for i := range assign {
+		assign[i] = rng.Uint64() % 64
+	}
+	ex := spec.NewExample(assign)
+	cts := make([]*bfv.Ciphertext, len(ex.CtIn))
+	for i, v := range ex.CtIn {
+		if cts[i], err = rt.EncryptVec(v); err != nil {
+			return nil, err
+		}
+	}
+
+	// Bit-identity: interpreter ≡ flat ≡ hoisted.
+	ref, err := rt.RunInterpreter(l, cts, ex.PtIn)
+	if err != nil {
+		return nil, err
+	}
+	sFlat, sHoist := rt.NewSession(), rt.NewSession()
+	fo, err := sFlat.Run(flat, cts, ex.PtIn)
+	if err != nil {
+		return nil, err
+	}
+	if !rt.Params.CiphertextEqual(ref, fo) {
+		return nil, fmt.Errorf("flat plan not bit-identical to interpreter")
+	}
+	ho, err := sHoist.Run(hoisted, cts, ex.PtIn)
+	if err != nil {
+		return nil, err
+	}
+	if !rt.Params.CiphertextEqual(ref, ho) {
+		return nil, fmt.Errorf("hoisted plan not bit-identical to interpreter")
+	}
+
+	time_ := func(s *backend.Session, p *plan.ExecutionPlan) (float64, error) {
+		times := make([]float64, iters)
+		for i := range times {
+			start := time.Now()
+			if _, err := s.Run(p, cts, ex.PtIn); err != nil {
+				return 0, err
+			}
+			times[i] = float64(time.Since(start).Nanoseconds()) / 1e6
+		}
+		sort.Float64s(times)
+		return times[len(times)/2], nil
+	}
+	if fr.FlatMs, err = time_(sFlat, flat); err != nil {
+		return nil, err
+	}
+	if fr.HoistedMs, err = time_(sHoist, hoisted); err != nil {
+		return nil, err
+	}
+	if fr.HoistedMs > 0 {
+		fr.Speedup = fr.FlatMs / fr.HoistedMs
+	}
+	return fr, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchrot: "+format+"\n", args...)
+	os.Exit(1)
+}

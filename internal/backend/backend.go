@@ -283,6 +283,10 @@ type Session struct {
 	ctx  *Context
 	regs []*bfv.Ciphertext
 	pts  []*bfv.Plaintext
+	// dec is the key-switching decomposition scratch of hoisted
+	// rotation groups, created at the plan's declared size
+	// (NumDecomps) on first use and reused across runs.
+	dec *bfv.Decomposition
 }
 
 // Context returns the shared context the session executes against.
@@ -333,6 +337,9 @@ func (s *Session) exec(p *plan.ExecutionPlan, ctIn []*bfv.Ciphertext) (*bfv.Ciph
 	for len(s.regs) < p.NumRegs {
 		s.regs = append(s.regs, s.ctx.Params.NewCiphertextUninit(p.RegDeg[len(s.regs)]))
 	}
+	if s.dec == nil && p.NumDecomps > 0 {
+		s.dec = s.ctx.Params.NewDecomposition()
+	}
 	operand := func(code int) *bfv.Ciphertext {
 		if p.IsInput(code) {
 			return ctIn[code]
@@ -346,6 +353,16 @@ func (s *Session) exec(p *plan.ExecutionPlan, ctIn []*bfv.Ciphertext) (*bfv.Ciph
 		a := operand(st.A)
 		var err error
 		switch st.Op {
+		case plan.OpHoistedRot:
+			// Decompose the source once, then every rotation of the fan
+			// costs a digit permutation instead of K lifts + K NTTs.
+			if err = ev.DecomposeForKeySwitch(s.dec, a); err == nil {
+				for _, f := range st.Fan {
+					if err = ev.RotateRowsHoistedInto(s.regs[f.Dst], a, s.dec, f.Rot); err != nil {
+						break
+					}
+				}
+			}
 		case quill.OpRotCt:
 			err = ev.RotateRowsInto(dst, a, st.Rot)
 		case quill.OpRelin:

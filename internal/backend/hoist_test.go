@@ -1,0 +1,221 @@
+package backend
+
+import (
+	"math/rand"
+	"testing"
+
+	"porcupine/internal/baseline"
+	"porcupine/internal/bfv"
+	"porcupine/internal/kernels"
+	"porcupine/internal/plan"
+	"porcupine/internal/quill"
+)
+
+// TestHoistedVsUnhoistedKernels is the third differential leg of the
+// hoisting change: on the full 11-kernel suite (hand-written baseline
+// programs — the rotation-heavy forms), the instruction-at-a-time
+// interpreter, the unhoisted plan (DisableHoisting) and the hoisted
+// plan must produce bit-identical output ciphertexts. In -short mode
+// two representative kernels run (one with a fan-out, one without).
+func TestHoistedVsUnhoistedKernels(t *testing.T) {
+	names := []string{
+		"box-blur", "dot-product", "hamming-distance", "l2-distance",
+		"linear-regression", "polynomial-regression", "gx", "gy",
+		"roberts-cross", "sobel", "harris",
+	}
+	if testing.Short() {
+		names = []string{"box-blur", "dot-product"}
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			spec := kernels.ByName(name)
+			l, err := baseline.Lowered(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			preset := "PN4096"
+			if l.MultDepth() > 2 {
+				preset = "PN8192"
+			}
+			rt, err := NewTestRuntime(preset, 7, l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hoisted, err := rt.Plan(l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			flat, err := plan.CompileWithOptions(rt.Params, rt.Encoder, l, plan.Options{DisableHoisting: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g, _ := flat.HoistedGroups(); g != 0 {
+				t.Fatalf("unhoisted plan has %d hoisted groups", g)
+			}
+			groups, rots := hoisted.HoistedGroups()
+			t.Logf("%s: %d hoisted groups covering %d rotations", name, groups, rots)
+
+			rng := rand.New(rand.NewSource(3))
+			assign := make([]uint64, spec.NumVars)
+			for i := range assign {
+				assign[i] = rng.Uint64() % 64
+			}
+			ex := spec.NewExample(assign)
+			cts := make([]*bfv.Ciphertext, len(ex.CtIn))
+			for i, v := range ex.CtIn {
+				if cts[i], err = rt.EncryptVec(v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ref, err := rt.RunInterpreter(l, cts, ex.PtIn)
+			if err != nil {
+				t.Fatalf("interpreter: %v", err)
+			}
+			s := rt.NewSession()
+			flatOut, err := s.Run(flat, cts, ex.PtIn)
+			if err != nil {
+				t.Fatalf("unhoisted plan: %v", err)
+			}
+			if !sameCiphertext(rt.Params, ref, flatOut) {
+				t.Fatal("unhoisted plan not bit-identical to interpreter")
+			}
+			s2 := rt.NewSession()
+			hoistOut, err := s2.Run(hoisted, cts, ex.PtIn)
+			if err != nil {
+				t.Fatalf("hoisted plan: %v", err)
+			}
+			if !sameCiphertext(rt.Params, ref, hoistOut) {
+				t.Fatal("hoisted plan not bit-identical to interpreter")
+			}
+			dec := rt.DecryptVec(hoistOut, spec.VecLen)
+			if !spec.Matches(dec, ex) {
+				t.Fatal("hoisted output disagrees with the plaintext reference")
+			}
+		})
+	}
+}
+
+// TestHoistedDeepFanOutWraparound pins the planner + executor on a
+// hand-written deep fan-out (8 distinct rotations of one source,
+// positive and negative/wraparound amounts, on the full HE row so
+// canonicalization is active), plus rotation CSE: a duplicated
+// rotation must collapse into the fan instead of executing twice.
+func TestHoistedDeepFanOutWraparound(t *testing.T) {
+	vecLen := 1024 // PN2048 full row
+	rots := []int{1, 2, 4, 8, 16, -1, -7, 1000}
+	l := &quill.Lowered{VecLen: vecLen, NumCtInputs: 1}
+	next := 1
+	for _, r := range rots {
+		l.Instrs = append(l.Instrs, quill.LInstr{Op: quill.OpRotCt, Dst: next, A: 0, Rot: r})
+		next++
+	}
+	// Duplicate of the first rotation: same value, must CSE away.
+	l.Instrs = append(l.Instrs, quill.LInstr{Op: quill.OpRotCt, Dst: next, A: 0, Rot: rots[0]})
+	dup := next
+	next++
+	// Sum everything (the duplicate too, via its aliased register).
+	acc := 1
+	for v := 2; v < dup; v++ {
+		l.Instrs = append(l.Instrs, quill.LInstr{Op: quill.OpAddCtCt, Dst: next, A: acc, B: v})
+		acc = next
+		next++
+	}
+	l.Instrs = append(l.Instrs, quill.LInstr{Op: quill.OpAddCtCt, Dst: next, A: acc, B: dup})
+	l.Output = next
+
+	rt, err := NewTestRuntime("PN2048", 31, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := rt.Plan(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// -1 ≡ 1023 and 1000 stay distinct; the duplicate rot 1 vanishes:
+	// one group of 8.
+	if g, r := p.HoistedGroups(); g != 1 || r != len(rots) {
+		t.Fatalf("hoisted groups = %d (%d rotations), want 1 (%d)", g, r, len(rots))
+	}
+
+	rng := rand.New(rand.NewSource(12))
+	v := make(quill.Vec, vecLen)
+	for j := range v {
+		v[j] = rng.Uint64() % quill.Modulus
+	}
+	ct, err := rt.EncryptVec(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := rt.RunInterpreter(l, []*bfv.Ciphertext{ct}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rt.Run(l, []*bfv.Ciphertext{ct}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameCiphertext(rt.Params, ref, got) {
+		t.Fatal("hoisted deep fan-out not bit-identical to interpreter")
+	}
+	want, err := quill.RunLowered(l, quill.ConcreteSem{}, []quill.Vec{v}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := rt.DecryptVec(got, vecLen)
+	for i := range want {
+		if dec[i] != want[i] {
+			t.Fatalf("slot %d: %d != %d", i, dec[i], want[i])
+		}
+	}
+}
+
+// TestHoistedPlanAllocationFree extends the 0-alloc serving guarantee
+// to plans with hoisted groups: the decomposition scratch is created
+// once and reused.
+func TestHoistedPlanAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; allocation counts are meaningless under -race")
+	}
+	l := &quill.Lowered{
+		VecLen: 1024, NumCtInputs: 1,
+		Instrs: []quill.LInstr{
+			{Op: quill.OpRotCt, Dst: 1, A: 0, Rot: 1},
+			{Op: quill.OpRotCt, Dst: 2, A: 0, Rot: 2},
+			{Op: quill.OpRotCt, Dst: 3, A: 0, Rot: -5},
+			{Op: quill.OpAddCtCt, Dst: 4, A: 1, B: 2},
+			{Op: quill.OpAddCtCt, Dst: 5, A: 4, B: 3},
+		},
+		Output: 5,
+	}
+	rt, err := NewTestRuntime("PN2048", 5, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := rt.Plan(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumDecomps != 1 {
+		t.Fatalf("NumDecomps = %d, want 1", p.NumDecomps)
+	}
+	v := make(quill.Vec, l.VecLen)
+	for j := range v {
+		v[j] = uint64(j % 61)
+	}
+	ct, err := rt.EncryptVec(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rt.NewSession()
+	if _, err := s.Run(p, []*bfv.Ciphertext{ct}, nil); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := s.Run(p, []*bfv.Ciphertext{ct}, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state hoisted plan execution allocates %.0f objects/run, want 0", allocs)
+	}
+}

@@ -355,24 +355,106 @@ func (ev *Evaluator) mulBigInto(out *Ciphertext, a, b *Ciphertext) error {
 	return nil
 }
 
+// Decomposition holds the hoisted key-switching state of one
+// degree-1 ciphertext: the RNS digits of its c1 component, lifted and
+// forward-NTT'd once (DecomposeForKeySwitch) and then reusable across
+// any number of rotations of that ciphertext
+// (RotateRowsHoistedInto). Create one with Parameters.NewDecomposition
+// and keep it per execution session: it is scratch, not a value — its
+// contents are valid only until the next DecomposeForKeySwitch.
+type Decomposition struct {
+	d *ring.Decomposition
+}
+
+// NewDecomposition allocates hoisting scratch for the parameter set
+// (one digit polynomial per Q prime, from the ring pool).
+func (p *Parameters) NewDecomposition() *Decomposition {
+	return &Decomposition{d: p.ringQ.GetDecomposition()}
+}
+
+// DecomposeForKeySwitch fills dec with the key-switching digits of
+// ct's c1 component — the decompose-once half of hoisted rotation.
+// ct must have degree 1. After this call, any number of
+// RotateRowsHoistedInto(dst, ct, dec, k) calls rotate ct at the cost
+// of a digit permutation instead of a fresh decomposition (K digit
+// lifts + K forward NTTs each).
+func (ev *Evaluator) DecomposeForKeySwitch(dec *Decomposition, ct *Ciphertext) error {
+	if ct.Degree() != 1 {
+		return fmt.Errorf("bfv: DecomposeForKeySwitch: ciphertext degree %d, want 1", ct.Degree())
+	}
+	ev.params.ringQ.DecomposeNTT(dec.d, ct.Value[1])
+	return nil
+}
+
+// RotateRowsHoistedInto sets dst = ct rotated by k slots, reusing the
+// hoisted decomposition dec (which must hold ct's digits, see
+// DecomposeForKeySwitch). Bit-identical to RotateRowsInto — the
+// serial path runs on the same decompose-permute-accumulate
+// primitives — but pays only (digit permute + lazy inner products +
+// 2 INTTs) per rotation. dst may alias ct.
+func (ev *Evaluator) RotateRowsHoistedInto(dst, ct *Ciphertext, dec *Decomposition, k int) error {
+	if err := ev.checkDegree("RotateRowsHoisted", ct, 1); err != nil {
+		return err
+	}
+	g := ev.params.ringQ.GaloisElementForRotation(k)
+	if g == 1 {
+		ev.copyCiphertextInto(dst, ct)
+		return nil
+	}
+	if ev.gks == nil || !ev.gks.has(g) {
+		return fmt.Errorf("bfv: no Galois key for element %d", g)
+	}
+	ev.galoisFromDecomp(dst, ct, dec.d, ev.gks.keys[g], g)
+	return nil
+}
+
+// galoisFromDecomp applies the Galois automorphism g to ct given the
+// hoisted decomposition of its c1: the digits are permuted in the NTT
+// domain (σ_g commutes with the evaluation-point permutation) and
+// inner-multiplied against the switching key with one lazy reduction
+// per coefficient; c0 is permuted in the coefficient domain. dst may
+// alias ct.
+func (ev *Evaluator) galoisFromDecomp(dst, ct *Ciphertext, dec *ring.Decomposition, key *switchingKey, g uint64) {
+	r := ev.params.ringQ
+	perm := r.NTTPermutation(g)
+	// The lazy accumulation writes every coefficient of its output, so
+	// the accumulators need no zeroing pass (GetPolyNoZero, not
+	// GetPoly).
+	f0, f1 := r.GetPolyNoZero(), r.GetPolyNoZero()
+	r.PermutedMulAccumLazy(f0, dec.Digits, key.B, perm)
+	r.PermutedMulAccumLazy(f1, dec.Digits, key.A, perm)
+	r.INTT(f0)
+	r.INTT(f1)
+	c0g := r.GetPolyNoZero()
+	r.Automorphism(c0g, ct.Value[0], g)
+	ev.resize(dst, 1)
+	r.Add(dst.Value[0], c0g, f0)
+	r.CopyInto(dst.Value[1], f1)
+	r.PutPoly(c0g)
+	r.PutPoly(f0)
+	r.PutPoly(f1)
+}
+
 // keySwitch computes (Σ_i d_i·b_i, Σ_i d_i·a_i) where d_i is the i-th
 // RNS digit of d (its residues mod p_i, lifted). This moves a term
 // d·s' to the (constant, s) basis given a switching key for s'. The
-// returned polynomials come from the ring pool; the caller must
-// return them with PutPoly.
+// digits run through the shared hoisting primitives: decompose once
+// (ring.DecomposeNTT), then one lazy inner product per output — K
+// products accumulate in 128 bits and reduce once per coefficient
+// instead of K times. The returned polynomials come from the ring
+// pool; the caller must return them with PutPoly.
 func (ev *Evaluator) keySwitch(d *ring.Poly, key *switchingKey) (*ring.Poly, *ring.Poly) {
 	r := ev.params.ringQ
-	out0, out1 := r.GetPoly(), r.GetPoly()
-	digit := r.GetPolyNoZero()
-	for i := range r.Primes {
-		r.DigitLift(digit, d, i)
-		r.NTT(digit)
-		r.MulCoeffsAndAdd(out0, digit, key.B[i])
-		r.MulCoeffsAndAdd(out1, digit, key.A[i])
-	}
+	dec := r.GetDecomposition()
+	r.DecomposeNTT(dec, d)
+	// The lazy inner product fully writes its output — no zeroed
+	// accumulator (GetPoly) needed.
+	out0, out1 := r.GetPolyNoZero(), r.GetPolyNoZero()
+	r.MulAccumLazy(out0, dec.Digits, key.B)
+	r.MulAccumLazy(out1, dec.Digits, key.A)
 	r.INTT(out0)
 	r.INTT(out1)
-	r.PutPoly(digit)
+	r.PutDecomposition(dec)
 	return out0, out1
 }
 
@@ -471,21 +553,19 @@ func (ev *Evaluator) RotateColumnsInto(dst, ct *Ciphertext) error {
 	return ev.applyGaloisInto(dst, ct, ev.params.ringQ.GaloisElementRowSwap())
 }
 
+// applyGaloisInto is the serial (non-hoisted) rotation path. It is
+// the hoisted path with a decomposition lifetime of one: decompose
+// c1, permute-and-accumulate, discard — so a rotation produces the
+// same bits whether or not its decomposition was hoisted across a
+// fan-out.
 func (ev *Evaluator) applyGaloisInto(dst, ct *Ciphertext, g uint64) error {
 	if ev.gks == nil || !ev.gks.has(g) {
 		return fmt.Errorf("bfv: no Galois key for element %d", g)
 	}
 	r := ev.params.ringQ
-	c0g, c1g := r.GetPolyNoZero(), r.GetPolyNoZero()
-	r.Automorphism(c0g, ct.Value[0], g)
-	r.Automorphism(c1g, ct.Value[1], g)
-	f0, f1 := ev.keySwitch(c1g, ev.gks.keys[g])
-	ev.resize(dst, 1)
-	r.Add(dst.Value[0], c0g, f0)
-	r.CopyInto(dst.Value[1], f1)
-	r.PutPoly(c0g)
-	r.PutPoly(c1g)
-	r.PutPoly(f0)
-	r.PutPoly(f1)
+	dec := r.GetDecomposition()
+	r.DecomposeNTT(dec, ct.Value[1])
+	ev.galoisFromDecomp(dst, ct, dec, ev.gks.keys[g], g)
+	r.PutDecomposition(dec)
 	return nil
 }

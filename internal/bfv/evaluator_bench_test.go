@@ -98,3 +98,60 @@ func BenchmarkEvaluatorRotate(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkEvaluatorRotateFanOut measures a fan-out of distinct
+// rotations of one ciphertext, serial vs hoisted (decompose once,
+// permute per rotation) — the per-plan win of hoisted key switching.
+func BenchmarkEvaluatorRotateFanOut(b *testing.B) {
+	steps := []int{1, 2, 4, 8}
+	for _, preset := range []string{"PN4096", "PN8192"} {
+		params, err := NewParametersFromPreset(preset)
+		if err != nil {
+			b.Fatal(err)
+		}
+		kg := NewTestKeyGenerator(params, 1)
+		sk, _ := kg.GenSecretKey()
+		pk, _ := kg.GenPublicKey(sk)
+		gks, err := kg.GenGaloisKeys(sk, steps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		enc, _ := NewEncoder(params)
+		vals := make([]uint64, enc.SlotCount())
+		for i := range vals {
+			vals[i] = uint64(i % 64)
+		}
+		pt, _ := enc.EncodeNew(vals)
+		ct, err := NewTestEncryptor(params, pk, 2).Encrypt(pt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ev := NewEvaluator(params, nil, gks)
+		outs := make([]*Ciphertext, len(steps))
+		for i := range outs {
+			outs[i] = params.NewCiphertext(1)
+		}
+		b.Run(preset+"/serial", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for j, k := range steps {
+					if err := ev.RotateRowsInto(outs[j], ct, k); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run(preset+"/hoisted", func(b *testing.B) {
+			dec := params.NewDecomposition()
+			for i := 0; i < b.N; i++ {
+				if err := ev.DecomposeForKeySwitch(dec, ct); err != nil {
+					b.Fatal(err)
+				}
+				for j, k := range steps {
+					if err := ev.RotateRowsHoistedInto(outs[j], ct, dec, k); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,124 @@
+package bfv
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestHoistedRotationBitIdentity proves the decompose-once fan-out
+// path produces exactly the ciphertext of the serial path, rotation
+// by rotation — including negative (wraparound) amounts — and that
+// both decrypt to the expected slot rotation.
+func TestHoistedRotationBitIdentity(t *testing.T) {
+	steps := []int{1, 2, 5, -3, -700, 511}
+	tc := newTestContext(t, steps)
+	rng := rand.New(rand.NewSource(3))
+	slots := tc.params.SlotCount()
+	v := randVec(rng, slots, tc.params.T)
+	pt, err := tc.enc.EncodeNew(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := tc.encr.Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dec := tc.params.NewDecomposition()
+	if err := tc.ev.DecomposeForKeySwitch(dec, ct); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range steps {
+		serial, err := tc.ev.RotateRows(ct, k)
+		if err != nil {
+			t.Fatalf("rot %d serial: %v", k, err)
+		}
+		hoisted := tc.params.NewCiphertextUninit(1)
+		if err := tc.ev.RotateRowsHoistedInto(hoisted, ct, dec, k); err != nil {
+			t.Fatalf("rot %d hoisted: %v", k, err)
+		}
+		if !tc.params.CiphertextEqual(serial, hoisted) {
+			t.Fatalf("rot %d: hoisted ciphertext differs from serial path", k)
+		}
+		got := tc.enc.Decode(tc.dec.Decrypt(hoisted))
+		kk := ((k % slots) + slots) % slots
+		for i := 0; i < slots; i++ {
+			if got[i] != v[(i+kk)%slots] {
+				t.Fatalf("rot %d: slot %d = %d, want %d", k, i, got[i], v[(i+kk)%slots])
+			}
+		}
+	}
+
+	// Rotation by 0 is the identity with or without hoisting.
+	id := tc.params.NewCiphertextUninit(1)
+	if err := tc.ev.RotateRowsHoistedInto(id, ct, dec, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !tc.params.CiphertextEqual(ct, id) {
+		t.Fatal("hoisted rotation by 0 is not the identity")
+	}
+}
+
+// TestHoistedRotationErrors covers the failure modes: rotation
+// without a key, and decomposing a non-degree-1 ciphertext.
+func TestHoistedRotationErrors(t *testing.T) {
+	tc := newTestContext(t, []int{1})
+	rng := rand.New(rand.NewSource(4))
+	pt, _ := tc.enc.EncodeNew(randVec(rng, tc.params.SlotCount(), tc.params.T))
+	ct, err := tc.encr.Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := tc.params.NewDecomposition()
+	if err := tc.ev.DecomposeForKeySwitch(dec, ct); err != nil {
+		t.Fatal(err)
+	}
+	out := tc.params.NewCiphertextUninit(1)
+	if err := tc.ev.RotateRowsHoistedInto(out, ct, dec, 7); err == nil {
+		t.Fatal("hoisted rotation without a Galois key did not fail")
+	}
+
+	deg2, err := tc.ev.Mul(ct, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.ev.DecomposeForKeySwitch(dec, deg2); err == nil {
+		t.Fatal("decomposing a degree-2 ciphertext did not fail")
+	}
+}
+
+// TestHoistedRotationSteadyStateAllocs checks the fan-out path stays
+// allocation-free once pools are warm — the invariant the plan
+// executor depends on.
+func TestHoistedRotationSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	steps := []int{1, 2, 5}
+	tc := newTestContext(t, steps)
+	rng := rand.New(rand.NewSource(5))
+	pt, _ := tc.enc.EncodeNew(randVec(rng, tc.params.SlotCount(), tc.params.T))
+	ct, err := tc.encr.Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := tc.params.NewDecomposition()
+	outs := make([]*Ciphertext, len(steps))
+	for i := range outs {
+		outs[i] = tc.params.NewCiphertext(1)
+	}
+	warm := func() {
+		if err := tc.ev.DecomposeForKeySwitch(dec, ct); err != nil {
+			t.Fatal(err)
+		}
+		for i, k := range steps {
+			if err := tc.ev.RotateRowsHoistedInto(outs[i], ct, dec, k); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	warm()
+	if allocs := testing.AllocsPerRun(20, warm); allocs > 0 {
+		t.Fatalf("steady-state hoisted fan-out allocates %.1f objects/op, want 0", allocs)
+	}
+}

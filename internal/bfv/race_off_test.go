@@ -1,0 +1,8 @@
+//go:build !race
+
+package bfv
+
+// raceEnabled reports whether the race detector is active (see
+// race_on_test.go). Allocation-count assertions are skipped under
+// -race: the instrumentation itself allocates.
+const raceEnabled = false

@@ -1,0 +1,5 @@
+//go:build race
+
+package bfv
+
+const raceEnabled = true

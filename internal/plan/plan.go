@@ -34,6 +34,20 @@ import (
 	"porcupine/internal/quill"
 )
 
+// OpHoistedRot is the plan-only opcode of a fused rotation fan-out:
+// the key-switching digit decomposition of the source operand is
+// computed once and shared by every rotation in the step's Fan list.
+// It never appears in lowered programs — the planner synthesizes it
+// when ≥2 distinct rotations read one source — so its value lives
+// outside the quill instruction set's range.
+const OpHoistedRot quill.Op = 0x40
+
+// FanOut is one rotation of a hoisted fan-out group.
+type FanOut struct {
+	Dst int // register receiving this rotation
+	Rot int // canonical rotation amount (never 0)
+}
+
 // Step is one scheduled instruction of a plan. Operand fields A and B
 // hold operand codes: code < NumCtInputs refers to the caller's input
 // ciphertext with that index, any other code refers to register
@@ -41,12 +55,19 @@ import (
 // to caller inputs).
 type Step struct {
 	Op  quill.Op
-	Dst int // register index
+	Dst int // register index (Fan[0].Dst for hoisted steps)
 	A   int // operand code
 	B   int // operand code (ct-ct ops)
 	Rot int // canonical rotation amount (OpRotCt)
 	Pt  int // plaintext input index (ct-pt ops), -1 for constants
 	Con int // pre-encoded constant index (ct-pt ops), -1 for inputs
+
+	// Fan lists the rotations of a hoisted group (OpHoistedRot only;
+	// nil for every other op). The source A is decomposed once, then
+	// each entry costs a digit permutation instead of a fresh
+	// decomposition. Entries are in program order; no entry's register
+	// may alias the source (every entry reads it).
+	Fan []FanOut
 }
 
 // ExecutionPlan is a compiled, immutable execution schedule for one
@@ -67,6 +88,12 @@ type ExecutionPlan struct {
 	// RegDeg[r] is the maximum ciphertext degree register r ever holds,
 	// so sessions can pre-size buffers.
 	RegDeg []int
+	// NumDecomps is the number of key-switching decomposition scratch
+	// buffers a session needs: 1 when the plan contains hoisted
+	// rotation groups (they never nest, so one buffer serves all of
+	// them), 0 otherwise. Sized by the register allocator; not
+	// serialized — decode recomputes it from the step list.
+	NumDecomps int
 
 	Steps []Step
 
@@ -99,10 +126,41 @@ func (p *ExecutionPlan) Reg(code int) int { return code - p.NumCtInputs }
 // aliasing and dead-code elimination).
 func (p *ExecutionPlan) InstructionCount() int { return len(p.Steps) }
 
+// HoistedGroups returns the number of fused rotation fan-out steps
+// and the total rotations they cover. A plan with groups decomposes
+// once per group instead of once per rotation: forward NTT passes in
+// rotation key-switching drop from K·rotations to K·(groups + plain
+// rotations).
+func (p *ExecutionPlan) HoistedGroups() (groups, rotations int) {
+	for i := range p.Steps {
+		if p.Steps[i].Op == OpHoistedRot {
+			groups++
+			rotations += len(p.Steps[i].Fan)
+		}
+	}
+	return groups, rotations
+}
+
+// Options tunes compilation.
+type Options struct {
+	// DisableHoisting turns off rotation fan-out fusion, producing a
+	// plan of plain serial steps only. The unhoisted plan computes
+	// bit-identical ciphertexts (the serial rotation path runs on the
+	// same decompose-permute-accumulate primitives); it exists as the
+	// differential reference for the hoisted schedule and for
+	// measuring the hoisting win.
+	DisableHoisting bool
+}
+
 // Compile analyzes a lowered program and produces its execution plan
 // for the given parameter set. The encoder is used once, to pre-encode
 // plaintext constants; it must belong to params.
 func Compile(params *bfv.Parameters, enc *bfv.Encoder, l *quill.Lowered) (*ExecutionPlan, error) {
+	return CompileWithOptions(params, enc, l, Options{})
+}
+
+// CompileWithOptions is Compile with explicit Options.
+func CompileWithOptions(params *bfv.Parameters, enc *bfv.Encoder, l *quill.Lowered, opts Options) (*ExecutionPlan, error) {
 	if err := l.Validate(); err != nil {
 		return nil, err
 	}
@@ -137,8 +195,14 @@ func Compile(params *bfv.Parameters, enc *bfv.Encoder, l *quill.Lowered) (*Execu
 		deg[i] = 1
 	}
 	// real[idx] marks instructions that survive aliasing (indexed like
-	// l.Instrs).
+	// l.Instrs). Rotations are additionally value-numbered: a second
+	// rotation of the same canonical source by the same canonical
+	// amount is the same ciphertext bit for bit, so it aliases the
+	// first — which also keeps hoisted fan-outs free of duplicate
+	// amounts.
 	real := make([]bool, len(l.Instrs))
+	type rotKey struct{ src, rot int }
+	rotCSE := map[rotKey]int{}
 	for idx, in := range l.Instrs {
 		dst := nIn + idx
 		a := canon[in.A]
@@ -147,11 +211,18 @@ func Compile(params *bfv.Parameters, enc *bfv.Encoder, l *quill.Lowered) (*Execu
 			if deg[a] > 1 {
 				return nil, fmt.Errorf("plan: %s: rotation of degree-%d ciphertext", in, deg[a])
 			}
-			if norm(in.Rot) == 0 {
+			r := norm(in.Rot)
+			if r == 0 {
 				canon[dst] = a
 				deg[dst] = deg[a]
 				continue
 			}
+			if prev, ok := rotCSE[rotKey{a, r}]; ok {
+				canon[dst] = prev
+				deg[dst] = 1
+				continue
+			}
+			rotCSE[rotKey{a, r}] = dst
 			canon[dst], deg[dst], real[idx] = dst, 1, true
 		case quill.OpRelin:
 			if deg[a] == 1 {
@@ -200,29 +271,83 @@ func Compile(params *bfv.Parameters, enc *bfv.Encoder, l *quill.Lowered) (*Execu
 		}
 	}
 
-	// Pass 3: liveness — the last step index reading each canonical
+	// Pass 3: rotation fan-out detection. A source read by ≥2 distinct
+	// surviving rotations has its digit decomposition hoisted: the
+	// group's rotations fuse into one OpHoistedRot step scheduled at
+	// the first member's position (moving a pure rotation earlier is
+	// always legal — its only operand is already defined there). The
+	// schedule below is the step list the liveness and register passes
+	// run over: one entry per plain step or fused group.
+	type schedEntry struct {
+		idx     int   // instruction index (first member for groups)
+		members []int // nil → plain step; else the group's rotation instrs
+	}
+	groupOf := map[int][]int{} // first-member idx → member idxs
+	inGroup := map[int]bool{}  // member idx → fused away
+	if !opts.DisableHoisting {
+		bySrc := map[int][]int{}
+		var srcs []int
+		for idx, in := range l.Instrs {
+			if real[idx] && in.Op == quill.OpRotCt {
+				src := canon[in.A]
+				if len(bySrc[src]) == 0 {
+					srcs = append(srcs, src)
+				}
+				bySrc[src] = append(bySrc[src], idx)
+			}
+		}
+		for _, src := range srcs {
+			members := bySrc[src]
+			if len(members) < 2 {
+				continue
+			}
+			groupOf[members[0]] = members
+			for _, m := range members {
+				inGroup[m] = true
+			}
+		}
+	}
+	var sched []schedEntry
+	for idx := range l.Instrs {
+		if !real[idx] {
+			continue
+		}
+		if members, ok := groupOf[idx]; ok {
+			sched = append(sched, schedEntry{idx: idx, members: members})
+			continue
+		}
+		if inGroup[idx] {
+			continue // emitted with its group's first member
+		}
+		sched = append(sched, schedEntry{idx: idx})
+	}
+
+	// Pass 4: liveness — the last step index reading each canonical
 	// value. The output lives past the end of the program.
 	last := make([]int, n)
 	for i := range last {
 		last[i] = -1
 	}
-	step := 0
-	for idx, in := range l.Instrs {
-		if !real[idx] {
-			continue
-		}
+	for step, e := range sched {
+		in := l.Instrs[e.idx]
 		last[canon[in.A]] = step
-		if in.Op.IsCtCt() {
+		if e.members == nil && in.Op.IsCtCt() {
 			last[canon[in.B]] = step
 		}
-		step++
 	}
 	last[output] = math.MaxInt
 
-	// Pass 4: linear-scan register allocation with in-place reuse. A
+	// Pass 5: linear-scan register allocation with in-place reuse. A
 	// register freed by an operand's last use is immediately available
 	// as the destination of the same step — every evaluator *Into form
 	// is alias-safe, so dst may share a buffer with a dying operand.
+	// Hoisted groups are the exception: every fan entry reads the
+	// source (its c0 and its hoisted digits), so the source's register
+	// is freed only after the whole fan is allocated, and fan
+	// destinations are pairwise distinct by construction. This is also
+	// where per-session decomposition scratch is sized: any hoisted
+	// step sets NumDecomps to 1 (groups never nest, one buffer serves
+	// the whole plan).
 	p := &ExecutionPlan{
 		N:           params.N,
 		VecLen:      l.VecLen,
@@ -256,13 +381,33 @@ func Compile(params *bfv.Parameters, enc *bfv.Encoder, l *quill.Lowered) (*Execu
 	}
 	constIdx := map[string]int{}
 	rotSet := map[int]bool{}
-	step = 0
-	for idx, in := range l.Instrs {
-		if !real[idx] {
+	for step, e := range sched {
+		idx, in := e.idx, l.Instrs[e.idx]
+		a := canon[in.A]
+
+		if e.members != nil {
+			st := Step{Op: OpHoistedRot, A: code(a), Pt: -1, Con: -1}
+			for _, m := range e.members {
+				r := norm(l.Instrs[m].Rot)
+				reg := alloc(1)
+				regOf[nIn+m] = reg
+				st.Fan = append(st.Fan, FanOut{Dst: reg, Rot: r})
+				rotSet[r] = true
+			}
+			st.Dst = st.Fan[0].Dst
+			// The source is read by every fan entry; free its register
+			// only now that no fan destination can have claimed it.
+			if a >= nIn && last[a] == step && regOf[a] >= 0 {
+				free = append(free, regOf[a])
+				regOf[a] = -1
+			}
+			p.NumDecomps = 1
+			p.Steps = append(p.Steps, st)
 			continue
 		}
+
 		dst := nIn + idx
-		a, b := canon[in.A], -1
+		b := -1
 		st := Step{Op: in.Op, A: code(a), Pt: -1, Con: -1}
 		if in.Op.IsCtCt() {
 			b = canon[in.B]
@@ -305,7 +450,6 @@ func Compile(params *bfv.Parameters, enc *bfv.Encoder, l *quill.Lowered) (*Execu
 		regOf[dst] = alloc(deg[dst])
 		st.Dst = regOf[dst]
 		p.Steps = append(p.Steps, st)
-		step++
 	}
 	p.Out = code(output)
 
@@ -373,7 +517,42 @@ func (p *ExecutionPlan) Validate(params *bfv.Parameters) error {
 		if st.A < 0 || st.A >= codes {
 			return bad(fmt.Sprintf("operand code %d out of range", st.A))
 		}
+		if st.Op != OpHoistedRot && len(st.Fan) != 0 {
+			return bad("fan-out list on a non-hoisted step")
+		}
 		switch {
+		case st.Op == OpHoistedRot:
+			if len(st.Fan) < 2 {
+				return bad(fmt.Sprintf("hoisted group with fan-out %d, want ≥ 2", len(st.Fan)))
+			}
+			if st.Dst != st.Fan[0].Dst {
+				return bad("hoisted step destination disagrees with its first fan entry")
+			}
+			fanRots := map[int]bool{}
+			fanDsts := map[int]bool{}
+			for _, f := range st.Fan {
+				if f.Dst < 0 || f.Dst >= p.NumRegs {
+					return bad(fmt.Sprintf("fan destination register %d out of range", f.Dst))
+				}
+				if fanDsts[f.Dst] {
+					return bad(fmt.Sprintf("duplicate fan destination register %d", f.Dst))
+				}
+				fanDsts[f.Dst] = true
+				// Every fan entry reads the source after earlier entries
+				// wrote their destinations, so no entry may alias it (or
+				// another entry).
+				if !p.IsInput(st.A) && f.Dst == p.Reg(st.A) {
+					return bad(fmt.Sprintf("fan destination register %d aliases the hoisted source", f.Dst))
+				}
+				if f.Rot == 0 || !rotDeclared[f.Rot] {
+					return bad(fmt.Sprintf("fan rotation %d not in declared set %v", f.Rot, p.Rotations))
+				}
+				if fanRots[f.Rot] {
+					return bad(fmt.Sprintf("duplicate rotation %d in fan-out", f.Rot))
+				}
+				fanRots[f.Rot] = true
+				rotUsed[f.Rot] = true
+			}
 		case st.Op == quill.OpRotCt:
 			if st.Rot == 0 || !rotDeclared[st.Rot] {
 				return bad(fmt.Sprintf("rotation %d not in declared set %v", st.Rot, p.Rotations))
@@ -408,6 +587,10 @@ func (p *ExecutionPlan) Validate(params *bfv.Parameters) error {
 		if !rotUsed[r] {
 			return fmt.Errorf("plan: declared rotation %d never executed", r)
 		}
+	}
+	groups, _ := p.HoistedGroups()
+	if want := min(groups, 1); p.NumDecomps != want {
+		return fmt.Errorf("plan: %d decomposition buffers declared, %d hoisted groups need %d", p.NumDecomps, groups, want)
 	}
 	if p.Out < 0 || p.Out >= codes {
 		return fmt.Errorf("plan: output code %d out of range", p.Out)

@@ -73,10 +73,33 @@ func TestRegisterReuseDiamond(t *testing.T) {
 		Output: 4,
 	}
 	p := compile(t, l)
-	// d and l are live when r is computed, but r's rotation writes in
-	// place over the dying d (alias-safe), so two buffers suffice.
-	if p.NumRegs != 2 {
-		t.Errorf("diamond allocated %d registers, want 2", p.NumRegs)
+	// The two rotations of d fuse into one hoisted group. Every fan
+	// entry reads d (its c0 and hoisted digits), so neither may write
+	// over it: the fused form trades one register (d, l, r live
+	// together) for a shared digit decomposition.
+	if p.NumRegs != 3 {
+		t.Errorf("hoisted diamond allocated %d registers, want 3", p.NumRegs)
+	}
+	if g, r := p.HoistedGroups(); g != 1 || r != 2 {
+		t.Errorf("hoisted groups = %d (%d rotations), want 1 (2)", g, r)
+	}
+	if p.NumDecomps != 1 {
+		t.Errorf("NumDecomps = %d, want 1", p.NumDecomps)
+	}
+
+	// Without hoisting, d and l are live when r is computed, but r's
+	// rotation writes in place over the dying d (alias-safe), so two
+	// buffers suffice.
+	params, enc := testEnv(t)
+	flat, err := CompileWithOptions(params, enc, l, Options{DisableHoisting: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.NumRegs != 2 {
+		t.Errorf("flat diamond allocated %d registers, want 2", flat.NumRegs)
+	}
+	if g, _ := flat.HoistedGroups(); g != 0 || flat.NumDecomps != 0 {
+		t.Errorf("flat plan has hoisted groups (%d) or decomp buffers (%d)", g, flat.NumDecomps)
 	}
 }
 

@@ -1,0 +1,223 @@
+package ring
+
+import (
+	"math/bits"
+
+	"porcupine/internal/mathutil"
+)
+
+// This file implements the three ring-level primitives behind hoisted
+// Galois key switching:
+//
+//   - Decomposition: the RNS digit decomposition of a polynomial,
+//     lifted and forward-NTT'd once and then reusable across any
+//     number of key switches (pooled, allocation-free at steady
+//     state);
+//   - NTT-domain automorphisms: X → X^g permutes the evaluation
+//     points of the negacyclic NTT, so a decomposed (NTT-domain)
+//     digit is rotated by a precomputed index permutation instead of
+//     an INTT + coefficient automorphism + NTT round trip;
+//   - lazy inner products: the Σ_k digit_k ⊙ key_k chain accumulates
+//     128-bit sums per coefficient and Barrett-reduces once at the
+//     end, instead of reducing after every one of the K products.
+//
+// Together these turn the per-rotation cost of key switching from
+// (K digit lifts + K forward NTTs + 2K reduced mul-adds + 2 INTTs)
+// into (digit permute + 2 lazy inner products + 2 INTTs) once the
+// decomposition is hoisted.
+
+// Decomposition holds the key-switching digits of one polynomial:
+// Digits[i] is the i-th RNS digit (row i of the source reduced into
+// every prime) in the NTT domain. Obtain one with GetDecomposition,
+// fill it with DecomposeNTT, and return it with PutDecomposition.
+type Decomposition struct {
+	Digits []*Poly
+}
+
+// GetDecomposition returns a decomposition scratch buffer from the
+// ring's pool (one digit polynomial per prime, contents stale — every
+// coefficient is overwritten by DecomposeNTT).
+func (r *Ring) GetDecomposition() *Decomposition {
+	if v := r.decompPool.Get(); v != nil {
+		return v.(*Decomposition)
+	}
+	d := &Decomposition{Digits: make([]*Poly, len(r.Primes))}
+	for i := range d.Digits {
+		d.Digits[i] = r.NewPoly()
+	}
+	return d
+}
+
+// PutDecomposition returns a decomposition obtained from this ring's
+// GetDecomposition to the pool. The caller must not use d afterwards.
+func (r *Ring) PutDecomposition(d *Decomposition) {
+	if d == nil || len(d.Digits) != len(r.Primes) {
+		return // not one of ours; let the GC have it
+	}
+	r.decompPool.Put(d)
+}
+
+// DecomposeNTT fills d with the key-switching digits of src (which
+// must be in the coefficient domain): digit i holds src's residues
+// mod p_i lifted into every prime, forward-NTT'd. This is the
+// decompose-once half of hoisted key switching; the per-key half is
+// MulAccumLazy / PermutedMulAccumLazy.
+func (r *Ring) DecomposeNTT(d *Decomposition, src *Poly) {
+	for i := range r.Primes {
+		r.DigitLift(d.Digits[i], src, i)
+		r.NTT(d.Digits[i])
+	}
+}
+
+// NTTPermutation returns the index permutation implementing the
+// Galois automorphism X → X^g in the NTT domain: for polynomials in
+// the evaluation domain, dst[j] = src[perm[j]] per prime. g must be
+// odd. Tables are built once per Galois element and cached on the
+// ring (the table depends only on N and g, not on the prime).
+//
+// The negacyclic NTT used here stores f(ψ^(2·br(j)+1)) at index j
+// (Harvey bit-reversed layout), so evaluating σ_g(f) = f(X^g) at that
+// point reads f at ψ^((2·br(j)+1)·g), i.e. index br(((2·br(j)+1)·g
+// mod 2N − 1)/2). Because g is odd, odd exponents map to odd
+// exponents: the automorphism is a pure permutation in the evaluation
+// domain — no sign fixups, unlike the coefficient-domain form.
+func (r *Ring) NTTPermutation(g uint64) []uint32 {
+	if v, ok := r.permCache.Load(g); ok {
+		return v.([]uint32)
+	}
+	n := uint64(r.N)
+	mask := 2*n - 1
+	t := make([]uint32, n)
+	for j := uint64(0); j < n; j++ {
+		e := (2*mathutil.BitReverse(j, r.LogN) + 1) * (g & mask) & mask
+		t[j] = uint32(mathutil.BitReverse((e-1)>>1, r.LogN))
+	}
+	actual, _ := r.permCache.LoadOrStore(g, t)
+	return actual.([]uint32)
+}
+
+// AutomorphismNTT applies X → X^g to src in the NTT domain, writing
+// into dst: the evaluation-point permutation NTTPermutation(g). dst
+// must not alias src. Equivalent to INTT → Automorphism → NTT, at the
+// cost of a gather.
+func (r *Ring) AutomorphismNTT(dst, src *Poly, g uint64) {
+	perm := r.NTTPermutation(g)
+	for i := range r.Primes {
+		si, di := src.Coeffs[i], dst.Coeffs[i]
+		for j, pj := range perm {
+			di[j] = si[pj]
+		}
+	}
+}
+
+// maxLazyFan bounds the stack-allocated row-pointer arrays of the
+// lazy inner-product loops. Rings with more primes than this fall
+// back to the eager per-term reduction (bit-identical, slower).
+const maxLazyFan = 16
+
+// MulAccumLazy sets dst = Σ_k as[k] ⊙ bs[k] for NTT-domain operands,
+// with one modular reduction per coefficient instead of one per term:
+// the K products accumulate into a 128-bit sum that a single Barrett
+// reduction folds back below p. Every coefficient of dst is written
+// (no zeroed accumulator needed). len(as) must equal len(bs); dst may
+// alias neither.
+//
+// The 128-bit sum never overflows when K·max(p) < 2^64 (checked at
+// ring construction); otherwise, and for K > maxLazyFan, the loop
+// falls back to reducing each term — the results are bit-identical
+// either way, since both compute the exact residue of the sum.
+func (r *Ring) MulAccumLazy(dst *Poly, as, bs []*Poly) {
+	if r.workers > 1 {
+		r.forEachPrime(func(i int) { r.mulAccumLazyAt(dst, as, bs, nil, i) })
+		return
+	}
+	for i := range r.Primes {
+		r.mulAccumLazyAt(dst, as, bs, nil, i)
+	}
+}
+
+// PermutedMulAccumLazy is MulAccumLazy with the automorphism
+// permutation fused into the gather: dst = Σ_k σ(as[k]) ⊙ bs[k] where
+// σ(a)[j] = a[perm[j]] (see NTTPermutation). The hoisted digits are
+// never copied: the permutation is an index indirection in the load.
+func (r *Ring) PermutedMulAccumLazy(dst *Poly, as, bs []*Poly, perm []uint32) {
+	if r.workers > 1 {
+		r.forEachPrime(func(i int) { r.mulAccumLazyAt(dst, as, bs, perm, i) })
+		return
+	}
+	for i := range r.Primes {
+		r.mulAccumLazyAt(dst, as, bs, perm, i)
+	}
+}
+
+func (r *Ring) mulAccumLazyAt(dst *Poly, as, bs []*Poly, perm []uint32, i int) {
+	k := len(as)
+	if k == 0 {
+		clear(dst.Coeffs[i])
+		return
+	}
+	if !r.lazyAccumOK || k > maxLazyFan {
+		r.mulAccumEagerAt(dst, as, bs, perm, i)
+		return
+	}
+	var arows, brows [maxLazyFan][]uint64
+	for x := 0; x < k; x++ {
+		arows[x], brows[x] = as[x].Coeffs[i], bs[x].Coeffs[i]
+	}
+	bar := r.tables[i].bar
+	di := dst.Coeffs[i]
+	if perm == nil {
+		for j := range di {
+			var hi, lo, c uint64
+			for x := 0; x < k; x++ {
+				ph, pl := bits.Mul64(arows[x][j], brows[x][j])
+				lo, c = bits.Add64(lo, pl, 0)
+				hi += ph + c
+			}
+			di[j] = bar.Reduce128(hi, lo)
+		}
+		return
+	}
+	for j := range di {
+		pj := perm[j]
+		var hi, lo, c uint64
+		for x := 0; x < k; x++ {
+			ph, pl := bits.Mul64(arows[x][pj], brows[x][j])
+			lo, c = bits.Add64(lo, pl, 0)
+			hi += ph + c
+		}
+		di[j] = bar.Reduce128(hi, lo)
+	}
+}
+
+// mulAccumEagerAt is the per-term-reduction fallback: exact residues,
+// identical to the lazy path bit for bit.
+func (r *Ring) mulAccumEagerAt(dst *Poly, as, bs []*Poly, perm []uint32, i int) {
+	p := r.Primes[i]
+	bar := r.tables[i].bar
+	di := dst.Coeffs[i]
+	for x := range as {
+		ai, bi := as[x].Coeffs[i], bs[x].Coeffs[i]
+		if x == 0 {
+			if perm == nil {
+				for j := range di {
+					di[j] = bar.MulMod(ai[j], bi[j])
+				}
+			} else {
+				for j := range di {
+					di[j] = bar.MulMod(ai[perm[j]], bi[j])
+				}
+			}
+			continue
+		}
+		if perm == nil {
+			for j := range di {
+				di[j] = mathutil.AddMod(di[j], bar.MulMod(ai[j], bi[j]), p)
+			}
+		} else {
+			for j := range di {
+				di[j] = mathutil.AddMod(di[j], bar.MulMod(ai[perm[j]], bi[j]), p)
+			}
+		}
+	}
+}

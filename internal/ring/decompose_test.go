@@ -1,0 +1,136 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestAutomorphismNTT proves the NTT-domain permutation implements
+// exactly the coefficient-domain automorphism: NTT(σ_g(f)) ==
+// AutomorphismNTT(NTT(f), g) for every Galois element a rotation or
+// row swap can produce.
+func TestAutomorphismNTT(t *testing.T) {
+	for _, n := range []int{16, 64} {
+		r := testRing(t, n, 3)
+		rng := rand.New(rand.NewSource(7))
+		f := randPoly(r, rng)
+		elems := []uint64{r.GaloisElementRowSwap()}
+		for _, k := range []int{1, 2, 3, -1, n / 4} {
+			elems = append(elems, r.GaloisElementForRotation(k))
+		}
+		for _, g := range elems {
+			if g == 1 {
+				continue
+			}
+			// Reference: automorphism in the coefficient domain, then NTT.
+			want := r.NewPoly()
+			r.Automorphism(want, f, g)
+			r.NTT(want)
+			// NTT first, then permute in the evaluation domain.
+			fNtt := r.Copy(f)
+			r.NTT(fNtt)
+			got := r.NewPoly()
+			r.AutomorphismNTT(got, fNtt, g)
+			if !r.Equal(got, want) {
+				t.Fatalf("N=%d g=%d: NTT-domain automorphism differs from coefficient-domain reference", n, g)
+			}
+		}
+	}
+}
+
+// TestNTTPermutationBijective checks every cached table is a
+// permutation (an automorphism never merges evaluation points).
+func TestNTTPermutationBijective(t *testing.T) {
+	r := testRing(t, 64, 3)
+	for _, k := range []int{1, 5, -3} {
+		g := r.GaloisElementForRotation(k)
+		perm := r.NTTPermutation(g)
+		seen := make([]bool, r.N)
+		for _, p := range perm {
+			if seen[p] {
+				t.Fatalf("g=%d: index %d appears twice", g, p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+// TestMulAccumLazy proves the lazy 128-bit accumulation bit-identical
+// to the per-term MulCoeffsAndAdd chain, with and without a fused
+// permutation, on both the lazy and the eager fallback path.
+func TestMulAccumLazy(t *testing.T) {
+	r := testRing(t, 64, 3)
+	rng := rand.New(rand.NewSource(11))
+	k := len(r.Primes)
+	as := make([]*Poly, k)
+	bs := make([]*Poly, k)
+	for i := range as {
+		as[i], bs[i] = randPoly(r, rng), randPoly(r, rng)
+	}
+	perm := r.NTTPermutation(r.GaloisElementForRotation(3))
+
+	ref := func(perm []uint32) *Poly {
+		want := r.NewPoly()
+		tmp := r.NewPoly()
+		for i := range as {
+			src := as[i]
+			if perm != nil {
+				src = r.NewPoly()
+				for pi := range r.Primes {
+					for j, pj := range perm {
+						src.Coeffs[pi][j] = as[i].Coeffs[pi][pj]
+					}
+				}
+			}
+			r.MulCoeffs(tmp, src, bs[i])
+			r.Add(want, want, tmp)
+		}
+		return want
+	}
+
+	for _, lazy := range []bool{true, false} {
+		saved := r.lazyAccumOK
+		r.lazyAccumOK = lazy
+		got := r.NewPoly()
+		r.MulAccumLazy(got, as, bs)
+		if !r.Equal(got, ref(nil)) {
+			t.Fatalf("lazy=%v: MulAccumLazy differs from MulCoeffsAndAdd chain", lazy)
+		}
+		r.PermutedMulAccumLazy(got, as, bs, perm)
+		if !r.Equal(got, ref(perm)) {
+			t.Fatalf("lazy=%v: PermutedMulAccumLazy differs from permuted reference", lazy)
+		}
+		r.lazyAccumOK = saved
+	}
+}
+
+// TestDecomposeNTT checks the hoisted decomposition against the
+// serial DigitLift+NTT loop and that Σ_i digit_i · P_i reconstructs
+// the source (the key-switching correctness identity), and that the
+// pooled scratch reaches a 0-alloc steady state.
+func TestDecomposeNTT(t *testing.T) {
+	r := testRing(t, 64, 3)
+	rng := rand.New(rand.NewSource(13))
+	src := randPoly(r, rng)
+
+	d := r.GetDecomposition()
+	r.DecomposeNTT(d, src)
+	want := r.NewPoly()
+	for i := range r.Primes {
+		r.DigitLift(want, src, i)
+		r.NTT(want)
+		if !r.Equal(d.Digits[i], want) {
+			t.Fatalf("digit %d differs from DigitLift+NTT reference", i)
+		}
+	}
+	r.PutDecomposition(d)
+
+	allocs := testing.AllocsPerRun(50, func() {
+		d := r.GetDecomposition()
+		r.DecomposeNTT(d, src)
+		r.PutDecomposition(d)
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state decompose allocates %.1f objects/op, want 0", allocs)
+	}
+}

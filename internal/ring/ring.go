@@ -36,6 +36,19 @@ type Ring struct {
 	// pool recycles *Poly scratch buffers (see GetPoly / PutPoly) to
 	// keep the evaluator hot path free of large allocations.
 	pool sync.Pool
+
+	// decompPool recycles key-switching Decomposition scratch (see
+	// GetDecomposition / PutDecomposition).
+	decompPool sync.Pool
+
+	// permCache caches NTT-domain automorphism permutation tables per
+	// Galois element (uint64 -> []uint32; see NTTPermutation).
+	permCache sync.Map
+
+	// lazyAccumOK reports that a K-term inner product of reduced
+	// operands fits a 128-bit accumulator with the final Barrett
+	// reduction still valid: K · max(p) < 2^64. See MulAccumLazy.
+	lazyAccumOK bool
 }
 
 // Options configures optional Ring behavior.
@@ -99,6 +112,13 @@ func NewRingWithOptions(n int, primes []uint64, opts Options) (*Ring, error) {
 	if err != nil {
 		return nil, err
 	}
+	maxP := uint64(0)
+	for _, p := range primes {
+		if p > maxP {
+			maxP = p
+		}
+	}
+	r.lazyAccumOK = maxP <= ^uint64(0)/uint64(len(primes))
 	return r, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -74,6 +75,161 @@ func newFixture(t *testing.T) *fixture {
 		f.plans = append(f.plans, io)
 	}
 	return f
+}
+
+// TestBackpressureAndDrainHoisted drives the scheduler with
+// hoisted-plan requests (rotation fan-out groups — the session path
+// that shares one decomposition scratch) through a deliberately tiny
+// admission queue, and checks the two bounded-queue contracts:
+//
+//   - backpressure: producers block in Do once the queue fills, so
+//     the admitted-but-incomplete count stays near the configured
+//     bound instead of growing with the number of producers;
+//   - graceful drain: Close called while requests are in flight lets
+//     every admitted request finish with a bit-identical result, and
+//     everything after Close is rejected with ErrClosed.
+//
+// Runs under -race in CI (the internal/serve race job).
+func TestBackpressureAndDrainHoisted(t *testing.T) {
+	l := &quill.Lowered{
+		VecLen: 1024, NumCtInputs: 1,
+		Instrs: []quill.LInstr{
+			{Op: quill.OpRotCt, Dst: 1, A: 0, Rot: 1},
+			{Op: quill.OpRotCt, Dst: 2, A: 0, Rot: 2},
+			{Op: quill.OpRotCt, Dst: 3, A: 0, Rot: -5},
+			{Op: quill.OpRotCt, Dst: 4, A: 0, Rot: 9},
+			{Op: quill.OpAddCtCt, Dst: 5, A: 1, B: 2},
+			{Op: quill.OpAddCtCt, Dst: 6, A: 5, B: 3},
+			{Op: quill.OpAddCtCt, Dst: 7, A: 6, B: 4},
+		},
+		Output: 7,
+	}
+	ctx, plans, err := backend.NewTestServingContext("PN2048", 9, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := plans[0]
+	if g, _ := p.HoistedGroups(); g != 1 {
+		t.Fatalf("expected a hoisted plan, got %d groups", g)
+	}
+	rng := rand.New(rand.NewSource(6))
+	v := make(quill.Vec, l.VecLen)
+	for j := range v {
+		v[j] = rng.Uint64() % 64
+	}
+	ct, err := ctx.EncryptVec(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctIn := []*bfv.Ciphertext{ct}
+	ref, err := backend.RuntimeOver(ctx).RunInterpreter(l, ctIn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := Config{Sessions: 1, QueueDepth: 1, MaxBatch: 2, BatchWindow: 100 * time.Microsecond}
+	s := New(ctx, cfg)
+
+	// Backpressure, proven causally (no timing): one goroutine submits
+	// `total` requests back-to-back. The pipeline can absorb at most
+	// `absorb` admitted-but-unfinished requests (queue buffer + the
+	// dispatcher's held job + one batch in handoff + one executing
+	// batch), so the admission queue being full must block Submit until
+	// completions free capacity: by the time the last Submit returns,
+	// at least total-absorb requests have already completed. Without
+	// blocking admission (the regression this guards) the submitter
+	// could race through all `total` sends with zero completions.
+	const total = 20
+	// queue buffer + dispatcher's popped job + held job + one batch in
+	// handoff + one executing batch
+	absorb := cfg.QueueDepth + 2 + 2*cfg.MaxBatch
+	var completed atomic.Int64
+	var collectors sync.WaitGroup
+	for i := 0; i < total; i++ {
+		ch := s.Submit(Request{Plan: p, CtIn: ctIn})
+		collectors.Add(1)
+		go func() {
+			defer collectors.Done()
+			res := <-ch
+			if res.Err == nil {
+				completed.Add(1)
+			}
+		}()
+	}
+	// The worker bumps Served (under the stats lock) before delivering
+	// each result, so this snapshot does not depend on collector
+	// goroutine scheduling — only on the causal chain above.
+	flushed := s.Stats().Served
+	collectors.Wait()
+	if min := uint64(total - absorb); flushed < min {
+		t.Errorf("after %d blocking submits only %d requests had completed, want ≥ %d (admission not applying backpressure)", total, flushed, min)
+	}
+	if got := completed.Load(); got != total {
+		t.Fatalf("%d of %d backpressure-phase requests completed", got, total)
+	}
+
+	const producers, perProducer = 6, 3
+	var wg sync.WaitGroup
+	var served, rejected int64
+	errs := make(chan error, producers*perProducer)
+	firstDone := make(chan struct{})
+	var firstOnce sync.Once
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				res := s.Do(Request{Plan: p, CtIn: ctIn})
+				switch {
+				case errors.Is(res.Err, ErrClosed):
+					atomic.AddInt64(&rejected, 1)
+				case res.Err != nil:
+					errs <- res.Err
+					return
+				case !ctx.Params.CiphertextEqual(res.Out, ref):
+					errs <- errors.New("hoisted response not bit-identical to reference")
+					return
+				default:
+					atomic.AddInt64(&served, 1)
+					firstOnce.Do(func() { close(firstDone) })
+				}
+			}
+		}()
+	}
+	// Close mid-flight: requests are queued and executing when the
+	// drain starts. Close must block until every admitted request has
+	// its result, and must not deadlock against blocked producers.
+	<-firstDone
+	s.Close()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := s.Stats()
+	if got := atomic.LoadInt64(&served) + total; st.Served != uint64(got) {
+		t.Errorf("stats served = %d, test saw %d", st.Served, got)
+	}
+	if got := atomic.LoadInt64(&rejected); st.Rejected != uint64(got) {
+		t.Errorf("stats rejected = %d, producers saw %d", st.Rejected, got)
+	}
+	if st.Served+st.Rejected != producers*perProducer+total {
+		t.Errorf("served %d + rejected %d != %d submitted", st.Served, st.Rejected, producers*perProducer+total)
+	}
+	if st.QueueDepth != 0 {
+		t.Errorf("queue depth %d after Close, want 0 (drained)", st.QueueDepth)
+	}
+	if st.Failed != 0 {
+		t.Errorf("%d failed requests", st.Failed)
+	}
+
+	// Everything after the drain is rejected, immediately.
+	if res := s.Do(Request{Plan: p, CtIn: ctIn}); !errors.Is(res.Err, ErrClosed) {
+		t.Errorf("post-Close Do: err = %v, want ErrClosed", res.Err)
+	}
+	// Close is idempotent.
+	s.Close()
 }
 
 // TestConcurrentProducers floods the scheduler from many producers

@@ -1,0 +1,189 @@
+package wire_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"porcupine/internal/backend"
+	"porcupine/internal/bfv"
+	"porcupine/internal/plan"
+	"porcupine/internal/quill"
+	"porcupine/internal/serve"
+	"porcupine/internal/wire"
+)
+
+// fanOutProgram rotates one source four distinct ways — the shape the
+// v2 planner fuses into a hoisted group, and the shape a v1 exporter
+// could only describe as plain serial steps.
+func fanOutProgram() *quill.Lowered {
+	return &quill.Lowered{
+		VecLen: 1024, NumCtInputs: 1,
+		Instrs: []quill.LInstr{
+			{Op: quill.OpRotCt, Dst: 1, A: 0, Rot: 1},
+			{Op: quill.OpRotCt, Dst: 2, A: 0, Rot: 2},
+			{Op: quill.OpRotCt, Dst: 3, A: 0, Rot: 5},
+			{Op: quill.OpRotCt, Dst: 4, A: 0, Rot: -3},
+			{Op: quill.OpAddCtCt, Dst: 5, A: 1, B: 2},
+			{Op: quill.OpAddCtCt, Dst: 6, A: 5, B: 3},
+			{Op: quill.OpAddCtCt, Dst: 7, A: 6, B: 4},
+		},
+		Output: 7,
+	}
+}
+
+// TestV1BundleStillLoadsAndRuns fabricates a byte-exact version-1
+// bundle (the format every pre-hoisting export used: no fan lists,
+// version byte 1) around an unhoisted plan, and proves this build
+// decodes, validates and executes it bit-identically to the hoisted
+// v2 plan of the same program — the backward-compatibility contract
+// of the format bump.
+func TestV1BundleStillLoadsAndRuns(t *testing.T) {
+	l := fanOutProgram()
+	ctx, plans, err := backend.NewTestServingContext("PN2048", 23, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hoisted := plans[0]
+	if g, r := hoisted.HoistedGroups(); g != 1 || r != 4 {
+		t.Fatalf("hoisted plan has %d groups / %d rotations, want 1 / 4", g, r)
+	}
+	flat, err := plan.CompileWithOptions(ctx.Params, ctx.Encoder, l, plan.Options{DisableHoisting: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(29))
+	v := make(quill.Vec, l.VecLen)
+	for j := range v {
+		v[j] = rng.Uint64() % 64
+	}
+	ct, err := ctx.EncryptVec(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := &wire.Request{CtIn: []*bfv.Ciphertext{ct}}
+
+	b, err := serve.Export(ctx, "compat-test", flat, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := wire.EncodeVersion(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[4] != 1 {
+		t.Fatalf("fabricated artifact carries version byte %d, want 1", data[4])
+	}
+
+	got, err := wire.DecodeBundle(data)
+	if err != nil {
+		t.Fatalf("v1 bundle no longer decodes: %v", err)
+	}
+	for i := range got.Plan.Steps {
+		if len(got.Plan.Steps[i].Fan) != 0 || got.Plan.Steps[i].Op == plan.OpHoistedRot {
+			t.Fatal("v1 plan decoded with hoisted steps")
+		}
+	}
+
+	// The loaded v1 artifact must reproduce the exporter's output...
+	_, sched, err := serve.Load(got, serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sched.Close()
+	ok, err := serve.SelfTest(sched, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("v1 bundle does not run bit-identically to its exporter")
+	}
+	// ...and that output must equal the hoisted v2 execution of the
+	// same program: serial and hoisted key switching share primitives.
+	hout, err := ctx.NewSession().Run(hoisted, sample.CtIn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ctx.Params.CiphertextEqual(hout, got.Expected) {
+		t.Fatal("hoisted execution differs from the v1 (unhoisted) expected output")
+	}
+}
+
+// TestHoistedPlanNeedsV2 pins the encoder-side rule: a plan carrying
+// hoisted steps cannot be written in the v1 layout (which has no fan
+// field to hold them).
+func TestHoistedPlanNeedsV2(t *testing.T) {
+	l := fanOutProgram()
+	ctx, plans, err := backend.NewTestServingContext("PN2048", 23, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := serve.Export(ctx, "compat-test", plans[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.EncodeVersion(b, 1); err == nil {
+		t.Fatal("hoisted plan encoded as v1")
+	}
+	if _, err := b.Encode(); err != nil {
+		t.Fatalf("hoisted plan fails v2 encode: %v", err)
+	}
+}
+
+// TestFanCorruptionRejected runs decode-side corruptions specific to
+// the v2 fan list: every malformed fan must be refused as ErrInvalid
+// by the envelope's deep validation (plan.Validate), never panic.
+func TestFanCorruptionRejected(t *testing.T) {
+	l := fanOutProgram()
+	ctx, plans, err := backend.NewTestServingContext("PN2048", 23, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := serve.Export(ctx, "compat-test", plans[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(name string, mutate func(p *plan.ExecutionPlan)) {
+		t.Run(name, func(t *testing.T) {
+			// Deep-copy the plan's step/fan lists, corrupt, re-encode: the
+			// checksum is then valid and only semantic validation stands.
+			p2 := *plans[0]
+			p2.Steps = append([]plan.Step(nil), plans[0].Steps...)
+			for i := range p2.Steps {
+				p2.Steps[i].Fan = append([]plan.FanOut(nil), p2.Steps[i].Fan...)
+			}
+			p2.Rotations = append([]int(nil), plans[0].Rotations...)
+			mutate(&p2)
+			b2 := *base
+			b2.Plan = &p2
+			data, err := b2.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := wire.DecodeBundle(data); !errors.Is(err, wire.ErrInvalid) {
+				t.Fatalf("corrupted fan decoded: err = %v, want ErrInvalid", err)
+			}
+		})
+	}
+	hoistIdx := -1
+	for i := range plans[0].Steps {
+		if plans[0].Steps[i].Op == plan.OpHoistedRot {
+			hoistIdx = i
+		}
+	}
+	if hoistIdx < 0 {
+		t.Fatal("no hoisted step in base plan")
+	}
+	corrupt("fan-dst-out-of-range", func(p *plan.ExecutionPlan) { p.Steps[hoistIdx].Fan[0].Dst = p.NumRegs })
+	corrupt("fan-rot-undeclared", func(p *plan.ExecutionPlan) { p.Steps[hoistIdx].Fan[0].Rot = 777 })
+	corrupt("fan-rot-duplicate", func(p *plan.ExecutionPlan) { p.Steps[hoistIdx].Fan[1].Rot = p.Steps[hoistIdx].Fan[0].Rot })
+	corrupt("fan-on-plain-step", func(p *plan.ExecutionPlan) {
+		for i := range p.Steps {
+			if p.Steps[i].Op != plan.OpHoistedRot {
+				p.Steps[i].Fan = []plan.FanOut{{Dst: 0, Rot: 1}}
+				return
+			}
+		}
+	})
+}

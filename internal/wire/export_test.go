@@ -1,0 +1,7 @@
+package wire
+
+// EncodeVersion exposes version-explicit bundle encoding to the
+// external test package, which uses it to fabricate byte-exact
+// artifacts of earlier format versions and prove this build still
+// loads them.
+var EncodeVersion = (*Bundle).encode

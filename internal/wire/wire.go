@@ -51,10 +51,15 @@ import (
 
 const (
 	magic = "PCPN"
-	// Version is the wire-format version. Decoders reject any other
-	// version: artifacts are cheap to re-export, so there is no
-	// cross-version compatibility machinery to get subtly wrong.
-	Version = 1
+	// Version is the wire-format version this build writes. Version 2
+	// added hoisted rotation fan-out groups to the plan section (a
+	// per-step fan list). Decoders accept MinVersion..Version: a v1
+	// bundle simply decodes to a plan of plain steps, which executes
+	// bit-identically (the serial rotation path runs on the same
+	// primitives as the hoisted one). Future versions are rejected —
+	// artifacts are cheap to re-export.
+	Version    = 2
+	MinVersion = 1
 )
 
 const (
@@ -107,10 +112,10 @@ type Request struct {
 
 type writer struct{ buf []byte }
 
-func newWriter(tag byte) *writer {
+func newWriter(ver, tag byte) *writer {
 	w := &writer{buf: make([]byte, 0, 1<<16)}
 	w.buf = append(w.buf, magic...)
-	w.buf = append(w.buf, Version, tag)
+	w.buf = append(w.buf, ver, tag)
 	// payloadLen placeholder, patched in finish.
 	w.buf = binary.LittleEndian.AppendUint64(w.buf, 0)
 	return w
@@ -159,6 +164,7 @@ const sumLen = sha256.Size
 type reader struct {
 	buf []byte // payload only
 	off int
+	ver byte // envelope version (MinVersion..Version)
 	err error
 }
 
@@ -171,8 +177,9 @@ func open(data []byte, wantTag byte) (*reader, error) {
 	if string(data[:4]) != magic {
 		return nil, ErrMagic
 	}
-	if v := data[4]; v != Version {
-		return nil, fmt.Errorf("%w: got version %d, this build reads version %d", ErrVersion, v, Version)
+	v := data[4]
+	if v < MinVersion || v > Version {
+		return nil, fmt.Errorf("%w: got version %d, this build reads versions %d-%d", ErrVersion, v, MinVersion, Version)
 	}
 	if tag := data[5]; tag != wantTag {
 		return nil, fmt.Errorf("%w: object tag %d, want %d", ErrTag, tag, wantTag)
@@ -190,7 +197,7 @@ func open(data []byte, wantTag byte) (*reader, error) {
 	if subtle.ConstantTimeCompare(sum[:], data[headerLen+payloadLen:]) != 1 {
 		return nil, ErrChecksum
 	}
-	return &reader{buf: data[headerLen : headerLen+payloadLen]}, nil
+	return &reader{buf: data[headerLen : headerLen+payloadLen], ver: v}, nil
 }
 
 func (r *reader) fail() {
@@ -286,13 +293,21 @@ func (r *reader) done() error {
 // Encode serializes the bundle. Params, Plan, Relin and Galois are
 // required; Sample/Expected must be both present or both absent.
 func (b *Bundle) Encode() ([]byte, error) {
+	return b.encode(Version)
+}
+
+// encode writes the bundle in an explicit format version. Only the
+// current Version is written by production code; older versions exist
+// so tests can fabricate byte-exact artifacts of earlier builds and
+// prove they still load (a v1 plan cannot carry hoisted steps).
+func (b *Bundle) encode(ver byte) ([]byte, error) {
 	if b.Params == nil || b.Plan == nil || b.Relin == nil || b.Galois == nil {
 		return nil, fmt.Errorf("wire: bundle needs params, plan, relin and galois keys")
 	}
 	if (b.Sample == nil) != (b.Expected == nil) {
 		return nil, fmt.Errorf("wire: self-test sample and expected output must come together")
 	}
-	w := newWriter(tagBundle)
+	w := newWriter(ver, tagBundle)
 	fp := b.Params.Fingerprint()
 	w.buf = append(w.buf, fp[:]...)
 	w.str(b.Name)
@@ -300,7 +315,7 @@ func (b *Bundle) Encode() ([]byte, error) {
 	if err := w.blob(b.Params.MarshalBinary()); err != nil {
 		return nil, err
 	}
-	if err := encodePlan(w, b.Plan); err != nil {
+	if err := encodePlan(w, b.Plan, ver); err != nil {
 		return nil, err
 	}
 	if err := w.blob(b.Relin.MarshalBinary()); err != nil {
@@ -418,9 +433,12 @@ func ReadBundleFile(path string) (*Bundle, error) {
 
 // ---- plan section ----
 
-func encodePlan(w *writer, p *plan.ExecutionPlan) error {
+func encodePlan(w *writer, p *plan.ExecutionPlan, ver byte) error {
 	if p.Source == nil {
 		return fmt.Errorf("wire: plan has no source program")
+	}
+	if groups, _ := p.HoistedGroups(); ver < 2 && groups > 0 {
+		return fmt.Errorf("wire: hoisted plans need format version 2, cannot encode as %d", ver)
 	}
 	w.u32(uint32(p.N))
 	w.u32(uint32(p.VecLen))
@@ -440,6 +458,14 @@ func encodePlan(w *writer, p *plan.ExecutionPlan) error {
 		w.i64(int64(st.Rot))
 		w.i64(int64(st.Pt))
 		w.i64(int64(st.Con))
+		if ver >= 2 {
+			// v2: hoisted fan-out list (empty for plain steps).
+			w.u32(uint32(len(st.Fan)))
+			for _, f := range st.Fan {
+				w.u32(uint32(f.Dst))
+				w.i64(int64(f.Rot))
+			}
+		}
 	}
 	w.u32(uint32(len(p.Consts)))
 	for _, pt := range p.Consts {
@@ -456,7 +482,10 @@ func encodePlan(w *writer, p *plan.ExecutionPlan) error {
 	return nil
 }
 
-const stepWireSize = 1 + 4 + 5*8
+const (
+	stepWireSize = 1 + 4 + 5*8 // fixed step fields (v1 layout; v2 appends the fan list)
+	fanWireSize  = 4 + 8
+)
 
 func decodePlan(r *reader, params *bfv.Parameters) (*plan.ExecutionPlan, error) {
 	p := &plan.ExecutionPlan{
@@ -474,7 +503,7 @@ func decodePlan(r *reader, params *bfv.Parameters) (*plan.ExecutionPlan, error) 
 	nSteps := r.count(stepWireSize)
 	p.Steps = make([]plan.Step, 0, nSteps)
 	for i := 0; i < nSteps; i++ {
-		p.Steps = append(p.Steps, plan.Step{
+		st := plan.Step{
 			Op:  quill.Op(r.u8()),
 			Dst: int(r.u32()),
 			A:   int(r.i64()),
@@ -482,7 +511,19 @@ func decodePlan(r *reader, params *bfv.Parameters) (*plan.ExecutionPlan, error) 
 			Rot: int(r.i64()),
 			Pt:  int(r.i64()),
 			Con: int(r.i64()),
-		})
+		}
+		if r.ver >= 2 {
+			nFan := r.count(fanWireSize)
+			for f := 0; f < nFan; f++ {
+				st.Fan = append(st.Fan, plan.FanOut{Dst: int(r.u32()), Rot: int(r.i64())})
+			}
+		}
+		p.Steps = append(p.Steps, st)
+		if st.Op == plan.OpHoistedRot {
+			// Sized by the register allocator at compile time; derived,
+			// not serialized (plan.Validate checks the consistency).
+			p.NumDecomps = 1
+		}
 	}
 	nConsts := r.count(4)
 	for i := 0; i < nConsts; i++ {
@@ -568,7 +609,10 @@ func decodeRequestBody(r *reader, params *bfv.Parameters) (*Request, error) {
 // fingerprint so a serving process rejects requests encrypted under
 // different parameters.
 func EncodeRequest(params *bfv.Parameters, req *Request) ([]byte, error) {
-	w := newWriter(tagRequest)
+	// Request bodies are unchanged since v1; write the lowest version
+	// that can carry them so mixed-version deployments keep working (a
+	// v1 server rejects anything above its own version).
+	w := newWriter(MinVersion, tagRequest)
 	fp := params.Fingerprint()
 	w.buf = append(w.buf, fp[:]...)
 	if err := encodeRequestBody(w, req); err != nil {
@@ -599,7 +643,8 @@ func DecodeRequest(params *bfv.Parameters, data []byte) (*Request, error) {
 
 // EncodeResponse serializes one output ciphertext.
 func EncodeResponse(params *bfv.Parameters, out *bfv.Ciphertext) ([]byte, error) {
-	w := newWriter(tagResponse)
+	// Like requests, response bodies are v1-compatible; see EncodeRequest.
+	w := newWriter(MinVersion, tagResponse)
 	fp := params.Fingerprint()
 	w.buf = append(w.buf, fp[:]...)
 	if err := w.blob(out.MarshalBinary()); err != nil {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math/rand"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"porcupine/internal/backend"
@@ -85,9 +86,12 @@ func TestBundleRoundTrip(t *testing.T) {
 		t.Fatalf("plan shape changed: %d steps / %d regs, want %d / %d", len(q.Steps), q.NumRegs, len(p.Steps), p.NumRegs)
 	}
 	for i := range p.Steps {
-		if p.Steps[i] != q.Steps[i] {
+		if !reflect.DeepEqual(p.Steps[i], q.Steps[i]) {
 			t.Fatalf("step %d changed across the wire: %+v != %+v", i, p.Steps[i], q.Steps[i])
 		}
+	}
+	if q.NumDecomps != p.NumDecomps {
+		t.Fatalf("NumDecomps = %d across the wire, want %d", q.NumDecomps, p.NumDecomps)
 	}
 
 	// The decoded artifact must execute bit-identically in a sealed
