@@ -70,18 +70,22 @@ smoke-wire:
 	/tmp/porcupine-smoke -kernel box-blur -export-plan /tmp/porcupine-smoke.pplan -no-cache -timeout 2m
 	/tmp/porcupine-smoke -load-plan /tmp/porcupine-smoke.pplan -iters 4 -workers 2
 
-# Hoisted-rotation benchmark: per-kernel flat (hoisting disabled) vs
-# hoisted plan latency plus static key-switching NTT counts, baseline
-# and synthesized forms, with bit-identity verified on every kernel.
-# Recorded numbers live in BENCH_PR5.json; methodology in
-# EXPERIMENTS.md.
+# Plan-schedule benchmark: per-kernel flat (hoisting and domain
+# assignment disabled) vs hoisted vs domain-assigned plan latency plus
+# the static transform counts behind each win (key-switching forward
+# NTTs for hoisting, key-switch-external forward+inverse passes for
+# domain assignment), baseline and synthesized forms, with
+# bit-identity verified on every kernel. Recorded numbers live in
+# BENCH_PR5.json and BENCH_PR6.json; methodology in EXPERIMENTS.md.
 bench-rot:
 	$(GO) run ./cmd/benchrot -iters 20 -cache-dir /tmp/porcupine-bench-cache -out /tmp/porcupine-bench-rot.json
-	@echo "wrote /tmp/porcupine-bench-rot.json (curated record: BENCH_PR5.json)"
+	@echo "wrote /tmp/porcupine-bench-rot.json (curated records: BENCH_PR5.json, BENCH_PR6.json)"
 
 # Allocation-regression canary (mirrors the CI job): steady-state plan
-# execution — plain and hoisted — must report 0 allocs/op.
+# execution — plain, hoisted and domain-assigned — must report
+# 0 allocs/op.
 alloc-canary:
-	$(GO) test -run '^$$' -bench '^(BenchmarkPlanRun|BenchmarkHoistedPlanRun)$$' -benchtime 1x -benchmem . | tee /tmp/porcupine-canary.out
+	$(GO) test -run '^$$' -bench '^(BenchmarkPlanRun|BenchmarkHoistedPlanRun|BenchmarkDomainAssignedPlanRun)$$' -benchtime 1x -benchmem . | tee /tmp/porcupine-canary.out
 	grep -E 'BenchmarkPlanRun.* 0 B/op.* 0 allocs/op' /tmp/porcupine-canary.out
 	grep -E 'BenchmarkHoistedPlanRun.* 0 B/op.* 0 allocs/op' /tmp/porcupine-canary.out
+	grep -E 'BenchmarkDomainAssignedPlanRun.* 0 B/op.* 0 allocs/op' /tmp/porcupine-canary.out

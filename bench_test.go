@@ -15,6 +15,7 @@ package porcupine_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -296,6 +297,14 @@ func BenchmarkPlanRun(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	// A GC cycle drains the ring pools; force the one the setup
+	// allocations may have made pending, then refill the pools with a
+	// final warm run so it cannot land inside the measured window
+	// (-benchtime 1x has a single sample).
+	runtime.GC()
+	if _, err := s.Run(p, []*porcupine.Ciphertext{ct}, nil); err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -355,10 +364,83 @@ func BenchmarkHoistedPlanRun(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	// See BenchmarkPlanRun: drain-then-refill the pools so a pending GC
+	// cannot fire inside the single measured sample.
+	runtime.GC()
+	if _, err := s.Run(p, []*porcupine.Ciphertext{ct}, nil); err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Run(p, []*porcupine.Ciphertext{ct}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDomainAssignedPlanRun is the allocation canary of
+// NTT-resident plan execution: a hoisted fan feeding pointwise chains,
+// a serial NTT-to-NTT rotation, prepared constant and runtime-input
+// plaintext products, and the closing conversion back to the
+// coefficient domain — every step kind the domain-assignment pass
+// introduces, at steady state. Like BenchmarkPlanRun, CI greps for
+// "0 allocs/op" (make alloc-canary).
+func BenchmarkDomainAssignedPlanRun(b *testing.B) {
+	l := &quill.Lowered{
+		VecLen: 1024, NumCtInputs: 1, NumPtInputs: 1,
+		Instrs: []quill.LInstr{
+			{Op: quill.OpRotCt, Dst: 1, A: 0, Rot: 1},
+			{Op: quill.OpRotCt, Dst: 2, A: 0, Rot: 2},
+			{Op: quill.OpAddCtCt, Dst: 3, A: 1, B: 2},
+			{Op: quill.OpRotCt, Dst: 4, A: 3, Rot: 5},
+			{Op: quill.OpAddCtCt, Dst: 5, A: 3, B: 4},
+			{Op: quill.OpMulCtPt, Dst: 6, A: 5, P: quill.PtRef{Input: -1, Const: []int64{3}}},
+			{Op: quill.OpMulCtPt, Dst: 7, A: 6, P: quill.PtRef{Input: 0}},
+			{Op: quill.OpAddCtPt, Dst: 8, A: 7, P: quill.PtRef{Input: -1, Const: []int64{11}}},
+		},
+		Output: 8,
+	}
+	rt, err := backend.NewTestRuntime("PN2048", 5, l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := rt.Plan(l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nttRegs, convs := p.DomainStats()
+	if nttRegs == 0 || convs == 0 {
+		b.Fatalf("plan not NTT-resident: %d NTT regs, %d conversions", nttRegs, convs)
+	}
+	v := make(quill.Vec, l.VecLen)
+	pt := make(quill.Vec, l.VecLen)
+	for j := range v {
+		v[j] = uint64(j % 61)
+		pt[j] = uint64(j%13 + 1)
+	}
+	ct, err := rt.EncryptVec(v)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := rt.NewSession()
+	// Warm-up: grows the register file, prepared plaintext scratch and
+	// ring pools to steady state.
+	for i := 0; i < 3; i++ {
+		if _, err := s.Run(p, []*porcupine.Ciphertext{ct}, []quill.Vec{pt}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// See BenchmarkPlanRun: drain-then-refill the pools so a pending GC
+	// cannot fire inside the single measured sample.
+	runtime.GC()
+	if _, err := s.Run(p, []*porcupine.Ciphertext{ct}, []quill.Vec{pt}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(p, []*porcupine.Ciphertext{ct}, []quill.Vec{pt}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,11 +1,16 @@
-// Command benchrot measures the hoisted-rotation win per kernel: it
-// compiles every kernel's baseline and synthesized program into two
-// execution plans — flat (hoisting disabled; the serial schedule
-// every pre-hoisting build ran) and hoisted (rotation fan-out groups
-// fused, decompose-once) — verifies both bit-identical against the
-// interpreter, and reports wall-clock latency plus the static
-// key-switching NTT counts behind the speedup. `make bench-rot` pipes
-// the JSON into BENCH_PR5.json.
+// Command benchrot measures the plan-level schedule wins per kernel:
+// it compiles every kernel's baseline and synthesized program into
+// three execution plans — flat (hoisting and domain assignment
+// disabled; the serial schedule every pre-hoisting build ran),
+// hoisted (rotation fan-out groups fused, decompose-once, still
+// all-coefficient), and domain-assigned (registers kept NTT-resident
+// across pointwise chains) — verifies all three bit-identical against
+// the interpreter, and reports wall-clock latency plus the static
+// transform counts behind each speedup: the key-switching forward
+// NTTs hoisting removes (curated into BENCH_PR5.json) and the
+// key-switch-external forward+inverse passes domain assignment
+// removes (curated into BENCH_PR6.json). `make bench-rot` writes the
+// raw JSON to /tmp.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"porcupine/internal/backend"
@@ -38,10 +44,21 @@ type formReport struct {
 	KSNTTsFlat    int `json:"ks_fwd_ntts_flat"`    // forward NTTs in key switching, flat plan
 	KSNTTsHoisted int `json:"ks_fwd_ntts_hoisted"` // same, hoisted plan
 
+	// Domain assignment (PR 6): key-switch-external forward+inverse
+	// NTT passes per run under plan.ExternalTransforms's static cost
+	// model, before (hoisted, all-coefficient registers) and after the
+	// pass, plus the shape of the winning assignment.
+	ExtNTTsUnassigned int `json:"ext_ntts_unassigned"`
+	ExtNTTsAssigned   int `json:"ext_ntts_assigned"`
+	NTTRegs           int `json:"ntt_regs"`           // registers resident in the evaluation domain
+	DomainConversions int `json:"domain_conversions"` // explicit OpNTT/OpINTT steps
+
 	// Measured wall clock (median of -iters runs of the whole plan).
-	FlatMs    float64 `json:"flat_ms"`
-	HoistedMs float64 `json:"hoisted_ms"`
-	Speedup   float64 `json:"speedup"`
+	FlatMs        float64 `json:"flat_ms"`
+	HoistedMs     float64 `json:"hoisted_ms"`
+	AssignedMs    float64 `json:"assigned_ms"`
+	Speedup       float64 `json:"speedup"`        // flat / hoisted (PR 5 win)
+	DomainSpeedup float64 `json:"domain_speedup"` // hoisted / assigned (PR 6 win)
 }
 
 type kernelReport struct {
@@ -57,12 +74,27 @@ func main() {
 		timeout  = flag.Duration("timeout", 10*time.Minute, "per-kernel synthesis budget")
 		seed     = flag.Int64("seed", 1, "synthesis random seed")
 		skipSyn  = flag.Bool("baseline-only", false, "skip synthesis; measure only the hand-written baseline programs")
+		only     = flag.String("kernels", "", "comma-separated kernel subset (default: all)")
 		out      = flag.String("out", "", "write JSON to FILE (default stdout)")
 	)
 	flag.Parse()
 
 	report := map[string]*kernelReport{}
 	names := core.AllKernels()
+	if *only != "" {
+		known := map[string]bool{}
+		for _, n := range names {
+			known[n] = true
+		}
+		names = nil
+		for _, n := range strings.Split(*only, ",") {
+			n = strings.TrimSpace(n)
+			if !known[n] {
+				fatal("unknown kernel %q", n)
+			}
+			names = append(names, n)
+		}
+	}
 
 	// Synthesized forms, via the batch pipeline (cache-backed).
 	synthesized := map[string]*quill.Lowered{}
@@ -102,8 +134,10 @@ func main() {
 			}
 		}
 		report[name] = kr
-		fmt.Fprintf(os.Stderr, "%-22s baseline %5.2fms -> %5.2fms (%.2fx, fan-out %d)\n",
-			name, kr.Baseline.FlatMs, kr.Baseline.HoistedMs, kr.Baseline.Speedup, kr.Baseline.MaxFanOut)
+		fmt.Fprintf(os.Stderr, "%-22s baseline %5.2fms -> %5.2fms -> %5.2fms (hoist %.2fx, domain %.2fx, NTTs %d -> %d)\n",
+			name, kr.Baseline.FlatMs, kr.Baseline.HoistedMs, kr.Baseline.AssignedMs,
+			kr.Baseline.Speedup, kr.Baseline.DomainSpeedup,
+			kr.Baseline.ExtNTTsUnassigned, kr.Baseline.ExtNTTsAssigned)
 	}
 
 	enc := json.NewEncoder(os.Stdout)
@@ -121,8 +155,9 @@ func main() {
 	}
 }
 
-// measure compiles l into flat and hoisted plans, proves all three
-// execution routes bit-identical, and times both plans.
+// measure compiles l into flat, hoisted-unassigned and
+// domain-assigned plans, proves all four execution routes
+// bit-identical (interpreter included), and times the three plans.
 func measure(name string, l *quill.Lowered, iters int) (*formReport, error) {
 	preset := "PN4096"
 	if l.MultDepth() > 2 {
@@ -132,16 +167,23 @@ func measure(name string, l *quill.Lowered, iters int) (*formReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	hoisted, err := rt.Plan(l)
+	assigned, err := rt.Plan(l) // default options: hoisting + domain assignment
 	if err != nil {
 		return nil, err
 	}
-	flat, err := plan.CompileWithOptions(rt.Params, rt.Encoder, l, plan.Options{DisableHoisting: true})
+	hoisted, err := plan.CompileWithOptions(rt.Params, rt.Encoder, l, plan.Options{DisableDomainAssignment: true})
+	if err != nil {
+		return nil, err
+	}
+	flat, err := plan.CompileWithOptions(rt.Params, rt.Encoder, l, plan.Options{DisableHoisting: true, DisableDomainAssignment: true})
 	if err != nil {
 		return nil, err
 	}
 
 	fr := &formReport{Preset: preset}
+	fr.ExtNTTsUnassigned = hoisted.ExternalTransforms()
+	fr.ExtNTTsAssigned = assigned.ExternalTransforms()
+	fr.NTTRegs, fr.DomainConversions = assigned.DomainStats()
 	k := len(rt.Params.QPrimes)
 	relins := 0
 	plainRots := 0
@@ -185,12 +227,12 @@ func measure(name string, l *quill.Lowered, iters int) (*formReport, error) {
 		}
 	}
 
-	// Bit-identity: interpreter ≡ flat ≡ hoisted.
+	// Bit-identity: interpreter ≡ flat ≡ hoisted ≡ domain-assigned.
 	ref, err := rt.RunInterpreter(l, cts, ex.PtIn)
 	if err != nil {
 		return nil, err
 	}
-	sFlat, sHoist := rt.NewSession(), rt.NewSession()
+	sFlat, sHoist, sDom := rt.NewSession(), rt.NewSession(), rt.NewSession()
 	fo, err := sFlat.Run(flat, cts, ex.PtIn)
 	if err != nil {
 		return nil, err
@@ -204,6 +246,13 @@ func measure(name string, l *quill.Lowered, iters int) (*formReport, error) {
 	}
 	if !rt.Params.CiphertextEqual(ref, ho) {
 		return nil, fmt.Errorf("hoisted plan not bit-identical to interpreter")
+	}
+	do, err := sDom.Run(assigned, cts, ex.PtIn)
+	if err != nil {
+		return nil, err
+	}
+	if !rt.Params.CiphertextEqual(ref, do) {
+		return nil, fmt.Errorf("domain-assigned plan not bit-identical to interpreter")
 	}
 
 	time_ := func(s *backend.Session, p *plan.ExecutionPlan) (float64, error) {
@@ -224,8 +273,14 @@ func measure(name string, l *quill.Lowered, iters int) (*formReport, error) {
 	if fr.HoistedMs, err = time_(sHoist, hoisted); err != nil {
 		return nil, err
 	}
+	if fr.AssignedMs, err = time_(sDom, assigned); err != nil {
+		return nil, err
+	}
 	if fr.HoistedMs > 0 {
 		fr.Speedup = fr.FlatMs / fr.HoistedMs
+	}
+	if fr.AssignedMs > 0 {
+		fr.DomainSpeedup = fr.HoistedMs / fr.AssignedMs
 	}
 	return fr, nil
 }

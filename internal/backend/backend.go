@@ -283,6 +283,13 @@ type Session struct {
 	ctx  *Context
 	regs []*bfv.Ciphertext
 	pts  []*bfv.Plaintext
+	// ptsMulNTT/ptsAddNTT are the prepared (NTT-domain) forms of the
+	// runtime plaintext inputs a domain-assigned plan consumes:
+	// multiplication operands (lifted then transformed) and addition
+	// operands (Δ-scaled then transformed). Filled per run by
+	// encodeInputs for exactly the inputs the plan flags as needed.
+	ptsMulNTT []*bfv.NTTPlaintext
+	ptsAddNTT []*bfv.NTTPlaintext
 	// dec is the key-switching decomposition scratch of hoisted
 	// rotation groups, created at the plan's declared size
 	// (NumDecomps) on first use and reused across runs.
@@ -321,6 +328,25 @@ func (s *Session) encodeInputs(p *plan.ExecutionPlan, ptIn []quill.Vec) error {
 			return err
 		}
 	}
+	// Prepared NTT forms for the inputs the plan actually reads in the
+	// evaluation domain. One forward NTT per flagged input per run —
+	// the cost the domain pass already accounted for.
+	if p.Prepared {
+		for len(s.ptsMulNTT) < p.NumPtInputs {
+			s.ptsMulNTT = append(s.ptsMulNTT, s.ctx.Params.NewNTTPlaintext())
+		}
+		for len(s.ptsAddNTT) < p.NumPtInputs {
+			s.ptsAddNTT = append(s.ptsAddNTT, s.ctx.Params.NewNTTPlaintext())
+		}
+		for i := range ptIn {
+			if i < len(p.PtNeedMulNTT) && p.PtNeedMulNTT[i] {
+				s.ctx.Params.SetMulPlainNTT(s.ptsMulNTT[i], s.pts[i])
+			}
+			if i < len(p.PtNeedAddNTT) && p.PtNeedAddNTT[i] {
+				s.ctx.Params.SetAddPlainNTT(s.ptsAddNTT[i], s.pts[i])
+			}
+		}
+	}
 	return nil
 }
 
@@ -356,15 +382,43 @@ func (s *Session) exec(p *plan.ExecutionPlan, ctIn []*bfv.Ciphertext) (*bfv.Ciph
 		case plan.OpHoistedRot:
 			// Decompose the source once, then every rotation of the fan
 			// costs a digit permutation instead of K lifts + K NTTs.
-			if err = ev.DecomposeForKeySwitch(s.dec, a); err == nil {
+			// An NTT-resident source keeps the whole fan in the
+			// evaluation domain; a coefficient source serves mixed
+			// fans, sharing one forward NTT of c0 across the
+			// NTT-destined members.
+			if p.CodeDomain(st.A) == plan.DomNTT {
+				if err = ev.DecomposeForKeySwitchNTT(s.dec, a); err == nil {
+					for _, f := range st.Fan {
+						if err = ev.RotateRowsHoistedNTTIntoNTT(s.regs[f.Dst], a, s.dec, f.Rot); err != nil {
+							break
+						}
+					}
+				}
+			} else if err = ev.DecomposeForKeySwitch(s.dec, a); err == nil {
 				for _, f := range st.Fan {
-					if err = ev.RotateRowsHoistedInto(s.regs[f.Dst], a, s.dec, f.Rot); err != nil {
+					if p.RegDomainOf(f.Dst) == plan.DomNTT {
+						err = ev.RotateRowsHoistedIntoNTT(s.regs[f.Dst], a, s.dec, f.Rot)
+					} else {
+						err = ev.RotateRowsHoistedInto(s.regs[f.Dst], a, s.dec, f.Rot)
+					}
+					if err != nil {
 						break
 					}
 				}
 			}
 		case quill.OpRotCt:
-			err = ev.RotateRowsInto(dst, a, st.Rot)
+			switch {
+			case p.CodeDomain(st.A) == plan.DomNTT:
+				err = ev.RotateRowsNTTIntoNTT(dst, a, st.Rot)
+			case p.RegDomainOf(st.Dst) == plan.DomNTT:
+				err = ev.RotateRowsIntoNTT(dst, a, st.Rot)
+			default:
+				err = ev.RotateRowsInto(dst, a, st.Rot)
+			}
+		case plan.OpNTT:
+			ev.NTTInto(dst, a)
+		case plan.OpINTT:
+			ev.INTTInto(dst, a)
 		case quill.OpRelin:
 			err = ev.RelinearizeInto(dst, a)
 		case quill.OpAddCtCt:
@@ -374,11 +428,43 @@ func (s *Session) exec(p *plan.ExecutionPlan, ctIn []*bfv.Ciphertext) (*bfv.Ciph
 		case quill.OpMulCtCt:
 			err = ev.MulInto(dst, a, operand(st.B))
 		case quill.OpAddCtPt:
-			ev.AddPlainInto(dst, a, s.stepPlaintext(p, st))
+			if p.RegDomainOf(st.Dst) == plan.DomNTT {
+				var m *bfv.NTTPlaintext
+				if m, err = s.stepAddNTT(p, st); err == nil {
+					ev.AddPlainNTTIntoNTT(dst, a, m)
+				}
+			} else {
+				ev.AddPlainInto(dst, a, s.stepPlaintext(p, st))
+			}
 		case quill.OpSubCtPt:
-			ev.SubPlainInto(dst, a, s.stepPlaintext(p, st))
+			if p.RegDomainOf(st.Dst) == plan.DomNTT {
+				var m *bfv.NTTPlaintext
+				if m, err = s.stepAddNTT(p, st); err == nil {
+					ev.SubPlainNTTIntoNTT(dst, a, m)
+				}
+			} else {
+				ev.SubPlainInto(dst, a, s.stepPlaintext(p, st))
+			}
 		case quill.OpMulCtPt:
-			ev.MulPlainInto(dst, a, s.stepPlaintext(p, st))
+			if p.Prepared {
+				var m *bfv.NTTPlaintext
+				if m, err = s.stepMulNTT(p, st); err == nil {
+					srcNTT := p.CodeDomain(st.A) == plan.DomNTT
+					dstNTT := p.RegDomainOf(st.Dst) == plan.DomNTT
+					switch {
+					case srcNTT && dstNTT:
+						ev.MulPlainNTTIntoNTT(dst, a, m)
+					case srcNTT:
+						ev.MulPlainNTTInto(dst, a, m)
+					case dstNTT:
+						ev.MulPlainPreparedIntoNTT(dst, a, m)
+					default:
+						ev.MulPlainPreparedInto(dst, a, m)
+					}
+				}
+			} else {
+				ev.MulPlainInto(dst, a, s.stepPlaintext(p, st))
+			}
 		default:
 			err = fmt.Errorf("unknown opcode %v", st.Op)
 		}
@@ -394,6 +480,39 @@ func (s *Session) stepPlaintext(p *plan.ExecutionPlan, st *plan.Step) *bfv.Plain
 		return s.pts[st.Pt]
 	}
 	return p.Consts[st.Con]
+}
+
+// stepMulNTT resolves the prepared multiplication operand of a step:
+// session scratch for runtime inputs, the plan's derived constant
+// forms otherwise.
+func (s *Session) stepMulNTT(p *plan.ExecutionPlan, st *plan.Step) (*bfv.NTTPlaintext, error) {
+	if st.Pt >= 0 {
+		if st.Pt < len(s.ptsMulNTT) && s.ptsMulNTT[st.Pt] != nil &&
+			st.Pt < len(p.PtNeedMulNTT) && p.PtNeedMulNTT[st.Pt] {
+			return s.ptsMulNTT[st.Pt], nil
+		}
+		return nil, fmt.Errorf("plaintext input %d has no prepared multiplication operand", st.Pt)
+	}
+	if st.Con < len(p.MulNTTConsts) && p.MulNTTConsts[st.Con] != nil {
+		return p.MulNTTConsts[st.Con], nil
+	}
+	return nil, fmt.Errorf("constant %d has no prepared multiplication operand", st.Con)
+}
+
+// stepAddNTT resolves the prepared (Δ-scaled, NTT-domain) addition
+// operand of a step.
+func (s *Session) stepAddNTT(p *plan.ExecutionPlan, st *plan.Step) (*bfv.NTTPlaintext, error) {
+	if st.Pt >= 0 {
+		if st.Pt < len(s.ptsAddNTT) && s.ptsAddNTT[st.Pt] != nil &&
+			st.Pt < len(p.PtNeedAddNTT) && p.PtNeedAddNTT[st.Pt] {
+			return s.ptsAddNTT[st.Pt], nil
+		}
+		return nil, fmt.Errorf("plaintext input %d has no prepared addition operand", st.Pt)
+	}
+	if st.Con < len(p.AddNTTConsts) && p.AddNTTConsts[st.Con] != nil {
+		return p.AddNTTConsts[st.Con], nil
+	}
+	return nil, fmt.Errorf("constant %d has no prepared addition operand", st.Con)
 }
 
 // Runtime is the one-call facade over a Context: it owns a pool of

@@ -1,0 +1,186 @@
+package backend
+
+import (
+	"math/rand"
+	"testing"
+
+	"porcupine/internal/baseline"
+	"porcupine/internal/bfv"
+	"porcupine/internal/kernels"
+	"porcupine/internal/plan"
+	"porcupine/internal/quill"
+)
+
+// TestDomainAssignedVsUnassignedKernels is the differential leg of the
+// domain-assignment pass: on the full 11-kernel suite, the
+// instruction-at-a-time interpreter, the all-coefficient plan
+// (DisableDomainAssignment) and the domain-assigned plan must produce
+// bit-identical output ciphertexts — NTT residency is a pure
+// representation change, invisible in the coefficient-domain output.
+// It also requires the pass to strictly reduce the static
+// key-switch-external transform count on at least 6 kernels.
+func TestDomainAssignedVsUnassignedKernels(t *testing.T) {
+	names := baseline.Names()
+	if testing.Short() {
+		names = []string{"box-blur", "dot-product"}
+	}
+	strict := 0
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			spec := kernels.ByName(name)
+			l, err := baseline.Lowered(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			preset := "PN4096"
+			if l.MultDepth() > 2 {
+				preset = "PN8192"
+			}
+			rt, err := NewTestRuntime(preset, 7, l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assigned, err := rt.Plan(l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			unassigned, err := plan.CompileWithOptions(rt.Params, rt.Encoder, l, plan.Options{DisableDomainAssignment: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if nttRegs, convs := unassigned.DomainStats(); nttRegs != 0 || convs != 0 {
+				t.Fatalf("unassigned plan has %d NTT regs, %d conversions", nttRegs, convs)
+			}
+			before, after := unassigned.ExternalTransforms(), assigned.ExternalTransforms()
+			nttRegs, convs := assigned.DomainStats()
+			t.Logf("%s: external transforms %d -> %d (%d NTT regs, %d conversions)",
+				name, before, after, nttRegs, convs)
+			if after > before {
+				t.Fatalf("domain assignment increased transforms %d -> %d", before, after)
+			}
+			if after < before {
+				strict++
+			}
+
+			rng := rand.New(rand.NewSource(3))
+			assign := make([]uint64, spec.NumVars)
+			for i := range assign {
+				assign[i] = rng.Uint64() % 64
+			}
+			ex := spec.NewExample(assign)
+			cts := make([]*bfv.Ciphertext, len(ex.CtIn))
+			for i, v := range ex.CtIn {
+				if cts[i], err = rt.EncryptVec(v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ref, err := rt.RunInterpreter(l, cts, ex.PtIn)
+			if err != nil {
+				t.Fatalf("interpreter: %v", err)
+			}
+			s := rt.NewSession()
+			unOut, err := s.Run(unassigned, cts, ex.PtIn)
+			if err != nil {
+				t.Fatalf("unassigned plan: %v", err)
+			}
+			if !sameCiphertext(rt.Params, ref, unOut) {
+				t.Fatal("unassigned plan not bit-identical to interpreter")
+			}
+			s2 := rt.NewSession()
+			asOut, err := s2.Run(assigned, cts, ex.PtIn)
+			if err != nil {
+				t.Fatalf("assigned plan: %v", err)
+			}
+			if !sameCiphertext(rt.Params, ref, asOut) {
+				t.Fatal("domain-assigned plan not bit-identical to interpreter")
+			}
+			dec := rt.DecryptVec(asOut, spec.VecLen)
+			if !spec.Matches(dec, ex) {
+				t.Fatal("domain-assigned output disagrees with the plaintext reference")
+			}
+		})
+	}
+	if !testing.Short() && strict < 6 {
+		t.Errorf("domain assignment strictly improved only %d kernels, want >= 6", strict)
+	}
+}
+
+// domainTestProgram builds a program whose assigned plan exercises
+// every new execution path at once: a hoisted fan feeding pointwise
+// adds (NTT-resident members), a serial NTT->NTT rotation, prepared
+// constant and runtime-input plaintext products, an NTT-destination
+// plaintext add, and the closing OpINTT conversion.
+func domainTestProgram() *quill.Lowered {
+	return &quill.Lowered{
+		VecLen: 1024, NumCtInputs: 1, NumPtInputs: 1,
+		Instrs: []quill.LInstr{
+			{Op: quill.OpRotCt, Dst: 1, A: 0, Rot: 1},
+			{Op: quill.OpRotCt, Dst: 2, A: 0, Rot: 2},
+			{Op: quill.OpAddCtCt, Dst: 3, A: 1, B: 2},
+			{Op: quill.OpRotCt, Dst: 4, A: 3, Rot: 5},
+			{Op: quill.OpAddCtCt, Dst: 5, A: 3, B: 4},
+			{Op: quill.OpMulCtPt, Dst: 6, A: 5, P: quill.PtRef{Input: -1, Const: []int64{3}}},
+			{Op: quill.OpMulCtPt, Dst: 7, A: 6, P: quill.PtRef{Input: 0}},
+			{Op: quill.OpAddCtPt, Dst: 8, A: 7, P: quill.PtRef{Input: -1, Const: []int64{11}}},
+		},
+		Output: 8,
+	}
+}
+
+// TestDomainAssignedPlanAllocationFree extends the 0-alloc serving
+// guarantee to domain-assigned plans: NTT-resident registers, prepared
+// plaintext scratch and conversion steps are all created once and
+// reused across runs.
+func TestDomainAssignedPlanAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; allocation counts are meaningless under -race")
+	}
+	l := domainTestProgram()
+	rt, err := NewTestRuntime("PN2048", 5, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := rt.Plan(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nttRegs, convs := p.DomainStats()
+	if nttRegs == 0 || convs == 0 {
+		t.Fatalf("test program not NTT-resident: %d NTT regs, %d conversions", nttRegs, convs)
+	}
+	if !p.Prepared {
+		t.Fatal("assigned plan not prepared")
+	}
+	v := make(quill.Vec, l.VecLen)
+	pt := make(quill.Vec, l.VecLen)
+	for j := range v {
+		v[j] = uint64(j % 61)
+		pt[j] = uint64(j%13 + 1)
+	}
+	ct, err := rt.EncryptVec(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The assigned plan must also agree with the interpreter on this
+	// all-paths program before its allocs are measured.
+	ref, err := rt.RunInterpreter(l, []*bfv.Ciphertext{ct}, []quill.Vec{pt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rt.NewSession()
+	out, err := s.Run(p, []*bfv.Ciphertext{ct}, []quill.Vec{pt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameCiphertext(rt.Params, ref, out) {
+		t.Fatal("domain-assigned all-paths program not bit-identical to interpreter")
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := s.Run(p, []*bfv.Ciphertext{ct}, []quill.Vec{pt}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state domain-assigned execution allocates %.0f objects/run, want 0", allocs)
+	}
+}

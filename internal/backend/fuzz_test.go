@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"porcupine/internal/bfv"
+	"porcupine/internal/plan"
 	"porcupine/internal/quill"
 )
 
@@ -201,6 +202,23 @@ func FuzzQuillVsBFV(f *testing.F) {
 			if pdec[i] != want[i] {
 				t.Fatalf("plan diverges from interpreter at slot %d: %d != %d\n%s", i, pdec[i], want[i], prog)
 			}
+		}
+
+		// Fourth leg: Plan() compiles with domain assignment on, so the
+		// check above already covers NTT-resident execution. The
+		// all-coefficient plan (DisableDomainAssignment) must be
+		// bit-identical too — domain residency is a pure representation
+		// change, invisible in the output ciphertext.
+		un, err := plan.CompileWithOptions(rt.Params, rt.Encoder, lowered, plan.Options{DisableDomainAssignment: true})
+		if err != nil {
+			t.Fatalf("unassigned plan compilation: %v\n%s", err, prog)
+		}
+		uout, err := rt.NewSession().Run(un, cts, ptIn)
+		if err != nil {
+			t.Fatalf("unassigned plan execution: %v\n%s", err, prog)
+		}
+		if !sameCiphertext(rt.Params, out, uout) {
+			t.Fatalf("unassigned plan output ciphertext differs from BFV interpreter\n%s", prog)
 		}
 	})
 }

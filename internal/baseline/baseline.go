@@ -203,6 +203,24 @@ func Programs() map[string]*quill.Program {
 	}
 }
 
+// Names lists every baseline kernel — the Programs map plus the
+// multi-step sobel and harris — in a fixed, reproducible order.
+func Names() []string {
+	return []string{
+		"box-blur",
+		"dot-product",
+		"hamming-distance",
+		"l2-distance",
+		"linear-regression",
+		"polynomial-regression",
+		"gx",
+		"gy",
+		"roberts-cross",
+		"sobel",
+		"harris",
+	}
+}
+
 // Lowered returns the lowered baseline for any kernel name, including
 // the multi-step sobel and harris.
 func Lowered(name string) (*quill.Lowered, error) {

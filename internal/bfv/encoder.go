@@ -71,9 +71,10 @@ func (e *Encoder) Encode(values []uint64, pt *Plaintext) error {
 		buf[e.indexMap[i]] = v
 	}
 	// buf currently holds slot values in the NTT evaluation layout;
-	// an inverse NTT yields the coefficient form.
-	p := &ring.Poly{Coeffs: [][]uint64{buf}}
-	e.ptRing.INTT(p)
+	// an inverse NTT yields the coefficient form. The row form avoids
+	// heap-allocating a Poly wrapper, keeping per-run input encoding
+	// allocation-free for serving sessions.
+	e.ptRing.INTTRow(0, buf)
 	return nil
 }
 
@@ -105,8 +106,7 @@ func (e *Encoder) Decode(pt *Plaintext) []uint64 {
 	n := e.params.N
 	buf := make([]uint64, n)
 	copy(buf, pt.Coeffs)
-	p := &ring.Poly{Coeffs: [][]uint64{buf}}
-	e.ptRing.NTT(p)
+	e.ptRing.NTTRow(0, buf)
 	rowSize := n / 2
 	out := make([]uint64, rowSize)
 	for i := 0; i < rowSize; i++ {
@@ -137,8 +137,7 @@ func (e *Encoder) DecodeFull(pt *Plaintext) []uint64 {
 	n := e.params.N
 	buf := make([]uint64, n)
 	copy(buf, pt.Coeffs)
-	p := &ring.Poly{Coeffs: [][]uint64{buf}}
-	e.ptRing.NTT(p)
+	e.ptRing.NTTRow(0, buf)
 	out := make([]uint64, n)
 	for i := 0; i < n; i++ {
 		out[i] = buf[e.indexMap[i]]

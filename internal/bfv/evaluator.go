@@ -364,12 +364,19 @@ func (ev *Evaluator) mulBigInto(out *Ciphertext, a, b *Ciphertext) error {
 // contents are valid only until the next DecomposeForKeySwitch.
 type Decomposition struct {
 	d *ring.Decomposition
+	// c0NTT caches the forward transform of the decomposed
+	// ciphertext's c0 for NTT-destined fan members
+	// (RotateRowsHoistedIntoNTT): the first such rotation pays one
+	// NTT, the rest of the fan shares it. Invalidated by every
+	// Decompose* call.
+	c0NTT *ring.Poly
+	c0Set bool
 }
 
 // NewDecomposition allocates hoisting scratch for the parameter set
 // (one digit polynomial per Q prime, from the ring pool).
 func (p *Parameters) NewDecomposition() *Decomposition {
-	return &Decomposition{d: p.ringQ.GetDecomposition()}
+	return &Decomposition{d: p.ringQ.GetDecomposition(), c0NTT: p.ringQ.NewPoly()}
 }
 
 // DecomposeForKeySwitch fills dec with the key-switching digits of
@@ -383,6 +390,7 @@ func (ev *Evaluator) DecomposeForKeySwitch(dec *Decomposition, ct *Ciphertext) e
 		return fmt.Errorf("bfv: DecomposeForKeySwitch: ciphertext degree %d, want 1", ct.Degree())
 	}
 	ev.params.ringQ.DecomposeNTT(dec.d, ct.Value[1])
+	dec.c0Set = false
 	return nil
 }
 

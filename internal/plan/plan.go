@@ -42,6 +42,17 @@ import (
 // outside the quill instruction set's range.
 const OpHoistedRot quill.Op = 0x40
 
+// OpNTT and OpINTT are the plan-only domain-conversion opcodes the
+// domain-assignment pass inserts at true domain boundaries: OpNTT
+// materializes the evaluation-domain twin of a coefficient-domain
+// register, OpINTT the reverse. Both are unary (operand A, register
+// destination) and cost two transforms (a degree-1 ciphertext's two
+// rows); like OpHoistedRot they never appear in lowered programs.
+const (
+	OpNTT  quill.Op = 0x41
+	OpINTT quill.Op = 0x42
+)
+
 // FanOut is one rotation of a hoisted fan-out group.
 type FanOut struct {
 	Dst int // register receiving this rotation
@@ -88,6 +99,13 @@ type ExecutionPlan struct {
 	// RegDeg[r] is the maximum ciphertext degree register r ever holds,
 	// so sessions can pre-size buffers.
 	RegDeg []int
+	// RegDomain[r] is the representation register r holds for the
+	// plan's whole lifetime — registers never change domain, and the
+	// allocator never reuses a buffer across domains. NTT-resident
+	// registers always hold degree-1 ciphertexts. All-coefficient for
+	// plans compiled with DisableDomainAssignment and plans decoded
+	// from pre-v3 wire artifacts.
+	RegDomain []Domain
 	// NumDecomps is the number of key-switching decomposition scratch
 	// buffers a session needs: 1 when the plan contains hoisted
 	// rotation groups (they never nest, so one buffer serves all of
@@ -114,6 +132,23 @@ type ExecutionPlan struct {
 	// Source is the lowered program the plan was compiled from (for
 	// differential reference runs and reporting).
 	Source *quill.Lowered
+
+	// Prepared operand state, derived — never serialized — by Prepare:
+	// evaluation-domain plaintext operands hoisted out of the step
+	// loop. MulNTTConsts[c] is NTT(lift(Consts[c])) for constants some
+	// mul-plain step reads (nil otherwise); AddNTTConsts[c] is
+	// NTT(Δ·Consts[c]) for constants an NTT-destination add/sub-plain
+	// step reads. PtNeedMulNTT/PtNeedAddNTT flag the runtime plaintext
+	// inputs whose prepared forms a session must compute once per run.
+	MulNTTConsts []*bfv.NTTPlaintext
+	AddNTTConsts []*bfv.NTTPlaintext
+	PtNeedMulNTT []bool
+	PtNeedAddNTT []bool
+	// Prepared reports whether Prepare ran: sessions then execute
+	// mul-plain through the prepared-operand variants (bit-identical,
+	// minus the per-call operand NTT). Set by Compile unless domain
+	// assignment is disabled, and by wire decode always.
+	Prepared bool
 }
 
 // IsInput reports whether an operand code refers to a caller input.
@@ -150,6 +185,23 @@ type Options struct {
 	// differential reference for the hoisted schedule and for
 	// measuring the hoisting win.
 	DisableHoisting bool
+
+	// DisableDomainAssignment turns off the NTT-domain dataflow pass:
+	// every register stays in the coefficient domain, no conversion
+	// steps are inserted, and execution uses the exact legacy paths
+	// (per-call operand NTT in mul-plain included). The unassigned
+	// plan computes bit-identical ciphertexts — it is the differential
+	// reference for the domain-assigned schedule and the baseline for
+	// measuring the transform win.
+	DisableDomainAssignment bool
+}
+
+// schedEntry is one scheduled unit of the compile pipeline: a plain
+// instruction, or a fused rotation fan-out group scheduled at its
+// first member's position.
+type schedEntry struct {
+	idx     int   // instruction index (first member for groups)
+	members []int // nil → plain step; else the group's rotation instrs
 }
 
 // Compile analyzes a lowered program and produces its execution plan
@@ -276,12 +328,8 @@ func CompileWithOptions(params *bfv.Parameters, enc *bfv.Encoder, l *quill.Lower
 	// group's rotations fuse into one OpHoistedRot step scheduled at
 	// the first member's position (moving a pure rotation earlier is
 	// always legal — its only operand is already defined there). The
-	// schedule below is the step list the liveness and register passes
-	// run over: one entry per plain step or fused group.
-	type schedEntry struct {
-		idx     int   // instruction index (first member for groups)
-		members []int // nil → plain step; else the group's rotation instrs
-	}
+	// schedule below is the step list the domain, liveness and register
+	// passes run over: one entry per plain step or fused group.
 	groupOf := map[int][]int{} // first-member idx → member idxs
 	inGroup := map[int]bool{}  // member idx → fused away
 	if !opts.DisableHoisting {
@@ -322,32 +370,108 @@ func CompileWithOptions(params *bfv.Parameters, enc *bfv.Encoder, l *quill.Lower
 		sched = append(sched, schedEntry{idx: idx})
 	}
 
-	// Pass 4: liveness — the last step index reading each canonical
-	// value. The output lives past the end of the program.
-	last := make([]int, n)
+	// Pass 4: domain assignment (see domain.go) — the home domain of
+	// every canonical value. All-coefficient when disabled; inputs,
+	// degree-2 values, and relin/tensor results are always coefficient.
+	dom := make([]Domain, n)
+	if !opts.DisableDomainAssignment {
+		dom = assignDomains(l, canon, deg, sched, nIn, output)
+	}
+
+	// Pass 5: work-item construction. A value's home form carries the
+	// domain its defining step writes; a consumer needing the other
+	// domain reads a conversion twin, materialized once per value by an
+	// explicit OpNTT/OpINTT item placed right before its first
+	// mismatched consumer. Form ids 0..n-1 are home forms (id = value);
+	// twins get fresh ids ≥ n. Rotations and mul-plain read their
+	// source's home form (the evaluator variants consume either
+	// domain natively); ct-ct and ct-pt add/sub read both operands in
+	// the destination's domain; tensor products, relinearization and
+	// the program output read coefficient forms.
+	formDom := make([]Domain, n, n+4)
+	copy(formDom, dom)
+	formDeg := make([]int, n, n+4)
+	copy(formDeg, deg)
+	twinOf := make([]int, n)
+	for i := range twinOf {
+		twinOf[i] = -1
+	}
+	type workItem struct {
+		conv    bool // OpNTT/OpINTT twin materialization
+		toNTT   bool
+		e       schedEntry // instruction item (unused for conv)
+		aForm   int        // operand form (conv: the source home form)
+		bForm   int        // second operand form, -1 if none
+		dstForm int        // form defined (twin id for conv; -1 for groups)
+	}
+	var items []workItem
+	form := func(v int, d Domain) int {
+		if dom[v] == d {
+			return v
+		}
+		if twinOf[v] < 0 {
+			id := len(formDom)
+			formDom = append(formDom, d)
+			formDeg = append(formDeg, 1)
+			twinOf[v] = id
+			items = append(items, workItem{conv: true, toNTT: d == DomNTT, aForm: v, bForm: -1, dstForm: id})
+		}
+		return twinOf[v]
+	}
+	for _, e := range sched {
+		in := l.Instrs[e.idx]
+		a := canon[in.A]
+		if e.members != nil {
+			items = append(items, workItem{e: e, aForm: a, bForm: -1, dstForm: -1})
+			continue
+		}
+		dstv := nIn + e.idx
+		d := dom[dstv]
+		it := workItem{e: e, aForm: a, bForm: -1, dstForm: dstv}
+		switch in.Op {
+		case quill.OpMulCtCt:
+			it.aForm = form(a, DomCoeff)
+			it.bForm = form(canon[in.B], DomCoeff)
+		case quill.OpAddCtCt, quill.OpSubCtCt:
+			it.aForm = form(a, d)
+			it.bForm = form(canon[in.B], d)
+		case quill.OpAddCtPt, quill.OpSubCtPt:
+			it.aForm = form(a, d)
+		}
+		items = append(items, it)
+	}
+	outForm := form(output, DomCoeff)
+
+	// Pass 6: liveness — the last item index reading each form. The
+	// output form lives past the end of the program. A twin's source
+	// is read by the conversion item itself, so a home form consumed
+	// only through its twin stays live exactly until the conversion.
+	last := make([]int, len(formDom))
 	for i := range last {
 		last[i] = -1
 	}
-	for step, e := range sched {
-		in := l.Instrs[e.idx]
-		last[canon[in.A]] = step
-		if e.members == nil && in.Op.IsCtCt() {
-			last[canon[in.B]] = step
+	for t, it := range items {
+		last[it.aForm] = t
+		if it.bForm >= 0 {
+			last[it.bForm] = t
 		}
 	}
-	last[output] = math.MaxInt
+	last[outForm] = math.MaxInt
 
-	// Pass 5: linear-scan register allocation with in-place reuse. A
+	// Pass 7: linear-scan register allocation with in-place reuse. A
 	// register freed by an operand's last use is immediately available
 	// as the destination of the same step — every evaluator *Into form
 	// is alias-safe, so dst may share a buffer with a dying operand.
-	// Hoisted groups are the exception: every fan entry reads the
-	// source (its c0 and its hoisted digits), so the source's register
-	// is freed only after the whole fan is allocated, and fan
-	// destinations are pairwise distinct by construction. This is also
-	// where per-session decomposition scratch is sized: any hoisted
-	// step sets NumDecomps to 1 (groups never nest, one buffer serves
-	// the whole plan).
+	// Free lists are per-domain: a register holds one representation
+	// for the plan's whole lifetime, so a buffer never crosses domains
+	// (which also means a conversion never aliases its source).
+	// Hoisted groups are the exception to in-place reuse: every fan
+	// entry reads the source (its c0 and its hoisted digits), so the
+	// source's register is freed only after the whole fan is
+	// allocated, and fan destinations are pairwise distinct by
+	// construction. This is also where per-session decomposition
+	// scratch is sized: any hoisted step sets NumDecomps to 1 (groups
+	// never nest, one buffer serves the whole plan).
 	p := &ExecutionPlan{
 		N:           params.N,
 		VecLen:      l.VecLen,
@@ -355,41 +479,66 @@ func CompileWithOptions(params *bfv.Parameters, enc *bfv.Encoder, l *quill.Lower
 		NumPtInputs: l.NumPtInputs,
 		Source:      l,
 	}
-	regOf := make([]int, n)
+	regOf := make([]int, len(formDom))
 	for i := range regOf {
 		regOf[i] = -1
 	}
-	var free []int
-	code := func(v int) int {
-		if v < nIn {
-			return v
+	var freeC, freeN []int
+	code := func(f int) int {
+		if f < nIn {
+			return f
 		}
-		return nIn + regOf[v]
+		return nIn + regOf[f]
 	}
-	alloc := func(d int) int {
-		if k := len(free); k > 0 {
-			r := free[k-1]
-			free = free[:k-1]
+	alloc := func(d int, dm Domain) int {
+		list := &freeC
+		if dm == DomNTT {
+			list = &freeN
+		}
+		if k := len(*list); k > 0 {
+			r := (*list)[k-1]
+			*list = (*list)[:k-1]
 			if d > p.RegDeg[r] {
 				p.RegDeg[r] = d
 			}
 			return r
 		}
 		p.RegDeg = append(p.RegDeg, d)
+		p.RegDomain = append(p.RegDomain, dm)
 		p.NumRegs++
 		return p.NumRegs - 1
 	}
+	release := func(f, t int) {
+		if f >= nIn && f < len(last) && last[f] == t && regOf[f] >= 0 {
+			if formDom[f] == DomNTT {
+				freeN = append(freeN, regOf[f])
+			} else {
+				freeC = append(freeC, regOf[f])
+			}
+			regOf[f] = -1
+		}
+	}
 	constIdx := map[string]int{}
 	rotSet := map[int]bool{}
-	for step, e := range sched {
-		idx, in := e.idx, l.Instrs[e.idx]
-		a := canon[in.A]
-
-		if e.members != nil {
-			st := Step{Op: OpHoistedRot, A: code(a), Pt: -1, Con: -1}
-			for _, m := range e.members {
+	for t, it := range items {
+		if it.conv {
+			op := OpINTT
+			if it.toNTT {
+				op = OpNTT
+			}
+			st := Step{Op: op, A: code(it.aForm), Pt: -1, Con: -1}
+			release(it.aForm, t)
+			regOf[it.dstForm] = alloc(1, formDom[it.dstForm])
+			st.Dst = regOf[it.dstForm]
+			p.Steps = append(p.Steps, st)
+			continue
+		}
+		in := l.Instrs[it.e.idx]
+		if it.e.members != nil {
+			st := Step{Op: OpHoistedRot, A: code(it.aForm), Pt: -1, Con: -1}
+			for _, m := range it.e.members {
 				r := norm(l.Instrs[m].Rot)
-				reg := alloc(1)
+				reg := alloc(1, dom[nIn+m])
 				regOf[nIn+m] = reg
 				st.Fan = append(st.Fan, FanOut{Dst: reg, Rot: r})
 				rotSet[r] = true
@@ -397,21 +546,16 @@ func CompileWithOptions(params *bfv.Parameters, enc *bfv.Encoder, l *quill.Lower
 			st.Dst = st.Fan[0].Dst
 			// The source is read by every fan entry; free its register
 			// only now that no fan destination can have claimed it.
-			if a >= nIn && last[a] == step && regOf[a] >= 0 {
-				free = append(free, regOf[a])
-				regOf[a] = -1
-			}
+			release(it.aForm, t)
 			p.NumDecomps = 1
 			p.Steps = append(p.Steps, st)
 			continue
 		}
 
-		dst := nIn + idx
-		b := -1
-		st := Step{Op: in.Op, A: code(a), Pt: -1, Con: -1}
+		dstv := it.dstForm
+		st := Step{Op: in.Op, A: code(it.aForm), Pt: -1, Con: -1}
 		if in.Op.IsCtCt() {
-			b = canon[in.B]
-			st.B = code(b)
+			st.B = code(it.bForm)
 		}
 		switch {
 		case in.Op == quill.OpRotCt:
@@ -437,28 +581,184 @@ func CompileWithOptions(params *bfv.Parameters, enc *bfv.Encoder, l *quill.Lower
 			}
 		}
 		// Free dying operand registers before allocating dst so the
-		// destination can reuse an operand's buffer in place.
-		for _, v := range [2]int{a, b} {
-			if v >= nIn && v != -1 && last[v] == step && regOf[v] >= 0 {
-				free = append(free, regOf[v])
-				regOf[v] = -1
-			}
-			if b == a {
-				break // same value twice: free once
-			}
-		}
-		regOf[dst] = alloc(deg[dst])
-		st.Dst = regOf[dst]
+		// destination can reuse an operand's buffer in place (release
+		// is idempotent, so reading the same form twice is fine).
+		release(it.aForm, t)
+		release(it.bForm, t)
+		regOf[dstv] = alloc(deg[dstv], dom[dstv])
+		st.Dst = regOf[dstv]
 		p.Steps = append(p.Steps, st)
 	}
-	p.Out = code(output)
+	p.Out = code(outForm)
 
 	p.Rotations = make([]int, 0, len(rotSet))
 	for r := range rotSet {
 		p.Rotations = append(p.Rotations, r)
 	}
 	sort.Ints(p.Rotations)
+	if p.RegDomain == nil {
+		p.RegDomain = []Domain{}
+	}
+	if !opts.DisableDomainAssignment {
+		p.Prepare(params)
+	}
 	return p, nil
+}
+
+// Prepare derives the evaluation-domain plaintext operands the plan's
+// prepared execution paths consume: NTT(lift(m)) for every constant a
+// mul-plain step reads, NTT(Δ·m) for every constant an
+// NTT-destination add/sub-plain step reads, and the need-flags for
+// runtime plaintext inputs (whose prepared forms a session computes
+// once per run). Load-time only — Compile calls it unless domain
+// assignment is disabled, wire decode calls it always — so the plan
+// stays immutable once published. Idempotent.
+func (p *ExecutionPlan) Prepare(params *bfv.Parameters) {
+	if p.Prepared {
+		return
+	}
+	p.MulNTTConsts = make([]*bfv.NTTPlaintext, len(p.Consts))
+	p.AddNTTConsts = make([]*bfv.NTTPlaintext, len(p.Consts))
+	p.PtNeedMulNTT = make([]bool, p.NumPtInputs)
+	p.PtNeedAddNTT = make([]bool, p.NumPtInputs)
+	for i := range p.Steps {
+		st := &p.Steps[i]
+		switch st.Op {
+		case quill.OpMulCtPt:
+			if st.Con >= 0 {
+				if p.MulNTTConsts[st.Con] == nil {
+					p.MulNTTConsts[st.Con] = params.NewMulPlainNTT(p.Consts[st.Con])
+				}
+			} else {
+				p.PtNeedMulNTT[st.Pt] = true
+			}
+		case quill.OpAddCtPt, quill.OpSubCtPt:
+			if p.RegDomain[st.Dst] != DomNTT {
+				continue
+			}
+			if st.Con >= 0 {
+				if p.AddNTTConsts[st.Con] == nil {
+					p.AddNTTConsts[st.Con] = params.NewAddPlainNTT(p.Consts[st.Con])
+				}
+			} else {
+				p.PtNeedAddNTT[st.Pt] = true
+			}
+		}
+	}
+	p.Prepared = true
+}
+
+// regDomain is RegDomain with an all-coefficient default for legacy
+// in-memory plans that predate the field.
+func (p *ExecutionPlan) regDomain(r int) Domain {
+	if r < len(p.RegDomain) {
+		return p.RegDomain[r]
+	}
+	return DomCoeff
+}
+
+// codeDomain returns the domain of an operand code (inputs are always
+// coefficient-domain).
+func (p *ExecutionPlan) codeDomain(code int) Domain {
+	if p.IsInput(code) {
+		return DomCoeff
+	}
+	return p.regDomain(p.Reg(code))
+}
+
+// CodeDomain reports the domain of an operand code: coefficient for
+// ciphertext inputs, the register's declared domain otherwise. The
+// backend dispatches rotation and plaintext-product variants on it.
+func (p *ExecutionPlan) CodeDomain(code int) Domain { return p.codeDomain(code) }
+
+// RegDomainOf reports the declared domain of a register, defaulting to
+// coefficient for legacy plans without domain tags.
+func (p *ExecutionPlan) RegDomainOf(r int) Domain { return p.regDomain(r) }
+
+// ExternalTransforms is the plan's static count of
+// key-switch-external forward+inverse NTT passes per run — the model
+// the domain-assignment pass minimizes (see domain.go for the
+// per-step costs). Excluded, because no assignment changes them: the
+// transforms inside key-switching inner products (digit NTTs and the
+// relinearization data path) and the tensor product's extended-basis
+// transforms. Per-run plaintext-input preparations (one forward NTT
+// per flagged input) are included for prepared plans; unprepared
+// mul-plain pays its operand transform per call instead.
+func (p *ExecutionPlan) ExternalTransforms() int {
+	c := 0
+	for i := range p.Steps {
+		st := &p.Steps[i]
+		switch st.Op {
+		case OpHoistedRot:
+			if p.codeDomain(st.A) == DomNTT {
+				c++
+			} else {
+				anyN := false
+				for _, f := range st.Fan {
+					if p.regDomain(f.Dst) == DomNTT {
+						anyN = true
+					} else {
+						c += 2
+					}
+				}
+				if anyN {
+					c++
+				}
+			}
+		case OpNTT, OpINTT:
+			c += 2
+		case quill.OpRotCt:
+			switch {
+			case p.codeDomain(st.A) == DomNTT:
+				c++
+			case p.regDomain(st.Dst) == DomNTT:
+				c++
+			default:
+				c += 2
+			}
+		case quill.OpRelin:
+			c += 2
+		case quill.OpMulCtPt:
+			if p.Prepared {
+				if p.codeDomain(st.A) == DomCoeff {
+					c += 2
+				}
+				if p.regDomain(st.Dst) == DomCoeff {
+					c += 2
+				}
+			} else {
+				c += 5 // 4 row transforms + the per-call operand NTT
+			}
+		}
+	}
+	for _, need := range p.PtNeedMulNTT {
+		if need {
+			c++
+		}
+	}
+	for _, need := range p.PtNeedAddNTT {
+		if need {
+			c++
+		}
+	}
+	return c
+}
+
+// DomainStats summarizes the domain assignment: how many registers
+// are NTT-resident and how many explicit conversion steps the plan
+// executes.
+func (p *ExecutionPlan) DomainStats() (nttRegs, convSteps int) {
+	for _, d := range p.RegDomain {
+		if d == DomNTT {
+			nttRegs++
+		}
+	}
+	for i := range p.Steps {
+		if p.Steps[i].Op == OpNTT || p.Steps[i].Op == OpINTT {
+			convSteps++
+		}
+	}
+	return nttRegs, convSteps
 }
 
 // Validate checks the structural invariants Compile guarantees, for
@@ -484,6 +784,17 @@ func (p *ExecutionPlan) Validate(params *bfv.Parameters) error {
 	for r, d := range p.RegDeg {
 		if d < 1 || d > 2 {
 			return fmt.Errorf("plan: register %d has degree %d, want 1 or 2", r, d)
+		}
+	}
+	if len(p.RegDomain) != p.NumRegs {
+		return fmt.Errorf("plan: NumRegs=%d but %d register domains", p.NumRegs, len(p.RegDomain))
+	}
+	for r, d := range p.RegDomain {
+		if d != DomCoeff && d != DomNTT {
+			return fmt.Errorf("plan: register %d has unknown domain %d", r, d)
+		}
+		if d == DomNTT && p.RegDeg[r] != 1 {
+			return fmt.Errorf("plan: register %d is NTT-resident with degree %d, want 1", r, p.RegDeg[r])
 		}
 	}
 	for i, pt := range p.Consts {
@@ -552,17 +863,61 @@ func (p *ExecutionPlan) Validate(params *bfv.Parameters) error {
 				}
 				fanRots[f.Rot] = true
 				rotUsed[f.Rot] = true
+				// No NTT-source → coefficient-destination rotation
+				// path exists: an NTT-resident source pins the whole
+				// fan to the evaluation domain.
+				if p.codeDomain(st.A) == DomNTT && p.regDomain(f.Dst) != DomNTT {
+					return bad(fmt.Sprintf("fan destination register %d is coefficient-domain but the hoisted source is NTT-resident", f.Dst))
+				}
 			}
+		case st.Op == OpNTT || st.Op == OpINTT:
+			from, to := DomCoeff, DomNTT
+			if st.Op == OpINTT {
+				from, to = DomNTT, DomCoeff
+			}
+			if p.codeDomain(st.A) != from {
+				return bad(fmt.Sprintf("conversion source is %v, want %v", p.codeDomain(st.A), from))
+			}
+			if p.regDomain(st.Dst) != to {
+				return bad(fmt.Sprintf("conversion destination is %v, want %v", p.regDomain(st.Dst), to))
+			}
+			// The degree-1 shape of the conversion is pinned by the
+			// NTT side: one of the two registers is NTT-resident, and
+			// NTT-resident registers are degree 1 by the register
+			// check above. The coefficient side may be a reused
+			// register whose declared capacity is 2 — the value in
+			// flight is still degree 1.
 		case st.Op == quill.OpRotCt:
 			if st.Rot == 0 || !rotDeclared[st.Rot] {
 				return bad(fmt.Sprintf("rotation %d not in declared set %v", st.Rot, p.Rotations))
 			}
 			rotUsed[st.Rot] = true
+			if p.codeDomain(st.A) == DomNTT && p.regDomain(st.Dst) != DomNTT {
+				return bad("rotation of an NTT-resident source into a coefficient destination")
+			}
 		case st.Op == quill.OpRelin:
-			// unary, no extra operands
+			// unary; key switching emits coefficient-domain output
+			if p.regDomain(st.Dst) != DomCoeff {
+				return bad("relinearization into an NTT-resident register")
+			}
+		case st.Op == quill.OpMulCtCt:
+			if st.B < 0 || st.B >= codes {
+				return bad(fmt.Sprintf("operand code %d out of range", st.B))
+			}
+			// The tensor product lifts coefficient operands into the
+			// extended basis (and its destination is degree 2, hence
+			// coefficient by the register rule above).
+			if p.codeDomain(st.A) != DomCoeff || p.codeDomain(st.B) != DomCoeff {
+				return bad("tensor product of NTT-resident operands")
+			}
 		case st.Op.IsCtCt():
 			if st.B < 0 || st.B >= codes {
 				return bad(fmt.Sprintf("operand code %d out of range", st.B))
+			}
+			// Pointwise add/sub executes in the destination's domain;
+			// the compiler converts mismatched operands beforehand.
+			if d := p.regDomain(st.Dst); p.codeDomain(st.A) != d || p.codeDomain(st.B) != d {
+				return bad("add/sub operand domain disagrees with destination")
 			}
 		case st.Op.IsCtPt():
 			switch {
@@ -579,6 +934,11 @@ func (p *ExecutionPlan) Validate(params *bfv.Parameters) error {
 			default:
 				return bad("neither plaintext input nor constant set")
 			}
+			// Plaintext add/sub executes in the destination's domain
+			// (mul-plain has a variant for every combination).
+			if st.Op != quill.OpMulCtPt && p.codeDomain(st.A) != p.regDomain(st.Dst) {
+				return bad("add/sub-plain operand domain disagrees with destination")
+			}
 		default:
 			return bad("unknown opcode")
 		}
@@ -594,6 +954,9 @@ func (p *ExecutionPlan) Validate(params *bfv.Parameters) error {
 	}
 	if p.Out < 0 || p.Out >= codes {
 		return fmt.Errorf("plan: output code %d out of range", p.Out)
+	}
+	if p.codeDomain(p.Out) != DomCoeff {
+		return fmt.Errorf("plan: output register is NTT-resident (outputs leave in the coefficient domain)")
 	}
 	return nil
 }

@@ -376,6 +376,15 @@ func (r *Ring) NTT(p *Poly) {
 	}
 }
 
+// NTTRow forward-transforms a single residue row (for prime index i)
+// in place. Callers holding a bare []uint64 — e.g. the encoder's
+// plaintext buffer — avoid wrapping it in a Poly, which would escape
+// to the heap on every call.
+func (r *Ring) NTTRow(i int, row []uint64) { nttForward(row, r.tables[i]) }
+
+// INTTRow inverse-transforms a single residue row in place.
+func (r *Ring) INTTRow(i int, row []uint64) { nttInverse(row, r.tables[i]) }
+
 // INTT transforms p in place, evaluation domain → coefficient domain.
 func (r *Ring) INTT(p *Poly) {
 	if r.workers > 1 {

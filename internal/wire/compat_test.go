@@ -48,7 +48,9 @@ func TestV1BundleStillLoadsAndRuns(t *testing.T) {
 	if g, r := hoisted.HoistedGroups(); g != 1 || r != 4 {
 		t.Fatalf("hoisted plan has %d groups / %d rotations, want 1 / 4", g, r)
 	}
-	flat, err := plan.CompileWithOptions(ctx.Params, ctx.Encoder, l, plan.Options{DisableHoisting: true})
+	// A v1-era exporter had neither hoisting nor domain assignment.
+	flat, err := plan.CompileWithOptions(ctx.Params, ctx.Encoder, l,
+		plan.Options{DisableHoisting: true, DisableDomainAssignment: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,6 +186,195 @@ func TestFanCorruptionRejected(t *testing.T) {
 				p.Steps[i].Fan = []plan.FanOut{{Dst: 0, Rot: 1}}
 				return
 			}
+		}
+	})
+}
+
+// TestV2BundleStillLoadsAndRuns fabricates a byte-exact version-2
+// bundle (hoisted fan lists, but no per-register domain bytes — the
+// format every pre-domain-assignment export used) and proves this
+// build decodes, validates and executes it bit-identically to the
+// domain-assigned v3 plan of the same program.
+func TestV2BundleStillLoadsAndRuns(t *testing.T) {
+	l := fanOutProgram()
+	ctx, plans, err := backend.NewTestServingContext("PN2048", 23, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assigned := plans[0]
+	if nttRegs, convs := assigned.DomainStats(); nttRegs == 0 || convs == 0 {
+		t.Fatalf("assigned plan has %d NTT regs / %d conversions, want both > 0", nttRegs, convs)
+	}
+	// A v2-era exporter hoisted but kept every register in the
+	// coefficient domain.
+	unassigned, err := plan.CompileWithOptions(ctx.Params, ctx.Encoder, l,
+		plan.Options{DisableDomainAssignment: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(29))
+	v := make(quill.Vec, l.VecLen)
+	for j := range v {
+		v[j] = rng.Uint64() % 64
+	}
+	ct, err := ctx.EncryptVec(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := &wire.Request{CtIn: []*bfv.Ciphertext{ct}}
+
+	b, err := serve.Export(ctx, "compat-test", unassigned, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := wire.EncodeVersion(b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[4] != 2 {
+		t.Fatalf("fabricated artifact carries version byte %d, want 2", data[4])
+	}
+
+	got, err := wire.DecodeBundle(data)
+	if err != nil {
+		t.Fatalf("v2 bundle no longer decodes: %v", err)
+	}
+	if nttRegs, convs := got.Plan.DomainStats(); nttRegs != 0 || convs != 0 {
+		t.Fatalf("v2 plan decoded with %d NTT regs / %d conversions", nttRegs, convs)
+	}
+
+	// The loaded v2 artifact must reproduce the exporter's output...
+	_, sched, err := serve.Load(got, serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sched.Close()
+	ok, err := serve.SelfTest(sched, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("v2 bundle does not run bit-identically to its exporter")
+	}
+	// ...and that output must equal the domain-assigned v3 execution of
+	// the same program: NTT residency is a representation choice.
+	aout, err := ctx.NewSession().Run(assigned, sample.CtIn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ctx.Params.CiphertextEqual(aout, got.Expected) {
+		t.Fatal("domain-assigned execution differs from the v2 (all-coefficient) expected output")
+	}
+}
+
+// TestDomainPlanNeedsV3 pins the encoder-side rule: a plan carrying
+// NTT-resident registers or conversion steps cannot be written in the
+// v1/v2 layouts (which have no domain bytes to hold them), and the v3
+// round trip preserves the domain assignment exactly.
+func TestDomainPlanNeedsV3(t *testing.T) {
+	l := fanOutProgram()
+	ctx, plans, err := backend.NewTestServingContext("PN2048", 23, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := serve.Export(ctx, "compat-test", plans[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.EncodeVersion(b, 1); err == nil {
+		t.Fatal("domain-assigned plan encoded as v1")
+	}
+	if _, err := wire.EncodeVersion(b, 2); err == nil {
+		t.Fatal("domain-assigned plan encoded as v2")
+	}
+	data, err := b.Encode()
+	if err != nil {
+		t.Fatalf("domain-assigned plan fails v3 encode: %v", err)
+	}
+	if data[4] != 3 {
+		t.Fatalf("artifact carries version byte %d, want 3", data[4])
+	}
+	got, err := wire.DecodeBundle(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Plan.RegDomain) != len(plans[0].RegDomain) {
+		t.Fatalf("decoded %d domain tags, want %d", len(got.Plan.RegDomain), len(plans[0].RegDomain))
+	}
+	for r := range plans[0].RegDomain {
+		if got.Plan.RegDomain[r] != plans[0].RegDomain[r] {
+			t.Fatalf("register %d decoded as %v, want %v", r, got.Plan.RegDomain[r], plans[0].RegDomain[r])
+		}
+	}
+	if !got.Plan.Prepared {
+		t.Fatal("decoded plan has no prepared operand forms")
+	}
+}
+
+// TestDomainCorruptionRejected runs decode-side corruptions specific
+// to the v3 domain bytes: every inconsistent domain assignment must be
+// refused as ErrInvalid by the envelope's deep validation, never panic
+// and never load a plan the executor has no path for.
+func TestDomainCorruptionRejected(t *testing.T) {
+	l := fanOutProgram()
+	ctx, plans, err := backend.NewTestServingContext("PN2048", 23, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := serve.Export(ctx, "compat-test", plans[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hoistIdx := -1
+	for i := range plans[0].Steps {
+		if plans[0].Steps[i].Op == plan.OpHoistedRot {
+			hoistIdx = i
+		}
+	}
+	if hoistIdx < 0 {
+		t.Fatal("no hoisted step in base plan")
+	}
+	corrupt := func(name string, mutate func(p *plan.ExecutionPlan)) {
+		t.Run(name, func(t *testing.T) {
+			// Deep-copy the plan's mutable slices (domain tags included),
+			// corrupt, re-encode: the checksum is then valid and only
+			// semantic validation stands between the bytes and a session.
+			p2 := *plans[0]
+			p2.RegDomain = append([]plan.Domain(nil), plans[0].RegDomain...)
+			p2.Steps = append([]plan.Step(nil), plans[0].Steps...)
+			for i := range p2.Steps {
+				p2.Steps[i].Fan = append([]plan.FanOut(nil), p2.Steps[i].Fan...)
+			}
+			p2.Rotations = append([]int(nil), plans[0].Rotations...)
+			mutate(&p2)
+			b2 := *base
+			b2.Plan = &p2
+			data, err := b2.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := wire.DecodeBundle(data); !errors.Is(err, wire.ErrInvalid) {
+				t.Fatalf("corrupted domain decoded: err = %v, want ErrInvalid", err)
+			}
+		})
+	}
+	corrupt("domain-bad-value", func(p *plan.ExecutionPlan) {
+		p.RegDomain[0] = 7
+	})
+	corrupt("fan-member-coeff-with-ntt-chain", func(p *plan.ExecutionPlan) {
+		// Flipping one fan destination to coefficient breaks the adds
+		// that consume it in the evaluation domain.
+		p.RegDomain[p.Steps[hoistIdx].Fan[0].Dst] = plan.DomCoeff
+	})
+	corrupt("output-reg-ntt", func(p *plan.ExecutionPlan) {
+		p.RegDomain[p.Reg(p.Out)] = plan.DomNTT
+	})
+	corrupt("all-coeff-with-conversions", func(p *plan.ExecutionPlan) {
+		// Zeroing every domain bit leaves the OpNTT/OpINTT steps
+		// pointing at coefficient registers on both sides.
+		for r := range p.RegDomain {
+			p.RegDomain[r] = plan.DomCoeff
 		}
 	})
 }

@@ -53,12 +53,16 @@ const (
 	magic = "PCPN"
 	// Version is the wire-format version this build writes. Version 2
 	// added hoisted rotation fan-out groups to the plan section (a
-	// per-step fan list). Decoders accept MinVersion..Version: a v1
-	// bundle simply decodes to a plan of plain steps, which executes
-	// bit-identically (the serial rotation path runs on the same
-	// primitives as the hoisted one). Future versions are rejected —
-	// artifacts are cheap to re-export.
-	Version    = 2
+	// per-step fan list); version 3 added one domain byte per register
+	// (coefficient vs NTT residency) plus the OpNTT/OpINTT conversion
+	// steps that domain-assigned plans carry. Decoders accept
+	// MinVersion..Version: a v1 bundle simply decodes to a plan of
+	// plain steps, and a v2 bundle to an all-coefficient plan — both
+	// execute bit-identically (domain residency is a representation
+	// choice, not a semantic one). Prepared NTT operand forms are
+	// derived at decode time, never serialized. Future versions are
+	// rejected — artifacts are cheap to re-export.
+	Version    = 3
 	MinVersion = 1
 )
 
@@ -440,6 +444,9 @@ func encodePlan(w *writer, p *plan.ExecutionPlan, ver byte) error {
 	if groups, _ := p.HoistedGroups(); ver < 2 && groups > 0 {
 		return fmt.Errorf("wire: hoisted plans need format version 2, cannot encode as %d", ver)
 	}
+	if nttRegs, convs := p.DomainStats(); ver < 3 && (nttRegs > 0 || convs > 0) {
+		return fmt.Errorf("wire: domain-assigned plans need format version 3, cannot encode as %d", ver)
+	}
 	w.u32(uint32(p.N))
 	w.u32(uint32(p.VecLen))
 	w.u32(uint32(p.NumCtInputs))
@@ -447,6 +454,12 @@ func encodePlan(w *writer, p *plan.ExecutionPlan, ver byte) error {
 	w.u32(uint32(len(p.RegDeg)))
 	for _, d := range p.RegDeg {
 		w.u8(byte(d))
+	}
+	if ver >= 3 {
+		// v3: one domain byte per register, in register order.
+		for r := range p.RegDeg {
+			w.u8(byte(p.RegDomainOf(r)))
+		}
 	}
 	w.u32(uint32(len(p.Steps)))
 	for i := range p.Steps {
@@ -499,6 +512,21 @@ func decodePlan(r *reader, params *bfv.Parameters) (*plan.ExecutionPlan, error) 
 	p.RegDeg = make([]int, 0, nRegs)
 	for i := 0; i < nRegs; i++ {
 		p.RegDeg = append(p.RegDeg, int(r.u8()))
+	}
+	// v3 carries an explicit domain per register; earlier versions
+	// predate NTT residency, so every register is coefficient-domain.
+	p.RegDomain = make([]plan.Domain, 0, nRegs)
+	if r.ver >= 3 {
+		if r.off+nRegs > len(r.buf) {
+			r.fail()
+		}
+		for i := 0; i < nRegs; i++ {
+			p.RegDomain = append(p.RegDomain, plan.Domain(r.u8()))
+		}
+	} else {
+		for i := 0; i < nRegs; i++ {
+			p.RegDomain = append(p.RegDomain, plan.DomCoeff)
+		}
 	}
 	nSteps := r.count(stepWireSize)
 	p.Steps = make([]plan.Step, 0, nSteps)
@@ -557,6 +585,10 @@ func decodePlan(r *reader, params *bfv.Parameters) (*plan.ExecutionPlan, error) 
 	if err := p.Validate(params); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
+	// Derive the prepared NTT operand forms (constants and
+	// plaintext-input flags) the executor dispatches on. Derived from
+	// the validated plan, never trusted from the wire.
+	p.Prepare(params)
 	return p, nil
 }
 
