@@ -82,10 +82,11 @@ bench-rot:
 	@echo "wrote /tmp/porcupine-bench-rot.json (curated records: BENCH_PR5.json, BENCH_PR6.json)"
 
 # Allocation-regression canary (mirrors the CI job): steady-state plan
-# execution — plain, hoisted and domain-assigned — must report
-# 0 allocs/op.
+# execution — plain, hoisted, domain-assigned, and the tree-reduced
+# batched-rotation path — must report 0 allocs/op.
 alloc-canary:
-	$(GO) test -run '^$$' -bench '^(BenchmarkPlanRun|BenchmarkHoistedPlanRun|BenchmarkDomainAssignedPlanRun)$$' -benchtime 1x -benchmem . | tee /tmp/porcupine-canary.out
+	$(GO) test -run '^$$' -bench '^(BenchmarkPlanRun|BenchmarkHoistedPlanRun|BenchmarkDomainAssignedPlanRun|BenchmarkTreeBatchedPlanRun)$$' -benchtime 1x -benchmem . | tee /tmp/porcupine-canary.out
 	grep -E 'BenchmarkPlanRun.* 0 B/op.* 0 allocs/op' /tmp/porcupine-canary.out
 	grep -E 'BenchmarkHoistedPlanRun.* 0 B/op.* 0 allocs/op' /tmp/porcupine-canary.out
 	grep -E 'BenchmarkDomainAssignedPlanRun.* 0 B/op.* 0 allocs/op' /tmp/porcupine-canary.out
+	grep -E 'BenchmarkTreeBatchedPlanRun.* 0 B/op.* 0 allocs/op' /tmp/porcupine-canary.out

@@ -446,6 +446,103 @@ func BenchmarkDomainAssignedPlanRun(b *testing.B) {
 	}
 }
 
+// BenchmarkTreeBatchedPlanRun is the allocation canary of the PR 7
+// paths: a two-source slot reduction whose serial chains the optimizer
+// rewrites into log-depth rotate-and-add trees, with the trees' sibling
+// level-1 rotations fused into a cross-source batched key-switch group.
+// Like BenchmarkPlanRun, CI greps for "0 allocs/op" (make
+// alloc-canary) — the shared Galois state comes from per-context
+// caches and the per-member decompositions from session scratch.
+func BenchmarkTreeBatchedPlanRun(b *testing.B) {
+	prog := &quill.Program{VecLen: 1024, NumCtInputs: 2}
+	for _, base := range []int{0, 1} {
+		acc := base
+		for k := 1; k < 8; k++ {
+			prog.Instrs = append(prog.Instrs, quill.Instr{
+				Op: quill.OpAddCtCt,
+				A:  quill.CtRef{ID: acc, Rot: 1},
+				B:  quill.CtRef{ID: base},
+			})
+			acc = prog.NumCtInputs + len(prog.Instrs) - 1
+		}
+		prog.Instrs = append(prog.Instrs, quill.Instr{
+			Op: quill.OpMulCtPt,
+			A:  quill.CtRef{ID: acc},
+			P:  quill.PtRef{Input: -1, Const: []int64{3}},
+		})
+	}
+	prog.Instrs = append(prog.Instrs, quill.Instr{
+		Op: quill.OpAddCtCt,
+		A:  quill.CtRef{ID: prog.NumCtInputs + 7},
+		B:  quill.CtRef{ID: prog.NumCtInputs + 15},
+	})
+	prog.Output = prog.NumCtInputs + len(prog.Instrs) - 1
+	lowered, err := quill.Lower(prog, quill.DefaultLowerOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := quill.OptimizeLowered(lowered)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt, err := backend.NewTestRuntime("PN2048", 5, l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := rt.Plan(l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The rewrite must have produced log-depth trees (3 rotations per
+	// source instead of 7) and fused the sibling rot-1 level across the
+	// two sources.
+	rots := 0
+	for i := range l.Instrs {
+		if l.Instrs[i].Op == quill.OpRotCt {
+			rots++
+		}
+	}
+	if rots != 6 {
+		b.Fatalf("optimized program has %d rotations, want 6 (two log-depth trees)", rots)
+	}
+	if g, r := p.BatchedGroups(); g < 1 || r < 2 {
+		b.Fatalf("batched groups = %d (%d rotations), want at least 1 (2)", g, r)
+	}
+	vs := make([]quill.Vec, 2)
+	cts := make([]*porcupine.Ciphertext, 2)
+	for i := range vs {
+		v := make(quill.Vec, l.VecLen)
+		for j := range v {
+			v[j] = uint64((j + i) % 61)
+		}
+		vs[i] = v
+		if cts[i], err = rt.EncryptVec(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+	s := rt.NewSession()
+	// Warm-up: grows the register file, decomposition scratch and ring
+	// pools to steady state.
+	for i := 0; i < 3; i++ {
+		if _, err := s.Run(p, cts, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// See BenchmarkPlanRun: drain-then-refill the pools so a pending GC
+	// cannot fire inside the single measured sample.
+	runtime.GC()
+	if _, err := s.Run(p, cts, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(p, cts, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTable2Counts reports the lowered instruction counts and
 // depths of baseline vs synthesized kernels as custom metrics (the
 // content of Table 2); the measured time is the lowering itself.

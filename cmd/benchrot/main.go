@@ -4,12 +4,25 @@
 // disabled; the serial schedule every pre-hoisting build ran),
 // hoisted (rotation fan-out groups fused, decompose-once, still
 // all-coefficient), and domain-assigned (registers kept NTT-resident
-// across pointwise chains) — verifies all three bit-identical against
-// the interpreter, and reports wall-clock latency plus the static
-// transform counts behind each speedup: the key-switching forward
-// NTTs hoisting removes (curated into BENCH_PR5.json) and the
-// key-switch-external forward+inverse passes domain assignment
-// removes (curated into BENCH_PR6.json). `make bench-rot` writes the
+// across pointwise chains, cross-source rotations batched) — verifies
+// all three bit-identical against the interpreter, and reports
+// wall-clock latency plus the static transform counts behind each
+// speedup: the key-switching forward NTTs hoisting removes (curated
+// into BENCH_PR5.json) and the key-switch-external forward+inverse
+// passes domain assignment removes (curated into BENCH_PR6.json).
+//
+// Timing is paired, not blocked: each iteration runs every plan form
+// back to back and the reported speedups are medians of per-iteration
+// ratios with min/median/max spread, so slow drift of the machine
+// (thermal, scheduler) cancels out instead of biasing whichever form
+// was timed last. (The blocked methodology this replaces manufactured
+// the phantom l2-distance/roberts-cross "regressions" in
+// BENCH_PR6.json on byte-identical schedules.)
+//
+// For the slot-reduction kernels (dot-product, hamming-distance,
+// l2-distance) it additionally times the serial rotate-accumulate
+// chain against the log-depth rotate-and-add tree the optimizer now
+// emits (curated into BENCH_PR7.json). `make bench-rot` writes the
 // raw JSON to /tmp.
 package main
 
@@ -53,17 +66,46 @@ type formReport struct {
 	NTTRegs           int `json:"ntt_regs"`           // registers resident in the evaluation domain
 	DomainConversions int `json:"domain_conversions"` // explicit OpNTT/OpINTT steps
 
-	// Measured wall clock (median of -iters runs of the whole plan).
-	FlatMs        float64 `json:"flat_ms"`
-	HoistedMs     float64 `json:"hoisted_ms"`
-	AssignedMs    float64 `json:"assigned_ms"`
-	Speedup       float64 `json:"speedup"`        // flat / hoisted (PR 5 win)
-	DomainSpeedup float64 `json:"domain_speedup"` // hoisted / assigned (PR 6 win)
+	// Cross-source batching (PR 7): same-amount rotations of distinct
+	// sources fused into shared key-switch groups in the default plan.
+	BatchGroups int `json:"batch_groups"`
+	BatchedRots int `json:"batched_rots"` // rotations covered by those groups
+
+	// Measured wall clock. Each iteration runs flat, hoisted and
+	// assigned back to back; the *_ms fields are per-form medians and
+	// the speedups are medians of per-iteration PAIRED ratios, with
+	// min/max recording the spread across iterations.
+	FlatMs           float64 `json:"flat_ms"`
+	HoistedMs        float64 `json:"hoisted_ms"`
+	AssignedMs       float64 `json:"assigned_ms"`
+	Speedup          float64 `json:"speedup"` // median flat_i / hoisted_i (PR 5 win)
+	SpeedupMin       float64 `json:"speedup_min"`
+	SpeedupMax       float64 `json:"speedup_max"`
+	DomainSpeedup    float64 `json:"domain_speedup"` // median hoisted_i / assigned_i (PR 6 win)
+	DomainSpeedupMin float64 `json:"domain_speedup_min"`
+	DomainSpeedupMax float64 `json:"domain_speedup_max"`
+}
+
+// reductionReport times a slot-reduction kernel's serial
+// rotate-accumulate chain against its log-depth rotate-and-add tree
+// (both compiled with the full default pipeline), after proving both
+// plans bit-identical to their interpreters and slot-identical to
+// each other.
+type reductionReport struct {
+	Preset     string  `json:"preset"`
+	SerialRots int     `json:"serial_rotations"` // static rotation count, serial chain
+	TreeRots   int     `json:"tree_rotations"`   // static rotation count, log-depth tree
+	SerialMs   float64 `json:"serial_ms"`
+	TreeMs     float64 `json:"tree_ms"`
+	Speedup    float64 `json:"speedup"` // median serial_i / tree_i, paired
+	SpeedupMin float64 `json:"speedup_min"`
+	SpeedupMax float64 `json:"speedup_max"`
 }
 
 type kernelReport struct {
-	Baseline    *formReport `json:"baseline,omitempty"`
-	Synthesized *formReport `json:"synthesized,omitempty"`
+	Baseline    *formReport      `json:"baseline,omitempty"`
+	Synthesized *formReport      `json:"synthesized,omitempty"`
+	Reduction   *reductionReport `json:"reduction,omitempty"`
 }
 
 func main() {
@@ -119,6 +161,11 @@ func main() {
 		}
 	}
 
+	isReduction := map[string]bool{}
+	for _, n := range baseline.SerialReductionNames() {
+		isReduction[n] = true
+	}
+
 	for _, name := range names {
 		kr := &kernelReport{}
 		base, err := baseline.Lowered(name)
@@ -133,11 +180,22 @@ func main() {
 				fatal("measuring synthesized %s: %v", name, err)
 			}
 		}
+		if isReduction[name] {
+			if kr.Reduction, err = measureReduction(name, *iters); err != nil {
+				fatal("measuring reduction %s: %v", name, err)
+			}
+		}
 		report[name] = kr
-		fmt.Fprintf(os.Stderr, "%-22s baseline %5.2fms -> %5.2fms -> %5.2fms (hoist %.2fx, domain %.2fx, NTTs %d -> %d)\n",
+		fmt.Fprintf(os.Stderr, "%-22s baseline %5.2fms -> %5.2fms -> %5.2fms (hoist %.2fx [%.2f..%.2f], domain %.2fx [%.2f..%.2f], NTTs %d -> %d)\n",
 			name, kr.Baseline.FlatMs, kr.Baseline.HoistedMs, kr.Baseline.AssignedMs,
-			kr.Baseline.Speedup, kr.Baseline.DomainSpeedup,
+			kr.Baseline.Speedup, kr.Baseline.SpeedupMin, kr.Baseline.SpeedupMax,
+			kr.Baseline.DomainSpeedup, kr.Baseline.DomainSpeedupMin, kr.Baseline.DomainSpeedupMax,
 			kr.Baseline.ExtNTTsUnassigned, kr.Baseline.ExtNTTsAssigned)
+		if r := kr.Reduction; r != nil {
+			fmt.Fprintf(os.Stderr, "%-22s reduction serial %5.2fms (%d rots) -> tree %5.2fms (%d rots): %.2fx [%.2f..%.2f]\n",
+				name, r.SerialMs, r.SerialRots, r.TreeMs, r.TreeRots,
+				r.Speedup, r.SpeedupMin, r.SpeedupMax)
+		}
 	}
 
 	enc := json.NewEncoder(os.Stdout)
@@ -184,6 +242,7 @@ func measure(name string, l *quill.Lowered, iters int) (*formReport, error) {
 	fr.ExtNTTsUnassigned = hoisted.ExternalTransforms()
 	fr.ExtNTTsAssigned = assigned.ExternalTransforms()
 	fr.NTTRegs, fr.DomainConversions = assigned.DomainStats()
+	fr.BatchGroups, fr.BatchedRots = assigned.BatchedGroups()
 	k := len(rt.Params.QPrimes)
 	relins := 0
 	plainRots := 0
@@ -255,34 +314,161 @@ func measure(name string, l *quill.Lowered, iters int) (*formReport, error) {
 		return nil, fmt.Errorf("domain-assigned plan not bit-identical to interpreter")
 	}
 
-	time_ := func(s *backend.Session, p *plan.ExecutionPlan) (float64, error) {
-		times := make([]float64, iters)
-		for i := range times {
-			start := time.Now()
-			if _, err := s.Run(p, cts, ex.PtIn); err != nil {
-				return 0, err
-			}
-			times[i] = float64(time.Since(start).Nanoseconds()) / 1e6
-		}
-		sort.Float64s(times)
-		return times[len(times)/2], nil
-	}
-	if fr.FlatMs, err = time_(sFlat, flat); err != nil {
+	// Interleaved paired timing: every iteration runs all three forms
+	// back to back, so machine drift hits each form equally and the
+	// per-iteration ratios stay meaningful.
+	samples, err := timeInterleaved(iters, []timedForm{
+		{sFlat, flat}, {sHoist, hoisted}, {sDom, assigned},
+	}, cts, ex.PtIn)
+	if err != nil {
 		return nil, err
 	}
-	if fr.HoistedMs, err = time_(sHoist, hoisted); err != nil {
-		return nil, err
-	}
-	if fr.AssignedMs, err = time_(sDom, assigned); err != nil {
-		return nil, err
-	}
-	if fr.HoistedMs > 0 {
-		fr.Speedup = fr.FlatMs / fr.HoistedMs
-	}
-	if fr.AssignedMs > 0 {
-		fr.DomainSpeedup = fr.HoistedMs / fr.AssignedMs
-	}
+	fr.FlatMs, fr.HoistedMs, fr.AssignedMs = median(samples[0]), median(samples[1]), median(samples[2])
+	fr.Speedup, fr.SpeedupMin, fr.SpeedupMax = pairedRatio(samples[0], samples[1])
+	fr.DomainSpeedup, fr.DomainSpeedupMin, fr.DomainSpeedupMax = pairedRatio(samples[1], samples[2])
 	return fr, nil
+}
+
+// measureReduction times a kernel's serial rotate-accumulate chain
+// against the log-depth tree the optimizer rewrites it to, both
+// through the full default compilation pipeline, with the same paired
+// per-iteration methodology as measure. Bit-identity (each plan vs
+// its interpreter) and slot-identity (serial vs tree decryptions) are
+// proven before any timing.
+func measureReduction(name string, iters int) (*reductionReport, error) {
+	serial, err := baseline.SerialLowered(name)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := quill.OptimizeLowered(serial)
+	if err != nil {
+		return nil, err
+	}
+	preset := "PN4096"
+	if serial.MultDepth() > 2 || tree.MultDepth() > 2 {
+		preset = "PN8192"
+	}
+	rt, err := backend.NewTestRuntime(preset, 7, serial, tree)
+	if err != nil {
+		return nil, err
+	}
+	pSerial, err := rt.Plan(serial)
+	if err != nil {
+		return nil, err
+	}
+	pTree, err := rt.Plan(tree)
+	if err != nil {
+		return nil, err
+	}
+	rr := &reductionReport{
+		Preset:     preset,
+		SerialRots: countRotations(serial),
+		TreeRots:   countRotations(tree),
+	}
+
+	spec := kernels.ByName(name)
+	rng := rand.New(rand.NewSource(1))
+	assign := make([]uint64, spec.NumVars)
+	for i := range assign {
+		assign[i] = rng.Uint64() % 64
+	}
+	ex := spec.NewExample(assign)
+	cts := make([]*bfv.Ciphertext, len(ex.CtIn))
+	for i, v := range ex.CtIn {
+		if cts[i], err = rt.EncryptVec(v); err != nil {
+			return nil, err
+		}
+	}
+
+	sSerial, sTree := rt.NewSession(), rt.NewSession()
+	for _, c := range []struct {
+		label string
+		l     *quill.Lowered
+		s     *backend.Session
+		p     *plan.ExecutionPlan
+	}{{"serial", serial, sSerial, pSerial}, {"tree", tree, sTree, pTree}} {
+		ref, err := rt.RunInterpreter(c.l, cts, ex.PtIn)
+		if err != nil {
+			return nil, err
+		}
+		got, err := c.s.Run(c.p, cts, ex.PtIn)
+		if err != nil {
+			return nil, err
+		}
+		if !rt.Params.CiphertextEqual(ref, got) {
+			return nil, fmt.Errorf("%s reduction plan not bit-identical to interpreter", c.label)
+		}
+		if dec := rt.DecryptVec(got, spec.VecLen); !spec.Matches(dec, ex) {
+			return nil, fmt.Errorf("%s reduction output disagrees with the plaintext reference", c.label)
+		}
+	}
+
+	samples, err := timeInterleaved(iters, []timedForm{
+		{sSerial, pSerial}, {sTree, pTree},
+	}, cts, ex.PtIn)
+	if err != nil {
+		return nil, err
+	}
+	rr.SerialMs, rr.TreeMs = median(samples[0]), median(samples[1])
+	rr.Speedup, rr.SpeedupMin, rr.SpeedupMax = pairedRatio(samples[0], samples[1])
+	return rr, nil
+}
+
+type timedForm struct {
+	s *backend.Session
+	p *plan.ExecutionPlan
+}
+
+// timeInterleaved collects iters samples per form, running the forms
+// back to back within each iteration. samples[f][i] is form f's
+// millisecond wall clock in iteration i.
+func timeInterleaved(iters int, forms []timedForm, cts []*bfv.Ciphertext, ptIn []quill.Vec) ([][]float64, error) {
+	samples := make([][]float64, len(forms))
+	for f := range samples {
+		samples[f] = make([]float64, iters)
+	}
+	for i := 0; i < iters; i++ {
+		for f, fm := range forms {
+			start := time.Now()
+			if _, err := fm.s.Run(fm.p, cts, ptIn); err != nil {
+				return nil, err
+			}
+			samples[f][i] = float64(time.Since(start).Nanoseconds()) / 1e6
+		}
+	}
+	return samples, nil
+}
+
+func countRotations(l *quill.Lowered) int {
+	n := 0
+	for _, in := range l.Instrs {
+		if in.Op == quill.OpRotCt {
+			n++
+		}
+	}
+	return n
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+// pairedRatio reduces two aligned sample vectors to the median,
+// minimum and maximum of their per-iteration ratios num_i/den_i.
+func pairedRatio(num, den []float64) (med, lo, hi float64) {
+	rs := make([]float64, 0, len(num))
+	for i := range num {
+		if den[i] > 0 {
+			rs = append(rs, num[i]/den[i])
+		}
+	}
+	if len(rs) == 0 {
+		return 0, 0, 0
+	}
+	sort.Float64s(rs)
+	return rs[len(rs)/2], rs[0], rs[len(rs)-1]
 }
 
 func fatal(format string, args ...any) {

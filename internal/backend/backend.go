@@ -290,10 +290,14 @@ type Session struct {
 	// encodeInputs for exactly the inputs the plan flags as needed.
 	ptsMulNTT []*bfv.NTTPlaintext
 	ptsAddNTT []*bfv.NTTPlaintext
-	// dec is the key-switching decomposition scratch of hoisted
-	// rotation groups, created at the plan's declared size
+	// dec is the key-switching decomposition scratch of hoisted and
+	// batched rotation groups, created at the plan's declared size
 	// (NumDecomps) on first use and reused across runs.
 	dec *bfv.Decomposition
+	// br holds the shared per-group state of a batched rotation step
+	// (Galois element, key, automorphism tables); resolved per group,
+	// allocation-free.
+	br bfv.BatchedRotation
 }
 
 // Context returns the shared context the session executes against.
@@ -400,6 +404,27 @@ func (s *Session) exec(p *plan.ExecutionPlan, ctIn []*bfv.Ciphertext) (*bfv.Ciph
 						err = ev.RotateRowsHoistedIntoNTT(s.regs[f.Dst], a, s.dec, f.Rot)
 					} else {
 						err = ev.RotateRowsHoistedInto(s.regs[f.Dst], a, s.dec, f.Rot)
+					}
+					if err != nil {
+						break
+					}
+				}
+			}
+		case plan.OpBatchedRot:
+			// Resolve the Galois element, switching key, and
+			// automorphism tables once, then rotate every member's own
+			// source through the batched variant of its domain pair —
+			// bit-identical to the serial rotations it replaces.
+			if err = ev.BeginBatchedRotation(&s.br, st.Rot); err == nil {
+				for _, m := range st.Batch {
+					src, d := operand(m.Src), s.regs[m.Dst]
+					switch {
+					case p.CodeDomain(m.Src) == plan.DomNTT:
+						err = ev.RotateRowsBatchedNTTIntoNTT(d, src, s.dec, &s.br)
+					case p.RegDomainOf(m.Dst) == plan.DomNTT:
+						err = ev.RotateRowsBatchedIntoNTT(d, src, s.dec, &s.br)
+					default:
+						err = ev.RotateRowsBatchedInto(d, src, s.dec, &s.br)
 					}
 					if err != nil {
 						break

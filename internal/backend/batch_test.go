@@ -1,0 +1,201 @@
+package backend
+
+import (
+	"math/rand"
+	"testing"
+
+	"porcupine/internal/bfv"
+	"porcupine/internal/plan"
+	"porcupine/internal/quill"
+)
+
+// interleavedTrees builds two log-depth reduction trees over separate
+// input ciphertexts with their levels interleaved — the schedule shape
+// of two SIMD-parallel slot reductions. Sibling levels rotate DIFFERENT
+// sources by the SAME amount, so each level fuses into one cross-source
+// batched key-switch group.
+func interleavedTrees(vecLen, m int) *quill.Lowered {
+	l := &quill.Lowered{VecLen: vecLen, NumCtInputs: 2}
+	next := 2
+	emit := func(in quill.LInstr) int {
+		in.Dst = next
+		l.Instrs = append(l.Instrs, in)
+		next++
+		return in.Dst
+	}
+	accs := []int{0, 1}
+	for k := m / 2; k >= 1; k /= 2 {
+		var rots [2]int
+		for s := range accs {
+			rots[s] = emit(quill.LInstr{Op: quill.OpRotCt, A: accs[s], Rot: k})
+		}
+		for s := range accs {
+			accs[s] = emit(quill.LInstr{Op: quill.OpAddCtCt, A: accs[s], B: rots[s]})
+		}
+	}
+	l.Output = emit(quill.LInstr{Op: quill.OpAddCtCt, A: accs[0], B: accs[1]})
+	return l
+}
+
+func randomVecs(l *quill.Lowered, seed int64) []quill.Vec {
+	rng := rand.New(rand.NewSource(seed))
+	vs := make([]quill.Vec, l.NumCtInputs)
+	for i := range vs {
+		v := make(quill.Vec, l.VecLen)
+		for j := range v {
+			v[j] = rng.Uint64() % 64
+		}
+		vs[i] = v
+	}
+	return vs
+}
+
+// runBatchedDifferential compiles l three ways — batched (default),
+// serial (DisableBatching), flat (DisableHoisting, the fully serial
+// reference) — and requires all three plus the instruction-at-a-time
+// interpreter to produce bit-identical ciphertexts, then checks the
+// decrypted slots against the concrete vector semantics.
+func runBatchedDifferential(t *testing.T, l *quill.Lowered, opts plan.Options, wantGroups, wantRots int) {
+	t.Helper()
+	rt, err := NewTestRuntime("PN2048", 17, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := plan.CompileWithOptions(rt.Params, rt.Encoder, l, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, r := batched.BatchedGroups(); g != wantGroups || r != wantRots {
+		t.Fatalf("batched groups = %d (%d rotations), want %d (%d)", g, r, wantGroups, wantRots)
+	}
+	serialOpts := opts
+	serialOpts.DisableBatching = true
+	serial, err := plan.CompileWithOptions(rt.Params, rt.Encoder, l, serialOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, _ := serial.BatchedGroups(); g != 0 {
+		t.Fatalf("serial plan has %d batched groups", g)
+	}
+	flat, err := plan.CompileWithOptions(rt.Params, rt.Encoder, l, plan.Options{DisableHoisting: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	vs := randomVecs(l, 23)
+	cts := make([]*bfv.Ciphertext, len(vs))
+	for i, v := range vs {
+		if cts[i], err = rt.EncryptVec(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref, err := rt.RunInterpreter(l, cts, nil)
+	if err != nil {
+		t.Fatalf("interpreter: %v", err)
+	}
+	for _, c := range []struct {
+		name string
+		p    *plan.ExecutionPlan
+	}{{"flat", flat}, {"serial", serial}, {"batched", batched}} {
+		s := rt.NewSession()
+		got, err := s.Run(c.p, cts, nil)
+		if err != nil {
+			t.Fatalf("%s plan: %v", c.name, err)
+		}
+		if !sameCiphertext(rt.Params, ref, got) {
+			t.Fatalf("%s plan not bit-identical to interpreter", c.name)
+		}
+		want, err := quill.RunLowered(l, quill.ConcreteSem{}, vs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec := rt.DecryptVec(got, l.VecLen)
+		for i := range want {
+			if dec[i] != want[i] {
+				t.Fatalf("%s plan slot %d: %d != %d", c.name, i, dec[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBatchedVsSerialTrees: two interleaved parallel reduction trees,
+// batched vs serial vs flat vs interpreter, on the default (domain
+// assigned) pipeline — exercises the NTT-source and NTT-destination
+// batched rotation paths.
+func TestBatchedVsSerialTrees(t *testing.T) {
+	// Full PN2048 row so quill's wraparound rotation semantics and the
+	// HE row rotation agree slot-for-slot.
+	runBatchedDifferential(t, interleavedTrees(1024, 8), plan.Options{}, 3, 6)
+}
+
+// TestBatchedVsSerialTreesCoeff: the same program with domain
+// assignment disabled, so every batched member runs the
+// coefficient-domain rotation path.
+func TestBatchedVsSerialTreesCoeff(t *testing.T) {
+	runBatchedDifferential(t, interleavedTrees(1024, 8),
+		plan.Options{DisableDomainAssignment: true}, 3, 6)
+}
+
+// TestBatchedWraparoundCanonical: on the full HE row, a negative amount
+// and its positive congruent partner (-1 ≡ 1023 mod the row) rotate two
+// different sources; amount canonicalization must recognize them as the
+// same Galois element and fuse them into one batched group.
+func TestBatchedWraparoundCanonical(t *testing.T) {
+	vecLen := 1024 // PN2048 full row
+	l := &quill.Lowered{
+		VecLen: vecLen, NumCtInputs: 2,
+		Instrs: []quill.LInstr{
+			{Op: quill.OpRotCt, Dst: 2, A: 0, Rot: -1},
+			{Op: quill.OpRotCt, Dst: 3, A: 1, Rot: 1023},
+			{Op: quill.OpAddCtCt, Dst: 4, A: 2, B: 0},
+			{Op: quill.OpAddCtCt, Dst: 5, A: 3, B: 1},
+			{Op: quill.OpAddCtCt, Dst: 6, A: 4, B: 5},
+		},
+		Output: 6,
+	}
+	runBatchedDifferential(t, l, plan.Options{}, 1, 2)
+}
+
+// TestBatchedPlanAllocationFree extends the 0-alloc serving guarantee
+// to plans with batched cross-source groups: the shared Galois state
+// (key, permutation and automorphism tables) is resolved from caches
+// and the per-member decompositions reuse the session scratch.
+func TestBatchedPlanAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; allocation counts are meaningless under -race")
+	}
+	l := interleavedTrees(1024, 8)
+	rt, err := NewTestRuntime("PN2048", 9, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := rt.Plan(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, _ := p.BatchedGroups(); g == 0 {
+		t.Fatal("plan has no batched groups")
+	}
+	if p.NumDecomps != 1 {
+		t.Fatalf("NumDecomps = %d, want 1", p.NumDecomps)
+	}
+	vs := randomVecs(l, 41)
+	cts := make([]*bfv.Ciphertext, len(vs))
+	for i, v := range vs {
+		if cts[i], err = rt.EncryptVec(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := rt.NewSession()
+	if _, err := s.Run(p, cts, nil); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := s.Run(p, cts, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state batched plan execution allocates %.0f objects/run, want 0", allocs)
+	}
+}

@@ -121,9 +121,11 @@ func randVec(rng *rand.Rand, n int) quill.Vec {
 // plan on the BFV backend, whose output ciphertext must additionally
 // be bit-identical to the BFV interpreter's. The checked-in corpus
 // under testdata/fuzz covers every opcode, rotation wrap-around,
-// plaintext inputs, the multiply/relinearization path, and the
-// planner's register-reuse edge cases (diamond-shaped sharing, dead
-// values).
+// plaintext inputs, the multiply/relinearization path, the planner's
+// register-reuse edge cases (diamond-shaped sharing, dead values),
+// log-depth reduction trees over a shared source, and cross-source
+// rotations that fuse into batched key-switch groups (pinned by
+// TestFuzzCorpusBatchSeeds).
 //
 // Run `go test -fuzz FuzzQuillVsBFV ./internal/backend` to explore
 // beyond the corpus.
@@ -221,4 +223,65 @@ func FuzzQuillVsBFV(f *testing.F) {
 			t.Fatalf("unassigned plan output ciphertext differs from BFV interpreter\n%s", prog)
 		}
 	})
+}
+
+// TestFuzzCorpusBatchSeeds pins the PR7 corpus seeds to the compiler
+// features they were written to exercise: should the decoder or the
+// pass pipeline change shape, this fails instead of the corpus silently
+// degrading to programs that no longer reach the tree or batched paths.
+func TestFuzzCorpusBatchSeeds(t *testing.T) {
+	cases := []struct {
+		name     string
+		data     []byte
+		batchedG int // batched key-switch groups in the default plan
+		batchedR int // rotations covered by those groups
+	}{
+		{
+			// v1 = v0 + rot(v0,2); v2 = v1 + rot(v1,1): a log-depth
+			// reduction tree over one shared source.
+			name: "tree-shared-source",
+			data: []byte{0, 0, 1, 0, 0, 3, 0, 0, 0, 1, 1, 1, 0,
+				0x11, 0x12, 0x13, 0x14, 0x15, 0x16, 0x17, 0x18},
+		},
+		{
+			// rot(ct0,1) and rot(ct1,1): two sources, one amount — one
+			// batched group of two.
+			name: "batched-cross-source",
+			data: []byte{1, 0, 1, 0, 0, 1, 1, 0, 0, 1, 1, 2, 0,
+				0x21, 0x22, 0x23, 0x24, 0x25, 0x26, 0x27, 0x28},
+			batchedG: 1, batchedR: 2,
+		},
+		{
+			// Sibling tree levels over ct0 and ct1: rot-2 pair then
+			// rot-1 pair — two batched groups.
+			name: "batched-tree-levels",
+			data: []byte{1, 0, 2, 0, 0, 3, 0, 0, 0, 1, 3, 1, 0, 0, 2, 1, 3, 1,
+				0x31, 0x32, 0x33, 0x34, 0x35, 0x36, 0x37, 0x38},
+			batchedG: 2, batchedR: 4,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			prog, _, _ := decodeProgram(c.data)
+			if err := prog.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			lowered, err := quill.Lower(prog, quill.DefaultLowerOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt, err := NewTestRuntime("PN2048", 7, lowered)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := rt.Plan(lowered)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g, r := p.BatchedGroups(); g != c.batchedG || r != c.batchedR {
+				t.Errorf("batched groups = %d (%d rotations), want %d (%d)\n%s",
+					g, r, c.batchedG, c.batchedR, prog)
+			}
+		})
+	}
 }

@@ -175,6 +175,85 @@ func PolynomialRegression() *quill.Program {
 	}
 }
 
+// serialReduce appends the fan-out-1 shift-accumulate reduction
+//
+//	acc = base; repeat m-1 times: acc = rot(acc, 1) + base
+//
+// to p and points the output at the final accumulator. This is the
+// naive serial form of the slot reduction the depth-minimized
+// baselines write as a balanced tree: m−1 rotations, each of a
+// DIFFERENT source, so rotation sharing, hoisting, and domain
+// assignment all see fan-out 1. It computes exactly the same function
+// as the tree (the same multiset of literal offsets {0..m-1}).
+func serialReduce(p *quill.Program, base, m int) {
+	acc := base
+	for k := 1; k < m; k++ {
+		p.Instrs = append(p.Instrs, quill.Instr{Op: quill.OpAddCtCt, A: ref(acc, 1), B: ref(base, 0)})
+		acc = p.NumCtInputs + len(p.Instrs) - 1
+	}
+	p.Output = acc
+}
+
+// SerialReductionNames lists the kernels with a serial-chain variant.
+func SerialReductionNames() []string {
+	return []string{"dot-product", "hamming-distance", "l2-distance"}
+}
+
+// SerialReduction returns the serial shift-accumulate form of a
+// reduction kernel: identical prologue to the depth-minimized
+// baseline, but the slot reduction written as a fan-out-1 chain
+// (dot-product and l2-distance: 7 rotations; hamming-distance: 3).
+// These are the "before" programs of the tree-reduction rewrite
+// (quill.TreeReduceLowered) and the serial legs of benchrot's
+// serial-vs-tree comparison.
+func SerialReduction(name string) (*quill.Program, error) {
+	switch name {
+	case "dot-product":
+		p := &quill.Program{
+			VecLen:      kernels.DotN,
+			NumCtInputs: 1,
+			NumPtInputs: 1,
+			Instrs: []quill.Instr{
+				{Op: quill.OpMulCtPt, A: ref(0, 0), P: quill.PtRef{Input: 0}}, // c1 = x ⊙ w
+			},
+		}
+		serialReduce(p, 1, kernels.DotN)
+		return p, nil
+	case "hamming-distance":
+		p := &quill.Program{
+			VecLen:      kernels.HammingN,
+			NumCtInputs: 2,
+			Instrs: []quill.Instr{
+				{Op: quill.OpSubCtCt, A: ref(0, 0), B: ref(1, 0)},
+				{Op: quill.OpMulCtCt, A: ref(2, 0), B: ref(2, 0)},
+			},
+		}
+		serialReduce(p, 3, kernels.HammingN)
+		return p, nil
+	case "l2-distance":
+		p := &quill.Program{
+			VecLen:      kernels.L2N,
+			NumCtInputs: 2,
+			Instrs: []quill.Instr{
+				{Op: quill.OpSubCtCt, A: ref(0, 0), B: ref(1, 0)},
+				{Op: quill.OpMulCtCt, A: ref(2, 0), B: ref(2, 0)},
+			},
+		}
+		serialReduce(p, 3, kernels.L2N)
+		return p, nil
+	}
+	return nil, fmt.Errorf("baseline: no serial-reduction variant of %q", name)
+}
+
+// SerialLowered lowers the serial-reduction variant of a kernel.
+func SerialLowered(name string) (*quill.Lowered, error) {
+	p, err := SerialReduction(name)
+	if err != nil {
+		return nil, err
+	}
+	return quill.Lower(p, quill.DefaultLowerOptions())
+}
+
 // Sobel composes the baseline Gx and Gy with squaring and a final add
 // (the baseline for the multi-step §7.2 evaluation).
 func Sobel() (*quill.Lowered, error) {

@@ -105,6 +105,94 @@ func TestMultiStepBaselineCounts(t *testing.T) {
 	}
 }
 
+// TestSerialReductionsMatchBaselines: each serial shift-accumulate
+// variant computes exactly the same function as its depth-minimized
+// baseline — full-vector equality at the kernel's own width and on
+// zero-padded rows (the wraparound case the HE backend sees) — while
+// carrying the expected n−1 fan-out-1 rotations.
+func TestSerialReductionsMatchBaselines(t *testing.T) {
+	wantRots := map[string]int{"dot-product": 7, "hamming-distance": 3, "l2-distance": 7}
+	for _, name := range SerialReductionNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			serial, err := SerialLowered(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := serial.RotationCount(); got != wantRots[name] {
+				t.Fatalf("serial %s has %d rotations, want %d\n%s", name, got, wantRots[name], serial)
+			}
+			base, err := Lowered(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, pad := range []int{1, 4, 128} {
+				rowLen := serial.VecLen * pad
+				ctIn := make([]quill.Vec, serial.NumCtInputs)
+				for i := range ctIn {
+					ctIn[i] = make(quill.Vec, rowLen)
+					for j := 0; j < serial.VecLen; j++ {
+						ctIn[i][j] = uint64(3*i+j) % 61
+					}
+				}
+				ptIn := make([]quill.Vec, serial.NumPtInputs)
+				for i := range ptIn {
+					ptIn[i] = make(quill.Vec, rowLen)
+					for j := 0; j < serial.VecLen; j++ {
+						ptIn[i][j] = uint64(5*i+j) % 61
+					}
+				}
+				want, err := quill.RunLowered(base, quill.ConcreteSem{}, ctIn, ptIn)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := quill.RunLowered(serial, quill.ConcreteSem{}, ctIn, ptIn)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for j := range want {
+					if want[j] != got[j] {
+						t.Fatalf("%s pad %d slot %d: serial %d != baseline %d", name, pad, j, got[j], want[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSerialReductionsTreeReduce: the optimizer rewrites every serial
+// variant back to the log-depth rotation count of the hand-written
+// tree baseline.
+func TestSerialReductionsTreeReduce(t *testing.T) {
+	wantRots := map[string]int{"dot-product": 3, "hamming-distance": 2, "l2-distance": 3}
+	for _, name := range SerialReductionNames() {
+		serial, err := SerialLowered(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := quill.OptimizeLowered(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tree.RotationCount(); got != wantRots[name] {
+			t.Errorf("%s: tree form has %d rotations, want %d\n%s", name, got, wantRots[name], tree)
+		}
+		base, err := Lowered(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := tree.RotationCount(), base.RotationCount(); got != want {
+			t.Errorf("%s: tree rotations %d != baseline tree rotations %d", name, got, want)
+		}
+	}
+}
+
+func TestSerialReductionUnknownKernel(t *testing.T) {
+	if _, err := SerialReduction("box-blur"); err == nil {
+		t.Error("non-reduction kernel should fail")
+	}
+}
+
 func TestLoweredUnknownKernel(t *testing.T) {
 	if _, err := Lowered("nope"); err == nil {
 		t.Error("unknown kernel should fail")

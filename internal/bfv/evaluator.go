@@ -424,7 +424,15 @@ func (ev *Evaluator) RotateRowsHoistedInto(dst, ct *Ciphertext, dec *Decompositi
 // alias ct.
 func (ev *Evaluator) galoisFromDecomp(dst, ct *Ciphertext, dec *ring.Decomposition, key *switchingKey, g uint64) {
 	r := ev.params.ringQ
-	perm := r.NTTPermutation(g)
+	ev.galoisFromDecompTables(dst, ct, dec, key, r.NTTPermutation(g), r.AutomorphismTable(g))
+}
+
+// galoisFromDecompTables is galoisFromDecomp with both automorphism
+// tables resolved by the caller — the prefetched form behind batched
+// cross-source key switching (BeginBatchedRotation resolves the
+// element, key, and tables once per group).
+func (ev *Evaluator) galoisFromDecompTables(dst, ct *Ciphertext, dec *ring.Decomposition, key *switchingKey, perm, autoTab []uint32) {
+	r := ev.params.ringQ
 	// The lazy accumulation writes every coefficient of its output, so
 	// the accumulators need no zeroing pass (GetPolyNoZero, not
 	// GetPoly).
@@ -434,7 +442,7 @@ func (ev *Evaluator) galoisFromDecomp(dst, ct *Ciphertext, dec *ring.Decompositi
 	r.INTT(f0)
 	r.INTT(f1)
 	c0g := r.GetPolyNoZero()
-	r.Automorphism(c0g, ct.Value[0], g)
+	r.AutomorphismWithTable(c0g, ct.Value[0], autoTab)
 	ev.resize(dst, 1)
 	r.Add(dst.Value[0], c0g, f0)
 	r.CopyInto(dst.Value[1], f1)

@@ -181,13 +181,19 @@ func (ev *Evaluator) SubPlainNTTIntoNTT(dst, ct *Ciphertext, m *NTTPlaintext) {
 // evaluation-domain c0 (c0NTT) and accumulates entirely in the NTT
 // domain. dst may alias the ciphertext that produced c0NTT and dec.
 func (ev *Evaluator) galoisFromDecompToNTT(dst *Ciphertext, c0NTT *ring.Poly, dec *ring.Decomposition, key *switchingKey, g uint64) {
+	ev.galoisFromDecompToNTTPerm(dst, c0NTT, dec, key, ev.params.ringQ.NTTPermutation(g))
+}
+
+// galoisFromDecompToNTTPerm is galoisFromDecompToNTT with the NTT
+// permutation table resolved by the caller (see
+// galoisFromDecompTables).
+func (ev *Evaluator) galoisFromDecompToNTTPerm(dst *Ciphertext, c0NTT *ring.Poly, dec *ring.Decomposition, key *switchingKey, perm []uint32) {
 	r := ev.params.ringQ
-	perm := r.NTTPermutation(g)
 	f0, f1 := r.GetPolyNoZero(), r.GetPolyNoZero()
 	r.PermutedMulAccumLazy(f0, dec.Digits, key.B, perm)
 	r.PermutedMulAccumLazy(f1, dec.Digits, key.A, perm)
 	c0g := r.GetPolyNoZero()
-	r.AutomorphismNTT(c0g, c0NTT, g)
+	r.AutomorphismNTTWithTable(c0g, c0NTT, perm)
 	ev.resize(dst, 1)
 	r.Add(dst.Value[0], c0g, f0)
 	r.CopyInto(dst.Value[1], f1)

@@ -1,0 +1,110 @@
+package plan
+
+import "porcupine/internal/quill"
+
+// batchRotations is Pass 4b of CompileWithOptions: cross-source batch
+// detection. Plain rotation entries whose canonical amounts agree fuse
+// into one OpBatchedRot group scheduled at the earliest member's
+// position, so the executor resolves the shared Galois element, key,
+// and automorphism tables once per group instead of once per rotation.
+//
+// Rotation-of-same-source duplicates cannot occur here — Pass 1's
+// rotation CSE merged them — so members always carry distinct sources
+// (cross-source by construction), and hoisted fan-out groups (≥2
+// amounts of one source) were claimed by Pass 3 first; batching only
+// sees what hoisting left serial.
+//
+// Fusing moves member rotations up to the leader's position, which is
+// legal exactly when each member's source is defined before the leader
+// (a pure rotation has no other operand, and its consumers all sit at
+// or after the member's original position). The window bounds how far
+// a member may move: every member source stays live until the group
+// executes, so the window caps the register-pressure cost of fusion.
+func batchRotations(l *quill.Lowered, canon []int, sched []schedEntry, nIn int, norm func(int) int, window int) []schedEntry {
+	if window <= 0 {
+		window = defaultBatchWindow
+	}
+
+	// defPos[v] is the schedule position defining canonical value v
+	// (-1 for inputs: defined before everything).
+	defPos := make([]int, l.NumValues())
+	for v := range defPos {
+		defPos[v] = -1
+	}
+	for s, e := range sched {
+		if e.members != nil {
+			for _, m := range e.members {
+				defPos[nIn+m] = s
+			}
+			continue
+		}
+		defPos[nIn+e.idx] = s
+	}
+
+	// Plain rotation entries, bucketed by canonical amount in schedule
+	// order.
+	byAmt := map[int][]int{}
+	var amts []int
+	for s, e := range sched {
+		if e.members != nil {
+			continue
+		}
+		if in := l.Instrs[e.idx]; in.Op == quill.OpRotCt {
+			r := norm(in.Rot)
+			if len(byAmt[r]) == 0 {
+				amts = append(amts, r)
+			}
+			byAmt[r] = append(byAmt[r], s)
+		}
+	}
+
+	leadMembers := map[int][]int{} // leader sched pos → member instr idxs
+	fused := map[int]bool{}        // non-leader positions consumed by a group
+	for _, r := range amts {
+		poss := byAmt[r]
+		used := make([]bool, len(poss))
+		for i := range poss {
+			if used[i] {
+				continue
+			}
+			si := poss[i]
+			members := []int{sched[si].idx}
+			var tail []int
+			for j := i + 1; j < len(poss) && poss[j]-si <= window; j++ {
+				if used[j] {
+					continue
+				}
+				if src := canon[l.Instrs[sched[poss[j]].idx].A]; defPos[src] >= si {
+					continue // source not yet defined at the leader
+				}
+				used[j] = true
+				members = append(members, sched[poss[j]].idx)
+				tail = append(tail, poss[j])
+			}
+			if len(members) < 2 {
+				continue
+			}
+			used[i] = true
+			leadMembers[si] = members
+			for _, s := range tail {
+				fused[s] = true
+			}
+		}
+	}
+	if len(leadMembers) == 0 {
+		return sched
+	}
+
+	out := make([]schedEntry, 0, len(sched))
+	for s, e := range sched {
+		if fused[s] {
+			continue
+		}
+		if members, ok := leadMembers[s]; ok {
+			out = append(out, schedEntry{idx: e.idx, members: members, batch: true})
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}

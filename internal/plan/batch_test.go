@@ -1,0 +1,284 @@
+package plan
+
+import (
+	"reflect"
+	"testing"
+
+	"porcupine/internal/baseline"
+	"porcupine/internal/quill"
+)
+
+// crossSourceProgram rotates two different sources by the same amount
+// (fan-out 1 per source, so hoisting leaves both serial): the minimal
+// shape Pass 4b fuses into one cross-source batched group.
+func crossSourceProgram() *quill.Lowered {
+	return &quill.Lowered{
+		VecLen: 8, NumCtInputs: 2,
+		Instrs: []quill.LInstr{
+			{Op: quill.OpRotCt, Dst: 2, A: 0, Rot: 1},
+			{Op: quill.OpRotCt, Dst: 3, A: 1, Rot: 1},
+			{Op: quill.OpAddCtCt, Dst: 4, A: 2, B: 0},
+			{Op: quill.OpAddCtCt, Dst: 5, A: 3, B: 1},
+			{Op: quill.OpAddCtCt, Dst: 6, A: 4, B: 5},
+		},
+		Output: 6,
+	}
+}
+
+// interleavedTrees builds two log-depth reduction trees over separate
+// inputs with their levels interleaved — the schedule shape of two
+// SIMD-parallel slot reductions. Every level rotates a DIFFERENT
+// source (the previous accumulator) by the SAME amount as its sibling
+// tree, so each level is one cross-source batch group.
+func interleavedTrees(m int) *quill.Lowered {
+	l := &quill.Lowered{VecLen: 16, NumCtInputs: 2}
+	next := 2
+	emit := func(in quill.LInstr) int {
+		in.Dst = next
+		l.Instrs = append(l.Instrs, in)
+		next++
+		return in.Dst
+	}
+	accs := []int{0, 1}
+	for k := m / 2; k >= 1; k /= 2 {
+		var rots [2]int
+		for s := range accs {
+			rots[s] = emit(quill.LInstr{Op: quill.OpRotCt, A: accs[s], Rot: k})
+		}
+		for s := range accs {
+			accs[s] = emit(quill.LInstr{Op: quill.OpAddCtCt, A: accs[s], B: rots[s]})
+		}
+	}
+	l.Output = emit(quill.LInstr{Op: quill.OpAddCtCt, A: accs[0], B: accs[1]})
+	return l
+}
+
+func TestBatchDetectionCrossSource(t *testing.T) {
+	p := compile(t, crossSourceProgram())
+	if g, r := p.BatchedGroups(); g != 1 || r != 2 {
+		t.Fatalf("batched groups = %d (%d rotations), want 1 (2)", g, r)
+	}
+	if p.NumDecomps != 1 {
+		t.Errorf("NumDecomps = %d, want 1", p.NumDecomps)
+	}
+	for i := range p.Steps {
+		st := &p.Steps[i]
+		if st.Op != OpBatchedRot {
+			continue
+		}
+		if st.Rot != 1 {
+			t.Errorf("batched group rotation %d, want 1", st.Rot)
+		}
+		if st.A != st.Batch[0].Src || st.Dst != st.Batch[0].Dst {
+			t.Error("batched step head disagrees with its first member")
+		}
+		if st.Batch[0].Src == st.Batch[1].Src {
+			t.Error("batched members share a source")
+		}
+	}
+	if err := p.Validate(testParams); err != nil {
+		t.Errorf("compiled batched plan fails validation: %v", err)
+	}
+}
+
+func TestBatchDetectionParallelTrees(t *testing.T) {
+	l := interleavedTrees(8)
+	p := compile(t, l)
+	// Three levels (rot 4, 2, 1), each one group of the two trees'
+	// sibling rotations.
+	if g, r := p.BatchedGroups(); g != 3 || r != 6 {
+		t.Fatalf("batched groups = %d (%d rotations), want 3 (6)", g, r)
+	}
+	if err := p.Validate(testParams); err != nil {
+		t.Errorf("compiled batched plan fails validation: %v", err)
+	}
+}
+
+func TestBatchDisabled(t *testing.T) {
+	params, enc := testEnv(t)
+	for _, opts := range []Options{
+		{DisableBatching: true},
+		{DisableHoisting: true}, // flat plans are fully serial references
+	} {
+		p, err := CompileWithOptions(params, enc, crossSourceProgram(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g, _ := p.BatchedGroups(); g != 0 {
+			t.Errorf("options %+v: plan still has %d batched groups", opts, g)
+		}
+		if err := p.Validate(params); err != nil {
+			t.Errorf("options %+v: %v", opts, err)
+		}
+	}
+}
+
+// TestBatchWindowBound: rotations farther apart than the window stay
+// serial — the window caps how long member sources are kept live.
+func TestBatchWindowBound(t *testing.T) {
+	params, enc := testEnv(t)
+	l := crossSourceProgram() // sibling rotations 1 schedule slot apart
+	wide, err := CompileWithOptions(params, enc, l, Options{BatchWindow: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, _ := wide.BatchedGroups(); g != 1 {
+		t.Errorf("window 4: %d groups, want 1", g)
+	}
+	// A program where the second same-amount rotation sits 3 schedule
+	// entries after the first: window 2 must refuse the fusion.
+	far := &quill.Lowered{
+		VecLen: 8, NumCtInputs: 2,
+		Instrs: []quill.LInstr{
+			{Op: quill.OpRotCt, Dst: 2, A: 0, Rot: 1},
+			{Op: quill.OpAddCtCt, Dst: 3, A: 2, B: 0},
+			{Op: quill.OpAddCtCt, Dst: 4, A: 3, B: 0},
+			{Op: quill.OpRotCt, Dst: 5, A: 1, Rot: 1},
+			{Op: quill.OpAddCtCt, Dst: 6, A: 4, B: 5},
+		},
+		Output: 6,
+	}
+	narrow, err := CompileWithOptions(params, enc, far, Options{BatchWindow: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, _ := narrow.BatchedGroups(); g != 0 {
+		t.Errorf("window 2: %d groups, want 0", g)
+	}
+	def, err := CompileWithOptions(params, enc, far, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, _ := def.BatchedGroups(); g != 1 {
+		t.Errorf("default window: %d groups, want 1", g)
+	}
+}
+
+// TestBatchSourceDefinedBeforeLeader: a member whose source is defined
+// AFTER the would-be leader cannot move up to the leader's position,
+// so it stays serial.
+func TestBatchSourceDefinedBeforeLeader(t *testing.T) {
+	l := &quill.Lowered{
+		VecLen: 8, NumCtInputs: 1,
+		Instrs: []quill.LInstr{
+			{Op: quill.OpRotCt, Dst: 1, A: 0, Rot: 1}, // leader candidate
+			{Op: quill.OpAddCtCt, Dst: 2, A: 1, B: 0}, // v2 defined after the leader
+			{Op: quill.OpRotCt, Dst: 3, A: 2, Rot: 1}, // same amount, source v2
+			{Op: quill.OpAddCtCt, Dst: 4, A: 3, B: 2},
+		},
+		Output: 4,
+	}
+	p := compile(t, l)
+	if g, _ := p.BatchedGroups(); g != 0 {
+		t.Errorf("fused a member whose source postdates the leader (%d groups)", g)
+	}
+}
+
+// TestValidateRejectsMalformedBatched exercises the Validate rules
+// specific to batched steps directly at the plan layer (the wire
+// corruption matrix re-runs them through an encode/decode round trip).
+func TestValidateRejectsMalformedBatched(t *testing.T) {
+	params, _ := testEnv(t)
+	base := compile(t, crossSourceProgram())
+	batchIdx := -1
+	for i := range base.Steps {
+		if base.Steps[i].Op == OpBatchedRot {
+			batchIdx = i
+		}
+	}
+	if batchIdx < 0 {
+		t.Fatal("no batched step")
+	}
+	cases := []struct {
+		name   string
+		mutate func(p *ExecutionPlan)
+	}{
+		{"singleton", func(p *ExecutionPlan) { p.Steps[batchIdx].Batch = p.Steps[batchIdx].Batch[:1] }},
+		{"dup-src", func(p *ExecutionPlan) { p.Steps[batchIdx].Batch[1].Src = p.Steps[batchIdx].Batch[0].Src }},
+		{"dup-dst", func(p *ExecutionPlan) { p.Steps[batchIdx].Batch[1].Dst = p.Steps[batchIdx].Batch[0].Dst }},
+		{"src-range", func(p *ExecutionPlan) {
+			p.Steps[batchIdx].Batch[1].Src = p.NumCtInputs + p.NumRegs
+		}},
+		{"dst-range", func(p *ExecutionPlan) { p.Steps[batchIdx].Batch[1].Dst = p.NumRegs }},
+		{"head-mismatch", func(p *ExecutionPlan) { p.Steps[batchIdx].Dst = p.Steps[batchIdx].Batch[1].Dst }},
+		{"rot-undeclared", func(p *ExecutionPlan) { p.Steps[batchIdx].Rot = 777 }},
+		{"dst-aliases-src", func(p *ExecutionPlan) {
+			p.Steps[batchIdx].Batch[1].Src = p.NumCtInputs + p.Steps[batchIdx].Batch[0].Dst
+		}},
+		{"batch-on-plain", func(p *ExecutionPlan) {
+			for i := range p.Steps {
+				if p.Steps[i].Op != OpBatchedRot {
+					p.Steps[i].Batch = []BatchedSrc{{Src: 0, Dst: 0}}
+					return
+				}
+			}
+		}},
+		{"numdecomps", func(p *ExecutionPlan) { p.NumDecomps = 0 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p2 := *base
+			p2.Steps = append([]Step(nil), base.Steps...)
+			for i := range p2.Steps {
+				p2.Steps[i].Batch = append([]BatchedSrc(nil), base.Steps[i].Batch...)
+			}
+			p2.Rotations = append([]int(nil), base.Rotations...)
+			c.mutate(&p2)
+			if err := p2.Validate(params); err == nil {
+				t.Error("malformed batched plan validated")
+			}
+		})
+	}
+}
+
+// TestAssignedEqualsHoistedWhenNoNTTRegs is the regression guard for
+// the PR6 bench anomaly: when domain assignment leaves a kernel
+// all-coefficient (ntt_regs == 0, conversions == 0), the assigned
+// compile must be a strict pass-through — byte-for-byte the schedule
+// the hoisted (assignment-disabled) compile produces. Any real slowdown
+// of "assigned" vs "hoisted" on such a kernel is therefore measurement
+// noise, not a schedule difference.
+func TestAssignedEqualsHoistedWhenNoNTTRegs(t *testing.T) {
+	params, enc := testEnv(t)
+	names := []string{
+		"box-blur", "dot-product", "hamming-distance", "l2-distance",
+		"linear-regression", "polynomial-regression", "gx", "gy",
+		"roberts-cross", "sobel", "harris",
+	}
+	passThrough := 0
+	for _, name := range names {
+		l, err := baseline.Lowered(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.VecLen > params.SlotCount() {
+			continue
+		}
+		assigned, err := Compile(params, enc, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hoisted, err := CompileWithOptions(params, enc, l, Options{DisableDomainAssignment: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nttRegs, convs := assigned.DomainStats()
+		if nttRegs != 0 || convs != 0 {
+			continue
+		}
+		passThrough++
+		if !reflect.DeepEqual(assigned.Steps, hoisted.Steps) {
+			t.Errorf("%s: all-coefficient assigned plan's steps differ from hoisted plan's", name)
+		}
+		if assigned.NumRegs != hoisted.NumRegs ||
+			!reflect.DeepEqual(assigned.RegDeg, hoisted.RegDeg) ||
+			!reflect.DeepEqual(assigned.RegDomain, hoisted.RegDomain) ||
+			assigned.Out != hoisted.Out ||
+			!reflect.DeepEqual(assigned.Rotations, hoisted.Rotations) {
+			t.Errorf("%s: all-coefficient assigned plan's registers/output differ from hoisted plan's", name)
+		}
+	}
+	if passThrough == 0 {
+		t.Skip("no all-coefficient kernel under these parameters")
+	}
+}

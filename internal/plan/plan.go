@@ -53,10 +53,29 @@ const (
 	OpINTT quill.Op = 0x42
 )
 
+// OpBatchedRot is the plan-only opcode of a cross-source batched
+// rotation group: rotations of DIFFERENT source ciphertexts by the
+// SAME amount, executed through one batched key switch. The Galois
+// element, switching key, and automorphism tables are resolved once
+// per group; each member then pays its own digit decomposition (the
+// dual of OpHoistedRot, which shares one source's decomposition across
+// amounts). Synthesized by the planner when ≥2 plain rotations share a
+// canonical amount within a step window; never appears in lowered
+// programs.
+const OpBatchedRot quill.Op = 0x43
+
 // FanOut is one rotation of a hoisted fan-out group.
 type FanOut struct {
 	Dst int // register receiving this rotation
 	Rot int // canonical rotation amount (never 0)
+}
+
+// BatchedSrc is one member of a cross-source batched rotation group:
+// one source operand rotated by the group's shared amount into its own
+// destination register.
+type BatchedSrc struct {
+	Src int // operand code of this member's source
+	Dst int // register receiving this member's rotation
 }
 
 // Step is one scheduled instruction of a plan. Operand fields A and B
@@ -79,6 +98,14 @@ type Step struct {
 	// decomposition. Entries are in program order; no entry's register
 	// may alias the source (every entry reads it).
 	Fan []FanOut
+
+	// Batch lists the members of a cross-source batched group
+	// (OpBatchedRot only; nil for every other op). Every member rotates
+	// its own source by the step's shared Rot amount; A and Dst mirror
+	// the first member. Entries are in program order; no member's
+	// destination may alias any member's source (the group reads all
+	// sources before the last write).
+	Batch []BatchedSrc
 }
 
 // ExecutionPlan is a compiled, immutable execution schedule for one
@@ -107,9 +134,9 @@ type ExecutionPlan struct {
 	// from pre-v3 wire artifacts.
 	RegDomain []Domain
 	// NumDecomps is the number of key-switching decomposition scratch
-	// buffers a session needs: 1 when the plan contains hoisted
-	// rotation groups (they never nest, so one buffer serves all of
-	// them), 0 otherwise. Sized by the register allocator; not
+	// buffers a session needs: 1 when the plan contains hoisted or
+	// batched rotation groups (they never nest, so one buffer serves
+	// all of them), 0 otherwise. Sized by the register allocator; not
 	// serialized — decode recomputes it from the step list.
 	NumDecomps int
 
@@ -176,6 +203,21 @@ func (p *ExecutionPlan) HoistedGroups() (groups, rotations int) {
 	return groups, rotations
 }
 
+// BatchedGroups returns the number of cross-source batched rotation
+// steps and the total rotations they cover. Each group fetches its
+// Galois key and automorphism tables once; every member still pays its
+// own digit decomposition (sources differ), so the win is the shared
+// per-element state, not shared digits.
+func (p *ExecutionPlan) BatchedGroups() (groups, rotations int) {
+	for i := range p.Steps {
+		if p.Steps[i].Op == OpBatchedRot {
+			groups++
+			rotations += len(p.Steps[i].Batch)
+		}
+	}
+	return groups, rotations
+}
+
 // Options tunes compilation.
 type Options struct {
 	// DisableHoisting turns off rotation fan-out fusion, producing a
@@ -194,14 +236,34 @@ type Options struct {
 	// reference for the domain-assigned schedule and the baseline for
 	// measuring the transform win.
 	DisableDomainAssignment bool
+
+	// DisableBatching turns off cross-source batched key switching:
+	// rotations of different sources by a shared amount stay plain
+	// serial steps. Implied by DisableHoisting (a "flat" plan is the
+	// fully serial reference). Bit-identity is unaffected either way.
+	DisableBatching bool
+
+	// BatchWindow bounds how far apart (in schedule positions) two
+	// rotations may sit and still fuse into one batched group; batching
+	// extends every member source's live range to the group step, so
+	// the window caps the register-pressure cost. 0 means the default.
+	BatchWindow int
 }
 
+// defaultBatchWindow is the BatchWindow used when Options leaves it 0:
+// wide enough to fuse the corresponding levels of two back-to-back
+// log-depth reduction trees over 16-slot windows (8 schedule entries
+// apart), small enough to keep at most a handful of sources live.
+const defaultBatchWindow = 8
+
 // schedEntry is one scheduled unit of the compile pipeline: a plain
-// instruction, or a fused rotation fan-out group scheduled at its
-// first member's position.
+// instruction, a fused rotation fan-out group (one source, many
+// amounts), or a cross-source batched group (many sources, one
+// amount), either group scheduled at its first member's position.
 type schedEntry struct {
 	idx     int   // instruction index (first member for groups)
 	members []int // nil → plain step; else the group's rotation instrs
+	batch   bool  // members share an amount (OpBatchedRot), not a source
 }
 
 // Compile analyzes a lowered program and produces its execution plan
@@ -378,6 +440,16 @@ func CompileWithOptions(params *bfv.Parameters, enc *bfv.Encoder, l *quill.Lower
 		dom = assignDomains(l, canon, deg, sched, nIn, output)
 	}
 
+	// Pass 4b: cross-source batching (see batch.go) — plain rotations
+	// sharing a canonical amount within a step window fuse into one
+	// OpBatchedRot group. Runs after domain assignment (it preserves
+	// every member's source and destination domain, so the assignment
+	// stays optimal for the same cost model) and is skipped for flat
+	// reference plans.
+	if !opts.DisableHoisting && !opts.DisableBatching {
+		sched = batchRotations(l, canon, sched, nIn, norm, opts.BatchWindow)
+	}
+
 	// Pass 5: work-item construction. A value's home form carries the
 	// domain its defining step writes; a consumer needing the other
 	// domain reads a conversion twin, materialized once per value by an
@@ -397,12 +469,13 @@ func CompileWithOptions(params *bfv.Parameters, enc *bfv.Encoder, l *quill.Lower
 		twinOf[i] = -1
 	}
 	type workItem struct {
-		conv    bool // OpNTT/OpINTT twin materialization
-		toNTT   bool
-		e       schedEntry // instruction item (unused for conv)
-		aForm   int        // operand form (conv: the source home form)
-		bForm   int        // second operand form, -1 if none
-		dstForm int        // form defined (twin id for conv; -1 for groups)
+		conv     bool // OpNTT/OpINTT twin materialization
+		toNTT    bool
+		e        schedEntry // instruction item (unused for conv)
+		aForm    int        // operand form (conv: the source home form)
+		bForm    int        // second operand form, -1 if none
+		dstForm  int        // form defined (twin id for conv; -1 for groups)
+		srcForms []int      // per-member source forms (batched groups only)
 	}
 	var items []workItem
 	form := func(v int, d Domain) int {
@@ -421,6 +494,14 @@ func CompileWithOptions(params *bfv.Parameters, enc *bfv.Encoder, l *quill.Lower
 	for _, e := range sched {
 		in := l.Instrs[e.idx]
 		a := canon[in.A]
+		if e.batch {
+			it := workItem{e: e, aForm: a, bForm: -1, dstForm: -1}
+			for _, m := range e.members {
+				it.srcForms = append(it.srcForms, canon[l.Instrs[m].A])
+			}
+			items = append(items, it)
+			continue
+		}
 		if e.members != nil {
 			items = append(items, workItem{e: e, aForm: a, bForm: -1, dstForm: -1})
 			continue
@@ -454,6 +535,9 @@ func CompileWithOptions(params *bfv.Parameters, enc *bfv.Encoder, l *quill.Lower
 		last[it.aForm] = t
 		if it.bForm >= 0 {
 			last[it.bForm] = t
+		}
+		for _, f := range it.srcForms {
+			last[f] = t
 		}
 	}
 	last[outForm] = math.MaxInt
@@ -534,6 +618,25 @@ func CompileWithOptions(params *bfv.Parameters, enc *bfv.Encoder, l *quill.Lower
 			continue
 		}
 		in := l.Instrs[it.e.idx]
+		if it.e.batch {
+			st := Step{Op: OpBatchedRot, Pt: -1, Con: -1, Rot: norm(in.Rot)}
+			rotSet[st.Rot] = true
+			for i, m := range it.e.members {
+				reg := alloc(1, dom[nIn+m])
+				regOf[nIn+m] = reg
+				st.Batch = append(st.Batch, BatchedSrc{Src: code(it.srcForms[i]), Dst: reg})
+			}
+			st.A, st.Dst = st.Batch[0].Src, st.Batch[0].Dst
+			// Every member's source is read by the group; free their
+			// registers only now that no member destination can have
+			// claimed one.
+			for _, f := range it.srcForms {
+				release(f, t)
+			}
+			p.NumDecomps = 1
+			p.Steps = append(p.Steps, st)
+			continue
+		}
 		if it.e.members != nil {
 			st := Step{Op: OpHoistedRot, A: code(it.aForm), Pt: -1, Con: -1}
 			for _, m := range it.e.members {
@@ -705,6 +808,20 @@ func (p *ExecutionPlan) ExternalTransforms() int {
 					c++
 				}
 			}
+		case OpBatchedRot:
+			// Each member runs the serial rotation pipeline of its own
+			// domain pair (the batch shares per-element state, not
+			// transforms), so the counts mirror quill.OpRotCt below.
+			for _, m := range st.Batch {
+				switch {
+				case p.codeDomain(m.Src) == DomNTT:
+					c++
+				case p.regDomain(m.Dst) == DomNTT:
+					c++
+				default:
+					c += 2
+				}
+			}
 		case OpNTT, OpINTT:
 			c += 2
 		case quill.OpRotCt:
@@ -831,7 +948,52 @@ func (p *ExecutionPlan) Validate(params *bfv.Parameters) error {
 		if st.Op != OpHoistedRot && len(st.Fan) != 0 {
 			return bad("fan-out list on a non-hoisted step")
 		}
+		if st.Op != OpBatchedRot && len(st.Batch) != 0 {
+			return bad("batch list on a non-batched step")
+		}
 		switch {
+		case st.Op == OpBatchedRot:
+			if len(st.Batch) < 2 {
+				return bad(fmt.Sprintf("batched group with %d members, want ≥ 2", len(st.Batch)))
+			}
+			if st.Rot == 0 || !rotDeclared[st.Rot] {
+				return bad(fmt.Sprintf("rotation %d not in declared set %v", st.Rot, p.Rotations))
+			}
+			rotUsed[st.Rot] = true
+			if st.A != st.Batch[0].Src || st.Dst != st.Batch[0].Dst {
+				return bad("batched step operands disagree with its first member")
+			}
+			srcSeen := map[int]bool{}
+			dstSeen := map[int]bool{}
+			for _, m := range st.Batch {
+				if m.Src < 0 || m.Src >= codes {
+					return bad(fmt.Sprintf("batch source code %d out of range", m.Src))
+				}
+				if m.Dst < 0 || m.Dst >= p.NumRegs {
+					return bad(fmt.Sprintf("batch destination register %d out of range", m.Dst))
+				}
+				if srcSeen[m.Src] {
+					return bad(fmt.Sprintf("duplicate batch source %d (same source and amount belong in one rotation)", m.Src))
+				}
+				srcSeen[m.Src] = true
+				if dstSeen[m.Dst] {
+					return bad(fmt.Sprintf("duplicate batch destination register %d", m.Dst))
+				}
+				dstSeen[m.Dst] = true
+				if p.codeDomain(m.Src) == DomNTT && p.regDomain(m.Dst) != DomNTT {
+					return bad(fmt.Sprintf("batch member rotates an NTT-resident source into coefficient register %d", m.Dst))
+				}
+			}
+			// The group reads every member's source; no member may write
+			// over any source.
+			for _, m := range st.Batch {
+				if p.IsInput(m.Src) {
+					continue
+				}
+				if dstSeen[p.Reg(m.Src)] {
+					return bad(fmt.Sprintf("batch destination register %d aliases a member source", p.Reg(m.Src)))
+				}
+			}
 		case st.Op == OpHoistedRot:
 			if len(st.Fan) < 2 {
 				return bad(fmt.Sprintf("hoisted group with fan-out %d, want ≥ 2", len(st.Fan)))
@@ -948,9 +1110,10 @@ func (p *ExecutionPlan) Validate(params *bfv.Parameters) error {
 			return fmt.Errorf("plan: declared rotation %d never executed", r)
 		}
 	}
-	groups, _ := p.HoistedGroups()
-	if want := min(groups, 1); p.NumDecomps != want {
-		return fmt.Errorf("plan: %d decomposition buffers declared, %d hoisted groups need %d", p.NumDecomps, groups, want)
+	hoisted, _ := p.HoistedGroups()
+	batched, _ := p.BatchedGroups()
+	if want := min(hoisted+batched, 1); p.NumDecomps != want {
+		return fmt.Errorf("plan: %d decomposition buffers declared, %d hoisted+batched groups need %d", p.NumDecomps, hoisted+batched, want)
 	}
 	if p.Out < 0 || p.Out >= codes {
 		return fmt.Errorf("plan: output code %d out of range", p.Out)

@@ -92,6 +92,26 @@ func EstimateNoise(l *Lowered, np NoiseParams) (*NoiseEstimate, error) {
 	return est, nil
 }
 
+// BudgetGain reports the change in predicted decryption budget going
+// from program a to program b under np: EstimateNoise(b).Budget −
+// EstimateNoise(a).Budget. Under the growth rules above a serial
+// reduction chain pays one rotation (key-switch floor + 1) and one
+// addition (+1) per accumulated offset, while the log-depth tree of
+// treereduce.go pays that only per level, so the rewrite's gain is
+// never negative; noise_test.go pins tree ≥ serial for every
+// reduction kernel.
+func BudgetGain(a, b *Lowered, np NoiseParams) (float64, error) {
+	ea, err := EstimateNoise(a, np)
+	if err != nil {
+		return 0, err
+	}
+	eb, err := EstimateNoise(b, np)
+	if err != nil {
+		return 0, err
+	}
+	return eb.Budget - ea.Budget, nil
+}
+
 // FitsParams reports whether the program is predicted to decrypt
 // correctly under the given parameters, with the requested safety
 // margin in bits.

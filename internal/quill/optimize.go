@@ -15,7 +15,10 @@ import (
 //   - dead-code elimination (instructions whose value cannot reach the
 //     output);
 //   - rotation-of-rotation folding (rot(rot(x, a), b) = rot(x, a+b)),
-//     which can appear after stitching segments.
+//     which can appear after stitching segments;
+//   - tree reduction (treereduce.go): serial slot-reduction chains are
+//     re-associated into log-depth rotate-and-add trees whenever that
+//     strictly lowers the rotation count.
 //
 // The paper's single-kernel lowering already shares rotations (§4.4);
 // this pass extends that guarantee to composed programs, an extension
@@ -30,10 +33,18 @@ func OptimizeLowered(l *Lowered) (*Lowered, error) {
 		if err != nil {
 			return nil, err
 		}
-		if !changed {
+		if changed {
+			cur = next
+			continue
+		}
+		tree, treeChanged, err := treeReduceOnce(next)
+		if err != nil {
+			return nil, err
+		}
+		if !treeChanged {
 			return next, nil
 		}
-		cur = next
+		cur = tree
 	}
 }
 

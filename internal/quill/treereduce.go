@@ -1,0 +1,264 @@
+package quill
+
+import "sort"
+
+// treereduce.go rewrites serial slot-reduction chains into log-depth
+// rotate-and-add trees.
+//
+// A slot reduction accumulates a contiguous window of rotations of one
+// value,
+//
+//	acc = rot(x,c) + rot(x,c+1) + ... + rot(x,c+m-1),
+//
+// and the natural way to write it — acc = rot(acc,1) + x repeated —
+// lowers to a serial fan-out-1 chain: m−1 rotations, each of a
+// DIFFERENT source, so neither rotation CSE, the plan hoister (every
+// fan-out is 1), nor domain assignment (each rotation ends a chain)
+// can touch it. The rewrite re-associates the same sum into the
+// doubling tree
+//
+//	t = x + rot(x, 1); t = t + rot(t, 2); t = t + rot(t, 4); ...
+//
+// which needs only O(log m) rotations and O(log m) sequential
+// rotate-and-add levels (cutting the serial chain's noise growth too,
+// since EstimateNoise charges every rotation and addition one bit of
+// depth). Parallel reductions over different sources come out of the
+// rewrite with level-aligned rotation amounts, which is exactly the
+// shape the plan layer's cross-source batched key switching fuses.
+//
+// Exactness: the rewrite preserves the multiset of LITERAL rotation
+// offsets applied to the base value — it only re-associates the
+// additions. Slot addition is associative and commutative in the
+// plaintext ring on both the abstract machine and the HE backend, and
+// literal offsets compose additively on both (see NormRot for why
+// amounts must stay literal), so the rewritten program computes the
+// same full vector, zero padding and wraparound included, for every
+// vector length.
+
+// maxTreeOffsets bounds the tracked offset-set size so descriptor
+// propagation stays linear in program size.
+const maxTreeOffsets = 4096
+
+// reduceDesc describes an SSA value as a sum of distinct literal
+// rotations of one base value: v = Σ_{k∈offs} rot(base, k). Every
+// value has the trivial descriptor (itself, {0}).
+type reduceDesc struct {
+	base int
+	offs []int // sorted, strictly increasing
+}
+
+// reduceDescriptors abstractly interprets the program over reduction
+// descriptors. Rotation shifts every offset by the literal amount;
+// addition of two sums over the same base with disjoint offset sets
+// unions them; everything else resets to the trivial descriptor.
+func reduceDescriptors(l *Lowered) []reduceDesc {
+	descs := make([]reduceDesc, l.NumValues())
+	for i := 0; i < l.NumCtInputs; i++ {
+		descs[i] = reduceDesc{base: i, offs: []int{0}}
+	}
+	for _, in := range l.Instrs {
+		d := reduceDesc{base: in.Dst, offs: []int{0}}
+		switch in.Op {
+		case OpRotCt:
+			src := descs[in.A]
+			offs := make([]int, len(src.offs))
+			for j, o := range src.offs {
+				offs[j] = o + in.Rot
+			}
+			d = reduceDesc{base: src.base, offs: offs}
+		case OpAddCtCt:
+			da, db := descs[in.A], descs[in.B]
+			if da.base == db.base && len(da.offs)+len(db.offs) <= maxTreeOffsets {
+				if merged, ok := mergeDisjoint(da.offs, db.offs); ok {
+					d = reduceDesc{base: da.base, offs: merged}
+				}
+			}
+		}
+		descs[in.Dst] = d
+	}
+	return descs
+}
+
+// mergeDisjoint merges two sorted strictly-increasing offset lists,
+// reporting failure on any shared offset (x + x is 2·x, not a plain
+// reduction).
+func mergeDisjoint(a, b []int) ([]int, bool) {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			return nil, false
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out, true
+}
+
+// RotationCount returns the number of rot-ct instructions — the static
+// quantity the tree rewrite drives from O(n) to O(log n) on reduction
+// kernels.
+func (l *Lowered) RotationCount() int {
+	c := 0
+	for _, in := range l.Instrs {
+		if in.Op == OpRotCt {
+			c++
+		}
+	}
+	return c
+}
+
+// TreeReduceLowered rewrites serial slot-reduction chains in l into
+// log-depth rotate-and-add trees and returns the rewritten (and
+// CSE/DCE-cleaned) program plus whether anything changed. A candidate
+// chain is rewritten only when doing so strictly reduces the program's
+// rotation count, so programs already in tree form — and chains whose
+// partial sums have other consumers — pass through unchanged.
+// OptimizeLowered runs this as part of its fixpoint.
+func TreeReduceLowered(l *Lowered) (*Lowered, bool, error) {
+	if err := l.Validate(); err != nil {
+		return nil, false, err
+	}
+	cur, err := cseDce(l)
+	if err != nil {
+		return nil, false, err
+	}
+	changed := false
+	for {
+		next, ch, err := treeReduceOnce(cur)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ch {
+			return cur, changed, nil
+		}
+		cur, changed = next, true
+	}
+}
+
+// cseDce runs the CSE/DCE cleanup to fixpoint (the non-tree half of
+// OptimizeLowered).
+func cseDce(l *Lowered) (*Lowered, error) {
+	cur := l
+	for {
+		next, changed, err := optimizeOnce(cur)
+		if err != nil {
+			return nil, err
+		}
+		if !changed {
+			return next, nil
+		}
+		cur = next
+	}
+}
+
+// treeReduceOnce finds the best reduction chain whose rewrite strictly
+// lowers the rotation count, applies it, and returns the cleaned
+// program. l must already be CSE/DCE-clean so rotation counts compare
+// like with like.
+func treeReduceOnce(l *Lowered) (*Lowered, bool, error) {
+	descs := reduceDescriptors(l)
+	type candidate struct{ idx, base, start, m int }
+	var cands []candidate
+	for idx, in := range l.Instrs {
+		d := descs[in.Dst]
+		m := len(d.offs)
+		if d.base == in.Dst || m < 3 {
+			continue
+		}
+		// Contiguous window: sorted distinct offsets spanning m−1.
+		if d.offs[m-1]-d.offs[0] != m-1 {
+			continue
+		}
+		cands = append(cands, candidate{idx: idx, base: d.base, start: d.offs[0], m: m})
+	}
+	// Widest chain first; later candidates are often its own partial
+	// sums and disappear with it.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].m != cands[j].m {
+			return cands[i].m > cands[j].m
+		}
+		return cands[i].idx < cands[j].idx
+	})
+	before := l.RotationCount()
+	for _, c := range cands {
+		rw, err := rewriteReduction(l, c.idx, c.base, c.start, c.m)
+		if err != nil {
+			return nil, false, err
+		}
+		cleaned, err := cseDce(rw)
+		if err != nil {
+			return nil, false, err
+		}
+		if cleaned.RotationCount() < before {
+			return cleaned, true, nil
+		}
+	}
+	return l, false, nil
+}
+
+// rewriteReduction rebuilds l with the instruction at candIdx replaced
+// by rot(base, start) (when start ≠ 0) followed by the canonical
+// doubling tree over a window of width m. The chain's intermediate
+// instructions are left in place for DCE to collect — if any of them
+// has another consumer it simply survives.
+func rewriteReduction(l *Lowered, candIdx, base, start, m int) (*Lowered, error) {
+	out := &Lowered{VecLen: l.VecLen, NumCtInputs: l.NumCtInputs, NumPtInputs: l.NumPtInputs}
+	remap := make([]int, l.NumValues())
+	for i := 0; i < l.NumCtInputs; i++ {
+		remap[i] = i
+	}
+	next := l.NumCtInputs
+	emit := func(in LInstr) int {
+		in.Dst = next
+		out.Instrs = append(out.Instrs, in)
+		next++
+		return in.Dst
+	}
+	for idx, in := range l.Instrs {
+		if idx == candIdx {
+			b := remap[base]
+			if start != 0 {
+				b = emit(LInstr{Op: OpRotCt, A: b, Rot: start})
+			}
+			remap[in.Dst] = emitTree(emit, b, m)
+			continue
+		}
+		ni := in
+		ni.A = remap[in.A]
+		if in.Op.IsCtCt() {
+			ni.B = remap[in.B]
+		}
+		remap[in.Dst] = emit(ni)
+	}
+	out.Output = remap[l.Output]
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// emitTree emits instructions computing Σ_{k=0}^{m-1} rot(b, k) with
+// O(log m) rotations: even widths double the half-width tree
+// (T(m) = T(m/2) + rot(T(m/2), m/2)), odd widths add the one missing
+// offset from the base (T(m) = T(m−1) + rot(b, m−1)).
+func emitTree(emit func(LInstr) int, b, m int) int {
+	if m == 1 {
+		return b
+	}
+	if m%2 == 0 {
+		t := emitTree(emit, b, m/2)
+		r := emit(LInstr{Op: OpRotCt, A: t, Rot: m / 2})
+		return emit(LInstr{Op: OpAddCtCt, A: t, B: r})
+	}
+	t := emitTree(emit, b, m-1)
+	r := emit(LInstr{Op: OpRotCt, A: b, Rot: m - 1})
+	return emit(LInstr{Op: OpAddCtCt, A: t, B: r})
+}

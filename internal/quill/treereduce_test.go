@@ -1,0 +1,204 @@
+package quill
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// serialChain builds the fan-out-1 shift-accumulate reduction over a
+// window of m offsets starting at `start`: the shape
+//
+//	acc = base; repeat m-1 times: acc = rot(acc, 1) + base
+//
+// (shifted by rot(base, start) first when start != 0), which is how a
+// slot reduction looks before the tree rewrite: m-1 rotations, each of
+// a different source.
+func serialChain(vecLen, start, m int) *Lowered {
+	l := &Lowered{VecLen: vecLen, NumCtInputs: 1}
+	next := 1
+	emit := func(in LInstr) int {
+		in.Dst = next
+		l.Instrs = append(l.Instrs, in)
+		next++
+		return in.Dst
+	}
+	base := 0
+	if start != 0 {
+		base = emit(LInstr{Op: OpRotCt, A: 0, Rot: start})
+	}
+	acc := base
+	for k := 1; k < m; k++ {
+		r := emit(LInstr{Op: OpRotCt, A: acc, Rot: 1})
+		acc = emit(LInstr{Op: OpAddCtCt, A: r, B: base})
+	}
+	l.Output = acc
+	return l
+}
+
+// runOn interprets l over a concrete vector of arbitrary length —
+// longer-than-VecLen inputs emulate the zero-padded HE row, where
+// rotation shifts padding through the program window instead of
+// wrapping mod VecLen.
+func runOn(t *testing.T, l *Lowered, in Vec) Vec {
+	t.Helper()
+	out, err := RunLowered(l, ConcreteSem{}, []Vec{in}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// checkSameFunction asserts a and b compute identical full vectors on
+// random inputs at the program's own vector length AND on zero-padded
+// rows of 2x and 128x that length (wraparound exactness).
+func checkSameFunction(t *testing.T, a, b *Lowered, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for _, rowLen := range []int{a.VecLen, 2 * a.VecLen, 128 * a.VecLen} {
+		in := make(Vec, rowLen)
+		for i := 0; i < a.VecLen; i++ {
+			in[i] = rng.Uint64() % Modulus
+		}
+		got, want := runOn(t, b, in), runOn(t, a, in)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("row %d slot %d: tree %d != serial %d", rowLen, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTreeReduceRewritesSerialChain(t *testing.T) {
+	// Width, expected tree rotation count: R(2)=1; even m: R(m/2)+1;
+	// odd m: R(m-1)+1.
+	cases := []struct{ m, wantRots int }{
+		{4, 2}, {8, 3}, {16, 4},
+		{5, 3}, {6, 3}, {7, 4}, {12, 4}, // non-power-of-two widths
+	}
+	for _, c := range cases {
+		serial := serialChain(16, 0, c.m)
+		if got := serial.RotationCount(); got != c.m-1 {
+			t.Fatalf("m=%d: serial chain has %d rotations, want %d", c.m, got, c.m-1)
+		}
+		tree, changed, err := TreeReduceLowered(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !changed {
+			t.Fatalf("m=%d: serial chain not rewritten", c.m)
+		}
+		if got := tree.RotationCount(); got != c.wantRots {
+			t.Errorf("m=%d: tree has %d rotations, want %d\n%s", c.m, got, c.wantRots, tree)
+		}
+		if tree.Depth() >= serial.Depth() && c.m > 4 {
+			t.Errorf("m=%d: tree depth %d not below serial depth %d", c.m, tree.Depth(), serial.Depth())
+		}
+		checkSameFunction(t, serial, tree, int64(c.m))
+	}
+}
+
+func TestTreeReduceShiftedWindow(t *testing.T) {
+	// Offsets {3..10}: the rewrite must emit rot(base, 3) before the
+	// tree and keep every offset literal — on a zero-padded row the
+	// window reaches past the program vector, so any mod-VecLen
+	// normalization would be observable.
+	serial := serialChain(8, 3, 8)
+	tree, changed, err := TreeReduceLowered(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("shifted chain not rewritten")
+	}
+	if got, want := tree.RotationCount(), 4; got != want { // start rot + {1,2,4}
+		t.Errorf("tree has %d rotations, want %d\n%s", got, want, tree)
+	}
+	checkSameFunction(t, serial, tree, 11)
+}
+
+func TestTreeReduceLeavesLogDepthAlone(t *testing.T) {
+	// A program already in tree form must pass through unchanged: the
+	// rewrite only fires when it strictly lowers the rotation count.
+	l := &Lowered{VecLen: 8, NumCtInputs: 1}
+	next := 1
+	emit := func(in LInstr) int {
+		in.Dst = next
+		l.Instrs = append(l.Instrs, in)
+		next++
+		return in.Dst
+	}
+	acc := 0
+	for _, k := range []int{1, 2, 4} {
+		r := emit(LInstr{Op: OpRotCt, A: acc, Rot: k})
+		acc = emit(LInstr{Op: OpAddCtCt, A: acc, B: r})
+	}
+	l.Output = acc
+	tree, changed, err := TreeReduceLowered(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Fatalf("log-depth tree was rewritten:\n%s", tree)
+	}
+}
+
+func TestTreeReduceKeepsLivePartialSums(t *testing.T) {
+	// The chain's halfway partial sum feeds a second consumer, so the
+	// chain prefix cannot die; rewriting the full window would ADD
+	// rotations, and the suffix window alone still shrinks. Whatever
+	// the pass decides, the rotation count must not grow and semantics
+	// must hold.
+	serial := serialChain(16, 0, 8)
+	half := serial.Instrs[len(serial.Instrs)-1].Dst - 6 // acc after 4 accumulations
+	mixed := &Lowered{
+		VecLen: 16, NumCtInputs: 1,
+		Instrs: append(append([]LInstr{}, serial.Instrs...),
+			LInstr{Op: OpMulCtCt, Dst: serial.Output + 1, A: half, B: serial.Output}),
+		Output: serial.Output + 1,
+	}
+	if err := mixed.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tree, _, err := TreeReduceLowered(mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.RotationCount() > mixed.RotationCount() {
+		t.Fatalf("rewrite grew rotations: %d -> %d", mixed.RotationCount(), tree.RotationCount())
+	}
+	checkSameFunction(t, mixed, tree, 5)
+}
+
+func TestOptimizeLoweredRunsTreeReduction(t *testing.T) {
+	// The default optimization pipeline must emit the tree on its own.
+	opt, err := OptimizeLowered(serialChain(8, 0, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := opt.RotationCount(), 3; got != want {
+		t.Errorf("OptimizeLowered left %d rotations, want %d\n%s", got, want, opt)
+	}
+}
+
+func TestTreeReduceNoiseBudget(t *testing.T) {
+	// Log depth cuts sequential rotate-and-add levels, so the tree's
+	// predicted decryption budget must be at least the serial chain's.
+	np := testNoiseParams()
+	for _, m := range []int{4, 6, 8, 16} {
+		serial := serialChain(16, 0, m)
+		tree, changed, err := TreeReduceLowered(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !changed {
+			t.Fatalf("m=%d: chain not rewritten", m)
+		}
+		gain, err := BudgetGain(serial, tree, np)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gain < 0 {
+			t.Errorf("m=%d: tree budget below serial chain's (gain %.1f bits)", m, gain)
+		}
+	}
+}

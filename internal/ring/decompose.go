@@ -101,7 +101,13 @@ func (r *Ring) NTTPermutation(g uint64) []uint32 {
 // must not alias src. Equivalent to INTT → Automorphism → NTT, at the
 // cost of a gather.
 func (r *Ring) AutomorphismNTT(dst, src *Poly, g uint64) {
-	perm := r.NTTPermutation(g)
+	r.AutomorphismNTTWithTable(dst, src, r.NTTPermutation(g))
+}
+
+// AutomorphismNTTWithTable is AutomorphismNTT with the permutation
+// resolved by the caller (NTTPermutation) — the prefetched form used
+// by batched cross-source key switching.
+func (r *Ring) AutomorphismNTTWithTable(dst, src *Poly, perm []uint32) {
 	for i := range r.Primes {
 		si, di := src.Coeffs[i], dst.Coeffs[i]
 		for j, pj := range perm {

@@ -45,6 +45,10 @@ type Ring struct {
 	// Galois element (uint64 -> []uint32; see NTTPermutation).
 	permCache sync.Map
 
+	// autoCache caches coefficient-domain automorphism tables per
+	// Galois element (uint64 -> []uint32; see AutomorphismTable).
+	autoCache sync.Map
+
 	// lazyAccumOK reports that a K-term inner product of reduced
 	// operands fits a 128-bit accumulator with the final Barrett
 	// reduction still valid: K · max(p) < 2^64. See MulAccumLazy.
@@ -555,24 +559,56 @@ func nttInverse(a []uint64, tbl *nttTable) {
 	}
 }
 
+// autoNegate flags a coefficient-domain automorphism table entry whose
+// coefficient picks up a sign flip (X^k = -X^(k-N) in R). The low 31
+// bits hold the destination index, which is always < N ≤ 2^17.
+const autoNegate = 1 << 31
+
+// AutomorphismTable returns the coefficient-domain automorphism table
+// for g: entry j holds the destination index of coefficient j, with
+// autoNegate set when the move crosses the X^N = -1 boundary. Tables
+// are built once per Galois element and cached on the ring, the
+// coefficient-domain counterpart of NTTPermutation.
+func (r *Ring) AutomorphismTable(g uint64) []uint32 {
+	if v, ok := r.autoCache.Load(g); ok {
+		return v.([]uint32)
+	}
+	n := uint64(r.N)
+	mask := 2*n - 1
+	t := make([]uint32, n)
+	for j := uint64(0); j < n; j++ {
+		k := (j * g) & mask // index of X^(j*g) mod X^2N - 1
+		if k >= n {
+			t[j] = uint32(k-n) | autoNegate
+		} else {
+			t[j] = uint32(k)
+		}
+	}
+	actual, _ := r.autoCache.LoadOrStore(g, t)
+	return actual.([]uint32)
+}
+
 // Automorphism applies the Galois automorphism X → X^g to src (in the
 // coefficient domain), writing into dst. g must be odd (a unit mod 2N).
 // dst must not alias src.
 func (r *Ring) Automorphism(dst, src *Poly, g uint64) {
-	n := uint64(r.N)
-	mask := 2*n - 1
+	r.AutomorphismWithTable(dst, src, r.AutomorphismTable(g))
+}
+
+// AutomorphismWithTable is Automorphism with the index table resolved
+// by the caller (AutomorphismTable) — the prefetched form used when
+// one Galois element is applied to many sources. dst must not alias
+// src.
+func (r *Ring) AutomorphismWithTable(dst, src *Poly, tab []uint32) {
 	for i := range r.Primes {
 		si, di := src.Coeffs[i], dst.Coeffs[i]
 		p := r.Primes[i]
-		for j := uint64(0); j < n; j++ {
-			k := (j * g) & mask // index of X^(j*g) mod X^2N - 1
+		for j, e := range tab {
 			v := si[j]
-			if k >= n {
-				// X^k = -X^(k-N) in R.
-				k -= n
+			if e&autoNegate != 0 {
 				v = mathutil.NegMod(v, p)
 			}
-			di[k] = v
+			di[e&^autoNegate] = v
 		}
 	}
 }

@@ -288,7 +288,7 @@ func TestDomainPlanNeedsV3(t *testing.T) {
 	if _, err := wire.EncodeVersion(b, 2); err == nil {
 		t.Fatal("domain-assigned plan encoded as v2")
 	}
-	data, err := b.Encode()
+	data, err := wire.EncodeVersion(b, 3)
 	if err != nil {
 		t.Fatalf("domain-assigned plan fails v3 encode: %v", err)
 	}
@@ -376,5 +376,233 @@ func TestDomainCorruptionRejected(t *testing.T) {
 		for r := range p.RegDomain {
 			p.RegDomain[r] = plan.DomCoeff
 		}
+	})
+}
+
+// batchedProgram rotates two DIFFERENT sources by the same amount —
+// fan-out 1 per source, so hoisting leaves both serial and the v4
+// planner fuses them into one cross-source batched group.
+func batchedProgram() *quill.Lowered {
+	return &quill.Lowered{
+		VecLen: 1024, NumCtInputs: 2,
+		Instrs: []quill.LInstr{
+			{Op: quill.OpRotCt, Dst: 2, A: 0, Rot: 1},
+			{Op: quill.OpRotCt, Dst: 3, A: 1, Rot: 1},
+			{Op: quill.OpAddCtCt, Dst: 4, A: 2, B: 0},
+			{Op: quill.OpAddCtCt, Dst: 5, A: 3, B: 1},
+			{Op: quill.OpAddCtCt, Dst: 6, A: 4, B: 5},
+		},
+		Output: 6,
+	}
+}
+
+// TestV3BundleStillLoadsAndRuns fabricates a byte-exact version-3
+// bundle (domain bytes, but no batch lists — the format every
+// pre-batching export used) around a batch-free plan and proves this
+// build decodes, validates and executes it bit-identically to the
+// batched v4 plan of the same program.
+func TestV3BundleStillLoadsAndRuns(t *testing.T) {
+	l := batchedProgram()
+	ctx, plans, err := backend.NewTestServingContext("PN2048", 23, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched := plans[0]
+	if g, r := batched.BatchedGroups(); g != 1 || r != 2 {
+		t.Fatalf("batched plan has %d groups / %d rotations, want 1 / 2", g, r)
+	}
+	// A v3-era exporter assigned domains but kept cross-source
+	// rotations serial.
+	serial, err := plan.CompileWithOptions(ctx.Params, ctx.Encoder, l,
+		plan.Options{DisableBatching: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, _ := serial.BatchedGroups(); g != 0 {
+		t.Fatal("DisableBatching plan still has batched groups")
+	}
+
+	rng := rand.New(rand.NewSource(31))
+	sample := &wire.Request{}
+	for i := 0; i < l.NumCtInputs; i++ {
+		v := make(quill.Vec, l.VecLen)
+		for j := range v {
+			v[j] = rng.Uint64() % 64
+		}
+		ct, err := ctx.EncryptVec(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sample.CtIn = append(sample.CtIn, ct)
+	}
+
+	b, err := serve.Export(ctx, "compat-test", serial, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := wire.EncodeVersion(b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[4] != 3 {
+		t.Fatalf("fabricated artifact carries version byte %d, want 3", data[4])
+	}
+
+	got, err := wire.DecodeBundle(data)
+	if err != nil {
+		t.Fatalf("v3 bundle no longer decodes: %v", err)
+	}
+	for i := range got.Plan.Steps {
+		if len(got.Plan.Steps[i].Batch) != 0 || got.Plan.Steps[i].Op == plan.OpBatchedRot {
+			t.Fatal("v3 plan decoded with batched steps")
+		}
+	}
+
+	// The loaded v3 artifact must reproduce the exporter's output...
+	_, sched, err := serve.Load(got, serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sched.Close()
+	ok, err := serve.SelfTest(sched, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("v3 bundle does not run bit-identically to its exporter")
+	}
+	// ...and that output must equal the batched v4 execution of the
+	// same program: batched members run the serial rotation pipeline
+	// with prefetched per-element state.
+	bout, err := ctx.NewSession().Run(batched, sample.CtIn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ctx.Params.CiphertextEqual(bout, got.Expected) {
+		t.Fatal("batched execution differs from the v3 (serial) expected output")
+	}
+}
+
+// TestBatchedPlanNeedsV4 pins the encoder-side rule: a plan carrying
+// batched groups cannot be written in the v1–v3 layouts (which have no
+// batch field to hold them), and the v4 round trip preserves the
+// groups exactly.
+func TestBatchedPlanNeedsV4(t *testing.T) {
+	l := batchedProgram()
+	ctx, plans, err := backend.NewTestServingContext("PN2048", 23, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := serve.Export(ctx, "compat-test", plans[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ver := byte(1); ver <= 3; ver++ {
+		if _, err := wire.EncodeVersion(b, ver); err == nil {
+			t.Fatalf("batched plan encoded as v%d", ver)
+		}
+	}
+	data, err := b.Encode()
+	if err != nil {
+		t.Fatalf("batched plan fails v4 encode: %v", err)
+	}
+	if data[4] != 4 {
+		t.Fatalf("artifact carries version byte %d, want 4", data[4])
+	}
+	got, err := wire.DecodeBundle(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, r := got.Plan.BatchedGroups()
+	wg, wr := plans[0].BatchedGroups()
+	if g != wg || r != wr {
+		t.Fatalf("decoded %d groups / %d rotations, want %d / %d", g, r, wg, wr)
+	}
+	if got.Plan.NumDecomps != 1 {
+		t.Fatalf("decoded NumDecomps %d, want 1", got.Plan.NumDecomps)
+	}
+}
+
+// TestBatchCorruptionRejected runs decode-side corruptions specific to
+// the v4 batch list: every malformed group must be refused as
+// ErrInvalid by the envelope's deep validation, never panic and never
+// load a plan whose group would read a clobbered source.
+func TestBatchCorruptionRejected(t *testing.T) {
+	l := batchedProgram()
+	ctx, plans, err := backend.NewTestServingContext("PN2048", 23, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := serve.Export(ctx, "compat-test", plans[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchIdx := -1
+	for i := range plans[0].Steps {
+		if plans[0].Steps[i].Op == plan.OpBatchedRot {
+			batchIdx = i
+		}
+	}
+	if batchIdx < 0 {
+		t.Fatal("no batched step in base plan")
+	}
+	corrupt := func(name string, mutate func(p *plan.ExecutionPlan)) {
+		t.Run(name, func(t *testing.T) {
+			p2 := *plans[0]
+			p2.Steps = append([]plan.Step(nil), plans[0].Steps...)
+			for i := range p2.Steps {
+				p2.Steps[i].Batch = append([]plan.BatchedSrc(nil), p2.Steps[i].Batch...)
+			}
+			p2.Rotations = append([]int(nil), plans[0].Rotations...)
+			mutate(&p2)
+			b2 := *base
+			b2.Plan = &p2
+			data, err := b2.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := wire.DecodeBundle(data); !errors.Is(err, wire.ErrInvalid) {
+				t.Fatalf("corrupted batch decoded: err = %v, want ErrInvalid", err)
+			}
+		})
+	}
+	corrupt("batch-src-out-of-range", func(p *plan.ExecutionPlan) {
+		p.Steps[batchIdx].Batch[0].Src = p.NumCtInputs + p.NumRegs
+		p.Steps[batchIdx].A = p.Steps[batchIdx].Batch[0].Src
+	})
+	corrupt("batch-dst-out-of-range", func(p *plan.ExecutionPlan) {
+		p.Steps[batchIdx].Batch[1].Dst = p.NumRegs
+	})
+	corrupt("batch-duplicate-src", func(p *plan.ExecutionPlan) {
+		p.Steps[batchIdx].Batch[1].Src = p.Steps[batchIdx].Batch[0].Src
+	})
+	corrupt("batch-duplicate-dst", func(p *plan.ExecutionPlan) {
+		p.Steps[batchIdx].Batch[1].Dst = p.Steps[batchIdx].Batch[0].Dst
+	})
+	corrupt("batch-dst-aliases-src", func(p *plan.ExecutionPlan) {
+		// Point a member's destination at another member's source
+		// register (sources here are inputs, so retarget the source to
+		// a register first: member 1 reads member 0's destination).
+		st := &p.Steps[batchIdx]
+		st.Batch[1].Src = p.NumCtInputs + st.Batch[0].Dst
+	})
+	corrupt("batch-singleton", func(p *plan.ExecutionPlan) {
+		st := &p.Steps[batchIdx]
+		st.Batch = st.Batch[:1]
+	})
+	corrupt("batch-rot-undeclared", func(p *plan.ExecutionPlan) {
+		p.Steps[batchIdx].Rot = 777
+	})
+	corrupt("batch-on-plain-step", func(p *plan.ExecutionPlan) {
+		for i := range p.Steps {
+			if p.Steps[i].Op != plan.OpBatchedRot {
+				p.Steps[i].Batch = []plan.BatchedSrc{{Src: 0, Dst: 0}}
+				return
+			}
+		}
+	})
+	corrupt("batch-head-mismatch", func(p *plan.ExecutionPlan) {
+		st := &p.Steps[batchIdx]
+		st.Dst = st.Batch[1].Dst
 	})
 }

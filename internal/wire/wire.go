@@ -55,14 +55,16 @@ const (
 	// added hoisted rotation fan-out groups to the plan section (a
 	// per-step fan list); version 3 added one domain byte per register
 	// (coefficient vs NTT residency) plus the OpNTT/OpINTT conversion
-	// steps that domain-assigned plans carry. Decoders accept
-	// MinVersion..Version: a v1 bundle simply decodes to a plan of
-	// plain steps, and a v2 bundle to an all-coefficient plan — both
-	// execute bit-identically (domain residency is a representation
-	// choice, not a semantic one). Prepared NTT operand forms are
-	// derived at decode time, never serialized. Future versions are
-	// rejected — artifacts are cheap to re-export.
-	Version    = 3
+	// steps that domain-assigned plans carry; version 4 added
+	// cross-source batched rotation groups (a per-step batch member
+	// list). Decoders accept MinVersion..Version: a v1 bundle simply
+	// decodes to a plan of plain steps, a v2 bundle to an
+	// all-coefficient plan, and a v3 bundle to a plan without batched
+	// groups — all execute bit-identically (hoisting, residency and
+	// batching are schedule choices, not semantic ones). Prepared NTT
+	// operand forms are derived at decode time, never serialized.
+	// Future versions are rejected — artifacts are cheap to re-export.
+	Version    = 4
 	MinVersion = 1
 )
 
@@ -447,6 +449,9 @@ func encodePlan(w *writer, p *plan.ExecutionPlan, ver byte) error {
 	if nttRegs, convs := p.DomainStats(); ver < 3 && (nttRegs > 0 || convs > 0) {
 		return fmt.Errorf("wire: domain-assigned plans need format version 3, cannot encode as %d", ver)
 	}
+	if groups, _ := p.BatchedGroups(); ver < 4 && groups > 0 {
+		return fmt.Errorf("wire: batched plans need format version 4, cannot encode as %d", ver)
+	}
 	w.u32(uint32(p.N))
 	w.u32(uint32(p.VecLen))
 	w.u32(uint32(p.NumCtInputs))
@@ -479,6 +484,14 @@ func encodePlan(w *writer, p *plan.ExecutionPlan, ver byte) error {
 				w.i64(int64(f.Rot))
 			}
 		}
+		if ver >= 4 {
+			// v4: batched member list (empty for non-batched steps).
+			w.u32(uint32(len(st.Batch)))
+			for _, m := range st.Batch {
+				w.i64(int64(m.Src))
+				w.u32(uint32(m.Dst))
+			}
+		}
 	}
 	w.u32(uint32(len(p.Consts)))
 	for _, pt := range p.Consts {
@@ -496,8 +509,9 @@ func encodePlan(w *writer, p *plan.ExecutionPlan, ver byte) error {
 }
 
 const (
-	stepWireSize = 1 + 4 + 5*8 // fixed step fields (v1 layout; v2 appends the fan list)
-	fanWireSize  = 4 + 8
+	stepWireSize  = 1 + 4 + 5*8 // fixed step fields (v1 layout; v2 appends the fan list, v4 the batch list)
+	fanWireSize   = 4 + 8
+	batchWireSize = 8 + 4
 )
 
 func decodePlan(r *reader, params *bfv.Parameters) (*plan.ExecutionPlan, error) {
@@ -546,8 +560,14 @@ func decodePlan(r *reader, params *bfv.Parameters) (*plan.ExecutionPlan, error) 
 				st.Fan = append(st.Fan, plan.FanOut{Dst: int(r.u32()), Rot: int(r.i64())})
 			}
 		}
+		if r.ver >= 4 {
+			nBatch := r.count(batchWireSize)
+			for m := 0; m < nBatch; m++ {
+				st.Batch = append(st.Batch, plan.BatchedSrc{Src: int(r.i64()), Dst: int(r.u32())})
+			}
+		}
 		p.Steps = append(p.Steps, st)
-		if st.Op == plan.OpHoistedRot {
+		if st.Op == plan.OpHoistedRot || st.Op == plan.OpBatchedRot {
 			// Sized by the register allocator at compile time; derived,
 			// not serialized (plan.Validate checks the consistency).
 			p.NumDecomps = 1
