@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race test-short bench bench-figure4 bench-ops bench-synth bench-serve bench-rot smoke-serve smoke-wire alloc-canary
+.PHONY: all build vet test test-race test-short bench bench-figure4 bench-ops bench-synth bench-serve bench-rot bench-scale smoke-serve smoke-wire alloc-canary
 
 all: vet build test-short
 
@@ -22,7 +22,7 @@ test-short:
 # scheduler, and wire decode/load. Mirrors the CI job; drop -short for
 # the full sweep when touching the search.
 test-race:
-	$(GO) test -race -short -timeout 10m ./internal/synth/... ./internal/quill/... ./internal/backend/... ./internal/serve/... ./internal/wire/...
+	$(GO) test -race -short -timeout 10m ./internal/ring/... ./internal/synth/... ./internal/quill/... ./internal/backend/... ./internal/serve/... ./internal/wire/...
 
 # benchstat-friendly: 5 repetitions of every paper benchmark. Pipe two
 # runs through benchstat to compare changes:
@@ -81,12 +81,29 @@ bench-rot:
 	$(GO) run ./cmd/benchrot -iters 20 -cache-dir /tmp/porcupine-bench-cache -out /tmp/porcupine-bench-rot.json
 	@echo "wrote /tmp/porcupine-bench-rot.json (curated records: BENCH_PR5.json, BENCH_PR6.json)"
 
+# Multi-core scaling benchmark: per-kernel worker sweep with both
+# parallel layers engaged (ring worker pool + levelized plan steps),
+# paired-delta speedups over the serial schedule, bit-identity proven
+# per configuration before timing, and an Amdahl-with-overhead model
+# fit. Recorded numbers live in BENCH_PR8.json; methodology in
+# EXPERIMENTS.md. Override the sweep with e.g.
+#   make bench-scale KERNELS=gx,hamming-distance WORKERS=1,2
+SCALE_ITERS ?= 12
+SCALE_OUT ?= /tmp/porcupine-bench-scale.json
+bench-scale:
+	$(GO) run ./cmd/benchscale -iters $(SCALE_ITERS) \
+		$(if $(KERNELS),-kernels $(KERNELS)) $(if $(WORKERS),-workers $(WORKERS)) \
+		-out $(SCALE_OUT)
+	@echo "wrote $(SCALE_OUT) (curated record: BENCH_PR8.json)"
+
 # Allocation-regression canary (mirrors the CI job): steady-state plan
-# execution — plain, hoisted, domain-assigned, and the tree-reduced
-# batched-rotation path — must report 0 allocs/op.
+# execution — plain, hoisted, domain-assigned, the tree-reduced
+# batched-rotation path, and the multi-core engine (worker pool +
+# levelized steps) — must report 0 allocs/op.
 alloc-canary:
-	$(GO) test -run '^$$' -bench '^(BenchmarkPlanRun|BenchmarkHoistedPlanRun|BenchmarkDomainAssignedPlanRun|BenchmarkTreeBatchedPlanRun)$$' -benchtime 1x -benchmem . | tee /tmp/porcupine-canary.out
+	$(GO) test -run '^$$' -bench '^(BenchmarkPlanRun|BenchmarkHoistedPlanRun|BenchmarkDomainAssignedPlanRun|BenchmarkTreeBatchedPlanRun|BenchmarkParallelPlanRun)$$' -benchtime 1x -benchmem . | tee /tmp/porcupine-canary.out
 	grep -E 'BenchmarkPlanRun.* 0 B/op.* 0 allocs/op' /tmp/porcupine-canary.out
 	grep -E 'BenchmarkHoistedPlanRun.* 0 B/op.* 0 allocs/op' /tmp/porcupine-canary.out
 	grep -E 'BenchmarkDomainAssignedPlanRun.* 0 B/op.* 0 allocs/op' /tmp/porcupine-canary.out
 	grep -E 'BenchmarkTreeBatchedPlanRun.* 0 B/op.* 0 allocs/op' /tmp/porcupine-canary.out
+	grep -E 'BenchmarkParallelPlanRun.* 0 B/op.* 0 allocs/op' /tmp/porcupine-canary.out

@@ -632,3 +632,71 @@ func BenchmarkSketchAblation(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkParallelPlanRun is the allocation canary of the multi-core
+// engine: one warm session executing a plan with both parallel layers
+// engaged — ring hot loops fanned across the persistent worker pool
+// (Params.SetWorkers) and independent steps of each dependency level
+// running concurrently (Session.SetParallelism). CI runs it with
+// -benchtime=1x -benchmem and fails the build on anything but
+// "0 B/op, 0 allocs/op": the pool hands out pre-allocated descriptors
+// and the level runner reuses per-session scratch, so parallelism
+// must not cost the serving runtime its GC-quiet invariant.
+func BenchmarkParallelPlanRun(b *testing.B) {
+	l := &quill.Lowered{
+		VecLen: 1024, NumCtInputs: 1,
+		Instrs: []quill.LInstr{
+			{Op: quill.OpRotCt, Dst: 1, A: 0, Rot: 1},
+			{Op: quill.OpRotCt, Dst: 2, A: 0, Rot: 2},
+			{Op: quill.OpRotCt, Dst: 3, A: 0, Rot: 4},
+			{Op: quill.OpAddCtCt, Dst: 4, A: 1, B: 2},
+			{Op: quill.OpAddCtCt, Dst: 5, A: 4, B: 3},
+			{Op: quill.OpMulCtCt, Dst: 6, A: 5, B: 0},
+			{Op: quill.OpRelin, Dst: 7, A: 6},
+		},
+		Output: 7,
+	}
+	rt, err := backend.NewTestRuntime("PN2048", 5, l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := rt.Plan(l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if p.Levels == nil {
+		b.Fatal("compiled plan has no levelized schedule")
+	}
+	v := make(quill.Vec, l.VecLen)
+	for j := range v {
+		v[j] = uint64(j % 61)
+	}
+	ct, err := rt.EncryptVec(v)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt.Params.SetWorkers(2)
+	defer rt.Params.SetWorkers(0)
+	s := rt.NewSession()
+	s.SetParallelism(2)
+	// Warm-up: spawns the worker pool, grows the register file,
+	// decomposition scratch and ring pools to steady state.
+	for i := 0; i < 3; i++ {
+		if _, err := s.Run(p, []*porcupine.Ciphertext{ct}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// See BenchmarkPlanRun: drain-then-refill the pools so a pending GC
+	// cannot fire inside the single measured sample.
+	runtime.GC()
+	if _, err := s.Run(p, []*porcupine.Ciphertext{ct}, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(p, []*porcupine.Ciphertext{ct}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -119,6 +119,8 @@ func main() {
 		only     = flag.String("kernels", "", "comma-separated kernel subset (default: all)")
 		out      = flag.String("out", "", "write JSON to FILE (default stdout)")
 	)
+	flag.IntVar(&ringWorkers, "ring-workers", 0,
+		"intra-request parallelism: ring hot loops and independent plan steps fan out across this many pool workers (0 = serial)")
 	flag.Parse()
 
 	report := map[string]*kernelReport{}
@@ -216,6 +218,11 @@ func main() {
 // measure compiles l into flat, hoisted-unassigned and
 // domain-assigned plans, proves all four execution routes
 // bit-identical (interpreter included), and times the three plans.
+// ringWorkers is the -ring-workers flag: when > 1 every measured
+// session runs with both ring-level and step-level parallelism
+// engaged, so the paired deltas reflect the multi-core engine.
+var ringWorkers int
+
 func measure(name string, l *quill.Lowered, iters int) (*formReport, error) {
 	preset := "PN4096"
 	if l.MultDepth() > 2 {
@@ -225,6 +232,7 @@ func measure(name string, l *quill.Lowered, iters int) (*formReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	rt.Params.SetWorkers(ringWorkers)
 	assigned, err := rt.Plan(l) // default options: hoisting + domain assignment
 	if err != nil {
 		return nil, err
@@ -292,6 +300,9 @@ func measure(name string, l *quill.Lowered, iters int) (*formReport, error) {
 		return nil, err
 	}
 	sFlat, sHoist, sDom := rt.NewSession(), rt.NewSession(), rt.NewSession()
+	sFlat.SetParallelism(ringWorkers)
+	sHoist.SetParallelism(ringWorkers)
+	sDom.SetParallelism(ringWorkers)
 	fo, err := sFlat.Run(flat, cts, ex.PtIn)
 	if err != nil {
 		return nil, err
@@ -352,6 +363,7 @@ func measureReduction(name string, iters int) (*reductionReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	rt.Params.SetWorkers(ringWorkers)
 	pSerial, err := rt.Plan(serial)
 	if err != nil {
 		return nil, err
@@ -381,6 +393,8 @@ func measureReduction(name string, iters int) (*reductionReport, error) {
 	}
 
 	sSerial, sTree := rt.NewSession(), rt.NewSession()
+	sSerial.SetParallelism(ringWorkers)
+	sTree.SetParallelism(ringWorkers)
 	for _, c := range []struct {
 		label string
 		l     *quill.Lowered

@@ -6,10 +6,10 @@
 // Usage:
 //
 //	porcupine -kernel gx [-seal] [-timeout 5m] [-seed 1]
-//	porcupine -run gx [-iters 100] [-workers 4] [-preset PN4096]
+//	porcupine -run gx [-iters 100] [-workers 4] [-ring-workers 2] [-preset PN4096]
 //	porcupine -build [-kernels gx,gy,sobel] [-workers 4] [-cache-dir DIR | -no-cache]
 //	porcupine -kernel box-blur -export-plan FILE [-export-request REQ]
-//	porcupine -load-plan FILE [-iters 100] [-workers 4]
+//	porcupine -load-plan FILE [-iters 100] [-workers 4] [-ring-workers 2]
 //	porcupine -serve ADDR (-kernel NAME | -load-plan FILE)
 //	porcupine -list
 //
@@ -27,6 +27,12 @@
 // throughput report (runs/sec, latency, batching, queue depth). Every
 // response is verified bit-identical against the reference execution;
 // any mismatch or failed request exits nonzero.
+//
+// Serving parallelism is two-level: -sched-workers (alias of -workers
+// for serving modes) sets batch-level concurrency (independent
+// sessions), while -ring-workers sets the intra-request share — ring
+// hot loops (NTT, pointwise, key-switch accumulation) and independent
+// plan steps fan out across that many pool workers per session.
 //
 // Multi-process serving splits compilation from execution:
 //
@@ -93,6 +99,8 @@ func run() error {
 		iters    = flag.Int("iters", 1, "total plan executions for -run")
 		subset   = flag.String("kernels", "", "comma-separated subset for -build (default: all)")
 		workers  = flag.Int("workers", 0, "worker budget: synthesis workers for -build, serving sessions for -run (default: GOMAXPROCS / 1)")
+		schedW   = flag.Int("sched-workers", 0, "serving sessions (batch-level concurrency) for -run/-serve/-load-plan; overrides -workers there")
+		ringW    = flag.Int("ring-workers", 0, "intra-request parallelism per session: ring hot loops and independent plan steps fan out across this many pool workers (0 = serial)")
 		cacheDir = flag.String("cache-dir", porcupine.DefaultCacheDir(), "persistent synthesis cache directory")
 		cacheMax = flag.Int("cache-max-entries", 0, "max synthesis cache entries, LRU-evicted (0 = unlimited)")
 		cacheMB  = flag.Int64("cache-max-mb", 0, "max synthesis cache size in MiB, LRU-evicted (0 = unlimited)")
@@ -188,6 +196,9 @@ func run() error {
 		if *workers != 0 && *run == "" && *serveAdr == "" && *loadPlan == "" {
 			return usageError("-workers requires -build, -run, -serve or -load-plan (single-kernel synthesis uses GOMAXPROCS)")
 		}
+		if (*schedW != 0 || *ringW != 0) && *run == "" && *serveAdr == "" && *loadPlan == "" {
+			return usageError("-sched-workers/-ring-workers require -run, -serve or -load-plan")
+		}
 		if *run != "" {
 			switch {
 			case *seal:
@@ -217,14 +228,20 @@ func run() error {
 	if *build {
 		return runBuild(*subset, *workers, opts)
 	}
+	// Serving modes: -sched-workers overrides -workers for the session
+	// count; -ring-workers sets the intra-request share.
+	sessions := *workers
+	if *schedW != 0 {
+		sessions = *schedW
+	}
 	if *run != "" {
 		if err := checkKernelNames(*run); err != nil {
 			return err
 		}
-		return runServe(*run, *preset, *iters, *workers, *seed, opts)
+		return runServe(*run, *preset, *iters, sessions, *ringW, *seed, opts)
 	}
 	if *loadPlan != "" && *serveAdr == "" {
-		return runLoadCheck(*loadPlan, *iters, *workers)
+		return runLoadCheck(*loadPlan, *iters, sessions, *ringW)
 	}
 	if *serveAdr != "" {
 		if *kernel != "" {
@@ -232,7 +249,7 @@ func run() error {
 				return err
 			}
 		}
-		return runServeHTTP(*serveAdr, *kernel, *loadPlan, *preset, *workers, *seed, opts)
+		return runServeHTTP(*serveAdr, *kernel, *loadPlan, *preset, sessions, *ringW, *seed, opts)
 	}
 	if *export != "" {
 		if err := checkKernelNames(*kernel); err != nil {
@@ -519,7 +536,7 @@ type exampleRef struct {
 // sessions and prints a throughput report. Every response is checked
 // bit-identical to the reference execution; any failed or mismatched
 // request makes the run exit nonzero.
-func runServe(kernel, preset string, iters, workers int, seed int64, opts porcupine.Options) error {
+func runServe(kernel, preset string, iters, workers, ringWorkers int, seed int64, opts porcupine.Options) error {
 	if iters < 1 {
 		iters = 1
 	}
@@ -543,8 +560,12 @@ func runServe(kernel, preset string, iters, workers int, seed int64, opts porcup
 	refOut := ctx.Params.CopyCiphertext(out)
 	noise := ctx.NoiseBudget(out)
 
-	fmt.Printf("serving %d requests across %d sessions ...\n", iters, workers)
-	sched := porcupine.NewScheduler(ctx, porcupine.ServeConfig{Sessions: workers})
+	if ringWorkers > 1 {
+		fmt.Printf("serving %d requests across %d sessions x %d ring workers ...\n", iters, workers, ringWorkers)
+	} else {
+		fmt.Printf("serving %d requests across %d sessions ...\n", iters, workers)
+	}
+	sched := porcupine.NewScheduler(ctx, porcupine.ServeConfig{Sessions: workers, RingWorkers: ringWorkers})
 	start := time.Now()
 	var wg sync.WaitGroup
 	fails := &failTally{}
@@ -646,7 +667,7 @@ func runExport(kernel, preset, planPath, reqPath string, seed int64, opts porcup
 // embedded sample iters times across workers sessions, and verifies
 // every output bit-identical to the exporter's — the cross-process
 // differential check of the wire format.
-func runLoadCheck(path string, iters, workers int) error {
+func runLoadCheck(path string, iters, workers, ringWorkers int) error {
 	if iters < 1 {
 		iters = 1
 	}
@@ -659,7 +680,7 @@ func runLoadCheck(path string, iters, workers int) error {
 	}
 	fmt.Printf("loaded %s: kernel %s (preset %s), fingerprint %s, %d steps over %d buffers\n",
 		path, b.Name, b.Preset, b.Params.FingerprintHex(), b.Plan.InstructionCount(), b.Plan.NumRegs)
-	_, sched, err := porcupine.LoadBundle(b, porcupine.ServeConfig{Sessions: workers})
+	_, sched, err := porcupine.LoadBundle(b, porcupine.ServeConfig{Sessions: workers, RingWorkers: ringWorkers})
 	if err != nil {
 		return err
 	}
@@ -704,7 +725,7 @@ func runLoadCheck(path string, iters, workers int) error {
 
 // runServeHTTP serves a kernel over HTTP, from an in-process compile
 // (-kernel) or from an exported artifact alone (-load-plan).
-func runServeHTTP(addr, kernel, loadPath, preset string, workers int, seed int64, opts porcupine.Options) error {
+func runServeHTTP(addr, kernel, loadPath, preset string, workers, ringWorkers int, seed int64, opts porcupine.Options) error {
 	if workers < 1 {
 		workers = 1
 	}
@@ -719,7 +740,7 @@ func runServeHTTP(addr, kernel, loadPath, preset string, workers int, seed int64
 		}
 		fmt.Printf("loaded %s: kernel %s (preset %s), fingerprint %s\n",
 			loadPath, b.Name, b.Preset, b.Params.FingerprintHex())
-		if _, sched, err = porcupine.LoadBundle(b, porcupine.ServeConfig{Sessions: workers}); err != nil {
+		if _, sched, err = porcupine.LoadBundle(b, porcupine.ServeConfig{Sessions: workers, RingWorkers: ringWorkers}); err != nil {
 			return err
 		}
 	} else {
@@ -730,7 +751,7 @@ func runServeHTTP(addr, kernel, loadPath, preset string, workers int, seed int64
 		if b, err = porcupine.ExportBundle(ctx, kernel, pl, sample); err != nil {
 			return err
 		}
-		sched = porcupine.NewScheduler(ctx, porcupine.ServeConfig{Sessions: workers})
+		sched = porcupine.NewScheduler(ctx, porcupine.ServeConfig{Sessions: workers, RingWorkers: ringWorkers})
 	}
 	defer sched.Close()
 

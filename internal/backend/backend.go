@@ -27,6 +27,7 @@ import (
 	"porcupine/internal/bfv"
 	"porcupine/internal/plan"
 	"porcupine/internal/quill"
+	"porcupine/internal/ring"
 )
 
 // Context bundles the immutable BFV state shared by every session:
@@ -298,6 +299,38 @@ type Session struct {
 	// (Galois element, key, automorphism tables); resolved per group,
 	// allocation-free.
 	br bfv.BatchedRotation
+	// par is the session's step-level parallelism budget: with par > 1
+	// the independent steps of each dependency level (plan.Levels) run
+	// concurrently on the ring worker pool. 0/1 = serial schedule.
+	par int
+	// lr is the persistent level runner of parallel execution — reused
+	// across runs so the parallel path allocates nothing at steady
+	// state.
+	lr levelRunner
+}
+
+// SetParallelism sets the session's intra-plan parallelism budget: up
+// to w independent steps of one dependency level execute concurrently.
+// w <= 1 keeps the serial schedule (the differential reference).
+// Parallel execution is bit-identical to serial: levels only group
+// steps with pairwise-disjoint registers, and every evaluator op is
+// deterministic.
+func (s *Session) SetParallelism(w int) { s.par = w }
+
+// levelRunner adapts one dependency level's step list to the ring
+// pool's TaskRunner interface. A persistent field of the session, so
+// the interface value and the slices it carries never reallocate.
+type levelRunner struct {
+	s       *Session
+	p       *plan.ExecutionPlan
+	ctIn    []*bfv.Ciphertext
+	steps   []int   // plain steps of the current level
+	scratch []int   // hoisted/batched steps (share s.dec/s.br) — run serially
+	errs    []error // per-task results, indexed like steps
+}
+
+func (lr *levelRunner) RunTask(t int) {
+	lr.errs[t] = lr.s.execStep(lr.p, lr.steps[t], lr.ctIn)
 }
 
 // Context returns the shared context the session executes against.
@@ -370,17 +403,89 @@ func (s *Session) exec(p *plan.ExecutionPlan, ctIn []*bfv.Ciphertext) (*bfv.Ciph
 	if s.dec == nil && p.NumDecomps > 0 {
 		s.dec = s.ctx.Params.NewDecomposition()
 	}
-	operand := func(code int) *bfv.Ciphertext {
-		if p.IsInput(code) {
-			return ctIn[code]
-		}
-		return s.regs[p.Reg(code)]
+	if s.par > 1 && p.Levels != nil {
+		return s.execLevels(p, ctIn)
 	}
-	ev := s.ctx.Eval
 	for i := range p.Steps {
+		if err := s.execStep(p, i, ctIn); err != nil {
+			return nil, err
+		}
+	}
+	return s.operand(p, ctIn, p.Out), nil
+}
+
+// execLevels runs the plan by dependency level: the plain steps of one
+// level fan out over the ring worker pool (each task executes one full
+// step), while hoisted/batched steps — which share the session's
+// decomposition scratch and batched-rotation state — run serially on
+// the caller after the fan-out. Level barriers preserve the hazard
+// order, so the result is bit-identical to the serial schedule.
+func (s *Session) execLevels(p *plan.ExecutionPlan, ctIn []*bfv.Ciphertext) (*bfv.Ciphertext, error) {
+	lr := &s.lr
+	// Copy the input pointers into the runner's own slice rather than
+	// retaining the caller's: storing ctIn in the persistent runner
+	// would force every caller's input slice onto the heap.
+	lr.s, lr.p = s, p
+	lr.ctIn = append(lr.ctIn[:0], ctIn...)
+	defer func() {
+		lr.p = nil
+		for i := range lr.ctIn {
+			lr.ctIn[i] = nil
+		}
+		lr.ctIn = lr.ctIn[:0]
+	}()
+	for _, lv := range p.Levels {
+		lr.steps, lr.scratch = lr.steps[:0], lr.scratch[:0]
+		for _, i := range lv {
+			if op := p.Steps[i].Op; op == plan.OpHoistedRot || op == plan.OpBatchedRot {
+				lr.scratch = append(lr.scratch, i)
+			} else {
+				lr.steps = append(lr.steps, i)
+			}
+		}
+		if n := len(lr.steps); n > 0 {
+			for len(lr.errs) < n {
+				lr.errs = append(lr.errs, nil)
+			}
+			ring.Parallel(s.par, n, lr)
+			for t := 0; t < n; t++ {
+				if err := lr.errs[t]; err != nil {
+					for u := t; u < n; u++ {
+						lr.errs[u] = nil
+					}
+					return nil, err
+				}
+			}
+		}
+		for _, i := range lr.scratch {
+			if err := s.execStep(p, i, ctIn); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s.operand(p, ctIn, p.Out), nil
+}
+
+// operand resolves an operand code against the caller's inputs and the
+// session's register file.
+func (s *Session) operand(p *plan.ExecutionPlan, ctIn []*bfv.Ciphertext, code int) *bfv.Ciphertext {
+	if p.IsInput(code) {
+		return ctIn[code]
+	}
+	return s.regs[p.Reg(code)]
+}
+
+// execStep executes plan step i against the session's register file.
+// Steps of one dependency level touch disjoint registers, so execStep
+// is safe to call concurrently for same-level steps — with the
+// exception of hoisted/batched groups, which share the session's
+// decomposition scratch and must stay on one goroutine.
+func (s *Session) execStep(p *plan.ExecutionPlan, i int, ctIn []*bfv.Ciphertext) error {
+	ev := s.ctx.Eval
+	{
 		st := &p.Steps[i]
 		dst := s.regs[st.Dst]
-		a := operand(st.A)
+		a := s.operand(p, ctIn, st.A)
 		var err error
 		switch st.Op {
 		case plan.OpHoistedRot:
@@ -417,7 +522,7 @@ func (s *Session) exec(p *plan.ExecutionPlan, ctIn []*bfv.Ciphertext) (*bfv.Ciph
 			// bit-identical to the serial rotations it replaces.
 			if err = ev.BeginBatchedRotation(&s.br, st.Rot); err == nil {
 				for _, m := range st.Batch {
-					src, d := operand(m.Src), s.regs[m.Dst]
+					src, d := s.operand(p, ctIn, m.Src), s.regs[m.Dst]
 					switch {
 					case p.CodeDomain(m.Src) == plan.DomNTT:
 						err = ev.RotateRowsBatchedNTTIntoNTT(d, src, s.dec, &s.br)
@@ -447,11 +552,11 @@ func (s *Session) exec(p *plan.ExecutionPlan, ctIn []*bfv.Ciphertext) (*bfv.Ciph
 		case quill.OpRelin:
 			err = ev.RelinearizeInto(dst, a)
 		case quill.OpAddCtCt:
-			ev.AddInto(dst, a, operand(st.B))
+			ev.AddInto(dst, a, s.operand(p, ctIn, st.B))
 		case quill.OpSubCtCt:
-			ev.SubInto(dst, a, operand(st.B))
+			ev.SubInto(dst, a, s.operand(p, ctIn, st.B))
 		case quill.OpMulCtCt:
-			err = ev.MulInto(dst, a, operand(st.B))
+			err = ev.MulInto(dst, a, s.operand(p, ctIn, st.B))
 		case quill.OpAddCtPt:
 			if p.RegDomainOf(st.Dst) == plan.DomNTT {
 				var m *bfv.NTTPlaintext
@@ -494,10 +599,10 @@ func (s *Session) exec(p *plan.ExecutionPlan, ctIn []*bfv.Ciphertext) (*bfv.Ciph
 			err = fmt.Errorf("unknown opcode %v", st.Op)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("backend: plan step %d (%v): %w", i, st.Op, err)
+			return fmt.Errorf("backend: plan step %d (%v): %w", i, st.Op, err)
 		}
 	}
-	return operand(p.Out), nil
+	return nil
 }
 
 func (s *Session) stepPlaintext(p *plan.ExecutionPlan, st *plan.Step) *bfv.Plaintext {

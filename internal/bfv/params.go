@@ -149,6 +149,12 @@ func (p *Parameters) SetWorkers(w int) {
 	p.ringExt.SetWorkers(w)
 }
 
+// Workers reports the per-operation parallelism currently configured
+// on the underlying rings (0 or 1 both mean serial).
+func (p *Parameters) Workers() int {
+	return p.ringQ.Workers()
+}
+
 // chooseExtBasis extends qPrimes with auxiliary NTT primes until the
 // product exceeds bound, trying aux bit-sizes from the word-arithmetic
 // maximum downward and returning the first (hence smallest-K) basis

@@ -1,0 +1,130 @@
+package plan
+
+import "porcupine/internal/quill"
+
+// This file derives the dependency-levelized schedule of a plan: a
+// partition of the step list into levels such that the steps of one
+// level touch pairwise-disjoint registers and depend only on levels
+// before them. A session may execute the steps of a level in any
+// order — or concurrently — and obtain ciphertexts bit-identical to
+// the serial schedule, which remains the differential reference.
+//
+// Because the register allocator reuses buffers based on the serial
+// order, true dataflow (RAW) edges are not enough: a step overwriting
+// a register must also wait for the register's earlier readers (WAR)
+// and its earlier writer (WAW), or a parallel run would clobber a
+// value another in-flight step still reads. Levelize therefore tracks,
+// per register, the last writing step and the readers since that
+// write, and places every step strictly after all of its hazards.
+
+// stepReads appends the register indices step st reads to buf.
+// Caller-input operands are read-only for the plan's whole lifetime
+// and never create hazards.
+func (p *ExecutionPlan) stepReads(st *Step, buf []int) []int {
+	read := func(code int) {
+		if !p.IsInput(code) {
+			buf = append(buf, p.Reg(code))
+		}
+	}
+	if st.Op == OpBatchedRot {
+		for i := range st.Batch {
+			read(st.Batch[i].Src)
+		}
+		return buf
+	}
+	read(st.A)
+	switch st.Op {
+	case quill.OpAddCtCt, quill.OpSubCtCt, quill.OpMulCtCt:
+		read(st.B)
+	}
+	return buf
+}
+
+// stepWrites appends the register indices step st writes to buf. For
+// hoisted and batched groups that is every member destination, not
+// just the mirror Dst.
+func (p *ExecutionPlan) stepWrites(st *Step, buf []int) []int {
+	switch st.Op {
+	case OpHoistedRot:
+		for i := range st.Fan {
+			buf = append(buf, st.Fan[i].Dst)
+		}
+	case OpBatchedRot:
+		for i := range st.Batch {
+			buf = append(buf, st.Batch[i].Dst)
+		}
+	default:
+		buf = append(buf, st.Dst)
+	}
+	return buf
+}
+
+// Levelize computes Levels, the dependency-levelized step schedule:
+// Levels[l] lists the indices of the steps of level l in program
+// order; a step's level is one past the deepest of its RAW, WAR and
+// WAW hazards. Derived state — never serialized; wire decode and
+// Compile both recompute it. Idempotent.
+func (p *ExecutionPlan) Levelize() {
+	if p.Levels != nil {
+		return
+	}
+	type regState struct {
+		lastWriter int
+		readers    []int
+	}
+	regs := make([]regState, p.NumRegs)
+	for r := range regs {
+		regs[r].lastWriter = -1
+	}
+	level := make([]int, len(p.Steps))
+	depth := 0
+	var rbuf, wbuf [8]int
+	for i := range p.Steps {
+		st := &p.Steps[i]
+		reads := p.stepReads(st, rbuf[:0])
+		writes := p.stepWrites(st, wbuf[:0])
+		lv := 0
+		for _, r := range reads {
+			if w := regs[r].lastWriter; w >= 0 && level[w] >= lv {
+				lv = level[w] + 1 // RAW
+			}
+		}
+		for _, r := range writes {
+			if w := regs[r].lastWriter; w >= 0 && level[w] >= lv {
+				lv = level[w] + 1 // WAW
+			}
+			for _, rd := range regs[r].readers {
+				if level[rd] >= lv {
+					lv = level[rd] + 1 // WAR
+				}
+			}
+		}
+		level[i] = lv
+		if lv >= depth {
+			depth = lv + 1
+		}
+		for _, r := range reads {
+			regs[r].readers = append(regs[r].readers, i)
+		}
+		for _, r := range writes {
+			regs[r].lastWriter = i
+			regs[r].readers = regs[r].readers[:0]
+		}
+	}
+	p.Levels = make([][]int, depth)
+	for i, lv := range level {
+		p.Levels[lv] = append(p.Levels[lv], i)
+	}
+}
+
+// LevelStats reports the levelized schedule's shape: the number of
+// levels (the schedule's critical path in steps) and the widest level
+// (the plan's maximum step-level parallelism).
+func (p *ExecutionPlan) LevelStats() (depth, maxWidth int) {
+	for _, lv := range p.Levels {
+		if len(lv) > maxWidth {
+			maxWidth = len(lv)
+		}
+	}
+	return len(p.Levels), maxWidth
+}

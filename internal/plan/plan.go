@@ -176,6 +176,12 @@ type ExecutionPlan struct {
 	// minus the per-call operand NTT). Set by Compile unless domain
 	// assignment is disabled, and by wire decode always.
 	Prepared bool
+
+	// Levels is the dependency-levelized step schedule (see Levelize):
+	// Levels[l] lists the indices of the steps of level l, which touch
+	// pairwise-disjoint registers and depend only on earlier levels, so
+	// a session may run them concurrently. Derived — never serialized.
+	Levels [][]int
 }
 
 // IsInput reports whether an operand code refers to a caller input.
@@ -702,6 +708,7 @@ func CompileWithOptions(params *bfv.Parameters, enc *bfv.Encoder, l *quill.Lower
 	if p.RegDomain == nil {
 		p.RegDomain = []Domain{}
 	}
+	p.Levelize()
 	if !opts.DisableDomainAssignment {
 		p.Prepare(params)
 	}
@@ -717,6 +724,7 @@ func CompileWithOptions(params *bfv.Parameters, enc *bfv.Encoder, l *quill.Lower
 // assignment is disabled, wire decode calls it always — so the plan
 // stays immutable once published. Idempotent.
 func (p *ExecutionPlan) Prepare(params *bfv.Parameters) {
+	p.Levelize() // wire decode reaches here without a Compile pass
 	if p.Prepared {
 		return
 	}

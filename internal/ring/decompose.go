@@ -63,6 +63,19 @@ func (r *Ring) PutDecomposition(d *Decomposition) {
 // decompose-once half of hoisted key switching; the per-key half is
 // MulAccumLazy / PermutedMulAccumLazy.
 func (r *Ring) DecomposeNTT(d *Decomposition, src *Poly) {
+	if w := r.workers; w > 1 {
+		if op := acquireOp(); op != nil {
+			// Digit × prime grid: every (digit, prime-row) pair lifts and
+			// transforms independently, so K primes give K² tasks — enough
+			// to fill more cores than K alone would.
+			op.kind, op.r = opDecompose, r
+			op.d, op.src = d, src
+			k := len(r.Primes)
+			op.grid(k*k, 0, w, false)
+			runOp(op, w)
+			return
+		}
+	}
 	for i := range r.Primes {
 		r.DigitLift(d.Digits[i], src, i)
 		r.NTT(d.Digits[i])
@@ -133,13 +146,31 @@ const maxLazyFan = 16
 // falls back to reducing each term — the results are bit-identical
 // either way, since both compute the exact residue of the sum.
 func (r *Ring) MulAccumLazy(dst *Poly, as, bs []*Poly) {
-	if r.workers > 1 {
-		r.forEachPrime(func(i int) { r.mulAccumLazyAt(dst, as, bs, nil, i) })
+	if r.parMulAccum(dst, as, bs, nil) {
 		return
 	}
 	for i := range r.Primes {
-		r.mulAccumLazyAt(dst, as, bs, nil, i)
+		r.mulAccumRange(dst, as, bs, nil, i, 0, r.N)
 	}
+}
+
+// parMulAccum submits the inner product to the worker pool on a
+// prime × coefficient-chunk grid. Returns false (caller runs serial)
+// when workers <= 1 or no descriptor is free.
+func (r *Ring) parMulAccum(dst *Poly, as, bs []*Poly, perm []uint32) bool {
+	w := r.workers
+	if w <= 1 {
+		return false
+	}
+	op := acquireOp()
+	if op == nil {
+		return false
+	}
+	op.kind, op.r = opMulAccum, r
+	op.dst, op.as, op.bs, op.perm = dst, as, bs, perm
+	op.grid(len(r.Primes), r.N, w, true)
+	runOp(op, w)
+	return true
 }
 
 // PermutedMulAccumLazy is MulAccumLazy with the automorphism
@@ -147,23 +178,26 @@ func (r *Ring) MulAccumLazy(dst *Poly, as, bs []*Poly) {
 // σ(a)[j] = a[perm[j]] (see NTTPermutation). The hoisted digits are
 // never copied: the permutation is an index indirection in the load.
 func (r *Ring) PermutedMulAccumLazy(dst *Poly, as, bs []*Poly, perm []uint32) {
-	if r.workers > 1 {
-		r.forEachPrime(func(i int) { r.mulAccumLazyAt(dst, as, bs, perm, i) })
+	if r.parMulAccum(dst, as, bs, perm) {
 		return
 	}
 	for i := range r.Primes {
-		r.mulAccumLazyAt(dst, as, bs, perm, i)
+		r.mulAccumRange(dst, as, bs, perm, i, 0, r.N)
 	}
 }
 
-func (r *Ring) mulAccumLazyAt(dst *Poly, as, bs []*Poly, perm []uint32, i int) {
+// mulAccumRange computes coefficients [lo, hi) of prime row i of the
+// (optionally permuted) lazy inner product. The permutation gather
+// reads full source rows (perm indices span [0, N)), so only the
+// destination range is restricted.
+func (r *Ring) mulAccumRange(dst *Poly, as, bs []*Poly, perm []uint32, i, lo, hi int) {
 	k := len(as)
 	if k == 0 {
-		clear(dst.Coeffs[i])
+		clear(dst.Coeffs[i][lo:hi])
 		return
 	}
 	if !r.lazyAccumOK || k > maxLazyFan {
-		r.mulAccumEagerAt(dst, as, bs, perm, i)
+		r.mulAccumEagerRange(dst, as, bs, perm, i, lo, hi)
 		return
 	}
 	var arows, brows [maxLazyFan][]uint64
@@ -173,32 +207,32 @@ func (r *Ring) mulAccumLazyAt(dst *Poly, as, bs []*Poly, perm []uint32, i int) {
 	bar := r.tables[i].bar
 	di := dst.Coeffs[i]
 	if perm == nil {
-		for j := range di {
-			var hi, lo, c uint64
+		for j := lo; j < hi; j++ {
+			var sumHi, sumLo, c uint64
 			for x := 0; x < k; x++ {
 				ph, pl := bits.Mul64(arows[x][j], brows[x][j])
-				lo, c = bits.Add64(lo, pl, 0)
-				hi += ph + c
+				sumLo, c = bits.Add64(sumLo, pl, 0)
+				sumHi += ph + c
 			}
-			di[j] = bar.Reduce128(hi, lo)
+			di[j] = bar.Reduce128(sumHi, sumLo)
 		}
 		return
 	}
-	for j := range di {
+	for j := lo; j < hi; j++ {
 		pj := perm[j]
-		var hi, lo, c uint64
+		var sumHi, sumLo, c uint64
 		for x := 0; x < k; x++ {
 			ph, pl := bits.Mul64(arows[x][pj], brows[x][j])
-			lo, c = bits.Add64(lo, pl, 0)
-			hi += ph + c
+			sumLo, c = bits.Add64(sumLo, pl, 0)
+			sumHi += ph + c
 		}
-		di[j] = bar.Reduce128(hi, lo)
+		di[j] = bar.Reduce128(sumHi, sumLo)
 	}
 }
 
-// mulAccumEagerAt is the per-term-reduction fallback: exact residues,
-// identical to the lazy path bit for bit.
-func (r *Ring) mulAccumEagerAt(dst *Poly, as, bs []*Poly, perm []uint32, i int) {
+// mulAccumEagerRange is the per-term-reduction fallback: exact
+// residues, identical to the lazy path bit for bit.
+func (r *Ring) mulAccumEagerRange(dst *Poly, as, bs []*Poly, perm []uint32, i, lo, hi int) {
 	p := r.Primes[i]
 	bar := r.tables[i].bar
 	di := dst.Coeffs[i]
@@ -206,22 +240,22 @@ func (r *Ring) mulAccumEagerAt(dst *Poly, as, bs []*Poly, perm []uint32, i int) 
 		ai, bi := as[x].Coeffs[i], bs[x].Coeffs[i]
 		if x == 0 {
 			if perm == nil {
-				for j := range di {
+				for j := lo; j < hi; j++ {
 					di[j] = bar.MulMod(ai[j], bi[j])
 				}
 			} else {
-				for j := range di {
+				for j := lo; j < hi; j++ {
 					di[j] = bar.MulMod(ai[perm[j]], bi[j])
 				}
 			}
 			continue
 		}
 		if perm == nil {
-			for j := range di {
+			for j := lo; j < hi; j++ {
 				di[j] = mathutil.AddMod(di[j], bar.MulMod(ai[j], bi[j]), p)
 			}
 		} else {
-			for j := range di {
+			for j := lo; j < hi; j++ {
 				di[j] = mathutil.AddMod(di[j], bar.MulMod(ai[perm[j]], bi[j]), p)
 			}
 		}

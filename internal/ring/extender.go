@@ -173,13 +173,30 @@ func (be *BasisExtender) LiftCentered(dst, src *Poly) {
 	for i := 0; i < k; i++ {
 		copy(dst.Coeffs[i], src.Coeffs[i]) // x_c ≡ x mod q_i
 	}
-	if be.rExt.workers > 1 {
-		runParallelChunks(be.rExt.workers, n, func(lo, hi int) {
-			be.liftCenteredChunk(dst, src, lo, hi)
-		})
+	if be.parChunks(opLift, dst, src, n) {
 		return
 	}
 	be.liftCenteredChunk(dst, src, 0, n)
+}
+
+// parChunks submits a coefficient-chunked extender pass (Garner is
+// per-coefficient across all primes, so the grid has a single row of
+// coefficient chunks). Returns false — caller runs the serial chunk —
+// when workers <= 1 or no pool descriptor is free.
+func (be *BasisExtender) parChunks(kind opKind, dst, src *Poly, n int) bool {
+	w := be.rExt.workers
+	if w <= 1 {
+		return false
+	}
+	op := acquireOp()
+	if op == nil {
+		return false
+	}
+	op.kind, op.be = kind, be
+	op.dst, op.src = dst, src
+	op.grid(1, n, w, true)
+	runOp(op, w)
+	return true
 }
 
 // liftCenteredChunk lifts the coefficient range [lo, hi). Digit
@@ -232,10 +249,7 @@ func (be *BasisExtender) liftCenteredChunk(dst, src *Poly, lo, hi int) {
 // big.Int reference computation (t·x_c ± Q/2) quo Q.
 func (be *BasisExtender) ScaleDown(dst, src *Poly) {
 	n := be.rQ.N
-	if be.rExt.workers > 1 {
-		runParallelChunks(be.rExt.workers, n, func(lo, hi int) {
-			be.scaleDownChunk(dst, src, lo, hi)
-		})
+	if be.parChunks(opScaleDown, dst, src, n) {
 		return
 	}
 	be.scaleDownChunk(dst, src, 0, n)

@@ -1,66 +1,337 @@
+// Persistent, alloc-free worker pool for the ring hot loops.
+//
+// The previous runParallel spawned fresh goroutines per call and paid
+// for a sync.WaitGroup plus an escaping closure on every parallel
+// operation — fine for coarse offline work, fatal for the serving
+// path's 0-allocs/op steady-state invariant. This pool replaces it:
+//
+//   - Workers are spawned once per process (max(4, NumCPU) of them)
+//     and park on a per-worker wake channel; dispatching an op is a
+//     channel send of one pointer, not a goroutine spawn.
+//   - Operations are described by pre-allocated descriptors (parOp): a
+//     kind tag plus operand fields, recycled through a fixed free list.
+//     No closures are created, so nothing escapes and nothing
+//     allocates — with workers > 1 a plan run is as GC-quiet as the
+//     serial path.
+//   - Work is a flat task grid claimed with an atomic counter, so
+//     uneven task costs balance across participants. Pointwise loops
+//     use a two-level grid (prime × coefficient chunk): with K = 3..5
+//     primes and chunks of at least minChunk coefficients, K small
+//     primes still fill P > K cores.
+//   - The submitting goroutine always participates. Helper acquisition
+//     is non-blocking: when every worker is busy (nested submissions,
+//     concurrent sessions), the caller just runs more of the grid
+//     itself — no queueing, no deadlock, graceful degradation to
+//     serial.
+//
+// Completion uses a quiescence protocol rather than a WaitGroup: each
+// helper bumps op.finished after exhausting the claim counter, and the
+// submitter spins (with runtime.Gosched) until finished equals the
+// number of helpers it woke. Only then is the descriptor recycled, so
+// a descriptor is never mutated while any worker can still read it.
 package ring
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
 
-// runParallel executes f(0..n-1) on up to workers goroutines pulled
-// from a transient worker pool, or inline when workers <= 1. Tasks are
-// claimed with an atomic counter so uneven task costs balance across
-// workers. The call returns only when every task has finished.
-func runParallel(workers, n int, f func(i int)) {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 || n <= 1 {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := next.Add(1) - 1
-				if i >= int64(n) {
-					return
-				}
-				f(int(i))
-			}
-		}()
-	}
-	wg.Wait()
-}
-
-// runParallelChunks splits the index range [0, n) into contiguous
-// chunks and runs f(lo, hi) for each, parallelized like runParallel.
-// Used by coefficient-wise passes (base extension, rescaling) whose
-// natural axis is the coefficient index rather than the prime index.
-func runParallelChunks(workers, n int, f func(lo, hi int)) {
-	if workers <= 1 || n < 2*minChunk {
-		f(0, n)
-		return
-	}
-	chunk := (n + workers - 1) / workers
-	if chunk < minChunk {
-		chunk = minChunk
-	}
-	tasks := (n + chunk - 1) / chunk
-	runParallel(workers, tasks, func(i int) {
-		lo := i * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		f(lo, hi)
-	})
-}
-
 // minChunk is the smallest per-task coefficient range worth dispatching
-// to a worker; below this the scheduling overhead dominates.
+// to a worker; below this the claim/wake overhead dominates the loop
+// body. 256 uint64 coefficients = 2 KiB, a few cache lines of work.
 const minChunk = 256
+
+// opKind selects the loop body a pool participant runs for one task of
+// a parallel submission.
+type opKind uint8
+
+const (
+	opAdd opKind = iota
+	opSub
+	opNeg
+	opMulScalar
+	opMulCoeffs
+	opMulCoeffsAndAdd
+	opNTTFwd
+	opNTTInv
+	opDigitLift
+	opDecompose
+	opMulAccum
+	opLift
+	opScaleDown
+	opRunner
+)
+
+// TaskRunner executes the independent tasks of one generic parallel
+// submission (see Parallel). Implementations are typically persistent
+// objects (a session's level runner) so the interface value costs no
+// allocation.
+type TaskRunner interface {
+	RunTask(t int)
+}
+
+// parOp describes one data-parallel operation: the kind selects the
+// loop body, the operand fields carry the data, and the task grid is
+// rows × chunks claimed through an atomic counter. Descriptors are
+// pre-allocated and recycled through the pool's free list; they are
+// exclusively owned by one submission from acquire to release.
+type parOp struct {
+	kind opKind
+
+	r     *Ring
+	be    *BasisExtender
+	tr    TaskRunner
+	dst  *Poly
+	a, b *Poly
+	src  *Poly
+	d    *Decomposition
+	as   []*Poly
+	bs   []*Poly
+	perm []uint32
+
+	scalar uint64
+	digit  int
+
+	// Task grid: task t covers row t/chunks (prime or digit index) and
+	// coefficient range [lo, lo+chunkLen) with lo = (t%chunks)*chunkLen,
+	// clamped to n.
+	rows     int
+	chunks   int
+	chunkLen int
+	n        int
+	total    int32
+
+	next     atomic.Int32
+	finished atomic.Int32
+}
+
+// grid lays out the task grid: rows on the first axis and, when the
+// body supports coefficient chunking, enough chunks per row that the
+// grid over-decomposes a budget of workers ~2× (for balance under
+// uneven claims) without dropping below minChunk coefficients per task.
+func (op *parOp) grid(rows, n, budget int, chunkable bool) {
+	op.rows, op.n = rows, n
+	op.chunks, op.chunkLen = 1, n
+	if !chunkable || n < 2*minChunk {
+		return
+	}
+	chunks := (2*budget + rows - 1) / rows
+	if maxC := n / minChunk; chunks > maxC {
+		chunks = maxC
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	op.chunks = chunks
+	op.chunkLen = (n + chunks - 1) / chunks
+}
+
+// runTask executes task t of the grid.
+func (op *parOp) runTask(t int) {
+	if op.kind == opRunner {
+		op.tr.RunTask(t)
+		return
+	}
+	if op.kind == opDecompose {
+		// Digit × prime grid: lift row i of the source into prime l of
+		// digit i, then forward-transform that row. Every (i, l) pair is
+		// independent, so K primes yield K² tasks.
+		r := op.r
+		k := len(r.Primes)
+		i, l := t/k, t%k
+		dg := op.d.Digits[i]
+		r.digitLiftRange(dg, op.src.Coeffs[i], i, l, 0, r.N)
+		nttForward(dg.Coeffs[l], r.tables[l])
+		return
+	}
+	row := t / op.chunks
+	c := t % op.chunks
+	lo := c * op.chunkLen
+	hi := lo + op.chunkLen
+	if hi > op.n {
+		hi = op.n
+	}
+	switch op.kind {
+	case opNTTFwd:
+		nttForward(op.dst.Coeffs[row], op.r.tables[row])
+	case opNTTInv:
+		nttInverse(op.dst.Coeffs[row], op.r.tables[row])
+	case opAdd:
+		op.r.addRange(op.dst, op.a, op.b, row, lo, hi)
+	case opSub:
+		op.r.subRange(op.dst, op.a, op.b, row, lo, hi)
+	case opNeg:
+		op.r.negRange(op.dst, op.a, row, lo, hi)
+	case opMulScalar:
+		op.r.mulScalarRange(op.dst, op.a, op.scalar, row, lo, hi)
+	case opMulCoeffs:
+		op.r.mulCoeffsRange(op.dst, op.a, op.b, row, lo, hi)
+	case opMulCoeffsAndAdd:
+		op.r.mulCoeffsAndAddRange(op.dst, op.a, op.b, row, lo, hi)
+	case opDigitLift:
+		op.r.digitLiftRange(op.dst, op.src.Coeffs[op.digit], op.digit, row, lo, hi)
+	case opMulAccum:
+		op.r.mulAccumRange(op.dst, op.as, op.bs, op.perm, row, lo, hi)
+	case opLift:
+		op.be.liftCenteredChunk(op.dst, op.src, lo, hi)
+	case opScaleDown:
+		op.be.scaleDownChunk(op.dst, op.src, lo, hi)
+	}
+}
+
+type poolWorker struct {
+	wake chan *parOp
+	_    [7]uint64 // pad to a cache line so wake channels don't false-share
+}
+
+type workerPool struct {
+	workers []poolWorker
+	// idle holds the indices of parked workers. Submitters try-recv to
+	// claim helpers; a worker re-enqueues itself after finishing an op.
+	idle chan int32
+	// free holds recyclable op descriptors. Empty free list (more
+	// concurrent submissions than workers) degrades to serial execution
+	// at the call site.
+	free chan *parOp
+}
+
+var (
+	poolOnce sync.Once
+	thePool  *workerPool
+)
+
+// getPool returns the process-wide worker pool, spawning its workers
+// on first use. The pool is sized max(4, NumCPU): NumCPU for real
+// parallel capacity, and a floor of 4 so the parallel code paths (and
+// their race coverage) are exercised even on single-core runners.
+func getPool() *workerPool {
+	poolOnce.Do(func() {
+		n := runtime.NumCPU()
+		if n < 4 {
+			n = 4
+		}
+		p := &workerPool{
+			workers: make([]poolWorker, n),
+			idle:    make(chan int32, n),
+			free:    make(chan *parOp, n),
+		}
+		for i := range p.workers {
+			p.workers[i].wake = make(chan *parOp, 1)
+			p.idle <- int32(i)
+			p.free <- new(parOp)
+			go p.workerLoop(int32(i))
+		}
+		thePool = p
+	})
+	return thePool
+}
+
+func (p *workerPool) workerLoop(id int32) {
+	w := &p.workers[id]
+	for op := range w.wake {
+		op.runTasks()
+		// finished is the helper's last touch of the descriptor: once
+		// the submitter has seen every helper's increment, recycling the
+		// descriptor cannot race with anything.
+		op.finished.Add(1)
+		p.idle <- id
+	}
+}
+
+// runTasks claims and executes grid tasks until the counter runs out.
+func (op *parOp) runTasks() {
+	total := op.total
+	for {
+		t := op.next.Add(1) - 1
+		if t >= total {
+			return
+		}
+		op.runTask(int(t))
+	}
+}
+
+// acquireOp returns a free descriptor, or nil when none is available
+// (the caller then runs its serial path). Never blocks.
+func acquireOp() *parOp {
+	select {
+	case op := <-getPool().free:
+		return op
+	default:
+		return nil
+	}
+}
+
+// releaseOp clears the descriptor's references (so recycled
+// descriptors don't pin polynomials) and returns it to the free list.
+func releaseOp(op *parOp) {
+	op.r, op.be, op.tr = nil, nil, nil
+	op.dst, op.a, op.b, op.src = nil, nil, nil, nil
+	op.d = nil
+	op.as, op.bs, op.perm = nil, nil, nil
+	thePool.free <- op
+}
+
+// runOp executes the op's task grid on the calling goroutine plus up
+// to budget-1 pool workers, then recycles the descriptor. It returns
+// only when every task has finished and no worker can still touch the
+// descriptor.
+func runOp(op *parOp, budget int) {
+	total := op.rows * op.chunks
+	op.total = int32(total)
+	op.next.Store(0)
+	op.finished.Store(0)
+	if budget > total {
+		budget = total
+	}
+	p := thePool
+	var woken int32
+	for int(woken) < budget-1 {
+		select {
+		case id := <-p.idle:
+			p.workers[id].wake <- op
+			woken++
+		default:
+			// Every worker is busy (concurrent sessions, nested
+			// submissions): the caller absorbs the rest of the grid.
+			goto work
+		}
+	}
+work:
+	op.runTasks()
+	for op.finished.Load() != woken {
+		runtime.Gosched()
+	}
+	releaseOp(op)
+}
+
+// Parallel runs tasks 0..n-1 on the calling goroutine plus up to
+// budget-1 pool workers, balancing uneven task costs through atomic
+// work claiming. Tasks must be independent; Parallel returns after the
+// last one completes. With budget <= 1, one task, or a fully busy
+// pool, the tasks run inline on the caller — allocation-free either
+// way when tr is a persistent object (the backend's level runner).
+//
+// This is the generic entry the plan executor uses for dependency
+// levels; the ring's own loops go through typed descriptors instead.
+func Parallel(budget, n int, tr TaskRunner) {
+	if n <= 0 {
+		return
+	}
+	if budget > 1 && n > 1 {
+		if op := acquireOp(); op != nil {
+			op.kind = opRunner
+			op.tr = tr
+			op.grid(n, 0, budget, false)
+			runOp(op, budget)
+			return
+		}
+	}
+	for t := 0; t < n; t++ {
+		tr.RunTask(t)
+	}
+}
+
+// PoolSize reports the number of persistent pool workers (for
+// diagnostics and scheduler budget decisions).
+func PoolSize() int { return len(getPool().workers) }

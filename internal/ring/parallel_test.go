@@ -1,0 +1,252 @@
+package ring
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"porcupine/internal/mathutil"
+)
+
+// poolFixture builds a serial ring and a parallel ring over the same
+// primes at a degree large enough (N=1024 ≥ 2·minChunk) that the
+// two-level coefficient-chunked grid actually engages.
+func poolFixture(t *testing.T, workers int) (*Ring, *Ring) {
+	t.Helper()
+	primes, err := mathutil.GenerateNTTPrimes(45, 1024, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := NewRing(1024, primes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewRingWithOptions(1024, primes, Options{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return serial, par
+}
+
+// TestGridInvariants checks the task-grid layout: full coverage of
+// [0, n), no chunk below minChunk when chunked, and over-decomposition
+// bounded by the budget.
+func TestGridInvariants(t *testing.T) {
+	var op parOp
+	for _, tc := range []struct {
+		rows, n, budget int
+		chunkable       bool
+	}{
+		{1, 4096, 4, true},
+		{3, 4096, 8, true},
+		{5, 8192, 16, true},
+		{3, 512, 2, true},
+		{3, 128, 8, true},   // below 2·minChunk: must stay unchunked
+		{4, 2048, 1, true},  // budget 1
+		{3, 4096, 4, false}, // NTT rows: never chunked
+	} {
+		op.grid(tc.rows, tc.n, tc.budget, tc.chunkable)
+		if op.rows != tc.rows || op.n != tc.n {
+			t.Fatalf("grid(%+v): rows/n not recorded", tc)
+		}
+		if op.chunks < 1 {
+			t.Fatalf("grid(%+v): chunks=%d", tc, op.chunks)
+		}
+		if !tc.chunkable || tc.n < 2*minChunk {
+			if op.chunks != 1 {
+				t.Fatalf("grid(%+v): expected unchunked, got %d chunks", tc, op.chunks)
+			}
+		}
+		if op.chunks > 1 && op.chunkLen < minChunk {
+			t.Fatalf("grid(%+v): chunkLen %d < minChunk", tc, op.chunkLen)
+		}
+		// Coverage: the chunks must tile [0, n) exactly.
+		if op.chunks*op.chunkLen < tc.n {
+			t.Fatalf("grid(%+v): %d chunks × %d len < n", tc, op.chunks, op.chunkLen)
+		}
+		if (op.chunks-1)*op.chunkLen >= tc.n && tc.n > 0 {
+			t.Fatalf("grid(%+v): last chunk empty", tc)
+		}
+	}
+}
+
+// TestPoolOpsMatchSerial drives every pooled loop body at a degree
+// where coefficient chunking engages and checks bit-identity against
+// the serial path.
+func TestPoolOpsMatchSerial(t *testing.T) {
+	serial, par := poolFixture(t, 3)
+	rng := rand.New(rand.NewSource(17))
+	a, b := randPoly(serial, rng), randPoly(serial, rng)
+
+	check := func(name string, f func(r *Ring, dst *Poly)) {
+		t.Helper()
+		sOut, pOut := serial.NewPoly(), par.NewPoly()
+		f(serial, sOut)
+		f(par, pOut)
+		if !serial.Equal(sOut, pOut) {
+			t.Fatalf("%s: parallel differs from serial", name)
+		}
+	}
+
+	check("Add", func(r *Ring, dst *Poly) { r.Add(dst, a, b) })
+	check("Sub", func(r *Ring, dst *Poly) { r.Sub(dst, a, b) })
+	check("Neg", func(r *Ring, dst *Poly) { r.Neg(dst, a) })
+	check("MulScalar", func(r *Ring, dst *Poly) { r.MulScalar(dst, a, 987654321) })
+	check("MulCoeffs", func(r *Ring, dst *Poly) { r.MulCoeffs(dst, a, b) })
+	check("MulCoeffsAndAdd", func(r *Ring, dst *Poly) {
+		r.CopyInto(dst, b)
+		r.MulCoeffsAndAdd(dst, a, b)
+	})
+	check("NTT", func(r *Ring, dst *Poly) {
+		r.CopyInto(dst, a)
+		r.NTT(dst)
+	})
+	check("INTT", func(r *Ring, dst *Poly) {
+		r.CopyInto(dst, a)
+		r.INTT(dst)
+	})
+	check("DigitLift", func(r *Ring, dst *Poly) { r.DigitLift(dst, a, 1) })
+
+	// DecomposeNTT: digit × prime grid.
+	sd, pd := serial.GetDecomposition(), par.GetDecomposition()
+	serial.DecomposeNTT(sd, a)
+	par.DecomposeNTT(pd, a)
+	for i := range sd.Digits {
+		if !serial.Equal(sd.Digits[i], pd.Digits[i]) {
+			t.Fatalf("DecomposeNTT digit %d: parallel differs from serial", i)
+		}
+	}
+
+	// Lazy inner products over the decomposition digits.
+	keys := make([]*Poly, len(sd.Digits))
+	for i := range keys {
+		keys[i] = randPoly(serial, rng)
+	}
+	check("MulAccumLazy", func(r *Ring, dst *Poly) { r.MulAccumLazy(dst, sd.Digits, keys) })
+	perm := serial.NTTPermutation(serial.GaloisElementForRotation(3))
+	check("PermutedMulAccumLazy", func(r *Ring, dst *Poly) {
+		r.PermutedMulAccumLazy(dst, sd.Digits, keys, perm)
+	})
+	serial.PutDecomposition(sd)
+	par.PutDecomposition(pd)
+}
+
+// TestPoolExtenderMatchesSerial checks the coefficient-chunked lift
+// and scale-down passes at a chunking-scale degree.
+func TestPoolExtenderMatchesSerial(t *testing.T) {
+	n := 1024
+	qPrimes, err := mathutil.GenerateNTTPrimes(40, n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aux, err := mathutil.GenerateNTTPrimes(52, n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := append(append([]uint64(nil), qPrimes...), aux...)
+
+	build := func(workers int) (*Ring, *Ring, *BasisExtender) {
+		rq, err := NewRingWithOptions(n, qPrimes, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rx, err := NewRingWithOptions(n, ext, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		be, err := NewBasisExtender(rq, rx, 65537)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rq, rx, be
+	}
+	sq, sx, sbe := build(0)
+	_, px, pbe := build(4)
+
+	rng := rand.New(rand.NewSource(23))
+	src := randPoly(sq, rng)
+
+	sLift, pLift := sx.NewPoly(), px.NewPoly()
+	sbe.LiftCentered(sLift, src)
+	pbe.LiftCentered(pLift, src)
+	if !sx.Equal(sLift, pLift) {
+		t.Fatal("LiftCentered: parallel differs from serial")
+	}
+
+	sDown, pDown := sq.NewPoly(), sq.NewPoly()
+	sbe.ScaleDown(sDown, sLift)
+	pbe.ScaleDown(pDown, pLift)
+	if !sq.Equal(sDown, pDown) {
+		t.Fatal("ScaleDown: parallel differs from serial")
+	}
+}
+
+// TestPoolConcurrentSubmissions hammers the pool from many goroutines
+// at once — more submitters than pool workers, so descriptor
+// exhaustion and the serial fallback are exercised alongside genuine
+// helper claiming. Run under -race in CI.
+func TestPoolConcurrentSubmissions(t *testing.T) {
+	serial, par := poolFixture(t, 4)
+	rng := rand.New(rand.NewSource(29))
+	a, b := randPoly(serial, rng), randPoly(serial, rng)
+
+	want := serial.NewPoly()
+	serial.MulCoeffs(want, a, b)
+	wantNTT := serial.Copy(a)
+	serial.NTT(wantNTT)
+
+	submitters := 2*PoolSize() + 1
+	iters := 20
+	var wg sync.WaitGroup
+	errs := make([]string, submitters)
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			dst := par.NewPoly()
+			tmp := par.NewPoly()
+			for it := 0; it < iters; it++ {
+				par.MulCoeffs(dst, a, b)
+				if !par.Equal(dst, want) {
+					errs[g] = "MulCoeffs mismatch under concurrency"
+					return
+				}
+				par.CopyInto(tmp, a)
+				par.NTT(tmp)
+				if !par.Equal(tmp, wantNTT) {
+					errs[g] = "NTT mismatch under concurrency"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, e := range errs {
+		if e != "" {
+			t.Fatalf("goroutine %d: %s", g, e)
+		}
+	}
+}
+
+// runnerTasks is a TaskRunner that records which tasks ran.
+type runnerTasks struct {
+	hits []int32
+}
+
+func (rt *runnerTasks) RunTask(i int) { rt.hits[i]++ }
+
+// TestParallelRunsEveryTaskOnce covers the generic Parallel entry the
+// plan executor uses for dependency levels.
+func TestParallelRunsEveryTaskOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 7, 64} {
+		for _, budget := range []int{0, 1, 2, 8} {
+			rt := &runnerTasks{hits: make([]int32, n)}
+			Parallel(budget, n, rt)
+			for i, h := range rt.hits {
+				if h != 1 {
+					t.Fatalf("n=%d budget=%d: task %d ran %d times", n, budget, i, h)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package ring
+
+// raceEnabled reports whether this test binary runs under the race
+// detector, where sync.Pool randomly drops Puts and steady-state
+// allocation counts are meaningless.
+const raceEnabled = true

@@ -195,10 +195,24 @@ func (r *Ring) SetWorkers(w int) { r.workers = w }
 // Workers returns the configured per-operation parallelism bound.
 func (r *Ring) Workers() int { return r.workers }
 
-// forEachPrime runs f for every prime index, in parallel when the ring
-// was configured with Workers > 1.
-func (r *Ring) forEachPrime(f func(i int)) {
-	runParallel(r.workers, len(r.Primes), f)
+// parOp2 submits a two-level (prime × coefficient-chunk) pointwise op
+// to the worker pool. It reports false — without touching any data —
+// when the ring is serial or no descriptor is free; the caller then
+// runs its plain loop.
+func (r *Ring) parOp2(kind opKind, dst, a, b *Poly, scalar uint64) bool {
+	w := r.workers
+	if w <= 1 {
+		return false
+	}
+	op := acquireOp()
+	if op == nil {
+		return false
+	}
+	op.kind, op.r = kind, r
+	op.dst, op.a, op.b, op.scalar = dst, a, b, scalar
+	op.grid(len(r.Primes), r.N, w, true)
+	runOp(op, w)
+	return true
 }
 
 // GetPoly returns a zeroed polynomial from the ring's buffer pool,
@@ -269,26 +283,26 @@ func (r *Ring) Equal(a, b *Poly) bool {
 }
 
 // Hot per-prime ops follow one pattern: the loop body lives in a
-// *At method taking the prime index, the serial path (workers <= 1,
-// the evaluator default) calls it in a plain loop so no closure is
-// allocated, and only the parallel path pays for the func literal
-// that escapes into runParallel. This keeps steady-state plan
-// execution allocation-free.
+// *Range method taking the prime index and a coefficient range, the
+// serial path (workers <= 1, the evaluator default) calls it over full
+// rows in a plain loop, and the parallel path submits a pre-allocated
+// descriptor to the persistent worker pool (parOp2) — no goroutine
+// spawn, no WaitGroup, no closure. This keeps steady-state plan
+// execution allocation-free at any worker count.
 
 // Add sets dst = a + b. dst may alias a or b.
 func (r *Ring) Add(dst, a, b *Poly) {
-	if r.workers > 1 {
-		r.forEachPrime(func(i int) { r.addAt(dst, a, b, i) })
+	if r.parOp2(opAdd, dst, a, b, 0) {
 		return
 	}
 	for i := range r.Primes {
-		r.addAt(dst, a, b, i)
+		r.addRange(dst, a, b, i, 0, r.N)
 	}
 }
 
-func (r *Ring) addAt(dst, a, b *Poly, i int) {
+func (r *Ring) addRange(dst, a, b *Poly, i, lo, hi int) {
 	p := r.Primes[i]
-	ai, bi, di := a.Coeffs[i], b.Coeffs[i], dst.Coeffs[i]
+	ai, bi, di := a.Coeffs[i][lo:hi], b.Coeffs[i][lo:hi], dst.Coeffs[i][lo:hi]
 	for j := range di {
 		di[j] = mathutil.AddMod(ai[j], bi[j], p)
 	}
@@ -296,18 +310,17 @@ func (r *Ring) addAt(dst, a, b *Poly, i int) {
 
 // Sub sets dst = a - b. dst may alias a or b.
 func (r *Ring) Sub(dst, a, b *Poly) {
-	if r.workers > 1 {
-		r.forEachPrime(func(i int) { r.subAt(dst, a, b, i) })
+	if r.parOp2(opSub, dst, a, b, 0) {
 		return
 	}
 	for i := range r.Primes {
-		r.subAt(dst, a, b, i)
+		r.subRange(dst, a, b, i, 0, r.N)
 	}
 }
 
-func (r *Ring) subAt(dst, a, b *Poly, i int) {
+func (r *Ring) subRange(dst, a, b *Poly, i, lo, hi int) {
 	p := r.Primes[i]
-	ai, bi, di := a.Coeffs[i], b.Coeffs[i], dst.Coeffs[i]
+	ai, bi, di := a.Coeffs[i][lo:hi], b.Coeffs[i][lo:hi], dst.Coeffs[i][lo:hi]
 	for j := range di {
 		di[j] = mathutil.SubMod(ai[j], bi[j], p)
 	}
@@ -315,18 +328,17 @@ func (r *Ring) subAt(dst, a, b *Poly, i int) {
 
 // Neg sets dst = -a.
 func (r *Ring) Neg(dst, a *Poly) {
-	if r.workers > 1 {
-		r.forEachPrime(func(i int) { r.negAt(dst, a, i) })
+	if r.parOp2(opNeg, dst, a, nil, 0) {
 		return
 	}
 	for i := range r.Primes {
-		r.negAt(dst, a, i)
+		r.negRange(dst, a, i, 0, r.N)
 	}
 }
 
-func (r *Ring) negAt(dst, a *Poly, i int) {
+func (r *Ring) negRange(dst, a *Poly, i, lo, hi int) {
 	p := r.Primes[i]
-	ai, di := a.Coeffs[i], dst.Coeffs[i]
+	ai, di := a.Coeffs[i][lo:hi], dst.Coeffs[i][lo:hi]
 	for j := range di {
 		di[j] = mathutil.NegMod(ai[j], p)
 	}
@@ -336,20 +348,19 @@ func (r *Ring) negAt(dst, a *Poly, i int) {
 // scalar is fixed across the coefficient loop, so a Shoup constant
 // replaces the division-based MulMod.
 func (r *Ring) MulScalar(dst, a *Poly, s uint64) {
-	if r.workers > 1 {
-		r.forEachPrime(func(i int) { r.mulScalarAt(dst, a, s, i) })
+	if r.parOp2(opMulScalar, dst, a, nil, s) {
 		return
 	}
 	for i := range r.Primes {
-		r.mulScalarAt(dst, a, s, i)
+		r.mulScalarRange(dst, a, s, i, 0, r.N)
 	}
 }
 
-func (r *Ring) mulScalarAt(dst, a *Poly, s uint64, i int) {
+func (r *Ring) mulScalarRange(dst, a *Poly, s uint64, i, lo, hi int) {
 	p := r.Primes[i]
 	sp := r.tables[i].bar.Reduce64(s)
 	spS := shoupPrecomp(sp, p)
-	ai, di := a.Coeffs[i], dst.Coeffs[i]
+	ai, di := a.Coeffs[i][lo:hi], dst.Coeffs[i][lo:hi]
 	for j := range di {
 		di[j] = shoupMul(ai[j], sp, spS, p)
 	}
@@ -370,10 +381,17 @@ func (r *Ring) MulScalarBig(dst, a *Poly, s *big.Int) {
 }
 
 // NTT transforms p in place, coefficient domain → evaluation domain.
+// The parallel grid is one task per residue row: the lazy-reduction
+// butterflies carry cross-coefficient dependencies through every pass,
+// so rows are the natural (and bit-trivially-identical) split.
 func (r *Ring) NTT(p *Poly) {
-	if r.workers > 1 {
-		r.forEachPrime(func(i int) { nttForward(p.Coeffs[i], r.tables[i]) })
-		return
+	if w := r.workers; w > 1 {
+		if op := acquireOp(); op != nil {
+			op.kind, op.r, op.dst = opNTTFwd, r, p
+			op.grid(len(r.Primes), 0, w, false)
+			runOp(op, w)
+			return
+		}
 	}
 	for i := range r.Primes {
 		nttForward(p.Coeffs[i], r.tables[i])
@@ -391,9 +409,13 @@ func (r *Ring) INTTRow(i int, row []uint64) { nttInverse(row, r.tables[i]) }
 
 // INTT transforms p in place, evaluation domain → coefficient domain.
 func (r *Ring) INTT(p *Poly) {
-	if r.workers > 1 {
-		r.forEachPrime(func(i int) { nttInverse(p.Coeffs[i], r.tables[i]) })
-		return
+	if w := r.workers; w > 1 {
+		if op := acquireOp(); op != nil {
+			op.kind, op.r, op.dst = opNTTInv, r, p
+			op.grid(len(r.Primes), 0, w, false)
+			runOp(op, w)
+			return
+		}
 	}
 	for i := range r.Primes {
 		nttInverse(p.Coeffs[i], r.tables[i])
@@ -405,18 +427,17 @@ func (r *Ring) INTT(p *Poly) {
 // reduction uses the precomputed 128-bit Barrett constant instead of a
 // hardware divide.
 func (r *Ring) MulCoeffs(dst, a, b *Poly) {
-	if r.workers > 1 {
-		r.forEachPrime(func(i int) { r.mulCoeffsAt(dst, a, b, i) })
+	if r.parOp2(opMulCoeffs, dst, a, b, 0) {
 		return
 	}
 	for i := range r.Primes {
-		r.mulCoeffsAt(dst, a, b, i)
+		r.mulCoeffsRange(dst, a, b, i, 0, r.N)
 	}
 }
 
-func (r *Ring) mulCoeffsAt(dst, a, b *Poly, i int) {
+func (r *Ring) mulCoeffsRange(dst, a, b *Poly, i, lo, hi int) {
 	bar := r.tables[i].bar
-	ai, bi, di := a.Coeffs[i], b.Coeffs[i], dst.Coeffs[i]
+	ai, bi, di := a.Coeffs[i][lo:hi], b.Coeffs[i][lo:hi], dst.Coeffs[i][lo:hi]
 	for j := range di {
 		di[j] = bar.MulMod(ai[j], bi[j])
 	}
@@ -424,19 +445,18 @@ func (r *Ring) mulCoeffsAt(dst, a, b *Poly, i int) {
 
 // MulCoeffsAndAdd sets dst += a ⊙ b in the NTT domain.
 func (r *Ring) MulCoeffsAndAdd(dst, a, b *Poly) {
-	if r.workers > 1 {
-		r.forEachPrime(func(i int) { r.mulCoeffsAndAddAt(dst, a, b, i) })
+	if r.parOp2(opMulCoeffsAndAdd, dst, a, b, 0) {
 		return
 	}
 	for i := range r.Primes {
-		r.mulCoeffsAndAddAt(dst, a, b, i)
+		r.mulCoeffsAndAddRange(dst, a, b, i, 0, r.N)
 	}
 }
 
-func (r *Ring) mulCoeffsAndAddAt(dst, a, b *Poly, i int) {
+func (r *Ring) mulCoeffsAndAddRange(dst, a, b *Poly, i, lo, hi int) {
 	p := r.Primes[i]
 	bar := r.tables[i].bar
-	ai, bi, di := a.Coeffs[i], b.Coeffs[i], dst.Coeffs[i]
+	ai, bi, di := a.Coeffs[i][lo:hi], b.Coeffs[i][lo:hi], dst.Coeffs[i][lo:hi]
 	for j := range di {
 		di[j] = mathutil.AddMod(di[j], bar.MulMod(ai[j], bi[j]), p)
 	}
@@ -462,19 +482,23 @@ func (r *Ring) MulPoly(dst, a, b *Poly) {
 // switching: every row l of dst holds row i of src reduced modulo p_l.
 // Reductions use per-prime Barrett constants (no hardware divides).
 func (r *Ring) DigitLift(dst, src *Poly, i int) {
-	if r.workers > 1 {
-		from := src.Coeffs[i]
-		r.forEachPrime(func(l int) { r.digitLiftAt(dst, from, i, l) })
-		return
+	if w := r.workers; w > 1 {
+		if op := acquireOp(); op != nil {
+			op.kind, op.r = opDigitLift, r
+			op.dst, op.src, op.digit = dst, src, i
+			op.grid(len(r.Primes), r.N, w, true)
+			runOp(op, w)
+			return
+		}
 	}
-	from := src.Coeffs[i]
 	for l := range r.Primes {
-		r.digitLiftAt(dst, from, i, l)
+		r.digitLiftRange(dst, src.Coeffs[i], i, l, 0, r.N)
 	}
 }
 
-func (r *Ring) digitLiftAt(dst *Poly, from []uint64, i, l int) {
-	dl := dst.Coeffs[l]
+func (r *Ring) digitLiftRange(dst *Poly, from []uint64, i, l, lo, hi int) {
+	dl := dst.Coeffs[l][lo:hi]
+	from = from[lo:hi]
 	if l == i {
 		copy(dl, from)
 		return

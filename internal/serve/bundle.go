@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"time"
 
 	"porcupine/internal/backend"
 	"porcupine/internal/plan"
@@ -44,12 +45,79 @@ func Export(ctx *backend.Context, name string, p *plan.ExecutionPlan, sample *wi
 // Load builds the serving half from a decoded bundle: a sealed
 // execute-only context (no secret key) and a scheduler over it. The
 // bundle must already be validated (wire.DecodeBundle always is).
+//
+// When cfg.Workers sets a total core budget without pinning Sessions
+// or RingWorkers, Load partitions the budget between batch-level and
+// intra-request parallelism — measured on the bundle's self-test
+// sample (TuneConfig) when one is embedded, statically otherwise.
 func Load(b *wire.Bundle, cfg Config) (*backend.Context, *Scheduler, error) {
 	ctx, err := backend.NewSealedContext(b.Params, b.Relin, b.Galois)
 	if err != nil {
 		return nil, nil, err
 	}
+	if cfg.Workers > 0 && cfg.Sessions == 0 && cfg.RingWorkers == 0 {
+		cfg = TuneConfig(ctx, b, cfg)
+	}
 	return ctx, New(ctx, cfg), nil
+}
+
+// TuneConfig partitions cfg.Workers between batch-level concurrency
+// and intra-request (ring + step) parallelism by measuring the
+// bundle's self-test sample at startup: for every candidate
+// intra-request share r ∈ {1, 2, 4, … ≤ budget} it times the sample at
+// RingWorkers = PlanWorkers = r and scores the partition by the
+// steady-load throughput model (budget/r sessions, each completing a
+// request every L(r)) — i.e. it maximizes (budget/r)/L(r). Ties break
+// toward smaller r (more sessions): batch-level concurrency has no
+// serial fraction, so it only loses when intra-request speedup is
+// superlinear per core, which never happens.
+//
+// Bundles without a sample (or a budget of one) fall back to the
+// static split of Config.withDefaults. The context's worker setting is
+// left at the chosen share.
+func TuneConfig(ctx *backend.Context, b *wire.Bundle, cfg Config) Config {
+	budget := cfg.Workers
+	if budget <= 1 || b.Sample == nil {
+		return cfg
+	}
+	sess := ctx.NewSession()
+	measure := func(r int) (time.Duration, error) {
+		ctx.Params.SetWorkers(r)
+		sess.SetParallelism(r)
+		// One warm-up sizes the register file; the timed runs then
+		// measure steady-state execution. Min of 3 is robust against
+		// scheduling noise at startup.
+		if _, err := sess.Run(b.Plan, b.Sample.CtIn, b.Sample.PtIn); err != nil {
+			return 0, err
+		}
+		best := time.Duration(0)
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			if _, err := sess.Run(b.Plan, b.Sample.CtIn, b.Sample.PtIn); err != nil {
+				return 0, err
+			}
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+			}
+		}
+		return best, nil
+	}
+	bestR, bestScore := 1, 0.0
+	for r := 1; r <= budget; r *= 2 {
+		lat, err := measure(r)
+		if err != nil || lat <= 0 {
+			break
+		}
+		score := float64(budget/r) / lat.Seconds()
+		if score > bestScore {
+			bestR, bestScore = r, score
+		}
+	}
+	ctx.Params.SetWorkers(bestR)
+	cfg.RingWorkers = bestR
+	cfg.PlanWorkers = bestR
+	cfg.Sessions = budget / bestR
+	return cfg
 }
 
 // SelfTest executes the bundle's embedded sample through sched and

@@ -32,7 +32,8 @@ var ErrClosed = errors.New("serve: scheduler closed")
 // Config sizes the scheduler. Zero fields take defaults.
 type Config struct {
 	// Sessions is the number of concurrent execution sessions (and
-	// worker goroutines) over the shared context. Default 1.
+	// worker goroutines) over the shared context. Default 1, or the
+	// batch-level share of Workers when a total budget is set.
 	Sessions int
 	// QueueDepth bounds the admission queue; producers block (Do) once
 	// the queue is full — backpressure instead of unbounded buffering.
@@ -49,9 +50,46 @@ type Config struct {
 	// idle, queued requests are spread across them immediately, so
 	// coalescing never serializes work the pool could run in parallel.
 	BatchWindow time.Duration
+
+	// RingWorkers is the intra-operation parallelism of the HE
+	// primitives (NTT rows, pointwise loops, lazy inner products —
+	// Parameters.SetWorkers). Applied to the served context by New.
+	// 0/1 = serial loops.
+	RingWorkers int
+	// PlanWorkers is the per-session step-level parallelism: with
+	// PlanWorkers > 1 the independent steps of each dependency level of
+	// a plan execute concurrently (Session.SetParallelism). Defaults to
+	// RingWorkers — both layers draw from the same ring worker pool,
+	// which is work-conserving, so sharing the budget degrades
+	// gracefully rather than oversubscribing.
+	PlanWorkers int
+	// Workers is the total core budget to partition between batch-level
+	// concurrency (Sessions) and intra-request parallelism
+	// (RingWorkers/PlanWorkers) when those fields are unset. The static
+	// split favors batch-level concurrency — independent requests scale
+	// with no serial fraction, while ring parallelism pays per-chunk
+	// overhead — so Sessions defaults to the whole budget; TuneConfig
+	// refines the split with startup measurements when a self-test
+	// sample is available. 0 = no budget, fields take their own
+	// defaults.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
+	if c.Workers > 0 {
+		if c.Sessions < 1 {
+			if c.RingWorkers > 1 {
+				c.Sessions = c.Workers / c.RingWorkers
+			} else {
+				c.Sessions = c.Workers
+			}
+		} else if c.RingWorkers == 0 {
+			c.RingWorkers = c.Workers / c.Sessions
+		}
+	}
+	if c.PlanWorkers == 0 {
+		c.PlanWorkers = c.RingWorkers
+	}
 	if c.Sessions < 1 {
 		c.Sessions = 1
 	}
@@ -154,9 +192,14 @@ type stats struct {
 	totalWait                           time.Duration
 }
 
-// New builds and starts a scheduler over ctx.
+// New builds and starts a scheduler over ctx. A non-zero RingWorkers
+// is applied to the context's parameters, routing every session's ring
+// hot loops through the persistent worker pool.
 func New(ctx *backend.Context, cfg Config) *Scheduler {
 	cfg = cfg.withDefaults()
+	if cfg.RingWorkers > 0 {
+		ctx.Params.SetWorkers(cfg.RingWorkers)
+	}
 	s := &Scheduler{
 		ctx:            ctx,
 		cfg:            cfg,
@@ -287,6 +330,7 @@ func (s *Scheduler) dispatch() {
 func (s *Scheduler) worker() {
 	defer s.workersDone.Done()
 	sess := s.ctx.NewSession()
+	sess.SetParallelism(s.cfg.PlanWorkers)
 	for batch := range s.batches {
 		for _, j := range batch {
 			j.start = time.Now()
@@ -325,6 +369,11 @@ func (s *Scheduler) finish(res Result) {
 	}
 	s.st.totalWait += res.Wait
 }
+
+// Config returns the scheduler's resolved configuration — defaults
+// and worker-budget partitioning applied — so callers can report the
+// session/ring split actually in effect.
+func (s *Scheduler) Config() Config { return s.cfg }
 
 // Stats returns a snapshot of the scheduler's counters.
 func (s *Scheduler) Stats() Stats {

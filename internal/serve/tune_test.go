@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"math/rand"
+	"testing"
+
+	"porcupine/internal/backend"
+	"porcupine/internal/bfv"
+	"porcupine/internal/quill"
+	"porcupine/internal/wire"
+)
+
+func TestConfigPartitioning(t *testing.T) {
+	for _, tc := range []struct {
+		in                       Config
+		sessions, ring, planWork int
+	}{
+		// No budget: serial defaults.
+		{Config{}, 1, 0, 0},
+		// Budget with nothing pinned: batch-level gets it all.
+		{Config{Workers: 4}, 4, 0, 0},
+		// Budget with ring share pinned: sessions get the rest.
+		{Config{Workers: 8, RingWorkers: 2}, 4, 2, 2},
+		// Budget with sessions pinned: ring gets the rest.
+		{Config{Workers: 8, Sessions: 2}, 2, 4, 4},
+		// Everything pinned: budget is ignored.
+		{Config{Workers: 8, Sessions: 3, RingWorkers: 2}, 3, 2, 2},
+		// PlanWorkers defaults to RingWorkers, but can diverge.
+		{Config{RingWorkers: 4, PlanWorkers: 2}, 1, 4, 2},
+	} {
+		got := tc.in.withDefaults()
+		if got.Sessions != tc.sessions || got.RingWorkers != tc.ring || got.PlanWorkers != tc.planWork {
+			t.Errorf("%+v: partitioned to Sessions=%d RingWorkers=%d PlanWorkers=%d, want %d/%d/%d",
+				tc.in, got.Sessions, got.RingWorkers, got.PlanWorkers, tc.sessions, tc.ring, tc.planWork)
+		}
+	}
+}
+
+// TestTunedLoadServesIdentically loads a bundle under a total worker
+// budget — exercising TuneConfig's startup measurement on the
+// self-test sample — and checks the tuned scheduler still reproduces
+// the exporter's expectation bit for bit.
+func TestTunedLoadServesIdentically(t *testing.T) {
+	l := &quill.Lowered{
+		VecLen: 1024, NumCtInputs: 1,
+		Instrs: []quill.LInstr{
+			{Op: quill.OpRotCt, Dst: 1, A: 0, Rot: 1},
+			{Op: quill.OpRotCt, Dst: 2, A: 0, Rot: 2},
+			{Op: quill.OpAddCtCt, Dst: 3, A: 1, B: 2},
+			{Op: quill.OpMulCtCt, Dst: 4, A: 3, B: 0},
+			{Op: quill.OpRelin, Dst: 5, A: 4},
+		},
+		Output: 5,
+	}
+	ctx, plans, err := backend.NewTestServingContext("PN2048", 21, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	v := make(quill.Vec, l.VecLen)
+	for j := range v {
+		v[j] = rng.Uint64() % 64
+	}
+	ct, err := ctx.EncryptVec(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Export(ctx, "tune-test", plans[0], &wire.Request{CtIn: []*bfv.Ciphertext{ct}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := wire.DecodeBundle(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lctx, sched, err := Load(loaded, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sched.Close()
+	got := sched.Config()
+	if got.RingWorkers < 1 || got.Sessions < 1 || got.Sessions*got.RingWorkers > 4 {
+		t.Fatalf("tuned partition Sessions=%d RingWorkers=%d exceeds budget 4", got.Sessions, got.RingWorkers)
+	}
+	if lctx.Params.Workers() != got.RingWorkers {
+		t.Fatalf("context workers %d, want tuned %d", lctx.Params.Workers(), got.RingWorkers)
+	}
+	ok, err := SelfTest(sched, loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("tuned scheduler not bit-identical to exporter expectation")
+	}
+}
