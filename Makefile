@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race test-short bench bench-figure4 bench-ops bench-synth bench-serve bench-rot bench-scale smoke-serve smoke-wire alloc-canary
+.PHONY: all build vet test test-race test-short bench bench-figure4 bench-ops bench-synth bench-serve bench-rot bench-scale bench-mux smoke-serve smoke-wire smoke-registry alloc-canary
 
 all: vet build test-short
 
@@ -70,6 +70,17 @@ smoke-wire:
 	/tmp/porcupine-smoke -kernel box-blur -export-plan /tmp/porcupine-smoke.pplan -no-cache -timeout 2m
 	/tmp/porcupine-smoke -load-plan /tmp/porcupine-smoke.pplan -iters 4 -workers 2
 
+# Multi-kernel registry smoke (mirrors the CI cross-process job): one
+# process exports the full 11-kernel registry from the hand-written
+# baselines, a second loads it (no secret key) and proves every
+# kernel's embedded sample bit-identical, a third lane-packs a burst
+# through the mux scheduler.
+smoke-registry:
+	$(GO) build -o /tmp/porcupine-smoke ./cmd/porcupine
+	/tmp/porcupine-smoke -export-registry /tmp/porcupine-smoke.pregistry -baseline -preset PN4096
+	/tmp/porcupine-smoke -load-registry /tmp/porcupine-smoke.pregistry -iters 2
+	/tmp/porcupine-smoke -load-registry /tmp/porcupine-smoke.pregistry -run dot-product -iters 16 -workers 1
+
 # Plan-schedule benchmark: per-kernel flat (hoisting and domain
 # assignment disabled) vs hoisted vs domain-assigned plan latency plus
 # the static transform counts behind each win (key-switching forward
@@ -96,14 +107,27 @@ bench-scale:
 		-out $(SCALE_OUT)
 	@echo "wrote $(SCALE_OUT) (curated record: BENCH_PR8.json)"
 
+# Muxed-vs-unmuxed serving benchmark: paired per-iteration deltas of
+# lane-packed batches against the same requests served one at a time,
+# bit-identity verified per user before timing. Recorded numbers live
+# in BENCH_PR9.json; methodology in EXPERIMENTS.md.
+MUX_ITERS ?= 12
+MUX_OUT ?= /tmp/porcupine-bench-mux.json
+bench-mux:
+	$(GO) run ./cmd/benchmux -iters $(MUX_ITERS) \
+		$(if $(KERNELS),-kernels $(KERNELS)) -out $(MUX_OUT)
+	@echo "wrote $(MUX_OUT) (curated record: BENCH_PR9.json)"
+
 # Allocation-regression canary (mirrors the CI job): steady-state plan
 # execution — plain, hoisted, domain-assigned, the tree-reduced
-# batched-rotation path, and the multi-core engine (worker pool +
-# levelized steps) — must report 0 allocs/op.
+# batched-rotation path, the multi-core engine (worker pool +
+# levelized steps), and the slot-multiplexed batch path — must report
+# 0 allocs/op.
 alloc-canary:
-	$(GO) test -run '^$$' -bench '^(BenchmarkPlanRun|BenchmarkHoistedPlanRun|BenchmarkDomainAssignedPlanRun|BenchmarkTreeBatchedPlanRun|BenchmarkParallelPlanRun)$$' -benchtime 1x -benchmem . | tee /tmp/porcupine-canary.out
+	$(GO) test -run '^$$' -bench '^(BenchmarkPlanRun|BenchmarkHoistedPlanRun|BenchmarkDomainAssignedPlanRun|BenchmarkTreeBatchedPlanRun|BenchmarkParallelPlanRun|BenchmarkMuxedPlanRun)$$' -benchtime 1x -benchmem . | tee /tmp/porcupine-canary.out
 	grep -E 'BenchmarkPlanRun.* 0 B/op.* 0 allocs/op' /tmp/porcupine-canary.out
 	grep -E 'BenchmarkHoistedPlanRun.* 0 B/op.* 0 allocs/op' /tmp/porcupine-canary.out
 	grep -E 'BenchmarkDomainAssignedPlanRun.* 0 B/op.* 0 allocs/op' /tmp/porcupine-canary.out
 	grep -E 'BenchmarkTreeBatchedPlanRun.* 0 B/op.* 0 allocs/op' /tmp/porcupine-canary.out
 	grep -E 'BenchmarkParallelPlanRun.* 0 B/op.* 0 allocs/op' /tmp/porcupine-canary.out
+	grep -E 'BenchmarkMuxedPlanRun.* 0 B/op.* 0 allocs/op' /tmp/porcupine-canary.out

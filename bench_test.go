@@ -24,6 +24,7 @@ import (
 	"porcupine/internal/backend"
 	"porcupine/internal/baseline"
 	"porcupine/internal/kernels"
+	"porcupine/internal/plan"
 	"porcupine/internal/quill"
 	"porcupine/internal/synth"
 )
@@ -538,6 +539,78 @@ func BenchmarkTreeBatchedPlanRun(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Run(p, cts, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMuxedPlanRun is the allocation canary of slot-multiplexed
+// batching: one warm MuxRunner executing a full lane-packed batch —
+// pack rotations, the shared plan evaluation over all lanes, demux
+// rotations — at steady state. Like BenchmarkPlanRun, CI runs it with
+// -benchtime=1x -benchmem and fails the build on anything but
+// "0 B/op, 0 allocs/op": packing k users into one ciphertext must not
+// cost the serving runtime its GC-quiet invariant (packed/demuxed
+// ciphertexts and plaintext lane buffers live in per-runner scratch).
+func BenchmarkMuxedPlanRun(b *testing.B) {
+	// A small-vector stencil (VecLen 32, reach ±2): stride 64, 8 lanes
+	// on PN2048's 1024-slot row.
+	l := &quill.Lowered{
+		VecLen: 32, NumCtInputs: 1, NumPtInputs: 1,
+		Instrs: []quill.LInstr{
+			{Op: quill.OpRotCt, Dst: 1, A: 0, Rot: 2},
+			{Op: quill.OpRotCt, Dst: 2, A: 0, Rot: -2},
+			{Op: quill.OpAddCtCt, Dst: 3, A: 1, B: 2},
+			{Op: quill.OpMulCtPt, Dst: 4, A: 3, P: quill.PtRef{Input: -1, Const: []int64{3}}},
+			{Op: quill.OpAddCtPt, Dst: 5, A: 4, P: quill.PtRef{Input: 0}},
+		},
+		Output: 5,
+	}
+	ctx, plans, err := backend.NewTestMuxServingContext("PN2048", 5, 0, l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := plan.BuildMux(ctx.Params, ctx.Encoder, plans[0], 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if m.Lanes < 2 {
+		b.Fatalf("stencil not mux-eligible: %d lanes", m.Lanes)
+	}
+	ctIns := make([][]*porcupine.Ciphertext, m.Lanes)
+	ptIns := make([][]quill.Vec, m.Lanes)
+	for j := range ctIns {
+		v := make(quill.Vec, l.VecLen)
+		pt := make(quill.Vec, l.VecLen)
+		for s := range v {
+			v[s] = uint64((s + j) % 61)
+			pt[s] = uint64(s%13 + 1)
+		}
+		ct, err := ctx.EncryptVec(v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctIns[j] = []*porcupine.Ciphertext{ct}
+		ptIns[j] = []quill.Vec{pt}
+	}
+	r := ctx.NewMuxRunner(m)
+	// Warm-up: grows the runner's packed/output scratch, the register
+	// file and ring pools to steady state.
+	for i := 0; i < 3; i++ {
+		if _, err := r.Run(ctIns, ptIns); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// See BenchmarkPlanRun: drain-then-refill the pools so a pending GC
+	// cannot fire inside the single measured sample.
+	runtime.GC()
+	if _, err := r.Run(ctIns, ptIns); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(ctIns, ptIns); err != nil {
 			b.Fatal(err)
 		}
 	}

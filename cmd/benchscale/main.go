@@ -81,11 +81,15 @@ type kernelScale struct {
 }
 
 type report struct {
-	NumCPU     int                     `json:"num_cpu"`
-	GoMaxProcs int                     `json:"gomaxprocs"`
-	Iters      int                     `json:"iters"`
-	Workers    []int                   `json:"workers"`
-	Kernels    map[string]*kernelScale `json:"kernels"`
+	NumCPU     int `json:"num_cpu"`
+	GoMaxProcs int `json:"gomaxprocs"`
+	// CoresAvailable is the parallelism actually usable by this
+	// process: min(NumCPU, GOMAXPROCS). Speedup points beyond it are
+	// oversubscription artifacts, not scaling data.
+	CoresAvailable int                     `json:"cores_available"`
+	Iters          int                     `json:"iters"`
+	Workers        []int                   `json:"workers"`
+	Kernels        map[string]*kernelScale `json:"kernels"`
 }
 
 func main() {
@@ -117,12 +121,21 @@ func main() {
 		}
 	}
 
+	cores := runtime.NumCPU()
+	if g := runtime.GOMAXPROCS(0); g < cores {
+		cores = g
+	}
+	if max := sweep[len(sweep)-1]; max > cores {
+		fmt.Fprintf(os.Stderr, "benchscale: warning: sweeping %d workers on %d available cores — points beyond w=%d measure oversubscription, not scaling\n",
+			max, cores, cores)
+	}
 	rep := &report{
-		NumCPU:     runtime.NumCPU(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Iters:      *iters,
-		Workers:    sweep,
-		Kernels:    map[string]*kernelScale{},
+		NumCPU:         runtime.NumCPU(),
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		CoresAvailable: cores,
+		Iters:          *iters,
+		Workers:        sweep,
+		Kernels:        map[string]*kernelScale{},
 	}
 	for _, name := range names {
 		ks, err := measureScale(name, sweep, *iters)

@@ -10,7 +10,9 @@
 //	porcupine -build [-kernels gx,gy,sobel] [-workers 4] [-cache-dir DIR | -no-cache]
 //	porcupine -kernel box-blur -export-plan FILE [-export-request REQ]
 //	porcupine -load-plan FILE [-iters 100] [-workers 4] [-ring-workers 2]
-//	porcupine -serve ADDR (-kernel NAME | -load-plan FILE)
+//	porcupine -serve ADDR (-kernel NAME | -load-plan FILE | -load-registry FILE)
+//	porcupine -export-registry FILE [-kernels gx,gy] [-baseline] [-preset PN4096]
+//	porcupine -load-registry FILE [-iters 3] [-run KERNEL]
 //	porcupine -list
 //
 // Batch mode (-build) compiles every registered kernel (or the
@@ -55,6 +57,29 @@
 //	                    /healthz /plan /stats /selftest /run), either
 //	                    from a fresh in-process compile (-kernel) or
 //	                    from the artifact alone (-load-plan).
+//
+// Multi-kernel serving bundles the whole suite into ONE artifact:
+//
+//	-export-registry F  compiles every kernel (or the -kernels subset),
+//	                    builds one shared context whose Galois keys
+//	                    also cover each eligible kernel's slot-
+//	                    multiplexing lanes, and writes a wire-v5
+//	                    registry: the manifest of named plans, one
+//	                    key-material section, and per-kernel self-test
+//	                    samples.
+//	-load-registry F    alone: loads the registry in a fresh process
+//	                    (no secret key) and verifies every kernel's
+//	                    sample reproduces the exporter's output bit for
+//	                    bit. With -run KERNEL: pushes -iters copies of
+//	                    that kernel's sample through the catalog
+//	                    scheduler (same-kernel bursts lane-pack when
+//	                    the manifest carries a mux geometry). With
+//	                    -serve ADDR: serves every kernel from one
+//	                    process (endpoints: /healthz /kernels /stats
+//	                    /selftest/{kernel} /run/{kernel}).
+//	-baseline           uses the hand-written baseline programs instead
+//	                    of synthesis — no cache, milliseconds instead
+//	                    of minutes; what CI drives.
 package main
 
 import (
@@ -65,9 +90,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -109,9 +136,12 @@ func run() error {
 		list     = flag.Bool("list", false, "list available kernels")
 		seal     = flag.Bool("seal", false, "emit SEAL C++ for the synthesized kernel")
 		export   = flag.String("export-plan", "", "compile -kernel and write its serving artifact (plan + evaluation keys + self-test sample) to FILE")
-		expReq   = flag.String("export-request", "", "with -export-plan: also write the wire-encoded self-test request to FILE")
+		expReq   = flag.String("export-request", "", "with -export-plan: also write the wire-encoded self-test request to FILE; with -export-registry: write every kernel's sample request to DIR/<kernel>.preq")
 		loadPlan = flag.String("load-plan", "", "load a serving artifact FILE instead of compiling: alone, run the cross-process self-check; with -serve, serve from it")
-		serveAdr = flag.String("serve", "", "serve a kernel over HTTP on ADDR (host:port); needs -kernel or -load-plan")
+		expReg   = flag.String("export-registry", "", "compile the kernel suite (or the -kernels subset) and write the multi-kernel registry artifact to FILE")
+		loadReg  = flag.String("load-registry", "", "load a registry FILE: alone, verify every kernel's self-test; with -run KERNEL, push -iters requests at that kernel; with -serve, host every kernel")
+		baseLow  = flag.Bool("baseline", false, "use the hand-written baseline programs instead of synthesis (no cache, no timeout; what CI drives)")
+		serveAdr = flag.String("serve", "", "serve over HTTP on ADDR (host:port); needs -kernel, -load-plan or -load-registry")
 		preset   = flag.String("preset", "PN4096", "BFV parameter preset for -run/-export-plan/-serve -kernel (PN2048, PN4096, PN8192)")
 		timeout  = flag.Duration("timeout", 20*time.Minute, "synthesis time budget (per kernel in -build)")
 		seed     = flag.Int64("seed", 1, "synthesis random seed")
@@ -126,14 +156,24 @@ func run() error {
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	compileServe := *serveAdr != "" && *kernel != "" // -serve backed by an in-process compile
-	if explicit["preset"] && *run == "" && *export == "" && !compileServe {
-		if *loadPlan != "" {
-			return usageError("-preset is ignored with -load-plan (parameters come from the artifact)")
+	if explicit["preset"] && *run == "" && *export == "" && *expReg == "" && !compileServe {
+		if *loadPlan != "" || *loadReg != "" {
+			return usageError("-preset is ignored with -load-plan/-load-registry (parameters come from the artifact)")
 		}
-		return usageError("-preset requires -run, -export-plan, or -serve with -kernel")
+		return usageError("-preset requires -run, -export-plan, -export-registry, or -serve with -kernel")
 	}
-	if explicit["iters"] && *run == "" && (*loadPlan == "" || *serveAdr != "") {
-		return usageError("-iters requires -run or -load-plan")
+	if explicit["iters"] && *run == "" && ((*loadPlan == "" && *loadReg == "") || *serveAdr != "") {
+		return usageError("-iters requires -run, -load-plan or -load-registry")
+	}
+	if *baseLow {
+		switch {
+		case *build:
+			return usageError("-baseline does not combine with -build (batch mode exists to synthesize)")
+		case *infer:
+			return usageError("-baseline does not combine with -infer")
+		case *loadPlan != "" || *loadReg != "":
+			return usageError("-baseline is ignored with -load-plan/-load-registry (plans come from the artifact)")
+		}
 	}
 	if *list {
 		for _, name := range porcupine.Kernels() {
@@ -141,27 +181,47 @@ func run() error {
 		}
 		return nil
 	}
-	if *expReq != "" && *export == "" {
-		return usageError("-export-request requires -export-plan")
+	if *expReq != "" && *export == "" && *expReg == "" {
+		return usageError("-export-request requires -export-plan or -export-registry")
 	}
 	switch {
+	case *expReg != "":
+		switch {
+		case *build || *run != "" || *serveAdr != "" || *loadPlan != "" || *loadReg != "" || *kernel != "" || *export != "":
+			return usageError("-export-registry combines only with -kernels (the subset), -baseline and -preset")
+		case *seal || *infer:
+			return usageError("-seal/-infer do not combine with -export-registry")
+		}
 	case *export != "":
 		switch {
 		case *kernel == "":
 			return usageError("-export-plan requires -kernel (the kernel to compile and export)")
-		case *build || *run != "" || *serveAdr != "" || *loadPlan != "":
+		case *build || *run != "" || *serveAdr != "" || *loadPlan != "" || *loadReg != "":
 			return usageError("-export-plan combines only with -kernel")
 		case *seal || *infer:
 			return usageError("-seal/-infer do not combine with -export-plan")
 		}
 	case *serveAdr != "":
+		sources := 0
+		for _, on := range []bool{*kernel != "", *loadPlan != "", *loadReg != ""} {
+			if on {
+				sources++
+			}
+		}
 		switch {
-		case (*kernel != "") == (*loadPlan != ""):
-			return usageError("-serve needs exactly one source: -kernel NAME (compile here) or -load-plan FILE (serve from artifact)")
+		case sources != 1:
+			return usageError("-serve needs exactly one source: -kernel NAME (compile here), -load-plan FILE, or -load-registry FILE")
 		case *build || *run != "":
 			return usageError("-serve does not combine with -build or -run")
 		case *seal || *infer:
 			return usageError("-seal/-infer do not combine with -serve")
+		}
+	case *loadReg != "":
+		switch {
+		case *build || *kernel != "" || *loadPlan != "":
+			return usageError("-load-registry combines only with -run KERNEL or -serve (or stands alone as the cross-process self-check)")
+		case *seal || *infer:
+			return usageError("-seal/-infer do not combine with -load-registry")
 		}
 	case *loadPlan != "":
 		switch {
@@ -190,14 +250,14 @@ func run() error {
 			return usageError("-infer requires -kernel")
 		}
 	} else {
-		if *subset != "" {
-			return usageError("-kernels requires -build")
+		if *subset != "" && *expReg == "" {
+			return usageError("-kernels requires -build or -export-registry")
 		}
-		if *workers != 0 && *run == "" && *serveAdr == "" && *loadPlan == "" {
-			return usageError("-workers requires -build, -run, -serve or -load-plan (single-kernel synthesis uses GOMAXPROCS)")
+		if *workers != 0 && *run == "" && *serveAdr == "" && *loadPlan == "" && *loadReg == "" {
+			return usageError("-workers requires -build, -run, -serve, -load-plan or -load-registry (single-kernel synthesis uses GOMAXPROCS)")
 		}
-		if (*schedW != 0 || *ringW != 0) && *run == "" && *serveAdr == "" && *loadPlan == "" {
-			return usageError("-sched-workers/-ring-workers require -run, -serve or -load-plan")
+		if (*schedW != 0 || *ringW != 0) && *run == "" && *serveAdr == "" && *loadPlan == "" && *loadReg == "" {
+			return usageError("-sched-workers/-ring-workers require -run, -serve, -load-plan or -load-registry")
 		}
 		if *run != "" {
 			switch {
@@ -225,6 +285,7 @@ func run() error {
 		opts.Cache = cache
 	}
 
+	baselineMode = *baseLow
 	if *build {
 		return runBuild(*subset, *workers, opts)
 	}
@@ -234,16 +295,33 @@ func run() error {
 	if *schedW != 0 {
 		sessions = *schedW
 	}
+	if *expReg != "" {
+		if *subset != "" {
+			if err := checkKernelNames(*subset); err != nil {
+				return err
+			}
+		}
+		return runExportRegistry(*subset, *preset, *expReg, *expReq, *seed, opts)
+	}
 	if *run != "" {
 		if err := checkKernelNames(*run); err != nil {
 			return err
 		}
+		if *loadReg != "" {
+			return runRegistryRun(*loadReg, *run, *iters, sessions, *ringW)
+		}
 		return runServe(*run, *preset, *iters, sessions, *ringW, *seed, opts)
+	}
+	if *loadReg != "" && *serveAdr == "" {
+		return runLoadRegistryCheck(*loadReg, *iters, sessions, *ringW)
 	}
 	if *loadPlan != "" && *serveAdr == "" {
 		return runLoadCheck(*loadPlan, *iters, sessions, *ringW)
 	}
 	if *serveAdr != "" {
+		if *loadReg != "" {
+			return runServeRegistryHTTP(*serveAdr, *loadReg, sessions, *ringW)
+		}
 		if *kernel != "" {
 			if err := checkKernelNames(*kernel); err != nil {
 				return err
@@ -444,9 +522,22 @@ func compileInferred(name string, opts porcupine.Options) (*porcupine.Compiled, 
 	return &porcupine.Compiled{Name: name, Spec: spec, Result: res, Lowered: res.Lowered}, nil
 }
 
+// baselineMode swaps synthesis for the hand-written baseline programs
+// (-baseline): every compileAny call resolves in milliseconds, which is
+// what CI's registry/serving smoke jobs drive.
+var baselineMode bool
+
 // compileAny compiles direct kernels via synthesis and multi-step
-// kernels via suite composition.
+// kernels via suite composition — or, in baseline mode, returns the
+// hand-written depth-minimized program.
 func compileAny(name string, opts porcupine.Options) (*porcupine.Compiled, error) {
+	if baselineMode {
+		l, err := porcupine.Baseline(name)
+		if err != nil {
+			return nil, err
+		}
+		return &porcupine.Compiled{Name: name, Spec: porcupine.KernelSpec(name), Lowered: l}, nil
+	}
 	switch name {
 	case "sobel", "harris":
 		return compileSuiteFor(name, opts)
@@ -721,6 +812,245 @@ func runLoadCheck(path string, iters, workers, ringWorkers int) error {
 		iters, wall.Round(time.Millisecond), float64(iters)/wall.Seconds(), workers,
 		st.AvgLatency.Round(time.Microsecond), st.AvgBatch)
 	return nil
+}
+
+// runExportRegistry compiles the kernel suite (or the -kernels
+// subset), builds ONE shared serving context whose Galois keys also
+// cover every eligible kernel's mux lanes, and writes the wire-v5
+// registry artifact: manifest of named plans, one key-material
+// section, per-kernel self-test samples. reqDir, when set, receives
+// each kernel's wire-encoded sample request as <kernel>.preq — the
+// bodies to POST at /run/{kernel}.
+func runExportRegistry(subset, preset, path, reqDir string, seed int64, opts porcupine.Options) error {
+	names := splitKernels(subset)
+	if len(names) == 0 {
+		names = porcupine.Kernels()
+	}
+	var lowereds []*porcupine.Lowered
+	for _, name := range names {
+		fmt.Printf("compiling %s ...\n", name)
+		c, err := compileAny(name, opts)
+		if err != nil {
+			return err
+		}
+		lowereds = append(lowereds, c.Lowered)
+	}
+	fmt.Printf("building shared serving context (preset %s, %d kernels) ...\n", preset, len(names))
+	ctx, plans, err := porcupine.NewMuxServingContext(preset, 0, lowereds...)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	samples := make([]*porcupine.WireRequest, len(names))
+	for i, name := range names {
+		spec := porcupine.KernelSpec(name)
+		assign := make([]uint64, spec.NumVars)
+		for j := range assign {
+			assign[j] = rng.Uint64() % 64
+		}
+		ex := spec.NewExample(assign)
+		s := &porcupine.WireRequest{PtIn: ex.PtIn}
+		for _, v := range ex.CtIn {
+			ct, err := ctx.EncryptVec(v)
+			if err != nil {
+				return err
+			}
+			s.CtIn = append(s.CtIn, ct)
+		}
+		samples[i] = s
+	}
+	reg, err := porcupine.ExportRegistry(ctx, names, plans, samples)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteFile(path); err != nil {
+		return err
+	}
+	if reqDir != "" {
+		if err := os.MkdirAll(reqDir, 0o755); err != nil {
+			return err
+		}
+		for i, name := range names {
+			data, err := porcupine.EncodeWireRequest(ctx.Params, samples[i])
+			if err != nil {
+				return err
+			}
+			rp := filepath.Join(reqDir, name+".preq")
+			if err := os.WriteFile(rp, data, 0o644); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("wrote %d sample requests to %s/*.preq\n", len(names), reqDir)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	muxable := 0
+	for i := range reg.Entries {
+		e := &reg.Entries[i]
+		if e.MuxLanes >= 2 {
+			muxable++
+			fmt.Printf("  %-22s %3d steps  mux: %d lanes x %d-slot stride\n",
+				e.Name, e.Plan.InstructionCount(), e.MuxLanes, e.MuxStride)
+		} else {
+			fmt.Printf("  %-22s %3d steps  per-request\n", e.Name, e.Plan.InstructionCount())
+		}
+	}
+	fmt.Printf("exported %s: %d bytes, fingerprint %s (%d kernels, %d mux-eligible, shared relin + Galois keys)\n",
+		path, fi.Size(), ctx.Params.FingerprintHex(), len(reg.Entries), muxable)
+	return nil
+}
+
+// runLoadRegistryCheck loads a registry in this (fresh) process and
+// runs every kernel's embedded sample iters times, requiring each
+// output bit-identical to the exporter's — the multi-kernel
+// cross-process differential check.
+func runLoadRegistryCheck(path string, iters, workers, ringWorkers int) error {
+	if iters < 1 {
+		iters = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	reg, err := porcupine.ReadRegistryFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded %s: %d kernels (preset %s), fingerprint %s\n",
+		path, len(reg.Entries), reg.Preset, reg.Params.FingerprintHex())
+	cat, err := porcupine.LoadRegistry(reg, porcupine.ServeConfig{Sessions: workers, RingWorkers: ringWorkers})
+	if err != nil {
+		return err
+	}
+	defer cat.Close()
+	start := time.Now()
+	for _, name := range cat.Kernels() {
+		for i := 0; i < iters; i++ {
+			ok, err := cat.SelfTest(name)
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			if !ok {
+				return fmt.Errorf("%s: output not bit-identical to the exporter's", name)
+			}
+		}
+	}
+	fmt.Printf("ok: %d kernels x %d cross-process runs bit-identical in %v\n",
+		len(cat.Kernels()), iters, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runRegistryRun pushes iters copies of one kernel's embedded sample
+// through the catalog scheduler. Same-kernel bursts lane-pack when the
+// manifest carries a mux geometry; per-request responses are checked
+// bit-identical to the exporter's expectation (lane-packed ones carry
+// the same answer in slots [0, VecLen) but different ciphertext bytes
+// — the decrypted differential lives in the test suite).
+func runRegistryRun(path, kernel string, iters, workers, ringWorkers int) error {
+	if iters < 1 {
+		iters = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	reg, err := porcupine.ReadRegistryFile(path)
+	if err != nil {
+		return err
+	}
+	cat, err := porcupine.LoadRegistry(reg, porcupine.ServeConfig{Sessions: workers, RingWorkers: ringWorkers})
+	if err != nil {
+		return err
+	}
+	defer cat.Close()
+	e := cat.Entry(kernel)
+	if e == nil {
+		return fmt.Errorf("registry %s carries no kernel %q (kernels: %s)",
+			path, kernel, strings.Join(cat.Kernels(), ", "))
+	}
+	if e.Sample == nil {
+		return fmt.Errorf("kernel %q carries no self-test sample to run", kernel)
+	}
+	if e.Mux != nil {
+		fmt.Printf("running %s: %d requests across %d sessions (lane-packing up to %d per evaluation) ...\n",
+			kernel, iters, workers, e.Mux.Lanes)
+	} else {
+		fmt.Printf("running %s: %d requests across %d sessions (per-request; not mux-eligible) ...\n",
+			kernel, iters, workers)
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	fails := &failTally{}
+	var muxed atomic.Int64
+	for i := 0; i < iters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := cat.Do(kernel, e.Sample.CtIn, e.Sample.PtIn)
+			switch {
+			case res.Err != nil:
+				fails.add(res.Err)
+			case res.Lanes >= 2:
+				muxed.Add(1)
+			case !reg.Params.CiphertextEqual(res.Out, e.Expected):
+				fails.add(fmt.Errorf("response not bit-identical to the exporter's"))
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	st := cat.Sched.Stats()
+	if n, first := fails.snapshot(); n > 0 {
+		return fmt.Errorf("%d of %d requests failed (first: %v)", n, iters, first)
+	}
+	fmt.Printf("%d runs in %v — %.1f runs/sec (%d sessions), %d lane-packed across %d mux groups, avg batch %.1f\n",
+		iters, wall.Round(time.Millisecond), float64(iters)/wall.Seconds(), workers,
+		muxed.Load(), st.MuxGroups, st.AvgBatch)
+	return nil
+}
+
+// runServeRegistryHTTP hosts every kernel of a registry from one
+// process.
+func runServeRegistryHTTP(addr, path string, workers, ringWorkers int) error {
+	if workers < 1 {
+		workers = 1
+	}
+	reg, err := porcupine.ReadRegistryFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded %s: %d kernels (preset %s), fingerprint %s\n",
+		path, len(reg.Entries), reg.Preset, reg.Params.FingerprintHex())
+	cat, err := porcupine.LoadRegistry(reg, porcupine.ServeConfig{Sessions: workers, RingWorkers: ringWorkers})
+	if err != nil {
+		return err
+	}
+	defer cat.Close()
+	srv := &http.Server{Addr: addr, Handler: porcupine.NewRegistryFront(cat, reg.Preset)}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("serving %d kernels on http://%s (endpoints: /healthz /kernels /stats /selftest/{kernel} /run/{kernel}; %d sessions)\n",
+			len(cat.Kernels()), addr, workers)
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		fmt.Printf("\n%v: draining and shutting down ...\n", s)
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			return err
+		}
+		return <-errCh
+	}
 }
 
 // runServeHTTP serves a kernel over HTTP, from an in-process compile

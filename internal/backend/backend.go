@@ -158,6 +158,21 @@ func NewTestServingContext(preset string, seed int64, programs ...*quill.Lowered
 	return newServingContext(preset, &seed, programs)
 }
 
+// NewMuxServingContext is NewServingContext for a slot-multiplexing
+// deployment (a registry export): the Galois key set additionally
+// covers the pack/demux rotations (±j·stride) of every mux-eligible
+// plan, so one context can serve both per-request and lane-packed
+// execution. maxLanes ≤ 0 means plan.DefaultMaxLanes.
+func NewMuxServingContext(preset string, maxLanes int, programs ...*quill.Lowered) (*Context, []*plan.ExecutionPlan, error) {
+	return newMuxServingContext(preset, nil, maxLanes, programs)
+}
+
+// NewTestMuxServingContext is NewMuxServingContext with deterministic
+// keys.
+func NewTestMuxServingContext(preset string, seed int64, maxLanes int, programs ...*quill.Lowered) (*Context, []*plan.ExecutionPlan, error) {
+	return newMuxServingContext(preset, &seed, maxLanes, programs)
+}
+
 func newServingContext(preset string, seed *int64, programs []*quill.Lowered) (*Context, []*plan.ExecutionPlan, error) {
 	params, err := bfv.NewParametersFromPreset(preset)
 	if err != nil {
@@ -178,6 +193,35 @@ func newServingContext(preset string, seed *int64, programs []*quill.Lowered) (*
 		kg = bfv.NewTestKeyGenerator(params, *seed)
 	}
 	ctx, err := newContext(params, encoder, kg, plan.RotationSet(plans...))
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, l := range programs {
+		ctx.plans.Store(l, plans[i])
+	}
+	return ctx, plans, nil
+}
+
+func newMuxServingContext(preset string, seed *int64, maxLanes int, programs []*quill.Lowered) (*Context, []*plan.ExecutionPlan, error) {
+	params, err := bfv.NewParametersFromPreset(preset)
+	if err != nil {
+		return nil, nil, err
+	}
+	encoder, err := bfv.NewEncoder(params)
+	if err != nil {
+		return nil, nil, err
+	}
+	plans := make([]*plan.ExecutionPlan, len(programs))
+	for i, l := range programs {
+		if plans[i], err = plan.Compile(params, encoder, l); err != nil {
+			return nil, nil, err
+		}
+	}
+	kg := bfv.NewKeyGenerator(params)
+	if seed != nil {
+		kg = bfv.NewTestKeyGenerator(params, *seed)
+	}
+	ctx, err := newContext(params, encoder, kg, plan.MuxRotationSet(params.SlotCount(), maxLanes, plans...))
 	if err != nil {
 		return nil, nil, err
 	}

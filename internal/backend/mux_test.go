@@ -1,0 +1,231 @@
+package backend
+
+import (
+	"math/rand"
+	"testing"
+
+	"porcupine/internal/bfv"
+	"porcupine/internal/plan"
+	"porcupine/internal/quill"
+)
+
+// muxProgram covers every lane-packing path: ciphertext inputs with
+// symmetric rotations, a ct-ct product with relinearization, an inline
+// constant, and a plaintext input. VecLen 32 on PN2048's 1024-slot row
+// gives stride 64 and 8 lanes.
+func muxProgram() *quill.Lowered {
+	return &quill.Lowered{
+		VecLen: 32, NumCtInputs: 2, NumPtInputs: 1,
+		Instrs: []quill.LInstr{
+			{Op: quill.OpRotCt, Dst: 2, A: 0, Rot: 2},
+			{Op: quill.OpRotCt, Dst: 3, A: 0, Rot: -2},
+			{Op: quill.OpAddCtCt, Dst: 4, A: 2, B: 3},
+			{Op: quill.OpMulCtCt, Dst: 5, A: 4, B: 1},
+			{Op: quill.OpRelin, Dst: 6, A: 5},
+			{Op: quill.OpMulCtPt, Dst: 7, A: 6, P: quill.PtRef{Input: -1, Const: []int64{3}}},
+			{Op: quill.OpAddCtPt, Dst: 8, A: 7, P: quill.PtRef{Input: 0}},
+		},
+		Output: 8,
+	}
+}
+
+// TestMuxRunnerDifferential is the core mux correctness check: k
+// users' requests executed as ONE lane-packed evaluation must decrypt,
+// per user, to exactly what k individual runs produce on slots
+// [0, VecLen). Partial batches and scratch reuse across runs are
+// covered too.
+func TestMuxRunnerDifferential(t *testing.T) {
+	l := muxProgram()
+	ctx, plans, err := NewTestMuxServingContext("PN2048", 7, 0, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := plans[0]
+	m, err := plan.BuildMux(ctx.Params, ctx.Encoder, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stride != 64 || m.Lanes != 8 {
+		t.Fatalf("geometry (%d, %d), want (64, 8)", m.Stride, m.Lanes)
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	type user struct {
+		cts  []*bfv.Ciphertext
+		pts  []quill.Vec
+		want quill.Vec
+	}
+	sess := ctx.NewSession()
+	newUser := func() user {
+		u := user{cts: make([]*bfv.Ciphertext, p.NumCtInputs), pts: make([]quill.Vec, p.NumPtInputs)}
+		for i := range u.cts {
+			v := make(quill.Vec, p.VecLen)
+			for j := range v {
+				v[j] = rng.Uint64() % 64
+			}
+			if u.cts[i], err = ctx.EncryptVec(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := range u.pts {
+			v := make(quill.Vec, p.VecLen)
+			for j := range v {
+				v[j] = rng.Uint64() % 64
+			}
+			u.pts[i] = v
+		}
+		out, err := sess.Run(p, u.cts, u.pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u.want = ctx.DecryptVec(out, p.VecLen)
+		return u
+	}
+
+	runner := ctx.NewMuxRunner(m)
+	// Full batch, partial batch, single lane — then the full batch
+	// again so reused scratch from a smaller run is proven clean.
+	for _, k := range []int{m.Lanes, 3, 1, m.Lanes} {
+		users := make([]user, k)
+		ctIns := make([][]*bfv.Ciphertext, k)
+		ptIns := make([][]quill.Vec, k)
+		for j := range users {
+			users[j] = newUser()
+			ctIns[j] = users[j].cts
+			ptIns[j] = users[j].pts
+		}
+		outs, err := runner.Run(ctIns, ptIns)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if len(outs) != k {
+			t.Fatalf("k=%d: got %d outputs", k, len(outs))
+		}
+		for j, u := range users {
+			got := ctx.DecryptVec(outs[j], p.VecLen)
+			for s := range u.want {
+				if got[s] != u.want[s] {
+					t.Fatalf("k=%d user %d slot %d: muxed %d, individual %d", k, j, s, got[s], u.want[s])
+				}
+			}
+		}
+	}
+}
+
+// TestMuxRunnerRejectsMalformed checks the up-front validation that
+// lets the scheduler fall back per-request: batch size out of range,
+// wrong input counts, and oversized plaintext vectors all fail before
+// any ciphertext work.
+func TestMuxRunnerRejectsMalformed(t *testing.T) {
+	l := muxProgram()
+	ctx, plans, err := NewTestMuxServingContext("PN2048", 7, 0, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := plans[0]
+	m, err := plan.BuildMux(ctx.Params, ctx.Encoder, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := ctx.NewMuxRunner(m)
+	ct, err := ctx.EncryptVec(make(quill.Vec, p.VecLen))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := func() ([][]*bfv.Ciphertext, [][]quill.Vec) {
+		return [][]*bfv.Ciphertext{{ct, ct}, {ct, ct}},
+			[][]quill.Vec{{make(quill.Vec, p.VecLen)}, {make(quill.Vec, p.VecLen)}}
+	}
+
+	if _, err := runner.Run(nil, nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	big := make([][]*bfv.Ciphertext, m.Lanes+1)
+	for i := range big {
+		big[i] = []*bfv.Ciphertext{ct, ct}
+	}
+	if _, err := runner.Run(big, nil); err == nil {
+		t.Error("oversized batch accepted")
+	}
+	cts, pts := good()
+	cts[1] = cts[1][:1]
+	if _, err := runner.Run(cts, pts); err == nil {
+		t.Error("wrong ct input count accepted")
+	}
+	cts, pts = good()
+	pts[0] = nil
+	if _, err := runner.Run(cts, pts); err == nil {
+		t.Error("missing pt inputs accepted")
+	}
+	cts, pts = good()
+	pts[1] = []quill.Vec{make(quill.Vec, p.VecLen+1)}
+	if _, err := runner.Run(cts, pts); err == nil {
+		t.Error("oversized pt vector accepted")
+	}
+	// A well-formed batch still runs after the rejections.
+	cts, pts = good()
+	if _, err := runner.Run(cts, pts); err != nil {
+		t.Errorf("well-formed batch failed after rejections: %v", err)
+	}
+}
+
+// deepSquaringProgram is a depth-3 repeated-squaring chain: legal lane
+// geometry by every static check, but the pack rotations' key-switch
+// noise rides into three multiplication levels and blows PN2048's
+// noise budget under full-range inputs — the kernel ProveMux exists to
+// catch.
+func deepSquaringProgram() *quill.Lowered {
+	l := &quill.Lowered{VecLen: 32, NumCtInputs: 1}
+	acc, next := 0, 1
+	for d := 0; d < 3; d++ {
+		l.Instrs = append(l.Instrs,
+			quill.LInstr{Op: quill.OpMulCtCt, Dst: next, A: acc, B: acc},
+			quill.LInstr{Op: quill.OpRelin, Dst: next + 1, A: next})
+		acc = next + 1
+		next += 2
+	}
+	l.Instrs = append(l.Instrs,
+		quill.LInstr{Op: quill.OpRotCt, Dst: next, A: acc, Rot: 1},
+		quill.LInstr{Op: quill.OpAddCtCt, Dst: next + 1, A: next, B: acc})
+	l.Output = next + 1
+	return l
+}
+
+// TestProveMux checks the exporter's noise-budget gate: a shallow
+// kernel's geometry is proven good, a statically-legal depth-3 chain
+// is refused with a noise-budget error, and a sealed (execute-only)
+// context cannot run the proof at all.
+func TestProveMux(t *testing.T) {
+	ctx, plans, err := NewTestMuxServingContext("PN2048", 23, 0, muxProgram(), deepSquaringProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shallow, err := plan.BuildMux(ctx.Params, ctx.Encoder, plans[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.ProveMux(shallow, 7, 2); err != nil {
+		t.Errorf("shallow kernel failed the mux proof: %v", err)
+	}
+
+	deep, err := plan.BuildMux(ctx.Params, ctx.Encoder, plans[1], 0)
+	if err != nil {
+		t.Fatalf("depth-3 chain should be statically eligible: %v", err)
+	}
+	if err := ctx.ProveMux(deep, 7, 2); err == nil {
+		t.Error("depth-3 chain passed the mux proof: noise overflow undetected")
+	}
+
+	rlk, gks := ctx.EvalKeys()
+	sealed, err := NewSealedContext(ctx.Params, rlk, gks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := plan.BuildMux(sealed.Params, sealed.Encoder, plans[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sealed.ProveMux(sm, 7, 1); err == nil {
+		t.Error("sealed context ran a mux proof without a secret key")
+	}
+}

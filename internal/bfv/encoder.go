@@ -78,6 +78,53 @@ func (e *Encoder) Encode(values []uint64, pt *Plaintext) error {
 	return nil
 }
 
+// EncodeLanes packs k vectors at disjoint lane offsets into pt: lane
+// j's values land in slots [j·stride, j·stride+len(lanes[j])), all
+// other slots zero — the slot-multiplexing layout, produced in one
+// encoding pass. Each vector must fit its lane (length ≤ stride) and
+// the last lane must fit the row.
+func (e *Encoder) EncodeLanes(lanes [][]uint64, stride int, pt *Plaintext) error {
+	rowSize := e.params.N / 2
+	if stride <= 0 || len(lanes)*stride > rowSize {
+		return fmt.Errorf("bfv: %d lanes of stride %d exceed slot count %d", len(lanes), stride, rowSize)
+	}
+	t := e.params.T
+	buf := pt.Coeffs
+	clear(buf)
+	for j, vals := range lanes {
+		if len(vals) > stride {
+			return fmt.Errorf("bfv: lane %d holds %d values, stride is %d", j, len(vals), stride)
+		}
+		base := j * stride
+		for i, v := range vals {
+			if v >= t {
+				return fmt.Errorf("bfv: value %d at lane %d index %d not reduced mod t=%d", v, j, i, t)
+			}
+			buf[e.indexMap[base+i]] = v
+		}
+	}
+	e.ptRing.INTTRow(0, buf)
+	return nil
+}
+
+// DecodeLane unpacks n slots starting at lane·stride — the per-request
+// extraction of a demultiplexed response.
+func (e *Encoder) DecodeLane(pt *Plaintext, lane, stride, n int) ([]uint64, error) {
+	rowSize := e.params.N / 2
+	base := lane * stride
+	if lane < 0 || stride <= 0 || n < 0 || base+n > rowSize {
+		return nil, fmt.Errorf("bfv: lane window [%d, %d) outside row of %d slots", base, base+n, rowSize)
+	}
+	buf := make([]uint64, e.params.N)
+	copy(buf, pt.Coeffs)
+	e.ptRing.NTTRow(0, buf)
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		out[i] = buf[e.indexMap[base+i]]
+	}
+	return out, nil
+}
+
 // EncodeInt packs signed values, reducing them into [0, t).
 func (e *Encoder) EncodeInt(values []int64, pt *Plaintext) error {
 	t := int64(e.params.T)

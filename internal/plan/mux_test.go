@@ -1,0 +1,217 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"porcupine/internal/quill"
+)
+
+// stencilProgram is a mux-friendly shape: a small vector with short
+// symmetric rotations (a 1-D stencil). VecLen 32, reach ±2.
+func stencilProgram() *quill.Lowered {
+	return &quill.Lowered{
+		VecLen: 32, NumCtInputs: 1,
+		Instrs: []quill.LInstr{
+			{Op: quill.OpRotCt, Dst: 1, A: 0, Rot: 2},
+			{Op: quill.OpRotCt, Dst: 2, A: 0, Rot: -2},
+			{Op: quill.OpAddCtCt, Dst: 3, A: 1, B: 2},
+			{Op: quill.OpAddCtCt, Dst: 4, A: 3, B: 0},
+		},
+		Output: 4,
+	}
+}
+
+// TestMuxParamsEligible pins the canonical geometry for the stencil on
+// a 1024-slot row: reach 2 over a 32-slot vector needs 34 slots, the
+// next power of two is 64, and 1024/64 = 16 lanes caps at
+// DefaultMaxLanes.
+func TestMuxParamsEligible(t *testing.T) {
+	p := compile(t, stencilProgram())
+	stride, lanes, reason := MuxParams(p, 1024, 0)
+	if reason != "" || stride != 64 || lanes != 8 {
+		t.Fatalf("MuxParams = (%d, %d, %q), want (64, 8, \"\")", stride, lanes, reason)
+	}
+	// A tighter lane cap wins over the row capacity.
+	if _, lanes, _ = MuxParams(p, 1024, 4); lanes != 4 {
+		t.Fatalf("maxLanes 4 gave %d lanes", lanes)
+	}
+}
+
+// TestMuxParamsRefusals covers every refusal class: full-width
+// vectors, rotation reach that would wrap across lane boundaries, and
+// degree-2 outputs.
+func TestMuxParamsRefusals(t *testing.T) {
+	// Full-width: VecLen == slot count leaves no spare slots.
+	full := compile(t, &quill.Lowered{
+		VecLen: 1024, NumCtInputs: 1,
+		Instrs: []quill.LInstr{{Op: quill.OpRotCt, Dst: 1, A: 0, Rot: 1}},
+		Output: 1,
+	})
+	if _, lanes, reason := MuxParams(full, 1024, 0); lanes != 0 || !strings.Contains(reason, "full-width") {
+		t.Fatalf("full-width vector accepted: lanes=%d reason=%q", lanes, reason)
+	}
+
+	// Wraparound: a 512-slot vector with any rotation needs a 1024-slot
+	// lane, leaving no room for a second lane in a 1024-slot row.
+	wrap := compile(t, &quill.Lowered{
+		VecLen: 512, NumCtInputs: 1,
+		Instrs: []quill.LInstr{
+			{Op: quill.OpRotCt, Dst: 1, A: 0, Rot: 1},
+			{Op: quill.OpAddCtCt, Dst: 2, A: 1, B: 0},
+		},
+		Output: 2,
+	})
+	if _, lanes, reason := MuxParams(wrap, 1024, 0); lanes != 0 || !strings.Contains(reason, "wraps") {
+		t.Fatalf("wraparound reach accepted: lanes=%d reason=%q", lanes, reason)
+	}
+
+	// Degree-2 output: an unrelinearized product cannot be
+	// demux-rotated.
+	deg2 := compile(t, &quill.Lowered{
+		VecLen: 32, NumCtInputs: 2,
+		Instrs: []quill.LInstr{{Op: quill.OpMulCtCt, Dst: 2, A: 0, B: 1}},
+		Output: 2,
+	})
+	if _, lanes, reason := MuxParams(deg2, 1024, 0); lanes != 0 || !strings.Contains(reason, "degree") {
+		t.Fatalf("degree-2 output accepted: lanes=%d reason=%q", lanes, reason)
+	}
+
+	// The same product followed by relinearization is eligible again.
+	relin := compile(t, &quill.Lowered{
+		VecLen: 32, NumCtInputs: 2,
+		Instrs: []quill.LInstr{
+			{Op: quill.OpMulCtCt, Dst: 2, A: 0, B: 1},
+			{Op: quill.OpRelin, Dst: 3, A: 2},
+		},
+		Output: 3,
+	})
+	if _, lanes, reason := MuxParams(relin, 1024, 0); lanes < 2 {
+		t.Fatalf("relinearized product refused: %q", reason)
+	}
+}
+
+// TestValidateMuxGeometries checks that explicit manifest geometries
+// are re-validated against the reach bound: any legal (stride, lanes)
+// passes — not only the canonical MuxParams choice — and every illegal
+// one is refused.
+func TestValidateMuxGeometries(t *testing.T) {
+	p := compile(t, stencilProgram()) // bound: stride ≥ 34
+	legal := [][2]int{{64, 8}, {64, 2}, {64, 16}, {128, 4}, {512, 2}}
+	for _, g := range legal {
+		if err := ValidateMux(p, 1024, g[0], g[1]); err != nil {
+			t.Errorf("legal geometry (%d, %d) refused: %v", g[0], g[1], err)
+		}
+	}
+	illegal := [][2]int{
+		{96, 4},   // stride not a power of two
+		{32, 8},   // stride below the reach bound 34
+		{64, 1},   // fewer than two lanes
+		{64, 17},  // more lanes than the row holds
+		{1024, 2}, // stride leaves no second lane
+		{0, 0},    // the explicit-geometry path never sees 0/0
+	}
+	for _, g := range illegal {
+		if err := ValidateMux(p, 1024, g[0], g[1]); err == nil {
+			t.Errorf("illegal geometry (%d, %d) accepted", g[0], g[1])
+		}
+	}
+}
+
+// TestMuxRotations pins the pack/demux key budget: ±j·stride for every
+// non-zero lane.
+func TestMuxRotations(t *testing.T) {
+	got := MuxRotations(64, 4)
+	want := []int{64, -64, 128, -128, 192, -192}
+	if len(got) != len(want) {
+		t.Fatalf("MuxRotations = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MuxRotations = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestMuxRotationSet checks the registry key-set union: plan rotations
+// always contribute; mux rotations only for eligible plans.
+func TestMuxRotationSet(t *testing.T) {
+	eligible := compile(t, stencilProgram())
+	full := compile(t, &quill.Lowered{
+		VecLen: 1024, NumCtInputs: 1,
+		Instrs: []quill.LInstr{{Op: quill.OpRotCt, Dst: 1, A: 0, Rot: 7}},
+		Output: 1,
+	})
+	rots := MuxRotationSet(1024, 0, eligible, full)
+	seen := map[int]bool{}
+	for _, r := range rots {
+		if seen[r] {
+			t.Fatalf("duplicate rotation %d in %v", r, rots)
+		}
+		seen[r] = true
+	}
+	// Plan rotations from both plans.
+	for _, r := range append(eligible.Rotations, full.Rotations...) {
+		if r != 0 && !seen[r] {
+			t.Errorf("plan rotation %d missing from %v", r, rots)
+		}
+	}
+	// Pack/demux rotations for the eligible plan's (64, 8) geometry.
+	for _, r := range MuxRotations(64, 8) {
+		if !seen[r] {
+			t.Errorf("mux rotation %d missing from %v", r, rots)
+		}
+	}
+	// The full-width plan must not have dragged in mux keys of its own:
+	// its only rotation is 7, and every other entry is a stencil or
+	// mux rotation.
+	for r := range seen {
+		if r%2 != 0 && r != 7 && r != -7 {
+			t.Errorf("unexpected odd rotation %d (only plan rotations and ±j·64 expected)", r)
+		}
+	}
+}
+
+// TestBuildMuxConstReplication checks the lane-replicated clone: each
+// constant's first VecLen slot values appear at every lane offset,
+// slots between lanes are zero, and the base plan's constants are left
+// untouched.
+func TestBuildMuxConstReplication(t *testing.T) {
+	params, enc := testEnv(t)
+	l := &quill.Lowered{
+		VecLen: 32, NumCtInputs: 1,
+		Instrs: []quill.LInstr{
+			{Op: quill.OpMulCtPt, Dst: 1, A: 0, P: quill.PtRef{Input: -1, Const: []int64{3}}},
+			{Op: quill.OpRotCt, Dst: 2, A: 1, Rot: 1},
+		},
+		Output: 2,
+	}
+	p := compile(t, l)
+	if len(p.Consts) == 0 {
+		t.Fatal("program with an inline constant compiled to no plan constants")
+	}
+	m, err := BuildMux(params, enc, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Base != p || m.Plan == p {
+		t.Fatal("mux must clone the plan, keeping the base")
+	}
+	if m.Plan.Prepared != p.Prepared {
+		t.Fatalf("clone prepared = %v, base = %v", m.Plan.Prepared, p.Prepared)
+	}
+	baseRow := enc.Decode(p.Consts[0])
+	cloneRow := enc.Decode(m.Plan.Consts[0])
+	for j := 0; j < m.Lanes; j++ {
+		for i := 0; i < p.VecLen; i++ {
+			if cloneRow[j*m.Stride+i] != baseRow[i] {
+				t.Fatalf("lane %d slot %d: clone %d, base %d", j, i, cloneRow[j*m.Stride+i], baseRow[i])
+			}
+		}
+		for i := p.VecLen; i < m.Stride; i++ {
+			if cloneRow[j*m.Stride+i] != 0 {
+				t.Fatalf("lane %d padding slot %d holds %d, want 0", j, i, cloneRow[j*m.Stride+i])
+			}
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"porcupine/internal/wire"
+)
+
+// RegistryFront is the HTTP front-end over one loaded registry — a
+// single serving process exposing every kernel of the manifest.
+//
+// Endpoints:
+//
+//	GET  /healthz            liveness + manifest summary
+//	GET  /kernels            per-kernel shape, rotations, mux geometry
+//	GET  /stats              scheduler statistics incl. per-kernel and
+//	                         mux counters
+//	GET  /selftest/{kernel}  runs that kernel's embedded sample and
+//	                         reports bit-identity with the exporter's
+//	                         output (the cross-process differential
+//	                         check)
+//	POST /run/{kernel}       one wire-encoded Request routed to that
+//	                         kernel; responds with the wire-encoded
+//	                         output ciphertext
+type RegistryFront struct {
+	cat    *Catalog
+	preset string
+	mux    *http.ServeMux
+}
+
+// NewRegistryFront builds the multi-kernel HTTP front-end.
+func NewRegistryFront(cat *Catalog, preset string) *RegistryFront {
+	f := &RegistryFront{cat: cat, preset: preset, mux: http.NewServeMux()}
+	f.mux.HandleFunc("GET /healthz", f.healthz)
+	f.mux.HandleFunc("GET /kernels", f.kernels)
+	f.mux.HandleFunc("GET /stats", f.stats)
+	f.mux.HandleFunc("GET /selftest/{kernel}", f.selftest)
+	f.mux.HandleFunc("POST /run/{kernel}", f.run)
+	return f
+}
+
+func (f *RegistryFront) ServeHTTP(w http.ResponseWriter, r *http.Request) { f.mux.ServeHTTP(w, r) }
+
+func (f *RegistryFront) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":      true,
+		"preset":  f.preset,
+		"kernels": f.cat.Kernels(),
+	})
+}
+
+func (f *RegistryFront) kernels(w http.ResponseWriter, r *http.Request) {
+	list := make([]map[string]any, 0, len(f.cat.Kernels()))
+	for _, name := range f.cat.Kernels() {
+		e := f.cat.Entry(name)
+		p := e.Plan
+		k := map[string]any{
+			"kernel":    name,
+			"n":         p.N,
+			"vec_len":   p.VecLen,
+			"ct_inputs": p.NumCtInputs,
+			"pt_inputs": p.NumPtInputs,
+			"steps":     p.InstructionCount(),
+			"rotations": p.Rotations,
+			"self_test": e.Sample != nil,
+			"muxable":   e.Mux != nil,
+		}
+		if e.Mux != nil {
+			k["mux_stride"] = e.Mux.Stride
+			k["mux_lanes"] = e.Mux.Lanes
+		}
+		list = append(list, k)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"preset":      f.preset,
+		"fingerprint": f.cat.Ctx.Params.FingerprintHex(),
+		"kernels":     list,
+	})
+}
+
+func (f *RegistryFront) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, f.cat.Sched.Stats())
+}
+
+func (f *RegistryFront) selftest(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("kernel")
+	start := time.Now()
+	identical, err := f.cat.SelfTest(name)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if f.cat.Entry(name) == nil {
+			status = http.StatusNotFound
+		}
+		writeJSON(w, status, map[string]any{"ok": false, "kernel": name, "error": err.Error()})
+		return
+	}
+	status := http.StatusOK
+	if !identical {
+		// Non-bit-identical output means the artifact does not
+		// reproduce the exporter's execution — serving-breaking.
+		status = http.StatusInternalServerError
+	}
+	writeJSON(w, status, map[string]any{
+		"ok":            identical,
+		"kernel":        name,
+		"bit_identical": identical,
+		"latency_ms":    float64(time.Since(start).Microseconds()) / 1000.0,
+	})
+}
+
+func (f *RegistryFront) run(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("kernel")
+	e := f.cat.Entry(name)
+	if e == nil {
+		http.Error(w, fmt.Sprintf("unknown kernel %q", name), http.StatusNotFound)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody+1))
+	if err != nil {
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(body) > maxRequestBody {
+		http.Error(w, fmt.Sprintf("request exceeds %d bytes", maxRequestBody), http.StatusRequestEntityTooLarge)
+		return
+	}
+	req, err := wire.DecodeRequest(f.cat.Ctx.Params, body)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, wire.ErrFingerprint) {
+			// The client encrypted under different parameters; its
+			// request can never run here.
+			status = http.StatusConflict
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	res := f.cat.Do(name, req.CtIn, req.PtIn)
+	if res.Err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(res.Err, ErrClosed) {
+			status = http.StatusServiceUnavailable
+		} else {
+			// Shape errors (wrong input counts) are the client's fault.
+			status = http.StatusBadRequest
+		}
+		http.Error(w, res.Err.Error(), status)
+		return
+	}
+	out, err := wire.EncodeResponse(f.cat.Ctx.Params, res.Out)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Porcupine-Latency", res.Latency.String())
+	if res.Lanes >= 2 {
+		w.Header().Set("X-Porcupine-Lanes", fmt.Sprint(res.Lanes))
+	}
+	w.Write(out)
+}

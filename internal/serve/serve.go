@@ -111,6 +111,10 @@ type Request struct {
 	Plan *plan.ExecutionPlan
 	CtIn []*bfv.Ciphertext
 	PtIn []quill.Vec
+	// Kernel is an optional name for per-kernel stats attribution (set
+	// by the registry router; empty requests aggregate only into the
+	// scheduler-wide counters).
+	Kernel string
 }
 
 // Result is the outcome of one request.
@@ -124,6 +128,10 @@ type Result struct {
 	Wait    time.Duration
 	// Batch is the size of the batch the request executed in.
 	Batch int
+	// Lanes is the size of the slot-multiplexed group the request
+	// executed in: ≥ 2 when it shared one lane-packed ciphertext
+	// evaluation with other requests, 0 for per-request execution.
+	Lanes int
 	Err   error
 }
 
@@ -147,6 +155,23 @@ type Stats struct {
 	// Throughput is completed requests per second over the scheduler's
 	// lifetime so far.
 	Throughput float64 `json:"throughput_rps"`
+
+	// MuxGroups counts lane-packed ciphertext evaluations; MuxedRequests
+	// counts the requests they carried (≥ 2 per group).
+	MuxGroups     uint64 `json:"mux_groups"`
+	MuxedRequests uint64 `json:"muxed_requests"`
+
+	// Kernels breaks completions down by Request.Kernel (absent for
+	// unnamed requests).
+	Kernels map[string]KernelStats `json:"kernels,omitempty"`
+}
+
+// KernelStats is the per-kernel slice of the scheduler counters.
+type KernelStats struct {
+	Served uint64 `json:"served"`
+	Failed uint64 `json:"failed"`
+	// Muxed counts the served requests that rode a lane-packed group.
+	Muxed uint64 `json:"muxed"`
 }
 
 type job struct {
@@ -166,10 +191,16 @@ type Scheduler struct {
 	queue   chan *job
 	batches chan []*job
 
-	mu     sync.Mutex // guards closed + stats
+	mu     sync.Mutex // guards closed + stats + muxes
 	idle   *sync.Cond // signaled when depth reaches 0 (Close waits on it)
 	closed bool
 	st     stats
+
+	// muxes maps plans to their registered slot-multiplexing
+	// capability (EnableMux). Workers execute multi-request batches of
+	// a registered plan as lane-packed groups; everything else runs
+	// per-request.
+	muxes map[*plan.ExecutionPlan]*plan.Mux
 
 	// busy counts batches handed to (or executing on) workers; the
 	// dispatcher uses Sessions - busy to decide between coalescing
@@ -190,6 +221,8 @@ type stats struct {
 	depth, maxDepth                     int
 	totalLatency, maxLatency            time.Duration
 	totalWait                           time.Duration
+	muxGroups, muxedJobs                uint64
+	kernels                             map[string]*KernelStats
 }
 
 // New builds and starts a scheduler over ctx. A non-zero RingWorkers
@@ -326,32 +359,125 @@ func (s *Scheduler) dispatch() {
 	}
 }
 
-// worker owns one session and executes batches back-to-back.
+// EnableMux registers a plan's slot-multiplexing capability: workers
+// then execute multi-request batches of mux.Base as lane-packed groups
+// (up to mux.Lanes requests per ciphertext evaluation), demuxing one
+// result per request. The context must hold the mux's pack/demux
+// Galois keys. Safe to call concurrently with serving; requests
+// already dispatched keep their execution mode.
+func (s *Scheduler) EnableMux(m *plan.Mux) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.muxes == nil {
+		s.muxes = make(map[*plan.ExecutionPlan]*plan.Mux)
+	}
+	s.muxes[m.Base] = m
+}
+
+func (s *Scheduler) muxFor(p *plan.ExecutionPlan) *plan.Mux {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.muxes[p]
+}
+
+// worker owns one session and executes batches back-to-back. Batches
+// of a mux-registered plan run lane-packed (one ciphertext evaluation
+// carrying every member); anything else — unregistered plans,
+// single-request batches, or a packed run that fails validation —
+// runs per-request on the worker's session.
 func (s *Scheduler) worker() {
 	defer s.workersDone.Done()
 	sess := s.ctx.NewSession()
 	sess.SetParallelism(s.cfg.PlanWorkers)
+	// Lazily-built mux runners, one per plan per worker: each owns its
+	// own session and packed-input scratch, reused across batches so
+	// steady-state muxed execution allocates nothing.
+	var runners map[*plan.ExecutionPlan]*backend.MuxRunner
+	var ctIns [][]*bfv.Ciphertext
+	var ptIns [][]quill.Vec
 	for batch := range s.batches {
-		for _, j := range batch {
-			j.start = time.Now()
-			res := Result{Batch: j.batch, Wait: j.start.Sub(j.enq)}
-			out, err := sess.Run(j.req.Plan, j.req.CtIn, j.req.PtIn)
-			if err != nil {
-				res.Err = fmt.Errorf("serve: %w", err)
-			} else {
-				// Copy out of the session's register file so the result
-				// survives the session's next run.
-				res.Out = s.ctx.Params.CopyCiphertext(out)
+		m := s.muxFor(batch[0].req.Plan)
+		if m == nil || len(batch) < 2 {
+			for _, j := range batch {
+				s.runOne(sess, j)
 			}
-			res.Latency = time.Since(j.enq)
-			s.finish(res)
-			j.done <- res
+			s.busy.Add(-1)
+			continue
+		}
+		if runners == nil {
+			runners = make(map[*plan.ExecutionPlan]*backend.MuxRunner)
+		}
+		runner := runners[batch[0].req.Plan]
+		if runner == nil {
+			runner = s.ctx.NewMuxRunner(m)
+			runner.SetParallelism(s.cfg.PlanWorkers)
+			runners[batch[0].req.Plan] = runner
+		}
+		for start := 0; start < len(batch); start += m.Lanes {
+			end := start + m.Lanes
+			if end > len(batch) {
+				end = len(batch)
+			}
+			group := batch[start:end]
+			if len(group) < 2 {
+				s.runOne(sess, group[0])
+				continue
+			}
+			ctIns, ptIns = ctIns[:0], ptIns[:0]
+			now := time.Now()
+			for _, j := range group {
+				j.start = now
+				ctIns = append(ctIns, j.req.CtIn)
+				ptIns = append(ptIns, j.req.PtIn)
+			}
+			outs, err := runner.Run(ctIns, ptIns)
+			if err != nil {
+				// A packed run fails as a unit (one malformed member is
+				// enough); per-request execution gives every member its
+				// own precise verdict.
+				for _, j := range group {
+					s.runOne(sess, j)
+				}
+				continue
+			}
+			s.mu.Lock()
+			s.st.muxGroups++
+			s.st.muxedJobs += uint64(len(group))
+			s.mu.Unlock()
+			for i, j := range group {
+				res := Result{
+					Batch: j.batch,
+					Lanes: len(group),
+					Wait:  j.start.Sub(j.enq),
+					Out:   s.ctx.Params.CopyCiphertext(outs[i]),
+				}
+				res.Latency = time.Since(j.enq)
+				s.finish(j.req.Kernel, res)
+				j.done <- res
+			}
 		}
 		s.busy.Add(-1)
 	}
 }
 
-func (s *Scheduler) finish(res Result) {
+// runOne executes one job per-request on the worker's session.
+func (s *Scheduler) runOne(sess *backend.Session, j *job) {
+	j.start = time.Now()
+	res := Result{Batch: j.batch, Wait: j.start.Sub(j.enq)}
+	out, err := sess.Run(j.req.Plan, j.req.CtIn, j.req.PtIn)
+	if err != nil {
+		res.Err = fmt.Errorf("serve: %w", err)
+	} else {
+		// Copy out of the session's register file so the result
+		// survives the session's next run.
+		res.Out = s.ctx.Params.CopyCiphertext(out)
+	}
+	res.Latency = time.Since(j.enq)
+	s.finish(j.req.Kernel, res)
+	j.done <- res
+}
+
+func (s *Scheduler) finish(kernel string, res Result) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.st.depth--
@@ -362,6 +488,24 @@ func (s *Scheduler) finish(res Result) {
 		s.st.failed++
 	} else {
 		s.st.served++
+	}
+	if kernel != "" {
+		if s.st.kernels == nil {
+			s.st.kernels = make(map[string]*KernelStats)
+		}
+		ks := s.st.kernels[kernel]
+		if ks == nil {
+			ks = &KernelStats{}
+			s.st.kernels[kernel] = ks
+		}
+		if res.Err != nil {
+			ks.Failed++
+		} else {
+			ks.Served++
+			if res.Lanes >= 2 {
+				ks.Muxed++
+			}
+		}
 	}
 	s.st.totalLatency += res.Latency
 	if res.Latency > s.st.maxLatency {
@@ -388,6 +532,14 @@ func (s *Scheduler) Stats() Stats {
 		MaxBatchSeen:  s.st.maxBatch,
 		QueueDepth:    s.st.depth,
 		MaxQueueDepth: s.st.maxDepth,
+		MuxGroups:     s.st.muxGroups,
+		MuxedRequests: s.st.muxedJobs,
+	}
+	if len(s.st.kernels) > 0 {
+		st.Kernels = make(map[string]KernelStats, len(s.st.kernels))
+		for name, ks := range s.st.kernels {
+			st.Kernels[name] = *ks
+		}
 	}
 	if s.st.batches > 0 {
 		st.AvgBatch = float64(s.st.batchedJobs) / float64(s.st.batches)

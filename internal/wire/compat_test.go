@@ -506,8 +506,8 @@ func TestBatchedPlanNeedsV4(t *testing.T) {
 	if err != nil {
 		t.Fatalf("batched plan fails v4 encode: %v", err)
 	}
-	if data[4] != 4 {
-		t.Fatalf("artifact carries version byte %d, want 4", data[4])
+	if data[4] != wire.Version {
+		t.Fatalf("artifact carries version byte %d, want %d", data[4], wire.Version)
 	}
 	got, err := wire.DecodeBundle(data)
 	if err != nil {

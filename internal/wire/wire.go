@@ -57,14 +57,20 @@ const (
 	// (coefficient vs NTT residency) plus the OpNTT/OpINTT conversion
 	// steps that domain-assigned plans carry; version 4 added
 	// cross-source batched rotation groups (a per-step batch member
-	// list). Decoders accept MinVersion..Version: a v1 bundle simply
-	// decodes to a plan of plain steps, a v2 bundle to an
+	// list); version 5 added the multi-kernel Registry object (a
+	// manifest of named plans sharing one parameter fingerprint and one
+	// key-material section, each entry carrying its slot-multiplexing
+	// lane geometry). Decoders accept MinVersion..Version: a v1 bundle
+	// simply decodes to a plan of plain steps, a v2 bundle to an
 	// all-coefficient plan, and a v3 bundle to a plan without batched
 	// groups — all execute bit-identically (hoisting, residency and
 	// batching are schedule choices, not semantic ones). Prepared NTT
 	// operand forms are derived at decode time, never serialized.
-	// Future versions are rejected — artifacts are cheap to re-export.
-	Version    = 4
+	// Registries are new in v5, so a registry envelope stamped with an
+	// earlier version byte is rejected; single-plan bundles of every
+	// prior version keep loading unchanged. Future versions are
+	// rejected — artifacts are cheap to re-export.
+	Version    = 5
 	MinVersion = 1
 )
 
@@ -72,6 +78,7 @@ const (
 	tagBundle byte = iota + 1
 	tagRequest
 	tagResponse
+	tagRegistry
 )
 
 // Typed decode errors (match with errors.Is).

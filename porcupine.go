@@ -292,6 +292,59 @@ func BundleSelfTest(s *Scheduler, b *Bundle) (bool, error) { return serve.SelfTe
 // run endpoints) over a scheduler and its bundle.
 func NewHTTPFront(s *Scheduler, b *Bundle) *Front { return serve.NewFront(s, b) }
 
+// Multi-kernel serving types: the wire-v5 registry artifact (one
+// manifest of named plans sharing a parameter set and one key-material
+// section), the catalog serving it from a single context, and its
+// HTTP front-end. See internal/wire and internal/serve.
+type (
+	// Registry is the exported multi-kernel serving artifact.
+	Registry = wire.Registry
+	// RegistryEntry is one named kernel of a registry manifest.
+	RegistryEntry = wire.RegistryEntry
+	// Catalog is the serving half of a loaded registry: one shared
+	// context and one scheduler hosting every kernel, with
+	// slot-multiplexed batching for the eligible ones.
+	Catalog = serve.Catalog
+	// RegistryFront is the HTTP front-end over a catalog
+	// (/kernels, /run/{kernel}, /selftest/{kernel}, /stats, /healthz).
+	RegistryFront = serve.RegistryFront
+	// PlanMux is a plan's slot-multiplexing capability: lane geometry
+	// plus the lane-replicated execution clone.
+	PlanMux = plan.Mux
+)
+
+// NewMuxServingContext compiles execution plans for the given programs
+// and builds a shared Context whose Galois keys also cover each
+// mux-eligible plan's lane pack/demux rotations (maxLanes ≤ 0 uses the
+// default lane cap).
+func NewMuxServingContext(preset string, maxLanes int, programs ...*Lowered) (*Context, []*ExecutionPlan, error) {
+	return backend.NewMuxServingContext(preset, maxLanes, programs...)
+}
+
+// ExportRegistry packages named plans compiled under one context into
+// a wire registry, deriving and stamping each plan's mux lane geometry
+// when legal. The secret key never leaves the exporting process.
+func ExportRegistry(ctx *Context, names []string, plans []*ExecutionPlan, samples []*WireRequest) (*Registry, error) {
+	return serve.ExportRegistry(ctx, names, plans, samples)
+}
+
+// ReadRegistryFile reads, checksums and fully validates an exported
+// registry (manifest sanity, per-plan validation, mux legality, key
+// coverage).
+func ReadRegistryFile(path string) (*Registry, error) { return wire.ReadRegistryFile(path) }
+
+// LoadRegistry builds the serving half from a registry: a sealed
+// execute-only context (no secret key) and a catalog over it.
+func LoadRegistry(reg *Registry, cfg ServeConfig) (*Catalog, error) {
+	return serve.LoadRegistry(reg, cfg)
+}
+
+// NewRegistryFront builds the multi-kernel HTTP front-end over a
+// catalog.
+func NewRegistryFront(cat *Catalog, preset string) *RegistryFront {
+	return serve.NewRegistryFront(cat, preset)
+}
+
 // EncodeWireRequest serializes a request for POSTing to a serving
 // process, pinned to the parameter fingerprint.
 func EncodeWireRequest(params *Parameters, req *WireRequest) ([]byte, error) {
