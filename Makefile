@@ -90,7 +90,7 @@ smoke-registry:
 # BENCH_PR5.json and BENCH_PR6.json; methodology in EXPERIMENTS.md.
 bench-rot:
 	$(GO) run ./cmd/benchrot -iters 20 -cache-dir /tmp/porcupine-bench-cache -out /tmp/porcupine-bench-rot.json
-	@echo "wrote /tmp/porcupine-bench-rot.json (curated records: BENCH_PR5.json, BENCH_PR6.json)"
+	@echo "wrote /tmp/porcupine-bench-rot.json (curated records: BENCH_PR5.json, BENCH_PR6.json, BENCH_PR10.json)"
 
 # Multi-core scaling benchmark: per-kernel worker sweep with both
 # parallel layers engaged (ring worker pool + levelized plan steps),
@@ -120,14 +120,16 @@ bench-mux:
 
 # Allocation-regression canary (mirrors the CI job): steady-state plan
 # execution — plain, hoisted, domain-assigned, the tree-reduced
-# batched-rotation path, the multi-core engine (worker pool +
+# batched-rotation path, the double-hoisted shared-rotation path,
+# the multi-core engine (worker pool +
 # levelized steps), and the slot-multiplexed batch path — must report
 # 0 allocs/op.
 alloc-canary:
-	$(GO) test -run '^$$' -bench '^(BenchmarkPlanRun|BenchmarkHoistedPlanRun|BenchmarkDomainAssignedPlanRun|BenchmarkTreeBatchedPlanRun|BenchmarkParallelPlanRun|BenchmarkMuxedPlanRun)$$' -benchtime 1x -benchmem . | tee /tmp/porcupine-canary.out
+	$(GO) test -run '^$$' -bench '^(BenchmarkPlanRun|BenchmarkHoistedPlanRun|BenchmarkDomainAssignedPlanRun|BenchmarkTreeBatchedPlanRun|BenchmarkSharedRotPlanRun|BenchmarkParallelPlanRun|BenchmarkMuxedPlanRun)$$' -benchtime 1x -benchmem . | tee /tmp/porcupine-canary.out
 	grep -E 'BenchmarkPlanRun.* 0 B/op.* 0 allocs/op' /tmp/porcupine-canary.out
 	grep -E 'BenchmarkHoistedPlanRun.* 0 B/op.* 0 allocs/op' /tmp/porcupine-canary.out
 	grep -E 'BenchmarkDomainAssignedPlanRun.* 0 B/op.* 0 allocs/op' /tmp/porcupine-canary.out
 	grep -E 'BenchmarkTreeBatchedPlanRun.* 0 B/op.* 0 allocs/op' /tmp/porcupine-canary.out
+	grep -E 'BenchmarkSharedRotPlanRun.* 0 B/op.* 0 allocs/op' /tmp/porcupine-canary.out
 	grep -E 'BenchmarkParallelPlanRun.* 0 B/op.* 0 allocs/op' /tmp/porcupine-canary.out
 	grep -E 'BenchmarkMuxedPlanRun.* 0 B/op.* 0 allocs/op' /tmp/porcupine-canary.out

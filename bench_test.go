@@ -342,7 +342,9 @@ func BenchmarkHoistedPlanRun(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	p, err := rt.Plan(l)
+	// The legacy hoisted shape: default compiles now produce shared
+	// groups, which have their own canary (BenchmarkSharedRotPlanRun).
+	p, err := plan.CompileWithOptions(rt.Params, rt.Encoder, l, plan.Options{DisableSharing: true})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -448,66 +450,49 @@ func BenchmarkDomainAssignedPlanRun(b *testing.B) {
 }
 
 // BenchmarkTreeBatchedPlanRun is the allocation canary of the PR 7
-// paths: a two-source slot reduction whose serial chains the optimizer
-// rewrites into log-depth rotate-and-add trees, with the trees' sibling
-// level-1 rotations fused into a cross-source batched key-switch group.
-// Like BenchmarkPlanRun, CI greps for "0 allocs/op" (make
-// alloc-canary) — the shared Galois state comes from per-context
-// caches and the per-member decompositions from session scratch.
+// batched key-switching path: two interleaved log-depth rotate-and-add
+// trees whose sibling levels fuse into cross-source batched groups.
+// The trees are written out directly — the reduction rewriter now
+// chooses the decompose-once fan shape for chains this short, which
+// has its own canaries (BenchmarkHoistedPlanRun, and
+// BenchmarkSharedRotPlanRun for the double-hoisted default). Like
+// BenchmarkPlanRun, CI greps for "0 allocs/op" (make alloc-canary) —
+// the shared Galois state comes from per-context caches and the
+// per-member decompositions from session scratch.
 func BenchmarkTreeBatchedPlanRun(b *testing.B) {
-	prog := &quill.Program{VecLen: 1024, NumCtInputs: 2}
-	for _, base := range []int{0, 1} {
-		acc := base
-		for k := 1; k < 8; k++ {
-			prog.Instrs = append(prog.Instrs, quill.Instr{
-				Op: quill.OpAddCtCt,
-				A:  quill.CtRef{ID: acc, Rot: 1},
-				B:  quill.CtRef{ID: base},
-			})
-			acc = prog.NumCtInputs + len(prog.Instrs) - 1
+	l := &quill.Lowered{VecLen: 1024, NumCtInputs: 2}
+	next := 2
+	emit := func(in quill.LInstr) int {
+		in.Dst = next
+		l.Instrs = append(l.Instrs, in)
+		next++
+		return in.Dst
+	}
+	accs := []int{0, 1}
+	for k := 4; k >= 1; k /= 2 {
+		var rots [2]int
+		for s := range accs {
+			rots[s] = emit(quill.LInstr{Op: quill.OpRotCt, A: accs[s], Rot: k})
 		}
-		prog.Instrs = append(prog.Instrs, quill.Instr{
-			Op: quill.OpMulCtPt,
-			A:  quill.CtRef{ID: acc},
-			P:  quill.PtRef{Input: -1, Const: []int64{3}},
-		})
+		for s := range accs {
+			accs[s] = emit(quill.LInstr{Op: quill.OpAddCtCt, A: accs[s], B: rots[s]})
+		}
 	}
-	prog.Instrs = append(prog.Instrs, quill.Instr{
-		Op: quill.OpAddCtCt,
-		A:  quill.CtRef{ID: prog.NumCtInputs + 7},
-		B:  quill.CtRef{ID: prog.NumCtInputs + 15},
-	})
-	prog.Output = prog.NumCtInputs + len(prog.Instrs) - 1
-	lowered, err := quill.Lower(prog, quill.DefaultLowerOptions())
-	if err != nil {
-		b.Fatal(err)
-	}
-	l, err := quill.OptimizeLowered(lowered)
-	if err != nil {
-		b.Fatal(err)
-	}
+	l.Output = emit(quill.LInstr{Op: quill.OpAddCtCt, A: accs[0], B: accs[1]})
 	rt, err := backend.NewTestRuntime("PN2048", 5, l)
 	if err != nil {
 		b.Fatal(err)
 	}
-	p, err := rt.Plan(l)
+	// The legacy batched shape: default compiles now produce shared
+	// groups, which have their own canary (BenchmarkSharedRotPlanRun).
+	p, err := plan.CompileWithOptions(rt.Params, rt.Encoder, l, plan.Options{DisableSharing: true})
 	if err != nil {
 		b.Fatal(err)
 	}
-	// The rewrite must have produced log-depth trees (3 rotations per
-	// source instead of 7) and fused the sibling rot-1 level across the
-	// two sources.
-	rots := 0
-	for i := range l.Instrs {
-		if l.Instrs[i].Op == quill.OpRotCt {
-			rots++
-		}
-	}
-	if rots != 6 {
-		b.Fatalf("optimized program has %d rotations, want 6 (two log-depth trees)", rots)
-	}
-	if g, r := p.BatchedGroups(); g < 1 || r < 2 {
-		b.Fatalf("batched groups = %d (%d rotations), want at least 1 (2)", g, r)
+	// Three levels (rot 4, 2, 1), each one batched group of the two
+	// trees' sibling rotations.
+	if g, r := p.BatchedGroups(); g != 3 || r != 6 {
+		b.Fatalf("batched groups = %d (%d rotations), want 3 (6)", g, r)
 	}
 	vs := make([]quill.Vec, 2)
 	cts := make([]*porcupine.Ciphertext, 2)
@@ -524,6 +509,80 @@ func BenchmarkTreeBatchedPlanRun(b *testing.B) {
 	s := rt.NewSession()
 	// Warm-up: grows the register file, decomposition scratch and ring
 	// pools to steady state.
+	for i := 0; i < 3; i++ {
+		if _, err := s.Run(p, cts, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// See BenchmarkPlanRun: drain-then-refill the pools so a pending GC
+	// cannot fire inside the single measured sample.
+	runtime.GC()
+	if _, err := s.Run(p, cts, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(p, cts, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSharedRotPlanRun is the allocation canary of double-hoisted
+// key-switching: one warm session executing a plan whose shared
+// rotation groups fill two decomposition slots and replay them across
+// amounts. Like BenchmarkPlanRun, CI runs it with -benchtime=1x
+// -benchmem and fails the build on anything but "0 B/op, 0 allocs/op"
+// — slot fills reuse per-session scratch and replays must allocate
+// nothing.
+func BenchmarkSharedRotPlanRun(b *testing.B) {
+	// Two inputs rotated by the same three amounts: three cross-source
+	// shared groups over two slots, with four replayed members.
+	l := &quill.Lowered{
+		VecLen: 1024, NumCtInputs: 2,
+		Instrs: []quill.LInstr{
+			{Op: quill.OpRotCt, Dst: 2, A: 0, Rot: 1},
+			{Op: quill.OpRotCt, Dst: 3, A: 1, Rot: 1},
+			{Op: quill.OpRotCt, Dst: 4, A: 0, Rot: 2},
+			{Op: quill.OpRotCt, Dst: 5, A: 1, Rot: 2},
+			{Op: quill.OpRotCt, Dst: 6, A: 0, Rot: 3},
+			{Op: quill.OpRotCt, Dst: 7, A: 1, Rot: 3},
+			{Op: quill.OpAddCtCt, Dst: 8, A: 2, B: 3},
+			{Op: quill.OpAddCtCt, Dst: 9, A: 4, B: 5},
+			{Op: quill.OpAddCtCt, Dst: 10, A: 6, B: 7},
+			{Op: quill.OpAddCtCt, Dst: 11, A: 8, B: 9},
+			{Op: quill.OpAddCtCt, Dst: 12, A: 11, B: 10},
+		},
+		Output: 12,
+	}
+	rt, err := backend.NewTestRuntime("PN2048", 5, l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := rt.Plan(l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if g, r, rep := p.SharedGroups(); g != 3 || r != 6 || rep != 4 {
+		b.Fatalf("shared groups = %d (%d rotations, %d replayed), want 3 (6, 4)", g, r, rep)
+	}
+	if p.NumDecomps != 2 {
+		b.Fatalf("NumDecomps = %d, want 2", p.NumDecomps)
+	}
+	cts := make([]*porcupine.Ciphertext, 2)
+	for i := range cts {
+		v := make(quill.Vec, l.VecLen)
+		for j := range v {
+			v[j] = uint64((j + i) % 61)
+		}
+		if cts[i], err = rt.EncryptVec(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+	s := rt.NewSession()
+	// Warm-up: grows the register file, both decomposition slots and
+	// the ring pools to steady state.
 	for i := 0; i < 3; i++ {
 		if _, err := s.Run(p, cts, nil); err != nil {
 			b.Fatal(err)

@@ -38,6 +38,7 @@ import (
 	"porcupine/internal/bfv"
 	"porcupine/internal/kernels"
 	"porcupine/internal/plan"
+	"porcupine/internal/prof"
 	"porcupine/internal/quill"
 )
 
@@ -80,6 +81,10 @@ func main() {
 		out   = flag.String("out", "", "write JSON to FILE (default stdout)")
 	)
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal("%v", err)
+	}
 
 	names := baseline.Names()
 	if *only != "" {
@@ -123,6 +128,9 @@ func main() {
 		fatal("no mux-eligible kernel in the sweep")
 	}
 
+	if err := stopProf(); err != nil {
+		fatal("%v", err)
+	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal("%v", err)

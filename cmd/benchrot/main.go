@@ -1,15 +1,19 @@
 // Command benchrot measures the plan-level schedule wins per kernel:
 // it compiles every kernel's baseline and synthesized program into
-// three execution plans — flat (hoisting and domain assignment
+// four execution plans — flat (hoisting and domain assignment
 // disabled; the serial schedule every pre-hoisting build ran),
 // hoisted (rotation fan-out groups fused, decompose-once, still
-// all-coefficient), and domain-assigned (registers kept NTT-resident
-// across pointwise chains, cross-source rotations batched) — verifies
-// all three bit-identical against the interpreter, and reports
-// wall-clock latency plus the static transform counts behind each
-// speedup: the key-switching forward NTTs hoisting removes (curated
-// into BENCH_PR5.json) and the key-switch-external forward+inverse
-// passes domain assignment removes (curated into BENCH_PR6.json).
+// all-coefficient), domain-assigned (registers kept NTT-resident
+// across pointwise chains, cross-source rotations batched; the PR 7
+// default), and shared (double-hoisted: one digit decomposition per
+// multiply-rotated source, replayed under every automorphism; today's
+// default) — verifies all four bit-identical against the interpreter,
+// and reports wall-clock latency plus the static transform counts
+// behind each speedup: the key-switching forward NTTs hoisting
+// removes (curated into BENCH_PR5.json), the key-switch-external
+// forward+inverse passes domain assignment removes (BENCH_PR6.json),
+// and the per-run digit-decomposition totals sharing removes
+// (BENCH_PR10.json).
 //
 // Timing is paired, not blocked: each iteration runs every plan form
 // back to back and the reported speedups are medians of per-iteration
@@ -42,6 +46,7 @@ import (
 	"porcupine/internal/core"
 	"porcupine/internal/kernels"
 	"porcupine/internal/plan"
+	"porcupine/internal/prof"
 	"porcupine/internal/quill"
 	"porcupine/internal/synth"
 )
@@ -67,23 +72,41 @@ type formReport struct {
 	DomainConversions int `json:"domain_conversions"` // explicit OpNTT/OpINTT steps
 
 	// Cross-source batching (PR 7): same-amount rotations of distinct
-	// sources fused into shared key-switch groups in the default plan.
+	// sources fused into shared key-switch groups in the pre-sharing
+	// (DisableSharing) plan, the newest legacy form.
 	BatchGroups int `json:"batch_groups"`
 	BatchedRots int `json:"batched_rots"` // rotations covered by those groups
 
-	// Measured wall clock. Each iteration runs flat, hoisted and
-	// assigned back to back; the *_ms fields are per-form medians and
+	// Double-hoisting (PR 10): shared-rotation groups in the default
+	// plan, where each multiply-rotated source is decomposed once into
+	// a slot and replayed under every later automorphism, plus the
+	// static digit-decomposition totals per form — the quantity the
+	// optimization exists to shrink.
+	SharedGroups    int `json:"shared_groups"`
+	SharedRots      int `json:"shared_rots"`      // rotations covered by those groups
+	ReplayedRots    int `json:"replayed_rots"`    // members reusing a resident decomposition
+	DecompSlots     int `json:"decomp_slots"`     // peak live decomposition slots
+	DecompsFlat     int `json:"decomps_flat"`     // digit decompositions per run, flat plan
+	DecompsAssigned int `json:"decomps_assigned"` // same, hoisted+batched legacy plan
+	DecompsShared   int `json:"decomps_shared"`   // same, double-hoisted plan
+
+	// Measured wall clock. Each iteration runs flat, hoisted, assigned
+	// and shared back to back; the *_ms fields are per-form medians and
 	// the speedups are medians of per-iteration PAIRED ratios, with
 	// min/max recording the spread across iterations.
 	FlatMs           float64 `json:"flat_ms"`
 	HoistedMs        float64 `json:"hoisted_ms"`
 	AssignedMs       float64 `json:"assigned_ms"`
+	SharedMs         float64 `json:"shared_ms"`
 	Speedup          float64 `json:"speedup"` // median flat_i / hoisted_i (PR 5 win)
 	SpeedupMin       float64 `json:"speedup_min"`
 	SpeedupMax       float64 `json:"speedup_max"`
 	DomainSpeedup    float64 `json:"domain_speedup"` // median hoisted_i / assigned_i (PR 6 win)
 	DomainSpeedupMin float64 `json:"domain_speedup_min"`
 	DomainSpeedupMax float64 `json:"domain_speedup_max"`
+	SharedSpeedup    float64 `json:"shared_speedup"` // median assigned_i / shared_i (PR 10 win)
+	SharedSpeedupMin float64 `json:"shared_speedup_min"`
+	SharedSpeedupMax float64 `json:"shared_speedup_max"`
 }
 
 // reductionReport times a slot-reduction kernel's serial
@@ -122,6 +145,10 @@ func main() {
 	flag.IntVar(&ringWorkers, "ring-workers", 0,
 		"intra-request parallelism: ring hot loops and independent plan steps fan out across this many pool workers (0 = serial)")
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal("%v", err)
+	}
 
 	report := map[string]*kernelReport{}
 	names := core.AllKernels()
@@ -188,11 +215,12 @@ func main() {
 			}
 		}
 		report[name] = kr
-		fmt.Fprintf(os.Stderr, "%-22s baseline %5.2fms -> %5.2fms -> %5.2fms (hoist %.2fx [%.2f..%.2f], domain %.2fx [%.2f..%.2f], NTTs %d -> %d)\n",
-			name, kr.Baseline.FlatMs, kr.Baseline.HoistedMs, kr.Baseline.AssignedMs,
+		fmt.Fprintf(os.Stderr, "%-22s baseline %5.2fms -> %5.2fms -> %5.2fms -> %5.2fms (hoist %.2fx [%.2f..%.2f], domain %.2fx [%.2f..%.2f], shared %.2fx [%.2f..%.2f], decomps %d -> %d -> %d)\n",
+			name, kr.Baseline.FlatMs, kr.Baseline.HoistedMs, kr.Baseline.AssignedMs, kr.Baseline.SharedMs,
 			kr.Baseline.Speedup, kr.Baseline.SpeedupMin, kr.Baseline.SpeedupMax,
 			kr.Baseline.DomainSpeedup, kr.Baseline.DomainSpeedupMin, kr.Baseline.DomainSpeedupMax,
-			kr.Baseline.ExtNTTsUnassigned, kr.Baseline.ExtNTTsAssigned)
+			kr.Baseline.SharedSpeedup, kr.Baseline.SharedSpeedupMin, kr.Baseline.SharedSpeedupMax,
+			kr.Baseline.DecompsFlat, kr.Baseline.DecompsAssigned, kr.Baseline.DecompsShared)
 		if r := kr.Reduction; r != nil {
 			fmt.Fprintf(os.Stderr, "%-22s reduction serial %5.2fms (%d rots) -> tree %5.2fms (%d rots): %.2fx [%.2f..%.2f]\n",
 				name, r.SerialMs, r.SerialRots, r.TreeMs, r.TreeRots,
@@ -200,6 +228,9 @@ func main() {
 		}
 	}
 
+	if err := stopProf(); err != nil {
+		fatal("%v", err)
+	}
 	enc := json.NewEncoder(os.Stdout)
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -233,11 +264,15 @@ func measure(name string, l *quill.Lowered, iters int) (*formReport, error) {
 		return nil, err
 	}
 	rt.Params.SetWorkers(ringWorkers)
-	assigned, err := rt.Plan(l) // default options: hoisting + domain assignment
+	shared, err := rt.Plan(l) // default options: double-hoisted sharing
 	if err != nil {
 		return nil, err
 	}
-	hoisted, err := plan.CompileWithOptions(rt.Params, rt.Encoder, l, plan.Options{DisableDomainAssignment: true})
+	assigned, err := plan.CompileWithOptions(rt.Params, rt.Encoder, l, plan.Options{DisableSharing: true})
+	if err != nil {
+		return nil, err
+	}
+	hoisted, err := plan.CompileWithOptions(rt.Params, rt.Encoder, l, plan.Options{DisableSharing: true, DisableBatching: true, DisableDomainAssignment: true})
 	if err != nil {
 		return nil, err
 	}
@@ -251,6 +286,11 @@ func measure(name string, l *quill.Lowered, iters int) (*formReport, error) {
 	fr.ExtNTTsAssigned = assigned.ExternalTransforms()
 	fr.NTTRegs, fr.DomainConversions = assigned.DomainStats()
 	fr.BatchGroups, fr.BatchedRots = assigned.BatchedGroups()
+	fr.SharedGroups, fr.SharedRots, fr.ReplayedRots = shared.SharedGroups()
+	fr.DecompSlots = shared.NumDecomps
+	fr.DecompsAssigned = assigned.DigitDecompositions()
+	fr.DecompsShared = shared.DigitDecompositions()
+	fr.DecompsFlat = flat.DigitDecompositions()
 	k := len(rt.Params.QPrimes)
 	relins := 0
 	plainRots := 0
@@ -299,10 +339,11 @@ func measure(name string, l *quill.Lowered, iters int) (*formReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	sFlat, sHoist, sDom := rt.NewSession(), rt.NewSession(), rt.NewSession()
+	sFlat, sHoist, sDom, sShared := rt.NewSession(), rt.NewSession(), rt.NewSession(), rt.NewSession()
 	sFlat.SetParallelism(ringWorkers)
 	sHoist.SetParallelism(ringWorkers)
 	sDom.SetParallelism(ringWorkers)
+	sShared.SetParallelism(ringWorkers)
 	fo, err := sFlat.Run(flat, cts, ex.PtIn)
 	if err != nil {
 		return nil, err
@@ -324,19 +365,27 @@ func measure(name string, l *quill.Lowered, iters int) (*formReport, error) {
 	if !rt.Params.CiphertextEqual(ref, do) {
 		return nil, fmt.Errorf("domain-assigned plan not bit-identical to interpreter")
 	}
+	so, err := sShared.Run(shared, cts, ex.PtIn)
+	if err != nil {
+		return nil, err
+	}
+	if !rt.Params.CiphertextEqual(ref, so) {
+		return nil, fmt.Errorf("shared plan not bit-identical to interpreter")
+	}
 
-	// Interleaved paired timing: every iteration runs all three forms
+	// Interleaved paired timing: every iteration runs all four forms
 	// back to back, so machine drift hits each form equally and the
 	// per-iteration ratios stay meaningful.
 	samples, err := timeInterleaved(iters, []timedForm{
-		{sFlat, flat}, {sHoist, hoisted}, {sDom, assigned},
+		{sFlat, flat}, {sHoist, hoisted}, {sDom, assigned}, {sShared, shared},
 	}, cts, ex.PtIn)
 	if err != nil {
 		return nil, err
 	}
-	fr.FlatMs, fr.HoistedMs, fr.AssignedMs = median(samples[0]), median(samples[1]), median(samples[2])
+	fr.FlatMs, fr.HoistedMs, fr.AssignedMs, fr.SharedMs = median(samples[0]), median(samples[1]), median(samples[2]), median(samples[3])
 	fr.Speedup, fr.SpeedupMin, fr.SpeedupMax = pairedRatio(samples[0], samples[1])
 	fr.DomainSpeedup, fr.DomainSpeedupMin, fr.DomainSpeedupMax = pairedRatio(samples[1], samples[2])
+	fr.SharedSpeedup, fr.SharedSpeedupMin, fr.SharedSpeedupMax = pairedRatio(samples[2], samples[3])
 	return fr, nil
 }
 

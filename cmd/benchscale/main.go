@@ -48,6 +48,7 @@ import (
 	"porcupine/internal/baseline"
 	"porcupine/internal/bfv"
 	"porcupine/internal/kernels"
+	"porcupine/internal/prof"
 )
 
 // scalePoint is one worker count's measurement for one kernel.
@@ -100,6 +101,10 @@ func main() {
 		out     = flag.String("out", "", "write JSON to FILE (default stdout)")
 	)
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal("%v", err)
+	}
 
 	sweep, err := parseWorkers(*workers)
 	if err != nil {
@@ -152,6 +157,9 @@ func main() {
 			line, ks.SerialFraction, ks.OverheadMsPerWkr)
 	}
 
+	if err := stopProf(); err != nil {
+		fatal("%v", err)
+	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal("%v", err)

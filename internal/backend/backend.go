@@ -335,10 +335,14 @@ type Session struct {
 	// encodeInputs for exactly the inputs the plan flags as needed.
 	ptsMulNTT []*bfv.NTTPlaintext
 	ptsAddNTT []*bfv.NTTPlaintext
-	// dec is the key-switching decomposition scratch of hoisted and
-	// batched rotation groups, created at the plan's declared size
-	// (NumDecomps) on first use and reused across runs.
-	dec *bfv.Decomposition
+	// decs is the key-switching decomposition scratch of rotation
+	// groups, grown to the plan's declared slot count (NumDecomps) on
+	// first use and reused across runs. Legacy hoisted/batched groups
+	// use decs[0] as transient scratch; double-hoisted plans index it
+	// by each member's assigned slot, and a slot's digits stay resident
+	// from the Fresh member that filled it to the source's last shared
+	// rotation — across steps, amounts, and batch windows.
+	decs []*bfv.Decomposition
 	// br holds the shared per-group state of a batched rotation step
 	// (Galois element, key, automorphism tables); resolved per group,
 	// allocation-free.
@@ -369,7 +373,7 @@ type levelRunner struct {
 	p       *plan.ExecutionPlan
 	ctIn    []*bfv.Ciphertext
 	steps   []int   // plain steps of the current level
-	scratch []int   // hoisted/batched steps (share s.dec/s.br) — run serially
+	scratch []int   // hoisted/batched/shared steps (share s.decs/s.br) — run serially
 	errs    []error // per-task results, indexed like steps
 }
 
@@ -444,8 +448,8 @@ func (s *Session) exec(p *plan.ExecutionPlan, ctIn []*bfv.Ciphertext) (*bfv.Ciph
 	for len(s.regs) < p.NumRegs {
 		s.regs = append(s.regs, s.ctx.Params.NewCiphertextUninit(p.RegDeg[len(s.regs)]))
 	}
-	if s.dec == nil && p.NumDecomps > 0 {
-		s.dec = s.ctx.Params.NewDecomposition()
+	for len(s.decs) < p.NumDecomps {
+		s.decs = append(s.decs, s.ctx.Params.NewDecomposition())
 	}
 	if s.par > 1 && p.Levels != nil {
 		return s.execLevels(p, ctIn)
@@ -460,10 +464,13 @@ func (s *Session) exec(p *plan.ExecutionPlan, ctIn []*bfv.Ciphertext) (*bfv.Ciph
 
 // execLevels runs the plan by dependency level: the plain steps of one
 // level fan out over the ring worker pool (each task executes one full
-// step), while hoisted/batched steps — which share the session's
-// decomposition scratch and batched-rotation state — run serially on
-// the caller after the fan-out. Level barriers preserve the hazard
-// order, so the result is bit-identical to the serial schedule.
+// step), while hoisted/batched/shared steps — which share the
+// session's decomposition scratch and batched-rotation state — run
+// serially on the caller after the fan-out (the levelizer's slot
+// pseudo-registers keep a slot's fill strictly before its replays and
+// before any refill, so caller-serial order within a level is always
+// hazard-safe). Level barriers preserve the hazard order, so the
+// result is bit-identical to the serial schedule.
 func (s *Session) execLevels(p *plan.ExecutionPlan, ctIn []*bfv.Ciphertext) (*bfv.Ciphertext, error) {
 	lr := &s.lr
 	// Copy the input pointers into the runner's own slice rather than
@@ -481,7 +488,7 @@ func (s *Session) execLevels(p *plan.ExecutionPlan, ctIn []*bfv.Ciphertext) (*bf
 	for _, lv := range p.Levels {
 		lr.steps, lr.scratch = lr.steps[:0], lr.scratch[:0]
 		for _, i := range lv {
-			if op := p.Steps[i].Op; op == plan.OpHoistedRot || op == plan.OpBatchedRot {
+			if op := p.Steps[i].Op; op == plan.OpHoistedRot || op == plan.OpBatchedRot || op == plan.OpSharedRot {
 				lr.scratch = append(lr.scratch, i)
 			} else {
 				lr.steps = append(lr.steps, i)
@@ -540,19 +547,19 @@ func (s *Session) execStep(p *plan.ExecutionPlan, i int, ctIn []*bfv.Ciphertext)
 			// fans, sharing one forward NTT of c0 across the
 			// NTT-destined members.
 			if p.CodeDomain(st.A) == plan.DomNTT {
-				if err = ev.DecomposeForKeySwitchNTT(s.dec, a); err == nil {
+				if err = ev.DecomposeForKeySwitchNTT(s.decs[0], a); err == nil {
 					for _, f := range st.Fan {
-						if err = ev.RotateRowsHoistedNTTIntoNTT(s.regs[f.Dst], a, s.dec, f.Rot); err != nil {
+						if err = ev.RotateRowsHoistedNTTIntoNTT(s.regs[f.Dst], a, s.decs[0], f.Rot); err != nil {
 							break
 						}
 					}
 				}
-			} else if err = ev.DecomposeForKeySwitch(s.dec, a); err == nil {
+			} else if err = ev.DecomposeForKeySwitch(s.decs[0], a); err == nil {
 				for _, f := range st.Fan {
 					if p.RegDomainOf(f.Dst) == plan.DomNTT {
-						err = ev.RotateRowsHoistedIntoNTT(s.regs[f.Dst], a, s.dec, f.Rot)
+						err = ev.RotateRowsHoistedIntoNTT(s.regs[f.Dst], a, s.decs[0], f.Rot)
 					} else {
-						err = ev.RotateRowsHoistedInto(s.regs[f.Dst], a, s.dec, f.Rot)
+						err = ev.RotateRowsHoistedInto(s.regs[f.Dst], a, s.decs[0], f.Rot)
 					}
 					if err != nil {
 						break
@@ -569,11 +576,45 @@ func (s *Session) execStep(p *plan.ExecutionPlan, i int, ctIn []*bfv.Ciphertext)
 					src, d := s.operand(p, ctIn, m.Src), s.regs[m.Dst]
 					switch {
 					case p.CodeDomain(m.Src) == plan.DomNTT:
-						err = ev.RotateRowsBatchedNTTIntoNTT(d, src, s.dec, &s.br)
+						err = ev.RotateRowsBatchedNTTIntoNTT(d, src, s.decs[0], &s.br)
 					case p.RegDomainOf(m.Dst) == plan.DomNTT:
-						err = ev.RotateRowsBatchedIntoNTT(d, src, s.dec, &s.br)
+						err = ev.RotateRowsBatchedIntoNTT(d, src, s.decs[0], &s.br)
 					default:
-						err = ev.RotateRowsBatchedInto(d, src, s.dec, &s.br)
+						err = ev.RotateRowsBatchedInto(d, src, s.decs[0], &s.br)
+					}
+					if err != nil {
+						break
+					}
+				}
+			}
+		case plan.OpSharedRot:
+			// Double-hoisted group: the Galois state resolves once for
+			// the step's amount; each Fresh member lifts its source's
+			// digits into its session slot (even when the amount is the
+			// identity for this key set — later steps replay the slot),
+			// and every other member rotates straight out of the
+			// resident digits its source decomposed steps ago.
+			if err = ev.BeginBatchedRotation(&s.br, st.Rot); err == nil {
+				for _, m := range st.Shared {
+					src, d, dec := s.operand(p, ctIn, m.Src), s.regs[m.Dst], s.decs[m.Slot]
+					srcNTT := p.CodeDomain(m.Src) == plan.DomNTT
+					if m.Fresh {
+						if srcNTT {
+							err = ev.DecomposeForKeySwitchNTT(dec, src)
+						} else {
+							err = ev.DecomposeForKeySwitch(dec, src)
+						}
+						if err != nil {
+							break
+						}
+					}
+					switch {
+					case srcNTT:
+						err = ev.RotateRowsSharedNTTIntoNTT(d, src, dec, &s.br)
+					case p.RegDomainOf(m.Dst) == plan.DomNTT:
+						err = ev.RotateRowsSharedIntoNTT(d, src, dec, &s.br)
+					default:
+						err = ev.RotateRowsSharedInto(d, src, dec, &s.br)
 					}
 					if err != nil {
 						break

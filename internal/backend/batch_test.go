@@ -57,6 +57,10 @@ func randomVecs(l *quill.Lowered, seed int64) []quill.Vec {
 // decrypted slots against the concrete vector semantics.
 func runBatchedDifferential(t *testing.T, l *quill.Lowered, opts plan.Options, wantGroups, wantRots int) {
 	t.Helper()
+	// These tests pin the legacy batched step shape; the sharing pass
+	// (which supersedes batching in default compiles) has its own
+	// differential in shared_test.go.
+	opts.DisableSharing = true
 	rt, err := NewTestRuntime("PN2048", 17, l)
 	if err != nil {
 		t.Fatal(err)
@@ -169,7 +173,7 @@ func TestBatchedPlanAllocationFree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := rt.Plan(l)
+	p, err := plan.CompileWithOptions(rt.Params, rt.Encoder, l, plan.Options{DisableSharing: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -274,13 +274,85 @@ func TestFuzzCorpusBatchSeeds(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			p, err := rt.Plan(lowered)
+			p, err := plan.CompileWithOptions(rt.Params, rt.Encoder, lowered, plan.Options{DisableSharing: true})
 			if err != nil {
 				t.Fatal(err)
 			}
 			if g, r := p.BatchedGroups(); g != c.batchedG || r != c.batchedR {
 				t.Errorf("batched groups = %d (%d rotations), want %d (%d)\n%s",
 					g, r, c.batchedG, c.batchedR, prog)
+			}
+		})
+	}
+}
+
+// TestFuzzCorpusSharedSeeds pins the PR10 corpus seeds to the
+// double-hoisted shapes they were written to reach: a single source
+// rotated by three amounts across two tree levels (one decomposition,
+// two replays) and a source whose decomposition outlives the batched
+// group it was filled for (cross-source fill, later singleton replay).
+// If the decoder or the sharing pass changes shape, this fails instead
+// of the corpus silently degrading to programs that never replay a
+// resident decomposition.
+func TestFuzzCorpusSharedSeeds(t *testing.T) {
+	cases := []struct {
+		name       string
+		data       []byte
+		sharedG    int // shared key-switch groups in the default plan
+		sharedR    int // rotations covered by those groups
+		replayed   int // members reusing a resident decomposition
+		numDecomps int // peak live decomposition slots
+	}{
+		{
+			// c1 = rot(c0,1)+rot(c0,2); c2 = rot(c1,1)+rot(c0,5): c0 is
+			// rotated at two tree levels by three amounts — one fill,
+			// two replays of the same slot. c1, rotated once, stays a
+			// plain (level-parallel) rotation.
+			name: "shared-fan-two-levels",
+			data: []byte{0, 0, 2,
+				0, 0, 1, 0, 3,
+				0, 1, 1, 0, 5,
+				0, 2, 0, 0, 0,
+				0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48},
+			sharedG: 3, sharedR: 3, replayed: 2, numDecomps: 1,
+		},
+		{
+			// rot(c0,1)+rot(c1,1) then rot(c0,2): the amount-1 group
+			// fills both sources' slots; c0's decomposition crosses the
+			// batch window and replays in the amount-2 singleton.
+			name: "shared-cross-window",
+			data: []byte{1, 0, 1,
+				0, 0, 1, 1, 1,
+				0, 2, 0, 0, 3,
+				0x51, 0x52, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58},
+			sharedG: 2, sharedR: 3, replayed: 1, numDecomps: 2,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			prog, _, _ := decodeProgram(c.data)
+			if err := prog.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			lowered, err := quill.Lower(prog, quill.DefaultLowerOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt, err := NewTestRuntime("PN2048", 7, lowered)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := rt.Plan(lowered)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, r, rep := p.SharedGroups()
+			if g != c.sharedG || r != c.sharedR || rep != c.replayed {
+				t.Errorf("shared groups = %d (%d rotations, %d replayed), want %d (%d, %d)\n%s",
+					g, r, rep, c.sharedG, c.sharedR, c.replayed, prog)
+			}
+			if p.NumDecomps != c.numDecomps {
+				t.Errorf("NumDecomps = %d, want %d\n%s", p.NumDecomps, c.numDecomps, prog)
 			}
 		})
 	}

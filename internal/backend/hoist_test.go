@@ -127,7 +127,7 @@ func TestHoistedDeepFanOutWraparound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := rt.Plan(l)
+	p, err := plan.CompileWithOptions(rt.Params, rt.Encoder, l, plan.Options{DisableSharing: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,232 @@
+package backend
+
+import (
+	"math/rand"
+	"testing"
+
+	"porcupine/internal/baseline"
+	"porcupine/internal/bfv"
+	"porcupine/internal/kernels"
+	"porcupine/internal/plan"
+	"porcupine/internal/quill"
+)
+
+// TestSharedDifferentialKernels is the acceptance differential of
+// double-hoisted key-switching: on the full 11-kernel suite, the
+// instruction-at-a-time interpreter and every plan generation — flat
+// (serial), hoisted (fan groups), assigned (hoisted + NTT domains +
+// batching, the PR 7 default) and shared (double-hoisted, today's
+// default) — must produce bit-identical output ciphertexts. In -short
+// mode two representative kernels run (one stencil with replays, one
+// reduction without).
+func TestSharedDifferentialKernels(t *testing.T) {
+	names := []string{
+		"box-blur", "dot-product", "hamming-distance", "l2-distance",
+		"linear-regression", "polynomial-regression", "gx", "gy",
+		"roberts-cross", "sobel", "harris",
+	}
+	if testing.Short() {
+		names = []string{"sobel", "dot-product"}
+	}
+	forms := []struct {
+		name string
+		opts plan.Options
+	}{
+		{"flat", plan.Options{DisableHoisting: true, DisableDomainAssignment: true}},
+		{"hoisted", plan.Options{DisableSharing: true, DisableBatching: true, DisableDomainAssignment: true}},
+		{"assigned", plan.Options{DisableSharing: true}},
+		{"shared", plan.Options{}},
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			spec := kernels.ByName(name)
+			l, err := baseline.Lowered(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			preset := "PN4096"
+			if l.MultDepth() > 2 {
+				preset = "PN8192"
+			}
+			rt, err := NewTestRuntime(preset, 7, l)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			rng := rand.New(rand.NewSource(11))
+			assign := make([]uint64, spec.NumVars)
+			for i := range assign {
+				assign[i] = rng.Uint64() % 64
+			}
+			ex := spec.NewExample(assign)
+			cts := make([]*bfv.Ciphertext, len(ex.CtIn))
+			for i, v := range ex.CtIn {
+				if cts[i], err = rt.EncryptVec(v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ref, err := rt.RunInterpreter(l, cts, ex.PtIn)
+			if err != nil {
+				t.Fatalf("interpreter: %v", err)
+			}
+
+			var sharedOut *bfv.Ciphertext
+			for _, f := range forms {
+				p, err := plan.CompileWithOptions(rt.Params, rt.Encoder, l, f.opts)
+				if err != nil {
+					t.Fatalf("%s compile: %v", f.name, err)
+				}
+				if g, _, _ := p.SharedGroups(); f.name != "shared" && g != 0 {
+					t.Fatalf("%s plan has %d shared groups", f.name, g)
+				}
+				out, err := rt.NewSession().Run(p, cts, ex.PtIn)
+				if err != nil {
+					t.Fatalf("%s plan: %v", f.name, err)
+				}
+				if !sameCiphertext(rt.Params, ref, out) {
+					t.Fatalf("%s plan not bit-identical to interpreter", f.name)
+				}
+				if f.name == "shared" {
+					sharedOut = out
+				}
+			}
+			dec := rt.DecryptVec(sharedOut, spec.VecLen)
+			if !spec.Matches(dec, ex) {
+				t.Fatal("shared output disagrees with the plaintext reference")
+			}
+		})
+	}
+}
+
+// sharedStencilProgram rotates two inputs by the same three amounts —
+// three cross-source groups whose later members replay both resident
+// decompositions. This is the backend's canonical double-hoisted
+// shape: fills and replays, two live slots, batched Galois state.
+func sharedStencilProgram() *quill.Lowered {
+	return &quill.Lowered{
+		VecLen: 1024, NumCtInputs: 2,
+		Instrs: []quill.LInstr{
+			{Op: quill.OpRotCt, Dst: 2, A: 0, Rot: 1},
+			{Op: quill.OpRotCt, Dst: 3, A: 1, Rot: 1},
+			{Op: quill.OpRotCt, Dst: 4, A: 0, Rot: 2},
+			{Op: quill.OpRotCt, Dst: 5, A: 1, Rot: 2},
+			{Op: quill.OpRotCt, Dst: 6, A: 0, Rot: 3},
+			{Op: quill.OpRotCt, Dst: 7, A: 1, Rot: 3},
+			{Op: quill.OpAddCtCt, Dst: 8, A: 2, B: 3},
+			{Op: quill.OpAddCtCt, Dst: 9, A: 4, B: 5},
+			{Op: quill.OpAddCtCt, Dst: 10, A: 6, B: 7},
+			{Op: quill.OpAddCtCt, Dst: 11, A: 8, B: 9},
+			{Op: quill.OpAddCtCt, Dst: 12, A: 11, B: 10},
+		},
+		Output: 12,
+	}
+}
+
+// TestSharedVsLegacyDifferential runs the shared stencil shape through
+// every plan generation on the live runtime and checks bit-identity —
+// the non-kernel sibling of TestSharedDifferentialKernels, small
+// enough to exercise slot replay under -race in ordinary test runs.
+func TestSharedVsLegacyDifferential(t *testing.T) {
+	l := sharedStencilProgram()
+	rt, err := NewTestRuntime("PN2048", 19, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := rt.Plan(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, r, rep := shared.SharedGroups(); g != 3 || r != 6 || rep != 4 {
+		t.Fatalf("shared groups = %d (%d rotations, %d replayed), want 3 (6, 4)", g, r, rep)
+	}
+	if shared.NumDecomps != 2 {
+		t.Fatalf("NumDecomps = %d, want 2", shared.NumDecomps)
+	}
+
+	vs := randomVecs(l, 47)
+	cts := make([]*bfv.Ciphertext, len(vs))
+	for i, v := range vs {
+		if cts[i], err = rt.EncryptVec(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref, err := rt.RunInterpreter(l, cts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []struct {
+		name string
+		opts plan.Options
+	}{
+		{"flat", plan.Options{DisableHoisting: true}},
+		{"legacy", plan.Options{DisableSharing: true}},
+		{"shared", plan.Options{}},
+	} {
+		p, err := plan.CompileWithOptions(rt.Params, rt.Encoder, l, f.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := rt.NewSession().Run(p, cts, nil)
+		if err != nil {
+			t.Fatalf("%s plan: %v", f.name, err)
+		}
+		if !sameCiphertext(rt.Params, ref, out) {
+			t.Fatalf("%s plan not bit-identical to interpreter", f.name)
+		}
+	}
+	want, err := quill.RunLowered(l, quill.ConcreteSem{}, vs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := rt.NewSession().Run(shared, cts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := rt.DecryptVec(out, l.VecLen)
+	for i := range want {
+		if dec[i] != want[i] {
+			t.Fatalf("shared plan slot %d: %d != %d", i, dec[i], want[i])
+		}
+	}
+}
+
+// TestSharedPlanAllocationFree extends the 0-alloc serving guarantee
+// to double-hoisted plans: slot fills reuse the session's per-slot
+// decomposition scratch, replays allocate nothing, and the shared
+// Galois state comes from the runtime caches.
+func TestSharedPlanAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; allocation counts are meaningless under -race")
+	}
+	l := sharedStencilProgram()
+	rt, err := NewTestRuntime("PN2048", 13, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := rt.Plan(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, rep := p.SharedGroups(); rep == 0 {
+		t.Fatal("plan has no replayed shared members")
+	}
+	vs := randomVecs(l, 43)
+	cts := make([]*bfv.Ciphertext, len(vs))
+	for i, v := range vs {
+		if cts[i], err = rt.EncryptVec(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := rt.NewSession()
+	if _, err := s.Run(p, cts, nil); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := s.Run(p, cts, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state shared plan execution allocates %.0f objects/run, want 0", allocs)
+	}
+}

@@ -51,9 +51,10 @@ func (ev *Evaluator) BeginBatchedRotation(br *BatchedRotation, k int) error {
 
 // RotateRowsBatchedInto rotates one coefficient-domain member of a
 // batched group into a coefficient-domain destination: ct's own digits
-// are decomposed into dec, then key-switched with the group's
-// prefetched key and tables. Bit-identical to RotateRowsInto with the
-// group's amount. dst may alias ct.
+// are decomposed into dec, then key-switched via the shared-rotation
+// path (shared.go) with the group's prefetched key and tables.
+// Bit-identical to RotateRowsInto with the group's amount. dst may
+// alias ct.
 func (ev *Evaluator) RotateRowsBatchedInto(dst, ct *Ciphertext, dec *Decomposition, br *BatchedRotation) error {
 	if err := ev.checkDegree("RotateRowsBatched", ct, 1); err != nil {
 		return err
@@ -64,8 +65,7 @@ func (ev *Evaluator) RotateRowsBatchedInto(dst, ct *Ciphertext, dec *Decompositi
 	}
 	ev.params.ringQ.DecomposeNTT(dec.d, ct.Value[1])
 	dec.c0Set = false
-	ev.galoisFromDecompTables(dst, ct, dec.d, br.key, br.perm, br.autoTab)
-	return nil
+	return ev.RotateRowsSharedInto(dst, ct, dec, br)
 }
 
 // RotateRowsBatchedIntoNTT rotates one coefficient-domain member into
@@ -79,13 +79,9 @@ func (ev *Evaluator) RotateRowsBatchedIntoNTT(dst, ct *Ciphertext, dec *Decompos
 		ev.NTTInto(dst, ct)
 		return nil
 	}
-	r := ev.params.ringQ
-	r.DecomposeNTT(dec.d, ct.Value[1])
-	r.CopyInto(dec.c0NTT, ct.Value[0])
-	r.NTT(dec.c0NTT)
-	dec.c0Set = true
-	ev.galoisFromDecompToNTTPerm(dst, dec.c0NTT, dec.d, br.key, br.perm)
-	return nil
+	ev.params.ringQ.DecomposeNTT(dec.d, ct.Value[1])
+	dec.c0Set = false
+	return ev.RotateRowsSharedIntoNTT(dst, ct, dec, br)
 }
 
 // RotateRowsBatchedNTTIntoNTT rotates one NTT-resident member into an
@@ -107,6 +103,5 @@ func (ev *Evaluator) RotateRowsBatchedNTTIntoNTT(dst, ct *Ciphertext, dec *Decom
 	r.DecomposeNTT(dec.d, c1)
 	r.PutPoly(c1)
 	dec.c0Set = false
-	ev.galoisFromDecompToNTTPerm(dst, ct.Value[0], dec.d, br.key, br.perm)
-	return nil
+	return ev.RotateRowsSharedNTTIntoNTT(dst, ct, dec, br)
 }

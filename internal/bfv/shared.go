@@ -1,0 +1,92 @@
+package bfv
+
+// This file implements double-hoisted key switching: the rotation
+// paths that consume a decomposition ALREADY resident in a
+// SharedDecomposition slot, at any rotation amount, with the
+// per-amount Galois state (element, switching key, permutation and
+// automorphism tables) prefetched by BeginBatchedRotation. It is the
+// meet of the two earlier sharing axes:
+//
+//   - hoisting (evaluator.go/nttops.go) shares one source's digit
+//     decomposition across AMOUNTS, but re-resolves Galois state per
+//     rotation and is driven as one fused fan;
+//   - batching (batched.go) shares Galois state across SOURCES at one
+//     amount, but re-derives each member's decomposition per group.
+//
+// A shared rotation does neither redundant half: the plan layer keeps
+// each multiply-rotated source's decomposition alive in a slot
+// (DecomposeForKeySwitch / DecomposeForKeySwitchNTT fills it exactly
+// once, on the source's first rotation) and every later rotation of
+// that source — whatever its amount, wherever it sits in the schedule
+// — pays only a permuted lazy inner product against the resident
+// digits. The batched paths in batched.go are thin wrappers that
+// decompose and then delegate here, so shared ≡ batched ≡ hoisted ≡
+// serial bit for bit: all four run the same
+// decompose-permute-accumulate primitives in the same order.
+
+// SharedDecomposition is the session-pooled double-hoisted
+// key-switching state of one source register: the RNS digits of its
+// c1, lifted and forward-NTT'd once, plus the lazily-cached forward
+// transform of its c0 for NTT-destined rotations. It is Decomposition
+// under its slot-resident name — the backend sizes a slice of these at
+// plan time (ExecutionPlan.NumDecomps) and indexes it by the
+// decomposition slot the plan's liveness pass assigned to each source.
+type SharedDecomposition = Decomposition
+
+// RotateRowsSharedInto rotates a coefficient-domain source into a
+// coefficient-domain destination using the decomposition resident in
+// dec (filled earlier by DecomposeForKeySwitch — possibly many steps
+// ago) and the Galois state prefetched in br. Bit-identical to
+// RotateRowsInto with the group's amount. dst may alias ct.
+func (ev *Evaluator) RotateRowsSharedInto(dst, ct *Ciphertext, dec *SharedDecomposition, br *BatchedRotation) error {
+	if err := ev.checkDegree("RotateRowsShared", ct, 1); err != nil {
+		return err
+	}
+	if br.g == 1 {
+		ev.copyCiphertextInto(dst, ct)
+		return nil
+	}
+	ev.galoisFromDecompTables(dst, ct, dec.d, br.key, br.perm, br.autoTab)
+	return nil
+}
+
+// RotateRowsSharedIntoNTT rotates a coefficient-domain source into an
+// NTT-resident destination from the resident decomposition. The
+// source's c0 forward transform is cached on dec by the first
+// NTT-destined rotation and shared by every later one, across fan and
+// batch boundaries alike. Bit-identical to RotateRowsIntoNTT. dst may
+// alias ct.
+func (ev *Evaluator) RotateRowsSharedIntoNTT(dst, ct *Ciphertext, dec *SharedDecomposition, br *BatchedRotation) error {
+	if err := ev.checkDegree("RotateRowsSharedIntoNTT", ct, 1); err != nil {
+		return err
+	}
+	if br.g == 1 {
+		ev.NTTInto(dst, ct)
+		return nil
+	}
+	r := ev.params.ringQ
+	if !dec.c0Set {
+		r.CopyInto(dec.c0NTT, ct.Value[0])
+		r.NTT(dec.c0NTT)
+		dec.c0Set = true
+	}
+	ev.galoisFromDecompToNTTPerm(dst, dec.c0NTT, dec.d, br.key, br.perm)
+	return nil
+}
+
+// RotateRowsSharedNTTIntoNTT rotates an NTT-resident source into an
+// NTT-resident destination from the resident decomposition (filled by
+// DecomposeForKeySwitchNTT): the source's c0 is already in the
+// evaluation domain, so the rotation performs no transforms at all.
+// Bit-identical to RotateRowsNTTIntoNTT. dst may alias ct.
+func (ev *Evaluator) RotateRowsSharedNTTIntoNTT(dst, ct *Ciphertext, dec *SharedDecomposition, br *BatchedRotation) error {
+	if err := ev.checkDegree("RotateRowsSharedNTTIntoNTT", ct, 1); err != nil {
+		return err
+	}
+	if br.g == 1 {
+		ev.copyCiphertextInto(dst, ct)
+		return nil
+	}
+	ev.galoisFromDecompToNTTPerm(dst, ct.Value[0], dec.d, br.key, br.perm)
+	return nil
+}

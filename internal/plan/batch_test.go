@@ -54,7 +54,7 @@ func interleavedTrees(m int) *quill.Lowered {
 }
 
 func TestBatchDetectionCrossSource(t *testing.T) {
-	p := compile(t, crossSourceProgram())
+	p := compileLegacy(t, crossSourceProgram())
 	if g, r := p.BatchedGroups(); g != 1 || r != 2 {
 		t.Fatalf("batched groups = %d (%d rotations), want 1 (2)", g, r)
 	}
@@ -83,7 +83,7 @@ func TestBatchDetectionCrossSource(t *testing.T) {
 
 func TestBatchDetectionParallelTrees(t *testing.T) {
 	l := interleavedTrees(8)
-	p := compile(t, l)
+	p := compileLegacy(t, l)
 	// Three levels (rot 4, 2, 1), each one group of the two trees'
 	// sibling rotations.
 	if g, r := p.BatchedGroups(); g != 3 || r != 6 {
@@ -118,7 +118,7 @@ func TestBatchDisabled(t *testing.T) {
 func TestBatchWindowBound(t *testing.T) {
 	params, enc := testEnv(t)
 	l := crossSourceProgram() // sibling rotations 1 schedule slot apart
-	wide, err := CompileWithOptions(params, enc, l, Options{BatchWindow: 4})
+	wide, err := CompileWithOptions(params, enc, l, Options{DisableSharing: true, BatchWindow: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,14 +138,14 @@ func TestBatchWindowBound(t *testing.T) {
 		},
 		Output: 6,
 	}
-	narrow, err := CompileWithOptions(params, enc, far, Options{BatchWindow: 2})
+	narrow, err := CompileWithOptions(params, enc, far, Options{DisableSharing: true, BatchWindow: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if g, _ := narrow.BatchedGroups(); g != 0 {
 		t.Errorf("window 2: %d groups, want 0", g)
 	}
-	def, err := CompileWithOptions(params, enc, far, Options{})
+	def, err := CompileWithOptions(params, enc, far, Options{DisableSharing: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +168,7 @@ func TestBatchSourceDefinedBeforeLeader(t *testing.T) {
 		},
 		Output: 4,
 	}
-	p := compile(t, l)
+	p := compileLegacy(t, l)
 	if g, _ := p.BatchedGroups(); g != 0 {
 		t.Errorf("fused a member whose source postdates the leader (%d groups)", g)
 	}
@@ -179,7 +179,7 @@ func TestBatchSourceDefinedBeforeLeader(t *testing.T) {
 // corruption matrix re-runs them through an encode/decode round trip).
 func TestValidateRejectsMalformedBatched(t *testing.T) {
 	params, _ := testEnv(t)
-	base := compile(t, crossSourceProgram())
+	base := compileLegacy(t, crossSourceProgram())
 	batchIdx := -1
 	for i := range base.Steps {
 		if base.Steps[i].Op == OpBatchedRot {

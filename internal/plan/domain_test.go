@@ -199,7 +199,7 @@ func serialDomainPlan(t *testing.T) *ExecutionPlan {
 // "NTT source implies NTT fan destinations" invariant.
 func nttSrcFanPlan(t *testing.T) *ExecutionPlan {
 	t.Helper()
-	p := compile(t, &quill.Lowered{
+	p := compileLegacy(t, &quill.Lowered{
 		VecLen: 1024, NumCtInputs: 1,
 		Instrs: []quill.LInstr{
 			{Op: quill.OpRotCt, Dst: 1, A: 0, Rot: 1},

@@ -19,16 +19,28 @@ import "porcupine/internal/quill"
 
 // stepReads appends the register indices step st reads to buf.
 // Caller-input operands are read-only for the plan's whole lifetime
-// and never create hazards.
+// and never create hazards. Shared rotation members additionally read
+// the decomposition-slot pseudo-registers (NumRegs+Slot) they replay,
+// so a replaying step orders after the step whose Fresh member filled
+// the slot — a dependency invisible to the register file alone.
 func (p *ExecutionPlan) stepReads(st *Step, buf []int) []int {
 	read := func(code int) {
 		if !p.IsInput(code) {
 			buf = append(buf, p.Reg(code))
 		}
 	}
-	if st.Op == OpBatchedRot {
+	switch st.Op {
+	case OpBatchedRot:
 		for i := range st.Batch {
 			read(st.Batch[i].Src)
+		}
+		return buf
+	case OpSharedRot:
+		for i := range st.Shared {
+			read(st.Shared[i].Src)
+			if !st.Shared[i].Fresh {
+				buf = append(buf, p.NumRegs+st.Shared[i].Slot)
+			}
 		}
 		return buf
 	}
@@ -41,8 +53,10 @@ func (p *ExecutionPlan) stepReads(st *Step, buf []int) []int {
 }
 
 // stepWrites appends the register indices step st writes to buf. For
-// hoisted and batched groups that is every member destination, not
-// just the mirror Dst.
+// hoisted, batched and shared groups that is every member destination,
+// not just the mirror Dst; a shared Fresh member also writes its slot's
+// pseudo-register (NumRegs+Slot), creating the WAR/WAW hazards that
+// keep a slot refill strictly after the previous fill's replays.
 func (p *ExecutionPlan) stepWrites(st *Step, buf []int) []int {
 	switch st.Op {
 	case OpHoistedRot:
@@ -52,6 +66,13 @@ func (p *ExecutionPlan) stepWrites(st *Step, buf []int) []int {
 	case OpBatchedRot:
 		for i := range st.Batch {
 			buf = append(buf, st.Batch[i].Dst)
+		}
+	case OpSharedRot:
+		for i := range st.Shared {
+			buf = append(buf, st.Shared[i].Dst)
+			if st.Shared[i].Fresh {
+				buf = append(buf, p.NumRegs+st.Shared[i].Slot)
+			}
 		}
 	default:
 		buf = append(buf, st.Dst)
@@ -72,7 +93,8 @@ func (p *ExecutionPlan) Levelize() {
 		lastWriter int
 		readers    []int
 	}
-	regs := make([]regState, p.NumRegs)
+	// Slot pseudo-registers live past the real register file.
+	regs := make([]regState, p.NumRegs+p.NumDecomps)
 	for r := range regs {
 		regs[r].lastWriter = -1
 	}

@@ -64,6 +64,20 @@ const (
 // programs.
 const OpBatchedRot quill.Op = 0x43
 
+// OpSharedRot is the plan-only opcode of the double-hoisted rotation
+// step family that subsumes both OpHoistedRot and OpBatchedRot: a
+// group of rotations by ONE amount (sharing the Galois element, key
+// and tables like a batched group) whose members each consume a
+// session decomposition SLOT. A member with Fresh set lifts and
+// forward-NTTs its source's digits into the slot; a member with Fresh
+// clear replays a decomposition an EARLIER step left resident — so one
+// decomposition per source serves every rotation of that source, at
+// any amount, anywhere in the schedule (hoisting across amounts AND
+// batching across sources simultaneously). Synthesized by the sharing
+// pass (share.go); never appears in lowered programs, and never mixes
+// with OpHoistedRot/OpBatchedRot in one plan.
+const OpSharedRot quill.Op = 0x44
+
 // FanOut is one rotation of a hoisted fan-out group.
 type FanOut struct {
 	Dst int // register receiving this rotation
@@ -76,6 +90,20 @@ type FanOut struct {
 type BatchedSrc struct {
 	Src int // operand code of this member's source
 	Dst int // register receiving this member's rotation
+}
+
+// SharedSrc is one member of a double-hoisted rotation group: one
+// source operand rotated by the step's shared amount into its own
+// destination register, through the session decomposition slot the
+// liveness pass assigned to the source. Fresh marks the member that
+// fills the slot (the source's first rotation in schedule order);
+// every later member of the same source, in this step or a later one,
+// replays the resident digits.
+type SharedSrc struct {
+	Src   int  // operand code of this member's source
+	Dst   int  // register receiving this member's rotation
+	Slot  int  // session decomposition slot holding the source's digits
+	Fresh bool // this member decomposes the source into the slot
 }
 
 // Step is one scheduled instruction of a plan. Operand fields A and B
@@ -106,6 +134,15 @@ type Step struct {
 	// destination may alias any member's source (the group reads all
 	// sources before the last write).
 	Batch []BatchedSrc
+
+	// Shared lists the members of a double-hoisted group (OpSharedRot
+	// only; nil for every other op). Every member rotates its own
+	// source by the step's shared Rot amount out of its decomposition
+	// slot; A and Dst mirror the first member. Entries are in program
+	// order; no member's destination may alias any member's source, and
+	// a source's register must survive untouched from its Fresh member
+	// to its last shared rotation (its c0 is read per rotation).
+	Shared []SharedSrc
 }
 
 // ExecutionPlan is a compiled, immutable execution schedule for one
@@ -134,10 +171,14 @@ type ExecutionPlan struct {
 	// from pre-v3 wire artifacts.
 	RegDomain []Domain
 	// NumDecomps is the number of key-switching decomposition scratch
-	// buffers a session needs: 1 when the plan contains hoisted or
-	// batched rotation groups (they never nest, so one buffer serves
-	// all of them), 0 otherwise. Sized by the register allocator; not
-	// serialized — decode recomputes it from the step list.
+	// slots a session needs. For double-hoisted plans it is the peak
+	// number of simultaneously-live shared decompositions (the
+	// slot-liveness result: a slot is live from its Fresh member to the
+	// source's last shared rotation, then reused); for legacy plans it
+	// is 1 when any hoisted or batched group exists (they never nest,
+	// one buffer serves all of them), 0 otherwise. Sized by the
+	// register allocator; serialized from wire v6 on (earlier versions
+	// recompute it from the step list).
 	NumDecomps int
 
 	Steps []Step
@@ -224,6 +265,53 @@ func (p *ExecutionPlan) BatchedGroups() (groups, rotations int) {
 	return groups, rotations
 }
 
+// SharedGroups returns the number of double-hoisted rotation steps,
+// the total rotations they cover, and how many of those rotations
+// replay an already-resident decomposition (Fresh clear) — the static
+// measure of decompose work the sharing pass eliminated.
+func (p *ExecutionPlan) SharedGroups() (groups, rotations, replayed int) {
+	for i := range p.Steps {
+		if p.Steps[i].Op == OpSharedRot {
+			groups++
+			for _, m := range p.Steps[i].Shared {
+				rotations++
+				if !m.Fresh {
+					replayed++
+				}
+			}
+		}
+	}
+	return groups, rotations, replayed
+}
+
+// DigitDecompositions is the plan's static count of rotation
+// key-switch digit decompositions per run — the expensive shared
+// prefix (K digit lifts + K forward NTTs) double-hoisting exists to
+// minimize. Each plain rotation and each batched member decomposes its
+// own source; each hoisted group and each Fresh shared member
+// decomposes once; replayed shared members cost nothing.
+// Relinearization decompositions are excluded: they are identical
+// across plan forms and would only blur the comparison.
+func (p *ExecutionPlan) DigitDecompositions() int {
+	c := 0
+	for i := range p.Steps {
+		st := &p.Steps[i]
+		switch st.Op {
+		case quill.OpRotCt, OpHoistedRot:
+			c++
+		case OpBatchedRot:
+			c += len(st.Batch)
+		case OpSharedRot:
+			for _, m := range st.Shared {
+				if m.Fresh {
+					c++
+				}
+			}
+		}
+	}
+	return c
+}
+
 // Options tunes compilation.
 type Options struct {
 	// DisableHoisting turns off rotation fan-out fusion, producing a
@@ -246,8 +334,19 @@ type Options struct {
 	// DisableBatching turns off cross-source batched key switching:
 	// rotations of different sources by a shared amount stay plain
 	// serial steps. Implied by DisableHoisting (a "flat" plan is the
-	// fully serial reference). Bit-identity is unaffected either way.
+	// fully serial reference). Disabling batching also disables
+	// sharing (double-hoisting groups by amount the same way).
+	// Bit-identity is unaffected either way.
 	DisableBatching bool
+
+	// DisableSharing turns off double-hoisted key switching: rotation
+	// fans stay fused OpHoistedRot steps and same-amount cross-source
+	// groups stay OpBatchedRot — the PR 7 plan shape, kept as the
+	// differential reference for the shared schedule, the baseline for
+	// measuring the sharing win, and the compile target for wire
+	// versions < 6 (which cannot carry decomposition-slot fields).
+	// Bit-identity is unaffected either way.
+	DisableSharing bool
 
 	// BatchWindow bounds how far apart (in schedule positions) two
 	// rotations may sit and still fuse into one batched group; batching
@@ -270,6 +369,7 @@ type schedEntry struct {
 	idx     int   // instruction index (first member for groups)
 	members []int // nil → plain step; else the group's rotation instrs
 	batch   bool  // members share an amount (OpBatchedRot), not a source
+	shared  bool  // members share an amount through decomposition slots (OpSharedRot)
 }
 
 // Compile analyzes a lowered program and produces its execution plan
@@ -446,14 +546,22 @@ func CompileWithOptions(params *bfv.Parameters, enc *bfv.Encoder, l *quill.Lower
 		dom = assignDomains(l, canon, deg, sched, nIn, output)
 	}
 
-	// Pass 4b: cross-source batching (see batch.go) — plain rotations
-	// sharing a canonical amount within a step window fuse into one
-	// OpBatchedRot group. Runs after domain assignment (it preserves
-	// every member's source and destination domain, so the assignment
-	// stays optimal for the same cost model) and is skipped for flat
-	// reference plans.
+	// Pass 4b/4c: rotation grouping across sources. Both passes run
+	// after domain assignment (each preserves every member's source and
+	// destination domain, so the assignment stays optimal for the same
+	// cost model) and are skipped for flat reference plans. The default
+	// is the sharing pass (share.go): fan groups dissolve and every
+	// rotation becomes a member of a per-amount OpSharedRot group that
+	// consumes a session decomposition slot — one decomposition per
+	// source for the whole plan. With DisableSharing the legacy
+	// batching pass (batch.go) runs instead, keeping the PR 7
+	// OpHoistedRot/OpBatchedRot shape.
 	if !opts.DisableHoisting && !opts.DisableBatching {
-		sched = batchRotations(l, canon, sched, nIn, norm, opts.BatchWindow)
+		if opts.DisableSharing {
+			sched = batchRotations(l, canon, sched, nIn, norm, opts.BatchWindow)
+		} else {
+			sched = shareRotations(l, canon, sched, nIn, norm, opts.BatchWindow)
+		}
 	}
 
 	// Pass 5: work-item construction. A value's home form carries the
@@ -500,7 +608,7 @@ func CompileWithOptions(params *bfv.Parameters, enc *bfv.Encoder, l *quill.Lower
 	for _, e := range sched {
 		in := l.Instrs[e.idx]
 		a := canon[in.A]
-		if e.batch {
+		if e.batch || e.shared {
 			it := workItem{e: e, aForm: a, bForm: -1, dstForm: -1}
 			for _, m := range e.members {
 				it.srcForms = append(it.srcForms, canon[l.Instrs[m].A])
@@ -547,6 +655,21 @@ func CompileWithOptions(params *bfv.Parameters, enc *bfv.Encoder, l *quill.Lower
 		}
 	}
 	last[outForm] = math.MaxInt
+
+	// Pass 6b: decomposition-slot liveness for shared groups. A source's
+	// slot is live from its Fresh member (first shared rotation in
+	// schedule order) to its last shared rotation, then returns to the
+	// free pool for a later source — the interval structure mirrors
+	// register liveness, keyed by source form (rotation members always
+	// read home forms).
+	lastShared := map[int]int{}
+	for t, it := range items {
+		if it.e.shared {
+			for _, f := range it.srcForms {
+				lastShared[f] = t
+			}
+		}
+	}
 
 	// Pass 7: linear-scan register allocation with in-place reuse. A
 	// register freed by an operand's last use is immediately available
@@ -610,6 +733,8 @@ func CompileWithOptions(params *bfv.Parameters, enc *bfv.Encoder, l *quill.Lower
 	}
 	constIdx := map[string]int{}
 	rotSet := map[int]bool{}
+	slotOf := map[int]int{} // source form → live decomposition slot
+	var freeSlots []int
 	for t, it := range items {
 		if it.conv {
 			op := OpINTT
@@ -624,6 +749,43 @@ func CompileWithOptions(params *bfv.Parameters, enc *bfv.Encoder, l *quill.Lower
 			continue
 		}
 		in := l.Instrs[it.e.idx]
+		if it.e.shared {
+			st := Step{Op: OpSharedRot, Pt: -1, Con: -1, Rot: norm(in.Rot)}
+			rotSet[st.Rot] = true
+			for i, m := range it.e.members {
+				f := it.srcForms[i]
+				slot, live := slotOf[f]
+				if !live { // first shared rotation of this source: fill a slot
+					if k := len(freeSlots); k > 0 {
+						slot = freeSlots[k-1]
+						freeSlots = freeSlots[:k-1]
+					} else {
+						slot = p.NumDecomps // NumDecomps ends at the peak
+						p.NumDecomps++
+					}
+					slotOf[f] = slot
+				}
+				reg := alloc(1, dom[nIn+m])
+				regOf[nIn+m] = reg
+				st.Shared = append(st.Shared, SharedSrc{Src: code(f), Dst: reg, Slot: slot, Fresh: !live})
+			}
+			st.A, st.Dst = st.Shared[0].Src, st.Shared[0].Dst
+			// Every member's source is read by the group (replays still
+			// read its c0); free source registers — and slots whose
+			// source just had its last shared rotation — only now that
+			// no member destination can have claimed one.
+			for _, f := range it.srcForms {
+				if lastShared[f] == t {
+					if s, live := slotOf[f]; live {
+						freeSlots = append(freeSlots, s)
+						delete(slotOf, f)
+					}
+				}
+				release(f, t)
+			}
+			p.Steps = append(p.Steps, st)
+			continue
+		}
 		if it.e.batch {
 			st := Step{Op: OpBatchedRot, Pt: -1, Con: -1, Rot: norm(in.Rot)}
 			rotSet[st.Rot] = true
@@ -797,9 +959,36 @@ func (p *ExecutionPlan) RegDomainOf(r int) Domain { return p.regDomain(r) }
 // mul-plain pays its operand transform per call instead.
 func (p *ExecutionPlan) ExternalTransforms() int {
 	c := 0
+	// c0Charged[s] tracks whether slot s's current fill already paid the
+	// forward transform of its source's c0 (cached on the slot by the
+	// first NTT-destined rotation, shared by every later one; reset when
+	// a Fresh member refills the slot).
+	c0Charged := make([]bool, p.NumDecomps)
 	for i := range p.Steps {
 		st := &p.Steps[i]
 		switch st.Op {
+		case OpSharedRot:
+			for _, m := range st.Shared {
+				srcNTT := p.codeDomain(m.Src) == DomNTT
+				if m.Fresh {
+					if srcNTT {
+						c++ // c1 leaves the evaluation domain for digit lifting
+					}
+					c0Charged[m.Slot] = false
+				}
+				switch {
+				case srcNTT:
+					// c0 already evaluation-domain; rotation is pure
+					// permuted inner products, output stays NTT.
+				case p.regDomain(m.Dst) == DomNTT:
+					if !c0Charged[m.Slot] {
+						c++ // the slot's cached c0 forward transform
+						c0Charged[m.Slot] = true
+					}
+				default:
+					c += 2 // the two accumulator inverse transforms
+				}
+			}
 		case OpHoistedRot:
 			if p.codeDomain(st.A) == DomNTT {
 				c++
@@ -959,7 +1148,58 @@ func (p *ExecutionPlan) Validate(params *bfv.Parameters) error {
 		if st.Op != OpBatchedRot && len(st.Batch) != 0 {
 			return bad("batch list on a non-batched step")
 		}
+		if st.Op != OpSharedRot && len(st.Shared) != 0 {
+			return bad("shared list on a non-shared step")
+		}
 		switch {
+		case st.Op == OpSharedRot:
+			// Singleton groups are legal: a multi-rotation source's
+			// amounts may each land in their own group, and every one
+			// past the first still replays the shared decomposition.
+			if len(st.Shared) < 1 {
+				return bad("shared group with no members")
+			}
+			if st.Rot == 0 || !rotDeclared[st.Rot] {
+				return bad(fmt.Sprintf("rotation %d not in declared set %v", st.Rot, p.Rotations))
+			}
+			rotUsed[st.Rot] = true
+			if st.A != st.Shared[0].Src || st.Dst != st.Shared[0].Dst {
+				return bad("shared step operands disagree with its first member")
+			}
+			srcSeen := map[int]bool{}
+			dstSeen := map[int]bool{}
+			for _, m := range st.Shared {
+				if m.Src < 0 || m.Src >= codes {
+					return bad(fmt.Sprintf("shared source code %d out of range", m.Src))
+				}
+				if m.Dst < 0 || m.Dst >= p.NumRegs {
+					return bad(fmt.Sprintf("shared destination register %d out of range", m.Dst))
+				}
+				if m.Slot < 0 || m.Slot >= p.NumDecomps {
+					return bad(fmt.Sprintf("decomposition slot %d outside the session's %d", m.Slot, p.NumDecomps))
+				}
+				if srcSeen[m.Src] {
+					return bad(fmt.Sprintf("duplicate shared source %d (same source and amount belong in one rotation)", m.Src))
+				}
+				srcSeen[m.Src] = true
+				if dstSeen[m.Dst] {
+					return bad(fmt.Sprintf("duplicate shared destination register %d", m.Dst))
+				}
+				dstSeen[m.Dst] = true
+				if p.codeDomain(m.Src) == DomNTT && p.regDomain(m.Dst) != DomNTT {
+					return bad(fmt.Sprintf("shared member rotates an NTT-resident source into coefficient register %d", m.Dst))
+				}
+			}
+			// The group reads every member's source; no member may write
+			// over any source.
+			for _, m := range st.Shared {
+				if p.IsInput(m.Src) {
+					continue
+				}
+				if dstSeen[p.Reg(m.Src)] {
+					return bad(fmt.Sprintf("shared destination register %d aliases a member source", p.Reg(m.Src)))
+				}
+			}
 		case st.Op == OpBatchedRot:
 			if len(st.Batch) < 2 {
 				return bad(fmt.Sprintf("batched group with %d members, want ≥ 2", len(st.Batch)))
@@ -1120,7 +1360,63 @@ func (p *ExecutionPlan) Validate(params *bfv.Parameters) error {
 	}
 	hoisted, _ := p.HoistedGroups()
 	batched, _ := p.BatchedGroups()
-	if want := min(hoisted+batched, 1); p.NumDecomps != want {
+	shared, _, _ := p.SharedGroups()
+	if shared > 0 && hoisted+batched > 0 {
+		return fmt.Errorf("plan: shared rotation groups mixed with %d hoisted+batched groups (one sharing discipline per plan)", hoisted+batched)
+	}
+	if shared > 0 {
+		// Every slot below the declared peak must be used, and the peak
+		// must cover every slot: NumDecomps is exactly maxSlot+1.
+		maxSlot := -1
+		slotUsed := make([]bool, p.NumDecomps)
+		for i := range p.Steps {
+			for _, m := range p.Steps[i].Shared {
+				if m.Slot > maxSlot {
+					maxSlot = m.Slot
+				}
+				slotUsed[m.Slot] = true
+			}
+		}
+		if p.NumDecomps != maxSlot+1 {
+			return fmt.Errorf("plan: %d decomposition slots declared, shared groups use %d", p.NumDecomps, maxSlot+1)
+		}
+		for s, used := range slotUsed {
+			if !used {
+				return fmt.Errorf("plan: decomposition slot %d declared but never used", s)
+			}
+		}
+		// Fill-state simulation: a replay member must find its source's
+		// digits resident — the slot filled by an earlier Fresh member
+		// of the SAME source, with the source's register untouched since
+		// (replays still read its c0 rows).
+		slotSrc := make([]int, p.NumDecomps)
+		for s := range slotSrc {
+			slotSrc[s] = -1
+		}
+		var wbuf [8]int
+		for i := range p.Steps {
+			st := &p.Steps[i]
+			if st.Op == OpSharedRot {
+				for _, m := range st.Shared {
+					if m.Fresh {
+						slotSrc[m.Slot] = m.Src
+					} else if slotSrc[m.Slot] != m.Src {
+						return fmt.Errorf("plan: step %d: shared member replays slot %d for source %d, but the slot holds %d",
+							i, m.Slot, m.Src, slotSrc[m.Slot])
+					}
+				}
+			}
+			// Any write to a resident source's register invalidates its
+			// slot: the digits no longer match the register's c0.
+			for _, r := range p.stepWrites(st, wbuf[:0]) {
+				for s := range slotSrc {
+					if slotSrc[s] == p.NumCtInputs+r {
+						slotSrc[s] = -1
+					}
+				}
+			}
+		}
+	} else if want := min(hoisted+batched, 1); p.NumDecomps != want {
 		return fmt.Errorf("plan: %d decomposition buffers declared, %d hoisted+batched groups need %d", p.NumDecomps, hoisted+batched, want)
 	}
 	if p.Out < 0 || p.Out >= codes {

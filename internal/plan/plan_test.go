@@ -38,6 +38,19 @@ func compile(t *testing.T, l *quill.Lowered) *ExecutionPlan {
 	return p
 }
 
+// compileLegacy compiles in the PR 7 shape (OpHoistedRot/OpBatchedRot
+// instead of double-hoisted OpSharedRot groups) for the tests that pin
+// the legacy step forms.
+func compileLegacy(t *testing.T, l *quill.Lowered) *ExecutionPlan {
+	t.Helper()
+	params, enc := testEnv(t)
+	p, err := CompileWithOptions(params, enc, l, Options{DisableSharing: true})
+	if err != nil {
+		t.Fatalf("CompileWithOptions: %v\n%s", err, l)
+	}
+	return p
+}
+
 // TestRegisterReuseChain checks that a long dependency chain runs in a
 // constant number of registers: each value dies feeding the next, so
 // in-place reuse needs just one buffer.
@@ -72,7 +85,7 @@ func TestRegisterReuseDiamond(t *testing.T) {
 		},
 		Output: 4,
 	}
-	p := compile(t, l)
+	p := compileLegacy(t, l)
 	// The two rotations of d fuse into one hoisted group. Every fan
 	// entry reads d (its c0 and hoisted digits), so neither may write
 	// over it: the fused form trades one register (d, l, r live

@@ -1,0 +1,403 @@
+package plan
+
+import (
+	"testing"
+
+	"porcupine/internal/baseline"
+	"porcupine/internal/quill"
+)
+
+// fanAcrossAmounts rotates one source by four distinct amounts — the
+// shape Pass 3 fuses into one hoisted group and the sharing pass
+// re-expresses as four per-amount groups replaying one decomposition.
+func fanAcrossAmounts() *quill.Lowered {
+	return &quill.Lowered{
+		VecLen: 1024, NumCtInputs: 1,
+		Instrs: []quill.LInstr{
+			{Op: quill.OpRotCt, Dst: 1, A: 0, Rot: 1},
+			{Op: quill.OpRotCt, Dst: 2, A: 0, Rot: 2},
+			{Op: quill.OpRotCt, Dst: 3, A: 0, Rot: 5},
+			{Op: quill.OpRotCt, Dst: 4, A: 0, Rot: -3},
+			{Op: quill.OpAddCtCt, Dst: 5, A: 1, B: 2},
+			{Op: quill.OpAddCtCt, Dst: 6, A: 5, B: 3},
+			{Op: quill.OpAddCtCt, Dst: 7, A: 6, B: 4},
+		},
+		Output: 7,
+	}
+}
+
+// meetProgram rotates two sources by the same two amounts, interleaved
+// — the shape where double-hoisting strictly beats both predecessors:
+// hoisting shares each source's decomposition across its two amounts
+// but resolves Galois state per rotation; batching shares Galois state
+// per amount but decomposes every member. Sharing does both: two
+// decompositions, two groups.
+func meetProgram() *quill.Lowered {
+	return &quill.Lowered{
+		VecLen: 1024, NumCtInputs: 2,
+		Instrs: []quill.LInstr{
+			{Op: quill.OpRotCt, Dst: 2, A: 0, Rot: 1},
+			{Op: quill.OpRotCt, Dst: 3, A: 1, Rot: 1},
+			{Op: quill.OpRotCt, Dst: 4, A: 0, Rot: 2},
+			{Op: quill.OpRotCt, Dst: 5, A: 1, Rot: 2},
+			{Op: quill.OpAddCtCt, Dst: 6, A: 2, B: 3},
+			{Op: quill.OpAddCtCt, Dst: 7, A: 4, B: 5},
+			{Op: quill.OpAddCtCt, Dst: 8, A: 6, B: 7},
+		},
+		Output: 8,
+	}
+}
+
+// TestSharedDetectionFanAcrossAmounts: a four-way fan becomes four
+// per-amount shared groups over ONE decomposition slot — the first
+// member fills it, the other three replay.
+func TestSharedDetectionFanAcrossAmounts(t *testing.T) {
+	p := compile(t, fanAcrossAmounts())
+	if g, r, rep := p.SharedGroups(); g != 4 || r != 4 || rep != 3 {
+		t.Fatalf("shared groups = %d (%d rotations, %d replayed), want 4 (4, 3)", g, r, rep)
+	}
+	if p.NumDecomps != 1 {
+		t.Errorf("NumDecomps = %d, want 1", p.NumDecomps)
+	}
+	if g, _ := p.HoistedGroups(); g != 0 {
+		t.Errorf("default compile still has %d hoisted groups", g)
+	}
+	fresh := 0
+	for i := range p.Steps {
+		st := &p.Steps[i]
+		if st.Op != OpSharedRot {
+			continue
+		}
+		if len(st.Shared) != 1 {
+			t.Fatalf("fan group has %d members, want 1 per amount", len(st.Shared))
+		}
+		m := st.Shared[0]
+		if m.Slot != 0 {
+			t.Errorf("member uses slot %d, want 0", m.Slot)
+		}
+		if st.A != m.Src || st.Dst != m.Dst {
+			t.Error("shared step head disagrees with its only member")
+		}
+		if m.Fresh {
+			fresh++
+		}
+	}
+	if fresh != 1 {
+		t.Errorf("%d fresh fills, want exactly 1 (the schedule-first amount)", fresh)
+	}
+	if err := p.Validate(testParams); err != nil {
+		t.Errorf("compiled shared plan fails validation: %v", err)
+	}
+}
+
+// TestSharedDetectionCrossSource: two once-rotated sources sharing an
+// amount fuse into one group — the batching win carried over. Each
+// member fills its own slot (nothing to replay).
+func TestSharedDetectionCrossSource(t *testing.T) {
+	p := compile(t, crossSourceProgram())
+	if g, r, rep := p.SharedGroups(); g != 1 || r != 2 || rep != 0 {
+		t.Fatalf("shared groups = %d (%d rotations, %d replayed), want 1 (2, 0)", g, r, rep)
+	}
+	if p.NumDecomps != 2 {
+		t.Errorf("NumDecomps = %d, want 2 (both members fill within one step)", p.NumDecomps)
+	}
+	for i := range p.Steps {
+		st := &p.Steps[i]
+		if st.Op != OpSharedRot {
+			continue
+		}
+		if st.Shared[0].Src == st.Shared[1].Src {
+			t.Error("shared members duplicate a source")
+		}
+		for _, m := range st.Shared {
+			if !m.Fresh {
+				t.Error("once-rotated member marked as a replay")
+			}
+		}
+	}
+	if err := p.Validate(testParams); err != nil {
+		t.Errorf("compiled shared plan fails validation: %v", err)
+	}
+}
+
+// TestSharedMeetOfHoistingAndBatching: two sources × two amounts give
+// two groups of two members over two slots — four rotations, two
+// decompositions, two Galois resolves. Neither hoisting (4 resolves)
+// nor batching (4 decompositions) reaches that count.
+func TestSharedMeetOfHoistingAndBatching(t *testing.T) {
+	p := compile(t, meetProgram())
+	if g, r, rep := p.SharedGroups(); g != 2 || r != 4 || rep != 2 {
+		t.Fatalf("shared groups = %d (%d rotations, %d replayed), want 2 (4, 2)", g, r, rep)
+	}
+	if p.NumDecomps != 2 {
+		t.Errorf("NumDecomps = %d, want 2", p.NumDecomps)
+	}
+	if d := p.DigitDecompositions(); d != 2 {
+		t.Errorf("DigitDecompositions = %d, want 2", d)
+	}
+	// The legacy compile fans each source (2 hoisted groups, also 2
+	// decompositions) but resolves Galois state once per rotation — 4
+	// resolves where sharing needs 2 (one per amount).
+	legacy := compileLegacy(t, meetProgram())
+	if hg, hr := legacy.HoistedGroups(); hg != 2 || hr != 4 {
+		t.Fatalf("legacy hoisted groups = %d (%d rotations), want 2 (4)", hg, hr)
+	}
+	if d := legacy.DigitDecompositions(); d != 2 {
+		t.Errorf("legacy compile decomposes %d times, want 2", d)
+	}
+	// The second group's members replay the slots the first filled, per
+	// source.
+	slotOf := map[int]int{}
+	for i := range p.Steps {
+		st := &p.Steps[i]
+		if st.Op != OpSharedRot {
+			continue
+		}
+		for _, m := range st.Shared {
+			if m.Fresh {
+				slotOf[m.Src] = m.Slot
+			} else if s, ok := slotOf[m.Src]; !ok || s != m.Slot {
+				t.Errorf("source %d replays slot %d, filled slot %d", m.Src, m.Slot, s)
+			}
+		}
+	}
+	if err := p.Validate(testParams); err != nil {
+		t.Errorf("compiled shared plan fails validation: %v", err)
+	}
+}
+
+// TestSharedSlotReuseAcrossLiveRanges: when a twice-rotated source
+// dies, its decomposition slot frees for the next twice-rotated
+// source — peak NumDecomps stays 1 across both live ranges.
+func TestSharedSlotReuseAcrossLiveRanges(t *testing.T) {
+	l := &quill.Lowered{
+		VecLen: 1024, NumCtInputs: 1,
+		Instrs: []quill.LInstr{
+			{Op: quill.OpRotCt, Dst: 1, A: 0, Rot: 1},
+			{Op: quill.OpRotCt, Dst: 2, A: 0, Rot: 2},
+			{Op: quill.OpAddCtCt, Dst: 3, A: 1, B: 2},
+			{Op: quill.OpRotCt, Dst: 4, A: 3, Rot: 1},
+			{Op: quill.OpRotCt, Dst: 5, A: 3, Rot: 2},
+			{Op: quill.OpAddCtCt, Dst: 6, A: 4, B: 5},
+		},
+		Output: 6,
+	}
+	p := compile(t, l)
+	if g, r, rep := p.SharedGroups(); g != 4 || r != 4 || rep != 2 {
+		t.Fatalf("shared groups = %d (%d rotations, %d replayed), want 4 (4, 2)", g, r, rep)
+	}
+	if p.NumDecomps != 1 {
+		t.Errorf("NumDecomps = %d, want 1 (disjoint live ranges share the slot)", p.NumDecomps)
+	}
+	if err := p.Validate(testParams); err != nil {
+		t.Errorf("compiled shared plan fails validation: %v", err)
+	}
+}
+
+// TestSharedOnceRotatedStaysPlain: a lone rotation of a once-rotated
+// source gains nothing from a slot and stays a plain serial step —
+// eligible for level-parallel execution.
+func TestSharedOnceRotatedStaysPlain(t *testing.T) {
+	l := &quill.Lowered{
+		VecLen: 1024, NumCtInputs: 1,
+		Instrs: []quill.LInstr{
+			{Op: quill.OpRotCt, Dst: 1, A: 0, Rot: 3},
+			{Op: quill.OpAddCtCt, Dst: 2, A: 1, B: 0},
+		},
+		Output: 2,
+	}
+	p := compile(t, l)
+	if g, _, _ := p.SharedGroups(); g != 0 {
+		t.Fatalf("lone rotation fused into %d shared groups", g)
+	}
+	if p.NumDecomps != 0 {
+		t.Errorf("NumDecomps = %d, want 0", p.NumDecomps)
+	}
+	plain := 0
+	for i := range p.Steps {
+		if p.Steps[i].Op == quill.OpRotCt {
+			plain++
+		}
+	}
+	if plain != 1 {
+		t.Errorf("%d plain rotation steps, want 1", plain)
+	}
+	if err := p.Validate(testParams); err != nil {
+		t.Errorf("compiled plan fails validation: %v", err)
+	}
+}
+
+// TestSharedKernelDecompositionsPinned pins the static digit-
+// decomposition counts on the eleven Porcupine kernels: the shared
+// compile strictly decreases the count on every multi-rotation kernel
+// and never exceeds the legacy (PR 7) compile anywhere. The identity
+// shared = flat − replayed ties the savings to the replay mechanism.
+func TestSharedKernelDecompositionsPinned(t *testing.T) {
+	params, enc := testEnv(t)
+	// flat → shared counts; equal entries are the reduction kernels
+	// whose rotations all read distinct once-rotated accumulators.
+	want := map[string][2]int{
+		"box-blur":              {3, 1},
+		"dot-product":           {3, 3},
+		"hamming-distance":      {2, 2},
+		"l2-distance":           {3, 3},
+		"linear-regression":     {1, 1},
+		"polynomial-regression": {0, 0},
+		"gx":                    {6, 1},
+		"gy":                    {6, 1},
+		"roberts-cross":         {3, 1},
+		"sobel":                 {8, 1},
+		"harris":                {17, 4},
+	}
+	for name, w := range want {
+		l, err := baseline.Lowered(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shared, err := Compile(params, enc, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat, err := CompileWithOptions(params, enc, l,
+			Options{DisableHoisting: true, DisableDomainAssignment: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy, err := CompileWithOptions(params, enc, l, Options{DisableSharing: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fd, sd := flat.DigitDecompositions(), shared.DigitDecompositions()
+		if fd != w[0] || sd != w[1] {
+			t.Errorf("%s: flat=%d shared=%d decompositions, want %d and %d", name, fd, sd, w[0], w[1])
+		}
+		if w[0] != w[1] && sd >= fd {
+			t.Errorf("%s: shared count %d does not strictly decrease from flat %d", name, sd, fd)
+		}
+		if ld := legacy.DigitDecompositions(); sd > ld {
+			t.Errorf("%s: shared count %d exceeds legacy %d", name, sd, ld)
+		}
+		if _, _, rep := shared.SharedGroups(); fd-rep != sd {
+			t.Errorf("%s: shared ≠ flat − replayed (%d ≠ %d − %d)", name, sd, fd, rep)
+		}
+	}
+}
+
+// TestValidateRejectsMalformedShared corrupts the shared-step
+// invariants — member lists, slot bookkeeping and the fill-state
+// replay contract — one at a time. The wire corruption matrix re-runs
+// the same rules through an encode/decode round trip.
+func TestValidateRejectsMalformedShared(t *testing.T) {
+	params, _ := testEnv(t)
+	sharedIdx := func(p *ExecutionPlan) int {
+		for i := range p.Steps {
+			if p.Steps[i].Op == OpSharedRot {
+				return i
+			}
+		}
+		t.Fatal("no shared step")
+		return -1
+	}
+	// meetProgram: two groups of two members, slots 0 and 1, the second
+	// group all replays — every invariant is expressible.
+	base := compile(t, meetProgram())
+	cases := []struct {
+		name   string
+		mutate func(p *ExecutionPlan)
+	}{
+		{"no-members", func(p *ExecutionPlan) { p.Steps[sharedIdx(p)].Shared = nil }},
+		{"dup-src", func(p *ExecutionPlan) {
+			st := &p.Steps[sharedIdx(p)]
+			st.Shared[1].Src = st.Shared[0].Src
+		}},
+		{"dup-dst", func(p *ExecutionPlan) {
+			st := &p.Steps[sharedIdx(p)]
+			st.Shared[1].Dst = st.Shared[0].Dst
+		}},
+		{"src-range", func(p *ExecutionPlan) {
+			p.Steps[sharedIdx(p)].Shared[1].Src = p.NumCtInputs + p.NumRegs
+		}},
+		{"dst-range", func(p *ExecutionPlan) { p.Steps[sharedIdx(p)].Shared[1].Dst = p.NumRegs }},
+		{"slot-range", func(p *ExecutionPlan) { p.Steps[sharedIdx(p)].Shared[1].Slot = p.NumDecomps }},
+		{"head-mismatch", func(p *ExecutionPlan) {
+			st := &p.Steps[sharedIdx(p)]
+			st.Dst = st.Shared[1].Dst
+		}},
+		{"rot-undeclared", func(p *ExecutionPlan) { p.Steps[sharedIdx(p)].Rot = 777 }},
+		{"dst-aliases-src", func(p *ExecutionPlan) {
+			st := &p.Steps[sharedIdx(p)]
+			st.Shared[1].Src = p.NumCtInputs + st.Shared[0].Dst
+		}},
+		{"shared-on-plain", func(p *ExecutionPlan) {
+			for i := range p.Steps {
+				if p.Steps[i].Op != OpSharedRot {
+					p.Steps[i].Shared = []SharedSrc{{Src: 0, Dst: 0, Slot: 0, Fresh: true}}
+					return
+				}
+			}
+		}},
+		{"mixed-with-batched", func(p *ExecutionPlan) {
+			// Rewriting one group as a legacy batched step leaves the
+			// plan carrying both forms, which no executor generation
+			// understands together.
+			st := &p.Steps[sharedIdx(p)]
+			st.Op = OpBatchedRot
+			for _, m := range st.Shared {
+				st.Batch = append(st.Batch, BatchedSrc{Src: m.Src, Dst: m.Dst})
+			}
+			st.Shared = nil
+		}},
+		{"replay-before-fill", func(p *ExecutionPlan) {
+			p.Steps[sharedIdx(p)].Shared[0].Fresh = false
+		}},
+		{"replay-wrong-slot", func(p *ExecutionPlan) {
+			// Swap the replaying group's slots: each member now replays
+			// the OTHER source's digits.
+			last := -1
+			for i := range p.Steps {
+				if p.Steps[i].Op == OpSharedRot {
+					last = i
+				}
+			}
+			st := &p.Steps[last]
+			st.Shared[0].Slot, st.Shared[1].Slot = st.Shared[1].Slot, st.Shared[0].Slot
+		}},
+		{"numdecomps-zero", func(p *ExecutionPlan) { p.NumDecomps = 0 }},
+		{"numdecomps-inflated", func(p *ExecutionPlan) { p.NumDecomps++ }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p2 := *base
+			p2.Steps = append([]Step(nil), base.Steps...)
+			for i := range p2.Steps {
+				p2.Steps[i].Shared = append([]SharedSrc(nil), base.Steps[i].Shared...)
+				p2.Steps[i].Batch = append([]BatchedSrc(nil), base.Steps[i].Batch...)
+			}
+			p2.Rotations = append([]int(nil), base.Rotations...)
+			c.mutate(&p2)
+			if err := p2.Validate(params); err == nil {
+				t.Error("malformed shared plan validated")
+			}
+		})
+	}
+}
+
+// TestSharedDisabledMatchesLegacy: DisableSharing reproduces the PR 7
+// pipeline exactly — hoisted and batched steps, one decomposition
+// buffer, no shared lists anywhere.
+func TestSharedDisabledMatchesLegacy(t *testing.T) {
+	for _, l := range []*quill.Lowered{fanAcrossAmounts(), crossSourceProgram(), meetProgram()} {
+		p := compileLegacy(t, l)
+		if g, _, _ := p.SharedGroups(); g != 0 {
+			t.Errorf("legacy compile has %d shared groups", g)
+		}
+		hg, _ := p.HoistedGroups()
+		bg, _ := p.BatchedGroups()
+		if hg+bg == 0 {
+			t.Errorf("legacy compile of a fusable program has no hoisted or batched groups")
+		}
+		if err := p.Validate(testParams); err != nil {
+			t.Errorf("legacy plan fails validation: %v", err)
+		}
+	}
+}

@@ -83,7 +83,7 @@ func TestValidateRejectsMalformed(t *testing.T) {
 // expressible).
 func hoistedPlan(t *testing.T) *ExecutionPlan {
 	t.Helper()
-	p := compile(t, &quill.Lowered{
+	p := compileLegacy(t, &quill.Lowered{
 		VecLen: 1024, NumCtInputs: 1,
 		Instrs: []quill.LInstr{
 			{Op: quill.OpAddCtCt, Dst: 1, A: 0, B: 0},

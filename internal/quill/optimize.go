@@ -16,9 +16,16 @@ import (
 //     output);
 //   - rotation-of-rotation folding (rot(rot(x, a), b) = rot(x, a+b)),
 //     which can appear after stitching segments;
-//   - tree reduction (treereduce.go): serial slot-reduction chains are
-//     re-associated into log-depth rotate-and-add trees whenever that
-//     strictly lowers the rotation count.
+//   - reduction reshaping (treereduce.go): serial slot-reduction
+//     chains are re-associated into decompose-once rotation fans or
+//     log-depth rotate-and-add trees, whichever strictly lowers the
+//     static key-switch cost (decompositions weighted over rotations);
+//   - chain interleaving (interleaveSchedule): independent reduction
+//     chains are reordered into dependency-level order so rotations
+//     from different accumulators land in the same schedule window,
+//     grouped by amount — feeding the plan layer's cross-source
+//     batching and decomposition-sharing passes, which only look
+//     within bounded schedule windows.
 //
 // The paper's single-kernel lowering already shares rotations (§4.4);
 // this pass extends that guarantee to composed programs, an extension
@@ -42,10 +49,96 @@ func OptimizeLowered(l *Lowered) (*Lowered, error) {
 			return nil, err
 		}
 		if !treeChanged {
-			return next, nil
+			// Fixpoint reached; interleave once on the way out.
+			// Levelized order is itself a fixpoint of the sort, so a
+			// second OptimizeLowered pass leaves the program unchanged.
+			return interleaveSchedule(next)
 		}
 		cur = tree
 	}
+}
+
+// interleaveSchedule reorders instructions into dependency-level order
+// (an instruction's level is one past the deepest level among its
+// operands), with each level's rotations first — grouped by rotation
+// amount — and its remaining instructions after. Independent reduction
+// chains written sequentially at lowering time thus emit their
+// same-level rotations adjacently, which is what lets the plan
+// compiler's windowed batching (Pass 4b) and decomposition-sharing
+// passes fuse across chains instead of only within one chain's leaf
+// level. The reorder is a pure topological permutation: every operand
+// sits at a strictly smaller level than its consumer, so semantics and
+// the instruction multiset are untouched.
+func interleaveSchedule(l *Lowered) (*Lowered, error) {
+	level := make([]int, l.NumValues())
+	type skey struct{ level, cls, amt, idx int }
+	keys := make([]skey, len(l.Instrs))
+	for idx, in := range l.Instrs {
+		lv := level[in.A]
+		if in.Op.IsCtCt() && level[in.B] > lv {
+			lv = level[in.B]
+		}
+		lv++
+		level[in.Dst] = lv
+		k := skey{level: lv, cls: 1, idx: idx}
+		if in.Op == OpRotCt {
+			k.cls, k.amt = 0, in.Rot
+		}
+		keys[idx] = k
+	}
+	order := make([]int, len(l.Instrs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := keys[order[i]], keys[order[j]]
+		if a.level != b.level {
+			return a.level < b.level
+		}
+		if a.cls != b.cls {
+			return a.cls < b.cls
+		}
+		if a.amt != b.amt {
+			return a.amt < b.amt
+		}
+		return a.idx < b.idx
+	})
+	same := true
+	for i, idx := range order {
+		if idx != i {
+			same = false
+			break
+		}
+	}
+	if same {
+		return l, nil
+	}
+	out := &Lowered{
+		VecLen:      l.VecLen,
+		NumCtInputs: l.NumCtInputs,
+		NumPtInputs: l.NumPtInputs,
+	}
+	remap := make([]int, l.NumValues())
+	for i := 0; i < l.NumCtInputs; i++ {
+		remap[i] = i
+	}
+	next := l.NumCtInputs
+	for _, idx := range order {
+		in := l.Instrs[idx]
+		in.A = remap[in.A]
+		if in.Op.IsCtCt() {
+			in.B = remap[in.B]
+		}
+		remap[l.Instrs[idx].Dst] = next
+		in.Dst = next
+		next++
+		out.Instrs = append(out.Instrs, in)
+	}
+	out.Output = remap[l.Output]
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("quill: interleave produced invalid program: %w", err)
+	}
+	return out, nil
 }
 
 // cseKey canonicalizes an instruction for value numbering.

@@ -2,8 +2,10 @@ package quill
 
 import "sort"
 
-// treereduce.go rewrites serial slot-reduction chains into log-depth
-// rotate-and-add trees.
+// treereduce.go rewrites serial slot-reduction chains into the
+// cheapest key-switch shape: a decompose-once rotation FAN off the
+// base value for narrow windows, or a log-depth doubling TREE for wide
+// ones.
 //
 // A slot reduction accumulates a contiguous window of rotations of one
 // value,
@@ -14,19 +16,31 @@ import "sort"
 // lowers to a serial fan-out-1 chain: m−1 rotations, each of a
 // DIFFERENT source, so neither rotation CSE, the plan hoister (every
 // fan-out is 1), nor domain assignment (each rotation ends a chain)
-// can touch it. The rewrite re-associates the same sum into the
-// doubling tree
+// can touch it. The rewrite re-associates the same sum into one of two
+// shapes:
 //
-//	t = x + rot(x, 1); t = t + rot(t, 2); t = t + rot(t, 4); ...
+//	fan:  acc = Σ_i rot(x, c+i)              — m rotations, ONE source
+//	tree: t = x + rot(x, 1); t = t + rot(t, 2); t = t + rot(t, 4); ...
+//	                                         — ⌈log m⌉ rotations, each
+//	                                           of a DIFFERENT source
 //
-// which needs only O(log m) rotations and O(log m) sequential
-// rotate-and-add levels (cutting the serial chain's noise growth too,
-// since EstimateNoise charges every rotation and addition one bit of
-// depth). Parallel reductions over different sources come out of the
-// rewrite with level-aligned rotation amounts, which is exactly the
-// shape the plan layer's cross-source batched key switching fuses.
+// The shapes trade the two halves of a key-switch against each other:
+// every distinct rotated source needs one RNS digit decomposition
+// (digit lift + forward NTTs — the expensive, hoistable prefix), while
+// each rotation amount then costs only a digit permutation + lazy
+// inner product against that shared decomposition. ksCost models this
+// as decompCost per source + 1 per rotation; the rewrite emits
+// whichever shape is cheaper. Fans win for the narrow windows real
+// kernels have (one decomposition feeds every amount — the
+// double-hoisted shape internal/plan's sharing pass executes from one
+// decomposition slot), trees win asymptotically. Both shapes cut the
+// serial chain's noise growth too, since EstimateNoise charges every
+// rotation and addition one bit of depth and both have O(log m) add
+// depth. Parallel reductions over different sources come out
+// level-aligned, which is exactly the shape the plan layer's
+// cross-source batched key switching fuses.
 //
-// Exactness: the rewrite preserves the multiset of LITERAL rotation
+// Exactness: either rewrite preserves the multiset of LITERAL rotation
 // offsets applied to the base value — it only re-associates the
 // additions. Slot addition is associative and commutative in the
 // plaintext ring on both the abstract machine and the HE backend, and
@@ -115,13 +129,51 @@ func (l *Lowered) RotationCount() int {
 	return c
 }
 
+// decompCost is the static cost of one RNS digit decomposition
+// relative to one shared-decomposition rotation apply. In the
+// NTT-domain evaluator the decomposition (digit lift + K forward NTTs
+// + the c1 INTT) costs several NTT passes while the per-amount apply
+// is pure pointwise work, so a decomposition is worth roughly four
+// applies; the exact constant only moves the fan/tree cutover
+// (m ≈ 20+), far above real kernel windows.
+const decompCost = 4
+
+// ksCost is the static key-switch cost of a program under the
+// double-hoisted execution model: one digit decomposition per DISTINCT
+// rotation source plus one automorphism apply per rotation.
+func ksCost(l *Lowered) int {
+	srcs := map[int]bool{}
+	rots := 0
+	for _, in := range l.Instrs {
+		if in.Op == OpRotCt {
+			rots++
+			srcs[in.A] = true
+		}
+	}
+	return decompCost*len(srcs) + rots
+}
+
+// DecompositionCount returns the number of distinct rotation sources —
+// the static count of digit decompositions a double-hoisted plan needs
+// for the program's rotations.
+func (l *Lowered) DecompositionCount() int {
+	srcs := map[int]bool{}
+	for _, in := range l.Instrs {
+		if in.Op == OpRotCt {
+			srcs[in.A] = true
+		}
+	}
+	return len(srcs)
+}
+
 // TreeReduceLowered rewrites serial slot-reduction chains in l into
-// log-depth rotate-and-add trees and returns the rewritten (and
-// CSE/DCE-cleaned) program plus whether anything changed. A candidate
-// chain is rewritten only when doing so strictly reduces the program's
-// rotation count, so programs already in tree form — and chains whose
-// partial sums have other consumers — pass through unchanged.
-// OptimizeLowered runs this as part of its fixpoint.
+// the cheaper of a decompose-once rotation fan or a log-depth
+// rotate-and-add tree, and returns the rewritten (and CSE/DCE-cleaned)
+// program plus whether anything changed. A candidate chain is
+// rewritten only when doing so strictly reduces the program's static
+// key-switch cost (ksCost), so programs already in optimal shape — and
+// chains whose partial sums have other consumers — pass through
+// unchanged. OptimizeLowered runs this as part of its fixpoint.
 func TreeReduceLowered(l *Lowered) (*Lowered, bool, error) {
 	if err := l.Validate(); err != nil {
 		return nil, false, err
@@ -160,9 +212,12 @@ func cseDce(l *Lowered) (*Lowered, error) {
 }
 
 // treeReduceOnce finds the best reduction chain whose rewrite strictly
-// lowers the rotation count, applies it, and returns the cleaned
-// program. l must already be CSE/DCE-clean so rotation counts compare
-// like with like.
+// lowers the static key-switch cost, applies it, and returns the
+// cleaned program. Both shapes (fan and tree) are tried for every
+// candidate and compared on the CLEANED whole-program cost, so a fan
+// whose base is already rotated elsewhere correctly pays no second
+// decomposition. l must already be CSE/DCE-clean so costs compare like
+// with like.
 func treeReduceOnce(l *Lowered) (*Lowered, bool, error) {
 	descs := reduceDescriptors(l)
 	type candidate struct{ idx, base, start, m int }
@@ -187,29 +242,38 @@ func treeReduceOnce(l *Lowered) (*Lowered, bool, error) {
 		}
 		return cands[i].idx < cands[j].idx
 	})
-	before := l.RotationCount()
+	before := ksCost(l)
 	for _, c := range cands {
-		rw, err := rewriteReduction(l, c.idx, c.base, c.start, c.m)
-		if err != nil {
-			return nil, false, err
+		var best *Lowered
+		bestCost := before
+		for _, fan := range []bool{true, false} {
+			rw, err := rewriteReduction(l, c.idx, c.base, c.start, c.m, fan)
+			if err != nil {
+				return nil, false, err
+			}
+			cleaned, err := cseDce(rw)
+			if err != nil {
+				return nil, false, err
+			}
+			if cost := ksCost(cleaned); cost < bestCost {
+				best, bestCost = cleaned, cost
+			}
 		}
-		cleaned, err := cseDce(rw)
-		if err != nil {
-			return nil, false, err
-		}
-		if cleaned.RotationCount() < before {
-			return cleaned, true, nil
+		if best != nil {
+			return best, true, nil
 		}
 	}
 	return l, false, nil
 }
 
 // rewriteReduction rebuilds l with the instruction at candIdx replaced
-// by rot(base, start) (when start ≠ 0) followed by the canonical
-// doubling tree over a window of width m. The chain's intermediate
-// instructions are left in place for DCE to collect — if any of them
-// has another consumer it simply survives.
-func rewriteReduction(l *Lowered, candIdx, base, start, m int) (*Lowered, error) {
+// by the requested reduction shape over a window of width m starting
+// at offset `start`: the decompose-once fan (every offset rotated
+// directly off the base, summed by a balanced add tree) or the
+// canonical doubling tree prefixed by rot(base, start) when start ≠ 0.
+// The chain's intermediate instructions are left in place for DCE to
+// collect — if any of them has another consumer it simply survives.
+func rewriteReduction(l *Lowered, candIdx, base, start, m int, fan bool) (*Lowered, error) {
 	out := &Lowered{VecLen: l.VecLen, NumCtInputs: l.NumCtInputs, NumPtInputs: l.NumPtInputs}
 	remap := make([]int, l.NumValues())
 	for i := 0; i < l.NumCtInputs; i++ {
@@ -225,10 +289,14 @@ func rewriteReduction(l *Lowered, candIdx, base, start, m int) (*Lowered, error)
 	for idx, in := range l.Instrs {
 		if idx == candIdx {
 			b := remap[base]
-			if start != 0 {
-				b = emit(LInstr{Op: OpRotCt, A: b, Rot: start})
+			if fan {
+				remap[in.Dst] = emitFan(emit, b, start, m)
+			} else {
+				if start != 0 {
+					b = emit(LInstr{Op: OpRotCt, A: b, Rot: start})
+				}
+				remap[in.Dst] = emitTree(emit, b, m)
 			}
-			remap[in.Dst] = emitTree(emit, b, m)
 			continue
 		}
 		ni := in
@@ -243,6 +311,35 @@ func rewriteReduction(l *Lowered, candIdx, base, start, m int) (*Lowered, error)
 		return nil, err
 	}
 	return out, nil
+}
+
+// emitFan emits instructions computing Σ_{k=0}^{m-1} rot(b, start+k)
+// with every rotation taken DIRECTLY off the base value — one digit
+// decomposition feeds all m amounts under double-hoisted execution —
+// followed by a balanced pairwise add tree (O(log m) add depth, same
+// as the doubling tree, so the noise estimate does not regress). The
+// literal offset start+k is emitted as-is; offset 0 contributes the
+// base itself.
+func emitFan(emit func(LInstr) int, b, start, m int) int {
+	terms := make([]int, 0, m)
+	for k := 0; k < m; k++ {
+		if start+k == 0 {
+			terms = append(terms, b)
+		} else {
+			terms = append(terms, emit(LInstr{Op: OpRotCt, A: b, Rot: start + k}))
+		}
+	}
+	for len(terms) > 1 {
+		var half []int
+		for i := 0; i+1 < len(terms); i += 2 {
+			half = append(half, emit(LInstr{Op: OpAddCtCt, A: terms[i], B: terms[i+1]}))
+		}
+		if len(terms)%2 == 1 {
+			half = append(half, terms[len(terms)-1])
+		}
+		terms = half
+	}
+	return terms[0]
 }
 
 // emitTree emits instructions computing Σ_{k=0}^{m-1} rot(b, k) with

@@ -69,57 +69,65 @@ func checkSameFunction(t *testing.T, a, b *Lowered, seed int64) {
 }
 
 func TestTreeReduceRewritesSerialChain(t *testing.T) {
-	// Width, expected tree rotation count: R(2)=1; even m: R(m/2)+1;
-	// odd m: R(m-1)+1.
-	cases := []struct{ m, wantRots int }{
-		{4, 2}, {8, 3}, {16, 4},
-		{5, 3}, {6, 3}, {7, 4}, {12, 4}, // non-power-of-two widths
-	}
-	for _, c := range cases {
-		serial := serialChain(16, 0, c.m)
-		if got := serial.RotationCount(); got != c.m-1 {
-			t.Fatalf("m=%d: serial chain has %d rotations, want %d", c.m, got, c.m-1)
+	// At kernel-sized windows the decompose-once fan wins the ksCost
+	// comparison: m-1 rotations, but every one off the SAME base, so a
+	// double-hoisted plan needs exactly one digit decomposition (the
+	// serial chain needs m-1).
+	for _, m := range []int{4, 8, 16, 5, 6, 7, 12} {
+		serial := serialChain(16, 0, m)
+		if got := serial.RotationCount(); got != m-1 {
+			t.Fatalf("m=%d: serial chain has %d rotations, want %d", m, got, m-1)
 		}
-		tree, changed, err := TreeReduceLowered(serial)
+		if got := serial.DecompositionCount(); got != m-1 {
+			t.Fatalf("m=%d: serial chain has %d rotation sources, want %d", m, got, m-1)
+		}
+		fan, changed, err := TreeReduceLowered(serial)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !changed {
-			t.Fatalf("m=%d: serial chain not rewritten", c.m)
+			t.Fatalf("m=%d: serial chain not rewritten", m)
 		}
-		if got := tree.RotationCount(); got != c.wantRots {
-			t.Errorf("m=%d: tree has %d rotations, want %d\n%s", c.m, got, c.wantRots, tree)
+		if got := fan.RotationCount(); got != m-1 {
+			t.Errorf("m=%d: fan has %d rotations, want %d\n%s", m, got, m-1, fan)
 		}
-		if tree.Depth() >= serial.Depth() && c.m > 4 {
-			t.Errorf("m=%d: tree depth %d not below serial depth %d", c.m, tree.Depth(), serial.Depth())
+		if got := fan.DecompositionCount(); got != 1 {
+			t.Errorf("m=%d: fan has %d rotation sources, want 1\n%s", m, got, fan)
 		}
-		checkSameFunction(t, serial, tree, int64(c.m))
+		if fan.Depth() >= serial.Depth() && m > 4 {
+			t.Errorf("m=%d: fan depth %d not below serial depth %d", m, fan.Depth(), serial.Depth())
+		}
+		checkSameFunction(t, serial, fan, int64(m))
 	}
 }
 
 func TestTreeReduceShiftedWindow(t *testing.T) {
-	// Offsets {3..10}: the rewrite must emit rot(base, 3) before the
-	// tree and keep every offset literal — on a zero-padded row the
-	// window reaches past the program vector, so any mod-VecLen
-	// normalization would be observable.
+	// Offsets {3..10}: the fan rotates the base DIRECTLY by each
+	// literal offset (no rot(base, 3) prefix, which would add a second
+	// decomposition source), and every offset stays literal — on a
+	// zero-padded row the window reaches past the program vector, so
+	// any mod-VecLen normalization would be observable.
 	serial := serialChain(8, 3, 8)
-	tree, changed, err := TreeReduceLowered(serial)
+	fan, changed, err := TreeReduceLowered(serial)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !changed {
 		t.Fatal("shifted chain not rewritten")
 	}
-	if got, want := tree.RotationCount(), 4; got != want { // start rot + {1,2,4}
-		t.Errorf("tree has %d rotations, want %d\n%s", got, want, tree)
+	if got, want := fan.RotationCount(), 8; got != want { // one per offset {3..10}
+		t.Errorf("fan has %d rotations, want %d\n%s", got, want, fan)
 	}
-	checkSameFunction(t, serial, tree, 11)
+	if got, want := fan.DecompositionCount(), 1; got != want {
+		t.Errorf("fan has %d rotation sources, want %d\n%s", got, want, fan)
+	}
+	checkSameFunction(t, serial, fan, 11)
 }
 
-func TestTreeReduceLeavesLogDepthAlone(t *testing.T) {
-	// A program already in tree form must pass through unchanged: the
-	// rewrite only fires when it strictly lowers the rotation count.
-	l := &Lowered{VecLen: 8, NumCtInputs: 1}
+// doublingTree builds the canonical doubling tree Σ rot(input, k) over
+// a power-of-two window: acc += rot(acc, k) for k in ks.
+func doublingTree(vecLen int, ks []int) *Lowered {
+	l := &Lowered{VecLen: vecLen, NumCtInputs: 1}
 	next := 1
 	emit := func(in LInstr) int {
 		in.Dst = next
@@ -128,17 +136,82 @@ func TestTreeReduceLeavesLogDepthAlone(t *testing.T) {
 		return in.Dst
 	}
 	acc := 0
-	for _, k := range []int{1, 2, 4} {
+	for _, k := range ks {
 		r := emit(LInstr{Op: OpRotCt, A: acc, Rot: k})
 		acc = emit(LInstr{Op: OpAddCtCt, A: acc, B: r})
 	}
 	l.Output = acc
-	tree, changed, err := TreeReduceLowered(l)
+	return l
+}
+
+func TestTreeReduceWideTreeGoesHybrid(t *testing.T) {
+	// A wide window (m=32) is past the pure-fan cutover: a fan's
+	// 1 decomposition + 31 rotations would COST MORE than the doubling
+	// tree's 5 + 5, so the full-window fan is rejected — but the
+	// pass still reshapes the tree's inner half-window into a fan,
+	// converging on a baby-step/giant-step hybrid (fan of 16 offsets
+	// off the base, one doubling level of 16 on top): 16 rotations,
+	// 2 decomposition sources, strictly cheaper than both pure shapes.
+	l := doublingTree(32, []int{1, 2, 4, 8, 16})
+	hybrid, changed, err := TreeReduceLowered(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("wide tree not reshaped")
+	}
+	if got, want := hybrid.RotationCount(), 16; got != want {
+		t.Errorf("hybrid has %d rotations, want %d\n%s", got, want, hybrid)
+	}
+	if got, want := hybrid.DecompositionCount(), 2; got != want {
+		t.Errorf("hybrid has %d rotation sources, want %d\n%s", got, want, hybrid)
+	}
+	checkSameFunction(t, l, hybrid, 23)
+	// The hybrid is the greedy fixpoint: a second run must be a no-op.
+	again, changed, err := TreeReduceLowered(hybrid)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if changed {
-		t.Fatalf("log-depth tree was rewritten:\n%s", tree)
+		t.Fatalf("hybrid fixpoint was rewritten again:\n%s", again)
+	}
+}
+
+func TestTreeReduceReshapesSmallTreeToFan(t *testing.T) {
+	// A narrow doubling tree (m=8: 3 rotations of 3 DIFFERENT sources)
+	// costs more key-switch work than the decompose-once fan (7
+	// rotations of ONE source), so the pass re-reshapes it — this is
+	// the decomposition-count win double-hoisted execution feeds on.
+	l := doublingTree(8, []int{1, 2, 4})
+	fan, changed, err := TreeReduceLowered(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("small tree not reshaped into a fan")
+	}
+	if got, want := fan.RotationCount(), 7; got != want {
+		t.Errorf("fan has %d rotations, want %d\n%s", got, want, fan)
+	}
+	if got, want := fan.DecompositionCount(), 1; got != want {
+		t.Errorf("fan has %d rotation sources, want %d\n%s", got, want, fan)
+	}
+	checkSameFunction(t, l, fan, 17)
+}
+
+func TestTreeReduceFanAlreadyOptimal(t *testing.T) {
+	// A program already in fan form must pass through unchanged.
+	serial := serialChain(16, 0, 8)
+	fan, _, err := TreeReduceLowered(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, changed, err := TreeReduceLowered(fan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Fatalf("optimal fan was rewritten:\n%s", again)
 	}
 }
 
@@ -170,13 +243,17 @@ func TestTreeReduceKeepsLivePartialSums(t *testing.T) {
 }
 
 func TestOptimizeLoweredRunsTreeReduction(t *testing.T) {
-	// The default optimization pipeline must emit the tree on its own.
+	// The default optimization pipeline must emit the decompose-once
+	// fan on its own: 7 rotations, but a single rotation source.
 	opt, err := OptimizeLowered(serialChain(8, 0, 8))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got, want := opt.RotationCount(), 3; got != want {
+	if got, want := opt.RotationCount(), 7; got != want {
 		t.Errorf("OptimizeLowered left %d rotations, want %d\n%s", got, want, opt)
+	}
+	if got, want := opt.DecompositionCount(), 1; got != want {
+		t.Errorf("OptimizeLowered left %d rotation sources, want %d\n%s", got, want, opt)
 	}
 }
 

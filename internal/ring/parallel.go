@@ -79,9 +79,9 @@ type TaskRunner interface {
 type parOp struct {
 	kind opKind
 
-	r     *Ring
-	be    *BasisExtender
-	tr    TaskRunner
+	r    *Ring
+	be   *BasisExtender
+	tr   TaskRunner
 	dst  *Poly
 	a, b *Poly
 	src  *Poly

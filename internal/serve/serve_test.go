@@ -78,8 +78,8 @@ func newFixture(t *testing.T) *fixture {
 }
 
 // TestBackpressureAndDrainHoisted drives the scheduler with
-// hoisted-plan requests (rotation fan-out groups — the session path
-// that shares one decomposition scratch) through a deliberately tiny
+// shared-rotation requests (the session path that keeps decomposition
+// scratch in per-session slots) through a deliberately tiny
 // admission queue, and checks the two bounded-queue contracts:
 //
 //   - backpressure: producers block in Do once the queue fills, so
@@ -109,8 +109,8 @@ func TestBackpressureAndDrainHoisted(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := plans[0]
-	if g, _ := p.HoistedGroups(); g != 1 {
-		t.Fatalf("expected a hoisted plan, got %d groups", g)
+	if g, _, _ := p.SharedGroups(); g == 0 {
+		t.Fatalf("expected a plan with shared rotation groups, got %d", g)
 	}
 	rng := rand.New(rand.NewSource(6))
 	v := make(quill.Vec, l.VecLen)

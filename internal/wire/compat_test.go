@@ -1,6 +1,7 @@
 package wire_test
 
 import (
+	"crypto/sha256"
 	"errors"
 	"math/rand"
 	"testing"
@@ -12,6 +13,19 @@ import (
 	"porcupine/internal/serve"
 	"porcupine/internal/wire"
 )
+
+// legacyPlan compiles l in the PR 7 shape (hoisted/batched steps, no
+// shared groups) — the newest plan form the v1–v5 layouts can carry.
+// The compat tests that fabricate ≤v5 artifacts pin against this shape;
+// default compiles now produce shared groups, which need v6.
+func legacyPlan(t *testing.T, ctx *backend.Context, l *quill.Lowered) *plan.ExecutionPlan {
+	t.Helper()
+	p, err := plan.CompileWithOptions(ctx.Params, ctx.Encoder, l, plan.Options{DisableSharing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
 
 // fanOutProgram rotates one source four distinct ways — the shape the
 // v2 planner fuses into a hoisted group, and the shape a v1 exporter
@@ -44,6 +58,7 @@ func TestV1BundleStillLoadsAndRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	plans[0] = legacyPlan(t, ctx, l)
 	hoisted := plans[0]
 	if g, r := hoisted.HoistedGroups(); g != 1 || r != 4 {
 		t.Fatalf("hoisted plan has %d groups / %d rotations, want 1 / 4", g, r)
@@ -121,6 +136,7 @@ func TestHoistedPlanNeedsV2(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	plans[0] = legacyPlan(t, ctx, l)
 	b, err := serve.Export(ctx, "compat-test", plans[0], nil)
 	if err != nil {
 		t.Fatal(err)
@@ -142,6 +158,7 @@ func TestFanCorruptionRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	plans[0] = legacyPlan(t, ctx, l)
 	base, err := serve.Export(ctx, "compat-test", plans[0], nil)
 	if err != nil {
 		t.Fatal(err)
@@ -208,7 +225,7 @@ func TestV2BundleStillLoadsAndRuns(t *testing.T) {
 	// A v2-era exporter hoisted but kept every register in the
 	// coefficient domain.
 	unassigned, err := plan.CompileWithOptions(ctx.Params, ctx.Encoder, l,
-		plan.Options{DisableDomainAssignment: true})
+		plan.Options{DisableDomainAssignment: true, DisableSharing: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,6 +295,7 @@ func TestDomainPlanNeedsV3(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	plans[0] = legacyPlan(t, ctx, l)
 	b, err := serve.Export(ctx, "compat-test", plans[0], nil)
 	if err != nil {
 		t.Fatal(err)
@@ -322,6 +340,7 @@ func TestDomainCorruptionRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	plans[0] = legacyPlan(t, ctx, l)
 	base, err := serve.Export(ctx, "compat-test", plans[0], nil)
 	if err != nil {
 		t.Fatal(err)
@@ -407,6 +426,7 @@ func TestV3BundleStillLoadsAndRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	plans[0] = legacyPlan(t, ctx, l)
 	batched := plans[0]
 	if g, r := batched.BatchedGroups(); g != 1 || r != 2 {
 		t.Fatalf("batched plan has %d groups / %d rotations, want 1 / 2", g, r)
@@ -493,6 +513,7 @@ func TestBatchedPlanNeedsV4(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	plans[0] = legacyPlan(t, ctx, l)
 	b, err := serve.Export(ctx, "compat-test", plans[0], nil)
 	if err != nil {
 		t.Fatal(err)
@@ -533,6 +554,7 @@ func TestBatchCorruptionRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	plans[0] = legacyPlan(t, ctx, l)
 	base, err := serve.Export(ctx, "compat-test", plans[0], nil)
 	if err != nil {
 		t.Fatal(err)
@@ -605,4 +627,366 @@ func TestBatchCorruptionRejected(t *testing.T) {
 		st := &p.Steps[batchIdx]
 		st.Dst = st.Batch[1].Dst
 	})
+}
+
+// sharedProgram rotates two sources by the same two amounts — the
+// shape the v6 planner fuses into shared groups whose second group
+// replays both decomposition slots. The legacy (DisableSharing)
+// compile of the same program is the newest form a v5 artifact can
+// carry.
+func sharedProgram() *quill.Lowered {
+	return &quill.Lowered{
+		VecLen: 1024, NumCtInputs: 2,
+		Instrs: []quill.LInstr{
+			{Op: quill.OpRotCt, Dst: 2, A: 0, Rot: 1},
+			{Op: quill.OpRotCt, Dst: 3, A: 1, Rot: 1},
+			{Op: quill.OpRotCt, Dst: 4, A: 0, Rot: 2},
+			{Op: quill.OpRotCt, Dst: 5, A: 1, Rot: 2},
+			{Op: quill.OpAddCtCt, Dst: 6, A: 2, B: 3},
+			{Op: quill.OpAddCtCt, Dst: 7, A: 4, B: 5},
+			{Op: quill.OpAddCtCt, Dst: 8, A: 6, B: 7},
+		},
+		Output: 8,
+	}
+}
+
+// TestSharedPlanNeedsV6 pins the encoder-side rule: a plan carrying
+// shared (double-hoisted) groups cannot be written in the v1–v5
+// layouts (which have no member list to hold them), and the v6 round
+// trip preserves the groups, slots and fill flags exactly — including
+// NumDecomps, which is never serialized but re-derived at decode.
+func TestSharedPlanNeedsV6(t *testing.T) {
+	l := sharedProgram()
+	ctx, plans, err := backend.NewTestServingContext("PN2048", 23, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, _, rep := plans[0].SharedGroups(); g != 2 || rep != 2 {
+		t.Fatalf("shared plan has %d groups (%d replayed), want 2 (2)", g, rep)
+	}
+	b, err := serve.Export(ctx, "compat-test", plans[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ver := byte(1); ver <= 5; ver++ {
+		if _, err := wire.EncodeVersion(b, ver); err == nil {
+			t.Fatalf("shared plan encoded as v%d", ver)
+		}
+	}
+	data, err := b.Encode()
+	if err != nil {
+		t.Fatalf("shared plan fails v6 encode: %v", err)
+	}
+	if data[4] != wire.Version {
+		t.Fatalf("artifact carries version byte %d, want %d", data[4], wire.Version)
+	}
+	got, err := wire.DecodeBundle(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, r, rep := got.Plan.SharedGroups()
+	wg, wr, wrep := plans[0].SharedGroups()
+	if g != wg || r != wr || rep != wrep {
+		t.Fatalf("decoded %d groups / %d rotations / %d replayed, want %d / %d / %d", g, r, rep, wg, wr, wrep)
+	}
+	if got.Plan.NumDecomps != plans[0].NumDecomps {
+		t.Fatalf("decoded NumDecomps %d, want %d", got.Plan.NumDecomps, plans[0].NumDecomps)
+	}
+	for i := range plans[0].Steps {
+		want, have := plans[0].Steps[i].Shared, got.Plan.Steps[i].Shared
+		if len(want) != len(have) {
+			t.Fatalf("step %d: %d shared members, want %d", i, len(have), len(want))
+		}
+		for j := range want {
+			if want[j] != have[j] {
+				t.Fatalf("step %d member %d: %+v, want %+v", i, j, have[j], want[j])
+			}
+		}
+	}
+}
+
+// TestV5BundleStillLoadsAndRuns fabricates a byte-exact version-5
+// bundle (batch lists, but no shared member lists — the format every
+// pre-sharing export used) around a legacy plan and proves this build
+// decodes, validates and executes it bit-identically to the shared v6
+// plan of the same program.
+func TestV5BundleStillLoadsAndRuns(t *testing.T) {
+	l := sharedProgram()
+	ctx, plans, err := backend.NewTestServingContext("PN2048", 23, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := plans[0]
+	legacy := legacyPlan(t, ctx, l)
+
+	rng := rand.New(rand.NewSource(37))
+	sample := &wire.Request{}
+	for i := 0; i < l.NumCtInputs; i++ {
+		v := make(quill.Vec, l.VecLen)
+		for j := range v {
+			v[j] = rng.Uint64() % 64
+		}
+		ct, err := ctx.EncryptVec(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sample.CtIn = append(sample.CtIn, ct)
+	}
+
+	b, err := serve.Export(ctx, "compat-test", legacy, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := wire.EncodeVersion(b, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[4] != 5 {
+		t.Fatalf("fabricated artifact carries version byte %d, want 5", data[4])
+	}
+
+	got, err := wire.DecodeBundle(data)
+	if err != nil {
+		t.Fatalf("v5 bundle no longer decodes: %v", err)
+	}
+	for i := range got.Plan.Steps {
+		if len(got.Plan.Steps[i].Shared) != 0 || got.Plan.Steps[i].Op == plan.OpSharedRot {
+			t.Fatal("v5 plan decoded with shared steps")
+		}
+	}
+
+	// The loaded v5 artifact must reproduce the exporter's output...
+	_, sched, err := serve.Load(got, serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sched.Close()
+	ok, err := serve.SelfTest(sched, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("v5 bundle does not run bit-identically to its exporter")
+	}
+	// ...and that output must equal the shared v6 execution of the same
+	// program: slot replay reuses digits a fresh decomposition would
+	// recompute identically.
+	sout, err := ctx.NewSession().Run(shared, sample.CtIn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ctx.Params.CiphertextEqual(sout, got.Expected) {
+		t.Fatal("shared execution differs from the v5 (legacy) expected output")
+	}
+}
+
+// TestV5RegistryStillLoadsAndRuns fabricates a byte-exact version-5
+// registry (the version that introduced registries, whose plans cannot
+// carry shared member lists) around legacy plans and proves this build
+// decodes it into a working sealed catalog with every kernel's
+// self-test passing.
+func TestV5RegistryStillLoadsAndRuns(t *testing.T) {
+	programs := []*quill.Lowered{sharedProgram(), testProgram()}
+	ctx, plans, err := backend.NewTestServingContext("PN2048", 29, programs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range programs {
+		plans[i] = legacyPlan(t, ctx, l)
+	}
+	rng := rand.New(rand.NewSource(41))
+	samples := make([]*wire.Request, len(plans))
+	for i, l := range programs {
+		mk := func() quill.Vec {
+			v := make(quill.Vec, l.VecLen)
+			for j := range v {
+				v[j] = rng.Uint64() % 64
+			}
+			return v
+		}
+		s := &wire.Request{}
+		for k := 0; k < l.NumCtInputs; k++ {
+			ct, err := ctx.EncryptVec(mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.CtIn = append(s.CtIn, ct)
+		}
+		for k := 0; k < l.NumPtInputs; k++ {
+			s.PtIn = append(s.PtIn, mk())
+		}
+		samples[i] = s
+	}
+	reg, err := serve.ExportRegistry(ctx, []string{"stencil", "wide"}, plans, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := wire.EncodeRegistryVersion(reg, 5)
+	if err != nil {
+		t.Fatalf("legacy registry fails v5 encode: %v", err)
+	}
+	if data[4] != 5 {
+		t.Fatalf("fabricated artifact carries version byte %d, want 5", data[4])
+	}
+	// A registry holding shared plans must refuse the v5 layout.
+	mixed := *reg
+	mixed.Entries = append([]wire.RegistryEntry(nil), reg.Entries...)
+	sharedPlan, err := plan.Compile(ctx.Params, ctx.Encoder, programs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed.Entries[0].Plan = sharedPlan
+	if _, err := wire.EncodeRegistryVersion(&mixed, 5); err == nil {
+		t.Fatal("registry with shared plans encoded as v5")
+	}
+
+	got, err := wire.DecodeRegistry(data)
+	if err != nil {
+		t.Fatalf("v5 registry no longer decodes: %v", err)
+	}
+	for _, e := range got.Entries {
+		for i := range e.Plan.Steps {
+			if e.Plan.Steps[i].Op == plan.OpSharedRot {
+				t.Fatal("v5 registry decoded with shared steps")
+			}
+		}
+	}
+	cat, err := serve.LoadRegistry(got, serve.Config{Sessions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat.Close()
+	for _, name := range got.Kernels() {
+		ok, err := cat.SelfTest(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("kernel %q not bit-identical after the v5 round trip", name)
+		}
+	}
+}
+
+// TestSharedCorruptionRejected runs decode-side corruptions specific
+// to the v6 shared member list: every malformed group must be refused
+// as ErrInvalid by the envelope's deep validation — slot bookkeeping
+// and the fill-state replay contract included — never panic and never
+// load a plan whose replay would read digits that are not resident.
+func TestSharedCorruptionRejected(t *testing.T) {
+	l := sharedProgram()
+	ctx, plans, err := backend.NewTestServingContext("PN2048", 23, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := serve.Export(ctx, "compat-test", plans[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstShared, lastShared := -1, -1
+	for i := range plans[0].Steps {
+		if plans[0].Steps[i].Op == plan.OpSharedRot {
+			if firstShared < 0 {
+				firstShared = i
+			}
+			lastShared = i
+		}
+	}
+	if firstShared < 0 || lastShared == firstShared {
+		t.Fatal("base plan does not carry two shared steps")
+	}
+	corrupt := func(name string, mutate func(p *plan.ExecutionPlan)) {
+		t.Run(name, func(t *testing.T) {
+			p2 := *plans[0]
+			p2.Steps = append([]plan.Step(nil), plans[0].Steps...)
+			for i := range p2.Steps {
+				p2.Steps[i].Shared = append([]plan.SharedSrc(nil), plans[0].Steps[i].Shared...)
+			}
+			p2.Rotations = append([]int(nil), plans[0].Rotations...)
+			mutate(&p2)
+			b2 := *base
+			b2.Plan = &p2
+			data, err := b2.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := wire.DecodeBundle(data); !errors.Is(err, wire.ErrInvalid) {
+				t.Fatalf("corrupted shared list decoded: err = %v, want ErrInvalid", err)
+			}
+		})
+	}
+	corrupt("shared-src-out-of-range", func(p *plan.ExecutionPlan) {
+		p.Steps[firstShared].Shared[0].Src = p.NumCtInputs + p.NumRegs
+		p.Steps[firstShared].A = p.Steps[firstShared].Shared[0].Src
+	})
+	corrupt("shared-dst-out-of-range", func(p *plan.ExecutionPlan) {
+		p.Steps[firstShared].Shared[1].Dst = p.NumRegs
+	})
+	corrupt("shared-slot-out-of-range", func(p *plan.ExecutionPlan) {
+		// Past every operand code: the decoder's hard bound, hit before
+		// slot-density validation can run.
+		p.Steps[firstShared].Shared[1].Slot = p.NumCtInputs + p.NumRegs + 7
+	})
+	corrupt("shared-duplicate-src", func(p *plan.ExecutionPlan) {
+		p.Steps[firstShared].Shared[1].Src = p.Steps[firstShared].Shared[0].Src
+	})
+	corrupt("shared-duplicate-dst", func(p *plan.ExecutionPlan) {
+		p.Steps[firstShared].Shared[1].Dst = p.Steps[firstShared].Shared[0].Dst
+	})
+	corrupt("shared-head-mismatch", func(p *plan.ExecutionPlan) {
+		p.Steps[firstShared].Dst = p.Steps[firstShared].Shared[1].Dst
+	})
+	corrupt("shared-rot-undeclared", func(p *plan.ExecutionPlan) {
+		p.Steps[firstShared].Rot = 777
+	})
+	corrupt("shared-on-plain-step", func(p *plan.ExecutionPlan) {
+		for i := range p.Steps {
+			if p.Steps[i].Op != plan.OpSharedRot {
+				p.Steps[i].Shared = []plan.SharedSrc{{Src: 0, Dst: 0, Slot: 0, Fresh: true}}
+				return
+			}
+		}
+	})
+	corrupt("shared-replay-before-fill", func(p *plan.ExecutionPlan) {
+		p.Steps[firstShared].Shared[0].Fresh = false
+	})
+	corrupt("shared-replay-wrong-slot", func(p *plan.ExecutionPlan) {
+		st := &p.Steps[lastShared]
+		st.Shared[0].Slot, st.Shared[1].Slot = st.Shared[1].Slot, st.Shared[0].Slot
+	})
+}
+
+// TestSharedDecodeNeverPanics sweeps random corruptions — truncation,
+// raw bit flips, and checksum-repaired bit flips that reach semantic
+// validation — through a v6 bundle carrying shared member lists; any
+// outcome but a panic is acceptable.
+func TestSharedDecodeNeverPanics(t *testing.T) {
+	l := sharedProgram()
+	ctx, plans, err := backend.NewTestServingContext("PN2048", 23, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := serve.Export(ctx, "compat-test", plans[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(59))
+	for trial := 0; trial < 300; trial++ {
+		d := append([]byte(nil), data...)
+		switch trial % 3 {
+		case 0:
+			d = d[:rng.Intn(len(d)+1)]
+		case 1:
+			d[rng.Intn(len(d))] ^= byte(1 << rng.Intn(8))
+		case 2:
+			if len(d) > sha256.Size+20 {
+				d[14+rng.Intn(len(d)-14-sha256.Size)] ^= byte(1 << rng.Intn(8))
+				resign(d)
+			}
+		}
+		wire.DecodeBundle(d)
+	}
 }

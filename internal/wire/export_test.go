@@ -5,3 +5,9 @@ package wire
 // artifacts of earlier format versions and prove this build still
 // loads them.
 var EncodeVersion = (*Bundle).encode
+
+// EncodeRegistryVersion is the registry-envelope sibling of
+// EncodeVersion: byte-exact artifacts of earlier registry formats
+// (v5, the version that introduced registries) for the
+// backward-compatibility tests.
+var EncodeRegistryVersion = (*Registry).encode

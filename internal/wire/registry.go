@@ -71,13 +71,25 @@ func (reg *Registry) Kernels() []string {
 // are required; every entry needs a name and a plan, and each entry's
 // Sample/Expected must come together.
 func (reg *Registry) Encode() ([]byte, error) {
+	return reg.encode(Version)
+}
+
+// encode writes the registry in an explicit format version. Only the
+// current Version is written by production code; older versions exist
+// for the compatibility tests, which fabricate byte-exact artifacts of
+// earlier formats. Registries are new in v5, and per-plan encoding
+// enforces the plan-feature floor (shared groups need v6).
+func (reg *Registry) encode(ver byte) ([]byte, error) {
+	if ver < 5 {
+		return nil, fmt.Errorf("wire: registries need format version 5, cannot encode as %d", ver)
+	}
 	if reg.Params == nil || reg.Relin == nil || reg.Galois == nil {
 		return nil, fmt.Errorf("wire: registry needs params, relin and galois keys")
 	}
 	if len(reg.Entries) == 0 {
 		return nil, fmt.Errorf("wire: registry carries no kernels")
 	}
-	w := newWriter(Version, tagRegistry)
+	w := newWriter(ver, tagRegistry)
 	fp := reg.Params.Fingerprint()
 	w.buf = append(w.buf, fp[:]...)
 	w.str(reg.Preset)
@@ -94,7 +106,7 @@ func (reg *Registry) Encode() ([]byte, error) {
 			return nil, fmt.Errorf("wire: registry entry %q: self-test sample and expected output must come together", e.Name)
 		}
 		w.str(e.Name)
-		if err := encodePlan(w, e.Plan, Version); err != nil {
+		if err := encodePlan(w, e.Plan, ver); err != nil {
 			return nil, err
 		}
 		w.u32(uint32(e.MuxStride))

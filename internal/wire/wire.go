@@ -60,17 +60,21 @@ const (
 	// list); version 5 added the multi-kernel Registry object (a
 	// manifest of named plans sharing one parameter fingerprint and one
 	// key-material section, each entry carrying its slot-multiplexing
-	// lane geometry). Decoders accept MinVersion..Version: a v1 bundle
-	// simply decodes to a plan of plain steps, a v2 bundle to an
-	// all-coefficient plan, and a v3 bundle to a plan without batched
-	// groups — all execute bit-identically (hoisting, residency and
-	// batching are schedule choices, not semantic ones). Prepared NTT
+	// lane geometry); version 6 added double-hoisted shared rotation
+	// groups (a per-step member list carrying each member's
+	// decomposition slot and fill flag — per-session state earlier
+	// formats cannot express). Decoders accept MinVersion..Version: a
+	// v1 bundle simply decodes to a plan of plain steps, a v2 bundle to
+	// an all-coefficient plan, a v3 bundle to a plan without batched
+	// groups, and a v4/v5 artifact to a plan without shared groups —
+	// all execute bit-identically (hoisting, residency, batching and
+	// sharing are schedule choices, not semantic ones). Prepared NTT
 	// operand forms are derived at decode time, never serialized.
 	// Registries are new in v5, so a registry envelope stamped with an
 	// earlier version byte is rejected; single-plan bundles of every
 	// prior version keep loading unchanged. Future versions are
 	// rejected — artifacts are cheap to re-export.
-	Version    = 5
+	Version    = 6
 	MinVersion = 1
 )
 
@@ -459,6 +463,9 @@ func encodePlan(w *writer, p *plan.ExecutionPlan, ver byte) error {
 	if groups, _ := p.BatchedGroups(); ver < 4 && groups > 0 {
 		return fmt.Errorf("wire: batched plans need format version 4, cannot encode as %d", ver)
 	}
+	if groups, _, _ := p.SharedGroups(); ver < 6 && groups > 0 {
+		return fmt.Errorf("wire: double-hoisted plans need format version 6, cannot encode as %d (recompile with DisableSharing for older peers)", ver)
+	}
 	w.u32(uint32(p.N))
 	w.u32(uint32(p.VecLen))
 	w.u32(uint32(p.NumCtInputs))
@@ -499,6 +506,22 @@ func encodePlan(w *writer, p *plan.ExecutionPlan, ver byte) error {
 				w.u32(uint32(m.Dst))
 			}
 		}
+		if ver >= 6 {
+			// v6: shared member list (empty for non-shared steps), each
+			// member carrying its decomposition slot and a strict 0/1
+			// fill flag.
+			w.u32(uint32(len(st.Shared)))
+			for _, m := range st.Shared {
+				w.i64(int64(m.Src))
+				w.u32(uint32(m.Dst))
+				w.u32(uint32(m.Slot))
+				if m.Fresh {
+					w.u8(1)
+				} else {
+					w.u8(0)
+				}
+			}
+		}
 	}
 	w.u32(uint32(len(p.Consts)))
 	for _, pt := range p.Consts {
@@ -516,9 +539,10 @@ func encodePlan(w *writer, p *plan.ExecutionPlan, ver byte) error {
 }
 
 const (
-	stepWireSize  = 1 + 4 + 5*8 // fixed step fields (v1 layout; v2 appends the fan list, v4 the batch list)
-	fanWireSize   = 4 + 8
-	batchWireSize = 8 + 4
+	stepWireSize   = 1 + 4 + 5*8 // fixed step fields (v1 layout; v2 appends the fan list, v4 the batch list, v6 the shared list)
+	fanWireSize    = 4 + 8
+	batchWireSize  = 8 + 4
+	sharedWireSize = 8 + 4 + 4 + 1 // src i64, dst u32, slot u32, fresh u8
 )
 
 func decodePlan(r *reader, params *bfv.Parameters) (*plan.ExecutionPlan, error) {
@@ -573,11 +597,41 @@ func decodePlan(r *reader, params *bfv.Parameters) (*plan.ExecutionPlan, error) 
 				st.Batch = append(st.Batch, plan.BatchedSrc{Src: int(r.i64()), Dst: int(r.u32())})
 			}
 		}
+		if r.ver >= 6 {
+			nShared := r.count(sharedWireSize)
+			for m := 0; m < nShared; m++ {
+				sm := plan.SharedSrc{Src: int(r.i64()), Dst: int(r.u32()), Slot: int(r.u32())}
+				// Every live slot pins its source in a distinct register
+				// or input, so a well-formed plan never has more slots
+				// than operand codes; rejecting larger indices here keeps
+				// a flipped slot byte from inflating the derived
+				// NumDecomps (and the allocations sized by it) before
+				// plan.Validate proves slot denseness.
+				if sm.Slot >= p.NumCtInputs+nRegs {
+					return nil, fmt.Errorf("%w: decomposition slot %d out of range", ErrInvalid, sm.Slot)
+				}
+				switch r.u8() {
+				case 0:
+				case 1:
+					sm.Fresh = true
+				default:
+					return nil, fmt.Errorf("%w: shared member fill flag is neither 0 nor 1", ErrInvalid)
+				}
+				st.Shared = append(st.Shared, sm)
+			}
+		}
 		p.Steps = append(p.Steps, st)
+		// NumDecomps is sized by the register allocator at compile time;
+		// derived, not serialized (plan.Validate checks the
+		// consistency): one transient buffer for legacy hoisted/batched
+		// groups, the peak slot index + 1 for double-hoisted plans.
 		if st.Op == plan.OpHoistedRot || st.Op == plan.OpBatchedRot {
-			// Sized by the register allocator at compile time; derived,
-			// not serialized (plan.Validate checks the consistency).
 			p.NumDecomps = 1
+		}
+		for _, sm := range st.Shared {
+			if sm.Slot >= 0 && sm.Slot+1 > p.NumDecomps {
+				p.NumDecomps = sm.Slot + 1
+			}
 		}
 	}
 	nConsts := r.count(4)
